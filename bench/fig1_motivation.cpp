@@ -1,0 +1,66 @@
+// Figure 1 — motivation: speedup (a,d), normalized energy (b,e) and the
+// multi-objective view (c,f) of k-NN and MT (Mersenne Twister) across every
+// supported (core, memory) configuration.
+//
+// Prints one series per memory level and dumps the full data to CSV so the
+// figure can be re-plotted.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gpusim/simulator.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace repro;
+
+namespace {
+
+void characterize_application(const gpusim::GpuSimulator& sim, const char* name,
+                              common::CsvDocument& csv) {
+  const auto* benchmark = kernels::find_benchmark(name);
+  if (benchmark == nullptr) {
+    std::fprintf(stderr, "unknown benchmark %s\n", name);
+    std::exit(1);
+  }
+  std::printf("--- %s ---\n", name);
+  for (const auto& domain : sim.freq().domains()) {
+    std::vector<gpusim::FrequencyConfig> configs;
+    for (int core : domain.actual_core_mhz) configs.push_back({core, domain.mem_mhz});
+    const auto points = sim.characterize(benchmark->profile, configs);
+
+    std::printf("%s (%d MHz): core MHz -> (speedup, norm. energy)\n",
+                gpusim::mem_level_label(domain.level), domain.mem_mhz);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      // Print a readable subset (every 4th point); the CSV has everything.
+      if (i % 4 == 0 || i + 1 == points.size()) {
+        std::printf("  %4d -> (%s, %s)\n", configs[i].core_mhz,
+                    bench::fmt(points[i].speedup).c_str(),
+                    bench::fmt(points[i].norm_energy).c_str());
+      }
+      csv.add_row({std::string(name), std::string(gpusim::mem_level_label(domain.level)),
+                   std::to_string(configs[i].core_mhz), std::to_string(domain.mem_mhz),
+                   bench::fmt(points[i].speedup, 6), bench::fmt(points[i].norm_energy, 6)});
+    }
+  }
+  const auto def = sim.freq().default_config();
+  std::printf("default configuration: core %d MHz, mem %d MHz -> (1.000, 1.000)\n\n",
+              def.core_mhz, def.mem_mhz);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 1", "speedup and normalized energy vs. frequencies");
+
+  const gpusim::GpuSimulator sim(gpusim::DeviceModel::titan_x());
+  common::CsvDocument csv(
+      {"benchmark", "mem_level", "core_mhz", "mem_mhz", "speedup", "norm_energy"});
+
+  // The paper's two motivating applications: strongly core-sensitive k-NN
+  // (Fig. 1a-c) vs. memory-dominated MT (Fig. 1d-f).
+  characterize_application(sim, "k-NN", csv);
+  characterize_application(sim, "MersenneTwister", csv);
+
+  const auto path = bench::dump_csv(csv, "fig1_motivation.csv");
+  std::printf("full series written to %s\n", path.c_str());
+  return 0;
+}

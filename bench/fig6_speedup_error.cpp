@@ -1,0 +1,58 @@
+// Figure 6 — prediction error of speedup: per-benchmark box plots of the
+// signed error (percentage points of the default-normalized scale), grouped
+// by memory frequency, with the per-group RMSE the paper annotates.
+//
+// Paper reference values: RMSE = 6.68% (mem-H), 7.10% (mem-h), 11.13%
+// (mem-l), 9.09% (mem-L).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace repro;
+
+namespace {
+
+void print_error_report(const core::ErrorReport& report, const char* csv_name,
+                        const double paper_rmse[4]) {
+  common::CsvDocument csv({"mem_mhz", "benchmark", "min", "q25", "median", "q75", "max"});
+  int level_idx = 0;
+  for (const auto& block : report.levels) {
+    std::printf("Memory Frequency: %d MHz (%s)\n", block.mem_mhz,
+                gpusim::mem_level_label(block.level));
+    common::TablePrinter table({"benchmark", "min", "q25", "median", "q75", "max"},
+                               {common::Align::kLeft, common::Align::kRight,
+                                common::Align::kRight, common::Align::kRight,
+                                common::Align::kRight, common::Align::kRight});
+    for (const auto& group : block.per_benchmark) {
+      table.add_row({group.benchmark, bench::fmt(group.box.min, 1),
+                     bench::fmt(group.box.q25, 1), bench::fmt(group.box.median, 1),
+                     bench::fmt(group.box.q75, 1), bench::fmt(group.box.max, 1)});
+      csv.add_row({std::to_string(block.mem_mhz), group.benchmark,
+                   bench::fmt(group.box.min, 4), bench::fmt(group.box.q25, 4),
+                   bench::fmt(group.box.median, 4), bench::fmt(group.box.q75, 4),
+                   bench::fmt(group.box.max, 4)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf("RMSE = %.2f%%   (paper: %.2f%%)\n\n", block.rmse_percent,
+                paper_rmse[level_idx]);
+    ++level_idx;
+  }
+  const auto path = bench::dump_csv(csv, csv_name);
+  std::printf("box-plot data written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 6", "prediction error of speedup");
+  auto& pipeline = bench::shared_pipeline();
+  std::printf("model: linear-kernel SVR (C=1000, eps=0.1) trained on %zu samples\n",
+              pipeline.model().training_samples());
+  std::printf("(%zu micro-benchmarks x %zu sampled configurations)\n\n",
+              pipeline.training_suite().size(), pipeline.model().training_configs().size());
+
+  const double paper[4] = {6.68, 7.10, 11.13, 9.09};
+  print_error_report(pipeline.speedup_errors(), "fig6_speedup_error.csv", paper);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 7 — prediction error of normalized energy: same methodology as
+// Fig. 6 for the RBF-kernel energy model.
+//
+// Paper reference values: RMSE = 7.82% (mem-H), 5.65% (mem-h), 12.85%
+// (mem-l), 15.10% (mem-L).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace repro;
+
+int main() {
+  bench::print_header("Figure 7", "prediction error of normalized energy");
+  auto& pipeline = bench::shared_pipeline();
+  std::printf("model: RBF-kernel SVR (gamma=0.1, C=1000, eps=0.1) trained on %zu samples\n\n",
+              pipeline.model().training_samples());
+
+  const double paper[4] = {7.82, 5.65, 12.85, 15.10};
+  const auto report = pipeline.energy_errors();
+
+  common::CsvDocument csv({"mem_mhz", "benchmark", "min", "q25", "median", "q75", "max"});
+  int level_idx = 0;
+  for (const auto& block : report.levels) {
+    std::printf("Memory Frequency: %d MHz (%s)\n", block.mem_mhz,
+                gpusim::mem_level_label(block.level));
+    common::TablePrinter table({"benchmark", "min", "q25", "median", "q75", "max"},
+                               {common::Align::kLeft, common::Align::kRight,
+                                common::Align::kRight, common::Align::kRight,
+                                common::Align::kRight, common::Align::kRight});
+    for (const auto& group : block.per_benchmark) {
+      table.add_row({group.benchmark, bench::fmt(group.box.min, 1),
+                     bench::fmt(group.box.q25, 1), bench::fmt(group.box.median, 1),
+                     bench::fmt(group.box.q75, 1), bench::fmt(group.box.max, 1)});
+      csv.add_row({std::to_string(block.mem_mhz), group.benchmark,
+                   bench::fmt(group.box.min, 4), bench::fmt(group.box.q25, 4),
+                   bench::fmt(group.box.median, 4), bench::fmt(group.box.q75, 4),
+                   bench::fmt(group.box.max, 4)});
+    }
+    std::printf("%s", table.to_string().c_str());
+    std::printf("RMSE = %.2f%%   (paper: %.2f%%)\n\n", block.rmse_percent,
+                paper[level_idx]);
+    ++level_idx;
+  }
+  const auto path = bench::dump_csv(csv, "fig7_energy_error.csv");
+  std::printf("box-plot data written to %s\n", path.c_str());
+  return 0;
+}

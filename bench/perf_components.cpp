@@ -1,0 +1,143 @@
+// Google-benchmark suite for the library components themselves: Pareto set
+// algorithms (the paper's Algorithm 1 vs. the O(n log n) front),
+// hypervolume, SVR training/prediction, static feature extraction and the
+// GPU simulator's measurement path.
+#include <benchmark/benchmark.h>
+
+#include "benchgen/benchgen.hpp"
+#include "clfront/features.hpp"
+#include "common/rng.hpp"
+#include "core/features.hpp"
+#include "gpusim/simulator.hpp"
+#include "kernels/kernels.hpp"
+#include "ml/svr.hpp"
+#include "pareto/hypervolume.hpp"
+#include "pareto/pareto.hpp"
+
+using namespace repro;
+
+namespace {
+
+std::vector<pareto::Point> random_points(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<pareto::Point> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({rng.uniform(0.05, 1.3), rng.uniform(0.4, 1.9),
+                   static_cast<std::uint32_t>(i)});
+  }
+  return out;
+}
+
+void BM_ParetoNaive(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::pareto_set_naive(pts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ParetoNaive)->Range(16, 4096)->Complexity();
+
+void BM_ParetoFast(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::pareto_set_fast(pts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ParetoFast)->Range(16, 4096)->Complexity();
+
+void BM_Hypervolume(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::hypervolume(pts));
+  }
+}
+BENCHMARK(BM_Hypervolume)->Range(16, 4096);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto* benchmark_def = kernels::find_benchmark("Blackscholes");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clfront::extract_features_from_source(
+        benchmark_def->source, benchmark_def->kernel_name));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_SimulatorMeasurement(benchmark::State& state) {
+  const gpusim::GpuSimulator sim(gpusim::DeviceModel::titan_x());
+  const auto* benchmark_def = kernels::find_benchmark("MatrixMultiply");
+  const gpusim::FrequencyConfig config{1001, 3505};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_at(benchmark_def->profile, config));
+  }
+}
+BENCHMARK(BM_SimulatorMeasurement);
+
+void BM_SvrTraining(benchmark::State& state) {
+  // Train on a slice of the real pipeline data (size = range samples).
+  static const auto suite = benchgen::generate_training_suite().value();
+  const gpusim::GpuSimulator sim(gpusim::DeviceModel::titan_x());
+  const core::FeatureAssembler assembler(sim.freq());
+  const auto configs = sim.freq().sample_configs(40);
+  ml::Matrix x(0, 0);
+  std::vector<double> y;
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  for (const auto& mb : suite) {
+    if (x.rows() >= samples) break;
+    const auto pts = sim.characterize(mb.profile, configs);
+    const auto norm = mb.features.normalized();
+    for (const auto& p : pts) {
+      if (x.rows() >= samples) break;
+      x.push_row(assembler.assemble(norm, p.config));
+      y.push_back(p.speedup);
+    }
+  }
+  for (auto _ : state) {
+    ml::Svr svr{ml::SvrParams{ml::KernelFunction::linear(), 1000.0, 0.1}};
+    svr.fit(x, y);
+    benchmark::DoNotOptimize(svr);
+  }
+}
+BENCHMARK(BM_SvrTraining)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+void BM_SvrPrediction(benchmark::State& state) {
+  static const auto suite = benchgen::generate_training_suite().value();
+  const gpusim::GpuSimulator sim(gpusim::DeviceModel::titan_x());
+  const core::FeatureAssembler assembler(sim.freq());
+  const auto configs = sim.freq().sample_configs(40);
+  ml::Matrix x(0, 0);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto pts = sim.characterize(suite[i].profile, configs);
+    const auto norm = suite[i].features.normalized();
+    for (const auto& p : pts) {
+      x.push_row(assembler.assemble(norm, p.config));
+      y.push_back(p.speedup);
+    }
+  }
+  ml::Svr svr{ml::SvrParams{ml::KernelFunction::rbf(0.1), 1000.0, 0.1}};
+  svr.fit(x, y);
+  const auto probe = x.row(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svr.predict_one(probe));
+  }
+}
+BENCHMARK(BM_SvrPrediction);
+
+void BM_TrainingDataGeneration(benchmark::State& state) {
+  // One micro-benchmark characterized at the 40 sampled configurations —
+  // the unit of work behind the "20 minutes per benchmark" the paper quotes
+  // for the real hardware (§3.3); here it is micro-seconds.
+  static const auto suite = benchgen::generate_training_suite().value();
+  const gpusim::GpuSimulator sim(gpusim::DeviceModel::titan_x());
+  const auto configs = sim.freq().sample_configs(40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.characterize(suite[0].profile, configs));
+  }
+}
+BENCHMARK(BM_TrainingDataGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

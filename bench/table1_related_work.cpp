@@ -1,0 +1,47 @@
+// Table 1 — comparison against the state of the art. The table is
+// qualitative in the paper; this harness reprints it and verifies that the
+// implemented system actually exhibits the four claimed properties by
+// construction (static features, Pareto-optimal output, frequency scaling,
+// machine learning).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "clfront/features.hpp"
+#include "common/table.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace repro;
+
+int main() {
+  bench::print_header("Table 1", "comparison against the state of the art");
+
+  common::TablePrinter table(
+      {"Paper", "Static", "Pareto-optimal", "Frequency Scaling", "Machine Learning"});
+  table.add_row({"Grewe et al. [10]", "yes", "no", "no", "yes"});
+  table.add_row({"Steen et al. [7]", "no", "yes", "no", "no"});
+  table.add_row({"Abe et al. [1]", "no", "no", "yes", "no"});
+  table.add_row({"Guerreiro et al. [11]", "no", "no", "yes", "yes"});
+  table.add_row({"Wu et al. [29]", "no", "no", "yes", "yes"});
+  table.add_separator();
+  table.add_row({"This work (reproduction)", "yes", "yes", "yes", "yes"});
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Evidence that the reproduction has the four properties:
+  // 1. Static: features come from source text alone, no execution involved.
+  const auto* knn = kernels::find_benchmark("k-NN");
+  const auto features = clfront::extract_features_from_source(knn->source, knn->kernel_name);
+  std::printf("[static]   extracted %s without executing the kernel\n",
+              features.ok() ? features.value().to_string().c_str() : "ERROR");
+
+  // 2-4: exercised by the pipeline below (SVR models over (k, f) features,
+  // Pareto set output across core/memory clocks).
+  auto& pipeline = bench::shared_pipeline();
+  const auto cases = pipeline.pareto_evaluation();
+  std::printf("[pareto]   predicted Pareto sets for %zu benchmarks\n", cases.size());
+  std::printf("[dvfs]     %zu (core, memory) configurations modeled\n",
+              pipeline.simulator().freq().all_actual().size());
+  std::printf("[ml]       SVR models: %zu + %zu support vectors\n",
+              pipeline.model().speedup_model().num_support_vectors(),
+              pipeline.model().energy_model().num_support_vectors());
+  return 0;
+}

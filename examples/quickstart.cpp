@@ -1,0 +1,65 @@
+// Quickstart: the complete library flow in ~60 lines.
+//
+//   1. Train the predictor on the 106 synthetic micro-benchmarks (or load a
+//      cached model — training takes a few seconds on the simulated GPU).
+//   2. Hand it a brand-new OpenCL kernel *as source text*.
+//   3. Get back the predicted Pareto-optimal (core, memory) frequency
+//      configurations — without ever running the kernel.
+#include <cstdio>
+
+#include "benchgen/benchgen.hpp"
+#include "clfront/features.hpp"
+#include "core/model.hpp"
+#include "gpusim/simulator.hpp"
+
+using namespace repro;
+
+// A kernel the model has never seen: SAXPY with a twist of transcendentals.
+static const char* kNewKernel = R"CL(
+kernel void saxpy_tuned(global float* x, global float* y, float a, int n) {
+  int gid = get_global_id(0);
+  float xv = x[gid];
+  float yv = y[gid];
+  float scaled = a * xv + yv;
+  float corrected = scaled + 0.001f * native_sin(scaled);
+  y[gid] = corrected;
+}
+)CL";
+
+int main() {
+  // 1. Backend + training data + model (cached across runs).
+  const gpusim::GpuSimulator sim(gpusim::DeviceModel::titan_x());
+  auto suite = benchgen::generate_training_suite();
+  if (!suite.ok()) {
+    std::fprintf(stderr, "training suite: %s\n", suite.error().to_string().c_str());
+    return 1;
+  }
+  auto model = core::FrequencyModel::train_or_load(sim, suite.value(), {},
+                                                   "gpufreq_model_cache.txt");
+  if (!model.ok()) {
+    std::fprintf(stderr, "training: %s\n", model.error().to_string().c_str());
+    return 1;
+  }
+
+  // 2. Static features of the new kernel — no execution involved.
+  auto features = clfront::extract_features_from_source(kNewKernel);
+  if (!features.ok()) {
+    std::fprintf(stderr, "feature extraction: %s\n", features.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("kernel features: %s\n\n", features.value().to_string().c_str());
+
+  // 3. Predicted Pareto set over the sampled configuration space.
+  const auto pareto = model.value().predict_pareto(features.value());
+  std::printf("predicted Pareto-optimal frequency configurations:\n");
+  std::printf("%-28s %10s %14s\n", "configuration", "speedup", "norm. energy");
+  for (const auto& p : pareto) {
+    std::printf("core %4d MHz / mem %4d MHz   %8.3f %14.3f%s\n", p.config.core_mhz,
+                p.config.mem_mhz, p.speedup, p.energy,
+                p.heuristic ? "   (mem-L heuristic)" : "");
+  }
+  const auto def = sim.freq().default_config();
+  std::printf("\n(default configuration: core %d MHz / mem %d MHz -> 1.000 / 1.000)\n",
+              def.core_mhz, def.mem_mhz);
+  return 0;
+}

@@ -1,0 +1,219 @@
+#include "benchgen/benchgen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace repro::benchgen {
+
+namespace {
+
+using clfront::FeatureIndex;
+using gpusim::KernelProfile;
+using gpusim::OpClass;
+
+/// Emit one "pattern line" of the given kind into the kernel body.
+/// `i` is the statement index (used to vary constants and break trivial
+/// common-subexpression structure). Integer lines mutate iv0/iv1, float
+/// lines fv0/fv1.
+void emit_line(std::ostringstream& out, Pattern p, int i) {
+  switch (p) {
+    case Pattern::kIntAdd:
+      out << "  iv" << (i % 2) << " = iv" << (i % 2) << " + iv" << ((i + 1) % 2) << ";\n";
+      break;
+    case Pattern::kIntMul:
+      out << "  iv" << (i % 2) << " = iv" << (i % 2) << " * " << (3 + (i % 5)) << ";\n";
+      break;
+    case Pattern::kIntDiv:
+      out << "  iv" << (i % 2) << " = iv" << (i % 2) << " / " << (3 + (i % 7)) << ";\n";
+      break;
+    case Pattern::kIntBw:
+      out << "  iv" << (i % 2) << " = iv" << (i % 2) << " ^ " << (0x5A5A + i) << ";\n";
+      break;
+    case Pattern::kFloatAdd:
+      out << "  fv" << (i % 2) << " = fv" << (i % 2) << " + fv" << ((i + 1) % 2) << ";\n";
+      break;
+    case Pattern::kFloatMul:
+      out << "  fv" << (i % 2) << " = fv" << (i % 2) << " * 1.0000" << (1 + (i % 9))
+          << "f;\n";
+      break;
+    case Pattern::kFloatDiv:
+      out << "  fv" << (i % 2) << " = fv" << (i % 2) << " / 1.0000" << (1 + (i % 9))
+          << "f;\n";
+      break;
+    case Pattern::kSf:
+      out << "  fv" << (i % 2) << " = "
+          << (i % 3 == 0 ? "native_sin" : (i % 3 == 1 ? "native_cos" : "native_exp"))
+          << "(fv" << (i % 2) << ");\n";
+      break;
+    case Pattern::kGlAccess:
+      // Pure loads (no companion arithmetic) so the access fraction grows
+      // monotonically with intensity, like the arithmetic patterns.
+      out << "  fv" << (i % 2) << " = " << (i % 2 == 0 ? "data" : "result")
+          << "[gid];\n";
+      break;
+    case Pattern::kLocAccess:
+      out << "  fv" << (i % 2) << " = tile[lid];\n";
+      break;
+  }
+}
+
+bool is_float_pattern(Pattern p) {
+  switch (p) {
+    case Pattern::kFloatAdd:
+    case Pattern::kFloatMul:
+    case Pattern::kFloatDiv:
+    case Pattern::kSf:
+    case Pattern::kGlAccess:
+    case Pattern::kLocAccess:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool uses_local(Pattern p) { return p == Pattern::kLocAccess; }
+
+/// Build a kernel from a list of (pattern, line-count) sections.
+std::string build_kernel(const std::string& name,
+                         const std::vector<std::pair<Pattern, int>>& sections) {
+  bool any_float = false;
+  bool any_int = false;
+  bool any_local = false;
+  for (const auto& [p, n] : sections) {
+    any_float |= is_float_pattern(p);
+    any_int |= !is_float_pattern(p);
+    any_local |= uses_local(p);
+  }
+
+  std::ostringstream out;
+  out << "// auto-generated training micro-benchmark\n";
+  out << "kernel void " << name << "(global float* data, global float* result, int n) {\n";
+  out << "  int gid = get_global_id(0);\n";
+  if (any_local) out << "  int lid = get_local_id(0);\n";
+  if (any_local) out << "  local float tile[256];\n";
+  out << "  float fv0 = data[gid];\n";
+  out << "  float fv1 = fv0 + 1.5f;\n";
+  if (any_int) {
+    out << "  int iv0 = gid + n;\n";
+    out << "  int iv1 = gid ^ 3;\n";
+  }
+  if (any_local) {
+    out << "  tile[lid & 255] = fv0;\n";
+    out << "  barrier(CLK_LOCAL_MEM_FENCE);\n";
+  }
+  int line_idx = 0;
+  for (const auto& [p, n] : sections) {
+    for (int i = 0; i < n; ++i) emit_line(out, p, line_idx++);
+  }
+  out << "  result[gid] = fv0 + fv1";
+  if (any_int) out << " + (float)(iv0 + iv1)";
+  out << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+/// Dynamic profile from extracted static counts (unrolled codes: dynamic
+/// mix == static mix), plus per-kernel simulator knobs.
+KernelProfile make_profile(const std::string& name, const clfront::StaticFeatures& f,
+                           std::uint64_t seed) {
+  KernelProfile profile;
+  profile.name = name;
+  // FeatureIndex and OpClass share the paper's component order.
+  for (std::size_t i = 0; i < clfront::kNumFeatures; ++i) {
+    profile.ops[i] = f.counts[i];
+  }
+  const std::uint64_t h = common::hash_combine(seed, common::fnv1a(name));
+  const double mem_intensity =
+      (f.count(FeatureIndex::kGlAccess)) / std::max(1.0, f.total());
+  profile.work_items = mem_intensity > 0.15 ? (1u << 21) : (1u << 20);
+  profile.bytes_per_access = 4.0;
+  profile.cache_hit_rate = 0.15 + 0.35 * common::hash_uniform(h);
+  profile.mem_coalescing = 0.75 + 0.2 * common::hash_uniform(common::mix64(h));
+  profile.overlap_penalty = 0.1 + 0.1 * common::hash_uniform(common::mix64(h ^ 0x11));
+  profile.erratic = 0.25 + 0.5 * common::hash_uniform(common::mix64(h ^ 0x22));
+  return profile;
+}
+
+common::Result<MicroBenchmark> finalize(std::string name, std::string source,
+                                        std::uint64_t seed) {
+  auto features = clfront::extract_features_from_source(source, name);
+  if (!features.ok()) {
+    return common::internal_error("benchgen: generated source for '" + name +
+                                  "' does not compile: " + features.error().message);
+  }
+  MicroBenchmark mb;
+  mb.name = std::move(name);
+  mb.source = std::move(source);
+  mb.features = features.value();
+  mb.profile = make_profile(mb.name, mb.features, seed);
+  return mb;
+}
+
+}  // namespace
+
+const char* pattern_name(Pattern p) noexcept {
+  switch (p) {
+    case Pattern::kIntAdd: return "b-int-add";
+    case Pattern::kIntMul: return "b-int-mul";
+    case Pattern::kIntDiv: return "b-int-div";
+    case Pattern::kIntBw: return "b-int-bw";
+    case Pattern::kFloatAdd: return "b-float-add";
+    case Pattern::kFloatMul: return "b-float-mul";
+    case Pattern::kFloatDiv: return "b-float-div";
+    case Pattern::kSf: return "b-sf";
+    case Pattern::kGlAccess: return "b-gl-access";
+    case Pattern::kLocAccess: return "b-loc-access";
+  }
+  return "?";
+}
+
+std::string pattern_source(Pattern p, int exponent) {
+  std::string name = pattern_name(p);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  name += "_" + std::to_string(exponent);
+  return build_kernel(name, {{p, 1 << exponent}});
+}
+
+common::Result<std::vector<MicroBenchmark>> generate_training_suite(std::uint64_t seed) {
+  std::vector<MicroBenchmark> suite;
+  suite.reserve(kSuiteSize);
+
+  // 10 patterns x 9 intensity levels.
+  for (std::size_t pi = 0; pi < kNumPatterns; ++pi) {
+    const auto p = static_cast<Pattern>(pi);
+    for (int e = 0; e < kIntensityLevels; ++e) {
+      std::string name = pattern_name(p);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      name += "_" + std::to_string(e);
+      auto mb = finalize(name, pattern_source(p, e), seed);
+      if (!mb.ok()) return mb.error();
+      suite.push_back(std::move(mb).take());
+    }
+  }
+
+  // 16 mixed-feature benchmarks combining 2-4 random pattern sections.
+  common::Xoshiro256 rng(seed);
+  for (std::size_t m = 0; m < kNumMixes; ++m) {
+    const int n_sections = 2 + static_cast<int>(rng.uniform_index(3));
+    std::vector<std::pair<Pattern, int>> sections;
+    for (int s = 0; s < n_sections; ++s) {
+      const auto p = static_cast<Pattern>(rng.uniform_index(kNumPatterns));
+      const int lines = 1 << static_cast<int>(rng.uniform_index(7));  // 1 .. 64 lines
+      sections.emplace_back(p, lines);
+    }
+    const std::string name = "b_mix_" + std::to_string(m);
+    auto mb = finalize(name, build_kernel(name, sections), seed);
+    if (!mb.ok()) return mb.error();
+    suite.push_back(std::move(mb).take());
+  }
+
+  return suite;
+}
+
+}  // namespace repro::benchgen

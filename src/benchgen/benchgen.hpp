@@ -1,0 +1,65 @@
+// Pattern-based synthetic training-benchmark generator (paper §3.3).
+//
+// Each pattern targets one component of the static feature vector and
+// produces nine codes of growing instruction intensity (2^0 .. 2^8 copies of
+// the pattern line), giving good coverage of the static feature space.
+// Sixteen additional "mix" codes combine several patterns with randomized
+// intensities. Total: 10 x 9 + 16 = 106 micro-benchmarks, the number the
+// paper trains on.
+//
+// The generated codes are straight-line (fully unrolled), so their dynamic
+// instruction mix equals their static mix — the property that makes them
+// good training codes for a static model. The dynamic execution profile for
+// the simulator is therefore derived directly from the extracted static
+// counts, guaranteeing source/profile consistency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clfront/features.hpp"
+#include "common/status.hpp"
+#include "gpusim/kernel_profile.hpp"
+
+namespace repro::benchgen {
+
+/// One pattern per static feature component.
+enum class Pattern : std::uint8_t {
+  kIntAdd = 0,
+  kIntMul,
+  kIntDiv,
+  kIntBw,
+  kFloatAdd,
+  kFloatMul,
+  kFloatDiv,
+  kSf,
+  kGlAccess,
+  kLocAccess,
+};
+
+inline constexpr std::size_t kNumPatterns = 10;
+inline constexpr int kIntensityLevels = 9;       // 2^0 .. 2^8
+inline constexpr std::size_t kNumMixes = 16;
+inline constexpr std::size_t kSuiteSize =
+    kNumPatterns * static_cast<std::size_t>(kIntensityLevels) + kNumMixes;  // 106
+
+[[nodiscard]] const char* pattern_name(Pattern p) noexcept;
+
+struct MicroBenchmark {
+  std::string name;
+  std::string source;                  // OpenCL-C, parseable by clfront
+  clfront::StaticFeatures features;    // static features of `source`
+  gpusim::KernelProfile profile;       // dynamic profile for the simulator
+};
+
+/// Generate the source of one pattern benchmark at intensity 2^exponent.
+[[nodiscard]] std::string pattern_source(Pattern p, int exponent);
+
+/// Generate the full 106-benchmark training suite. The seed controls the
+/// mix benchmarks and per-kernel simulator knobs; the pattern codes are
+/// fully deterministic.
+[[nodiscard]] common::Result<std::vector<MicroBenchmark>> generate_training_suite(
+    std::uint64_t seed = 0xB1CA1);
+
+}  // namespace repro::benchgen

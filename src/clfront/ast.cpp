@@ -1,0 +1,267 @@
+#include "clfront/ast.hpp"
+
+#include <sstream>
+
+namespace repro::clfront {
+
+namespace {
+
+const char* binary_op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kRem: return "%";
+    case BinaryOp::kBitAnd: return "&";
+    case BinaryOp::kBitOr: return "|";
+    case BinaryOp::kBitXor: return "^";
+    case BinaryOp::kShl: return "<<";
+    case BinaryOp::kShr: return ">>";
+    case BinaryOp::kLogicalAnd: return "&&";
+    case BinaryOp::kLogicalOr: return "||";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+class Dumper {
+ public:
+  explicit Dumper(std::ostringstream& out) : out_(out) {}
+
+  void dump(const TranslationUnit& unit) {
+    for (const auto& f : unit.functions) dump_function(f);
+  }
+
+ private:
+  void indent() {
+    for (int i = 0; i < depth_; ++i) out_ << "  ";
+  }
+
+  void dump_function(const FunctionDecl& f) {
+    indent();
+    out_ << (f.is_kernel ? "kernel " : "") << "function " << f.name << " : "
+         << f.return_type.to_string() << "(";
+    for (std::size_t i = 0; i < f.params.size(); ++i) {
+      if (i != 0) out_ << ", ";
+      out_ << f.params[i].type.to_string() << ' ' << f.params[i].name;
+    }
+    out_ << ")\n";
+    ++depth_;
+    if (f.body) dump_stmt(*f.body);
+    --depth_;
+  }
+
+  void dump_stmt(const Stmt& s) {
+    indent();
+    switch (s.kind) {
+      case StmtKind::kCompound: {
+        out_ << "{\n";
+        ++depth_;
+        for (const auto& child : s.as<CompoundStmt>().body) dump_stmt(*child);
+        --depth_;
+        indent();
+        out_ << "}\n";
+        break;
+      }
+      case StmtKind::kDecl: {
+        out_ << "decl";
+        for (const auto& d : s.as<DeclStmt>().decls) {
+          out_ << ' ' << d.type.to_string() << ' ' << d.name;
+          if (d.array_size > 0) out_ << '[' << d.array_size << ']';
+          if (d.init) {
+            out_ << " = ";
+            dump_expr(*d.init);
+          }
+          out_ << ';';
+        }
+        out_ << '\n';
+        break;
+      }
+      case StmtKind::kExpr:
+        dump_expr(*s.as<ExprStmt>().expr);
+        out_ << '\n';
+        break;
+      case StmtKind::kIf: {
+        const auto& node = s.as<IfStmt>();
+        out_ << "if ";
+        dump_expr(*node.cond);
+        out_ << '\n';
+        ++depth_;
+        dump_stmt(*node.then_stmt);
+        --depth_;
+        if (node.else_stmt) {
+          indent();
+          out_ << "else\n";
+          ++depth_;
+          dump_stmt(*node.else_stmt);
+          --depth_;
+        }
+        break;
+      }
+      case StmtKind::kFor: {
+        const auto& node = s.as<ForStmt>();
+        out_ << "for\n";
+        ++depth_;
+        if (node.init) dump_stmt(*node.init);
+        if (node.cond) {
+          indent();
+          out_ << "cond: ";
+          dump_expr(*node.cond);
+          out_ << '\n';
+        }
+        if (node.step) {
+          indent();
+          out_ << "step: ";
+          dump_expr(*node.step);
+          out_ << '\n';
+        }
+        dump_stmt(*node.body);
+        --depth_;
+        break;
+      }
+      case StmtKind::kWhile: {
+        const auto& node = s.as<WhileStmt>();
+        out_ << "while ";
+        dump_expr(*node.cond);
+        out_ << '\n';
+        ++depth_;
+        dump_stmt(*node.body);
+        --depth_;
+        break;
+      }
+      case StmtKind::kDoWhile: {
+        const auto& node = s.as<DoWhileStmt>();
+        out_ << "do\n";
+        ++depth_;
+        dump_stmt(*node.body);
+        --depth_;
+        indent();
+        out_ << "while ";
+        dump_expr(*node.cond);
+        out_ << '\n';
+        break;
+      }
+      case StmtKind::kReturn:
+        out_ << "return";
+        if (s.as<ReturnStmt>().value) {
+          out_ << ' ';
+          dump_expr(*s.as<ReturnStmt>().value);
+        }
+        out_ << '\n';
+        break;
+      case StmtKind::kBreak: out_ << "break\n"; break;
+      case StmtKind::kContinue: out_ << "continue\n"; break;
+    }
+  }
+
+  void dump_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLiteral:
+        out_ << e.as<IntLiteralExpr>().value;
+        break;
+      case ExprKind::kFloatLiteral:
+        out_ << e.as<FloatLiteralExpr>().value;
+        break;
+      case ExprKind::kVarRef:
+        out_ << e.as<VarRefExpr>().name;
+        break;
+      case ExprKind::kUnary: {
+        const auto& node = e.as<UnaryExpr>();
+        out_ << "(un ";
+        dump_expr(*node.operand);
+        out_ << ')';
+        break;
+      }
+      case ExprKind::kBinary: {
+        const auto& node = e.as<BinaryExpr>();
+        out_ << '(';
+        dump_expr(*node.lhs);
+        out_ << ' ' << binary_op_name(node.op) << ' ';
+        dump_expr(*node.rhs);
+        out_ << ')';
+        break;
+      }
+      case ExprKind::kAssign: {
+        const auto& node = e.as<AssignExpr>();
+        out_ << '(';
+        dump_expr(*node.lhs);
+        out_ << ' ';
+        if (node.op) out_ << binary_op_name(*node.op);
+        out_ << "= ";
+        dump_expr(*node.rhs);
+        out_ << ')';
+        break;
+      }
+      case ExprKind::kConditional: {
+        const auto& node = e.as<ConditionalExpr>();
+        out_ << '(';
+        dump_expr(*node.cond);
+        out_ << " ? ";
+        dump_expr(*node.then_expr);
+        out_ << " : ";
+        dump_expr(*node.else_expr);
+        out_ << ')';
+        break;
+      }
+      case ExprKind::kCall: {
+        const auto& node = e.as<CallExpr>();
+        out_ << node.callee << '(';
+        for (std::size_t i = 0; i < node.args.size(); ++i) {
+          if (i != 0) out_ << ", ";
+          dump_expr(*node.args[i]);
+        }
+        out_ << ')';
+        break;
+      }
+      case ExprKind::kIndex: {
+        const auto& node = e.as<IndexExpr>();
+        dump_expr(*node.base);
+        out_ << '[';
+        dump_expr(*node.index);
+        out_ << ']';
+        break;
+      }
+      case ExprKind::kMember: {
+        const auto& node = e.as<MemberExpr>();
+        dump_expr(*node.base);
+        out_ << '.' << node.member;
+        break;
+      }
+      case ExprKind::kCast: {
+        const auto& node = e.as<CastExpr>();
+        out_ << '(' << node.target.to_string() << ')';
+        dump_expr(*node.operand);
+        break;
+      }
+      case ExprKind::kVectorCtor: {
+        const auto& node = e.as<VectorCtorExpr>();
+        out_ << node.type.to_string() << '(';
+        for (std::size_t i = 0; i < node.args.size(); ++i) {
+          if (i != 0) out_ << ", ";
+          dump_expr(*node.args[i]);
+        }
+        out_ << ')';
+        break;
+      }
+    }
+  }
+
+  std::ostringstream& out_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string dump_ast(const TranslationUnit& unit) {
+  std::ostringstream oss;
+  Dumper(oss).dump(unit);
+  return oss.str();
+}
+
+}  // namespace repro::clfront

@@ -1,0 +1,300 @@
+// Abstract syntax tree of the OpenCL-C subset.
+//
+// Nodes are tagged with a kind enum and down-cast with the checked as<T>()
+// helpers; ownership is strictly tree-shaped via unique_ptr.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clfront/token.hpp"
+#include "clfront/types.hpp"
+
+namespace repro::clfront {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  kIntLiteral,
+  kFloatLiteral,
+  kVarRef,
+  kUnary,
+  kBinary,
+  kAssign,
+  kConditional,
+  kCall,
+  kIndex,
+  kMember,     // vector component access / swizzle
+  kCast,
+  kVectorCtor, // (float4)(a,b,c,d) or float4(a,b,c,d)
+};
+
+struct Expr {
+  explicit Expr(ExprKind kind, SourceLoc loc) : kind(kind), loc(loc) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return static_cast<const T&>(*this);
+  }
+
+  ExprKind kind;
+  SourceLoc loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLiteralExpr final : Expr {
+  IntLiteralExpr(std::uint64_t value, bool is_unsigned, SourceLoc loc)
+      : Expr(ExprKind::kIntLiteral, loc), value(value), is_unsigned(is_unsigned) {}
+  std::uint64_t value;
+  bool is_unsigned;
+};
+
+struct FloatLiteralExpr final : Expr {
+  FloatLiteralExpr(double value, bool is_float32, SourceLoc loc)
+      : Expr(ExprKind::kFloatLiteral, loc), value(value), is_float32(is_float32) {}
+  double value;
+  bool is_float32;
+};
+
+struct VarRefExpr final : Expr {
+  VarRefExpr(std::string name, SourceLoc loc)
+      : Expr(ExprKind::kVarRef, loc), name(std::move(name)) {}
+  std::string name;
+};
+
+enum class UnaryOp : std::uint8_t {
+  kNegate,   // -x
+  kNot,      // !x
+  kBitNot,   // ~x
+  kPreInc, kPreDec, kPostInc, kPostDec,
+};
+
+struct UnaryExpr final : Expr {
+  UnaryExpr(UnaryOp op, ExprPtr operand, SourceLoc loc)
+      : Expr(ExprKind::kUnary, loc), op(op), operand(std::move(operand)) {}
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kLogicalAnd, kLogicalOr,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+};
+
+struct BinaryExpr final : Expr {
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc)
+      : Expr(ExprKind::kBinary, loc), op(op), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// Assignment, optionally compound (op != nullopt means `lhs op= rhs`).
+struct AssignExpr final : Expr {
+  AssignExpr(ExprPtr lhs, ExprPtr rhs, std::optional<BinaryOp> op, SourceLoc loc)
+      : Expr(ExprKind::kAssign, loc), lhs(std::move(lhs)), rhs(std::move(rhs)), op(op) {}
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::optional<BinaryOp> op;
+};
+
+struct ConditionalExpr final : Expr {
+  ConditionalExpr(ExprPtr cond, ExprPtr then_e, ExprPtr else_e, SourceLoc loc)
+      : Expr(ExprKind::kConditional, loc),
+        cond(std::move(cond)),
+        then_expr(std::move(then_e)),
+        else_expr(std::move(else_e)) {}
+  ExprPtr cond;
+  ExprPtr then_expr;
+  ExprPtr else_expr;
+};
+
+struct CallExpr final : Expr {
+  CallExpr(std::string callee, std::vector<ExprPtr> args, SourceLoc loc)
+      : Expr(ExprKind::kCall, loc), callee(std::move(callee)), args(std::move(args)) {}
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+struct IndexExpr final : Expr {
+  IndexExpr(ExprPtr base, ExprPtr index, SourceLoc loc)
+      : Expr(ExprKind::kIndex, loc), base(std::move(base)), index(std::move(index)) {}
+  ExprPtr base;
+  ExprPtr index;
+};
+
+struct MemberExpr final : Expr {
+  MemberExpr(ExprPtr base, std::string member, SourceLoc loc)
+      : Expr(ExprKind::kMember, loc), base(std::move(base)), member(std::move(member)) {}
+  ExprPtr base;
+  std::string member;  // "x", "y", "s0", "xyzw", ...
+};
+
+struct CastExpr final : Expr {
+  CastExpr(Type target, ExprPtr operand, SourceLoc loc)
+      : Expr(ExprKind::kCast, loc), target(target), operand(std::move(operand)) {}
+  Type target;
+  ExprPtr operand;
+};
+
+struct VectorCtorExpr final : Expr {
+  VectorCtorExpr(Type type, std::vector<ExprPtr> args, SourceLoc loc)
+      : Expr(ExprKind::kVectorCtor, loc), type(type), args(std::move(args)) {}
+  Type type;
+  std::vector<ExprPtr> args;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  kCompound,
+  kDecl,
+  kExpr,
+  kIf,
+  kFor,
+  kWhile,
+  kDoWhile,
+  kReturn,
+  kBreak,
+  kContinue,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind kind, SourceLoc loc) : kind(kind), loc(loc) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return static_cast<const T&>(*this);
+  }
+
+  StmtKind kind;
+  SourceLoc loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct CompoundStmt final : Stmt {
+  explicit CompoundStmt(SourceLoc loc) : Stmt(StmtKind::kCompound, loc) {}
+  std::vector<StmtPtr> body;
+};
+
+/// One declared variable; a DeclStmt may declare several.
+struct VarDecl {
+  std::string name;
+  Type type;
+  ExprPtr init;  // may be null
+  /// Array size for local arrays like `__local float tile[256];` (0 = scalar).
+  std::uint64_t array_size = 0;
+};
+
+struct DeclStmt final : Stmt {
+  explicit DeclStmt(SourceLoc loc) : Stmt(StmtKind::kDecl, loc) {}
+  std::vector<VarDecl> decls;
+};
+
+struct ExprStmt final : Stmt {
+  ExprStmt(ExprPtr expr, SourceLoc loc) : Stmt(StmtKind::kExpr, loc), expr(std::move(expr)) {}
+  ExprPtr expr;
+};
+
+struct IfStmt final : Stmt {
+  IfStmt(ExprPtr cond, StmtPtr then_s, StmtPtr else_s, SourceLoc loc)
+      : Stmt(StmtKind::kIf, loc),
+        cond(std::move(cond)),
+        then_stmt(std::move(then_s)),
+        else_stmt(std::move(else_s)) {}
+  ExprPtr cond;
+  StmtPtr then_stmt;
+  StmtPtr else_stmt;  // may be null
+};
+
+struct ForStmt final : Stmt {
+  explicit ForStmt(SourceLoc loc) : Stmt(StmtKind::kFor, loc) {}
+  StmtPtr init;    // DeclStmt or ExprStmt or null
+  ExprPtr cond;    // may be null
+  ExprPtr step;    // may be null
+  StmtPtr body;
+};
+
+struct WhileStmt final : Stmt {
+  WhileStmt(ExprPtr cond, StmtPtr body, SourceLoc loc)
+      : Stmt(StmtKind::kWhile, loc), cond(std::move(cond)), body(std::move(body)) {}
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+struct DoWhileStmt final : Stmt {
+  DoWhileStmt(StmtPtr body, ExprPtr cond, SourceLoc loc)
+      : Stmt(StmtKind::kDoWhile, loc), body(std::move(body)), cond(std::move(cond)) {}
+  StmtPtr body;
+  ExprPtr cond;
+};
+
+struct ReturnStmt final : Stmt {
+  ReturnStmt(ExprPtr value, SourceLoc loc)
+      : Stmt(StmtKind::kReturn, loc), value(std::move(value)) {}
+  ExprPtr value;  // may be null
+};
+
+struct BreakStmt final : Stmt {
+  explicit BreakStmt(SourceLoc loc) : Stmt(StmtKind::kBreak, loc) {}
+};
+
+struct ContinueStmt final : Stmt {
+  explicit ContinueStmt(SourceLoc loc) : Stmt(StmtKind::kContinue, loc) {}
+};
+
+// ---------------------------------------------------------------------------
+// Functions / translation unit
+// ---------------------------------------------------------------------------
+
+struct ParamDecl {
+  std::string name;
+  Type type;
+};
+
+struct FunctionDecl {
+  std::string name;
+  Type return_type;
+  std::vector<ParamDecl> params;
+  std::unique_ptr<CompoundStmt> body;
+  bool is_kernel = false;
+  SourceLoc loc;
+};
+
+struct TranslationUnit {
+  std::vector<FunctionDecl> functions;
+
+  [[nodiscard]] const FunctionDecl* find_kernel(const std::string& name) const noexcept {
+    for (const auto& f : functions) {
+      if (f.is_kernel && f.name == name) return &f;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const FunctionDecl* first_kernel() const noexcept {
+    for (const auto& f : functions) {
+      if (f.is_kernel) return &f;
+    }
+    return nullptr;
+  }
+};
+
+/// Human-readable dump (for tests and debugging).
+[[nodiscard]] std::string dump_ast(const TranslationUnit& unit);
+
+}  // namespace repro::clfront

@@ -1,0 +1,71 @@
+#include "clfront/builtins.hpp"
+
+#include <array>
+#include <string_view>
+
+namespace repro::clfront {
+
+namespace {
+
+constexpr std::array<std::string_view, 8> kRuntime = {
+    "get_global_id", "get_local_id", "get_group_id",   "get_num_groups",
+    "get_global_size", "get_local_size", "get_work_dim", "get_global_offset",
+};
+
+constexpr std::array<std::string_view, 4> kBarrier = {
+    "barrier", "mem_fence", "read_mem_fence", "write_mem_fence"};
+
+constexpr std::array<std::string_view, 34> kSpecial = {
+    "sin",        "cos",        "tan",        "asin",        "acos",
+    "atan",       "atan2",      "sinh",       "cosh",        "tanh",
+    "exp",        "exp2",       "exp10",      "log",         "log2",
+    "log10",      "pow",        "powr",       "pown",        "sqrt",
+    "rsqrt",      "cbrt",       "hypot",      "erf",         "erfc",
+    "sincos",     "native_sin", "native_cos", "native_exp",  "native_log",
+    "native_sqrt", "native_rsqrt", "native_powr", "half_sqrt",
+};
+
+constexpr std::array<std::string_view, 18> kCheap = {
+    "fabs", "fmin",  "fmax",  "floor", "ceil",  "round", "trunc", "sign", "step",
+    "min",  "max",   "abs",   "clamp", "select", "smoothstep", "isnan", "isinf",
+    "fract",
+};
+
+constexpr std::array<std::string_view, 3> kMulAdd = {"fma", "mad", "mix"};
+
+constexpr std::array<std::string_view, 4> kDot = {"dot", "length", "distance",
+                                                  "fast_length"};
+
+constexpr std::array<std::string_view, 6> kAtomic = {
+    "atomic_add", "atomic_sub", "atomic_inc", "atomic_dec", "atomic_xchg",
+    "atomic_cmpxchg"};
+
+template <std::size_t N>
+bool contains(const std::array<std::string_view, N>& set, std::string_view name) {
+  for (const auto& s : set) {
+    if (s == name) return true;
+  }
+  return false;
+}
+
+bool has_prefix(std::string_view name, std::string_view prefix) {
+  return name.size() >= prefix.size() && name.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+BuiltinCategory classify_builtin(const std::string& name) noexcept {
+  const std::string_view n(name);
+  if (contains(kRuntime, n)) return BuiltinCategory::kRuntime;
+  if (contains(kBarrier, n)) return BuiltinCategory::kBarrier;
+  if (contains(kSpecial, n)) return BuiltinCategory::kSpecial;
+  if (contains(kCheap, n)) return BuiltinCategory::kCheapMath;
+  if (contains(kMulAdd, n)) return BuiltinCategory::kMulAdd;
+  if (contains(kDot, n)) return BuiltinCategory::kDot;
+  if (contains(kAtomic, n)) return BuiltinCategory::kAtomic;
+  if (has_prefix(n, "convert_") || has_prefix(n, "as_")) return BuiltinCategory::kConvert;
+  if (has_prefix(n, "vload")) return BuiltinCategory::kNotBuiltin;  // handled in lowering
+  return BuiltinCategory::kNotBuiltin;
+}
+
+}  // namespace repro::clfront

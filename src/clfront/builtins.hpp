@@ -1,0 +1,26 @@
+// Classification of the OpenCL builtin library for lowering: which calls are
+// work-item runtime queries, which are transcendental "special functions"
+// (the paper's k_sf feature), and what arithmetic the cheap math helpers
+// expand to.
+#pragma once
+
+#include <string>
+
+namespace repro::clfront {
+
+enum class BuiltinCategory {
+  kNotBuiltin,   // user-defined function
+  kRuntime,      // get_global_id & friends — no feature contribution
+  kBarrier,      // barrier / mem_fence — synchronization only
+  kSpecial,      // sin, cos, exp, sqrt, pow, native_* ... -> k_sf
+  kCheapMath,    // fabs, fmin, floor, min/max/abs, step ... -> one add-class op
+  kMulAdd,       // fma, mad, mix -> one mul + one add
+  kDot,          // dot/length/distance -> width-dependent mul/add chain
+  kConvert,      // convert_*/as_* reinterpretation — free
+  kAtomic,       // atomic_* -> one global access + one integer op
+};
+
+/// Classify a callee name.
+[[nodiscard]] BuiltinCategory classify_builtin(const std::string& name) noexcept;
+
+}  // namespace repro::clfront

@@ -1,0 +1,130 @@
+#include "clfront/features.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "clfront/lower.hpp"
+#include "clfront/parser.hpp"
+
+namespace repro::clfront {
+
+const char* feature_name(FeatureIndex i) noexcept {
+  switch (i) {
+    case FeatureIndex::kIntAdd: return "int_add";
+    case FeatureIndex::kIntMul: return "int_mul";
+    case FeatureIndex::kIntDiv: return "int_div";
+    case FeatureIndex::kIntBw: return "int_bw";
+    case FeatureIndex::kFloatAdd: return "float_add";
+    case FeatureIndex::kFloatMul: return "float_mul";
+    case FeatureIndex::kFloatDiv: return "float_div";
+    case FeatureIndex::kSf: return "sf";
+    case FeatureIndex::kGlAccess: return "gl_access";
+    case FeatureIndex::kLocAccess: return "loc_access";
+  }
+  return "?";
+}
+
+double StaticFeatures::total() const noexcept {
+  double acc = 0.0;
+  for (double c : counts) acc += c;
+  return acc;
+}
+
+std::array<double, kNumFeatures> StaticFeatures::normalized() const noexcept {
+  std::array<double, kNumFeatures> out{};
+  const double t = total();
+  if (t <= 0.0) return out;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) out[i] = counts[i] / t;
+  return out;
+}
+
+std::string StaticFeatures::to_string() const {
+  std::ostringstream oss;
+  oss << kernel_name << ": ";
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    if (i != 0) oss << ' ';
+    oss << feature_name(static_cast<FeatureIndex>(i)) << '=' << counts[i];
+  }
+  return oss.str();
+}
+
+namespace {
+
+std::optional<FeatureIndex> feature_of(Opcode op) {
+  switch (op) {
+    case Opcode::kIAdd: return FeatureIndex::kIntAdd;
+    case Opcode::kIMul: return FeatureIndex::kIntMul;
+    case Opcode::kIDiv: return FeatureIndex::kIntDiv;
+    case Opcode::kIBitwise: return FeatureIndex::kIntBw;
+    case Opcode::kFAdd: return FeatureIndex::kFloatAdd;
+    case Opcode::kFMul: return FeatureIndex::kFloatMul;
+    case Opcode::kFDiv: return FeatureIndex::kFloatDiv;
+    case Opcode::kSpecialFn: return FeatureIndex::kSf;
+    case Opcode::kGlobalLoad:
+    case Opcode::kGlobalStore: return FeatureIndex::kGlAccess;
+    case Opcode::kLocalLoad:
+    case Opcode::kLocalStore: return FeatureIndex::kLocAccess;
+    default: return std::nullopt;
+  }
+}
+
+common::Status accumulate(const IrModule& module, const IrFunction& fn,
+                          std::array<double, kNumFeatures>& counts,
+                          std::set<std::string>& call_chain) {
+  if (!call_chain.insert(fn.name).second) {
+    return common::internal_error("recursive call chain through '" + fn.name + "'");
+  }
+  for (const auto& inst : fn.body) {
+    if (const auto f = feature_of(inst.op)) {
+      counts[static_cast<std::size_t>(*f)] += static_cast<double>(inst.width);
+      continue;
+    }
+    if (inst.op == Opcode::kCall) {
+      const IrFunction* callee = module.find(inst.detail);
+      if (callee == nullptr) {
+        return common::not_found("callee '" + inst.detail + "' not in module");
+      }
+      if (auto st = accumulate(module, *callee, counts, call_chain); !st.ok()) return st;
+    }
+  }
+  call_chain.erase(fn.name);
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+common::Result<StaticFeatures> extract_features(const IrModule& module,
+                                                const std::string& kernel) {
+  const IrFunction* fn = nullptr;
+  if (kernel.empty()) {
+    for (const auto& f : module.functions) {
+      if (f.is_kernel) {
+        fn = &f;
+        break;
+      }
+    }
+    if (fn == nullptr) return common::not_found("module contains no kernel function");
+  } else {
+    fn = module.find(kernel);
+    if (fn == nullptr) return common::not_found("kernel '" + kernel + "' not in module");
+  }
+
+  StaticFeatures features;
+  features.kernel_name = fn->name;
+  std::set<std::string> chain;
+  if (auto st = accumulate(module, *fn, features.counts, chain); !st.ok()) {
+    return st.error();
+  }
+  return features;
+}
+
+common::Result<StaticFeatures> extract_features_from_source(const std::string& source,
+                                                            const std::string& kernel) {
+  auto unit = parse_opencl(source);
+  if (!unit.ok()) return unit.error();
+  auto module = lower_to_ir(unit.value());
+  if (!module.ok()) return module.error();
+  return extract_features(module.value(), kernel);
+}
+
+}  // namespace repro::clfront

@@ -1,0 +1,66 @@
+// Static feature extraction — the stand-in for the paper's LLVM pass (§3.2).
+//
+// The 10-dimensional static feature vector of a kernel:
+//   k = (int_add, int_mul, int_div, int_bw,
+//        float_add, float_mul, float_div, sf,
+//        gl_access, loc_access)
+// Counts are static (each IR instruction once, width-weighted) and
+// normalized over the total number of counted instructions, so kernels with
+// the same arithmetic intensity but different sizes share a representation.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "clfront/ir.hpp"
+#include "common/status.hpp"
+
+namespace repro::clfront {
+
+inline constexpr std::size_t kNumFeatures = 10;
+
+/// Feature indices (the order of the paper's vector).
+enum class FeatureIndex : std::size_t {
+  kIntAdd = 0,
+  kIntMul,
+  kIntDiv,
+  kIntBw,
+  kFloatAdd,
+  kFloatMul,
+  kFloatDiv,
+  kSf,
+  kGlAccess,
+  kLocAccess,
+};
+
+[[nodiscard]] const char* feature_name(FeatureIndex i) noexcept;
+
+struct StaticFeatures {
+  std::string kernel_name;
+  /// Raw width-weighted static counts.
+  std::array<double, kNumFeatures> counts{};
+
+  [[nodiscard]] double count(FeatureIndex i) const noexcept {
+    return counts[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] double total() const noexcept;
+
+  /// Counts normalized over the total (all-zero when total == 0).
+  [[nodiscard]] std::array<double, kNumFeatures> normalized() const noexcept;
+
+  /// Compact printable form (for logs / tests).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Extract features from a lowered module for one kernel. Calls to user
+/// functions are resolved by adding the callee's counts at each call site
+/// (recursively, with a cycle guard) — the static analogue of inlining.
+[[nodiscard]] common::Result<StaticFeatures> extract_features(const IrModule& module,
+                                                              const std::string& kernel);
+
+/// Convenience: parse + lower + extract in one step. With an empty kernel
+/// name the first __kernel function in the source is used.
+[[nodiscard]] common::Result<StaticFeatures> extract_features_from_source(
+    const std::string& source, const std::string& kernel = "");
+
+}  // namespace repro::clfront

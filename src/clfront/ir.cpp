@@ -1,0 +1,118 @@
+#include "clfront/ir.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace repro::clfront {
+
+const char* opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kIAdd: return "iadd";
+    case Opcode::kIMul: return "imul";
+    case Opcode::kIDiv: return "idiv";
+    case Opcode::kIBitwise: return "ibw";
+    case Opcode::kFAdd: return "fadd";
+    case Opcode::kFMul: return "fmul";
+    case Opcode::kFDiv: return "fdiv";
+    case Opcode::kSpecialFn: return "sf";
+    case Opcode::kGlobalLoad: return "gload";
+    case Opcode::kGlobalStore: return "gstore";
+    case Opcode::kLocalLoad: return "lload";
+    case Opcode::kLocalStore: return "lstore";
+    case Opcode::kCast: return "cast";
+    case Opcode::kRuntime: return "runtime";
+    case Opcode::kBarrier: return "barrier";
+    case Opcode::kCall: return "call";
+    case Opcode::kBr: return "br";
+    case Opcode::kCondBr: return "condbr";
+    case Opcode::kLabel: return "label";
+    case Opcode::kRet: return "ret";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_feature_opcode(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kIAdd:
+    case Opcode::kIMul:
+    case Opcode::kIDiv:
+    case Opcode::kIBitwise:
+    case Opcode::kFAdd:
+    case Opcode::kFMul:
+    case Opcode::kFDiv:
+    case Opcode::kSpecialFn:
+    case Opcode::kGlobalLoad:
+    case Opcode::kGlobalStore:
+    case Opcode::kLocalLoad:
+    case Opcode::kLocalStore:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+double IrFunction::feature_instruction_count() const noexcept {
+  double acc = 0.0;
+  for (const auto& inst : body) {
+    if (is_feature_opcode(inst.op)) acc += static_cast<double>(inst.width);
+  }
+  return acc;
+}
+
+common::Status verify_ir(const IrModule& module) {
+  for (const auto& fn : module.functions) {
+    std::set<std::string> labels;
+    for (const auto& inst : fn.body) {
+      if (inst.width <= 0) {
+        return common::internal_error("ir verify: non-positive width in " + fn.name);
+      }
+      if (inst.op == Opcode::kLabel) labels.insert(inst.detail);
+    }
+    for (const auto& inst : fn.body) {
+      if (inst.op == Opcode::kBr || inst.op == Opcode::kCondBr) {
+        // CondBr detail: "then,else" — every referenced label must exist.
+        std::string rest = inst.detail;
+        while (!rest.empty()) {
+          const auto comma = rest.find(',');
+          const std::string label = rest.substr(0, comma);
+          if (!label.empty() && labels.count(label) == 0) {
+            return common::internal_error("ir verify: branch to unknown label '" + label +
+                                          "' in " + fn.name);
+          }
+          if (comma == std::string::npos) break;
+          rest = rest.substr(comma + 1);
+        }
+      }
+      if (inst.op == Opcode::kCall && module.find(inst.detail) == nullptr) {
+        return common::internal_error("ir verify: call to unknown function '" +
+                                      inst.detail + "' in " + fn.name);
+      }
+    }
+  }
+  return common::Status::Ok();
+}
+
+std::string dump_ir(const IrModule& module) {
+  std::ostringstream oss;
+  for (const auto& fn : module.functions) {
+    oss << (fn.is_kernel ? "kernel " : "") << "func @" << fn.name << " {\n";
+    for (const auto& inst : fn.body) {
+      if (inst.op == Opcode::kLabel) {
+        oss << inst.detail << ":\n";
+        continue;
+      }
+      oss << "  " << opcode_name(inst.op);
+      if (inst.width > 1) oss << " x" << inst.width;
+      if (!inst.detail.empty()) oss << " @" << inst.detail;
+      oss << '\n';
+    }
+    oss << "}\n";
+  }
+  return oss.str();
+}
+
+}  // namespace repro::clfront

@@ -1,0 +1,84 @@
+// Three-address-style intermediate representation.
+//
+// The frontend lowers the AST to a linear instruction stream per function;
+// the feature-extraction pass (the stand-in for the paper's LLVM pass) then
+// counts instructions by class. Control flow is represented with labels and
+// branches so the IR is a faithful, inspectable program form — but feature
+// extraction is purely static: loop bodies count once, exactly like a static
+// pass over LLVM IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clfront/token.hpp"
+#include "common/status.hpp"
+
+namespace repro::clfront {
+
+enum class Opcode : std::uint8_t {
+  // Feature-carrying instruction classes (paper §3.2).
+  kIAdd,        // integer add/sub/compare
+  kIMul,
+  kIDiv,        // integer div/rem
+  kIBitwise,    // and/or/xor/shifts/not
+  kFAdd,        // float add/sub/compare/abs-like
+  kFMul,
+  kFDiv,
+  kSpecialFn,   // transcendental / sqrt family
+  kGlobalLoad,
+  kGlobalStore,
+  kLocalLoad,
+  kLocalStore,
+  // Neutral instructions (no feature contribution).
+  kCast,
+  kRuntime,     // work-item geometry queries
+  kBarrier,
+  kCall,        // user function call (callee name attached)
+  kBr,
+  kCondBr,
+  kLabel,
+  kRet,
+};
+
+[[nodiscard]] const char* opcode_name(Opcode op) noexcept;
+
+struct Instruction {
+  Opcode op = Opcode::kIAdd;
+  /// Vector width of the operation (a float4 add counts as 4 float adds).
+  int width = 1;
+  /// Callee for kCall, label id for kBr/kCondBr/kLabel (as text).
+  std::string detail;
+  SourceLoc loc;
+};
+
+struct IrFunction {
+  std::string name;
+  bool is_kernel = false;
+  std::vector<Instruction> body;
+
+  /// Number of instructions carrying a feature class, width-weighted.
+  [[nodiscard]] double feature_instruction_count() const noexcept;
+};
+
+struct IrModule {
+  std::vector<IrFunction> functions;
+
+  [[nodiscard]] const IrFunction* find(const std::string& name) const noexcept {
+    for (const auto& f : functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+/// Sanity checks: labels referenced by branches exist, calls reference
+/// functions of the module or known builtins are absent (already lowered),
+/// widths positive.
+[[nodiscard]] common::Status verify_ir(const IrModule& module);
+
+/// Printable listing.
+[[nodiscard]] std::string dump_ir(const IrModule& module);
+
+}  // namespace repro::clfront

@@ -1,0 +1,306 @@
+#include "clfront/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace repro::clfront {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "kernel",   "__kernel",   "global",   "__global", "local",    "__local",
+    "constant", "__constant", "private",  "__private", "const",   "restrict",
+    "volatile", "void",       "bool",     "char",     "uchar",    "short",
+    "ushort",   "int",        "uint",     "long",     "ulong",    "float",
+    "double",   "half",       "size_t",   "if",       "else",     "for",
+    "while",    "do",         "return",   "break",    "continue", "struct",
+    "unsigned", "signed",
+};
+
+}  // namespace
+
+bool is_keyword(const std::string& word) noexcept {
+  for (const char* k : kKeywords) {
+    if (word == k) return true;
+  }
+  return false;
+}
+
+const char* token_kind_name(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::kEof: return "<eof>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kLBracket: return "[";
+    case TokenKind::kRBracket: return "]";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kSemicolon: return ";";
+    case TokenKind::kColon: return ":";
+    case TokenKind::kQuestion: return "?";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kAmp: return "&";
+    case TokenKind::kPipe: return "|";
+    case TokenKind::kCaret: return "^";
+    case TokenKind::kTilde: return "~";
+    case TokenKind::kShl: return "<<";
+    case TokenKind::kShr: return ">>";
+    case TokenKind::kAmpAmp: return "&&";
+    case TokenKind::kPipePipe: return "||";
+    case TokenKind::kBang: return "!";
+    case TokenKind::kAssign: return "=";
+    case TokenKind::kPlusAssign: return "+=";
+    case TokenKind::kMinusAssign: return "-=";
+    case TokenKind::kStarAssign: return "*=";
+    case TokenKind::kSlashAssign: return "/=";
+    case TokenKind::kPercentAssign: return "%=";
+    case TokenKind::kAmpAssign: return "&=";
+    case TokenKind::kPipeAssign: return "|=";
+    case TokenKind::kCaretAssign: return "^=";
+    case TokenKind::kShlAssign: return "<<=";
+    case TokenKind::kShrAssign: return ">>=";
+    case TokenKind::kEq: return "==";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kPlusPlus: return "++";
+    case TokenKind::kMinusMinus: return "--";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kArrow: return "->";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+
+char Lexer::peek(std::size_t ahead) const noexcept {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() noexcept {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++loc_.line;
+    loc_.column = 1;
+  } else {
+    ++loc_.column;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) noexcept {
+  if (at_end() || src_[pos_] != expected) return false;
+  advance();
+  return true;
+}
+
+common::Error Lexer::error_here(const std::string& msg) const {
+  return common::parse_error("line " + std::to_string(loc_.line) + ":" +
+                             std::to_string(loc_.column) + ": " + msg);
+}
+
+Token Lexer::make(TokenKind kind) const {
+  Token t;
+  t.kind = kind;
+  t.loc = token_start_;
+  return t;
+}
+
+common::Result<Token> Lexer::lex_number() {
+  const std::size_t start = pos_;
+  bool is_float = false;
+  bool is_hex = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    is_hex = true;
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())) != 0) advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0) {
+      is_float = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
+    } else if (peek() == '.') {
+      is_float = true;
+      advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_float = true;
+      advance();
+      if (peek() == '+' || peek() == '-') advance();
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        return error_here("malformed exponent in float literal");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
+    }
+  }
+
+  std::string text = src_.substr(start, pos_ - start);
+  Token t = make(is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral);
+  t.text = text;
+
+  if (is_float) {
+    t.float_value = std::strtod(text.c_str(), nullptr);
+    t.is_float32 = false;
+    if (peek() == 'f' || peek() == 'F') {
+      advance();
+      t.is_float32 = true;
+    }
+  } else {
+    t.int_value = std::strtoull(text.c_str(), nullptr, is_hex ? 16 : 10);
+    // OpenCL suffixes: u, U, l, L and combinations.
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') {
+      if (peek() == 'u' || peek() == 'U') t.is_unsigned = true;
+      advance();
+    }
+    // "1.f"-style handled above; "1f" is invalid in C but accept gracefully.
+    if (peek() == 'f' || peek() == 'F') {
+      advance();
+      t.kind = TokenKind::kFloatLiteral;
+      t.float_value = static_cast<double>(t.int_value);
+      t.is_float32 = true;
+    }
+  }
+  return t;
+}
+
+Token Lexer::lex_identifier() {
+  const std::size_t start = pos_;
+  while (std::isalnum(static_cast<unsigned char>(peek())) != 0 || peek() == '_') advance();
+  Token t = make(TokenKind::kIdentifier);
+  t.text = src_.substr(start, pos_ - start);
+  if (is_keyword(t.text)) t.kind = TokenKind::kKeyword;
+  return t;
+}
+
+common::Result<std::vector<Token>> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  while (!at_end()) {
+    token_start_ = loc_;
+    const char c = peek();
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    // Preprocessor lines (e.g. #pragma OPENCL EXTENSION ...) are skipped.
+    if (c == '#' && loc_.column == 1) {
+      while (!at_end() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (at_end()) return error_here("unterminated block comment");
+      advance();
+      advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      auto tok = lex_number();
+      if (!tok.ok()) return tok.error();
+      tokens.push_back(std::move(tok).take());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      tokens.push_back(lex_identifier());
+      continue;
+    }
+
+    advance();
+    switch (c) {
+      case '(': tokens.push_back(make(TokenKind::kLParen)); break;
+      case ')': tokens.push_back(make(TokenKind::kRParen)); break;
+      case '{': tokens.push_back(make(TokenKind::kLBrace)); break;
+      case '}': tokens.push_back(make(TokenKind::kRBrace)); break;
+      case '[': tokens.push_back(make(TokenKind::kLBracket)); break;
+      case ']': tokens.push_back(make(TokenKind::kRBracket)); break;
+      case ',': tokens.push_back(make(TokenKind::kComma)); break;
+      case ';': tokens.push_back(make(TokenKind::kSemicolon)); break;
+      case ':': tokens.push_back(make(TokenKind::kColon)); break;
+      case '?': tokens.push_back(make(TokenKind::kQuestion)); break;
+      case '~': tokens.push_back(make(TokenKind::kTilde)); break;
+      case '.': tokens.push_back(make(TokenKind::kDot)); break;
+      case '+':
+        if (match('+')) tokens.push_back(make(TokenKind::kPlusPlus));
+        else if (match('=')) tokens.push_back(make(TokenKind::kPlusAssign));
+        else tokens.push_back(make(TokenKind::kPlus));
+        break;
+      case '-':
+        if (match('-')) tokens.push_back(make(TokenKind::kMinusMinus));
+        else if (match('=')) tokens.push_back(make(TokenKind::kMinusAssign));
+        else if (match('>')) tokens.push_back(make(TokenKind::kArrow));
+        else tokens.push_back(make(TokenKind::kMinus));
+        break;
+      case '*':
+        tokens.push_back(make(match('=') ? TokenKind::kStarAssign : TokenKind::kStar));
+        break;
+      case '/':
+        tokens.push_back(make(match('=') ? TokenKind::kSlashAssign : TokenKind::kSlash));
+        break;
+      case '%':
+        tokens.push_back(make(match('=') ? TokenKind::kPercentAssign : TokenKind::kPercent));
+        break;
+      case '&':
+        if (match('&')) tokens.push_back(make(TokenKind::kAmpAmp));
+        else if (match('=')) tokens.push_back(make(TokenKind::kAmpAssign));
+        else tokens.push_back(make(TokenKind::kAmp));
+        break;
+      case '|':
+        if (match('|')) tokens.push_back(make(TokenKind::kPipePipe));
+        else if (match('=')) tokens.push_back(make(TokenKind::kPipeAssign));
+        else tokens.push_back(make(TokenKind::kPipe));
+        break;
+      case '^':
+        tokens.push_back(make(match('=') ? TokenKind::kCaretAssign : TokenKind::kCaret));
+        break;
+      case '!':
+        tokens.push_back(make(match('=') ? TokenKind::kNe : TokenKind::kBang));
+        break;
+      case '=':
+        tokens.push_back(make(match('=') ? TokenKind::kEq : TokenKind::kAssign));
+        break;
+      case '<':
+        if (match('<')) {
+          tokens.push_back(make(match('=') ? TokenKind::kShlAssign : TokenKind::kShl));
+        } else {
+          tokens.push_back(make(match('=') ? TokenKind::kLe : TokenKind::kLt));
+        }
+        break;
+      case '>':
+        if (match('>')) {
+          tokens.push_back(make(match('=') ? TokenKind::kShrAssign : TokenKind::kShr));
+        } else {
+          tokens.push_back(make(match('=') ? TokenKind::kGe : TokenKind::kGt));
+        }
+        break;
+      default:
+        return error_here(std::string("unexpected character '") + c + "'");
+    }
+  }
+  token_start_ = loc_;
+  tokens.push_back(make(TokenKind::kEof));
+  return tokens;
+}
+
+}  // namespace repro::clfront

@@ -1,0 +1,40 @@
+// Hand-written lexer for the OpenCL-C subset. Handles line/block comments,
+// preprocessor-line skipping (#pragma etc.), integer/float literals with
+// OpenCL suffixes, and all multi-character operators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clfront/token.hpp"
+#include "common/status.hpp"
+
+namespace repro::clfront {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string source);
+
+  /// Tokenize the whole input. Fails on unterminated comments or malformed
+  /// literals; the error message carries the source location.
+  [[nodiscard]] common::Result<std::vector<Token>> tokenize();
+
+ private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept;
+  char advance() noexcept;
+  [[nodiscard]] bool match(char expected) noexcept;
+
+  [[nodiscard]] common::Result<Token> lex_number();
+  [[nodiscard]] Token lex_identifier();
+
+  [[nodiscard]] common::Error error_here(const std::string& msg) const;
+  [[nodiscard]] Token make(TokenKind kind) const;
+
+  std::string src_;
+  std::size_t pos_ = 0;
+  SourceLoc loc_{};
+  SourceLoc token_start_{};
+};
+
+}  // namespace repro::clfront

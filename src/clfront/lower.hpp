@@ -1,0 +1,21 @@
+// AST -> IR lowering with lightweight type inference.
+//
+// The lowering pass assigns every expression a type (OpenCL's usual
+// arithmetic conversions), expands vector operations into width-weighted
+// instructions, classifies memory accesses by address space, and maps the
+// OpenCL builtin library onto the instruction classes of the paper's
+// feature vector. Loop bodies are emitted once — the counts are static.
+#pragma once
+
+#include "clfront/ast.hpp"
+#include "clfront/ir.hpp"
+#include "common/status.hpp"
+
+namespace repro::clfront {
+
+/// Lower a parsed translation unit to IR. Produces one IrFunction per
+/// function declaration. Fails on undeclared identifiers, calls to unknown
+/// functions, or unsupported constructs.
+[[nodiscard]] common::Result<IrModule> lower_to_ir(const TranslationUnit& unit);
+
+}  // namespace repro::clfront

@@ -1,0 +1,69 @@
+// Recursive-descent parser for the OpenCL-C subset.
+//
+// Supported constructs: kernel/helper function definitions, OpenCL address-
+// space and access qualifiers, scalar/vector types and pointers, the full C
+// expression grammar (without the comma operator), declarations with
+// initializers, if/for/while/do-while/return/break/continue, vector literals
+// `(float4)(...)` and constructor calls `float4(...)`, and calls to the
+// OpenCL builtin library (work-item queries, math, synchronization).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clfront/ast.hpp"
+#include "clfront/lexer.hpp"
+#include "common/status.hpp"
+
+namespace repro::clfront {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  /// Parse a translation unit; returns a parse error with location info on
+  /// the first syntax problem.
+  [[nodiscard]] common::Result<TranslationUnit> parse_translation_unit();
+
+ private:
+  struct ParseError {
+    common::Error error;
+  };
+
+  // Token stream helpers.
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const noexcept;
+  const Token& advance() noexcept;
+  [[nodiscard]] bool check(TokenKind kind) const noexcept;
+  [[nodiscard]] bool check_keyword(const std::string& kw) const noexcept;
+  bool match(TokenKind kind) noexcept;
+  bool match_keyword(const std::string& kw) noexcept;
+  const Token& expect(TokenKind kind, const std::string& what);
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  // Types.
+  [[nodiscard]] bool looks_like_type_start(std::size_t ahead = 0) const noexcept;
+  Type parse_type();  // qualifiers + scalar/vector + optional '*'
+
+  // Declarations.
+  FunctionDecl parse_function();
+  std::unique_ptr<CompoundStmt> parse_compound();
+  StmtPtr parse_statement();
+  StmtPtr parse_declaration();  // after lookahead confirmed a type
+
+  // Expressions (precedence climbing).
+  ExprPtr parse_expression();   // assignment level
+  ExprPtr parse_assignment();
+  ExprPtr parse_conditional();
+  ExprPtr parse_binary(int min_prec);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: lex + parse a source string.
+[[nodiscard]] common::Result<TranslationUnit> parse_opencl(const std::string& source);
+
+}  // namespace repro::clfront

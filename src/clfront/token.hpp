@@ -1,0 +1,49 @@
+// Token vocabulary of the OpenCL-C subset accepted by the frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace repro::clfront {
+
+enum class TokenKind : std::uint8_t {
+  kEof,
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kFloatLiteral,
+  // Punctuation / operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon, kColon, kQuestion,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kShl, kShr,
+  kAmpAmp, kPipePipe, kBang,
+  kAssign, kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kPercentAssign,
+  kAmpAssign, kPipeAssign, kCaretAssign, kShlAssign, kShrAssign,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kPlusPlus, kMinusMinus,
+  kDot, kArrow,
+};
+
+[[nodiscard]] const char* token_kind_name(TokenKind kind) noexcept;
+
+/// Source location (1-based line/column).
+struct SourceLoc {
+  int line = 1;
+  int column = 1;
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;        // identifier/keyword spelling or literal text
+  std::uint64_t int_value = 0;
+  double float_value = 0.0;
+  bool is_unsigned = false;   // integer literal had a 'u' suffix
+  bool is_float32 = true;     // float literal had an 'f' suffix (else double)
+  SourceLoc loc;
+};
+
+/// True if `word` is a reserved keyword of the accepted subset.
+[[nodiscard]] bool is_keyword(const std::string& word) noexcept;
+
+}  // namespace repro::clfront

@@ -1,0 +1,127 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace repro::common {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Split one CSV line honouring quotes.
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+void CsvDocument::add_row(const std::vector<double>& row, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (double v : row) fields.push_back(format_double(v, precision));
+  rows_.push_back(std::move(fields));
+}
+
+Result<std::size_t> CsvDocument::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return not_found("csv column '" + name + "'");
+}
+
+std::string CsvDocument::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i != 0) oss << ',';
+    oss << quote(header_[i]);
+  }
+  oss << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) oss << ',';
+      oss << quote(row[i]);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+Status CsvDocument::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return io_error("cannot open for write: " + path);
+  out << to_string();
+  if (!out) return io_error("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<CsvDocument> CsvDocument::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return io_error("cannot open for read: " + path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return parse(oss.str());
+}
+
+Result<CsvDocument> CsvDocument::parse(const std::string& text) {
+  std::istringstream iss(text);
+  std::string line;
+  CsvDocument doc;
+  bool first = true;
+  while (std::getline(iss, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && iss.eof()) break;
+    auto fields = split_csv_line(line);
+    if (first) {
+      doc.header_ = std::move(fields);
+      first = false;
+    } else {
+      doc.rows_.push_back(std::move(fields));
+    }
+  }
+  if (first) return parse_error("empty csv document");
+  return doc;
+}
+
+}  // namespace repro::common

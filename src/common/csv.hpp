@@ -1,0 +1,45 @@
+// Minimal CSV writer/reader used to persist experiment data
+// (benchmark harnesses dump their series next to the printed tables so the
+// figures can be re-plotted outside the binary).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace repro::common {
+
+/// Row-oriented CSV document with a single header row.
+class CsvDocument {
+ public:
+  CsvDocument() = default;
+  explicit CsvDocument(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: add a row of doubles formatted with the given precision.
+  void add_row(const std::vector<double>& row, int precision = 6);
+
+  /// Column index by header name.
+  [[nodiscard]] Result<std::size_t> column_index(const std::string& name) const;
+
+  /// Serialise; fields containing separators/quotes are quoted.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] Status save(const std::string& path) const;
+  [[nodiscard]] static Result<CsvDocument> load(const std::string& path);
+  [[nodiscard]] static Result<CsvDocument> parse(const std::string& text);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace repro::common

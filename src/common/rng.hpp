@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic elements in the library (noise injection in the GPU
+// simulator, training-set sampling, test data generation) flow through these
+// generators so every experiment is bit-reproducible from a seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro::common {
+
+/// SplitMix64: used for seeding and stateless hashing (hash-to-noise).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix; suitable to derive deterministic per-item noise
+/// from structured keys (e.g. hash(kernel_id, core_mhz, mem_mhz)).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Combine two hashes (order-dependent).
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// FNV-1a over a string, for keying noise by kernel name.
+[[nodiscard]] std::uint64_t fnv1a(const char* data, std::size_t n) noexcept;
+[[nodiscard]] std::uint64_t fnv1a(const std::string& s) noexcept;
+
+/// xoshiro256** — fast, high-quality general-purpose generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n) — n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Standard normal via Box–Muller (cached spare value).
+  double gaussian() noexcept;
+  /// Normal with given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Deterministic "noise oracle": maps an arbitrary key to a zero-mean,
+/// unit-variance pseudo-Gaussian value. Same key -> same value, forever.
+/// Used by the GPU simulator so that repeated measurements of the same
+/// (kernel, frequency) point agree, as they would on warmed-up hardware.
+[[nodiscard]] double hash_gaussian(std::uint64_t key) noexcept;
+
+/// Uniform in [0,1) from a key (stateless).
+[[nodiscard]] double hash_uniform(std::uint64_t key) noexcept;
+
+}  // namespace repro::common

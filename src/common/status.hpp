@@ -1,0 +1,132 @@
+// Lightweight error-handling vocabulary used across the library.
+//
+// We deliberately avoid exceptions on hot paths (Per-rules of the C++ Core
+// Guidelines); fallible constructors and parsers return Result<T> instead.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace repro::common {
+
+/// Error category used across subsystems.
+enum class ErrorCode {
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kParseError,
+  kTypeError,
+  kUnsupported,
+  kInternal,
+  kIo,
+};
+
+/// Human-readable label for an ErrorCode.
+constexpr const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kTypeError: return "type_error";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kIo: return "io";
+  }
+  return "unknown";
+}
+
+/// An error with a code and a message. Cheap to move, printable.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(common::to_string(code)) + ": " + message;
+  }
+};
+
+/// Minimal expected-like type (std::expected is C++23; we target C++20).
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from both value and error keeps call sites terse.
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Access the value; throws std::logic_error when holding an error.
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Result::value on error: " + error().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::logic_error("Result::take on error: " + error().to_string());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const& {
+    return std::get<Error>(data_);
+  }
+
+  /// Value or a fallback when holding an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialisation for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Error& error() const { return *error_; }
+
+  static Status Ok() { return Status(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience factories.
+inline Error invalid_argument(std::string msg) {
+  return Error{ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Error out_of_range(std::string msg) {
+  return Error{ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Error not_found(std::string msg) {
+  return Error{ErrorCode::kNotFound, std::move(msg)};
+}
+inline Error parse_error(std::string msg) {
+  return Error{ErrorCode::kParseError, std::move(msg)};
+}
+inline Error type_error(std::string msg) {
+  return Error{ErrorCode::kTypeError, std::move(msg)};
+}
+inline Error unsupported(std::string msg) {
+  return Error{ErrorCode::kUnsupported, std::move(msg)};
+}
+inline Error internal_error(std::string msg) {
+  return Error{ErrorCode::kInternal, std::move(msg)};
+}
+inline Error io_error(std::string msg) {
+  return Error{ErrorCode::kIo, std::move(msg)};
+}
+
+}  // namespace repro::common

@@ -1,0 +1,19 @@
+// Small string helpers used by the CSV reader, table printer and frontend.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::common {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Fixed-precision formatting (printf "%.*f") without iostream state leaks.
+[[nodiscard]] std::string format_double(double v, int precision);
+
+}  // namespace repro::common

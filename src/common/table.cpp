@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace repro::common {
+
+TablePrinter::TablePrinter(std::vector<std::string> header, std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {
+  if (aligns_.empty()) aligns_.assign(header_.size(), Align::kLeft);
+  aligns_.resize(header_.size(), Align::kLeft);
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto render_sep = [&] {
+    std::string s = "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  };
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      const std::size_t pad = widths[c] - cell.size();
+      s += ' ';
+      if (aligns_[c] == Align::kRight) s += std::string(pad, ' ') + cell;
+      else s += cell + std::string(pad, ' ');
+      s += " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out = render_sep();
+  out += render_row(header_);
+  out += render_sep();
+  for (const auto& row : rows_) {
+    if (row.empty()) out += render_sep();
+    else out += render_row(row);
+  }
+  out += render_sep();
+  return out;
+}
+
+void TablePrinter::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace repro::common

@@ -1,0 +1,36 @@
+// ASCII table printer: the benchmark harnesses print paper-style tables
+// (e.g. Table 2) through this, so all experiment output is uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace repro::common {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows, then renders with per-column width computation.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header,
+                        std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> row);
+
+  /// Insert a horizontal separator after the last added row.
+  void add_separator();
+
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector => separator
+};
+
+}  // namespace repro::common

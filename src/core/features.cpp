@@ -1,0 +1,49 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::core {
+
+FeatureAssembler::FeatureAssembler(const gpusim::FrequencyDomain& domain)
+    : core_min_(1e18), core_max_(-1e18), mem_min_(1e18), mem_max_(-1e18) {
+  for (const auto& config : domain.all_actual()) {
+    core_min_ = std::min(core_min_, static_cast<double>(config.core_mhz));
+    core_max_ = std::max(core_max_, static_cast<double>(config.core_mhz));
+    mem_min_ = std::min(mem_min_, static_cast<double>(config.mem_mhz));
+    mem_max_ = std::max(mem_max_, static_cast<double>(config.mem_mhz));
+  }
+  if (core_min_ >= core_max_ || mem_min_ > mem_max_) {
+    throw std::invalid_argument("FeatureAssembler: degenerate frequency domain");
+  }
+}
+
+FeatureAssembler::FeatureAssembler(double core_min, double core_max, double mem_min,
+                                   double mem_max)
+    : core_min_(core_min), core_max_(core_max), mem_min_(mem_min), mem_max_(mem_max) {}
+
+double FeatureAssembler::normalize_core(double mhz) const noexcept {
+  return (mhz - core_min_) / (core_max_ - core_min_);
+}
+
+double FeatureAssembler::normalize_mem(double mhz) const noexcept {
+  if (mem_max_ == mem_min_) return 0.0;  // single-memory-clock devices (P100)
+  return (mhz - mem_min_) / (mem_max_ - mem_min_);
+}
+
+std::array<double, kFeatureDim> FeatureAssembler::assemble(
+    const clfront::StaticFeatures& features, gpusim::FrequencyConfig config) const {
+  return assemble(features.normalized(), config);
+}
+
+std::array<double, kFeatureDim> FeatureAssembler::assemble(
+    const std::array<double, clfront::kNumFeatures>& normalized_static,
+    gpusim::FrequencyConfig config) const {
+  std::array<double, kFeatureDim> out{};
+  for (std::size_t i = 0; i < clfront::kNumFeatures; ++i) out[i] = normalized_static[i];
+  out[clfront::kNumFeatures] = normalize_core(static_cast<double>(config.core_mhz));
+  out[clfront::kNumFeatures + 1] = normalize_mem(static_cast<double>(config.mem_mhz));
+  return out;
+}
+
+}  // namespace repro::core

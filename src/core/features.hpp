@@ -1,0 +1,50 @@
+// Feature assembly (paper §3.2): the model input for one kernel execution is
+//   w = (k, f)
+// where k is the 10-component static feature vector normalized over the
+// total instruction count, and f = (f_core, f_mem) linearly mapped into
+// [0, 1] over the device's actual clock ranges.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "clfront/features.hpp"
+#include "gpusim/freq_table.hpp"
+
+namespace repro::core {
+
+/// Dimensionality of the assembled feature vector: 10 static + 2 frequency.
+inline constexpr std::size_t kFeatureDim = clfront::kNumFeatures + 2;
+
+class FeatureAssembler {
+ public:
+  /// Bounds are taken from the device's *actual* configurations.
+  explicit FeatureAssembler(const gpusim::FrequencyDomain& domain);
+
+  /// For persistence: explicit bounds.
+  FeatureAssembler(double core_min, double core_max, double mem_min, double mem_max);
+
+  [[nodiscard]] std::array<double, kFeatureDim> assemble(
+      const clfront::StaticFeatures& features, gpusim::FrequencyConfig config) const;
+
+  /// Assemble from an already-normalized static vector.
+  [[nodiscard]] std::array<double, kFeatureDim> assemble(
+      const std::array<double, clfront::kNumFeatures>& normalized_static,
+      gpusim::FrequencyConfig config) const;
+
+  [[nodiscard]] double normalize_core(double mhz) const noexcept;
+  [[nodiscard]] double normalize_mem(double mhz) const noexcept;
+
+  [[nodiscard]] double core_min() const noexcept { return core_min_; }
+  [[nodiscard]] double core_max() const noexcept { return core_max_; }
+  [[nodiscard]] double mem_min() const noexcept { return mem_min_; }
+  [[nodiscard]] double mem_max() const noexcept { return mem_max_; }
+
+ private:
+  double core_min_;
+  double core_max_;
+  double mem_min_;
+  double mem_max_;
+};
+
+}  // namespace repro::core

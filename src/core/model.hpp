@@ -1,0 +1,119 @@
+// The trained frequency-scaling predictor — the paper's core contribution.
+//
+// Training (Fig. 2): each micro-benchmark is executed at a sampled subset of
+// frequency configurations on the (simulated) GPU; static features plus the
+// normalized frequency pair form the inputs, measured speedup / normalized
+// energy the targets. Two SVR models are fit: a linear-kernel SVR for
+// speedup and an RBF SVR (gamma = 0.1) for normalized energy, both with
+// C = 1000 and epsilon = 0.1 (§3.4).
+//
+// Prediction (Fig. 3): a *new* kernel is never executed — its static
+// features are combined with every candidate configuration, both models are
+// evaluated, and the Pareto set of the predicted points is returned. The
+// two lowest memory clocks are handled per the paper: mem-L is excluded
+// from modeling and its highest-core configuration is appended to the
+// predicted set heuristically (§4.5).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "clfront/features.hpp"
+#include "common/status.hpp"
+#include "core/features.hpp"
+#include "gpusim/simulator.hpp"
+#include "ml/svr.hpp"
+#include "pareto/pareto.hpp"
+
+namespace repro::core {
+
+struct ModelParams {
+  ml::SvrParams speedup{ml::KernelFunction::linear(), 1000.0, 0.1, 1e-3, 2'000'000};
+  ml::SvrParams energy{ml::KernelFunction::rbf(0.1), 1000.0, 0.1, 1e-3, 2'000'000};
+};
+
+struct TrainingOptions {
+  std::size_t num_configs = 40;  // §3.3: "40 carefully sampled frequency settings"
+  ModelParams models;
+  bool exclude_mem_L_from_training = false;  // ablation hook
+};
+
+/// One configuration recommended by the predictor.
+struct PredictedPoint {
+  gpusim::FrequencyConfig config;
+  double speedup = 0.0;     // predicted
+  double energy = 0.0;      // predicted normalized energy
+  bool heuristic = false;   // appended by the mem-L rule, not modeled
+};
+
+class FrequencyModel {
+ public:
+  /// Train on a micro-benchmark suite using the given simulator as the
+  /// measurement backend.
+  [[nodiscard]] static common::Result<FrequencyModel> train(
+      const gpusim::GpuSimulator& simulator,
+      std::span<const benchgen::MicroBenchmark> suite, const TrainingOptions& options);
+
+  /// Train, or load a previously serialized model from `cache_path` when it
+  /// exists (and save after training otherwise).
+  [[nodiscard]] static common::Result<FrequencyModel> train_or_load(
+      const gpusim::GpuSimulator& simulator,
+      std::span<const benchgen::MicroBenchmark> suite, const TrainingOptions& options,
+      const std::string& cache_path);
+
+  // --- single-point prediction ---------------------------------------------
+  [[nodiscard]] double predict_speedup(const clfront::StaticFeatures& features,
+                                       gpusim::FrequencyConfig config) const;
+  [[nodiscard]] double predict_energy(const clfront::StaticFeatures& features,
+                                      gpusim::FrequencyConfig config) const;
+
+  // --- Pareto prediction ----------------------------------------------------
+  /// Predict over `configs` (filtering out mem-L per the paper's heuristic),
+  /// compute the Pareto set of the predictions (Algorithm 1) and append the
+  /// highest-core mem-L configuration when the domain has one.
+  [[nodiscard]] std::vector<PredictedPoint> predict_pareto(
+      const clfront::StaticFeatures& features,
+      std::span<const gpusim::FrequencyConfig> configs) const;
+
+  /// Same, over the default evaluation sampling of the training domain.
+  [[nodiscard]] std::vector<PredictedPoint> predict_pareto(
+      const clfront::StaticFeatures& features) const;
+
+  /// Predictions for every configuration in `configs` (no Pareto filter,
+  /// no mem-L exclusion) — used by the error analyses of Figs. 6 and 7.
+  [[nodiscard]] std::vector<PredictedPoint> predict_all(
+      const clfront::StaticFeatures& features,
+      std::span<const gpusim::FrequencyConfig> configs) const;
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] const gpusim::FrequencyDomain& domain() const noexcept { return domain_; }
+  [[nodiscard]] const std::vector<gpusim::FrequencyConfig>& training_configs()
+      const noexcept {
+    return training_configs_;
+  }
+  [[nodiscard]] std::size_t training_samples() const noexcept { return training_samples_; }
+  [[nodiscard]] const ml::Svr& speedup_model() const noexcept { return speedup_; }
+  [[nodiscard]] const ml::Svr& energy_model() const noexcept { return energy_; }
+
+  // --- persistence -----------------------------------------------------------
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static common::Result<FrequencyModel> deserialize(const std::string& text);
+  [[nodiscard]] common::Status save(const std::string& path) const;
+  [[nodiscard]] static common::Result<FrequencyModel> load(const std::string& path);
+
+ private:
+  FrequencyModel(gpusim::FrequencyDomain domain, FeatureAssembler assembler)
+      : domain_(std::move(domain)), assembler_(assembler) {}
+
+  gpusim::FrequencyDomain domain_;
+  FeatureAssembler assembler_;
+  ml::Svr speedup_;
+  ml::Svr energy_;
+  std::vector<gpusim::FrequencyConfig> training_configs_;
+  std::size_t training_samples_ = 0;
+};
+
+}  // namespace repro::core

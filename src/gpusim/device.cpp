@@ -1,0 +1,76 @@
+#include "gpusim/device.hpp"
+
+namespace repro::gpusim {
+
+namespace {
+
+constexpr std::size_t idx(OpClass c) { return static_cast<std::size_t>(c); }
+
+void fill_maxwell_throughputs(DeviceModel& d) {
+  // Ops per cycle per SM (GM200-like). Divides and special functions run on
+  // narrower units; local (shared) memory sustains one access per lane per
+  // two cycles.
+  d.throughput[idx(OpClass::kIntAdd)] = 128.0;
+  d.throughput[idx(OpClass::kIntMul)] = 32.0;
+  d.throughput[idx(OpClass::kIntDiv)] = 4.0;   // emulated, multi-instruction
+  d.throughput[idx(OpClass::kIntBitwise)] = 128.0;
+  d.throughput[idx(OpClass::kFloatAdd)] = 128.0;
+  d.throughput[idx(OpClass::kFloatMul)] = 128.0;
+  d.throughput[idx(OpClass::kFloatDiv)] = 8.0;
+  d.throughput[idx(OpClass::kSpecialFn)] = 32.0;
+  d.throughput[idx(OpClass::kGlobalAccess)] = 128.0;  // issue side only
+  d.throughput[idx(OpClass::kLocalAccess)] = 64.0;
+}
+
+void fill_maxwell_energies(DeviceModel& d) {
+  // Relative switching energy per executed op (dimensionless; the
+  // core_power_coef carries the absolute scale). Wide ops are cheap, divides
+  // and transcendentals expensive, memory instructions carry address-path
+  // cost on the core side.
+  d.op_energy[idx(OpClass::kIntAdd)] = 1.0;
+  d.op_energy[idx(OpClass::kIntMul)] = 1.8;
+  d.op_energy[idx(OpClass::kIntDiv)] = 6.0;
+  d.op_energy[idx(OpClass::kIntBitwise)] = 0.9;
+  d.op_energy[idx(OpClass::kFloatAdd)] = 1.3;
+  d.op_energy[idx(OpClass::kFloatMul)] = 1.6;
+  d.op_energy[idx(OpClass::kFloatDiv)] = 7.0;
+  d.op_energy[idx(OpClass::kSpecialFn)] = 4.0;
+  d.op_energy[idx(OpClass::kGlobalAccess)] = 2.5;
+  d.op_energy[idx(OpClass::kLocalAccess)] = 2.2;
+}
+
+}  // namespace
+
+DeviceModel DeviceModel::titan_x() {
+  DeviceModel d;
+  d.name = "NVIDIA GTX Titan X (simulated)";
+  d.freq = FrequencyDomain::titan_x();
+  d.voltage = VoltageCurve::titan_x();
+  d.num_sms = 24;
+  d.lanes_per_sm = 128;
+  d.bytes_per_mem_cycle = 96.0;
+  fill_maxwell_throughputs(d);
+  fill_maxwell_energies(d);
+  return d;
+}
+
+DeviceModel DeviceModel::tesla_p100() {
+  DeviceModel d;
+  d.name = "NVIDIA Tesla P100 (simulated)";
+  d.freq = FrequencyDomain::tesla_p100();
+  d.voltage = VoltageCurve::tesla_p100();
+  d.num_sms = 56;
+  d.lanes_per_sm = 64;
+  // HBM2: 732 GB/s at 715 MHz at ~70% efficiency -> ~1463 B/cycle raw.
+  d.bytes_per_mem_cycle = 1463.0;
+  d.mem_eff_drop = 0.30;
+  d.mem_eff_exponent = 1.5;
+  d.mem_ref_mhz = 715.0;
+  fill_maxwell_throughputs(d);
+  fill_maxwell_energies(d);
+  d.core_power_coef = 150.0;
+  d.mem_power_coef = 40.0;
+  return d;
+}
+
+}  // namespace repro::gpusim

@@ -1,0 +1,86 @@
+// Dynamic execution profile of a kernel — what the simulated GPU actually
+// executes. All instruction counts are *per work-item averages* (dynamic,
+// i.e. loop bodies counted per iteration), which is deliberately different
+// from the static counts the predictor sees: static features cannot observe
+// trip counts, and that information gap is the realistic source of model
+// error, exactly as in the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace repro::gpusim {
+
+/// Instruction classes, mirroring the paper's 10 static features (§3.2).
+enum class OpClass : std::uint8_t {
+  kIntAdd = 0,
+  kIntMul,
+  kIntDiv,
+  kIntBitwise,
+  kFloatAdd,
+  kFloatMul,
+  kFloatDiv,
+  kSpecialFn,
+  kGlobalAccess,
+  kLocalAccess,
+};
+
+inline constexpr std::size_t kNumOpClasses = 10;
+
+[[nodiscard]] constexpr const char* op_class_name(OpClass c) noexcept {
+  switch (c) {
+    case OpClass::kIntAdd: return "int_add";
+    case OpClass::kIntMul: return "int_mul";
+    case OpClass::kIntDiv: return "int_div";
+    case OpClass::kIntBitwise: return "int_bw";
+    case OpClass::kFloatAdd: return "float_add";
+    case OpClass::kFloatMul: return "float_mul";
+    case OpClass::kFloatDiv: return "float_div";
+    case OpClass::kSpecialFn: return "sf";
+    case OpClass::kGlobalAccess: return "gl_access";
+    case OpClass::kLocalAccess: return "loc_access";
+  }
+  return "?";
+}
+
+struct KernelProfile {
+  std::string name;
+
+  /// Dynamic per-work-item instruction counts, indexed by OpClass.
+  std::array<double, kNumOpClasses> ops{};
+
+  /// Total work-items launched per kernel invocation.
+  std::uint64_t work_items = 1 << 20;
+
+  /// Average bytes moved per global access (coalesced transaction share).
+  double bytes_per_access = 4.0;
+
+  /// Fraction of global accesses served by on-chip caches.
+  double cache_hit_rate = 0.3;
+
+  /// DRAM efficiency of the access pattern (1.0 = perfectly streamed).
+  double mem_coalescing = 0.8;
+
+  /// Fraction of the shorter of (compute, memory) phases that cannot be
+  /// hidden under the longer one (0 = perfect overlap).
+  double overlap_penalty = 0.15;
+
+  /// How irregular the kernel behaves at the low memory clocks (0..1);
+  /// drives the systematic mem-l/mem-L wiggle the paper struggles with.
+  double erratic = 0.5;
+
+  [[nodiscard]] double op(OpClass c) const noexcept {
+    return ops[static_cast<std::size_t>(c)];
+  }
+  void set_op(OpClass c, double v) noexcept { ops[static_cast<std::size_t>(c)] = v; }
+
+  /// Total dynamic instructions per work-item.
+  [[nodiscard]] double total_ops() const noexcept {
+    double acc = 0.0;
+    for (double v : ops) acc += v;
+    return acc;
+  }
+};
+
+}  // namespace repro::gpusim

@@ -1,0 +1,65 @@
+#include "gpusim/perf_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::gpusim {
+
+TimingBreakdown compute_timing(const DeviceModel& device, const KernelProfile& profile,
+                               FrequencyConfig config, double mem_efficiency) {
+  if (config.core_mhz <= 0 || config.mem_mhz <= 0) {
+    throw std::invalid_argument("compute_timing: non-positive clock");
+  }
+  if (mem_efficiency <= 0.0) {
+    throw std::invalid_argument("compute_timing: non-positive mem_efficiency");
+  }
+  const double fc_hz = static_cast<double>(config.core_mhz) * 1e6;
+  const double fm_hz = static_cast<double>(config.mem_mhz) * 1e6;
+  const double w = static_cast<double>(profile.work_items);
+  const double sms = static_cast<double>(device.num_sms);
+  const double lanes = sms * static_cast<double>(device.lanes_per_sm);
+
+  // Compute phase: per-class device throughput at fc is tput_c * sms ops per
+  // core cycle; classes contend for issue slots, so their times add.
+  double compute_s = 0.0;
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    const double n = profile.ops[c];
+    if (n <= 0.0) continue;
+    const double device_tput = device.throughput[c] * sms;  // ops per cycle
+    compute_s += w * n / (device_tput * fc_hz);
+  }
+  // Core-side cost of issuing global memory requests (address generation,
+  // LSU occupancy). Keeps memory-bound kernels mildly core-sensitive.
+  const double n_gl = profile.op(OpClass::kGlobalAccess);
+  compute_s += w * n_gl * device.mem_issue_cycles / (lanes * fc_hz);
+
+  // DRAM phase: only cache misses reach DRAM. Efficiency degrades with the
+  // memory clock (see DeviceModel::mem_eff_drop).
+  const double bytes =
+      w * n_gl * profile.bytes_per_access * std::clamp(1.0 - profile.cache_hit_rate, 0.0, 1.0);
+  const double dram_eff =
+      1.0 - device.mem_eff_drop *
+                std::pow(static_cast<double>(config.mem_mhz) / device.mem_ref_mhz,
+                         device.mem_eff_exponent);
+  const double eff_bw =
+      device.bytes_per_mem_cycle * fm_hz * std::clamp(dram_eff, 0.05, 1.0) *
+      std::clamp(profile.mem_coalescing, 0.05, 1.0) * mem_efficiency;
+  const double dram_s = bytes > 0.0 ? bytes / eff_bw : 0.0;
+
+  TimingBreakdown t;
+  t.compute_s = compute_s;
+  t.dram_s = dram_s;
+  const double longer = std::max(compute_s, dram_s);
+  const double shorter = std::min(compute_s, dram_s);
+  t.busy_s = longer + std::clamp(profile.overlap_penalty, 0.0, 1.0) * shorter;
+  t.total_s = t.busy_s + device.launch_overhead_s;
+  if (t.busy_s > 0.0) {
+    t.core_util = std::min(1.0, compute_s / t.busy_s);
+    t.mem_util = std::min(1.0, dram_s / t.busy_s);
+  }
+  return t;
+}
+
+}  // namespace repro::gpusim

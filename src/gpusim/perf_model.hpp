@@ -1,0 +1,35 @@
+// Analytical execution-time model.
+//
+// A kernel execution is decomposed into a core-clocked compute phase
+// (per-class issue throughput limits, plus the core-side cost of issuing
+// memory requests) and a memory-clocked DRAM phase. The phases overlap
+// imperfectly; the overlap penalty is a kernel property. This reproduces the
+// two regimes of Fig. 1: compute-dominated kernels scale ~linearly with the
+// core clock, memory-dominated kernels are flat in core and steep in memory.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/freq_table.hpp"
+#include "gpusim/kernel_profile.hpp"
+
+namespace repro::gpusim {
+
+struct TimingBreakdown {
+  double compute_s = 0.0;   // core-clocked phase (includes memory issue cost)
+  double dram_s = 0.0;      // memory-clocked phase
+  double busy_s = 0.0;      // after overlap composition
+  double total_s = 0.0;     // busy + launch overhead
+  double core_util = 0.0;   // compute share of the busy window [0,1]
+  double mem_util = 0.0;    // DRAM share of the busy window [0,1]
+};
+
+/// Compute the timing of one kernel invocation at an *actual* frequency
+/// configuration. `mem_efficiency` is a multiplicative modifier on DRAM
+/// efficiency (1.0 = nominal; the simulator derives the erratic low-memory
+/// modifiers from the kernel identity).
+[[nodiscard]] TimingBreakdown compute_timing(const DeviceModel& device,
+                                             const KernelProfile& profile,
+                                             FrequencyConfig config,
+                                             double mem_efficiency = 1.0);
+
+}  // namespace repro::gpusim

@@ -1,0 +1,39 @@
+#include "gpusim/power_model.hpp"
+
+namespace repro::gpusim {
+
+namespace {
+// op_energy weights average around this value for balanced arithmetic codes;
+// dividing by it keeps core_power_coef interpretable as "watts at V=1, 1 GHz,
+// full utilization, typical mix".
+constexpr double kTypicalMixEnergy = 1.5;
+}  // namespace
+
+double mix_energy_factor(const DeviceModel& device, const KernelProfile& profile) noexcept {
+  const double total = profile.total_ops();
+  if (total <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+    acc += profile.ops[c] * device.op_energy[c];
+  }
+  return acc / total / kTypicalMixEnergy;
+}
+
+PowerBreakdown compute_power(const DeviceModel& device, const KernelProfile& profile,
+                             FrequencyConfig config, const TimingBreakdown& timing) {
+  const double v = device.voltage.volts_at(static_cast<double>(config.core_mhz));
+  const double vm = memory_volts(static_cast<double>(config.mem_mhz));
+  const double fc_ghz = static_cast<double>(config.core_mhz) / 1000.0;
+  const double fm_rel = static_cast<double>(config.mem_mhz) / 3505.0;
+
+  PowerBreakdown p;
+  p.core_dynamic_w = device.core_power_coef * v * v * fc_ghz * timing.core_util *
+                     mix_energy_factor(device, profile);
+  p.mem_dynamic_w =
+      device.mem_power_coef * (vm / 1.5) * (vm / 1.5) * fm_rel * timing.mem_util;
+  p.static_w = device.static_power_base + device.static_power_v2 * v * v;
+  p.mem_static_w = device.mem_static_base + device.mem_static_slope * fm_rel;
+  return p;
+}
+
+}  // namespace repro::gpusim

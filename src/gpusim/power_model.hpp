@@ -1,0 +1,35 @@
+// Board power model, decomposed per architectural component in the style of
+// Guerreiro et al. [11] (the paper's feature design follows the same
+// decomposition): voltage-squared-scaled core dynamic power weighted by the
+// executed instruction mix, memory dynamic power on the memory clock, and
+// static/leakage power that rises with the core voltage.
+#pragma once
+
+#include "gpusim/device.hpp"
+#include "gpusim/kernel_profile.hpp"
+#include "gpusim/perf_model.hpp"
+
+namespace repro::gpusim {
+
+struct PowerBreakdown {
+  double core_dynamic_w = 0.0;
+  double mem_dynamic_w = 0.0;
+  double static_w = 0.0;      // board + leakage (V-dependent)
+  double mem_static_w = 0.0;  // DRAM refresh/idle, scales with memory clock
+  [[nodiscard]] double total() const noexcept {
+    return core_dynamic_w + mem_dynamic_w + static_w + mem_static_w;
+  }
+};
+
+/// Average board power over the busy window of one kernel invocation.
+[[nodiscard]] PowerBreakdown compute_power(const DeviceModel& device,
+                                           const KernelProfile& profile,
+                                           FrequencyConfig config,
+                                           const TimingBreakdown& timing);
+
+/// Mix-weighted mean switching energy of the profile's instruction blend,
+/// normalized so a "typical" arithmetic mix is ~1.0.
+[[nodiscard]] double mix_energy_factor(const DeviceModel& device,
+                                       const KernelProfile& profile) noexcept;
+
+}  // namespace repro::gpusim

@@ -1,0 +1,154 @@
+#include "gpusim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace repro::gpusim {
+
+namespace {
+
+/// Noise amplitudes per memory level: the two high clocks measure cleanly,
+/// the low clocks are progressively worse (paper §4.2–4.4).
+struct LevelNoise {
+  double systematic_offset;  // per-(kernel, level) efficiency offset scale
+  double wiggle;             // core-frequency-dependent systematic wiggle
+  double time_jitter;        // multiplicative measurement jitter on time
+  double power_jitter;       // multiplicative measurement jitter on power
+};
+
+LevelNoise level_noise(MemLevel level) {
+  switch (level) {
+    case MemLevel::kL: return {0.10, 0.07, 0.030, 0.035};
+    case MemLevel::kLow: return {0.09, 0.06, 0.018, 0.022};
+    case MemLevel::kHigh: return {0.0, 0.0, 0.007, 0.009};
+    case MemLevel::kH: return {0.0, 0.0, 0.007, 0.009};
+  }
+  return {0.0, 0.0, 0.0, 0.0};
+}
+
+std::uint64_t key_of(std::uint64_t seed, const std::string& kernel, FrequencyConfig c,
+                     std::uint64_t salt) {
+  std::uint64_t k = common::hash_combine(seed, common::fnv1a(kernel));
+  k = common::hash_combine(k, static_cast<std::uint64_t>(c.core_mhz));
+  k = common::hash_combine(k, static_cast<std::uint64_t>(c.mem_mhz));
+  return common::hash_combine(k, salt);
+}
+
+}  // namespace
+
+GpuSimulator::GpuSimulator(DeviceModel device, SimOptions options)
+    : device_(std::move(device)), options_(options) {}
+
+double GpuSimulator::mem_efficiency_modifier(const KernelProfile& profile,
+                                             FrequencyConfig config) const {
+  if (!options_.erratic_behaviour) return 1.0;
+  const auto level = device_.freq.level_of(config.mem_mhz);
+  if (!level.ok()) return 1.0;
+  const LevelNoise noise = level_noise(level.value());
+  if (noise.systematic_offset == 0.0 && noise.wiggle == 0.0) return 1.0;
+
+  const double erratic = std::clamp(profile.erratic, 0.0, 1.0);
+
+  // Per-(kernel, memory level) systematic offset: the same kernel is
+  // consistently faster or slower than nominal at this memory clock.
+  const std::uint64_t level_key = common::hash_combine(
+      common::hash_combine(options_.seed, common::fnv1a(profile.name)),
+      static_cast<std::uint64_t>(config.mem_mhz));
+  const double offset =
+      erratic * noise.systematic_offset * common::hash_gaussian(level_key);
+
+  // Core-frequency-dependent wiggle with a kernel-specific phase and period:
+  // a smooth, systematic deviation no static feature can explain.
+  const double phase = common::hash_uniform(common::mix64(level_key)) * 2.0 *
+                       std::numbers::pi;
+  const double period_mhz = 220.0 + 200.0 * common::hash_uniform(common::mix64(level_key ^ 0x77));
+  const double wiggle =
+      erratic * noise.wiggle *
+      std::sin(2.0 * std::numbers::pi * static_cast<double>(config.core_mhz) / period_mhz +
+               phase);
+
+  return std::clamp(1.0 + offset + wiggle, 0.55, 1.45);
+}
+
+Measurement GpuSimulator::measure(const KernelProfile& profile,
+                                  FrequencyConfig actual) const {
+  const double eff = mem_efficiency_modifier(profile, actual);
+  const TimingBreakdown timing = compute_timing(device_, profile, actual, eff);
+  const PowerBreakdown power = compute_power(device_, profile, actual, timing);
+
+  double time_s = timing.total_s;
+  double power_w = power.total();
+
+  const auto level = device_.freq.level_of(actual.mem_mhz);
+  const LevelNoise noise =
+      level.ok() ? level_noise(level.value()) : LevelNoise{0, 0, 0.01, 0.01};
+
+  if (options_.measurement_noise) {
+    const std::uint64_t kt = key_of(options_.seed, profile.name, actual, 0x71AE);
+    const std::uint64_t kp = key_of(options_.seed, profile.name, actual, 0x9022);
+    time_s *= 1.0 + noise.time_jitter * common::hash_gaussian(kt);
+    power_w *= 1.0 + noise.power_jitter * common::hash_gaussian(kp);
+
+    // NVML power sampling at 62.5 Hz: the benchmark harness re-runs the
+    // kernel until the sampling window is filled; the residual uncertainty
+    // of the mean shrinks with the number of samples (paper §4.1).
+    const double window = std::max(options_.sampling_window_s, time_s);
+    const double n_samples = std::max(1.0, window * options_.sampling_hz);
+    const double sample_sigma_w = 2.0 / std::sqrt(n_samples);
+    const std::uint64_t ks = key_of(options_.seed, profile.name, actual, 0x5A3B);
+    power_w += sample_sigma_w * common::hash_gaussian(ks);
+  }
+
+  Measurement m;
+  m.config = actual;
+  m.time_ms = time_s * 1e3;
+  m.avg_power_w = std::max(power_w, 1.0);
+  m.energy_j = m.avg_power_w * time_s;
+  return m;
+}
+
+common::Result<Measurement> GpuSimulator::run(const KernelProfile& profile,
+                                              FrequencyConfig requested) const {
+  auto actual = device_.freq.resolve(requested);
+  if (!actual.ok()) return actual.error();
+  return measure(profile, actual.value());
+}
+
+Measurement GpuSimulator::run_at(const KernelProfile& profile,
+                                 FrequencyConfig actual) const {
+  return measure(profile, actual);
+}
+
+Measurement GpuSimulator::run_default(const KernelProfile& profile) const {
+  return measure(profile, device_.freq.default_config());
+}
+
+double GpuSimulator::speedup(const KernelProfile& profile, FrequencyConfig config) const {
+  const Measurement def = run_default(profile);
+  const Measurement m = run_at(profile, config);
+  return def.time_ms / m.time_ms;
+}
+
+double GpuSimulator::normalized_energy(const KernelProfile& profile,
+                                       FrequencyConfig config) const {
+  const Measurement def = run_default(profile);
+  const Measurement m = run_at(profile, config);
+  return m.energy_j / def.energy_j;
+}
+
+std::vector<GpuSimulator::CharacterizedPoint> GpuSimulator::characterize(
+    const KernelProfile& profile, std::span<const FrequencyConfig> configs) const {
+  const Measurement def = run_default(profile);
+  std::vector<CharacterizedPoint> out;
+  out.reserve(configs.size());
+  for (const FrequencyConfig& c : configs) {
+    const Measurement m = run_at(profile, c);
+    out.push_back({c, def.time_ms / m.time_ms, m.energy_j / def.energy_j});
+  }
+  return out;
+}
+
+}  // namespace repro::gpusim

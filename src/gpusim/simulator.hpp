@@ -1,0 +1,90 @@
+// The measurement layer: combines the timing and power models, the erratic
+// low-memory-clock behaviour, and an NVML-style 62.5 Hz power-sampling
+// emulation into per-(kernel, configuration) measurements.
+//
+// All noise is *deterministic* in (kernel name, configuration, seed): the
+// same measurement repeated yields the same value, like a warmed-up,
+// fan-stabilised card. The erratic components at mem-l/mem-L are systematic
+// (per-kernel offsets and core-frequency wiggles), which is what makes the
+// low memory clocks genuinely hard for the predictor — matching §4.2-4.4 of
+// the paper ("Mem-l behaves like the highest memory frequency ... the mem-L
+// is even more erratic").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/freq_table.hpp"
+#include "gpusim/kernel_profile.hpp"
+#include "gpusim/perf_model.hpp"
+#include "gpusim/power_model.hpp"
+
+namespace repro::gpusim {
+
+/// One measured kernel execution.
+struct Measurement {
+  FrequencyConfig config;   // the configuration that actually took effect
+  double time_ms = 0.0;     // per-invocation execution time
+  double avg_power_w = 0.0; // mean of the sampled power trace
+  double energy_j = 0.0;    // avg_power * time (the paper's method, §4.1)
+};
+
+struct SimOptions {
+  bool measurement_noise = true;   // multiplicative time/power jitter
+  bool erratic_behaviour = true;   // systematic low-memory-clock effects
+  double sampling_window_s = 0.5;  // kernels re-run until this window is full
+  double sampling_hz = 62.5;       // NVML power counter update rate
+  std::uint64_t seed = 0x5EED0001ULL;
+};
+
+class GpuSimulator {
+ public:
+  explicit GpuSimulator(DeviceModel device, SimOptions options = {});
+
+  [[nodiscard]] const DeviceModel& device() const noexcept { return device_; }
+  [[nodiscard]] const FrequencyDomain& freq() const noexcept { return device_.freq; }
+  [[nodiscard]] const SimOptions& options() const noexcept { return options_; }
+
+  /// Run at a requested (reported) configuration; NVML clamping semantics
+  /// apply. Errors if the configuration is not even reported.
+  [[nodiscard]] common::Result<Measurement> run(const KernelProfile& profile,
+                                                FrequencyConfig requested) const;
+
+  /// Run at a configuration assumed to be actual (no validation).
+  [[nodiscard]] Measurement run_at(const KernelProfile& profile,
+                                   FrequencyConfig actual) const;
+
+  [[nodiscard]] Measurement run_default(const KernelProfile& profile) const;
+
+  /// t_default / t_config.
+  [[nodiscard]] double speedup(const KernelProfile& profile, FrequencyConfig config) const;
+
+  /// E_config / E_default.
+  [[nodiscard]] double normalized_energy(const KernelProfile& profile,
+                                         FrequencyConfig config) const;
+
+  /// One kernel execution in (speedup, normalized energy) space.
+  struct CharacterizedPoint {
+    FrequencyConfig config;
+    double speedup = 0.0;
+    double norm_energy = 0.0;
+  };
+
+  /// Characterize a kernel over a set of actual configurations (the data
+  /// behind Figs. 1, 5 and 8).
+  [[nodiscard]] std::vector<CharacterizedPoint> characterize(
+      const KernelProfile& profile, std::span<const FrequencyConfig> configs) const;
+
+ private:
+  DeviceModel device_;
+  SimOptions options_;
+
+  [[nodiscard]] double mem_efficiency_modifier(const KernelProfile& profile,
+                                               FrequencyConfig config) const;
+  [[nodiscard]] Measurement measure(const KernelProfile& profile,
+                                    FrequencyConfig actual) const;
+};
+
+}  // namespace repro::gpusim

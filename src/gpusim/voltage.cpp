@@ -1,0 +1,59 @@
+#include "gpusim/voltage.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace repro::gpusim {
+
+VoltageCurve::VoltageCurve(std::vector<Knot> knots) : knots_(std::move(knots)) {
+  if (knots_.size() < 2) throw std::invalid_argument("VoltageCurve: need >= 2 knots");
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (knots_[i].freq_mhz <= knots_[i - 1].freq_mhz) {
+      throw std::invalid_argument("VoltageCurve: knots must be strictly increasing");
+    }
+  }
+}
+
+VoltageCurve VoltageCurve::titan_x() {
+  // Anchors in the style of GM200 V/f tables: a gently rising low/mid range
+  // and a steep ramp in the boost region above ~900 MHz. The knee placement
+  // is what puts the normalized-energy minimum of compute-bound kernels in
+  // the paper's [885, 987] MHz window (§1.1).
+  return VoltageCurve({{135.0, 0.680},
+                       {405.0, 0.720},
+                       {700.0, 0.780},
+                       {900.0, 0.840},
+                       {1001.0, 0.930},
+                       {1100.0, 1.020},
+                       {1196.0, 1.100},
+                       {1392.0, 1.210}});
+}
+
+VoltageCurve VoltageCurve::tesla_p100() {
+  return VoltageCurve({{544.0, 0.700},
+                       {810.0, 0.800},
+                       {1126.0, 0.950},
+                       {1324.0, 1.050}});
+}
+
+double VoltageCurve::volts_at(double freq_mhz) const noexcept {
+  if (freq_mhz <= knots_.front().freq_mhz) return knots_.front().volts;
+  if (freq_mhz >= knots_.back().freq_mhz) return knots_.back().volts;
+  const auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), freq_mhz,
+      [](double f, const Knot& k) { return f < k.freq_mhz; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  const double t = (freq_mhz - lo.freq_mhz) / (hi.freq_mhz - lo.freq_mhz);
+  return lo.volts + t * (hi.volts - lo.volts);
+}
+
+double memory_volts(double mem_mhz) noexcept {
+  // GDDR5 core rail ~1.35 V; the 3.3+ GHz data-rate steps need ~1.5 V I/O.
+  if (mem_mhz <= 810.0) return 1.35;
+  if (mem_mhz <= 3304.0) return 1.50;
+  return 1.55;
+}
+
+}  // namespace repro::gpusim

@@ -1,0 +1,45 @@
+// Core voltage/frequency (V/f) curve of the simulated GPU.
+//
+// DVFS energy behaviour hinges on the non-linear voltage scaling the paper
+// highlights (and that Abe et al. neglected): dynamic power goes like
+// C·V(f)²·f, so energy-per-task develops an interior minimum as frequency
+// rises. We model V(f) as a piecewise-linear curve over anchor points in the
+// style of published Maxwell V/f tables.
+#pragma once
+
+#include <vector>
+
+namespace repro::gpusim {
+
+/// Piecewise-linear voltage curve; frequencies in MHz, voltage in volts.
+class VoltageCurve {
+ public:
+  struct Knot {
+    double freq_mhz;
+    double volts;
+  };
+
+  /// Curve with explicit knots (must be sorted by frequency, >= 2 knots).
+  explicit VoltageCurve(std::vector<Knot> knots);
+
+  /// Maxwell-like default curve for the simulated Titan X.
+  [[nodiscard]] static VoltageCurve titan_x();
+
+  /// Pascal-like curve for the simulated Tesla P100.
+  [[nodiscard]] static VoltageCurve tesla_p100();
+
+  /// Voltage at a core frequency; clamps outside the knot range.
+  [[nodiscard]] double volts_at(double freq_mhz) const noexcept;
+
+  [[nodiscard]] const std::vector<Knot>& knots() const noexcept { return knots_; }
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+/// Memory-rail voltage: nearly flat for GDDR5, but the high-frequency steps
+/// run the I/O at a higher rail, which is why high memory clocks carry a
+/// power premium.
+[[nodiscard]] double memory_volts(double mem_mhz) noexcept;
+
+}  // namespace repro::gpusim

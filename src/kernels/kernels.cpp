@@ -1,0 +1,559 @@
+#include "kernels/kernels.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "clfront/parser.hpp"
+
+namespace repro::kernels {
+
+namespace {
+
+using gpusim::KernelProfile;
+using gpusim::OpClass;
+
+/// Builder for the dynamic profiles: counts are *per-work-item dynamic
+/// averages* at the benchmark's canonical problem size (documented per
+/// benchmark below).
+struct ProfileSpec {
+  double int_add = 0, int_mul = 0, int_div = 0, int_bw = 0;
+  double float_add = 0, float_mul = 0, float_div = 0, sf = 0;
+  double gl_access = 0, loc_access = 0;
+  std::uint64_t work_items = 1 << 20;
+  double cache_hit = 0.3;
+  double coalescing = 0.85;
+  double overlap = 0.15;
+  double erratic = 0.5;
+};
+
+KernelProfile make_profile(const std::string& name, const ProfileSpec& s) {
+  KernelProfile p;
+  p.name = name;
+  p.set_op(OpClass::kIntAdd, s.int_add);
+  p.set_op(OpClass::kIntMul, s.int_mul);
+  p.set_op(OpClass::kIntDiv, s.int_div);
+  p.set_op(OpClass::kIntBitwise, s.int_bw);
+  p.set_op(OpClass::kFloatAdd, s.float_add);
+  p.set_op(OpClass::kFloatMul, s.float_mul);
+  p.set_op(OpClass::kFloatDiv, s.float_div);
+  p.set_op(OpClass::kSpecialFn, s.sf);
+  p.set_op(OpClass::kGlobalAccess, s.gl_access);
+  p.set_op(OpClass::kLocalAccess, s.loc_access);
+  p.work_items = s.work_items;
+  p.cache_hit_rate = s.cache_hit;
+  p.mem_coalescing = s.coalescing;
+  p.overlap_penalty = s.overlap;
+  p.erratic = s.erratic;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel sources (OpenCL-C subset)
+// ---------------------------------------------------------------------------
+
+const char* kKnnSource = R"CL(
+// k-nearest-neighbour distance kernel: each work-item scans the training set
+// and keeps the smallest Euclidean distance to its query point.
+kernel void knn(global float* train, global float* query, global float* dist,
+                int n_train, int dims) {
+  int gid = get_global_id(0);
+  float best = FLT_MAX;
+  for (int t = 0; t < n_train; t++) {
+    float acc = 0.0f;
+    for (int d = 0; d < dims; d++) {
+      float diff = query[gid * dims + d] - train[t * dims + d];
+      acc = acc + diff * diff;
+    }
+    float dd = sqrt(acc);
+    best = fmin(best, dd);
+  }
+  dist[gid] = best;
+}
+)CL";
+
+const char* kAesSource = R"CL(
+// AES-like table-based round function: substitution through a local-memory
+// T-table plus round-key xor.
+kernel void aes_encrypt(global uint* state_in, global uint* state_out,
+                        global uint* sbox, constant uint* rkeys, int rounds) {
+  int gid = get_global_id(0);
+  int lid = get_local_id(0);
+  local uint t0[256];
+  t0[lid & 255] = sbox[lid & 255];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  uint s = state_in[gid];
+  for (int r = 0; r < rounds; r++) {
+    uint b0 = (s >> 24) & 255u;
+    uint b1 = (s >> 16) & 255u;
+    uint b2 = (s >> 8) & 255u;
+    uint b3 = s & 255u;
+    s = (t0[b0] << 24) ^ (t0[b1] << 16) ^ (t0[b2] << 8) ^ t0[b3];
+    s = s ^ rkeys[r & 15];
+  }
+  state_out[gid] = s;
+}
+)CL";
+
+const char* kMatMulSource = R"CL(
+// Tiled matrix multiplication with 16x16 local-memory tiles.
+kernel void matmul(global float* a, global float* b, global float* c, int n) {
+  int row = get_global_id(1);
+  int col = get_global_id(0);
+  int lrow = get_local_id(1);
+  int lcol = get_local_id(0);
+  local float tile_a[256];
+  local float tile_b[256];
+  float acc = 0.0f;
+  for (int t = 0; t < n / 16; t++) {
+    tile_a[lrow * 16 + lcol] = a[row * n + t * 16 + lcol];
+    tile_b[lrow * 16 + lcol] = b[(t * 16 + lrow) * n + col];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int k = 0; k < 16; k++) {
+      acc = mad(tile_a[lrow * 16 + k], tile_b[k * 16 + lcol], acc);
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  c[row * n + col] = acc;
+}
+)CL";
+
+const char* kConvolutionSource = R"CL(
+// 2-D convolution with a constant-memory filter and clamped borders.
+kernel void convolution(global float* input, global float* output,
+                        constant float* filt, int width, int height, int fsize) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int hw = fsize / 2;
+  float acc = 0.0f;
+  for (int fy = 0; fy < fsize; fy++) {
+    for (int fx = 0; fx < fsize; fx++) {
+      int ix = clamp(x + fx - hw, 0, width - 1);
+      int iy = clamp(y + fy - hw, 0, height - 1);
+      acc += input[iy * width + ix] * filt[fy * fsize + fx];
+    }
+  }
+  output[y * width + x] = acc;
+}
+)CL";
+
+const char* kMedianSource = R"CL(
+// 3x3 median filter via a min/max sorting network (branch-free).
+kernel void median_filter(global float* src, global float* dst,
+                          int width, int height) {
+  int x = get_global_id(0);
+  int y = get_global_id(1);
+  int xm = max(x - 1, 0);
+  int xp = min(x + 1, width - 1);
+  int ym = max(y - 1, 0);
+  int yp = min(y + 1, height - 1);
+  float v0 = src[ym * width + xm];
+  float v1 = src[ym * width + x];
+  float v2 = src[ym * width + xp];
+  float v3 = src[y * width + xm];
+  float v4 = src[y * width + x];
+  float v5 = src[y * width + xp];
+  float v6 = src[yp * width + xm];
+  float v7 = src[yp * width + x];
+  float v8 = src[yp * width + xp];
+  float t;
+  t = fmin(v1, v2); v2 = fmax(v1, v2); v1 = t;
+  t = fmin(v4, v5); v5 = fmax(v4, v5); v4 = t;
+  t = fmin(v7, v8); v8 = fmax(v7, v8); v7 = t;
+  t = fmin(v0, v1); v1 = fmax(v0, v1); v0 = t;
+  t = fmin(v3, v4); v4 = fmax(v3, v4); v3 = t;
+  t = fmin(v6, v7); v7 = fmax(v6, v7); v6 = t;
+  v3 = fmax(v0, v3);
+  v6 = fmax(v3, v6);
+  v4 = fmin(v4, v7);
+  v2 = fmin(v2, v5);
+  v4 = fmax(v1, v4);
+  v4 = fmin(v4, v7);
+  v2 = fmin(v2, v8);
+  v4 = fmax(v2, v4);
+  v4 = fmin(v4, v6);
+  dst[y * width + x] = v4;
+}
+)CL";
+
+const char* kBitCompressionSource = R"CL(
+// Nibble-wise gray-code bit compression: pure integer/bitwise compute.
+kernel void bit_compress(global uint* input, global uint* output, int n) {
+  int gid = get_global_id(0);
+  uint w = input[gid];
+  uint acc = 0u;
+  for (int b = 0; b < 32; b += 4) {
+    uint nib = (w >> b) & 15u;
+    nib = nib ^ (nib >> 1);
+    nib = nib ^ (nib >> 2);
+    acc = acc | (nib << (b >> 1));
+  }
+  uint folded = acc ^ (acc >> 16);
+  folded = folded * 2654435761u;
+  output[gid] = folded ^ w;
+}
+)CL";
+
+const char* kMtSource = R"CL(
+// Mersenne-Twister-style tempered stream generator: two state loads and one
+// store per sample around a handful of shifts/xors — memory-dominated.
+kernel void mersenne_twister(global uint* state, global uint* output,
+                             int n, int samples) {
+  int gid = get_global_id(0);
+  for (int i = 0; i < samples; i++) {
+    uint x = state[(gid + i) % n];
+    uint y = state[(gid + i * 397) % n];
+    uint z = (x & 2147483648u) | (y & 2147483647u);
+    uint v = z >> 1;
+    v = v ^ (v >> 11);
+    v = v ^ ((v << 7) & 2636928640u);
+    v = v ^ ((v << 15) & 4022730752u);
+    v = v ^ (v >> 18);
+    output[gid * samples + i] = v;
+  }
+}
+)CL";
+
+const char* kBlackscholesSource = R"CL(
+// Black-Scholes European option pricing (call and put per work-item).
+float cnd(float d) {
+  float k = 1.0f / (1.0f + 0.2316419f * fabs(d));
+  float poly = k * (0.319381530f + k * (-0.356563782f +
+               k * (1.781477937f + k * (-1.821255978f + k * 1.330274429f))));
+  float w = 1.0f - 0.39894228f * exp(-0.5f * d * d) * poly;
+  return d < 0.0f ? 1.0f - w : w;
+}
+
+kernel void blackscholes(global float* price, global float* strike,
+                         global float* years, global float* call_out,
+                         global float* put_out, float riskfree, float vol) {
+  int gid = get_global_id(0);
+  float s = price[gid];
+  float k = strike[gid];
+  float t = years[gid];
+  float sq = sqrt(t);
+  float d1 = (log(s / k) + (riskfree + 0.5f * vol * vol) * t) / (vol * sq);
+  float d2 = d1 - vol * sq;
+  float c1 = cnd(d1);
+  float c2 = cnd(d2);
+  float kexp = k * exp(-riskfree * t);
+  call_out[gid] = s * c1 - kexp * c2;
+  put_out[gid] = kexp * (1.0f - c2) - s * (1.0f - c1);
+}
+)CL";
+
+const char* kPerlinSource = R"CL(
+// 2-D Perlin gradient noise with fractal octaves: float-multiply heavy.
+float fade(float t) {
+  return t * t * t * (t * (t * 6.0f - 15.0f) + 10.0f);
+}
+
+float lerpf(float a, float b, float t) {
+  return a + t * (b - a);
+}
+
+float grad(int h, float x, float y) {
+  int hh = h & 7;
+  float u = hh < 4 ? x : y;
+  float v = hh < 4 ? y : x;
+  float su = (hh & 1) == 0 ? u : -u;
+  float sv = (hh & 2) == 0 ? v : -v;
+  return su + 0.5f * sv;
+}
+
+kernel void perlin_noise(global float* output, global int* perm,
+                         int width, float frequency, int octaves) {
+  int gid = get_global_id(0);
+  int px = gid % width;
+  int py = gid / width;
+  float amp = 1.0f;
+  float freq = frequency;
+  float sum = 0.0f;
+  for (int o = 0; o < octaves; o++) {
+    float fx = (float)px * freq;
+    float fy = (float)py * freq;
+    int ix = (int)fx & 255;
+    int iy = (int)fy & 255;
+    float rx = fx - floor(fx);
+    float ry = fy - floor(fy);
+    float u = fade(rx);
+    float v = fade(ry);
+    int aa = perm[(perm[ix] + iy) & 255];
+    int ab = perm[(perm[ix] + iy + 1) & 255];
+    int ba = perm[(perm[(ix + 1) & 255] + iy) & 255];
+    int bb = perm[(perm[(ix + 1) & 255] + iy + 1) & 255];
+    float g00 = grad(aa, rx, ry);
+    float g10 = grad(ba, rx - 1.0f, ry);
+    float g01 = grad(ab, rx, ry - 1.0f);
+    float g11 = grad(bb, rx - 1.0f, ry - 1.0f);
+    float nx0 = lerpf(g00, g10, u);
+    float nx1 = lerpf(g01, g11, u);
+    sum += amp * lerpf(nx0, nx1, v);
+    amp *= 0.5f;
+    freq *= 2.0f;
+  }
+  output[gid] = sum;
+}
+)CL";
+
+const char* kMdSource = R"CL(
+// Lennard-Jones molecular-dynamics force kernel (all-pairs with cutoff).
+kernel void md_forces(global float* posx, global float* posy, global float* posz,
+                      global float* fx_out, global float* fy_out,
+                      global float* fz_out, int n, float cutoff2) {
+  int gid = get_global_id(0);
+  float px = posx[gid];
+  float py = posy[gid];
+  float pz = posz[gid];
+  float fx = 0.0f;
+  float fy = 0.0f;
+  float fz = 0.0f;
+  for (int j = 0; j < n; j++) {
+    float dx = px - posx[j];
+    float dy = py - posy[j];
+    float dz = pz - posz[j];
+    float r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 < cutoff2 && r2 > 0.000001f) {
+      float inv = 1.0f / r2;
+      float inv3 = inv * inv * inv;
+      float f = 24.0f * inv * inv3 * (2.0f * inv3 - 1.0f);
+      fx += f * dx;
+      fy += f * dy;
+      fz += f * dz;
+    }
+  }
+  fx_out[gid] = fx;
+  fy_out[gid] = fy;
+  fz_out[gid] = fz;
+}
+)CL";
+
+const char* kKmeansSource = R"CL(
+// K-means assignment step: nearest centroid per point.
+kernel void kmeans_assign(global float* points, global float* centroids,
+                          global int* assignment, int n_clusters, int dims) {
+  int gid = get_global_id(0);
+  float best = FLT_MAX;
+  int best_c = 0;
+  for (int c = 0; c < n_clusters; c++) {
+    float acc = 0.0f;
+    for (int d = 0; d < dims; d++) {
+      float diff = points[gid * dims + d] - centroids[c * dims + d];
+      acc += diff * diff;
+    }
+    if (acc < best) {
+      best = acc;
+      best_c = c;
+    }
+  }
+  assignment[gid] = best_c;
+}
+)CL";
+
+const char* kFlteSource = R"CL(
+// Flte: streaming FIR filter (linear transversal estimator) over a signal,
+// coefficients in constant memory.
+kernel void flte(global float* signal, global float* output,
+                 constant float* coeff, int n, int taps) {
+  int gid = get_global_id(0);
+  float acc = 0.0f;
+  for (int t = 0; t < taps; t++) {
+    int idx = gid + t;
+    if (idx >= n) {
+      idx = n - 1;
+    }
+    acc = mad(signal[idx], coeff[t], acc);
+  }
+  float prev = gid > 0 ? signal[gid - 1] : 0.0f;
+  output[gid] = acc - 0.25f * prev;
+}
+)CL";
+
+// ---------------------------------------------------------------------------
+// Suite assembly
+// ---------------------------------------------------------------------------
+
+/// Dynamic profiles at canonical problem sizes. The calibration targets the
+/// paper's characterization:
+///   * k-NN, PerlinNoise, MD, BitCompression: compute-dominated (strong core
+///     scaling; speedup ~linear in f_core at high memory clocks);
+///   * MT, Blackscholes, Flte: memory-dominated (flat in f_core, steep in
+///     f_mem; points collapse at low memory clocks);
+///   * AES, MatrixMultiply, Convolution, MedianFilter, K-means: mixed.
+/// `erratic` is higher for the kernels the paper reports as hard at low
+/// memory clocks (k-NN, MT, AES).
+std::vector<TestBenchmark> build_suite() {
+  std::vector<TestBenchmark> suite;
+  const auto add = [&suite](const std::string& name, const std::string& kernel,
+                            const char* source, const ProfileSpec& spec) {
+    TestBenchmark b;
+    b.name = name;
+    b.kernel_name = kernel;
+    b.source = source;
+    b.profile = make_profile(name, spec);
+    suite.push_back(std::move(b));
+  };
+
+  // PerlinNoise: 1Mpix, 4 octaves. Almost pure float compute, tiny tables
+  // (cached). The easiest benchmark in Table 2.
+  add("PerlinNoise", "perlin_noise", kPerlinSource,
+      {.int_add = 90, .int_mul = 8, .int_div = 2, .int_bw = 60,
+       .float_add = 120, .float_mul = 150, .float_div = 0, .sf = 8,
+       .gl_access = 18, .loc_access = 0,
+       .work_items = 1u << 20, .cache_hit = 0.92, .coalescing = 0.9,
+       .overlap = 0.12, .erratic = 0.30});
+
+  // MD: n = 4096 neighbours; position loads broadcast across the warp ->
+  // high hit rate; ~10 flops per iteration. Compute-dominated.
+  add("MD", "md_forces", kMdSource,
+      {.int_add = 4200, .int_mul = 0, .int_div = 0, .int_bw = 0,
+       .float_add = 20000, .float_mul = 24000, .float_div = 4100, .sf = 0,
+       .gl_access = 12300, .loc_access = 0,
+       .work_items = 1u << 17, .cache_hit = 0.97, .coalescing = 0.9,
+       .overlap = 0.10, .erratic = 0.35});
+
+  // K-means: 16 clusters x 8 dims; centroids cached, points streamed.
+  add("K-means", "kmeans_assign", kKmeansSource,
+      {.int_add = 450, .int_mul = 260, .int_div = 0, .int_bw = 0,
+       .float_add = 390, .float_mul = 130, .float_div = 0, .sf = 0,
+       .gl_access = 260, .loc_access = 0,
+       .work_items = 1u << 21, .cache_hit = 0.62, .coalescing = 0.85,
+       .overlap = 0.15, .erratic = 0.40});
+
+  // MedianFilter: 9 loads (heavily overlapped between neighbours -> cache)
+  // plus a 19-op min/max network.
+  add("MedianFilter", "median_filter", kMedianSource,
+      {.int_add = 18, .int_mul = 6, .int_div = 0, .int_bw = 0,
+       .float_add = 21, .float_mul = 0, .float_div = 0, .sf = 0,
+       .gl_access = 10, .loc_access = 0,
+       .work_items = 1u << 21, .cache_hit = 0.68, .coalescing = 0.88,
+       .overlap = 0.15, .erratic = 0.45});
+
+  // Flte: 32-tap FIR; streaming with strong reuse between neighbours but a
+  // high access-to-flop ratio. Memory-leaning mixed.
+  add("Flte", "flte", kFlteSource,
+      {.int_add = 70, .int_mul = 0, .int_div = 0, .int_bw = 0,
+       .float_add = 34, .float_mul = 33, .float_div = 0, .sf = 0,
+       .gl_access = 35, .loc_access = 0,
+       .work_items = 1u << 22, .cache_hit = 0.55, .coalescing = 0.92,
+       .overlap = 0.18, .erratic = 0.50});
+
+  // BitCompression: 8 unrolled nibble rounds, pure integer pipeline.
+  add("BitCompression", "bit_compress", kBitCompressionSource,
+      {.int_add = 10, .int_mul = 2, .int_div = 0, .int_bw = 46,
+       .float_add = 0, .float_mul = 0, .float_div = 0, .sf = 0,
+       .gl_access = 2, .loc_access = 0,
+       .work_items = 1u << 22, .cache_hit = 0.15, .coalescing = 0.95,
+       .overlap = 0.15, .erratic = 0.55});
+
+  // MatrixMultiply: 1024^2, 16x16 tiles; 64 tile phases x 16 mads.
+  add("MatrixMultiply", "matmul", kMatMulSource,
+      {.int_add = 700, .int_mul = 400, .int_div = 1, .int_bw = 0,
+       .float_add = 1024, .float_mul = 1024, .float_div = 0, .sf = 0,
+       .gl_access = 130, .loc_access = 2176,
+       .work_items = 1u << 20, .cache_hit = 0.45, .coalescing = 0.9,
+       .overlap = 0.12, .erratic = 0.45});
+
+  // Convolution: 5x5 filter, filter cached, image streamed with halo reuse.
+  add("Convolution", "convolution", kConvolutionSource,
+      {.int_add = 180, .int_mul = 60, .int_div = 1, .int_bw = 0,
+       .float_add = 50, .float_mul = 25, .float_div = 0, .sf = 0,
+       .gl_access = 28, .loc_access = 0,
+       .work_items = 1u << 21, .cache_hit = 0.58, .coalescing = 0.9,
+       .overlap = 0.15, .erratic = 0.50});
+
+  // k-NN: 4096 training points x 16 dims: enormous arithmetic stream with
+  // broadcast-friendly loads. The strongest core scaling of the suite and —
+  // per the paper — the hardest Pareto front (high erraticness at mem-l).
+  add("k-NN", "knn", kKnnSource,
+      {.int_add = 17000, .int_mul = 8400, .int_div = 0, .int_bw = 0,
+       .float_add = 13000, .float_mul = 6600, .float_div = 0, .sf = 410,
+       .gl_access = 6800, .loc_access = 0,
+       .work_items = 1u << 16, .cache_hit = 0.965, .coalescing = 0.85,
+       .overlap = 0.10, .erratic = 0.95});
+
+  // AES: bitwise + local-memory T-table lookups; 10 rounds.
+  add("AES", "aes_encrypt", kAesSource,
+      {.int_add = 22, .int_mul = 0, .int_div = 0, .int_bw = 95,
+       .float_add = 0, .float_mul = 0, .float_div = 0, .sf = 0,
+       .gl_access = 5, .loc_access = 41,
+       .work_items = 1u << 22, .cache_hit = 0.35, .coalescing = 0.9,
+       .overlap = 0.15, .erratic = 0.85});
+
+  // MT: per sample 2 scattered loads + 1 store around ~10 cheap bitwise
+  // ops; scattered indexing hurts coalescing. Memory-dominated.
+  add("MersenneTwister", "mersenne_twister", kMtSource,
+      {.int_add = 130, .int_mul = 33, .int_div = 64, .int_bw = 290,
+       .float_add = 0, .float_mul = 0, .float_div = 0, .sf = 0,
+       .gl_access = 96, .loc_access = 0,
+       .work_items = 1u << 21, .cache_hit = 0.12, .coalescing = 0.55,
+       .overlap = 0.20, .erratic = 0.90});
+
+  // Blackscholes: 5 streamed buffers around ~60 flops — bandwidth-bound on
+  // high memory clocks, fully collapsed at mem-L (paper Fig. 5h).
+  add("Blackscholes", "blackscholes", kBlackscholesSource,
+      {.int_add = 6, .int_mul = 2, .int_div = 0, .int_bw = 0,
+       .float_add = 28, .float_mul = 34, .float_div = 3, .sf = 4,
+       .gl_access = 40, .loc_access = 0,
+       .work_items = 1u << 22, .cache_hit = 0.05, .coalescing = 0.95,
+       .overlap = 0.20, .erratic = 0.55});
+
+  return suite;
+}
+
+std::vector<TestBenchmark> build_and_validate() {
+  auto suite = build_suite();
+  if (suite.size() != kNumTestBenchmarks) {
+    throw std::runtime_error("kernels: suite size mismatch");
+  }
+  for (const auto& b : suite) {
+    const auto features = clfront::extract_features_from_source(b.source, b.kernel_name);
+    if (!features.ok()) {
+      throw std::runtime_error("kernels: benchmark '" + b.name +
+                               "' source does not compile: " + features.error().message);
+    }
+    if (features.value().total() <= 0.0) {
+      throw std::runtime_error("kernels: benchmark '" + b.name + "' has empty features");
+    }
+  }
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<TestBenchmark>& test_suite() {
+  static const std::vector<TestBenchmark> suite = build_and_validate();
+  return suite;
+}
+
+const TestBenchmark* find_benchmark(const std::string& name) {
+  for (const auto& b : test_suite()) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+common::Result<clfront::StaticFeatures> benchmark_features(const TestBenchmark& benchmark) {
+  static std::mutex mutex;
+  static std::map<std::string, clfront::StaticFeatures> cache;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache.find(benchmark.name);
+    if (it != cache.end()) return it->second;
+  }
+  auto features =
+      clfront::extract_features_from_source(benchmark.source, benchmark.kernel_name);
+  if (!features.ok()) return features.error();
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    cache[benchmark.name] = features.value();
+  }
+  return features;
+}
+
+std::vector<std::string> figure5_selection() {
+  return {"k-NN",        "AES",            "MatrixMultiply", "Convolution",
+          "MedianFilter", "BitCompression", "MersenneTwister", "Blackscholes"};
+}
+
+}  // namespace repro::kernels

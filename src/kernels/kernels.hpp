@@ -1,0 +1,51 @@
+// The twelve test benchmarks of the paper's evaluation (§4.2, Figs. 5-8,
+// Table 2): k-NN, AES, Matrix-multiply, Convolution, Median Filter,
+// Bit Compression, Mersenne Twister (MT), Blackscholes, Perlin Noise,
+// Molecular Dynamics (MD), K-means and Flte.
+//
+// Each benchmark consists of
+//   * an OpenCL-C kernel source (parsed by clfront for static features), and
+//   * a dynamic execution profile for the GPU simulator, hand-calibrated to
+//     the characterization the paper reports: k-NN strongly core-sensitive,
+//     MT/Blackscholes memory-dominated, AES bitwise+local-memory bound, etc.
+// The deliberate gap between static features (loop bodies count once) and
+// dynamic profiles (loops iterate) is the realistic source of prediction
+// error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clfront/features.hpp"
+#include "common/status.hpp"
+#include "gpusim/kernel_profile.hpp"
+
+namespace repro::kernels {
+
+struct TestBenchmark {
+  std::string name;          // display name used in the paper's figures
+  std::string kernel_name;   // entry-point kernel in `source`
+  std::string source;        // OpenCL-C
+  gpusim::KernelProfile profile;
+};
+
+/// Number of test benchmarks (the paper evaluates twelve).
+inline constexpr std::size_t kNumTestBenchmarks = 12;
+
+/// The full test suite, in the paper's Table 2 row order. Built once,
+/// validated (every source parses and its features are non-empty) on first
+/// use; throws std::runtime_error if an embedded source fails to compile
+/// (that would be a library build defect, not user error).
+[[nodiscard]] const std::vector<TestBenchmark>& test_suite();
+
+/// Lookup by display name (nullptr when unknown).
+[[nodiscard]] const TestBenchmark* find_benchmark(const std::string& name);
+
+/// Static features of a suite benchmark (extraction is memoised).
+[[nodiscard]] common::Result<clfront::StaticFeatures> benchmark_features(
+    const TestBenchmark& benchmark);
+
+/// The eight benchmarks shown in Fig. 5, in figure order.
+[[nodiscard]] std::vector<std::string> figure5_selection();
+
+}  // namespace repro::kernels

@@ -1,0 +1,62 @@
+#include "ml/dataset.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace repro::ml {
+
+Dataset Dataset::select(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.x = Matrix(0, 0);
+  for (std::size_t idx : indices) {
+    if (idx >= size()) throw std::out_of_range("Dataset::select: index");
+    out.add(x.row(idx), y[idx]);
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& d, double test_fraction,
+                                             std::uint64_t seed) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0)
+    throw std::invalid_argument("train_test_split: fraction out of (0,1)");
+  std::vector<std::size_t> order(d.size());
+  std::iota(order.begin(), order.end(), 0);
+  common::Xoshiro256 rng(seed);
+  rng.shuffle(order);
+  const auto n_test = static_cast<std::size_t>(test_fraction * static_cast<double>(d.size()));
+  std::vector<std::size_t> test_idx(order.begin(), order.begin() + static_cast<long>(n_test));
+  std::vector<std::size_t> train_idx(order.begin() + static_cast<long>(n_test), order.end());
+  return {d.select(train_idx), d.select(test_idx)};
+}
+
+std::vector<std::pair<Dataset, Dataset>> k_fold(const Dataset& d, std::size_t k,
+                                                std::uint64_t seed) {
+  if (k < 2 || k > d.size()) throw std::invalid_argument("k_fold: bad k");
+  std::vector<std::size_t> order(d.size());
+  std::iota(order.begin(), order.end(), 0);
+  common::Xoshiro256 rng(seed);
+  rng.shuffle(order);
+
+  std::vector<std::pair<Dataset, Dataset>> folds;
+  folds.reserve(k);
+  const std::size_t base = d.size() / k;
+  const std::size_t extra = d.size() % k;
+  std::size_t start = 0;
+  for (std::size_t f = 0; f < k; ++f) {
+    const std::size_t len = base + (f < extra ? 1 : 0);
+    std::vector<std::size_t> val_idx(order.begin() + static_cast<long>(start),
+                                     order.begin() + static_cast<long>(start + len));
+    std::vector<std::size_t> train_idx;
+    train_idx.reserve(d.size() - len);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (i < start || i >= start + len) train_idx.push_back(order[i]);
+    }
+    folds.emplace_back(d.select(train_idx), d.select(val_idx));
+    start += len;
+  }
+  return folds;
+}
+
+}  // namespace repro::ml

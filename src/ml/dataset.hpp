@@ -1,0 +1,40 @@
+// Supervised-learning dataset: a feature matrix plus a target vector,
+// with helpers for splitting and K-fold cross-validation.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace repro::ml {
+
+struct Dataset {
+  Matrix x;                 // one sample per row
+  std::vector<double> y;    // target, y.size() == x.rows()
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.rows(); }
+  [[nodiscard]] std::size_t num_features() const noexcept { return x.cols(); }
+
+  void add(std::span<const double> features, double target) {
+    x.push_row(features);
+    y.push_back(target);
+  }
+
+  /// Subset by row indices.
+  [[nodiscard]] Dataset select(const std::vector<std::size_t>& indices) const;
+};
+
+/// Random train/test split; `test_fraction` in (0,1). Deterministic in seed.
+[[nodiscard]] std::pair<Dataset, Dataset> train_test_split(const Dataset& d,
+                                                           double test_fraction,
+                                                           std::uint64_t seed);
+
+/// K contiguous folds over a deterministic shuffle: returns per-fold
+/// (train, validation) pairs.
+[[nodiscard]] std::vector<std::pair<Dataset, Dataset>> k_fold(const Dataset& d,
+                                                              std::size_t k,
+                                                              std::uint64_t seed);
+
+}  // namespace repro::ml

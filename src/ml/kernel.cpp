@@ -1,0 +1,38 @@
+#include "ml/kernel.hpp"
+
+#include <cmath>
+
+#include "ml/matrix.hpp"
+
+namespace repro::ml {
+
+const char* to_string(KernelType t) noexcept {
+  switch (t) {
+    case KernelType::kLinear: return "linear";
+    case KernelType::kRbf: return "rbf";
+    case KernelType::kPolynomial: return "polynomial";
+  }
+  return "?";
+}
+
+common::Result<KernelType> kernel_type_from_string(const std::string& s) {
+  if (s == "linear") return KernelType::kLinear;
+  if (s == "rbf") return KernelType::kRbf;
+  if (s == "polynomial") return KernelType::kPolynomial;
+  return common::parse_error("unknown kernel type: " + s);
+}
+
+double KernelFunction::operator()(std::span<const double> a,
+                                  std::span<const double> b) const noexcept {
+  switch (type) {
+    case KernelType::kLinear:
+      return dot(a, b);
+    case KernelType::kRbf:
+      return std::exp(-gamma * squared_distance(a, b));
+    case KernelType::kPolynomial:
+      return std::pow(gamma * dot(a, b) + coef0, degree);
+  }
+  return 0.0;
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,38 @@
+// SVR kernel functions (paper §3.4): linear kernel for the speedup model,
+// RBF kernel (gamma = 0.1) for the normalized-energy model. A polynomial
+// kernel is provided for the ablation study.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace repro::ml {
+
+enum class KernelType { kLinear, kRbf, kPolynomial };
+
+[[nodiscard]] const char* to_string(KernelType t) noexcept;
+[[nodiscard]] common::Result<KernelType> kernel_type_from_string(const std::string& s);
+
+/// Parameterised kernel function object.
+struct KernelFunction {
+  KernelType type = KernelType::kLinear;
+  double gamma = 0.1;   // RBF / polynomial scale
+  double coef0 = 1.0;   // polynomial shift
+  int degree = 3;       // polynomial degree
+
+  [[nodiscard]] double operator()(std::span<const double> a,
+                                  std::span<const double> b) const noexcept;
+
+  [[nodiscard]] static KernelFunction linear() { return {KernelType::kLinear, 0.0, 0.0, 0}; }
+  [[nodiscard]] static KernelFunction rbf(double gamma) {
+    return {KernelType::kRbf, gamma, 0.0, 0};
+  }
+  [[nodiscard]] static KernelFunction polynomial(int degree, double gamma = 1.0,
+                                                 double coef0 = 1.0) {
+    return {KernelType::kPolynomial, gamma, coef0, degree};
+  }
+};
+
+}  // namespace repro::ml

@@ -1,0 +1,80 @@
+#include "ml/lasso.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::ml {
+
+namespace {
+
+double soft_threshold(double z, double t) noexcept {
+  if (z > t) return z - t;
+  if (z < -t) return z + t;
+  return 0.0;
+}
+
+}  // namespace
+
+void Lasso::fit(const Matrix& x, const std::vector<double>& y) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0 || y.size() != n) throw std::invalid_argument("Lasso::fit: shape");
+
+  // Center the target; features are assumed roughly scaled (callers use the
+  // MinMaxScaler). Intercept absorbs the target mean plus feature offsets.
+  coef_.assign(d, 0.0);
+  std::vector<double> residual(y);  // r = y − X w − b
+  double y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(n);
+  intercept_ = y_mean;
+  for (double& r : residual) r -= intercept_;
+
+  // Per-feature squared norms for the coordinate updates.
+  std::vector<double> col_sq(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t j = 0; j < d; ++j) col_sq[j] += row[j] * row[j];
+  }
+
+  const double l1 = params_.alpha * static_cast<double>(n);
+  iterations_ = 0;
+  for (std::size_t it = 0; it < params_.max_iter; ++it) {
+    double max_delta = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (col_sq[j] == 0.0) continue;
+      // rho_j = x_j' (r + w_j x_j)
+      double rho = 0.0;
+      for (std::size_t r = 0; r < n; ++r) rho += x(r, j) * residual[r];
+      rho += coef_[j] * col_sq[j];
+      const double w_new = soft_threshold(rho, l1) / col_sq[j];
+      const double delta = w_new - coef_[j];
+      if (delta != 0.0) {
+        for (std::size_t r = 0; r < n; ++r) residual[r] -= delta * x(r, j);
+        coef_[j] = w_new;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    // Re-fit the intercept against the current residual.
+    double r_mean = 0.0;
+    for (double v : residual) r_mean += v;
+    r_mean /= static_cast<double>(n);
+    if (r_mean != 0.0) {
+      intercept_ += r_mean;
+      for (double& v : residual) v -= r_mean;
+      max_delta = std::max(max_delta, std::abs(r_mean));
+    }
+    iterations_ = it + 1;
+    if (max_delta < params_.tol) break;
+  }
+  fitted_ = true;
+}
+
+double Lasso::predict_one(std::span<const double> x) const {
+  if (!fitted_) throw std::logic_error("Lasso::predict before fit");
+  if (x.size() != coef_.size()) throw std::invalid_argument("Lasso::predict: width");
+  return intercept_ + dot(x, coef_);
+}
+
+}  // namespace repro::ml

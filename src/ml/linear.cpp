@@ -1,0 +1,51 @@
+#include "ml/linear.hpp"
+
+#include <stdexcept>
+
+namespace repro::ml {
+
+void LinearRegression::fit(const Matrix& x, const std::vector<double>& y) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0 || y.size() != n) throw std::invalid_argument("LinearRegression::fit: shape");
+
+  // Augmented design [X | 1]; normal equations A w = b with
+  // A = X'X + l2*I (intercept unpenalised), b = X'y.
+  const std::size_t da = d + 1;
+  Matrix a(da, da);
+  std::vector<double> b(da, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i; j < d; ++j) a(i, j) += row[i] * row[j];
+      a(i, d) += row[i];
+      b[i] += row[i] * y[r];
+    }
+    a(d, d) += 1.0;
+    b[d] += y[r];
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    a(i, i) += l2_;
+    for (std::size_t j = 0; j < i; ++j) a(i, j) = a(j, i);
+  }
+  for (std::size_t j = 0; j < d; ++j) a(d, j) = a(j, d);
+
+  // Small ridge jitter keeps rank-deficient designs solvable for OLS too.
+  if (l2_ == 0.0) {
+    for (std::size_t i = 0; i < da; ++i) a(i, i) += 1e-10;
+  }
+
+  const auto w = solve_spd(a, b);
+  coef_.assign(w.begin(), w.begin() + static_cast<long>(d));
+  intercept_ = w[d];
+  fitted_ = true;
+}
+
+double LinearRegression::predict_one(std::span<const double> x) const {
+  if (!fitted_) throw std::logic_error("LinearRegression::predict before fit");
+  if (x.size() != coef_.size())
+    throw std::invalid_argument("LinearRegression::predict: width mismatch");
+  return intercept_ + dot(x, coef_);
+}
+
+}  // namespace repro::ml

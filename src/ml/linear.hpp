@@ -1,0 +1,37 @@
+// Linear least-squares regressors: OLS and ridge (Tikhonov) regression via
+// normal equations + Cholesky. These are the baselines the paper reports
+// having tried against SVR for speedup modeling (§3.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace repro::ml {
+
+/// Ordinary least squares with intercept. With `l2` > 0 this becomes ridge
+/// regression (the intercept is never penalised).
+class LinearRegression final : public Regressor {
+ public:
+  LinearRegression() = default;
+  explicit LinearRegression(double l2) : l2_(l2) {}
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  [[nodiscard]] double predict_one(std::span<const double> x) const override;
+  [[nodiscard]] std::string name() const override {
+    return l2_ > 0.0 ? "ridge" : "ols";
+  }
+  [[nodiscard]] bool fitted() const noexcept override { return fitted_; }
+
+  [[nodiscard]] const std::vector<double>& coefficients() const noexcept { return coef_; }
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+
+ private:
+  double l2_ = 0.0;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace repro::ml

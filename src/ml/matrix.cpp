@@ -1,0 +1,105 @@
+#include "ml/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::ml {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+void Matrix::push_row(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = row.size();
+  } else if (row.size() != cols_) {
+    throw std::invalid_argument("Matrix::push_row: width mismatch");
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> v) const {
+  if (v.size() != cols_) throw std::invalid_argument("Matrix::multiply(v): shape mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = dot(row(i), v);
+  return out;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::vector<double> solve_spd(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) throw std::invalid_argument("solve_spd: shape");
+
+  // In-place Cholesky A = L L^T with small diagonal jitter for robustness.
+  constexpr double kJitter = 1e-10;
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j) + kJitter;
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0) throw std::runtime_error("solve_spd: matrix not positive definite");
+    a(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / a(j, j);
+    }
+  }
+  // Forward solve L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a(i, k) * b[k];
+    b[i] = s / a(i, i);
+  }
+  // Backward solve L^T x = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a(k, ii) * b[k];
+    b[ii] = s / a(ii, ii);
+  }
+  return b;
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,73 @@
+// Dense row-major matrix, the only linear-algebra container the ML library
+// needs. Kept deliberately small: rows are contiguous so a sample is a
+// std::span<const double>.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace repro::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer list (test convenience).
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) noexcept { return at(r, c); }
+  double operator()(std::size_t r, std::size_t c) const noexcept { return at(r, c); }
+
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Append a row (must match cols, or set cols when the matrix is empty).
+  void push_row(std::span<const double> row);
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+
+  /// Transpose (used by the normal-equation solvers).
+  [[nodiscard]] Matrix transposed() const;
+
+  /// this * other.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  /// this * v  (v.size() == cols()).
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product of equal-length spans.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Squared Euclidean distance of equal-length spans.
+[[nodiscard]] double squared_distance(std::span<const double> a,
+                                      std::span<const double> b) noexcept;
+
+/// Solve A x = b for symmetric positive-definite A via Cholesky.
+/// Throws std::runtime_error when A is not SPD (within jitter tolerance).
+[[nodiscard]] std::vector<double> solve_spd(Matrix a, std::vector<double> b);
+
+}  // namespace repro::ml

@@ -1,0 +1,12 @@
+#include "ml/model.hpp"
+
+namespace repro::ml {
+
+std::vector<double> Regressor::predict(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict_one(x.row(r)));
+  return out;
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,32 @@
+// Common regressor interface: every model in the library (SVR, OLS, ridge,
+// LASSO, polynomial) trains from a Matrix + target vector and predicts a
+// scalar per sample.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace repro::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fit on training data; y.size() must equal x.rows().
+  virtual void fit(const Matrix& x, const std::vector<double>& y) = 0;
+
+  /// Predict a single sample (x.size() == num_features at fit time).
+  [[nodiscard]] virtual double predict_one(std::span<const double> x) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual bool fitted() const noexcept = 0;
+
+  /// Batch prediction (default: loop over predict_one).
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+};
+
+}  // namespace repro::ml

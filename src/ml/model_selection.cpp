@@ -1,0 +1,66 @@
+#include "ml/model_selection.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace repro::ml {
+
+double cross_val_rmse(const Dataset& data, std::size_t folds, std::uint64_t seed,
+                      const std::function<std::unique_ptr<Regressor>()>& make_model) {
+  const auto splits = k_fold(data, folds, seed);
+  double sq_sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& [train, val] : splits) {
+    auto model = make_model();
+    model->fit(train.x, train.y);
+    const auto pred = model->predict(val.x);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      const double d = pred[i] - val.y[i];
+      sq_sum += d * d;
+    }
+    count += pred.size();
+  }
+  if (count == 0) throw std::logic_error("cross_val_rmse: empty validation folds");
+  return std::sqrt(sq_sum / static_cast<double>(count));
+}
+
+SelectionResult select_model(const Dataset& data, std::size_t folds, std::uint64_t seed,
+                             const std::vector<Candidate>& candidates) {
+  if (candidates.empty()) throw std::invalid_argument("select_model: no candidates");
+  SelectionResult result;
+  result.best_rmse = std::numeric_limits<double>::infinity();
+  for (const auto& candidate : candidates) {
+    const double rmse = cross_val_rmse(data, folds, seed, candidate.make);
+    result.scores.emplace_back(candidate.name, rmse);
+    if (rmse < result.best_rmse) {
+      result.best_rmse = rmse;
+      result.best_name = candidate.name;
+    }
+  }
+  return result;
+}
+
+SelectionResult svr_rbf_grid_search(const Dataset& data, std::size_t folds,
+                                    std::uint64_t seed, const std::vector<double>& c_grid,
+                                    const std::vector<double>& gamma_grid,
+                                    double epsilon) {
+  std::vector<Candidate> candidates;
+  for (double c : c_grid) {
+    for (double gamma : gamma_grid) {
+      SvrParams params;
+      params.kernel = KernelFunction::rbf(gamma);
+      params.c = c;
+      params.epsilon = epsilon;
+      candidates.push_back({"svr-rbf C=" + common::format_double(c, 0) +
+                                " g=" + common::format_double(gamma, 3),
+                            [params] { return std::make_unique<Svr>(params); }});
+    }
+  }
+  return select_model(data, folds, seed, candidates);
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,48 @@
+// Hyper-parameter selection via K-fold cross-validation — the machinery
+// behind the paper's §3.4 statement that several regression models were
+// tried and SVR kept "because of the more accurate results".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+#include "ml/svr.hpp"
+
+namespace repro::ml {
+
+/// Cross-validated RMSE of a model factory on a dataset.
+/// `make_model` is invoked once per fold with a fresh regressor.
+[[nodiscard]] double cross_val_rmse(const Dataset& data, std::size_t folds,
+                                    std::uint64_t seed,
+                                    const std::function<std::unique_ptr<Regressor>()>&
+                                        make_model);
+
+/// One candidate in a model-selection sweep.
+struct Candidate {
+  std::string name;
+  std::function<std::unique_ptr<Regressor>()> make;
+};
+
+struct SelectionResult {
+  std::string best_name;
+  double best_rmse = 0.0;
+  std::vector<std::pair<std::string, double>> scores;  // name -> CV RMSE
+};
+
+/// Score every candidate with K-fold CV and pick the best (lowest RMSE).
+[[nodiscard]] SelectionResult select_model(const Dataset& data, std::size_t folds,
+                                           std::uint64_t seed,
+                                           const std::vector<Candidate>& candidates);
+
+/// Convenience: SVR grid over (C, gamma) for an RBF kernel.
+[[nodiscard]] SelectionResult svr_rbf_grid_search(const Dataset& data, std::size_t folds,
+                                                  std::uint64_t seed,
+                                                  const std::vector<double>& c_grid,
+                                                  const std::vector<double>& gamma_grid,
+                                                  double epsilon = 0.1);
+
+}  // namespace repro::ml

@@ -1,0 +1,40 @@
+#include "ml/poly.hpp"
+
+#include <stdexcept>
+
+namespace repro::ml {
+
+std::vector<double> PolynomialRegression::expand(std::span<const double> x) const {
+  // Basis: [x_i] ∪ [x_i^k for k=2..degree] ∪ (optionally) [x_i x_j, i<j].
+  std::vector<double> out(x.begin(), x.end());
+  for (int k = 2; k <= params_.degree; ++k) {
+    for (double v : x) {
+      double p = v;
+      for (int e = 1; e < k; ++e) p *= v;
+      out.push_back(p);
+    }
+  }
+  if (params_.interactions) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      for (std::size_t j = i + 1; j < x.size(); ++j) out.push_back(x[i] * x[j]);
+    }
+  }
+  return out;
+}
+
+void PolynomialRegression::fit(const Matrix& x, const std::vector<double>& y) {
+  if (x.rows() == 0) throw std::invalid_argument("PolynomialRegression::fit: empty");
+  input_dim_ = x.cols();
+  linear_ = LinearRegression(params_.l2);
+  Matrix expanded(0, 0);
+  for (std::size_t r = 0; r < x.rows(); ++r) expanded.push_row(expand(x.row(r)));
+  linear_.fit(expanded, y);
+}
+
+double PolynomialRegression::predict_one(std::span<const double> x) const {
+  if (x.size() != input_dim_) throw std::invalid_argument("PolynomialRegression: width");
+  const auto e = expand(x);
+  return linear_.predict_one(e);
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,85 @@
+#include "ml/scaler.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace repro::ml {
+
+void MinMaxScaler::fit(const Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("MinMaxScaler::fit: empty matrix");
+  mins_.assign(x.cols(), 0.0);
+  maxs_.assign(x.cols(), 0.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double lo = x(0, c);
+    double hi = x(0, c);
+    for (std::size_t r = 1; r < x.rows(); ++r) {
+      lo = std::min(lo, x(r, c));
+      hi = std::max(hi, x(r, c));
+    }
+    mins_[c] = lo;
+    maxs_[c] = hi;
+  }
+}
+
+std::vector<double> MinMaxScaler::transform(std::span<const double> row) const {
+  if (row.size() != mins_.size()) throw std::invalid_argument("MinMaxScaler: width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    const double range = maxs_[c] - mins_[c];
+    out[c] = range == 0.0 ? 0.0 : (row[c] - mins_[c]) / range;
+  }
+  return out;
+}
+
+Matrix MinMaxScaler::transform(const Matrix& x) const {
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto t = transform(x.row(r));
+    for (std::size_t c = 0; c < x.cols(); ++c) out(r, c) = t[c];
+  }
+  return out;
+}
+
+Matrix MinMaxScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+std::vector<double> MinMaxScaler::inverse_transform(std::span<const double> row) const {
+  if (row.size() != mins_.size()) throw std::invalid_argument("MinMaxScaler: width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = mins_[c] + row[c] * (maxs_[c] - mins_[c]);
+  }
+  return out;
+}
+
+std::string MinMaxScaler::serialize() const {
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << "minmax_scaler " << mins_.size() << '\n';
+  for (std::size_t c = 0; c < mins_.size(); ++c) {
+    oss << mins_[c] << ' ' << maxs_[c] << '\n';
+  }
+  return oss.str();
+}
+
+common::Result<MinMaxScaler> MinMaxScaler::deserialize(const std::string& text) {
+  std::istringstream iss(text);
+  std::string tag;
+  std::size_t n = 0;
+  if (!(iss >> tag >> n) || tag != "minmax_scaler") {
+    return common::parse_error("MinMaxScaler: bad header");
+  }
+  MinMaxScaler s;
+  s.mins_.resize(n);
+  s.maxs_.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!(iss >> s.mins_[c] >> s.maxs_[c])) {
+      return common::parse_error("MinMaxScaler: truncated body");
+    }
+  }
+  return s;
+}
+
+}  // namespace repro::ml

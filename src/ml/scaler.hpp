@@ -1,0 +1,44 @@
+// Min–max feature scaling to [0, 1], the normalization the paper applies to
+// feature vectors before training (§3.2: "The frequency values ... are both
+// linearly mapped into the interval [0, 1]").
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ml/matrix.hpp"
+
+namespace repro::ml {
+
+class MinMaxScaler {
+ public:
+  MinMaxScaler() = default;
+
+  /// Learn per-column minima/maxima. Constant columns map to 0.
+  void fit(const Matrix& x);
+
+  [[nodiscard]] bool fitted() const noexcept { return !mins_.empty(); }
+  [[nodiscard]] std::size_t num_features() const noexcept { return mins_.size(); }
+
+  [[nodiscard]] std::vector<double> transform(std::span<const double> row) const;
+  [[nodiscard]] Matrix transform(const Matrix& x) const;
+  [[nodiscard]] Matrix fit_transform(const Matrix& x);
+
+  /// Inverse map for a single row (used in tests).
+  [[nodiscard]] std::vector<double> inverse_transform(std::span<const double> row) const;
+
+  [[nodiscard]] const std::vector<double>& mins() const noexcept { return mins_; }
+  [[nodiscard]] const std::vector<double>& maxs() const noexcept { return maxs_; }
+
+  /// Text serialisation (one line per field), for model persistence.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static common::Result<MinMaxScaler> deserialize(const std::string& text);
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace repro::ml

@@ -1,0 +1,318 @@
+#include "ml/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace repro::ml {
+
+namespace {
+
+constexpr double kTau = 1e-12;  // floor for the quadratic coefficient
+
+/// Dense symmetric kernel cache over the n training samples, stored as
+/// float to halve memory (n ≈ 4240 in the paper's training set -> ~72 MB).
+class KernelCache {
+ public:
+  KernelCache(const Matrix& x, const KernelFunction& kernel) : n_(x.rows()), k_(n_ * n_) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto xi = x.row(i);
+      float* row = k_.data() + i * n_;
+      for (std::size_t j = i; j < n_; ++j) {
+        const auto v = static_cast<float>(kernel(xi, x.row(j)));
+        row[j] = v;
+        k_[j * n_ + i] = v;
+      }
+    }
+  }
+
+  [[nodiscard]] const float* row(std::size_t i) const noexcept { return k_.data() + i * n_; }
+  [[nodiscard]] float at(std::size_t i, std::size_t j) const noexcept {
+    return k_[i * n_ + j];
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<float> k_;
+};
+
+}  // namespace
+
+void Svr::fit(const Matrix& x, const std::vector<double>& y) {
+  const std::size_t n = x.rows();
+  if (n == 0) throw std::invalid_argument("Svr::fit: empty training set");
+  if (y.size() != n) throw std::invalid_argument("Svr::fit: |y| != rows(X)");
+  const double c = params_.c;
+  const double eps = params_.epsilon;
+
+  const KernelCache cache(x, params_.kernel);
+
+  // 2n-variable formulation: s < n carries label +1 (α), s >= n label −1 (α*).
+  const std::size_t m = 2 * n;
+  std::vector<double> beta(m, 0.0);
+  std::vector<double> grad(m);   // G_s = Σ_t Q_st β_t + p_s; initially p_s
+  std::vector<std::int8_t> label(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    grad[i] = eps - y[i];
+    grad[i + n] = eps + y[i];
+    label[i] = +1;
+    label[i + n] = -1;
+  }
+
+  const auto q = [&](std::size_t s, std::size_t t) -> double {
+    const double base = static_cast<double>(label[s]) * static_cast<double>(label[t]) *
+                        static_cast<double>(cache.at(s % n, t % n));
+    return s == t ? base + params_.diag_jitter : base;
+  };
+
+  // Diagonal of Q (label signs square away), with the stabilising jitter.
+  std::vector<double> q_diag(m);
+  for (std::size_t s = 0; s < m; ++s) {
+    q_diag[s] = static_cast<double>(cache.at(s % n, s % n)) + params_.diag_jitter;
+  }
+
+  std::int64_t iter = 0;
+  bool converged = false;
+  for (; iter < params_.max_iter; ++iter) {
+    // Second-order working-set selection (LIBSVM WSS2):
+    // i maximizes −y_s G_s over I_up; j minimizes the quadratic gain
+    // −b²/a over I_low among points violating against i.
+    double g_max = -std::numeric_limits<double>::infinity();
+    double g_min = std::numeric_limits<double>::infinity();
+    std::size_t best_i = m;
+    for (std::size_t s = 0; s < m; ++s) {
+      const double v = -static_cast<double>(label[s]) * grad[s];
+      const bool in_up = (label[s] > 0) ? (beta[s] < c) : (beta[s] > 0.0);
+      const bool in_low = (label[s] > 0) ? (beta[s] > 0.0) : (beta[s] < c);
+      if (in_up && v > g_max) {
+        g_max = v;
+        best_i = s;
+      }
+      if (in_low && v < g_min) g_min = v;
+    }
+    if (best_i == m || g_max - g_min < params_.tol) {
+      converged = true;
+      break;
+    }
+    const std::size_t i = best_i;
+    const float* qrow_i = cache.row(i % n);
+    const double yi = static_cast<double>(label[i]);
+
+    std::size_t best_j = m;
+    double best_obj = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < m; ++s) {
+      const bool in_low = (label[s] > 0) ? (beta[s] > 0.0) : (beta[s] < c);
+      if (!in_low) continue;
+      const double v = -static_cast<double>(label[s]) * grad[s];
+      const double b_val = g_max - v;
+      if (b_val <= 0.0) continue;
+      const double q_is = yi * static_cast<double>(label[s]) *
+                          static_cast<double>(qrow_i[s % n]);
+      double a = q_diag[i] + q_diag[s] - 2.0 * q_is;
+      if (a <= 0.0) a = kTau;
+      const double obj = -(b_val * b_val) / a;
+      if (obj < best_obj) {
+        best_obj = obj;
+        best_j = s;
+      }
+    }
+    if (best_j == m) {
+      converged = true;
+      break;
+    }
+    const std::size_t j = best_j;
+
+    // Two-variable subproblem (LIBSVM update rules, equal box C).
+    const double old_bi = beta[i];
+    const double old_bj = beta[j];
+    if (label[i] != label[j]) {
+      double quad = q(i, i) + q(j, j) + 2.0 * q(i, j);
+      if (quad <= 0.0) quad = kTau;
+      const double delta = (-grad[i] - grad[j]) / quad;
+      const double diff = beta[i] - beta[j];
+      beta[i] += delta;
+      beta[j] += delta;
+      if (diff > 0.0) {
+        if (beta[j] < 0.0) {
+          beta[j] = 0.0;
+          beta[i] = diff;
+        }
+      } else {
+        if (beta[i] < 0.0) {
+          beta[i] = 0.0;
+          beta[j] = -diff;
+        }
+      }
+      if (diff > 0.0) {
+        if (beta[i] > c) {
+          beta[i] = c;
+          beta[j] = c - diff;
+        }
+      } else {
+        if (beta[j] > c) {
+          beta[j] = c;
+          beta[i] = c + diff;
+        }
+      }
+    } else {
+      double quad = q(i, i) + q(j, j) - 2.0 * q(i, j);
+      if (quad <= 0.0) quad = kTau;
+      const double delta = (grad[i] - grad[j]) / quad;
+      const double sum = beta[i] + beta[j];
+      beta[i] -= delta;
+      beta[j] += delta;
+      if (sum > c) {
+        if (beta[i] > c) {
+          beta[i] = c;
+          beta[j] = sum - c;
+        }
+      } else {
+        if (beta[j] < 0.0) {
+          beta[j] = 0.0;
+          beta[i] = sum;
+        }
+      }
+      if (sum > c) {
+        if (beta[j] > c) {
+          beta[j] = c;
+          beta[i] = sum - c;
+        }
+      } else {
+        if (beta[i] < 0.0) {
+          beta[i] = 0.0;
+          beta[j] = sum;
+        }
+      }
+    }
+
+    // Gradient maintenance: G_s += Q_si Δβ_i + Q_sj Δβ_j.
+    const double d_i = beta[i] - old_bi;
+    const double d_j = beta[j] - old_bj;
+    if (d_i == 0.0 && d_j == 0.0) continue;
+    const float* row_i = cache.row(i % n);
+    const float* row_j = cache.row(j % n);
+    const double li = static_cast<double>(label[i]) * d_i;
+    const double lj = static_cast<double>(label[j]) * d_j;
+    for (std::size_t s = 0; s < m; ++s) {
+      const double ys = static_cast<double>(label[s]);
+      const std::size_t base = s % n;
+      grad[s] += ys * (li * static_cast<double>(row_i[base]) +
+                       lj * static_cast<double>(row_j[base]));
+    }
+    // Jitter contributes only on the exact diagonal of the 2n-dim problem.
+    grad[i] += params_.diag_jitter * d_i;
+    grad[j] += params_.diag_jitter * d_j;
+  }
+
+  if (!converged) {
+    common::log_warn() << "Svr::fit hit max_iter=" << params_.max_iter
+                       << " before reaching tol=" << params_.tol;
+  }
+
+  // Bias (−rho in LIBSVM terms) from the KKT conditions.
+  {
+    double ub = std::numeric_limits<double>::infinity();
+    double lb = -std::numeric_limits<double>::infinity();
+    double sum_free = 0.0;
+    std::size_t n_free = 0;
+    for (std::size_t s = 0; s < m; ++s) {
+      const double yg = static_cast<double>(label[s]) * grad[s];
+      if (beta[s] >= c) {
+        if (label[s] < 0) ub = std::min(ub, yg);
+        else lb = std::max(lb, yg);
+      } else if (beta[s] <= 0.0) {
+        if (label[s] > 0) ub = std::min(ub, yg);
+        else lb = std::max(lb, yg);
+      } else {
+        ++n_free;
+        sum_free += yg;
+      }
+    }
+    const double rho = n_free > 0 ? sum_free / static_cast<double>(n_free) : (ub + lb) / 2.0;
+    b_ = -rho;
+  }
+
+  // Collapse to support vectors: coefficient c_i = α_i − α_i*.
+  sv_ = Matrix(0, 0);
+  sv_coef_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double coef = beta[i] - beta[i + n];
+    if (coef != 0.0) {
+      sv_.push_row(x.row(i));
+      sv_coef_.push_back(coef);
+    }
+  }
+
+  info_.iterations = iter;
+  info_.converged = converged;
+  info_.support_vectors = sv_.rows();
+  fitted_ = true;
+}
+
+double Svr::predict_one(std::span<const double> x) const {
+  if (!fitted_) throw std::logic_error("Svr::predict_one before fit");
+  double acc = b_;
+  for (std::size_t i = 0; i < sv_.rows(); ++i) {
+    acc += sv_coef_[i] * params_.kernel(sv_.row(i), x);
+  }
+  return acc;
+}
+
+std::string Svr::name() const {
+  return std::string("svr-") + to_string(params_.kernel.type);
+}
+
+std::string Svr::serialize() const {
+  if (!fitted_) throw std::logic_error("Svr::serialize before fit");
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << "svr " << to_string(params_.kernel.type) << ' ' << params_.kernel.gamma << ' '
+      << params_.kernel.coef0 << ' ' << params_.kernel.degree << ' ' << params_.c << ' '
+      << params_.epsilon << ' ' << b_ << ' ' << sv_.rows() << ' ' << sv_.cols() << '\n';
+  for (std::size_t i = 0; i < sv_.rows(); ++i) {
+    oss << sv_coef_[i];
+    for (double v : sv_.row(i)) oss << ' ' << v;
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+common::Result<Svr> Svr::deserialize(const std::string& text) {
+  std::istringstream iss(text);
+  std::string tag;
+  std::string kernel_name;
+  SvrParams params;
+  double b = 0.0;
+  std::size_t n_sv = 0;
+  std::size_t dim = 0;
+  if (!(iss >> tag >> kernel_name >> params.kernel.gamma >> params.kernel.coef0 >>
+        params.kernel.degree >> params.c >> params.epsilon >> b >> n_sv >> dim) ||
+      tag != "svr") {
+    return common::parse_error("Svr: bad header");
+  }
+  const auto kt = kernel_type_from_string(kernel_name);
+  if (!kt.ok()) return kt.error();
+  params.kernel.type = kt.value();
+
+  Svr model(params);
+  model.b_ = b;
+  std::vector<double> row(dim);
+  for (std::size_t i = 0; i < n_sv; ++i) {
+    double coef = 0.0;
+    if (!(iss >> coef)) return common::parse_error("Svr: truncated SV coefficient");
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (!(iss >> row[d])) return common::parse_error("Svr: truncated SV row");
+    }
+    model.sv_coef_.push_back(coef);
+    model.sv_.push_row(row);
+  }
+  model.fitted_ = true;
+  model.info_.support_vectors = n_sv;
+  return model;
+}
+
+}  // namespace repro::ml

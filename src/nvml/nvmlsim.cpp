@@ -1,0 +1,258 @@
+#include "nvml/nvmlsim.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "gpusim/simulator.hpp"
+
+namespace {
+
+using repro::gpusim::DeviceModel;
+using repro::gpusim::FrequencyConfig;
+using repro::gpusim::GpuSimulator;
+using repro::gpusim::KernelProfile;
+
+struct SimDevice {
+  GpuSimulator sim;
+  FrequencyConfig requested;  // application clocks as requested
+  FrequencyConfig effective;  // after clamping
+  const KernelProfile* workload = nullptr;
+
+  explicit SimDevice(DeviceModel model)
+      : sim(std::move(model)),
+        requested(sim.freq().default_config()),
+        effective(sim.freq().default_config()) {}
+};
+
+struct NvmlState {
+  std::mutex mutex;
+  bool initialized = false;
+  std::vector<std::unique_ptr<SimDevice>> devices;
+};
+
+NvmlState& state() {
+  static NvmlState s;
+  return s;
+}
+
+SimDevice* to_device(nvmlDevice_t handle) {
+  return reinterpret_cast<SimDevice*>(handle);
+}
+
+bool is_valid_device(const NvmlState& s, SimDevice* dev) {
+  for (const auto& d : s.devices) {
+    if (d.get() == dev) return true;
+  }
+  return false;
+}
+
+/// Guard that validates initialization + handle and produces the device.
+nvmlReturn_t checked_device(nvmlDevice_t handle, SimDevice** out) {
+  NvmlState& s = state();
+  if (!s.initialized) return NVML_ERROR_UNINITIALIZED;
+  SimDevice* dev = to_device(handle);
+  if (dev == nullptr || !is_valid_device(s, dev)) return NVML_ERROR_INVALID_ARGUMENT;
+  *out = dev;
+  return NVML_SUCCESS;
+}
+
+}  // namespace
+
+extern "C" {
+
+const char* nvmlErrorString(nvmlReturn_t result) {
+  switch (result) {
+    case NVML_SUCCESS: return "The operation was successful";
+    case NVML_ERROR_UNINITIALIZED: return "NVML was not first initialized with nvmlInit()";
+    case NVML_ERROR_INVALID_ARGUMENT: return "A supplied argument is invalid";
+    case NVML_ERROR_NOT_SUPPORTED: return "The requested operation is not available";
+    case NVML_ERROR_NOT_FOUND: return "A query to find an object was unsuccessful";
+    case NVML_ERROR_INSUFFICIENT_SIZE: return "An input argument is not large enough";
+    default: return "An internal driver error occurred";
+  }
+}
+
+nvmlReturn_t nvmlInit(void) {
+  NvmlState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.initialized) {
+    s.devices.clear();
+    s.devices.push_back(std::make_unique<SimDevice>(DeviceModel::titan_x()));
+    s.devices.push_back(std::make_unique<SimDevice>(DeviceModel::tesla_p100()));
+    s.initialized = true;
+  }
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlShutdown(void) {
+  NvmlState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.initialized) return NVML_ERROR_UNINITIALIZED;
+  s.devices.clear();
+  s.initialized = false;
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetCount(unsigned int* deviceCount) {
+  NvmlState& s = state();
+  if (!s.initialized) return NVML_ERROR_UNINITIALIZED;
+  if (deviceCount == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  *deviceCount = static_cast<unsigned int>(s.devices.size());
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetHandleByIndex(unsigned int index, nvmlDevice_t* device) {
+  NvmlState& s = state();
+  if (!s.initialized) return NVML_ERROR_UNINITIALIZED;
+  if (device == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  if (index >= s.devices.size()) return NVML_ERROR_NOT_FOUND;
+  *device = reinterpret_cast<nvmlDevice_t>(s.devices[index].get());
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetName(nvmlDevice_t device, char* name, unsigned int length) {
+  SimDevice* dev = nullptr;
+  if (const nvmlReturn_t rc = checked_device(device, &dev); rc != NVML_SUCCESS) return rc;
+  if (name == nullptr || length == 0) return NVML_ERROR_INVALID_ARGUMENT;
+  const std::string& n = dev->sim.device().name;
+  if (n.size() + 1 > length) return NVML_ERROR_INSUFFICIENT_SIZE;
+  std::memcpy(name, n.c_str(), n.size() + 1);
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetSupportedMemoryClocks(nvmlDevice_t device, unsigned int* count,
+                                                unsigned int* clocksMHz) {
+  SimDevice* dev = nullptr;
+  if (const nvmlReturn_t rc = checked_device(device, &dev); rc != NVML_SUCCESS) return rc;
+  if (count == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  const auto& domains = dev->sim.freq().domains();
+  const auto available = static_cast<unsigned int>(domains.size());
+  if (clocksMHz == nullptr || *count < available) {
+    *count = available;
+    return clocksMHz == nullptr ? NVML_SUCCESS : NVML_ERROR_INSUFFICIENT_SIZE;
+  }
+  // NVML enumerates descending.
+  std::vector<unsigned int> clocks;
+  for (const auto& d : domains) clocks.push_back(static_cast<unsigned int>(d.mem_mhz));
+  std::sort(clocks.rbegin(), clocks.rend());
+  std::copy(clocks.begin(), clocks.end(), clocksMHz);
+  *count = available;
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetSupportedGraphicsClocks(nvmlDevice_t device,
+                                                  unsigned int memoryClockMHz,
+                                                  unsigned int* count,
+                                                  unsigned int* clocksMHz) {
+  SimDevice* dev = nullptr;
+  if (const nvmlReturn_t rc = checked_device(device, &dev); rc != NVML_SUCCESS) return rc;
+  if (count == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  const auto* domain = dev->sim.freq().find_domain(static_cast<int>(memoryClockMHz));
+  if (domain == nullptr) return NVML_ERROR_NOT_FOUND;
+  const auto available = static_cast<unsigned int>(domain->reported_core_mhz.size());
+  if (clocksMHz == nullptr || *count < available) {
+    *count = available;
+    return clocksMHz == nullptr ? NVML_SUCCESS : NVML_ERROR_INSUFFICIENT_SIZE;
+  }
+  std::vector<unsigned int> clocks;
+  for (int f : domain->reported_core_mhz) clocks.push_back(static_cast<unsigned int>(f));
+  std::sort(clocks.rbegin(), clocks.rend());
+  std::copy(clocks.begin(), clocks.end(), clocksMHz);
+  *count = available;
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceSetApplicationsClocks(nvmlDevice_t device, unsigned int memClockMHz,
+                                             unsigned int graphicsClockMHz) {
+  SimDevice* dev = nullptr;
+  if (const nvmlReturn_t rc = checked_device(device, &dev); rc != NVML_SUCCESS) return rc;
+  const FrequencyConfig requested{static_cast<int>(graphicsClockMHz),
+                                  static_cast<int>(memClockMHz)};
+  const auto resolved = dev->sim.freq().resolve(requested);
+  if (!resolved.ok()) return NVML_ERROR_NOT_SUPPORTED;
+  dev->requested = requested;
+  dev->effective = resolved.value();  // silent clamp, as on real hardware
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceResetApplicationsClocks(nvmlDevice_t device) {
+  SimDevice* dev = nullptr;
+  if (const nvmlReturn_t rc = checked_device(device, &dev); rc != NVML_SUCCESS) return rc;
+  dev->requested = dev->sim.freq().default_config();
+  dev->effective = dev->requested;
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetApplicationsClock(nvmlDevice_t device, nvmlClockType_t type,
+                                            unsigned int* clockMHz) {
+  SimDevice* dev = nullptr;
+  if (const nvmlReturn_t rc = checked_device(device, &dev); rc != NVML_SUCCESS) return rc;
+  if (clockMHz == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  switch (type) {
+    case NVML_CLOCK_GRAPHICS:
+    case NVML_CLOCK_SM:
+      *clockMHz = static_cast<unsigned int>(dev->requested.core_mhz);
+      return NVML_SUCCESS;
+    case NVML_CLOCK_MEM:
+      *clockMHz = static_cast<unsigned int>(dev->requested.mem_mhz);
+      return NVML_SUCCESS;
+  }
+  return NVML_ERROR_INVALID_ARGUMENT;
+}
+
+nvmlReturn_t nvmlDeviceGetClockInfo(nvmlDevice_t device, nvmlClockType_t type,
+                                    unsigned int* clockMHz) {
+  SimDevice* dev = nullptr;
+  if (const nvmlReturn_t rc = checked_device(device, &dev); rc != NVML_SUCCESS) return rc;
+  if (clockMHz == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  switch (type) {
+    case NVML_CLOCK_GRAPHICS:
+    case NVML_CLOCK_SM:
+      *clockMHz = static_cast<unsigned int>(dev->effective.core_mhz);
+      return NVML_SUCCESS;
+    case NVML_CLOCK_MEM:
+      *clockMHz = static_cast<unsigned int>(dev->effective.mem_mhz);
+      return NVML_SUCCESS;
+  }
+  return NVML_ERROR_INVALID_ARGUMENT;
+}
+
+nvmlReturn_t nvmlDeviceGetPowerUsage(nvmlDevice_t device, unsigned int* milliwatts) {
+  SimDevice* dev = nullptr;
+  if (const nvmlReturn_t rc = checked_device(device, &dev); rc != NVML_SUCCESS) return rc;
+  if (milliwatts == nullptr) return NVML_ERROR_INVALID_ARGUMENT;
+  if (dev->workload == nullptr) {
+    // Idle board: static power at the current voltage point.
+    const auto& model = dev->sim.device();
+    const double v = model.voltage.volts_at(static_cast<double>(dev->effective.core_mhz));
+    const double idle_w = model.static_power_base + model.static_power_v2 * v * v + 8.0;
+    *milliwatts = static_cast<unsigned int>(idle_w * 1000.0);
+    return NVML_SUCCESS;
+  }
+  const auto m = dev->sim.run_at(*dev->workload, dev->effective);
+  *milliwatts = static_cast<unsigned int>(m.avg_power_w * 1000.0);
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlsimDeviceBindWorkload(nvmlDevice_t device,
+                                       const repro::gpusim::KernelProfile* profile) {
+  SimDevice* dev = nullptr;
+  if (const nvmlReturn_t rc = checked_device(device, &dev); rc != NVML_SUCCESS) return rc;
+  dev->workload = profile;
+  return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlsimDeviceRunWorkload(nvmlDevice_t device, double* timeMs, double* energyJ) {
+  SimDevice* dev = nullptr;
+  if (const nvmlReturn_t rc = checked_device(device, &dev); rc != NVML_SUCCESS) return rc;
+  if (dev->workload == nullptr) return NVML_ERROR_NOT_FOUND;
+  const auto m = dev->sim.run_at(*dev->workload, dev->effective);
+  if (timeMs != nullptr) *timeMs = m.time_ms;
+  if (energyJ != nullptr) *energyJ = m.energy_j;
+  return NVML_SUCCESS;
+}
+
+}  // extern "C"

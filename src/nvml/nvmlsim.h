@@ -1,0 +1,98 @@
+// nvmlsim — an NVML-compatible C API over the simulated GPUs.
+//
+// Mirrors the subset of the NVIDIA Management Library the paper relies on
+// (§4.1): querying supported memory/graphics clocks, setting application
+// clocks (including the silent clamping of over-cap requests the authors
+// observed), and reading board power. Two simulated devices are registered:
+// index 0 = GTX Titan X, index 1 = Tesla P100.
+//
+// Semantics intentionally copied from NVML:
+//  * all calls except nvmlInit fail with NVML_ERROR_UNINITIALIZED before
+//    nvmlInit / after nvmlShutdown;
+//  * nvmlDeviceGetSupportedGraphicsClocks enumerates the *reported* clocks,
+//    a superset of what actually takes effect (Fig. 4a gray points);
+//  * nvmlDeviceSetApplicationsClocks accepts any reported combination and
+//    the hardware clamps silently — nvmlDeviceGetClockInfo exposes the
+//    clamped, effective clock while nvmlDeviceGetApplicationsClock returns
+//    the requested one;
+//  * nvmlDeviceGetPowerUsage reports milliwatts with the 62.5 Hz counter
+//    granularity.
+//
+// The nvmlsim* extension functions (bottom) bind a simulated workload to a
+// device so that power/time readings reflect a "running" kernel.
+#pragma once
+
+#include <cstddef>
+
+namespace repro::gpusim {
+struct KernelProfile;  // workload binding for the simulation extension
+}
+
+extern "C" {
+
+typedef enum nvmlReturn_enum {
+  NVML_SUCCESS = 0,
+  NVML_ERROR_UNINITIALIZED = 1,
+  NVML_ERROR_INVALID_ARGUMENT = 2,
+  NVML_ERROR_NOT_SUPPORTED = 3,
+  NVML_ERROR_NOT_FOUND = 6,
+  NVML_ERROR_INSUFFICIENT_SIZE = 7,
+  NVML_ERROR_UNKNOWN = 999,
+} nvmlReturn_t;
+
+typedef enum nvmlClockType_enum {
+  NVML_CLOCK_GRAPHICS = 0,
+  NVML_CLOCK_SM = 1,
+  NVML_CLOCK_MEM = 2,
+} nvmlClockType_t;
+
+typedef struct nvmlDevice_st* nvmlDevice_t;
+
+const char* nvmlErrorString(nvmlReturn_t result);
+
+nvmlReturn_t nvmlInit(void);
+nvmlReturn_t nvmlShutdown(void);
+
+nvmlReturn_t nvmlDeviceGetCount(unsigned int* deviceCount);
+nvmlReturn_t nvmlDeviceGetHandleByIndex(unsigned int index, nvmlDevice_t* device);
+nvmlReturn_t nvmlDeviceGetName(nvmlDevice_t device, char* name, unsigned int length);
+
+/// Enumerate supported memory clocks (descending, like NVML).
+nvmlReturn_t nvmlDeviceGetSupportedMemoryClocks(nvmlDevice_t device, unsigned int* count,
+                                                unsigned int* clocksMHz);
+
+/// Enumerate *reported* graphics clocks for a memory clock (descending).
+nvmlReturn_t nvmlDeviceGetSupportedGraphicsClocks(nvmlDevice_t device,
+                                                  unsigned int memoryClockMHz,
+                                                  unsigned int* count,
+                                                  unsigned int* clocksMHz);
+
+nvmlReturn_t nvmlDeviceSetApplicationsClocks(nvmlDevice_t device,
+                                             unsigned int memClockMHz,
+                                             unsigned int graphicsClockMHz);
+nvmlReturn_t nvmlDeviceResetApplicationsClocks(nvmlDevice_t device);
+
+/// The clock that was *requested* via SetApplicationsClocks.
+nvmlReturn_t nvmlDeviceGetApplicationsClock(nvmlDevice_t device, nvmlClockType_t type,
+                                            unsigned int* clockMHz);
+
+/// The clock that actually took effect (clamped).
+nvmlReturn_t nvmlDeviceGetClockInfo(nvmlDevice_t device, nvmlClockType_t type,
+                                    unsigned int* clockMHz);
+
+/// Board power draw in milliwatts for the bound workload (idle if none).
+nvmlReturn_t nvmlDeviceGetPowerUsage(nvmlDevice_t device, unsigned int* milliwatts);
+
+// --- nvmlsim extensions (not part of NVML) --------------------------------
+
+/// Bind a workload so power readings reflect a running kernel; pass nullptr
+/// to return the device to idle.
+nvmlReturn_t nvmlsimDeviceBindWorkload(nvmlDevice_t device,
+                                       const repro::gpusim::KernelProfile* profile);
+
+/// Execute the bound workload once at the current application clocks;
+/// returns time (ms) and per-invocation energy (J).
+nvmlReturn_t nvmlsimDeviceRunWorkload(nvmlDevice_t device, double* timeMs,
+                                      double* energyJ);
+
+}  // extern "C"

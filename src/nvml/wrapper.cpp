@@ -1,0 +1,138 @@
+#include "nvml/wrapper.hpp"
+
+namespace repro::nvml {
+
+common::Error to_error(nvmlReturn_t rc, const std::string& what) {
+  const std::string msg = what + ": " + nvmlErrorString(rc);
+  switch (rc) {
+    case NVML_ERROR_INVALID_ARGUMENT: return common::invalid_argument(msg);
+    case NVML_ERROR_NOT_FOUND: return common::not_found(msg);
+    case NVML_ERROR_NOT_SUPPORTED: return common::unsupported(msg);
+    default: return common::internal_error(msg);
+  }
+}
+
+Session::Session() { ok_ = nvmlInit() == NVML_SUCCESS; }
+
+Session::~Session() {
+  if (ok_) nvmlShutdown();
+}
+
+common::Result<std::size_t> Session::device_count() const {
+  unsigned count = 0;
+  if (const auto rc = nvmlDeviceGetCount(&count); rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceGetCount");
+  }
+  return static_cast<std::size_t>(count);
+}
+
+common::Result<Device> Device::by_index(unsigned index) {
+  nvmlDevice_t handle = nullptr;
+  if (const auto rc = nvmlDeviceGetHandleByIndex(index, &handle); rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceGetHandleByIndex");
+  }
+  return Device(handle);
+}
+
+common::Result<std::string> Device::name() const {
+  char buf[128];
+  if (const auto rc = nvmlDeviceGetName(handle_, buf, sizeof(buf)); rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceGetName");
+  }
+  return std::string(buf);
+}
+
+common::Result<std::vector<unsigned>> Device::supported_memory_clocks() const {
+  unsigned count = 0;
+  (void)nvmlDeviceGetSupportedMemoryClocks(handle_, &count, nullptr);
+  std::vector<unsigned> clocks(count);
+  if (const auto rc = nvmlDeviceGetSupportedMemoryClocks(handle_, &count, clocks.data());
+      rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceGetSupportedMemoryClocks");
+  }
+  clocks.resize(count);
+  return clocks;
+}
+
+common::Result<std::vector<unsigned>> Device::supported_graphics_clocks(
+    unsigned mem_mhz) const {
+  unsigned count = 0;
+  (void)nvmlDeviceGetSupportedGraphicsClocks(handle_, mem_mhz, &count, nullptr);
+  std::vector<unsigned> clocks(count);
+  if (const auto rc =
+          nvmlDeviceGetSupportedGraphicsClocks(handle_, mem_mhz, &count, clocks.data());
+      rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceGetSupportedGraphicsClocks");
+  }
+  clocks.resize(count);
+  return clocks;
+}
+
+common::Status Device::set_applications_clocks(unsigned mem_mhz, unsigned core_mhz) const {
+  if (const auto rc = nvmlDeviceSetApplicationsClocks(handle_, mem_mhz, core_mhz);
+      rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceSetApplicationsClocks");
+  }
+  return common::Status::Ok();
+}
+
+common::Status Device::reset_applications_clocks() const {
+  if (const auto rc = nvmlDeviceResetApplicationsClocks(handle_); rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceResetApplicationsClocks");
+  }
+  return common::Status::Ok();
+}
+
+common::Result<gpusim::FrequencyConfig> Device::applications_clocks() const {
+  unsigned core = 0;
+  unsigned mem = 0;
+  if (const auto rc = nvmlDeviceGetApplicationsClock(handle_, NVML_CLOCK_GRAPHICS, &core);
+      rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceGetApplicationsClock(graphics)");
+  }
+  if (const auto rc = nvmlDeviceGetApplicationsClock(handle_, NVML_CLOCK_MEM, &mem);
+      rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceGetApplicationsClock(mem)");
+  }
+  return gpusim::FrequencyConfig{static_cast<int>(core), static_cast<int>(mem)};
+}
+
+common::Result<gpusim::FrequencyConfig> Device::effective_clocks() const {
+  unsigned core = 0;
+  unsigned mem = 0;
+  if (const auto rc = nvmlDeviceGetClockInfo(handle_, NVML_CLOCK_GRAPHICS, &core);
+      rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceGetClockInfo(graphics)");
+  }
+  if (const auto rc = nvmlDeviceGetClockInfo(handle_, NVML_CLOCK_MEM, &mem);
+      rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceGetClockInfo(mem)");
+  }
+  return gpusim::FrequencyConfig{static_cast<int>(core), static_cast<int>(mem)};
+}
+
+common::Result<double> Device::power_usage_watts() const {
+  unsigned mw = 0;
+  if (const auto rc = nvmlDeviceGetPowerUsage(handle_, &mw); rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlDeviceGetPowerUsage");
+  }
+  return static_cast<double>(mw) / 1000.0;
+}
+
+common::Status Device::bind_workload(const gpusim::KernelProfile* profile) const {
+  if (const auto rc = nvmlsimDeviceBindWorkload(handle_, profile); rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlsimDeviceBindWorkload");
+  }
+  return common::Status::Ok();
+}
+
+common::Result<Device::RunResult> Device::run_workload() const {
+  RunResult r;
+  if (const auto rc = nvmlsimDeviceRunWorkload(handle_, &r.time_ms, &r.energy_j);
+      rc != NVML_SUCCESS) {
+    return to_error(rc, "nvmlsimDeviceRunWorkload");
+  }
+  return r;
+}
+
+}  // namespace repro::nvml

@@ -1,0 +1,66 @@
+// RAII C++ wrapper over the nvmlsim C API — the interface the examples use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "gpusim/freq_table.hpp"
+#include "gpusim/kernel_profile.hpp"
+#include "nvml/nvmlsim.h"
+
+namespace repro::nvml {
+
+/// Scoped nvmlInit/nvmlShutdown.
+class Session {
+ public:
+  Session();
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] common::Result<std::size_t> device_count() const;
+
+ private:
+  bool ok_ = false;
+};
+
+/// Non-owning device facade (handles live as long as the session).
+class Device {
+ public:
+  /// Open by index (0 = Titan X, 1 = Tesla P100 in nvmlsim).
+  [[nodiscard]] static common::Result<Device> by_index(unsigned index);
+
+  [[nodiscard]] common::Result<std::string> name() const;
+  [[nodiscard]] common::Result<std::vector<unsigned>> supported_memory_clocks() const;
+  [[nodiscard]] common::Result<std::vector<unsigned>> supported_graphics_clocks(
+      unsigned mem_mhz) const;
+
+  [[nodiscard]] common::Status set_applications_clocks(unsigned mem_mhz,
+                                                       unsigned core_mhz) const;
+  [[nodiscard]] common::Status reset_applications_clocks() const;
+
+  /// Requested vs effective clocks (they differ in the clamp zone).
+  [[nodiscard]] common::Result<gpusim::FrequencyConfig> applications_clocks() const;
+  [[nodiscard]] common::Result<gpusim::FrequencyConfig> effective_clocks() const;
+
+  [[nodiscard]] common::Result<double> power_usage_watts() const;
+
+  [[nodiscard]] common::Status bind_workload(const gpusim::KernelProfile* profile) const;
+
+  struct RunResult {
+    double time_ms = 0.0;
+    double energy_j = 0.0;
+  };
+  [[nodiscard]] common::Result<RunResult> run_workload() const;
+
+ private:
+  explicit Device(nvmlDevice_t handle) : handle_(handle) {}
+  nvmlDevice_t handle_ = nullptr;
+};
+
+/// Map an nvmlReturn_t to a library error.
+[[nodiscard]] common::Error to_error(nvmlReturn_t rc, const std::string& what);
+
+}  // namespace repro::nvml

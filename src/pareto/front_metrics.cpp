@@ -1,0 +1,51 @@
+#include "pareto/front_metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::pareto {
+
+Point max_speedup_point(std::span<const Point> front) {
+  if (front.empty()) throw std::invalid_argument("max_speedup_point: empty front");
+  Point best = front[0];
+  for (const Point& p : front) {
+    if (p.speedup > best.speedup ||
+        (p.speedup == best.speedup && p.energy < best.energy)) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+Point min_energy_point(std::span<const Point> front) {
+  if (front.empty()) throw std::invalid_argument("min_energy_point: empty front");
+  Point best = front[0];
+  for (const Point& p : front) {
+    if (p.energy < best.energy ||
+        (p.energy == best.energy && p.speedup > best.speedup)) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+FrontEvaluation evaluate_front(std::span<const Point> optimal,
+                               std::span<const Point> predicted, ReferencePoint ref) {
+  FrontEvaluation eval;
+  eval.coverage = coverage_difference(optimal, predicted, ref);
+  eval.predicted_size = predicted.size();
+  eval.optimal_size = optimal.size();
+
+  const Point true_ms = max_speedup_point(optimal);
+  const Point pred_ms = max_speedup_point(predicted);
+  eval.max_speedup = {std::abs(true_ms.speedup - pred_ms.speedup),
+                      std::abs(true_ms.energy - pred_ms.energy)};
+
+  const Point true_me = min_energy_point(optimal);
+  const Point pred_me = min_energy_point(predicted);
+  eval.min_energy = {std::abs(true_me.speedup - pred_me.speedup),
+                     std::abs(true_me.energy - pred_me.energy)};
+  return eval;
+}
+
+}  // namespace repro::pareto

@@ -1,0 +1,41 @@
+// Front-quality metrics reported in Table 2 of the paper: cardinalities,
+// coverage difference and the distances between predicted and true extreme
+// points (maximum-speedup point and minimum-energy point).
+#pragma once
+
+#include <span>
+
+#include "pareto/hypervolume.hpp"
+#include "pareto/pareto.hpp"
+
+namespace repro::pareto {
+
+/// Absolute objective-space displacement between two points, reported as the
+/// pair the paper prints, e.g. "(0.036, 0.183)".
+struct ExtremeDistance {
+  double d_speedup = 0.0;
+  double d_energy = 0.0;
+};
+
+/// The point of maximum speedup (ties broken by lower energy).
+[[nodiscard]] Point max_speedup_point(std::span<const Point> front);
+
+/// The point of minimum normalized energy (ties broken by higher speedup).
+[[nodiscard]] Point min_energy_point(std::span<const Point> front);
+
+/// Table-2 row for one benchmark.
+struct FrontEvaluation {
+  double coverage = 0.0;       // D(P*, P')
+  std::size_t predicted_size = 0;  // |P'|
+  std::size_t optimal_size = 0;    // |P*|
+  ExtremeDistance max_speedup;     // distance at the max-speedup extreme
+  ExtremeDistance min_energy;      // distance at the min-energy extreme
+};
+
+/// Evaluate a predicted front `predicted` against the true front `optimal`.
+/// `ref` is the hypervolume reference point; the paper uses (0, 2).
+[[nodiscard]] FrontEvaluation evaluate_front(std::span<const Point> optimal,
+                                             std::span<const Point> predicted,
+                                             ReferencePoint ref = ReferencePoint{});
+
+}  // namespace repro::pareto

@@ -1,0 +1,67 @@
+#include "pareto/hypervolume.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace repro::pareto {
+
+double hypervolume(std::span<const Point> points, ReferencePoint ref) {
+  if (points.empty()) return 0.0;
+
+  // Clip points into the reference box and drop those with no contribution.
+  std::vector<Point> clipped;
+  clipped.reserve(points.size());
+  for (const Point& p : points) {
+    if (p.speedup <= ref.speedup || p.energy >= ref.energy) continue;
+    clipped.push_back(p);
+  }
+  if (clipped.empty()) return 0.0;
+
+  // Keep only the front; dominated points add no area.
+  std::vector<Point> front = pareto_set_fast(clipped);
+  sort_front(front);  // ascending speedup, ascending energy
+
+  // Walking the front left->right, energy strictly decreases (front property).
+  // Sum vertical slabs: each point contributes
+  //   (s_i - s_{i-1}) * (ref.energy - e_i) ... but careful: with speedup
+  // ascending and energy descending along the front, the dominated region of
+  // the union is the staircase under the *lowest energy to the right*.
+  // Standard 2-D HV: sort by speedup DESCENDING; slab width is the speedup
+  // drop, height from the best (lowest) energy seen so far.
+  std::sort(front.begin(), front.end(), [](const Point& a, const Point& b) {
+    if (a.speedup != b.speedup) return a.speedup > b.speedup;
+    return a.energy < b.energy;
+  });
+
+  double hv = 0.0;
+  double prev_speedup = 0.0;
+  double best_energy = ref.energy;
+  bool first = true;
+  for (const Point& p : front) {
+    if (first) {
+      prev_speedup = p.speedup;
+      best_energy = p.energy;
+      first = false;
+      continue;
+    }
+    if (p.energy < best_energy) {
+      // Slab between this point's speedup and the previous slab edge,
+      // at the previous best energy level.
+      hv += (prev_speedup - p.speedup) * (ref.energy - best_energy);
+      prev_speedup = p.speedup;
+      best_energy = p.energy;
+    }
+  }
+  // Final slab down to the reference speedup.
+  hv += (prev_speedup - ref.speedup) * (ref.energy - best_energy);
+  return hv;
+}
+
+double coverage_difference(std::span<const Point> a, std::span<const Point> b,
+                           ReferencePoint ref) {
+  std::vector<Point> merged(a.begin(), a.end());
+  merged.insert(merged.end(), b.begin(), b.end());
+  return hypervolume(merged, ref) - hypervolume(b, ref);
+}
+
+}  // namespace repro::pareto

@@ -1,0 +1,38 @@
+// Hypervolume indicator and the binary coverage-difference metric used in
+// Table 2 of the paper.
+//
+// The hypervolume HV(P) of a point set P w.r.t. a reference point r measures
+// the area of objective space dominated by P and bounded by r. With speedup
+// maximized and energy minimized, a point (s, e) dominates the axis-aligned
+// rectangle [0, s] x [e, r_e] when the reference point is r = (r_s, r_e) with
+// r_s = 0 on the speedup axis ("worst" speedup) and r_e above all energies.
+// The paper uses the reference point (0.0, 2.0).
+//
+// The binary coverage difference (Zitzler's D metric, Eq. 2 in the paper):
+//     D(P*, P') = HV(P* + P') - HV(P')
+// i.e. the area dominated by the union but not by the approximation P'.
+#pragma once
+
+#include <span>
+
+#include "pareto/pareto.hpp"
+
+namespace repro::pareto {
+
+/// Reference point for the hypervolume; the paper fixes (0.0, 2.0).
+struct ReferencePoint {
+  double speedup = 0.0;  // lower bound on speedup
+  double energy = 2.0;   // upper bound on normalized energy
+};
+
+/// 2-D hypervolume of the region dominated by `points` w.r.t. `ref`.
+/// Points outside the reference box contribute only their clipped part.
+[[nodiscard]] double hypervolume(std::span<const Point> points,
+                                 ReferencePoint ref = ReferencePoint{});
+
+/// Binary coverage difference D(a, b) = HV(a ∪ b) − HV(b) (paper Eq. 2).
+[[nodiscard]] double coverage_difference(std::span<const Point> a,
+                                         std::span<const Point> b,
+                                         ReferencePoint ref = ReferencePoint{});
+
+}  // namespace repro::pareto

@@ -1,0 +1,62 @@
+#include "pareto/knee.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace repro::pareto {
+
+Point knee_by_utopia_distance(std::span<const Point> front) {
+  if (front.empty()) throw std::invalid_argument("knee_by_utopia_distance: empty front");
+  double s_min = front[0].speedup, s_max = front[0].speedup;
+  double e_min = front[0].energy, e_max = front[0].energy;
+  for (const Point& p : front) {
+    s_min = std::min(s_min, p.speedup);
+    s_max = std::max(s_max, p.speedup);
+    e_min = std::min(e_min, p.energy);
+    e_max = std::max(e_max, p.energy);
+  }
+  const double s_range = s_max - s_min;
+  const double e_range = e_max - e_min;
+
+  Point best = front[0];
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const Point& p : front) {
+    const double ds = s_range > 0.0 ? (s_max - p.speedup) / s_range : 0.0;
+    const double de = e_range > 0.0 ? (p.energy - e_min) / e_range : 0.0;
+    const double d = std::sqrt(ds * ds + de * de);
+    if (d < best_d) {
+      best_d = d;
+      best = p;
+    }
+  }
+  return best;
+}
+
+std::vector<double> hypervolume_contributions(std::span<const Point> front,
+                                              ReferencePoint ref) {
+  const double total = hypervolume(front, ref);
+  std::vector<double> out(front.size(), 0.0);
+  std::vector<Point> without;
+  without.reserve(front.size());
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    without.clear();
+    for (std::size_t j = 0; j < front.size(); ++j) {
+      if (j != i) without.push_back(front[j]);
+    }
+    out[i] = total - hypervolume(without, ref);
+  }
+  return out;
+}
+
+Point knee_by_hypervolume(std::span<const Point> front, ReferencePoint ref) {
+  if (front.empty()) throw std::invalid_argument("knee_by_hypervolume: empty front");
+  const auto contributions = hypervolume_contributions(front, ref);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < contributions.size(); ++i) {
+    if (contributions[i] > contributions[best]) best = i;
+  }
+  return front[best];
+}
+
+}  // namespace repro::pareto

@@ -1,0 +1,32 @@
+// Post-Pareto decision support: once a front is predicted, a deployment
+// still has to pick *one* configuration. Two standard selectors are
+// provided (an extension beyond the paper, which stops at the front):
+//   * utopia-distance knee: the front point closest to the ideal point
+//     (max speedup, min energy), objectives scaled to the front's ranges;
+//   * hypervolume contribution: the point whose removal loses the most
+//     dominated area — the "most load-bearing" recommendation.
+#pragma once
+
+#include <span>
+
+#include "pareto/hypervolume.hpp"
+#include "pareto/pareto.hpp"
+
+namespace repro::pareto {
+
+/// The front point nearest (scaled Euclidean) to the utopia point
+/// (max speedup, min energy over the front). Ranges degenerate to a single
+/// point front gracefully. Precondition: non-empty front.
+[[nodiscard]] Point knee_by_utopia_distance(std::span<const Point> front);
+
+/// Exclusive hypervolume contribution of each front point w.r.t. `ref`
+/// (same order as the input).
+[[nodiscard]] std::vector<double> hypervolume_contributions(
+    std::span<const Point> front, ReferencePoint ref = ReferencePoint{});
+
+/// The front point with the largest exclusive hypervolume contribution.
+/// Precondition: non-empty front.
+[[nodiscard]] Point knee_by_hypervolume(std::span<const Point> front,
+                                        ReferencePoint ref = ReferencePoint{});
+
+}  // namespace repro::pareto

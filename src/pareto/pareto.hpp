@@ -1,0 +1,52 @@
+// Bi-objective Pareto machinery for (speedup, normalized energy) points.
+//
+// Objective convention throughout the library (paper §3.4):
+//   * speedup  s — to be MAXIMIZED,
+//   * normalized energy e — to be MINIMIZED.
+//
+// A point w_i = (s_i, e_i) dominates w_j = (s_j, e_j), written w_i ≺ w_j, iff
+//   (s_i >= s_j && e_i < e_j)  ||  (s_i > s_j && e_i <= e_j).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repro::pareto {
+
+/// One evaluated kernel execution in objective space. `id` carries the
+/// identity of the underlying frequency configuration so a computed front
+/// can be mapped back to configurations.
+struct Point {
+  double speedup = 0.0;
+  double energy = 0.0;   // normalized energy (lower is better)
+  std::uint32_t id = 0;  // opaque tag (e.g. index into a config table)
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Strict Pareto dominance a ≺ b under (max speedup, min energy).
+[[nodiscard]] bool dominates(const Point& a, const Point& b) noexcept;
+
+/// True if no element of `set` dominates `p`.
+[[nodiscard]] bool is_non_dominated(const Point& p, std::span<const Point> set) noexcept;
+
+/// The paper's Algorithm 1 ("Simple Pareto set calculation"), faithfully
+/// O(n^2): every candidate is compared against the remaining points.
+/// Returns the Pareto-optimal subset (order unspecified).
+[[nodiscard]] std::vector<Point> pareto_set_naive(std::span<const Point> points);
+
+/// Sort-based O(n log n) 2-D Pareto set. Semantics identical to the naive
+/// algorithm: duplicates of a non-dominated objective vector are all kept.
+[[nodiscard]] std::vector<Point> pareto_set_fast(std::span<const Point> points);
+
+/// Canonical front ordering: ascending speedup, ties by ascending energy.
+/// Useful for printing/diffing fronts.
+void sort_front(std::vector<Point>& front) noexcept;
+
+/// True if every point in `a` equals some point in `b` and vice versa
+/// (multiset equality on objective vectors, ignoring ids).
+[[nodiscard]] bool same_front(std::span<const Point> a, std::span<const Point> b);
+
+}  // namespace repro::pareto

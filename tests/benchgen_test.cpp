@@ -1,0 +1,143 @@
+// Tests for the synthetic training-benchmark generator (§3.3): suite size,
+// source validity, feature-space coverage and source/profile consistency.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/benchgen.hpp"
+#include "clfront/features.hpp"
+
+namespace rb = repro::benchgen;
+namespace rc = repro::clfront;
+
+namespace {
+
+const std::vector<rb::MicroBenchmark>& suite() {
+  static const auto s = rb::generate_training_suite().value();
+  return s;
+}
+
+/// The feature index each pattern is designed to stress.
+rc::FeatureIndex target_feature(rb::Pattern p) {
+  return static_cast<rc::FeatureIndex>(static_cast<std::size_t>(p));
+}
+
+}  // namespace
+
+TEST(BenchgenTest, SuiteHas106Benchmarks) {
+  EXPECT_EQ(rb::kSuiteSize, 106u);
+  EXPECT_EQ(suite().size(), 106u);
+}
+
+TEST(BenchgenTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& mb : suite()) names.insert(mb.name);
+  EXPECT_EQ(names.size(), suite().size());
+}
+
+TEST(BenchgenTest, EverySourceCompilesWithNonEmptyFeatures) {
+  for (const auto& mb : suite()) {
+    const auto f = rc::extract_features_from_source(mb.source, mb.name);
+    ASSERT_TRUE(f.ok()) << mb.name << ": " << f.error().message;
+    EXPECT_GT(f.value().total(), 0.0) << mb.name;
+  }
+}
+
+TEST(BenchgenTest, ProfileMatchesStaticCounts) {
+  // The generated codes are fully unrolled, so the simulator profile equals
+  // the static counts by construction.
+  for (const auto& mb : suite()) {
+    for (std::size_t i = 0; i < rc::kNumFeatures; ++i) {
+      EXPECT_DOUBLE_EQ(mb.profile.ops[i], mb.features.counts[i]) << mb.name;
+    }
+  }
+}
+
+TEST(BenchgenTest, DeterministicInSeed) {
+  const auto a = rb::generate_training_suite(99).value();
+  const auto b = rb::generate_training_suite(99).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_DOUBLE_EQ(a[i].profile.cache_hit_rate, b[i].profile.cache_hit_rate);
+  }
+}
+
+TEST(BenchgenTest, DifferentSeedsChangeMixes) {
+  const auto a = rb::generate_training_suite(1).value();
+  const auto b = rb::generate_training_suite(2).value();
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].source != b[i].source) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BenchgenTest, ProfileKnobsInSaneRanges) {
+  for (const auto& mb : suite()) {
+    EXPECT_GT(mb.profile.work_items, 0u) << mb.name;
+    EXPECT_GE(mb.profile.cache_hit_rate, 0.0);
+    EXPECT_LE(mb.profile.cache_hit_rate, 1.0);
+    EXPECT_GT(mb.profile.mem_coalescing, 0.0);
+    EXPECT_LE(mb.profile.mem_coalescing, 1.0);
+    EXPECT_GE(mb.profile.erratic, 0.0);
+    EXPECT_LE(mb.profile.erratic, 1.0);
+  }
+}
+
+/// Parameterized per-pattern checks.
+class PatternSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatternSweep, TargetFeatureFractionGrowsWithIntensity) {
+  const auto pattern = static_cast<rb::Pattern>(GetParam());
+  const auto target = target_feature(pattern);
+  double prev_fraction = -1.0;
+  for (int e = 0; e < rb::kIntensityLevels; e += 2) {
+    const auto src = rb::pattern_source(pattern, e);
+    const auto f = rc::extract_features_from_source(src);
+    ASSERT_TRUE(f.ok()) << rb::pattern_name(pattern) << " e=" << e;
+    const double fraction =
+        f.value().normalized()[static_cast<std::size_t>(target)];
+    EXPECT_GT(fraction, prev_fraction)
+        << rb::pattern_name(pattern) << " intensity " << e;
+    prev_fraction = fraction;
+  }
+  // At the highest intensity the targeted feature carries substantial
+  // weight (memory patterns need companion index arithmetic per access, so
+  // their asymptotic fraction is below the pure-arithmetic patterns').
+  const auto top = rc::extract_features_from_source(
+      rb::pattern_source(pattern, rb::kIntensityLevels - 1));
+  ASSERT_TRUE(top.ok());
+  EXPECT_GT(top.value().normalized()[static_cast<std::size_t>(target)], 0.2)
+      << rb::pattern_name(pattern);
+}
+
+TEST_P(PatternSweep, AllIntensitiesCompile) {
+  const auto pattern = static_cast<rb::Pattern>(GetParam());
+  for (int e = 0; e < rb::kIntensityLevels; ++e) {
+    const auto f = rc::extract_features_from_source(rb::pattern_source(pattern, e));
+    EXPECT_TRUE(f.ok()) << rb::pattern_name(pattern) << " e=" << e << ": "
+                        << (f.ok() ? "" : f.error().message);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternSweep,
+                         ::testing::Range(0, static_cast<int>(rb::kNumPatterns)));
+
+TEST(BenchgenTest, PatternNamesFollowPaperConvention) {
+  EXPECT_STREQ(rb::pattern_name(rb::Pattern::kIntAdd), "b-int-add");
+  EXPECT_STREQ(rb::pattern_name(rb::Pattern::kSf), "b-sf");
+  EXPECT_STREQ(rb::pattern_name(rb::Pattern::kLocAccess), "b-loc-access");
+}
+
+TEST(BenchgenTest, MixBenchmarksCombineMultipleFeatures) {
+  std::size_t multi_feature_mixes = 0;
+  for (const auto& mb : suite()) {
+    if (mb.name.rfind("b_mix_", 0) != 0) continue;
+    std::size_t active = 0;
+    for (double c : mb.features.counts) active += c > 0.0 ? 1 : 0;
+    if (active >= 3) ++multi_feature_mixes;
+  }
+  EXPECT_GE(multi_feature_mixes, 8u);
+}

@@ -1,0 +1,119 @@
+// Lexer tests: token kinds, literals with OpenCL suffixes, comments,
+// operators and error reporting.
+#include <gtest/gtest.h>
+
+#include "clfront/lexer.hpp"
+
+namespace rc = repro::clfront;
+
+namespace {
+
+std::vector<rc::Token> lex_ok(const std::string& src) {
+  rc::Lexer lexer(src);
+  auto tokens = lexer.tokenize();
+  EXPECT_TRUE(tokens.ok()) << (tokens.ok() ? "" : tokens.error().message);
+  return tokens.ok() ? std::move(tokens).take() : std::vector<rc::Token>{};
+}
+
+}  // namespace
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  const auto tokens = lex_ok("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, rc::TokenKind::kEof);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  const auto tokens = lex_ok("kernel void my_fn");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, rc::TokenKind::kKeyword);
+  EXPECT_EQ(tokens[0].text, "kernel");
+  EXPECT_EQ(tokens[1].kind, rc::TokenKind::kKeyword);
+  EXPECT_EQ(tokens[2].kind, rc::TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[2].text, "my_fn");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  const auto tokens = lex_ok("42 0x1F 7u 100UL");
+  EXPECT_EQ(tokens[0].int_value, 42u);
+  EXPECT_EQ(tokens[1].int_value, 31u);
+  EXPECT_TRUE(tokens[2].is_unsigned);
+  EXPECT_EQ(tokens[3].int_value, 100u);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  const auto tokens = lex_ok("1.5f 2.0 3e2 4.5e-1f .25f");
+  EXPECT_EQ(tokens[0].kind, rc::TokenKind::kFloatLiteral);
+  EXPECT_TRUE(tokens[0].is_float32);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 1.5);
+  EXPECT_FALSE(tokens[1].is_float32);  // no 'f' suffix -> double
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 300.0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.45);
+  EXPECT_DOUBLE_EQ(tokens[4].float_value, 0.25);
+}
+
+TEST(LexerTest, TrailingDotFloat) {
+  const auto tokens = lex_ok("1.f");
+  EXPECT_EQ(tokens[0].kind, rc::TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 1.0);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  const auto tokens = lex_ok("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(tokens.size(), 4u);  // a b c eof
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, PreprocessorLinesAreSkipped) {
+  const auto tokens = lex_ok("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nx");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "x");
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  const auto tokens = lex_ok("<< >> <= >= == != && || += -= <<= >>= ++ -- ->");
+  const rc::TokenKind expected[] = {
+      rc::TokenKind::kShl, rc::TokenKind::kShr, rc::TokenKind::kLe,
+      rc::TokenKind::kGe, rc::TokenKind::kEq, rc::TokenKind::kNe,
+      rc::TokenKind::kAmpAmp, rc::TokenKind::kPipePipe, rc::TokenKind::kPlusAssign,
+      rc::TokenKind::kMinusAssign, rc::TokenKind::kShlAssign, rc::TokenKind::kShrAssign,
+      rc::TokenKind::kPlusPlus, rc::TokenKind::kMinusMinus, rc::TokenKind::kArrow,
+  };
+  ASSERT_EQ(tokens.size(), std::size(expected) + 1);
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, SourceLocationsTrackLinesAndColumns) {
+  const auto tokens = lex_ok("a\n  b");
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[1].loc.line, 2);
+  EXPECT_EQ(tokens[1].loc.column, 3);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  rc::Lexer lexer("a /* never closed");
+  EXPECT_FALSE(lexer.tokenize().ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  rc::Lexer lexer("int a = $;");
+  const auto result = lexer.tokenize();
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("unexpected character"), std::string::npos);
+}
+
+TEST(LexerTest, MalformedExponentFails) {
+  rc::Lexer lexer("1e+");
+  EXPECT_FALSE(lexer.tokenize().ok());
+}
+
+TEST(LexerTest, KeywordPredicate) {
+  EXPECT_TRUE(rc::is_keyword("__global"));
+  EXPECT_TRUE(rc::is_keyword("float"));
+  EXPECT_FALSE(rc::is_keyword("float4"));  // type *names* are contextual
+  EXPECT_FALSE(rc::is_keyword("banana"));
+}

@@ -1,0 +1,310 @@
+// Lowering + feature-extraction tests: instruction classification, vector
+// width weighting, address-space mapping, builtin handling, static loop
+// semantics and the normalized feature vector of §3.2.
+#include <gtest/gtest.h>
+
+#include "clfront/features.hpp"
+#include "clfront/lower.hpp"
+#include "clfront/parser.hpp"
+
+namespace rc = repro::clfront;
+
+namespace {
+
+rc::StaticFeatures features_of(const std::string& src, const std::string& kernel = "") {
+  auto f = rc::extract_features_from_source(src, kernel);
+  EXPECT_TRUE(f.ok()) << (f.ok() ? "" : f.error().message);
+  return f.ok() ? std::move(f).take() : rc::StaticFeatures{};
+}
+
+rc::IrModule lower_ok(const std::string& src) {
+  auto unit = rc::parse_opencl(src);
+  EXPECT_TRUE(unit.ok()) << (unit.ok() ? "" : unit.error().message);
+  auto module = rc::lower_to_ir(unit.value());
+  EXPECT_TRUE(module.ok()) << (module.ok() ? "" : module.error().message);
+  return module.ok() ? std::move(module).take() : rc::IrModule{};
+}
+
+}  // namespace
+
+// --- classification --------------------------------------------------------------
+
+TEST(LowerTest, IntegerArithmeticClasses) {
+  const auto f = features_of(
+      "kernel void k(int a, int b) {"
+      " int s = a + b;"       // int_add
+      " int m = a * b;"       // int_mul
+      " int d = a / b;"       // int_div
+      " int r = a % b;"       // int_div (rem)
+      " int x = a ^ b;"       // int_bw
+      " int sh = a << 2;"     // int_bw
+      "}");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kIntAdd), 1.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kIntMul), 1.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kIntDiv), 2.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kIntBw), 2.0);
+}
+
+TEST(LowerTest, FloatArithmeticClasses) {
+  const auto f = features_of(
+      "kernel void k(float a, float b) {"
+      " float s = a + b;"
+      " float m = a * b;"
+      " float d = a / b;"
+      "}");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatAdd), 1.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatMul), 1.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatDiv), 1.0);
+}
+
+TEST(LowerTest, MixedOperandsPromoteToFloat) {
+  const auto f = features_of("kernel void k(float a, int b) { float r = a + b; }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatAdd), 1.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kIntAdd), 0.0);
+}
+
+TEST(LowerTest, ComparisonsCountAsAddClass) {
+  const auto f = features_of(
+      "kernel void k(int a, float b) { int x = a < 3; int y = b > 0.0f; }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kIntAdd), 1.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatAdd), 1.0);
+}
+
+// --- memory accesses -----------------------------------------------------------------
+
+TEST(LowerTest, GlobalLoadAndStore) {
+  const auto f = features_of("kernel void k(global float* a) { a[1] = a[0]; }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kGlAccess), 2.0);  // one load + one store
+}
+
+TEST(LowerTest, LocalMemoryAccesses) {
+  const auto f = features_of(
+      "kernel void k() { local float t[64]; t[0] = 1.0f; float x = t[1]; }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kLocAccess), 2.0);
+}
+
+TEST(LowerTest, ConstantMemoryCountsAsGlobal) {
+  const auto f = features_of("kernel void k(constant float* c) { float x = c[0]; }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kGlAccess), 1.0);
+}
+
+TEST(LowerTest, PrivateArraysAreFree) {
+  const auto f = features_of("kernel void k() { float t[8]; t[0] = 1.0f; float x = t[1]; }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kGlAccess), 0.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kLocAccess), 0.0);
+}
+
+TEST(LowerTest, CompoundAssignToMemoryLoadsAndStores) {
+  const auto f = features_of("kernel void k(global float* a) { a[0] += 1.0f; }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kGlAccess), 2.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatAdd), 1.0);
+}
+
+TEST(LowerTest, VectorAccessWeightsByWidth) {
+  const auto f = features_of("kernel void k(global float4* a) { a[1] = a[0]; }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kGlAccess), 8.0);  // 4 + 4
+}
+
+TEST(LowerTest, VectorArithmeticWeightsByWidth) {
+  const auto f = features_of("kernel void k(float4 a, float4 b) { float4 c = a + b; }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatAdd), 4.0);
+}
+
+// --- builtins -------------------------------------------------------------------------
+
+TEST(LowerTest, SpecialFunctions) {
+  const auto f = features_of(
+      "kernel void k(float x) { float a = sin(x); float b = exp(x);"
+      " float c = native_sqrt(x); float d = pow(x, 2.0f); }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kSf), 4.0);
+}
+
+TEST(LowerTest, RuntimeQueriesAreFree) {
+  const auto f = features_of("kernel void k(global int* a) { a[0] = 0; int i = 0; i = i + get_global_id(0); }");
+  // get_global_id contributes nothing; only the surrounding add counts.
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kIntAdd), 1.0);
+}
+
+TEST(LowerTest, BarrierIsFree) {
+  const auto f = features_of(
+      "kernel void k() { local float t[8]; t[0] = 0.0f; barrier(CLK_LOCAL_MEM_FENCE); }");
+  EXPECT_DOUBLE_EQ(f.total(), 1.0);  // only the local store
+}
+
+TEST(LowerTest, FmaExpandsToMulAdd) {
+  const auto f = features_of("kernel void k(float a) { float r = fma(a, a, a); }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatMul), 1.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatAdd), 1.0);
+}
+
+TEST(LowerTest, MadOnVectorWeightsByWidth) {
+  const auto f = features_of(
+      "kernel void k(float4 a, float4 b, float4 c) { float4 r = mad(a, b, c); }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatMul), 4.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatAdd), 4.0);
+}
+
+TEST(LowerTest, DotProductExpansion) {
+  const auto f = features_of("kernel void k(float4 a, float4 b) { float d = dot(a, b); }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatMul), 4.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatAdd), 3.0);
+}
+
+TEST(LowerTest, LengthAddsSqrt) {
+  const auto f = features_of("kernel void k(float4 a) { float l = length(a); }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kSf), 1.0);
+}
+
+TEST(LowerTest, CheapMathByOperandType) {
+  const auto f = features_of(
+      "kernel void k(float a, int b) { float x = fmin(a, 1.0f); int y = max(b, 3); }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatAdd), 1.0);
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kIntAdd), 1.0);
+}
+
+TEST(LowerTest, VloadVstore) {
+  const auto f = features_of(
+      "kernel void k(global float* p) { float4 v = vload4(0, p); vstore4(v, 0, p); }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kGlAccess), 8.0);
+}
+
+TEST(LowerTest, AtomicCountsGlobalAccessAndIntOp) {
+  const auto f = features_of("kernel void k(global int* p) { atomic_add(p, 1); }");
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kGlAccess), 1.0);  // the atomic RMW
+  EXPECT_GE(f.count(rc::FeatureIndex::kIntAdd), 1.0);
+}
+
+// --- static loop semantics -------------------------------------------------------------
+
+TEST(LowerTest, LoopBodyCountsOnce) {
+  const auto once = features_of("kernel void k(float a) { float x = a * a; }");
+  const auto looped = features_of(
+      "kernel void k(float a) { for (int i = 0; i < 1000; i++) { float x = a * a; } }");
+  // Static counting: the multiply appears once regardless of trip count.
+  EXPECT_DOUBLE_EQ(once.count(rc::FeatureIndex::kFloatMul),
+                   looped.count(rc::FeatureIndex::kFloatMul));
+}
+
+TEST(LowerTest, UserFunctionCallsAreInlinedStatically) {
+  const auto f = features_of(
+      "float helper(float x) { return x * x; }\n"
+      "kernel void k(float a) { float r = helper(a) + helper(a); }");
+  // Two call sites -> helper's multiply counted twice.
+  EXPECT_DOUBLE_EQ(f.count(rc::FeatureIndex::kFloatMul), 2.0);
+}
+
+TEST(LowerTest, RecursionIsRejected) {
+  auto unit = rc::parse_opencl(
+      "float bad(float x) { return bad(x); }\n"
+      "kernel void k(float a) { float r = bad(a); }");
+  ASSERT_TRUE(unit.ok());
+  auto module = rc::lower_to_ir(unit.value());
+  ASSERT_TRUE(module.ok());
+  EXPECT_FALSE(rc::extract_features(module.value(), "k").ok());
+}
+
+// --- error handling ---------------------------------------------------------------------
+
+TEST(LowerTest, UndeclaredIdentifierFails) {
+  auto unit = rc::parse_opencl("kernel void k() { int a = nonexistent; }");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_FALSE(rc::lower_to_ir(unit.value()).ok());
+}
+
+TEST(LowerTest, UnknownFunctionFails) {
+  auto unit = rc::parse_opencl("kernel void k(float a) { float r = frobnicate(a); }");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_FALSE(rc::lower_to_ir(unit.value()).ok());
+}
+
+TEST(LowerTest, BreakOutsideLoopFails) {
+  auto unit = rc::parse_opencl("kernel void k() { break; }");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_FALSE(rc::lower_to_ir(unit.value()).ok());
+}
+
+TEST(LowerTest, StoreToConstantFails) {
+  auto unit = rc::parse_opencl("kernel void k(constant float* c) { c[0] = 1.0f; }");
+  ASSERT_TRUE(unit.ok());
+  EXPECT_FALSE(rc::lower_to_ir(unit.value()).ok());
+}
+
+// --- IR structure -----------------------------------------------------------------------
+
+TEST(IrTest, VerifyPassesOnLoweredModules) {
+  const auto module = lower_ok(
+      "kernel void k(global float* a, int n) {"
+      " for (int i = 0; i < n; i++) { if (i > 2) { a[i] = 0.0f; } else { continue; } } }");
+  EXPECT_TRUE(rc::verify_ir(module).ok());
+}
+
+TEST(IrTest, DumpContainsOpcodes) {
+  const auto module = lower_ok("kernel void k(global float* a) { a[0] = a[1] * 2.0f; }");
+  const auto dump = rc::dump_ir(module);
+  EXPECT_NE(dump.find("gload"), std::string::npos);
+  EXPECT_NE(dump.find("gstore"), std::string::npos);
+  EXPECT_NE(dump.find("fmul"), std::string::npos);
+}
+
+TEST(IrTest, LoopsEmitLabelsAndBranches) {
+  const auto module =
+      lower_ok("kernel void k(int n) { int s = 0; while (n > 0) { n = n - 1; } }");
+  const auto dump = rc::dump_ir(module);
+  EXPECT_NE(dump.find("while_cond"), std::string::npos);
+  EXPECT_NE(dump.find("condbr"), std::string::npos);
+}
+
+// --- normalized feature vector -------------------------------------------------------------
+
+TEST(FeaturesTest, NormalizedSumsToOne) {
+  const auto f = features_of(
+      "kernel void k(global float* a) { float x = a[0]; x = x * 2.0f; a[1] = x + 1.0f; }");
+  const auto norm = f.normalized();
+  double sum = 0.0;
+  for (double v : norm) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FeaturesTest, SameMixSameNormalizedVector) {
+  // Paper §3.2: codes with the same arithmetic intensity but different
+  // instruction counts share a feature representation.
+  const auto small = features_of(
+      "kernel void k(float a) { float x = a + a; float y = x * x; }");
+  const auto large = features_of(
+      "kernel void k(float a) {"
+      " float x = a + a; float y = x * x;"
+      " float x2 = y + y; float y2 = x2 * x2;"
+      " float x3 = y2 + y2; float y3 = x3 * x3; }");
+  const auto ns = small.normalized();
+  const auto nl = large.normalized();
+  for (std::size_t i = 0; i < rc::kNumFeatures; ++i) {
+    EXPECT_NEAR(ns[i], nl[i], 1e-12) << "feature " << i;
+  }
+}
+
+TEST(FeaturesTest, EmptyKernelHasZeroVector) {
+  const auto f = features_of("kernel void k() { }");
+  EXPECT_DOUBLE_EQ(f.total(), 0.0);
+  for (double v : f.normalized()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(FeaturesTest, KernelSelectionByName) {
+  const std::string src =
+      "kernel void a(float x) { float r = x + x; }\n"
+      "kernel void b(float x) { float r = x * x; }";
+  EXPECT_DOUBLE_EQ(features_of(src, "a").count(rc::FeatureIndex::kFloatAdd), 1.0);
+  EXPECT_DOUBLE_EQ(features_of(src, "b").count(rc::FeatureIndex::kFloatMul), 1.0);
+  // Empty name -> first kernel.
+  EXPECT_EQ(features_of(src).kernel_name, "a");
+}
+
+TEST(FeaturesTest, MissingKernelIsError) {
+  EXPECT_FALSE(rc::extract_features_from_source("kernel void k() {}", "nope").ok());
+  EXPECT_FALSE(rc::extract_features_from_source("float f(float x) { return x; }").ok());
+}
+
+TEST(FeaturesTest, FeatureNamesMatchPaperOrder) {
+  EXPECT_STREQ(rc::feature_name(rc::FeatureIndex::kIntAdd), "int_add");
+  EXPECT_STREQ(rc::feature_name(rc::FeatureIndex::kSf), "sf");
+  EXPECT_STREQ(rc::feature_name(rc::FeatureIndex::kLocAccess), "loc_access");
+}

@@ -1,0 +1,286 @@
+// Unit tests for the common utilities: RNG determinism, statistics, CSV
+// round-trips, string helpers, table rendering and the Result/Status types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace rc = repro::common;
+
+// --- Result / Status --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  rc::Status st;
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  rc::Status st = rc::not_found("missing thing");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, rc::ErrorCode::kNotFound);
+  EXPECT_NE(st.error().message.find("missing thing"), std::string::npos);
+}
+
+TEST(ResultTest, HoldsValue) {
+  rc::Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  rc::Result<int> r = rc::invalid_argument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, rc::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  rc::Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ErrorCodeTest, AllCodesHaveNames) {
+  for (auto code : {rc::ErrorCode::kInvalidArgument, rc::ErrorCode::kOutOfRange,
+                    rc::ErrorCode::kNotFound, rc::ErrorCode::kParseError,
+                    rc::ErrorCode::kTypeError, rc::ErrorCode::kUnsupported,
+                    rc::ErrorCode::kInternal, rc::ErrorCode::kIo}) {
+    EXPECT_STRNE(rc::to_string(code), "unknown");
+  }
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(RngTest, Xoshiro256IsDeterministic) {
+  rc::Xoshiro256 a(123);
+  rc::Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  rc::Xoshiro256 a(1);
+  rc::Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  rc::Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIndexBounds) {
+  rc::Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(17), 17u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  rc::Xoshiro256 rng(42);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.gaussian();
+  EXPECT_NEAR(rc::mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(rc::stddev(xs), 1.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  rc::Xoshiro256 rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, HashGaussianIsStateless) {
+  EXPECT_EQ(rc::hash_gaussian(777), rc::hash_gaussian(777));
+  EXPECT_NE(rc::hash_gaussian(777), rc::hash_gaussian(778));
+}
+
+TEST(RngTest, HashGaussianRoughlyStandard) {
+  std::vector<double> xs(20000);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = rc::hash_gaussian(i * 2654435761ULL);
+  EXPECT_NEAR(rc::mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(rc::stddev(xs), 1.0, 0.05);
+}
+
+TEST(RngTest, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(rc::fnv1a(std::string("kernel_a")), rc::fnv1a(std::string("kernel_b")));
+  EXPECT_EQ(rc::fnv1a(std::string("same")), rc::fnv1a(std::string("same")));
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(StatsTest, MeanAndStddev) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(rc::mean(xs), 3.0);
+  EXPECT_NEAR(rc::stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, EmptyInputsAreNaN) {
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(rc::mean(empty)));
+  EXPECT_TRUE(std::isnan(rc::percentile(empty, 50)));
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(rc::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(rc::percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(rc::percentile(xs, 50), 25.0);
+}
+
+TEST(StatsTest, PercentileRejectsBadP) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)rc::percentile(xs, -1), std::invalid_argument);
+  EXPECT_THROW((void)rc::percentile(xs, 101), std::invalid_argument);
+}
+
+TEST(StatsTest, RmseKnownValue) {
+  const std::vector<double> pred{1, 2, 3};
+  const std::vector<double> truth{1, 2, 5};
+  EXPECT_NEAR(rc::rmse(pred, truth), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_NEAR(rc::mae(pred, truth), 2.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, RmseSizeMismatchThrows) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1};
+  EXPECT_THROW((void)rc::rmse(a, b), std::invalid_argument);
+}
+
+TEST(StatsTest, RelativeErrorsPercent) {
+  const std::vector<double> pred{1.1};
+  const std::vector<double> truth{1.0};
+  const auto errs = rc::relative_errors_percent(pred, truth);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NEAR(errs[0], 10.0, 1e-9);
+}
+
+TEST(StatsTest, RSquaredPerfectFit) {
+  const std::vector<double> y{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(rc::r_squared(y, y), 1.0);
+}
+
+TEST(StatsTest, BoxStatsOrdering) {
+  std::vector<double> xs{9, 1, 5, 3, 7};
+  const auto box = rc::box_stats(xs);
+  EXPECT_EQ(box.n, 5u);
+  EXPECT_LE(box.min, box.q25);
+  EXPECT_LE(box.q25, box.median);
+  EXPECT_LE(box.median, box.q75);
+  EXPECT_LE(box.q75, box.max);
+  EXPECT_DOUBLE_EQ(box.median, 5.0);
+}
+
+// --- strings --------------------------------------------------------------------
+
+TEST(StringsTest, SplitBasic) {
+  const auto parts = rc::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(rc::trim("  hi \t\n"), "hi");
+  EXPECT_EQ(rc::trim(""), "");
+  EXPECT_EQ(rc::trim("   "), "");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(rc::join(parts, "-"), "x-y-z");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(rc::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(rc::format_double(1.0, 0), "1");
+}
+
+TEST(StringsTest, StartsWithAndLower) {
+  EXPECT_TRUE(rc::starts_with("gpufreq", "gpu"));
+  EXPECT_FALSE(rc::starts_with("gpu", "gpufreq"));
+  EXPECT_EQ(rc::to_lower("MiXeD"), "mixed");
+}
+
+// --- csv -----------------------------------------------------------------------
+
+TEST(CsvTest, RoundTripWithQuoting) {
+  rc::CsvDocument doc({"name", "value"});
+  doc.add_row({std::string("plain"), std::string("1")});
+  doc.add_row({std::string("with,comma"), std::string("quote\"inside")});
+  const auto parsed = rc::CsvDocument::parse(doc.to_string());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().header(), doc.header());
+  ASSERT_EQ(parsed.value().num_rows(), 2u);
+  EXPECT_EQ(parsed.value().rows()[1][0], "with,comma");
+  EXPECT_EQ(parsed.value().rows()[1][1], "quote\"inside");
+}
+
+TEST(CsvTest, DoubleRows) {
+  rc::CsvDocument doc({"a", "b"});
+  doc.add_row(std::vector<double>{1.5, 2.25}, 3);
+  EXPECT_EQ(doc.rows()[0][0], "1.500");
+}
+
+TEST(CsvTest, ColumnIndex) {
+  rc::CsvDocument doc({"x", "y"});
+  ASSERT_TRUE(doc.column_index("y").ok());
+  EXPECT_EQ(doc.column_index("y").value(), 1u);
+  EXPECT_FALSE(doc.column_index("z").ok());
+}
+
+TEST(CsvTest, SaveAndLoad) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gpufreq_csv_test.csv").string();
+  rc::CsvDocument doc({"k"});
+  doc.add_row({std::string("v")});
+  ASSERT_TRUE(doc.save(path).ok());
+  const auto loaded = rc::CsvDocument::load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().rows()[0][0], "v");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, EmptyDocumentIsParseError) {
+  EXPECT_FALSE(rc::CsvDocument::parse("").ok());
+}
+
+// --- table ----------------------------------------------------------------------
+
+TEST(TableTest, RendersAllCells) {
+  rc::TablePrinter table({"col_a", "col_b"}, {rc::Align::kLeft, rc::Align::kRight});
+  table.add_row({"x", "1"});
+  table.add_separator();
+  table.add_row({"longer", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("col_a"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  rc::TablePrinter table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NE(table.to_string().find("only"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 1u);
+}

@@ -1,0 +1,394 @@
+// Tests for the GPU DVFS simulator: frequency tables (Fig. 4 topology),
+// voltage curve, timing/power model properties and measurement determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/device.hpp"
+#include "gpusim/freq_table.hpp"
+#include "gpusim/perf_model.hpp"
+#include "gpusim/power_model.hpp"
+#include "gpusim/simulator.hpp"
+#include "gpusim/voltage.hpp"
+
+namespace rg = repro::gpusim;
+
+namespace {
+
+rg::KernelProfile compute_profile() {
+  rg::KernelProfile p;
+  p.name = "compute_heavy";
+  p.set_op(rg::OpClass::kFloatAdd, 400);
+  p.set_op(rg::OpClass::kFloatMul, 400);
+  p.set_op(rg::OpClass::kIntAdd, 100);
+  p.set_op(rg::OpClass::kGlobalAccess, 4);
+  p.work_items = 1 << 20;
+  p.cache_hit_rate = 0.7;
+  p.erratic = 0.0;
+  return p;
+}
+
+rg::KernelProfile memory_profile() {
+  rg::KernelProfile p;
+  p.name = "memory_heavy";
+  p.set_op(rg::OpClass::kIntAdd, 10);
+  p.set_op(rg::OpClass::kGlobalAccess, 64);
+  p.work_items = 1 << 21;
+  p.cache_hit_rate = 0.05;
+  p.erratic = 0.0;
+  return p;
+}
+
+rg::SimOptions quiet_options() {
+  rg::SimOptions o;
+  o.measurement_noise = false;
+  o.erratic_behaviour = false;
+  return o;
+}
+
+}  // namespace
+
+// --- frequency tables ------------------------------------------------------------
+
+TEST(FreqTableTest, TitanXDomainCounts) {
+  const auto d = rg::FrequencyDomain::titan_x();
+  ASSERT_EQ(d.domains().size(), 4u);
+  const auto* mem_L = d.find_domain(rg::MemLevel::kL);
+  const auto* mem_l = d.find_domain(rg::MemLevel::kLow);
+  const auto* mem_h = d.find_domain(rg::MemLevel::kHigh);
+  const auto* mem_H = d.find_domain(rg::MemLevel::kH);
+  ASSERT_NE(mem_L, nullptr);
+  ASSERT_NE(mem_l, nullptr);
+  ASSERT_NE(mem_h, nullptr);
+  ASSERT_NE(mem_H, nullptr);
+  // Paper §4.1: mem-L supports 6 core clocks, mem-l 71, mem-h/H 50 each.
+  EXPECT_EQ(mem_L->actual_core_mhz.size(), 6u);
+  EXPECT_EQ(mem_l->actual_core_mhz.size(), 71u);
+  EXPECT_EQ(mem_h->actual_core_mhz.size(), 50u);
+  EXPECT_EQ(mem_H->actual_core_mhz.size(), 50u);
+  EXPECT_EQ(d.all_actual().size(), 177u);
+}
+
+TEST(FreqTableTest, TitanXMemoryClocksMatchPaper) {
+  const auto d = rg::FrequencyDomain::titan_x();
+  std::vector<int> mems;
+  for (const auto& dom : d.domains()) mems.push_back(dom.mem_mhz);
+  std::sort(mems.begin(), mems.end());
+  EXPECT_EQ(mems, (std::vector<int>{405, 810, 3304, 3505}));
+}
+
+TEST(FreqTableTest, DefaultConfigIsActual) {
+  const auto d = rg::FrequencyDomain::titan_x();
+  EXPECT_EQ(d.default_config().core_mhz, 1001);
+  EXPECT_EQ(d.default_config().mem_mhz, 3505);
+  EXPECT_TRUE(d.is_actual(d.default_config()));
+}
+
+TEST(FreqTableTest, MemLCapsNear405) {
+  const auto d = rg::FrequencyDomain::titan_x();
+  const auto* mem_L = d.find_domain(rg::MemLevel::kL);
+  EXPECT_LE(mem_L->actual_core_mhz.back(), 405);
+}
+
+TEST(FreqTableTest, GrayPointsReportedButNotActual) {
+  const auto d = rg::FrequencyDomain::titan_x();
+  const rg::FrequencyConfig gray{1391, 3505};
+  EXPECT_TRUE(d.is_reported(gray));
+  EXPECT_FALSE(d.is_actual(gray));
+}
+
+TEST(FreqTableTest, ResolveClampsGrayPoints) {
+  const auto d = rg::FrequencyDomain::titan_x();
+  const auto resolved = d.resolve({1391, 3505});
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved.value().core_mhz, 1196);  // the effective cap
+  EXPECT_EQ(resolved.value().mem_mhz, 3505);
+}
+
+TEST(FreqTableTest, ResolveIdentityOnActualConfigs) {
+  const auto d = rg::FrequencyDomain::titan_x();
+  for (const auto& c : d.all_actual()) {
+    const auto r = d.resolve(c);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), c);
+  }
+}
+
+TEST(FreqTableTest, ResolveRejectsUnknownClocks) {
+  const auto d = rg::FrequencyDomain::titan_x();
+  EXPECT_FALSE(d.resolve({1001, 1234}).ok());   // unknown memory clock
+  EXPECT_FALSE(d.resolve({1000, 3505}).ok());   // off-ladder core clock
+}
+
+TEST(FreqTableTest, LevelLookup) {
+  const auto d = rg::FrequencyDomain::titan_x();
+  EXPECT_EQ(d.level_of(405).value(), rg::MemLevel::kL);
+  EXPECT_EQ(d.level_of(3505).value(), rg::MemLevel::kH);
+  EXPECT_FALSE(d.level_of(1).ok());
+}
+
+TEST(FreqTableTest, SampleConfigsBudgetAndCoverage) {
+  const auto d = rg::FrequencyDomain::titan_x();
+  const auto sample = d.sample_configs(40);
+  EXPECT_EQ(sample.size(), 40u);
+  // All six mem-L configs kept; all four levels represented.
+  std::size_t per_level[4] = {0, 0, 0, 0};
+  for (const auto& c : sample) {
+    EXPECT_TRUE(d.is_actual(c));
+    per_level[static_cast<int>(d.level_of(c.mem_mhz).value())]++;
+  }
+  EXPECT_EQ(per_level[0], 6u);
+  EXPECT_GE(per_level[1], 8u);
+  EXPECT_GE(per_level[2], 8u);
+  EXPECT_GE(per_level[3], 8u);
+}
+
+TEST(FreqTableTest, SampleConfigsContainsDefault) {
+  const auto d = rg::FrequencyDomain::titan_x();
+  const auto sample = d.sample_configs(40);
+  EXPECT_NE(std::find(sample.begin(), sample.end(), d.default_config()), sample.end());
+}
+
+TEST(FreqTableTest, TeslaP100SingleMemoryClock) {
+  const auto d = rg::FrequencyDomain::tesla_p100();
+  ASSERT_EQ(d.domains().size(), 1u);
+  EXPECT_EQ(d.domains()[0].mem_mhz, 715);
+  EXPECT_GT(d.domains()[0].actual_core_mhz.size(), 30u);
+  EXPECT_TRUE(d.is_actual(d.default_config()));
+}
+
+TEST(FreqTableTest, MemLevelLabels) {
+  EXPECT_STREQ(rg::mem_level_label(rg::MemLevel::kL), "Mem-L");
+  EXPECT_STREQ(rg::mem_level_label(rg::MemLevel::kH), "Mem-H");
+}
+
+// --- voltage ---------------------------------------------------------------------
+
+TEST(VoltageTest, MonotonicallyNonDecreasing) {
+  const auto v = rg::VoltageCurve::titan_x();
+  double prev = 0.0;
+  for (int f = 100; f <= 1400; f += 10) {
+    const double volts = v.volts_at(f);
+    EXPECT_GE(volts, prev);
+    prev = volts;
+  }
+}
+
+TEST(VoltageTest, ClampsOutsideRange) {
+  const auto v = rg::VoltageCurve::titan_x();
+  EXPECT_DOUBLE_EQ(v.volts_at(1.0), v.volts_at(135.0));
+  EXPECT_DOUBLE_EQ(v.volts_at(5000.0), v.volts_at(1392.0));
+}
+
+TEST(VoltageTest, InterpolatesBetweenKnots) {
+  const rg::VoltageCurve v({{100.0, 1.0}, {200.0, 2.0}});
+  EXPECT_DOUBLE_EQ(v.volts_at(150.0), 1.5);
+}
+
+TEST(VoltageTest, RejectsDegenerateKnots) {
+  EXPECT_THROW(rg::VoltageCurve({{100.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(rg::VoltageCurve({{200.0, 1.0}, {100.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(VoltageTest, MemoryRailSteps) {
+  EXPECT_LT(rg::memory_volts(405), rg::memory_volts(3505));
+}
+
+// --- timing model ------------------------------------------------------------------
+
+TEST(PerfModelTest, ComputeKernelScalesWithCoreClock) {
+  const auto device = rg::DeviceModel::titan_x();
+  const auto p = compute_profile();
+  const auto slow = rg::compute_timing(device, p, {500, 3505});
+  const auto fast = rg::compute_timing(device, p, {1000, 3505});
+  EXPECT_GT(slow.total_s, fast.total_s * 1.8);  // near-linear scaling
+}
+
+TEST(PerfModelTest, MemoryKernelInsensitiveToCoreClock) {
+  const auto device = rg::DeviceModel::titan_x();
+  const auto p = memory_profile();
+  const auto slow = rg::compute_timing(device, p, {559, 3505});
+  const auto fast = rg::compute_timing(device, p, {1196, 3505});
+  EXPECT_LT(slow.total_s / fast.total_s, 1.25);
+}
+
+TEST(PerfModelTest, MemoryKernelScalesWithMemoryClock) {
+  const auto device = rg::DeviceModel::titan_x();
+  const auto p = memory_profile();
+  const auto high = rg::compute_timing(device, p, {1001, 3505});
+  const auto low = rg::compute_timing(device, p, {1001, 810});
+  EXPECT_GT(low.total_s, high.total_s * 1.8);
+}
+
+TEST(PerfModelTest, UtilizationsAreComplementary) {
+  const auto device = rg::DeviceModel::titan_x();
+  const auto t = rg::compute_timing(device, compute_profile(), {1001, 3505});
+  EXPECT_GT(t.core_util, 0.8);
+  EXPECT_LT(t.mem_util, 0.6);
+  const auto m = rg::compute_timing(device, memory_profile(), {1001, 3505});
+  EXPECT_GT(m.mem_util, 0.8);
+}
+
+TEST(PerfModelTest, RejectsBadInputs) {
+  const auto device = rg::DeviceModel::titan_x();
+  EXPECT_THROW((void)rg::compute_timing(device, compute_profile(), {0, 3505}),
+               std::invalid_argument);
+  EXPECT_THROW((void)rg::compute_timing(device, compute_profile(), {1001, 3505}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(PerfModelTest, DramEfficiencyPenalisesHighMemoryClock) {
+  // Effective bandwidth per MHz is lower at mem-H than at mem-l, so the
+  // time ratio is below the raw clock ratio (paper-calibrated behaviour).
+  const auto device = rg::DeviceModel::titan_x();
+  const auto p = memory_profile();
+  const auto at_H = rg::compute_timing(device, p, {1001, 3505});
+  const auto at_l = rg::compute_timing(device, p, {1001, 810});
+  const double time_ratio = at_l.dram_s / at_H.dram_s;
+  EXPECT_LT(time_ratio, 3505.0 / 810.0);
+  EXPECT_GT(time_ratio, 1.5);
+}
+
+// --- power model --------------------------------------------------------------------
+
+TEST(PowerModelTest, PowerIncreasesWithCoreClockForComputeKernels) {
+  const auto device = rg::DeviceModel::titan_x();
+  const auto p = compute_profile();
+  const auto t_low = rg::compute_timing(device, p, {559, 3505});
+  const auto t_high = rg::compute_timing(device, p, {1196, 3505});
+  const double p_low = rg::compute_power(device, p, {559, 3505}, t_low).total();
+  const double p_high = rg::compute_power(device, p, {1196, 3505}, t_high).total();
+  EXPECT_GT(p_high, p_low * 1.3);
+}
+
+TEST(PowerModelTest, MemoryClockAddsPower) {
+  const auto device = rg::DeviceModel::titan_x();
+  const auto p = memory_profile();
+  const auto t_H = rg::compute_timing(device, p, {1001, 3505});
+  const auto t_l = rg::compute_timing(device, p, {1001, 810});
+  const double at_H = rg::compute_power(device, p, {1001, 3505}, t_H).total();
+  const double at_l = rg::compute_power(device, p, {1001, 810}, t_l).total();
+  EXPECT_GT(at_H, at_l);
+}
+
+TEST(PowerModelTest, TotalsArePlausibleBoardPowers) {
+  const auto device = rg::DeviceModel::titan_x();
+  for (const auto& profile : {compute_profile(), memory_profile()}) {
+    const auto t = rg::compute_timing(device, profile, {1001, 3505});
+    const double watts = rg::compute_power(device, profile, {1001, 3505}, t).total();
+    EXPECT_GT(watts, 40.0);
+    EXPECT_LT(watts, 300.0);
+  }
+}
+
+TEST(PowerModelTest, MixEnergyFactorOrdersByOpCost) {
+  const auto device = rg::DeviceModel::titan_x();
+  rg::KernelProfile cheap;
+  cheap.set_op(rg::OpClass::kIntBitwise, 100);
+  rg::KernelProfile pricey;
+  pricey.set_op(rg::OpClass::kFloatDiv, 100);
+  EXPECT_LT(rg::mix_energy_factor(device, cheap), rg::mix_energy_factor(device, pricey));
+}
+
+TEST(PowerModelTest, EmptyProfileHasZeroMixFactor) {
+  const auto device = rg::DeviceModel::titan_x();
+  rg::KernelProfile empty;
+  EXPECT_DOUBLE_EQ(rg::mix_energy_factor(device, empty), 0.0);
+}
+
+// --- simulator ------------------------------------------------------------------------
+
+TEST(SimulatorTest, MeasurementsAreDeterministic) {
+  const rg::GpuSimulator sim(rg::DeviceModel::titan_x());
+  const auto p = compute_profile();
+  const auto a = sim.run_at(p, {1001, 3505});
+  const auto b = sim.run_at(p, {1001, 3505});
+  EXPECT_DOUBLE_EQ(a.time_ms, b.time_ms);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+}
+
+TEST(SimulatorTest, SpeedupAtDefaultIsOne) {
+  const rg::GpuSimulator sim(rg::DeviceModel::titan_x());
+  const auto p = compute_profile();
+  EXPECT_NEAR(sim.speedup(p, {1001, 3505}), 1.0, 1e-9);
+  EXPECT_NEAR(sim.normalized_energy(p, {1001, 3505}), 1.0, 1e-9);
+}
+
+TEST(SimulatorTest, RunValidatesAndClampsLikeNvml) {
+  const rg::GpuSimulator sim(rg::DeviceModel::titan_x());
+  const auto p = compute_profile();
+  const auto gray = sim.run(p, {1391, 3505});
+  ASSERT_TRUE(gray.ok());
+  EXPECT_EQ(gray.value().config.core_mhz, 1196);
+  EXPECT_FALSE(sim.run(p, {1001, 1234}).ok());
+}
+
+TEST(SimulatorTest, EnergyParabolaHasInteriorMinimumForComputeKernels) {
+  rg::GpuSimulator sim(rg::DeviceModel::titan_x(), quiet_options());
+  const auto p = compute_profile();
+  const auto* dom = sim.freq().find_domain(rg::MemLevel::kH);
+  double best_e = 1e18;
+  int best_core = 0;
+  for (int core : dom->actual_core_mhz) {
+    const double e = sim.normalized_energy(p, {core, dom->mem_mhz});
+    if (e < best_e) {
+      best_e = e;
+      best_core = core;
+    }
+  }
+  // Paper §1.1: the minimum sits in a mid-frequency window, not at an edge.
+  EXPECT_GT(best_core, dom->actual_core_mhz.front());
+  EXPECT_LT(best_core, dom->actual_core_mhz.back());
+  EXPECT_GT(best_core, 700);
+  EXPECT_LT(best_core, 1100);
+  EXPECT_LT(best_e, 1.0);
+}
+
+TEST(SimulatorTest, NoiseOffMatchesAnalyticalModel) {
+  rg::GpuSimulator sim(rg::DeviceModel::titan_x(), quiet_options());
+  const auto device = rg::DeviceModel::titan_x();
+  const auto p = compute_profile();
+  const auto m = sim.run_at(p, {1001, 3505});
+  const auto t = rg::compute_timing(device, p, {1001, 3505});
+  EXPECT_NEAR(m.time_ms, t.total_s * 1e3, 1e-9);
+}
+
+TEST(SimulatorTest, ErraticBehaviourOnlyAtLowMemoryClocks) {
+  rg::SimOptions with_err;
+  with_err.measurement_noise = false;
+  with_err.erratic_behaviour = true;
+  rg::GpuSimulator noisy(rg::DeviceModel::titan_x(), with_err);
+  rg::GpuSimulator clean(rg::DeviceModel::titan_x(), quiet_options());
+  auto p = compute_profile();
+  p.erratic = 1.0;
+  // High memory clocks: identical.
+  EXPECT_DOUBLE_EQ(noisy.run_at(p, {1001, 3505}).time_ms,
+                   clean.run_at(p, {1001, 3505}).time_ms);
+  // Low memory clock: systematically shifted.
+  EXPECT_NE(noisy.run_at(p, {403, 405}).time_ms, clean.run_at(p, {403, 405}).time_ms);
+}
+
+TEST(SimulatorTest, CharacterizeCoversAllConfigs) {
+  const rg::GpuSimulator sim(rg::DeviceModel::titan_x());
+  const auto configs = sim.freq().sample_configs(40);
+  const auto points = sim.characterize(compute_profile(), configs);
+  ASSERT_EQ(points.size(), configs.size());
+  for (const auto& pt : points) {
+    EXPECT_GT(pt.speedup, 0.0);
+    EXPECT_GT(pt.norm_energy, 0.0);
+    EXPECT_LT(pt.norm_energy, 3.0);
+  }
+}
+
+TEST(SimulatorTest, PowerSamplingWindowAffectsShortKernels) {
+  // A microscopic kernel must still return a positive, finite measurement
+  // (the 62.5 Hz sampling emulation kicks in).
+  const rg::GpuSimulator sim(rg::DeviceModel::titan_x());
+  rg::KernelProfile tiny = compute_profile();
+  tiny.work_items = 32;
+  const auto m = sim.run_at(tiny, {1001, 3505});
+  EXPECT_GT(m.time_ms, 0.0);
+  EXPECT_GT(m.avg_power_w, 1.0);
+  EXPECT_TRUE(std::isfinite(m.energy_j));
+}

@@ -1,0 +1,207 @@
+// End-to-end integration tests: the full experiment pipeline of the paper —
+// 106 micro-benchmarks, 40 sampled configurations, 4240 training samples,
+// two SVR models, evaluation on the 12 test benchmarks (Figs. 6-8, Table 2).
+//
+// These tests assert the *shape* of the paper's results: error magnitudes
+// per memory level, Pareto coverage ranges and set cardinalities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/evaluation.hpp"
+
+namespace rco = repro::core;
+namespace rg = repro::gpusim;
+
+namespace {
+
+/// One shared pipeline for the whole test binary (training takes seconds).
+rco::ExperimentPipeline& pipeline() {
+  static auto* p = [] {
+    auto* pipe = new rco::ExperimentPipeline();
+    const auto st = pipe->prepare();
+    EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error().message);
+    return pipe;
+  }();
+  return *p;
+}
+
+double level_rmse(const rco::ErrorReport& report, rg::MemLevel level) {
+  for (const auto& block : report.levels) {
+    if (block.level == level) return block.rmse_percent;
+  }
+  ADD_FAILURE() << "level missing from report";
+  return 0.0;
+}
+
+}  // namespace
+
+TEST(PipelineTest, TrainingSetMatchesPaperScale) {
+  auto& p = pipeline();
+  EXPECT_EQ(p.training_suite().size(), 106u);             // §3.3
+  EXPECT_EQ(p.model().training_configs().size(), 40u);    // §3.3
+  EXPECT_EQ(p.model().training_samples(), 4240u);         // 106 x 40
+}
+
+TEST(PipelineTest, EvaluationConfigsSpanAllMemoryLevels) {
+  auto& p = pipeline();
+  const auto configs = p.evaluation_configs();
+  EXPECT_EQ(configs.size(), 40u);
+  std::set<int> mems;
+  for (const auto& c : configs) mems.insert(c.mem_mhz);
+  EXPECT_EQ(mems.size(), 4u);
+}
+
+// --- Fig. 6: speedup errors -----------------------------------------------------
+
+TEST(PipelineTest, SpeedupErrorReportCoversAllLevelsAndBenchmarks) {
+  const auto report = pipeline().speedup_errors();
+  EXPECT_EQ(report.objective, "speedup");
+  ASSERT_EQ(report.levels.size(), 4u);
+  // Figure order: H, h, l, L.
+  EXPECT_EQ(report.levels[0].mem_mhz, 3505);
+  EXPECT_EQ(report.levels[1].mem_mhz, 3304);
+  EXPECT_EQ(report.levels[2].mem_mhz, 810);
+  EXPECT_EQ(report.levels[3].mem_mhz, 405);
+  for (const auto& block : report.levels) {
+    EXPECT_EQ(block.per_benchmark.size(), 12u);
+    for (const auto& group : block.per_benchmark) {
+      EXPECT_FALSE(group.errors_percent.empty());
+      EXPECT_EQ(group.box.n, group.errors_percent.size());
+    }
+  }
+}
+
+TEST(PipelineTest, SpeedupErrorsInPaperBand) {
+  // Paper Fig. 6: RMSE 6.68 / 7.10 / 11.13 / 9.09 % for H / h / l / L.
+  // We assert the same shape: single-digit-to-low-teens accuracy at the
+  // high clocks, and mem-l clearly the hardest memory level.
+  const auto report = pipeline().speedup_errors();
+  const double rmse_H = level_rmse(report, rg::MemLevel::kH);
+  const double rmse_h = level_rmse(report, rg::MemLevel::kHigh);
+  const double rmse_l = level_rmse(report, rg::MemLevel::kLow);
+  const double rmse_L = level_rmse(report, rg::MemLevel::kL);
+  EXPECT_LT(rmse_H, 15.0);
+  EXPECT_LT(rmse_h, 15.0);
+  EXPECT_GT(rmse_l, rmse_H);
+  EXPECT_GT(rmse_l, rmse_L);  // paper: mem-l is the worst level for speedup
+  EXPECT_LT(rmse_l, 30.0);
+  EXPECT_LT(rmse_L, 15.0);
+}
+
+// --- Fig. 7: energy errors ---------------------------------------------------------
+
+TEST(PipelineTest, EnergyErrorsInPaperBand) {
+  // Paper Fig. 7: RMSE 7.82 / 5.65 / 12.85 / 15.10 % for H / h / l / L —
+  // the two low memory clocks are markedly harder.
+  const auto report = pipeline().energy_errors();
+  const double rmse_H = level_rmse(report, rg::MemLevel::kH);
+  const double rmse_h = level_rmse(report, rg::MemLevel::kHigh);
+  const double rmse_l = level_rmse(report, rg::MemLevel::kLow);
+  const double rmse_L = level_rmse(report, rg::MemLevel::kL);
+  EXPECT_LT(rmse_H, 12.0);
+  EXPECT_LT(rmse_h, 12.0);
+  EXPECT_GT(rmse_l, rmse_h);
+  EXPECT_GT(rmse_L, rmse_H);
+  EXPECT_LT(rmse_L, 30.0);
+}
+
+TEST(PipelineTest, HighMemoryLevelsAreEasierOnAverage) {
+  for (const auto& report : {pipeline().speedup_errors(), pipeline().energy_errors()}) {
+    const double high = (level_rmse(report, rg::MemLevel::kH) +
+                         level_rmse(report, rg::MemLevel::kHigh)) / 2.0;
+    const double low = (level_rmse(report, rg::MemLevel::kLow) +
+                        level_rmse(report, rg::MemLevel::kL)) / 2.0;
+    EXPECT_LT(high, low) << report.objective;
+  }
+}
+
+// --- Fig. 8 / Table 2: Pareto fronts ---------------------------------------------------
+
+TEST(PipelineTest, ParetoEvaluationCoversTwelveBenchmarks) {
+  const auto cases = pipeline().pareto_evaluation();
+  ASSERT_EQ(cases.size(), 12u);
+  // Sorted ascending by coverage difference, like Table 2.
+  for (std::size_t i = 1; i < cases.size(); ++i) {
+    EXPECT_LE(cases[i - 1].evaluation.coverage, cases[i].evaluation.coverage);
+  }
+}
+
+TEST(PipelineTest, CoverageDifferencesInPaperRange) {
+  // Paper Table 2: D(P*, P') between 0.0059 and 0.066.
+  const auto cases = pipeline().pareto_evaluation();
+  for (const auto& pc : cases) {
+    EXPECT_GE(pc.evaluation.coverage, 0.0) << pc.name;
+    EXPECT_LT(pc.evaluation.coverage, 0.12) << pc.name;
+  }
+  // The best benchmarks are well under 0.03 (paper: six codes <= 0.0208).
+  EXPECT_LT(cases.front().evaluation.coverage, 0.03);
+}
+
+TEST(PipelineTest, TrueFrontSizesMatchPaperRange) {
+  // Paper Table 2: |P*| between 6 and 14.
+  for (const auto& pc : pipeline().pareto_evaluation()) {
+    EXPECT_GE(pc.evaluation.optimal_size, 4u) << pc.name;
+    EXPECT_LE(pc.evaluation.optimal_size, 16u) << pc.name;
+  }
+}
+
+TEST(PipelineTest, TrueFrontsOfferMoreThanTheDefault) {
+  // §4.2: "there are other dominant solutions that cannot be selected by
+  // using the default configuration" — every benchmark's true front has a
+  // point that beats the default (1, 1) in at least one objective without
+  // losing the other.
+  int improved = 0;
+  for (const auto& pc : pipeline().pareto_evaluation()) {
+    for (const auto& p : pc.true_front) {
+      if ((p.speedup >= 0.99 && p.energy < 0.99) ||
+          (p.speedup > 1.01 && p.energy <= 1.01)) {
+        ++improved;
+        break;
+      }
+    }
+    // And the recommendations carry real value for every benchmark: some
+    // recommended point saves >= 5% energy at >= 90% of default performance.
+    bool saves_energy = false;
+    for (const auto& p : pc.predicted_measured) {
+      if (p.speedup >= 0.9 && p.energy < 0.95) {
+        saves_energy = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(saves_energy) << pc.name;
+  }
+  // The large majority of codes have dominant solutions beyond the default
+  // ("the default configuration is often a very good one. However, ...").
+  EXPECT_GE(improved, 9);
+}
+
+TEST(PipelineTest, MaxSpeedupExtremeIsUsuallyExact) {
+  // Paper: the max-speedup point is predicted exactly in 7 of 12 cases and
+  // the distance is small otherwise.
+  const auto cases = pipeline().pareto_evaluation();
+  int exact = 0;
+  for (const auto& pc : cases) {
+    if (pc.evaluation.max_speedup.d_speedup < 0.02) ++exact;
+    EXPECT_LT(pc.evaluation.max_speedup.d_speedup, 0.15) << pc.name;
+  }
+  EXPECT_GE(exact, 6);
+}
+
+TEST(PipelineTest, TrueFrontsAreActuallyNonDominated) {
+  for (const auto& pc : pipeline().pareto_evaluation()) {
+    for (const auto& a : pc.true_front) {
+      for (const auto& b : pc.true_front) {
+        EXPECT_FALSE(repro::pareto::dominates(a, b)) << pc.name;
+      }
+    }
+  }
+}
+
+TEST(PipelineTest, MeasuredPointsMatchEvaluationConfigCount) {
+  const auto configs = pipeline().evaluation_configs();
+  for (const auto& pc : pipeline().pareto_evaluation()) {
+    EXPECT_EQ(pc.measured.size(), configs.size()) << pc.name;
+    EXPECT_EQ(pc.predicted.size(), pc.predicted_measured.size()) << pc.name;
+  }
+}

@@ -1,0 +1,185 @@
+// Tests for the twelve test benchmarks (§4.2): source validity, feature
+// extraction and the calibrated characterization the paper reports.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpusim/simulator.hpp"
+#include "kernels/kernels.hpp"
+
+namespace rk = repro::kernels;
+namespace rg = repro::gpusim;
+
+namespace {
+
+const rg::GpuSimulator& sim() {
+  static const rg::GpuSimulator s(rg::DeviceModel::titan_x());
+  return s;
+}
+
+std::vector<rg::GpuSimulator::CharacterizedPoint> characterize_level(
+    const rk::TestBenchmark& b, rg::MemLevel level) {
+  const auto* dom = sim().freq().find_domain(level);
+  std::vector<rg::FrequencyConfig> configs;
+  for (int core : dom->actual_core_mhz) configs.push_back({core, dom->mem_mhz});
+  return sim().characterize(b.profile, configs);
+}
+
+double speedup_range(const std::vector<rg::GpuSimulator::CharacterizedPoint>& pts) {
+  double lo = 1e18;
+  double hi = -1e18;
+  for (const auto& p : pts) {
+    lo = std::min(lo, p.speedup);
+    hi = std::max(hi, p.speedup);
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+TEST(KernelsTest, SuiteHasTwelveBenchmarks) {
+  EXPECT_EQ(rk::test_suite().size(), rk::kNumTestBenchmarks);
+}
+
+TEST(KernelsTest, NamesAreUniqueAndFindable) {
+  std::set<std::string> names;
+  for (const auto& b : rk::test_suite()) {
+    names.insert(b.name);
+    EXPECT_EQ(rk::find_benchmark(b.name), &b);
+  }
+  EXPECT_EQ(names.size(), rk::kNumTestBenchmarks);
+  EXPECT_EQ(rk::find_benchmark("NoSuchBenchmark"), nullptr);
+}
+
+TEST(KernelsTest, PaperBenchmarksArePresent) {
+  for (const char* name :
+       {"k-NN", "AES", "MatrixMultiply", "Convolution", "MedianFilter",
+        "BitCompression", "MersenneTwister", "Blackscholes", "PerlinNoise", "MD",
+        "K-means", "Flte"}) {
+    EXPECT_NE(rk::find_benchmark(name), nullptr) << name;
+  }
+}
+
+TEST(KernelsTest, EverySourceYieldsFeatures) {
+  for (const auto& b : rk::test_suite()) {
+    const auto f = rk::benchmark_features(b);
+    ASSERT_TRUE(f.ok()) << b.name << ": " << f.error().message;
+    EXPECT_GT(f.value().total(), 0.0) << b.name;
+    EXPECT_EQ(f.value().kernel_name, b.kernel_name);
+  }
+}
+
+TEST(KernelsTest, FeatureCacheIsStable) {
+  const auto& b = rk::test_suite().front();
+  const auto a1 = rk::benchmark_features(b);
+  const auto a2 = rk::benchmark_features(b);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a1.value().counts, a2.value().counts);
+}
+
+TEST(KernelsTest, Figure5SelectionIsValidSubset) {
+  const auto sel = rk::figure5_selection();
+  EXPECT_EQ(sel.size(), 8u);
+  for (const auto& name : sel) EXPECT_NE(rk::find_benchmark(name), nullptr) << name;
+}
+
+TEST(KernelsTest, ProfilesAreSane) {
+  for (const auto& b : rk::test_suite()) {
+    EXPECT_GT(b.profile.work_items, 0u) << b.name;
+    EXPECT_GT(b.profile.total_ops(), 0.0) << b.name;
+    EXPECT_EQ(b.profile.name, b.name);
+  }
+}
+
+// --- characterization shape (paper §4.2) -------------------------------------------
+
+TEST(KernelsCharacterizationTest, KnnIsStronglyCoreSensitive) {
+  const auto pts = characterize_level(*rk::find_benchmark("k-NN"), rg::MemLevel::kH);
+  // Paper Fig. 5a: k-NN speedup roughly doubles across the core range.
+  EXPECT_GT(speedup_range(pts), 0.4);
+  double max_speedup = 0.0;
+  for (const auto& p : pts) max_speedup = std::max(max_speedup, p.speedup);
+  EXPECT_GT(max_speedup, 1.05);
+}
+
+TEST(KernelsCharacterizationTest, MersenneTwisterIsFlatInCoreAtMemH) {
+  const auto pts =
+      characterize_level(*rk::find_benchmark("MersenneTwister"), rg::MemLevel::kH);
+  // Paper Fig. 1d: raising the core clock barely helps MT.
+  EXPECT_LT(speedup_range(pts), 0.25);
+}
+
+TEST(KernelsCharacterizationTest, MersenneTwisterCollapsesAtLowMemory) {
+  const auto pts =
+      characterize_level(*rk::find_benchmark("MersenneTwister"), rg::MemLevel::kLow);
+  // All mem-l points cluster around the bandwidth-limited speedup.
+  EXPECT_LT(speedup_range(pts), 0.15);
+  for (const auto& p : pts) {
+    EXPECT_LT(p.speedup, 0.75) << "mem-l should be far below the default";
+  }
+}
+
+TEST(KernelsCharacterizationTest, BlackscholesCollapsesToPointAtMemL) {
+  const auto pts =
+      characterize_level(*rk::find_benchmark("Blackscholes"), rg::MemLevel::kL);
+  // Paper §4.2: "in blackscholes mem-L shows the same normalized energy for
+  // all the core frequencies" — the cluster degenerates to a point.
+  EXPECT_LT(speedup_range(pts), 0.06);
+  double e_lo = 1e18;
+  double e_hi = -1e18;
+  for (const auto& p : pts) {
+    e_lo = std::min(e_lo, p.norm_energy);
+    e_hi = std::max(e_hi, p.norm_energy);
+  }
+  EXPECT_LT(e_hi - e_lo, 0.2);
+}
+
+TEST(KernelsCharacterizationTest, EnergyStaysInPaperRange) {
+  // Fig. 5/8 plot normalized energy in [0.4, 2.0]; the simulation must not
+  // blow past the reference point.
+  const auto configs = sim().freq().all_actual();
+  for (const auto& b : rk::test_suite()) {
+    for (const auto& p : sim().characterize(b.profile, configs)) {
+      EXPECT_GT(p.norm_energy, 0.3) << b.name;
+      EXPECT_LT(p.norm_energy, 2.1) << b.name;
+      EXPECT_GT(p.speedup, 0.05) << b.name;
+      EXPECT_LT(p.speedup, 1.4) << b.name;
+    }
+  }
+}
+
+TEST(KernelsCharacterizationTest, ComputeKernelsSaveEnergyAtMemL) {
+  // Paper §4.2 (k-NN): mem-l reaches default-level performance at ~20% less
+  // energy — the memory rail saving.
+  const auto pts = characterize_level(*rk::find_benchmark("k-NN"), rg::MemLevel::kLow);
+  double best_energy_at_speed = 1e18;
+  for (const auto& p : pts) {
+    if (p.speedup > 0.9) best_energy_at_speed = std::min(best_energy_at_speed, p.norm_energy);
+  }
+  EXPECT_LT(best_energy_at_speed, 0.92);
+}
+
+TEST(KernelsCharacterizationTest, DefaultConfigIsUnity) {
+  for (const auto& b : rk::test_suite()) {
+    EXPECT_NEAR(sim().speedup(b.profile, sim().freq().default_config()), 1.0, 1e-9);
+    EXPECT_NEAR(sim().normalized_energy(b.profile, sim().freq().default_config()), 1.0,
+                1e-9);
+  }
+}
+
+TEST(KernelsCharacterizationTest, EnergyParabolaAcrossSuite) {
+  // For a majority of codes the mem-H energy minimum is interior (§1.1).
+  const auto* dom = sim().freq().find_domain(rg::MemLevel::kH);
+  int interior = 0;
+  for (const auto& b : rk::test_suite()) {
+    const auto pts = characterize_level(b, rg::MemLevel::kH);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      if (pts[i].norm_energy < pts[best].norm_energy) best = i;
+    }
+    if (best != 0 && best != pts.size() - 1) ++interior;
+  }
+  (void)dom;
+  EXPECT_GE(interior, 8);
+}

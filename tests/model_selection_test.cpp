@@ -1,0 +1,110 @@
+// Tests for K-fold model selection plus additional edge-case coverage for
+// the predictor on the single-memory-clock P100 domain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "benchgen/benchgen.hpp"
+#include "common/rng.hpp"
+#include "core/model.hpp"
+#include "gpusim/simulator.hpp"
+#include "kernels/kernels.hpp"
+#include "ml/lasso.hpp"
+#include "ml/linear.hpp"
+#include "ml/model_selection.hpp"
+#include "ml/poly.hpp"
+
+namespace rm = repro::ml;
+
+namespace {
+
+/// y = sin(3 x0) + 0.5 x1 — nonlinear in x0, linear in x1.
+rm::Dataset make_data(std::size_t n, std::uint64_t seed) {
+  repro::common::Xoshiro256 rng(seed);
+  rm::Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    const std::vector<double> row{x0, x1};
+    d.add(row, std::sin(3.0 * x0) + 0.5 * x1);
+  }
+  return d;
+}
+
+}  // namespace
+
+TEST(ModelSelectionTest, CrossValRmseIsPositiveAndStable) {
+  const auto data = make_data(200, 3);
+  const auto make = [] { return std::make_unique<rm::LinearRegression>(); };
+  const double a = rm::cross_val_rmse(data, 5, 42, make);
+  const double b = rm::cross_val_rmse(data, 5, 42, make);
+  EXPECT_GT(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);  // deterministic in the seed
+}
+
+TEST(ModelSelectionTest, PicksTheRightFamilyForNonlinearData) {
+  const auto data = make_data(300, 7);
+  std::vector<rm::Candidate> candidates;
+  candidates.push_back({"ols", [] { return std::make_unique<rm::LinearRegression>(); }});
+  candidates.push_back({"svr-rbf", [] {
+                          rm::SvrParams p;
+                          p.kernel = rm::KernelFunction::rbf(2.0);
+                          p.c = 100.0;
+                          p.epsilon = 0.01;
+                          return std::make_unique<rm::Svr>(p);
+                        }});
+  const auto result = rm::select_model(data, 5, 11, candidates);
+  EXPECT_EQ(result.best_name, "svr-rbf");
+  ASSERT_EQ(result.scores.size(), 2u);
+  EXPECT_LT(result.best_rmse, result.scores[0].second + 1e-12);
+}
+
+TEST(ModelSelectionTest, EmptyCandidateListThrows) {
+  const auto data = make_data(50, 9);
+  EXPECT_THROW((void)rm::select_model(data, 5, 1, {}), std::invalid_argument);
+}
+
+TEST(ModelSelectionTest, GridSearchCoversWholeGrid) {
+  const auto data = make_data(150, 13);
+  const auto result = rm::svr_rbf_grid_search(data, 4, 17, {1.0, 100.0}, {0.5, 2.0}, 0.05);
+  EXPECT_EQ(result.scores.size(), 4u);
+  EXPECT_FALSE(result.best_name.empty());
+  // Every scored value is a valid RMSE.
+  for (const auto& [name, rmse] : result.scores) {
+    EXPECT_GT(rmse, 0.0) << name;
+    EXPECT_LT(rmse, 2.0) << name;
+  }
+}
+
+TEST(ModelSelectionTest, TighterGammaWinsOnHighFrequencyTarget) {
+  // sin(3x) needs a moderately tight kernel; gamma 0.01 oversmooths.
+  const auto data = make_data(300, 19);
+  const auto result = rm::svr_rbf_grid_search(data, 5, 23, {100.0}, {0.01, 2.0}, 0.01);
+  EXPECT_NE(result.best_name.find("g=2"), std::string::npos);
+}
+
+// --- P100 predictor edge cases ----------------------------------------------------
+
+TEST(P100PredictorTest, NoHeuristicPointWithoutMemLDomain) {
+  const repro::gpusim::GpuSimulator sim(repro::gpusim::DeviceModel::tesla_p100());
+  static const auto full = repro::benchgen::generate_training_suite().value();
+  std::vector<repro::benchgen::MicroBenchmark> subset(full.begin(), full.begin() + 30);
+  const auto model = repro::core::FrequencyModel::train(sim, subset, {});
+  ASSERT_TRUE(model.ok()) << model.error().message;
+
+  const auto* knn = repro::kernels::find_benchmark("k-NN");
+  const auto features = repro::kernels::benchmark_features(*knn).value();
+  const auto pareto = model.value().predict_pareto(features);
+  ASSERT_FALSE(pareto.empty());
+  for (const auto& p : pareto) {
+    EXPECT_FALSE(p.heuristic);  // no 405 MHz memory domain on the P100
+    EXPECT_EQ(p.config.mem_mhz, 715);
+  }
+}
+
+TEST(P100PredictorTest, TrainingUsesSingleMemoryDomain) {
+  const repro::gpusim::GpuSimulator sim(repro::gpusim::DeviceModel::tesla_p100());
+  const auto configs = sim.freq().sample_configs(40);
+  EXPECT_EQ(configs.size(), 40u);
+  for (const auto& c : configs) EXPECT_EQ(c.mem_mhz, 715);
+}

@@ -1,0 +1,239 @@
+// Tests for the nvmlsim C API and the RAII wrapper: NVML-faithful
+// initialization semantics, clock enumeration, set/clamp behaviour and
+// power reads.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpusim/kernel_profile.hpp"
+#include "nvml/nvmlsim.h"
+#include "nvml/wrapper.hpp"
+
+namespace {
+
+repro::gpusim::KernelProfile demo_profile() {
+  repro::gpusim::KernelProfile p;
+  p.name = "nvml_demo";
+  p.set_op(repro::gpusim::OpClass::kFloatMul, 200);
+  p.set_op(repro::gpusim::OpClass::kGlobalAccess, 8);
+  p.work_items = 1 << 20;
+  return p;
+}
+
+/// Fixture guaranteeing nvmlInit/nvmlShutdown pairing per test.
+class NvmlFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_EQ(nvmlInit(), NVML_SUCCESS); }
+  void TearDown() override { nvmlShutdown(); }
+
+  nvmlDevice_t titan() {
+    nvmlDevice_t dev = nullptr;
+    EXPECT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+    return dev;
+  }
+};
+
+}  // namespace
+
+TEST(NvmlLifecycleTest, CallsFailBeforeInit) {
+  unsigned count = 0;
+  EXPECT_EQ(nvmlDeviceGetCount(&count), NVML_ERROR_UNINITIALIZED);
+  nvmlDevice_t dev = nullptr;
+  EXPECT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_ERROR_UNINITIALIZED);
+  EXPECT_EQ(nvmlShutdown(), NVML_ERROR_UNINITIALIZED);
+}
+
+TEST(NvmlLifecycleTest, InitShutdownCycle) {
+  ASSERT_EQ(nvmlInit(), NVML_SUCCESS);
+  unsigned count = 0;
+  EXPECT_EQ(nvmlDeviceGetCount(&count), NVML_SUCCESS);
+  EXPECT_EQ(count, 2u);  // Titan X + Tesla P100
+  EXPECT_EQ(nvmlShutdown(), NVML_SUCCESS);
+  EXPECT_EQ(nvmlDeviceGetCount(&count), NVML_ERROR_UNINITIALIZED);
+}
+
+TEST(NvmlLifecycleTest, ErrorStringsAreHuman) {
+  EXPECT_NE(std::string(nvmlErrorString(NVML_ERROR_UNINITIALIZED)).find("nvmlInit"),
+            std::string::npos);
+}
+
+TEST_F(NvmlFixture, DeviceNames) {
+  char name[128];
+  ASSERT_EQ(nvmlDeviceGetName(titan(), name, sizeof(name)), NVML_SUCCESS);
+  EXPECT_NE(std::string(name).find("Titan X"), std::string::npos);
+  nvmlDevice_t p100 = nullptr;
+  ASSERT_EQ(nvmlDeviceGetHandleByIndex(1, &p100), NVML_SUCCESS);
+  ASSERT_EQ(nvmlDeviceGetName(p100, name, sizeof(name)), NVML_SUCCESS);
+  EXPECT_NE(std::string(name).find("P100"), std::string::npos);
+}
+
+TEST_F(NvmlFixture, NameBufferTooSmall) {
+  char tiny[4];
+  EXPECT_EQ(nvmlDeviceGetName(titan(), tiny, sizeof(tiny)), NVML_ERROR_INSUFFICIENT_SIZE);
+}
+
+TEST_F(NvmlFixture, UnknownIndexIsNotFound) {
+  nvmlDevice_t dev = nullptr;
+  EXPECT_EQ(nvmlDeviceGetHandleByIndex(9, &dev), NVML_ERROR_NOT_FOUND);
+}
+
+TEST_F(NvmlFixture, SupportedMemoryClocksDescending) {
+  unsigned count = 0;
+  ASSERT_EQ(nvmlDeviceGetSupportedMemoryClocks(titan(), &count, nullptr), NVML_SUCCESS);
+  ASSERT_EQ(count, 4u);
+  std::vector<unsigned> clocks(count);
+  ASSERT_EQ(nvmlDeviceGetSupportedMemoryClocks(titan(), &count, clocks.data()),
+            NVML_SUCCESS);
+  EXPECT_EQ(clocks[0], 3505u);
+  EXPECT_EQ(clocks[3], 405u);
+}
+
+TEST_F(NvmlFixture, SupportedGraphicsClocksIncludeGrayZone) {
+  unsigned count = 0;
+  ASSERT_EQ(nvmlDeviceGetSupportedGraphicsClocks(titan(), 3505, &count, nullptr),
+            NVML_SUCCESS);
+  std::vector<unsigned> clocks(count);
+  ASSERT_EQ(nvmlDeviceGetSupportedGraphicsClocks(titan(), 3505, &count, clocks.data()),
+            NVML_SUCCESS);
+  // The reported list goes beyond the effective 1196 MHz cap (gray points).
+  EXPECT_EQ(clocks.front(), 1391u);
+  EXPECT_EQ(count, 65u);  // 50 actual + 15 clamped
+}
+
+TEST_F(NvmlFixture, GraphicsClocksForUnknownMemoryClockFail) {
+  unsigned count = 0;
+  EXPECT_EQ(nvmlDeviceGetSupportedGraphicsClocks(titan(), 1234, &count, nullptr),
+            NVML_ERROR_NOT_FOUND);
+}
+
+TEST_F(NvmlFixture, InsufficientClockBuffer) {
+  unsigned count = 1;
+  unsigned one = 0;
+  EXPECT_EQ(nvmlDeviceGetSupportedMemoryClocks(titan(), &count, &one),
+            NVML_ERROR_INSUFFICIENT_SIZE);
+  EXPECT_EQ(count, 4u);  // required size reported back
+}
+
+TEST_F(NvmlFixture, SetApplicationsClocksAndReadBack) {
+  ASSERT_EQ(nvmlDeviceSetApplicationsClocks(titan(), 810, 702), NVML_SUCCESS);
+  unsigned clock = 0;
+  ASSERT_EQ(nvmlDeviceGetApplicationsClock(titan(), NVML_CLOCK_GRAPHICS, &clock),
+            NVML_SUCCESS);
+  EXPECT_EQ(clock, 702u);
+  ASSERT_EQ(nvmlDeviceGetClockInfo(titan(), NVML_CLOCK_MEM, &clock), NVML_SUCCESS);
+  EXPECT_EQ(clock, 810u);
+}
+
+TEST_F(NvmlFixture, OverCapRequestSilentlyClamps) {
+  // The paper's observation: requests above ~1202 MHz are accepted but the
+  // effective clock stays at the cap.
+  ASSERT_EQ(nvmlDeviceSetApplicationsClocks(titan(), 3505, 1391), NVML_SUCCESS);
+  unsigned requested = 0;
+  unsigned effective = 0;
+  ASSERT_EQ(nvmlDeviceGetApplicationsClock(titan(), NVML_CLOCK_GRAPHICS, &requested),
+            NVML_SUCCESS);
+  ASSERT_EQ(nvmlDeviceGetClockInfo(titan(), NVML_CLOCK_GRAPHICS, &effective),
+            NVML_SUCCESS);
+  EXPECT_EQ(requested, 1391u);
+  EXPECT_EQ(effective, 1196u);
+}
+
+TEST_F(NvmlFixture, UnsupportedComboRejected) {
+  // mem-L only pairs with low core clocks.
+  EXPECT_EQ(nvmlDeviceSetApplicationsClocks(titan(), 405, 1001), NVML_ERROR_NOT_SUPPORTED);
+}
+
+TEST_F(NvmlFixture, ResetRestoresDefaults) {
+  ASSERT_EQ(nvmlDeviceSetApplicationsClocks(titan(), 810, 403), NVML_SUCCESS);
+  ASSERT_EQ(nvmlDeviceResetApplicationsClocks(titan()), NVML_SUCCESS);
+  unsigned clock = 0;
+  ASSERT_EQ(nvmlDeviceGetClockInfo(titan(), NVML_CLOCK_GRAPHICS, &clock), NVML_SUCCESS);
+  EXPECT_EQ(clock, 1001u);
+}
+
+TEST_F(NvmlFixture, IdlePowerIsLow) {
+  unsigned mw = 0;
+  ASSERT_EQ(nvmlDeviceGetPowerUsage(titan(), &mw), NVML_SUCCESS);
+  EXPECT_GT(mw, 5000u);    // > 5 W
+  EXPECT_LT(mw, 80000u);   // < 80 W with no workload bound
+}
+
+TEST_F(NvmlFixture, WorkloadRaisesPower) {
+  unsigned idle = 0;
+  ASSERT_EQ(nvmlDeviceGetPowerUsage(titan(), &idle), NVML_SUCCESS);
+  const auto profile = demo_profile();
+  ASSERT_EQ(nvmlsimDeviceBindWorkload(titan(), &profile), NVML_SUCCESS);
+  unsigned busy = 0;
+  ASSERT_EQ(nvmlDeviceGetPowerUsage(titan(), &busy), NVML_SUCCESS);
+  EXPECT_GT(busy, idle);
+  ASSERT_EQ(nvmlsimDeviceBindWorkload(titan(), nullptr), NVML_SUCCESS);
+}
+
+TEST_F(NvmlFixture, RunWorkloadReturnsTimeAndEnergy) {
+  const auto profile = demo_profile();
+  ASSERT_EQ(nvmlsimDeviceBindWorkload(titan(), &profile), NVML_SUCCESS);
+  double ms = 0.0;
+  double joule = 0.0;
+  ASSERT_EQ(nvmlsimDeviceRunWorkload(titan(), &ms, &joule), NVML_SUCCESS);
+  EXPECT_GT(ms, 0.0);
+  EXPECT_GT(joule, 0.0);
+}
+
+TEST_F(NvmlFixture, RunWorkloadWithoutBindingFails) {
+  double ms = 0.0;
+  EXPECT_EQ(nvmlsimDeviceRunWorkload(titan(), &ms, nullptr), NVML_ERROR_NOT_FOUND);
+}
+
+TEST_F(NvmlFixture, DownclockingMemoryLowersMemoryBoundPower) {
+  auto profile = demo_profile();
+  profile.set_op(repro::gpusim::OpClass::kGlobalAccess, 64);
+  profile.cache_hit_rate = 0.05;
+  ASSERT_EQ(nvmlsimDeviceBindWorkload(titan(), &profile), NVML_SUCCESS);
+  unsigned at_default = 0;
+  ASSERT_EQ(nvmlDeviceGetPowerUsage(titan(), &at_default), NVML_SUCCESS);
+  ASSERT_EQ(nvmlDeviceSetApplicationsClocks(titan(), 810, 1001), NVML_SUCCESS);
+  unsigned at_mem_l = 0;
+  ASSERT_EQ(nvmlDeviceGetPowerUsage(titan(), &at_mem_l), NVML_SUCCESS);
+  EXPECT_LT(at_mem_l, at_default);
+}
+
+// --- C++ wrapper ------------------------------------------------------------------
+
+TEST(NvmlWrapperTest, SessionAndDeviceFlow) {
+  repro::nvml::Session session;
+  ASSERT_TRUE(session.ok());
+  ASSERT_EQ(session.device_count().value(), 2u);
+
+  const auto device = repro::nvml::Device::by_index(0);
+  ASSERT_TRUE(device.ok());
+  const auto& titan = device.value();
+
+  EXPECT_NE(titan.name().value().find("Titan"), std::string::npos);
+  const auto mems = titan.supported_memory_clocks().value();
+  EXPECT_EQ(mems.size(), 4u);
+  const auto cores = titan.supported_graphics_clocks(810).value();
+  EXPECT_GT(cores.size(), 70u);
+
+  ASSERT_TRUE(titan.set_applications_clocks(3505, 1391).ok());
+  EXPECT_EQ(titan.applications_clocks().value().core_mhz, 1391);
+  EXPECT_EQ(titan.effective_clocks().value().core_mhz, 1196);
+
+  const auto profile = demo_profile();
+  ASSERT_TRUE(titan.bind_workload(&profile).ok());
+  const auto run = titan.run_workload();
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run.value().time_ms, 0.0);
+  EXPECT_GT(titan.power_usage_watts().value(), 20.0);
+  ASSERT_TRUE(titan.bind_workload(nullptr).ok());
+  ASSERT_TRUE(titan.reset_applications_clocks().ok());
+}
+
+TEST(NvmlWrapperTest, ErrorsMapToLibraryErrors) {
+  repro::nvml::Session session;
+  ASSERT_TRUE(session.ok());
+  const auto device = repro::nvml::Device::by_index(0);
+  ASSERT_TRUE(device.ok());
+  const auto st = device.value().set_applications_clocks(405, 1001);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, repro::common::ErrorCode::kUnsupported);
+}

@@ -1,0 +1,312 @@
+// Tests for the Pareto machinery: dominance semantics (paper §3.4),
+// Algorithm 1 vs the O(n log n) front, hypervolume and the Table-2 metrics.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pareto/front_metrics.hpp"
+#include "pareto/hypervolume.hpp"
+#include "pareto/knee.hpp"
+#include "pareto/pareto.hpp"
+
+namespace rp = repro::pareto;
+
+namespace {
+
+rp::Point pt(double s, double e, std::uint32_t id = 0) { return {s, e, id}; }
+
+std::vector<rp::Point> random_points(std::size_t n, std::uint64_t seed) {
+  repro::common::Xoshiro256 rng(seed);
+  std::vector<rp::Point> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({rng.uniform(0.05, 1.3), rng.uniform(0.4, 1.9),
+                   static_cast<std::uint32_t>(i)});
+  }
+  return out;
+}
+
+}  // namespace
+
+// --- dominance ----------------------------------------------------------------
+
+TEST(DominanceTest, StrictlyBetterDominates) {
+  EXPECT_TRUE(rp::dominates(pt(1.0, 0.5), pt(0.9, 0.6)));
+}
+
+TEST(DominanceTest, EqualPointsDoNotDominate) {
+  EXPECT_FALSE(rp::dominates(pt(1.0, 0.5), pt(1.0, 0.5)));
+}
+
+TEST(DominanceTest, PaperCaseOneEqualSpeedupLowerEnergy) {
+  // s_i >= s_j and e_i < e_j.
+  EXPECT_TRUE(rp::dominates(pt(1.0, 0.4), pt(1.0, 0.5)));
+}
+
+TEST(DominanceTest, PaperCaseTwoHigherSpeedupEqualEnergy) {
+  // s_i > s_j and e_i <= e_j.
+  EXPECT_TRUE(rp::dominates(pt(1.1, 0.5), pt(1.0, 0.5)));
+}
+
+TEST(DominanceTest, TradeOffPointsAreIncomparable) {
+  EXPECT_FALSE(rp::dominates(pt(1.0, 0.5), pt(0.9, 0.4)));
+  EXPECT_FALSE(rp::dominates(pt(0.9, 0.4), pt(1.0, 0.5)));
+}
+
+TEST(DominanceTest, IsNonDominatedAgainstSet) {
+  const std::vector<rp::Point> set{pt(1.0, 1.0), pt(0.8, 0.6)};
+  EXPECT_TRUE(rp::is_non_dominated(pt(1.1, 1.5), set));
+  EXPECT_FALSE(rp::is_non_dominated(pt(0.7, 0.7), set));
+}
+
+// --- fronts ---------------------------------------------------------------------
+
+TEST(ParetoSetTest, EmptyInput) {
+  EXPECT_TRUE(rp::pareto_set_naive({}).empty());
+  EXPECT_TRUE(rp::pareto_set_fast({}).empty());
+}
+
+TEST(ParetoSetTest, SinglePoint) {
+  const std::vector<rp::Point> pts{pt(1.0, 1.0, 5)};
+  const auto front = rp::pareto_set_naive(pts);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].id, 5u);
+}
+
+TEST(ParetoSetTest, KnownFront) {
+  // Front: (1.2, 1.0), (1.0, 0.8), (0.5, 0.5); dominated: the other two.
+  const std::vector<rp::Point> pts{pt(1.2, 1.0, 0), pt(1.0, 0.8, 1), pt(0.5, 0.5, 2),
+                                   pt(0.9, 0.9, 3), pt(0.4, 0.6, 4)};
+  auto front = rp::pareto_set_naive(pts);
+  rp::sort_front(front);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].id, 2u);
+  EXPECT_EQ(front[1].id, 1u);
+  EXPECT_EQ(front[2].id, 0u);
+}
+
+TEST(ParetoSetTest, DuplicatesOfFrontPointAreKept) {
+  const std::vector<rp::Point> pts{pt(1.0, 0.5, 0), pt(1.0, 0.5, 1), pt(0.2, 1.5, 2)};
+  const auto naive = rp::pareto_set_naive(pts);
+  const auto fast = rp::pareto_set_fast(pts);
+  EXPECT_EQ(naive.size(), 2u);
+  EXPECT_EQ(fast.size(), 2u);
+}
+
+TEST(ParetoSetTest, AllPointsOnFront) {
+  // A strictly trade-off chain (higher speedup costs more energy): all
+  // points are non-dominated.
+  std::vector<rp::Point> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(pt(0.1 * (i + 1), 0.5 + 0.1 * i, static_cast<std::uint32_t>(i)));
+  }
+  EXPECT_EQ(rp::pareto_set_naive(pts).size(), 10u);
+  EXPECT_EQ(rp::pareto_set_fast(pts).size(), 10u);
+}
+
+TEST(ParetoSetTest, FrontIsMutuallyNonDominated) {
+  const auto pts = random_points(200, 99);
+  const auto front = rp::pareto_set_naive(pts);
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      EXPECT_FALSE(rp::dominates(a, b));
+    }
+  }
+}
+
+TEST(ParetoSetTest, EveryDroppedPointIsDominated) {
+  const auto pts = random_points(150, 123);
+  const auto front = rp::pareto_set_fast(pts);
+  for (const auto& p : pts) {
+    const bool on_front =
+        std::any_of(front.begin(), front.end(), [&](const rp::Point& f) {
+          return f.id == p.id;
+        });
+    if (!on_front) {
+      EXPECT_FALSE(rp::is_non_dominated(p, pts)) << "dropped point not dominated";
+    }
+  }
+}
+
+/// Property sweep: the paper's Algorithm 1 and the sort-based front must
+/// agree on random clouds of many sizes and seeds.
+class ParetoEquivalenceTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParetoEquivalenceTest, NaiveMatchesFast) {
+  const auto [size, seed] = GetParam();
+  const auto pts = random_points(static_cast<std::size_t>(size),
+                                 static_cast<std::uint64_t>(seed));
+  const auto naive = rp::pareto_set_naive(pts);
+  const auto fast = rp::pareto_set_fast(pts);
+  EXPECT_TRUE(rp::same_front(naive, fast))
+      << "size=" << size << " seed=" << seed << " naive=" << naive.size()
+      << " fast=" << fast.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomClouds, ParetoEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 10, 40, 100, 400),
+                       ::testing::Values(1, 7, 42, 1234, 98765)));
+
+// --- hypervolume ------------------------------------------------------------------
+
+TEST(HypervolumeTest, EmptySetIsZero) { EXPECT_DOUBLE_EQ(rp::hypervolume({}), 0.0); }
+
+TEST(HypervolumeTest, SinglePointRectangle) {
+  const std::vector<rp::Point> pts{pt(1.0, 1.0)};
+  // Rectangle [0,1] x [1,2] w.r.t. reference (0, 2).
+  EXPECT_DOUBLE_EQ(rp::hypervolume(pts), 1.0);
+}
+
+TEST(HypervolumeTest, TwoPointStaircase) {
+  const std::vector<rp::Point> pts{pt(1.0, 1.0), pt(0.5, 0.6)};
+  EXPECT_NEAR(rp::hypervolume(pts), 1.0 + 0.5 * 0.4, 1e-12);
+}
+
+TEST(HypervolumeTest, DominatedPointAddsNothing) {
+  const std::vector<rp::Point> front{pt(1.0, 1.0)};
+  const std::vector<rp::Point> with_dominated{pt(1.0, 1.0), pt(0.8, 1.2)};
+  EXPECT_DOUBLE_EQ(rp::hypervolume(front), rp::hypervolume(with_dominated));
+}
+
+TEST(HypervolumeTest, PointsOutsideReferenceBoxAreClipped) {
+  const std::vector<rp::Point> pts{pt(1.0, 2.5)};  // energy above ref 2.0
+  EXPECT_DOUBLE_EQ(rp::hypervolume(pts), 0.0);
+}
+
+TEST(HypervolumeTest, CustomReferencePoint) {
+  const std::vector<rp::Point> pts{pt(1.0, 1.0)};
+  EXPECT_DOUBLE_EQ(rp::hypervolume(pts, {0.0, 3.0}), 2.0);
+}
+
+TEST(HypervolumeTest, MonotoneInAddedNonDominatedPoints) {
+  auto pts = random_points(50, 3);
+  const double base = rp::hypervolume(pts);
+  pts.push_back(pt(1.4, 0.3));  // dominates a large region
+  EXPECT_GT(rp::hypervolume(pts), base);
+}
+
+// --- coverage difference ------------------------------------------------------------
+
+TEST(CoverageTest, IdenticalSetsHaveZeroDifference) {
+  const auto pts = random_points(60, 17);
+  const auto front = rp::pareto_set_fast(pts);
+  EXPECT_NEAR(rp::coverage_difference(front, front), 0.0, 1e-12);
+}
+
+TEST(CoverageTest, SubsetApproximationIsNonNegative) {
+  const auto pts = random_points(80, 21);
+  auto front = rp::pareto_set_fast(pts);
+  rp::sort_front(front);
+  // Use every other front point as the "approximation".
+  std::vector<rp::Point> approx;
+  for (std::size_t i = 0; i < front.size(); i += 2) approx.push_back(front[i]);
+  const double d = rp::coverage_difference(front, approx);
+  EXPECT_GE(d, -1e-12);
+}
+
+TEST(CoverageTest, PerfectApproximationBeatsWorseOne) {
+  const auto pts = random_points(80, 33);
+  auto front = rp::pareto_set_fast(pts);
+  std::vector<rp::Point> poor{front[0]};
+  const double d_perfect = rp::coverage_difference(front, front);
+  const double d_poor = rp::coverage_difference(front, poor);
+  EXPECT_LE(d_perfect, d_poor + 1e-12);
+}
+
+// --- front metrics -------------------------------------------------------------------
+
+TEST(FrontMetricsTest, ExtremePoints) {
+  const std::vector<rp::Point> front{pt(0.5, 0.5, 0), pt(1.0, 0.9, 1), pt(1.2, 1.4, 2)};
+  EXPECT_EQ(rp::max_speedup_point(front).id, 2u);
+  EXPECT_EQ(rp::min_energy_point(front).id, 0u);
+}
+
+TEST(FrontMetricsTest, ExtremeTieBreaking) {
+  const std::vector<rp::Point> front{pt(1.0, 0.8, 0), pt(1.0, 0.6, 1)};
+  EXPECT_EQ(rp::max_speedup_point(front).id, 1u);  // same speedup, less energy
+}
+
+TEST(FrontMetricsTest, EmptyFrontThrows) {
+  EXPECT_THROW((void)rp::max_speedup_point({}), std::invalid_argument);
+  EXPECT_THROW((void)rp::min_energy_point({}), std::invalid_argument);
+}
+
+TEST(FrontMetricsTest, EvaluateAgainstSelfIsExact) {
+  const auto pts = random_points(100, 55);
+  const auto front = rp::pareto_set_fast(pts);
+  const auto eval = rp::evaluate_front(front, front);
+  EXPECT_NEAR(eval.coverage, 0.0, 1e-12);
+  EXPECT_EQ(eval.predicted_size, front.size());
+  EXPECT_EQ(eval.optimal_size, front.size());
+  EXPECT_DOUBLE_EQ(eval.max_speedup.d_speedup, 0.0);
+  EXPECT_DOUBLE_EQ(eval.min_energy.d_energy, 0.0);
+}
+
+TEST(FrontMetricsTest, EvaluateReportsExtremeDistance) {
+  const std::vector<rp::Point> optimal{pt(1.2, 1.0, 0), pt(0.6, 0.5, 1)};
+  const std::vector<rp::Point> predicted{pt(1.1, 1.05, 0), pt(0.6, 0.5, 1)};
+  const auto eval = rp::evaluate_front(optimal, predicted);
+  EXPECT_NEAR(eval.max_speedup.d_speedup, 0.1, 1e-12);
+  EXPECT_NEAR(eval.max_speedup.d_energy, 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(eval.min_energy.d_speedup, 0.0);
+}
+
+// --- knee selection ----------------------------------------------------------------
+
+TEST(KneeTest, UtopiaKneeOnSymmetricFrontIsTheMiddle) {
+  // Three-point front: extremes and a balanced middle.
+  const std::vector<rp::Point> front{pt(1.0, 1.0, 0), pt(0.6, 0.5, 1), pt(0.82, 0.7, 2)};
+  EXPECT_EQ(rp::knee_by_utopia_distance(front).id, 2u);
+}
+
+TEST(KneeTest, SinglePointFrontIsItsOwnKnee) {
+  const std::vector<rp::Point> front{pt(0.9, 0.8, 7)};
+  EXPECT_EQ(rp::knee_by_utopia_distance(front).id, 7u);
+  EXPECT_EQ(rp::knee_by_hypervolume(front).id, 7u);
+}
+
+TEST(KneeTest, EmptyFrontThrows) {
+  EXPECT_THROW((void)rp::knee_by_utopia_distance({}), std::invalid_argument);
+  EXPECT_THROW((void)rp::knee_by_hypervolume({}), std::invalid_argument);
+}
+
+TEST(KneeTest, KneeIsAlwaysAFrontMember) {
+  for (std::uint64_t seed : {3u, 11u, 29u}) {
+    const auto pts = random_points(120, seed);
+    const auto front = rp::pareto_set_fast(pts);
+    const auto knee = rp::knee_by_utopia_distance(front);
+    const bool member = std::any_of(front.begin(), front.end(), [&](const rp::Point& p) {
+      return p.id == knee.id;
+    });
+    EXPECT_TRUE(member) << "seed " << seed;
+  }
+}
+
+TEST(KneeTest, HypervolumeContributionsSumBelowTotal) {
+  const auto pts = random_points(80, 13);
+  const auto front = rp::pareto_set_fast(pts);
+  const auto contributions = rp::hypervolume_contributions(front);
+  ASSERT_EQ(contributions.size(), front.size());
+  double sum = 0.0;
+  for (double c : contributions) {
+    EXPECT_GE(c, -1e-12);
+    sum += c;
+  }
+  // Exclusive contributions never exceed the total dominated area.
+  EXPECT_LE(sum, rp::hypervolume(front) + 1e-9);
+}
+
+TEST(KneeTest, HypervolumeKneeMaximisesContribution) {
+  const auto pts = random_points(60, 17);
+  const auto front = rp::pareto_set_fast(pts);
+  const auto knee = rp::knee_by_hypervolume(front);
+  const auto contributions = rp::hypervolume_contributions(front);
+  double best = 0.0;
+  for (std::size_t i = 0; i < front.size(); ++i) {
+    best = std::max(best, contributions[i]);
+    if (front[i].id == knee.id) {
+      EXPECT_DOUBLE_EQ(contributions[i],
+                       *std::max_element(contributions.begin(), contributions.end()));
+    }
+  }
+}

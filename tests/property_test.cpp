@@ -1,0 +1,237 @@
+// Cross-module property tests: parameterized sweeps over the full benchmark
+// suite and frequency domain that pin down the invariants the experiments
+// rely on — monotone physics, bounded objectives, deterministic measurement,
+// hypervolume consistency against a Monte-Carlo estimate, and feature
+// stability of the frontend across semantic-preserving rewrites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "clfront/features.hpp"
+#include "common/rng.hpp"
+#include "gpusim/simulator.hpp"
+#include "kernels/kernels.hpp"
+#include "pareto/hypervolume.hpp"
+#include "pareto/pareto.hpp"
+
+namespace rg = repro::gpusim;
+namespace rk = repro::kernels;
+namespace rp = repro::pareto;
+namespace rc = repro::common;
+
+namespace {
+
+const rg::GpuSimulator& noiseless_sim() {
+  static const rg::GpuSimulator sim(rg::DeviceModel::titan_x(),
+                                    rg::SimOptions{.measurement_noise = false,
+                                                   .erratic_behaviour = false});
+  return sim;
+}
+
+const rg::GpuSimulator& noisy_sim() {
+  static const rg::GpuSimulator sim(rg::DeviceModel::titan_x());
+  return sim;
+}
+
+}  // namespace
+
+// --- per-(benchmark, memory level) physics sweep ------------------------------------
+
+class KernelLevelSweep
+    : public ::testing::TestWithParam<std::tuple<int, rg::MemLevel>> {
+ protected:
+  const rk::TestBenchmark& benchmark() const {
+    return rk::test_suite()[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  }
+  const rg::MemoryClockDomain& domain() const {
+    return *noiseless_sim().freq().find_domain(std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(KernelLevelSweep, TimeIsNonIncreasingInCoreClock) {
+  // Without noise, raising the core clock at fixed memory clock can never
+  // slow a kernel down.
+  const auto& dom = domain();
+  double prev = 1e18;
+  for (int core : dom.actual_core_mhz) {
+    const auto m = noiseless_sim().run_at(benchmark().profile, {core, dom.mem_mhz});
+    EXPECT_LE(m.time_ms, prev * (1.0 + 1e-9))
+        << benchmark().name << " at " << core << " MHz";
+    prev = m.time_ms;
+  }
+}
+
+TEST_P(KernelLevelSweep, PowerIsNonDecreasingInCoreClock) {
+  const auto& dom = domain();
+  double prev = 0.0;
+  for (int core : dom.actual_core_mhz) {
+    const auto m = noiseless_sim().run_at(benchmark().profile, {core, dom.mem_mhz});
+    EXPECT_GE(m.avg_power_w, prev * (1.0 - 1e-9))
+        << benchmark().name << " at " << core << " MHz";
+    prev = m.avg_power_w;
+  }
+}
+
+TEST_P(KernelLevelSweep, MeasurementsAreStrictlyDeterministic) {
+  const auto& dom = domain();
+  const rg::FrequencyConfig config{dom.actual_core_mhz.back(), dom.mem_mhz};
+  const auto a = noisy_sim().run_at(benchmark().profile, config);
+  const auto b = noisy_sim().run_at(benchmark().profile, config);
+  EXPECT_DOUBLE_EQ(a.time_ms, b.time_ms) << benchmark().name;
+  EXPECT_DOUBLE_EQ(a.avg_power_w, b.avg_power_w) << benchmark().name;
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j) << benchmark().name;
+}
+
+TEST_P(KernelLevelSweep, ObjectivesStayInPlottableRange) {
+  // The paper's figures plot speedup in [0, 1.4] and energy in [0.4, 2.0];
+  // measured points must stay in a slightly padded box.
+  const auto& dom = domain();
+  std::vector<rg::FrequencyConfig> configs;
+  for (int core : dom.actual_core_mhz) configs.push_back({core, dom.mem_mhz});
+  for (const auto& p : noisy_sim().characterize(benchmark().profile, configs)) {
+    EXPECT_GT(p.speedup, 0.03) << benchmark().name;
+    EXPECT_LT(p.speedup, 1.5) << benchmark().name;
+    EXPECT_GT(p.norm_energy, 0.25) << benchmark().name;
+    EXPECT_LT(p.norm_energy, 2.2) << benchmark().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllLevels, KernelLevelSweep,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(rk::kNumTestBenchmarks)),
+                       ::testing::Values(rg::MemLevel::kL, rg::MemLevel::kLow,
+                                         rg::MemLevel::kHigh, rg::MemLevel::kH)));
+
+// --- memory-clock monotonicity --------------------------------------------------------
+
+class MemoryScalingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemoryScalingSweep, TimeIsNonIncreasingInMemoryClock) {
+  // At the shared 403-ish core clock... the four levels share no single core
+  // clock, so compare at each level's top clock <= 403 MHz (supported by all).
+  const auto& benchmark = rk::test_suite()[static_cast<std::size_t>(GetParam())];
+  double prev_time = 1e18;
+  for (int mem : {405, 810, 3304, 3505}) {
+    const auto* dom = noiseless_sim().freq().find_domain(mem);
+    int core = dom->actual_core_mhz.front();
+    for (int c : dom->actual_core_mhz) {
+      if (c <= 403) core = c;
+    }
+    const auto m = noiseless_sim().run_at(benchmark.profile, {core, mem});
+    // Only enforce monotonicity when the core clock is comparable.
+    if (core <= 403) {
+      EXPECT_LE(m.time_ms, prev_time * 1.001) << benchmark.name << " mem " << mem;
+      prev_time = m.time_ms;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, MemoryScalingSweep,
+                         ::testing::Range(0, static_cast<int>(rk::kNumTestBenchmarks)));
+
+// --- hypervolume vs Monte-Carlo --------------------------------------------------------
+
+class HypervolumeMonteCarlo : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypervolumeMonteCarlo, MatchesSampledEstimate) {
+  rc::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<rp::Point> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniform(0.05, 1.3), rng.uniform(0.4, 1.9),
+                   static_cast<std::uint32_t>(i)});
+  }
+  const rp::ReferencePoint ref{0.0, 2.0};
+  const double exact = rp::hypervolume(pts, ref);
+
+  // Monte-Carlo estimate over the reference box [0, s_max] x [e_min_box, 2].
+  const double s_hi = 1.3;
+  constexpr int kSamples = 200000;
+  int inside = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double s = rng.uniform(0.0, s_hi);
+    const double e = rng.uniform(0.0, ref.energy);
+    for (const auto& p : pts) {
+      if (p.speedup >= s && p.energy <= e) {
+        ++inside;
+        break;
+      }
+    }
+  }
+  const double estimate =
+      static_cast<double>(inside) / kSamples * (s_hi * ref.energy);
+  EXPECT_NEAR(exact, estimate, 0.03) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypervolumeMonteCarlo, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- frontend stability ------------------------------------------------------------------
+
+TEST(FrontendPropertyTest, WhitespaceAndCommentsDoNotChangeFeatures) {
+  const std::string compact =
+      "kernel void k(global float* a){float x=a[0];a[1]=x*x+1.0f;}";
+  const std::string airy = R"(
+// a comment
+kernel void k(global float* a) {
+  /* block comment */
+  float x = a[0];
+  a[1] = x * x + 1.0f;   // trailing comment
+}
+)";
+  const auto f1 = repro::clfront::extract_features_from_source(compact);
+  const auto f2 = repro::clfront::extract_features_from_source(airy);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  EXPECT_EQ(f1.value().counts, f2.value().counts);
+}
+
+TEST(FrontendPropertyTest, DeclarationSplittingDoesNotChangeFeatures) {
+  const auto joint = repro::clfront::extract_features_from_source(
+      "kernel void k(float a) { float x = a + a, y = a * a; float z = x + y; }");
+  const auto split = repro::clfront::extract_features_from_source(
+      "kernel void k(float a) { float x = a + a; float y = a * a; float z = x + y; }");
+  ASSERT_TRUE(joint.ok());
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(joint.value().counts, split.value().counts);
+}
+
+TEST(FrontendPropertyTest, TestSuiteFeaturesAreAllNormalizable) {
+  for (const auto& benchmark : rk::test_suite()) {
+    const auto f = rk::benchmark_features(benchmark);
+    ASSERT_TRUE(f.ok()) << benchmark.name;
+    const auto norm = f.value().normalized();
+    double sum = 0.0;
+    for (double v : norm) {
+      EXPECT_GE(v, 0.0) << benchmark.name;
+      EXPECT_LE(v, 1.0) << benchmark.name;
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << benchmark.name;
+  }
+}
+
+// --- seed isolation ------------------------------------------------------------------------
+
+TEST(SeedPropertyTest, DifferentSimulatorSeedsChangeNoiseNotPhysics) {
+  const rg::GpuSimulator sim_a(rg::DeviceModel::titan_x(), rg::SimOptions{.seed = 1});
+  const rg::GpuSimulator sim_b(rg::DeviceModel::titan_x(), rg::SimOptions{.seed = 2});
+  const auto* knn = rk::find_benchmark("k-NN");
+  const rg::FrequencyConfig config{754, 3505};
+  const auto a = sim_a.run_at(knn->profile, config);
+  const auto b = sim_b.run_at(knn->profile, config);
+  EXPECT_NE(a.time_ms, b.time_ms);                      // noise differs
+  EXPECT_NEAR(a.time_ms, b.time_ms, 0.1 * a.time_ms);   // physics agrees
+  EXPECT_NEAR(a.avg_power_w, b.avg_power_w, 0.15 * a.avg_power_w);
+}
+
+TEST(SeedPropertyTest, NormalizedObjectivesUnaffectedByWorkItemScaling) {
+  // Doubling the launch size scales time and energy but not the normalized
+  // objectives (noise keyed by kernel name stays fixed).
+  auto profile = rk::find_benchmark("Convolution")->profile;
+  const rg::FrequencyConfig config{819, 3304};
+  const double s1 = noiseless_sim().speedup(profile, config);
+  profile.work_items *= 2;
+  const double s2 = noiseless_sim().speedup(profile, config);
+  EXPECT_NEAR(s1, s2, 0.01);
+}
