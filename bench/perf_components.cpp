@@ -10,7 +10,7 @@
 #include "core/features.hpp"
 #include "gpusim/simulator.hpp"
 #include "kernels/kernels.hpp"
-#include "ml/svr.hpp"
+#include "ml/registry.hpp"
 #include "pareto/hypervolume.hpp"
 #include "pareto/pareto.hpp"
 
@@ -94,8 +94,8 @@ void BM_SvrTraining(benchmark::State& state) {
     }
   }
   for (auto _ : state) {
-    ml::Svr svr{ml::SvrParams{ml::KernelFunction::linear(), 1000.0, 0.1}};
-    svr.fit(x, y);
+    auto svr = ml::make_regressor("svr-linear").take();
+    svr->fit(x, y);
     benchmark::DoNotOptimize(svr);
   }
 }
@@ -116,11 +116,11 @@ void BM_SvrPrediction(benchmark::State& state) {
       y.push_back(p.speedup);
     }
   }
-  ml::Svr svr{ml::SvrParams{ml::KernelFunction::rbf(0.1), 1000.0, 0.1}};
-  svr.fit(x, y);
+  const auto svr = ml::make_regressor("svr-rbf").take();
+  svr->fit(x, y);
   const auto probe = x.row(0);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(svr.predict_one(probe));
+    benchmark::DoNotOptimize(svr->predict_one(probe));
   }
 }
 BENCHMARK(BM_SvrPrediction);

@@ -5,11 +5,12 @@
 // and Pareto statistics, demonstrating that nothing in the method is tied to
 // the Titan X frequency topology.
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "core/model.hpp"
+#include "core/predictor.hpp"
 #include "pareto/front_metrics.hpp"
 #include "pareto/pareto.hpp"
 
@@ -18,23 +19,22 @@ using namespace repro;
 int main() {
   bench::print_header("Portability", "the full pipeline on the simulated Tesla P100");
 
+  // Retarget the whole stack by swapping the backend device — nothing else
+  // in the method changes.
   const gpusim::GpuSimulator sim(gpusim::DeviceModel::tesla_p100());
-  auto suite = benchgen::generate_training_suite();
-  if (!suite.ok()) {
-    std::fprintf(stderr, "%s\n", suite.error().to_string().c_str());
+  auto predictor = core::Predictor::builder()
+                       .backend(std::make_unique<core::SimulatorBackend>(sim))
+                       .build();
+  if (!predictor.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", predictor.error().message.c_str());
     return 1;
   }
-  core::TrainingOptions options;
-  const auto model = core::FrequencyModel::train(sim, suite.value(), options);
-  if (!model.ok()) {
-    std::fprintf(stderr, "training failed: %s\n", model.error().message.c_str());
-    return 1;
-  }
+  const auto& model = predictor.value().model();
   std::printf("device: %s\n", sim.device().name.c_str());
   std::printf("configurations: %zu (single memory clock — the paper's \"less\n",
               sim.freq().all_actual().size());
   std::printf("interesting\" scenario); training samples: %zu\n\n",
-              model.value().training_samples());
+              model.training_samples());
 
   common::TablePrinter table(
       {"benchmark", "speedup RMSE [%]", "energy RMSE [%]", "D(P*,P')", "|P*|"},
@@ -48,7 +48,7 @@ int main() {
     const auto features = kernels::benchmark_features(benchmark);
     if (!features.ok()) continue;
     const auto measured = sim.characterize(benchmark.profile, configs);
-    const auto predicted = model.value().predict_all(features.value(), configs);
+    const auto predicted = model.predict_all(features.value(), configs);
 
     std::vector<double> pred_s, true_s, pred_e, true_e;
     std::vector<pareto::Point> measured_points;
@@ -64,7 +64,7 @@ int main() {
 
     // Predicted Pareto set, evaluated at measured objectives (no mem-L
     // heuristic fires: the P100 has no 405 MHz memory domain).
-    const auto pareto_pred = model.value().predict_pareto(features.value(), configs);
+    const auto pareto_pred = model.predict_pareto(features.value(), configs);
     std::vector<pareto::Point> pred_measured;
     for (const auto& p : pareto_pred) {
       const auto def = sim.run_default(benchmark.profile);

@@ -40,8 +40,8 @@ int main() {
   std::printf("[pareto]   predicted Pareto sets for %zu benchmarks\n", cases.size());
   std::printf("[dvfs]     %zu (core, memory) configurations modeled\n",
               pipeline.simulator().freq().all_actual().size());
-  std::printf("[ml]       SVR models: %zu + %zu support vectors\n",
-              pipeline.model().speedup_model().num_support_vectors(),
-              pipeline.model().energy_model().num_support_vectors());
+  std::printf("[ml]       models: %s + %s\n",
+              pipeline.model().speedup_model().name().c_str(),
+              pipeline.model().energy_model().name().c_str());
   return 0;
 }

@@ -13,10 +13,8 @@
 #include <sstream>
 #include <string>
 
-#include "benchgen/benchgen.hpp"
 #include "clfront/features.hpp"
-#include "core/model.hpp"
-#include "gpusim/simulator.hpp"
+#include "core/predictor.hpp"
 #include "pareto/knee.hpp"
 
 using namespace repro;
@@ -74,20 +72,18 @@ int main(int argc, char** argv) {
   std::printf("autotuning kernel '%s'\n", features.value().kernel_name.c_str());
   std::printf("static features: %s\n\n", features.value().to_string().c_str());
 
-  const gpusim::GpuSimulator sim(gpusim::DeviceModel::titan_x());
-  auto suite = benchgen::generate_training_suite();
-  if (!suite.ok()) {
-    std::fprintf(stderr, "%s\n", suite.error().to_string().c_str());
-    return 1;
-  }
-  auto model = core::FrequencyModel::train_or_load(sim, suite.value(), {},
-                                                   "gpufreq_model_cache.txt");
-  if (!model.ok()) {
-    std::fprintf(stderr, "%s\n", model.error().to_string().c_str());
+  auto predictor = core::Predictor::builder().cache("gpufreq_model_cache.txt").build();
+  if (!predictor.ok()) {
+    std::fprintf(stderr, "%s\n", predictor.error().to_string().c_str());
     return 1;
   }
 
-  const auto pareto_set = model.value().predict_pareto(features.value());
+  const auto pareto_result = predictor.value().predict_pareto(features.value());
+  if (!pareto_result.ok()) {
+    std::fprintf(stderr, "%s\n", pareto_result.error().to_string().c_str());
+    return 1;
+  }
+  const auto& pareto_set = pareto_result.value();
   std::printf("predicted Pareto set (%zu configurations):\n", pareto_set.size());
   for (const auto& p : pareto_set) {
     std::printf("  core %4d / mem %4d -> speedup %.3f, energy %.3f%s\n",

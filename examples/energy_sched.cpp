@@ -7,10 +7,10 @@
 // Usage: energy_sched [--min-speedup 0.9]
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
-#include "benchgen/benchgen.hpp"
-#include "core/model.hpp"
+#include "core/predictor.hpp"
 #include "gpusim/simulator.hpp"
 #include "kernels/kernels.hpp"
 
@@ -24,16 +24,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The simulator doubles as the deployment "hardware" the plan is validated
+  // against, so the predictor borrows it as its measurement backend.
   const gpusim::GpuSimulator sim(gpusim::DeviceModel::titan_x());
-  auto suite = benchgen::generate_training_suite();
-  if (!suite.ok()) {
-    std::fprintf(stderr, "%s\n", suite.error().to_string().c_str());
-    return 1;
-  }
-  auto model = core::FrequencyModel::train_or_load(sim, suite.value(), {},
-                                                   "gpufreq_model_cache.txt");
-  if (!model.ok()) {
-    std::fprintf(stderr, "%s\n", model.error().to_string().c_str());
+  auto predictor = core::Predictor::builder()
+                       .backend(std::make_unique<core::SimulatorBackend>(sim))
+                       .cache("gpufreq_model_cache.txt")
+                       .build();
+  if (!predictor.ok()) {
+    std::fprintf(stderr, "%s\n", predictor.error().to_string().c_str());
     return 1;
   }
 
@@ -54,7 +53,9 @@ int main(int argc, char** argv) {
 
     // Pick: minimum predicted energy among modeled points meeting the floor;
     // fall back to the default configuration when none qualifies.
-    const auto pareto = model.value().predict_pareto(features.value());
+    const auto pareto_result = predictor.value().predict_pareto(features.value());
+    if (!pareto_result.ok()) continue;
+    const auto& pareto = pareto_result.value();
     gpusim::FrequencyConfig chosen = sim.freq().default_config();
     double chosen_s = 1.0;
     double chosen_e = 1.0;

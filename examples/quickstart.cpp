@@ -1,16 +1,15 @@
-// Quickstart: the complete library flow in ~60 lines.
+// Quickstart: the complete library flow in ~50 lines.
 //
-//   1. Train the predictor on the 106 synthetic micro-benchmarks (or load a
-//      cached model — training takes a few seconds on the simulated GPU).
+//   1. Build a Predictor — it trains on the 106 synthetic micro-benchmarks
+//      against the simulated Titan X (or loads a cached model; training
+//      takes a few seconds).
 //   2. Hand it a brand-new OpenCL kernel *as source text*.
 //   3. Get back the predicted Pareto-optimal (core, memory) frequency
 //      configurations — without ever running the kernel.
 #include <cstdio>
 
-#include "benchgen/benchgen.hpp"
 #include "clfront/features.hpp"
-#include "core/model.hpp"
-#include "gpusim/simulator.hpp"
+#include "core/predictor.hpp"
 
 using namespace repro;
 
@@ -27,17 +26,11 @@ kernel void saxpy_tuned(global float* x, global float* y, float a, int n) {
 )CL";
 
 int main() {
-  // 1. Backend + training data + model (cached across runs).
-  const gpusim::GpuSimulator sim(gpusim::DeviceModel::titan_x());
-  auto suite = benchgen::generate_training_suite();
-  if (!suite.ok()) {
-    std::fprintf(stderr, "training suite: %s\n", suite.error().to_string().c_str());
-    return 1;
-  }
-  auto model = core::FrequencyModel::train_or_load(sim, suite.value(), {},
-                                                   "gpufreq_model_cache.txt");
-  if (!model.ok()) {
-    std::fprintf(stderr, "training: %s\n", model.error().to_string().c_str());
+  // 1. Backend + training data + model, all behind the builder (the paper's
+  //    defaults: simulated Titan X, linear-SVR speedup, RBF-SVR energy).
+  auto predictor = core::Predictor::builder().cache("gpufreq_model_cache.txt").build();
+  if (!predictor.ok()) {
+    std::fprintf(stderr, "training: %s\n", predictor.error().to_string().c_str());
     return 1;
   }
 
@@ -50,15 +43,19 @@ int main() {
   std::printf("kernel features: %s\n\n", features.value().to_string().c_str());
 
   // 3. Predicted Pareto set over the sampled configuration space.
-  const auto pareto = model.value().predict_pareto(features.value());
+  const auto pareto = predictor.value().predict_pareto(features.value());
+  if (!pareto.ok()) {
+    std::fprintf(stderr, "prediction: %s\n", pareto.error().to_string().c_str());
+    return 1;
+  }
   std::printf("predicted Pareto-optimal frequency configurations:\n");
   std::printf("%-28s %10s %14s\n", "configuration", "speedup", "norm. energy");
-  for (const auto& p : pareto) {
+  for (const auto& p : pareto.value()) {
     std::printf("core %4d MHz / mem %4d MHz   %8.3f %14.3f%s\n", p.config.core_mhz,
                 p.config.mem_mhz, p.speedup, p.energy,
                 p.heuristic ? "   (mem-L heuristic)" : "");
   }
-  const auto def = sim.freq().default_config();
+  const auto def = predictor.value().domain().default_config();
   std::printf("\n(default configuration: core %d MHz / mem %d MHz -> 1.000 / 1.000)\n",
               def.core_mhz, def.mem_mhz);
   return 0;

@@ -27,12 +27,15 @@ common::Status ExperimentPipeline::prepare() {
   if (!suite.ok()) return suite.error();
   suite_ = std::move(suite).take();
 
+  // Train through the measurement abstraction (the pipeline's backend is the
+  // live simulator; swap in a CsvReplayBackend to re-run figures offline).
+  const SimulatorBackend backend(sim_);
   common::Result<FrequencyModel> model = common::internal_error("unreachable");
   if (options_.model_cache_path.has_value()) {
-    model = FrequencyModel::train_or_load(sim_, suite_, options_.training,
+    model = FrequencyModel::train_or_load(backend, suite_, options_.training,
                                           *options_.model_cache_path);
   } else {
-    model = FrequencyModel::train(sim_, suite_, options_.training);
+    model = FrequencyModel::train(backend, suite_, options_.training);
   }
   if (!model.ok()) return model.error();
   model_ = std::move(model).take();

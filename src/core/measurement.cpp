@@ -1,0 +1,182 @@
+#include "core/measurement.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <utility>
+
+#include "common/strings.hpp"
+
+namespace repro::core {
+
+namespace {
+
+std::string point_key(const std::string& kernel, gpusim::FrequencyConfig config) {
+  return kernel + '|' + std::to_string(config.core_mhz) + '|' +
+         std::to_string(config.mem_mhz);
+}
+
+common::Result<int> parse_int(const std::string& s) {
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    return common::parse_error("not an integer: " + s);
+  }
+  return value;
+}
+
+common::Result<double> parse_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(s, &pos);
+    if (pos != s.size()) return common::parse_error("not a number: " + s);
+    return value;
+  } catch (const std::exception&) {
+    return common::parse_error("not a number: " + s);
+  }
+}
+
+}  // namespace
+
+// --- SimulatorBackend --------------------------------------------------------
+
+SimulatorBackend::SimulatorBackend(gpusim::DeviceModel device, gpusim::SimOptions options)
+    : owned_(gpusim::GpuSimulator(std::move(device), options)), sim_(&*owned_) {}
+
+SimulatorBackend::SimulatorBackend(const gpusim::GpuSimulator& simulator)
+    : sim_(&simulator) {}
+
+std::string SimulatorBackend::name() const {
+  return "simulator:" + sim_->device().name;
+}
+
+const gpusim::FrequencyDomain& SimulatorBackend::domain() const { return sim_->freq(); }
+
+common::Result<std::vector<MeasuredPoint>> SimulatorBackend::measure(
+    const gpusim::KernelProfile& profile,
+    std::span<const gpusim::FrequencyConfig> configs) const {
+  const auto characterized = sim_->characterize(profile, configs);
+  std::vector<MeasuredPoint> out;
+  out.reserve(characterized.size());
+  for (const auto& p : characterized) {
+    out.push_back({p.config, p.speedup, p.norm_energy});
+  }
+  return out;
+}
+
+// --- CsvReplayBackend --------------------------------------------------------
+
+common::Result<CsvReplayBackend> CsvReplayBackend::from_document(
+    const common::CsvDocument& doc, gpusim::FrequencyDomain domain) {
+  const char* const columns[] = {"kernel", "core_mhz", "mem_mhz", "speedup",
+                                 "norm_energy"};
+  std::size_t idx[5] = {};
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto col = doc.column_index(columns[i]);
+    if (!col.ok()) return col.error();
+    idx[i] = col.value();
+  }
+
+  CsvReplayBackend backend(std::move(domain));
+  for (const auto& row : doc.rows()) {
+    if (row.size() <= std::max({idx[0], idx[1], idx[2], idx[3], idx[4]})) {
+      return common::parse_error("measurement trace: short row");
+    }
+    const auto core = parse_int(row[idx[1]]);
+    if (!core.ok()) return core.error();
+    const auto mem = parse_int(row[idx[2]]);
+    if (!mem.ok()) return mem.error();
+    const auto speedup = parse_double(row[idx[3]]);
+    if (!speedup.ok()) return speedup.error();
+    const auto energy = parse_double(row[idx[4]]);
+    if (!energy.ok()) return energy.error();
+    const gpusim::FrequencyConfig config{core.value(), mem.value()};
+    backend.points_[point_key(row[idx[0]], config)] =
+        MeasuredPoint{config, speedup.value(), energy.value()};
+  }
+  return backend;
+}
+
+common::Result<CsvReplayBackend> CsvReplayBackend::from_csv(
+    const std::string& path, gpusim::FrequencyDomain domain) {
+  auto doc = common::CsvDocument::load(path);
+  if (!doc.ok()) return doc.error();
+  return from_document(doc.value(), std::move(domain));
+}
+
+common::Result<common::CsvDocument> CsvReplayBackend::record(
+    const MeasurementBackend& backend, std::span<const gpusim::KernelProfile> profiles,
+    std::span<const gpusim::FrequencyConfig> configs) {
+  common::CsvDocument doc({"kernel", "core_mhz", "mem_mhz", "speedup", "norm_energy"});
+  for (const auto& profile : profiles) {
+    auto points = backend.measure(profile, configs);
+    if (!points.ok()) return points.error();
+    for (const auto& p : points.value()) {
+      doc.add_row({profile.name, std::to_string(p.config.core_mhz),
+                   std::to_string(p.config.mem_mhz), common::format_double(p.speedup, 17),
+                   common::format_double(p.norm_energy, 17)});
+    }
+  }
+  return doc;
+}
+
+common::Result<std::vector<MeasuredPoint>> CsvReplayBackend::measure(
+    const gpusim::KernelProfile& profile,
+    std::span<const gpusim::FrequencyConfig> configs) const {
+  std::vector<MeasuredPoint> out;
+  out.reserve(configs.size());
+  for (const auto& config : configs) {
+    const auto it = points_.find(point_key(profile.name, config));
+    if (it == points_.end()) {
+      return common::not_found("csv-replay: no recorded measurement for kernel \"" +
+                               profile.name + "\" at core " +
+                               std::to_string(config.core_mhz) + " / mem " +
+                               std::to_string(config.mem_mhz));
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+// --- CachingBackend ----------------------------------------------------------
+
+CachingBackend::CachingBackend(std::unique_ptr<MeasurementBackend> inner)
+    : owned_(std::move(inner)), inner_(owned_.get()) {}
+
+CachingBackend::CachingBackend(const MeasurementBackend& inner) : inner_(&inner) {}
+
+std::string CachingBackend::name() const { return "caching(" + inner_->name() + ")"; }
+
+common::Result<std::vector<MeasuredPoint>> CachingBackend::measure(
+    const gpusim::KernelProfile& profile,
+    std::span<const gpusim::FrequencyConfig> configs) const {
+  // Collect the configurations not yet cached, measure them in one batch
+  // (preserving the inner backend's batching behaviour), then serve the
+  // requested order from the cache.
+  std::vector<gpusim::FrequencyConfig> missing;
+  for (const auto& config : configs) {
+    if (!cache_.contains(point_key(profile.name, config))) missing.push_back(config);
+  }
+  if (!missing.empty()) {
+    auto measured = inner_->measure(profile, missing);
+    if (!measured.ok()) return measured.error();
+    for (const auto& p : measured.value()) {
+      cache_[point_key(profile.name, p.config)] = p;
+    }
+  }
+  hits_ += configs.size() - missing.size();
+  misses_ += missing.size();
+
+  std::vector<MeasuredPoint> out;
+  out.reserve(configs.size());
+  for (const auto& config : configs) {
+    const auto it = cache_.find(point_key(profile.name, config));
+    if (it == cache_.end()) {
+      return common::internal_error("caching backend: inner backend did not return " +
+                                    point_key(profile.name, config));
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,131 @@
+// The measurement abstraction behind model training and evaluation.
+//
+// The paper measures each (kernel, frequency configuration) pair on real
+// hardware; this reproduction measures on a simulated GPU. A
+// MeasurementBackend hides that choice behind one interface — speedup and
+// normalized energy for a kernel at a set of configurations over a known
+// frequency domain — so the predictor can train against a live simulator, a
+// recorded CSV trace, or a memoizing cache without changing a line of the
+// training code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/status.hpp"
+#include "gpusim/kernel_profile.hpp"
+#include "gpusim/simulator.hpp"
+
+namespace repro::core {
+
+/// One measured kernel execution in the paper's objective space.
+struct MeasuredPoint {
+  gpusim::FrequencyConfig config;
+  double speedup = 0.0;      // t_default / t_config
+  double norm_energy = 0.0;  // E_config / E_default
+};
+
+class MeasurementBackend {
+ public:
+  virtual ~MeasurementBackend() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The frequency domain measurements are defined over.
+  [[nodiscard]] virtual const gpusim::FrequencyDomain& domain() const = 0;
+
+  /// Measure `profile` at each configuration, in order. Kernels are
+  /// identified by `profile.name` (replay backends key on it).
+  [[nodiscard]] virtual common::Result<std::vector<MeasuredPoint>> measure(
+      const gpusim::KernelProfile& profile,
+      std::span<const gpusim::FrequencyConfig> configs) const = 0;
+};
+
+/// Live measurement on the simulated GPU. Either owns its simulator
+/// (constructed from a device model) or borrows an external one, whose
+/// lifetime must then cover the backend's.
+class SimulatorBackend final : public MeasurementBackend {
+ public:
+  explicit SimulatorBackend(gpusim::DeviceModel device, gpusim::SimOptions options = {});
+  explicit SimulatorBackend(const gpusim::GpuSimulator& simulator);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] const gpusim::FrequencyDomain& domain() const override;
+  [[nodiscard]] common::Result<std::vector<MeasuredPoint>> measure(
+      const gpusim::KernelProfile& profile,
+      std::span<const gpusim::FrequencyConfig> configs) const override;
+
+  [[nodiscard]] const gpusim::GpuSimulator& simulator() const noexcept { return *sim_; }
+
+ private:
+  std::optional<gpusim::GpuSimulator> owned_;
+  const gpusim::GpuSimulator* sim_;
+};
+
+/// Replays measurements recorded to CSV (columns: kernel, core_mhz, mem_mhz,
+/// speedup, norm_energy). Requesting a (kernel, configuration) pair absent
+/// from the trace is an error — a replay backend cannot measure anything new.
+class CsvReplayBackend final : public MeasurementBackend {
+ public:
+  [[nodiscard]] static common::Result<CsvReplayBackend> from_document(
+      const common::CsvDocument& doc, gpusim::FrequencyDomain domain);
+  [[nodiscard]] static common::Result<CsvReplayBackend> from_csv(
+      const std::string& path, gpusim::FrequencyDomain domain);
+
+  /// Record a trace by measuring `profiles` x `configs` on `backend` — the
+  /// document round-trips through from_document/from_csv.
+  [[nodiscard]] static common::Result<common::CsvDocument> record(
+      const MeasurementBackend& backend,
+      std::span<const gpusim::KernelProfile> profiles,
+      std::span<const gpusim::FrequencyConfig> configs);
+
+  [[nodiscard]] std::string name() const override { return "csv-replay"; }
+  [[nodiscard]] const gpusim::FrequencyDomain& domain() const override { return domain_; }
+  [[nodiscard]] common::Result<std::vector<MeasuredPoint>> measure(
+      const gpusim::KernelProfile& profile,
+      std::span<const gpusim::FrequencyConfig> configs) const override;
+
+  [[nodiscard]] std::size_t num_points() const noexcept { return points_.size(); }
+
+ private:
+  explicit CsvReplayBackend(gpusim::FrequencyDomain domain) : domain_(std::move(domain)) {}
+
+  gpusim::FrequencyDomain domain_;
+  std::unordered_map<std::string, MeasuredPoint> points_;  // key: kernel|core|mem
+};
+
+/// Memoizing decorator: measurements are delegated to the wrapped backend
+/// once per (kernel, configuration) and served from memory afterwards.
+/// Either owns the inner backend or borrows it. Not thread-safe.
+class CachingBackend final : public MeasurementBackend {
+ public:
+  explicit CachingBackend(std::unique_ptr<MeasurementBackend> inner);
+  explicit CachingBackend(const MeasurementBackend& inner);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] const gpusim::FrequencyDomain& domain() const override {
+    return inner_->domain();
+  }
+  [[nodiscard]] common::Result<std::vector<MeasuredPoint>> measure(
+      const gpusim::KernelProfile& profile,
+      std::span<const gpusim::FrequencyConfig> configs) const override;
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t cached_points() const noexcept { return cache_.size(); }
+
+ private:
+  std::unique_ptr<MeasurementBackend> owned_;
+  const MeasurementBackend* inner_;
+  mutable std::unordered_map<std::string, MeasuredPoint> cache_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace repro::core

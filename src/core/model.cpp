@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "ml/dataset.hpp"
+#include "ml/svr.hpp"
 #include "pareto/pareto.hpp"
 
 namespace repro::core {
@@ -17,15 +18,26 @@ bool is_mem_L(const gpusim::FrequencyDomain& domain, int mem_mhz) {
   return level.ok() && level.value() == gpusim::MemLevel::kL;
 }
 
+void log_fit(const char* objective, const ml::Regressor& model) {
+  auto line = common::log_info();
+  line << objective << " model (" << model.name() << "): fitted";
+  if (const auto* svr = dynamic_cast<const ml::Svr*>(&model)) {
+    line << ", " << svr->training_info().iterations << " SMO iterations, "
+         << svr->num_support_vectors() << " SVs";
+  }
+}
+
 }  // namespace
 
 common::Result<FrequencyModel> FrequencyModel::train(
-    const gpusim::GpuSimulator& simulator, std::span<const benchgen::MicroBenchmark> suite,
+    const MeasurementBackend& backend, std::span<const benchgen::MicroBenchmark> suite,
     const TrainingOptions& options) {
   if (suite.empty()) return common::invalid_argument("train: empty benchmark suite");
 
-  const auto& domain = simulator.freq();
+  const auto& domain = backend.domain();
   FrequencyModel model(domain, FeatureAssembler(domain));
+  model.speedup_key_ = options.models.speedup_regressor;
+  model.energy_key_ = options.models.energy_regressor;
   model.training_configs_ = domain.sample_configs(options.num_configs);
   if (options.exclude_mem_L_from_training) {
     std::erase_if(model.training_configs_, [&](const gpusim::FrequencyConfig& c) {
@@ -36,14 +48,24 @@ common::Result<FrequencyModel> FrequencyModel::train(
     return common::invalid_argument("train: no training configurations");
   }
 
+  // Build both regressors up front so an unknown registry key fails before
+  // the (expensive) measurement pass.
+  auto speedup = ml::make_regressor(options.models.speedup_regressor,
+                                    options.models.speedup);
+  if (!speedup.ok()) return speedup.error();
+  auto energy = ml::make_regressor(options.models.energy_regressor,
+                                   options.models.energy);
+  if (!energy.ok()) return energy.error();
+
   // Assemble the training matrices: one row per (kernel, configuration).
   ml::Matrix x(0, 0);
   std::vector<double> y_speedup;
   std::vector<double> y_energy;
   for (const auto& mb : suite) {
-    const auto points = simulator.characterize(mb.profile, model.training_configs_);
+    auto points = backend.measure(mb.profile, model.training_configs_);
+    if (!points.ok()) return points.error();
     const auto normalized = mb.features.normalized();
-    for (const auto& p : points) {
+    for (const auto& p : points.value()) {
       const auto row = model.assembler_.assemble(normalized, p.config);
       x.push_row(row);
       y_speedup.push_back(p.speedup);
@@ -51,36 +73,51 @@ common::Result<FrequencyModel> FrequencyModel::train(
     }
   }
   model.training_samples_ = x.rows();
-  common::log_info() << "FrequencyModel::train: " << suite.size() << " kernels x "
-                     << model.training_configs_.size() << " configs = " << x.rows()
-                     << " samples";
+  common::log_info() << "FrequencyModel::train[" << backend.name() << "]: "
+                     << suite.size() << " kernels x " << model.training_configs_.size()
+                     << " configs = " << x.rows() << " samples";
 
-  model.speedup_ = ml::Svr(options.models.speedup);
-  model.speedup_.fit(x, y_speedup);
-  common::log_info() << "speedup SVR: " << model.speedup_.training_info().iterations
-                     << " iterations, " << model.speedup_.num_support_vectors() << " SVs";
+  model.speedup_ = std::move(speedup).take();
+  model.speedup_->fit(x, y_speedup);
+  log_fit("speedup", *model.speedup_);
 
-  model.energy_ = ml::Svr(options.models.energy);
-  model.energy_.fit(x, y_energy);
-  common::log_info() << "energy SVR: " << model.energy_.training_info().iterations
-                     << " iterations, " << model.energy_.num_support_vectors() << " SVs";
+  model.energy_ = std::move(energy).take();
+  model.energy_->fit(x, y_energy);
+  log_fit("energy", *model.energy_);
 
   return model;
 }
 
-common::Result<FrequencyModel> FrequencyModel::train_or_load(
+common::Result<FrequencyModel> FrequencyModel::train(
     const gpusim::GpuSimulator& simulator, std::span<const benchgen::MicroBenchmark> suite,
+    const TrainingOptions& options) {
+  return train(SimulatorBackend(simulator), suite, options);
+}
+
+common::Result<FrequencyModel> FrequencyModel::train_or_load(
+    const MeasurementBackend& backend, std::span<const benchgen::MicroBenchmark> suite,
     const TrainingOptions& options, const std::string& cache_path) {
   if (std::filesystem::exists(cache_path)) {
     auto loaded = load(cache_path);
-    if (loaded.ok()) {
+    if (loaded.ok() &&
+        loaded.value().domain().device_name() == backend.domain().device_name() &&
+        loaded.value().speedup_regressor() == options.models.speedup_regressor &&
+        loaded.value().energy_regressor() == options.models.energy_regressor) {
       common::log_info() << "FrequencyModel: loaded cached model from " << cache_path;
       return loaded;
     }
-    common::log_warn() << "FrequencyModel: stale cache at " << cache_path << " ("
-                       << loaded.error().message << "), retraining";
+    if (loaded.ok()) {
+      common::log_warn() << "FrequencyModel: cache at " << cache_path
+                         << " was trained for a different setup (device \""
+                         << loaded.value().domain().device_name() << "\", regressors "
+                         << loaded.value().speedup_regressor() << "/"
+                         << loaded.value().energy_regressor() << "), retraining";
+    } else {
+      common::log_warn() << "FrequencyModel: stale cache at " << cache_path << " ("
+                         << loaded.error().message << "), retraining";
+    }
   }
-  auto trained = train(simulator, suite, options);
+  auto trained = train(backend, suite, options);
   if (!trained.ok()) return trained;
   if (auto st = trained.value().save(cache_path); !st.ok()) {
     common::log_warn() << "FrequencyModel: could not cache model: " << st.error().message;
@@ -88,16 +125,22 @@ common::Result<FrequencyModel> FrequencyModel::train_or_load(
   return trained;
 }
 
+common::Result<FrequencyModel> FrequencyModel::train_or_load(
+    const gpusim::GpuSimulator& simulator, std::span<const benchgen::MicroBenchmark> suite,
+    const TrainingOptions& options, const std::string& cache_path) {
+  return train_or_load(SimulatorBackend(simulator), suite, options, cache_path);
+}
+
 double FrequencyModel::predict_speedup(const clfront::StaticFeatures& features,
                                        gpusim::FrequencyConfig config) const {
   const auto w = assembler_.assemble(features, config);
-  return speedup_.predict_one(w);
+  return speedup_->predict_one(w);
 }
 
 double FrequencyModel::predict_energy(const clfront::StaticFeatures& features,
                                       gpusim::FrequencyConfig config) const {
   const auto w = assembler_.assemble(features, config);
-  return energy_.predict_one(w);
+  return energy_->predict_one(w);
 }
 
 std::vector<PredictedPoint> FrequencyModel::predict_all(
@@ -108,7 +151,7 @@ std::vector<PredictedPoint> FrequencyModel::predict_all(
   const auto normalized = features.normalized();
   for (const auto& config : configs) {
     const auto w = assembler_.assemble(normalized, config);
-    out.push_back({config, speedup_.predict_one(w), energy_.predict_one(w), false});
+    out.push_back({config, speedup_->predict_one(w), energy_->predict_one(w), false});
   }
   return out;
 }
@@ -147,7 +190,7 @@ std::vector<PredictedPoint> FrequencyModel::predict_pareto(
     }
     if (best.core_mhz == 0) best = {mem_L->actual_core_mhz.back(), mem_L->mem_mhz};
     const auto w = assembler_.assemble(features, best);
-    out.push_back({best, speedup_.predict_one(w), energy_.predict_one(w), true});
+    out.push_back({best, speedup_->predict_one(w), energy_->predict_one(w), true});
   }
   return out;
 }
@@ -163,23 +206,23 @@ std::vector<PredictedPoint> FrequencyModel::predict_pareto(
 std::string FrequencyModel::serialize() const {
   std::ostringstream oss;
   oss.precision(17);
-  oss << "gpufreq_model v1\n";
+  oss << "gpufreq_model v2\n";
   oss << "device " << domain_.device_name() << '\n';
   oss << "bounds " << assembler_.core_min() << ' ' << assembler_.core_max() << ' '
       << assembler_.mem_min() << ' ' << assembler_.mem_max() << '\n';
   oss << "training_configs " << training_configs_.size() << '\n';
   for (const auto& c : training_configs_) oss << c.core_mhz << ' ' << c.mem_mhz << '\n';
   oss << "training_samples " << training_samples_ << '\n';
-  oss << "=== speedup ===\n" << speedup_.serialize();
-  oss << "=== energy ===\n" << energy_.serialize();
+  oss << "=== speedup ===\n" << ml::serialize_regressor(*speedup_);
+  oss << "=== energy ===\n" << ml::serialize_regressor(*energy_);
   return oss.str();
 }
 
 common::Result<FrequencyModel> FrequencyModel::deserialize(const std::string& text) {
   std::istringstream iss(text);
   std::string line;
-  if (!std::getline(iss, line) || line != "gpufreq_model v1") {
-    return common::parse_error("FrequencyModel: bad header");
+  if (!std::getline(iss, line) || line != "gpufreq_model v2") {
+    return common::parse_error("FrequencyModel: bad header (expected gpufreq_model v2)");
   }
   if (!std::getline(iss, line) || line.rfind("device ", 0) != 0) {
     return common::parse_error("FrequencyModel: missing device line");
@@ -215,22 +258,22 @@ common::Result<FrequencyModel> FrequencyModel::deserialize(const std::string& te
   }
   std::getline(iss, line);  // consume rest of line
 
-  // Split the two SVR sections.
+  // Split the two regressor sections.
   std::string rest((std::istreambuf_iterator<char>(iss)), std::istreambuf_iterator<char>());
   const std::string speedup_tag = "=== speedup ===\n";
   const std::string energy_tag = "=== energy ===\n";
   const auto s_pos = rest.find(speedup_tag);
   const auto e_pos = rest.find(energy_tag);
   if (s_pos == std::string::npos || e_pos == std::string::npos || e_pos < s_pos) {
-    return common::parse_error("FrequencyModel: missing SVR sections");
+    return common::parse_error("FrequencyModel: missing regressor sections");
   }
   const std::string speedup_text =
       rest.substr(s_pos + speedup_tag.size(), e_pos - s_pos - speedup_tag.size());
   const std::string energy_text = rest.substr(e_pos + energy_tag.size());
 
-  auto speedup = ml::Svr::deserialize(speedup_text);
+  auto speedup = ml::deserialize_regressor(speedup_text);
   if (!speedup.ok()) return speedup.error();
-  auto energy = ml::Svr::deserialize(energy_text);
+  auto energy = ml::deserialize_regressor(energy_text);
   if (!energy.ok()) return energy.error();
 
   // The domain is reconstructed from the device name (only the two known
@@ -242,6 +285,8 @@ common::Result<FrequencyModel> FrequencyModel::deserialize(const std::string& te
                        FeatureAssembler(core_min, core_max, mem_min, mem_max));
   model.speedup_ = std::move(speedup).take();
   model.energy_ = std::move(energy).take();
+  model.speedup_key_ = model.speedup_->name();
+  model.energy_key_ = model.energy_->name();
   model.training_configs_ = std::move(configs);
   model.training_samples_ = n_samples;
   return model;

@@ -1,11 +1,13 @@
 // The trained frequency-scaling predictor — the paper's core contribution.
 //
 // Training (Fig. 2): each micro-benchmark is executed at a sampled subset of
-// frequency configurations on the (simulated) GPU; static features plus the
-// normalized frequency pair form the inputs, measured speedup / normalized
-// energy the targets. Two SVR models are fit: a linear-kernel SVR for
-// speedup and an RBF SVR (gamma = 0.1) for normalized energy, both with
-// C = 1000 and epsilon = 0.1 (§3.4).
+// frequency configurations through a MeasurementBackend (live simulator, CSV
+// replay, or a caching decorator — see core/measurement.hpp); static
+// features plus the normalized frequency pair form the inputs, measured
+// speedup / normalized energy the targets. Two regressors are fit, selected
+// by registry key (ml/registry.hpp). The paper's choice (§3.4) is a
+// linear-kernel SVR for speedup and an RBF SVR (gamma = 0.1) for normalized
+// energy, both with C = 1000 and epsilon = 0.1 — the defaults below.
 //
 // Prediction (Fig. 3): a *new* kernel is never executed — its static
 // features are combined with every candidate configuration, both models are
@@ -15,6 +17,7 @@
 // predicted set heuristically (§4.5).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -24,15 +27,21 @@
 #include "clfront/features.hpp"
 #include "common/status.hpp"
 #include "core/features.hpp"
+#include "core/measurement.hpp"
 #include "gpusim/simulator.hpp"
-#include "ml/svr.hpp"
+#include "ml/registry.hpp"
 #include "pareto/pareto.hpp"
 
 namespace repro::core {
 
+/// Which regressor family models each objective (registry keys, see
+/// ml::registered_regressors()) and the hyperparameters handed to the
+/// factories. Defaults are the paper's models (§3.4).
 struct ModelParams {
-  ml::SvrParams speedup{ml::KernelFunction::linear(), 1000.0, 0.1, 1e-3, 2'000'000};
-  ml::SvrParams energy{ml::KernelFunction::rbf(0.1), 1000.0, 0.1, 1e-3, 2'000'000};
+  std::string speedup_regressor = "svr-linear";
+  std::string energy_regressor = "svr-rbf";
+  ml::RegressorParams speedup{};
+  ml::RegressorParams energy{};
 };
 
 struct TrainingOptions {
@@ -51,14 +60,25 @@ struct PredictedPoint {
 
 class FrequencyModel {
  public:
-  /// Train on a micro-benchmark suite using the given simulator as the
-  /// measurement backend.
+  /// Train on a micro-benchmark suite using the given measurement backend.
+  [[nodiscard]] static common::Result<FrequencyModel> train(
+      const MeasurementBackend& backend,
+      std::span<const benchgen::MicroBenchmark> suite, const TrainingOptions& options);
+
+  /// Convenience: train against a live simulator.
   [[nodiscard]] static common::Result<FrequencyModel> train(
       const gpusim::GpuSimulator& simulator,
       std::span<const benchgen::MicroBenchmark> suite, const TrainingOptions& options);
 
   /// Train, or load a previously serialized model from `cache_path` when it
-  /// exists (and save after training otherwise).
+  /// exists and was trained with the same regressor keys on the same device
+  /// (and save after training otherwise). Hyperparameters are not part of
+  /// the cache key — delete the cache after changing them.
+  [[nodiscard]] static common::Result<FrequencyModel> train_or_load(
+      const MeasurementBackend& backend,
+      std::span<const benchgen::MicroBenchmark> suite, const TrainingOptions& options,
+      const std::string& cache_path);
+
   [[nodiscard]] static common::Result<FrequencyModel> train_or_load(
       const gpusim::GpuSimulator& simulator,
       std::span<const benchgen::MicroBenchmark> suite, const TrainingOptions& options,
@@ -95,10 +115,20 @@ class FrequencyModel {
     return training_configs_;
   }
   [[nodiscard]] std::size_t training_samples() const noexcept { return training_samples_; }
-  [[nodiscard]] const ml::Svr& speedup_model() const noexcept { return speedup_; }
-  [[nodiscard]] const ml::Svr& energy_model() const noexcept { return energy_; }
+  [[nodiscard]] const ml::Regressor& speedup_model() const noexcept { return *speedup_; }
+  [[nodiscard]] const ml::Regressor& energy_model() const noexcept { return *energy_; }
+  /// Registry keys the models were built from.
+  [[nodiscard]] const std::string& speedup_regressor() const noexcept {
+    return speedup_key_;
+  }
+  [[nodiscard]] const std::string& energy_regressor() const noexcept {
+    return energy_key_;
+  }
 
   // --- persistence -----------------------------------------------------------
+  /// Version 2 format: header + training metadata + two polymorphic
+  /// regressor sections (ml::serialize_regressor envelopes). Any registered
+  /// regressor family round-trips.
   [[nodiscard]] std::string serialize() const;
   [[nodiscard]] static common::Result<FrequencyModel> deserialize(const std::string& text);
   [[nodiscard]] common::Status save(const std::string& path) const;
@@ -110,8 +140,10 @@ class FrequencyModel {
 
   gpusim::FrequencyDomain domain_;
   FeatureAssembler assembler_;
-  ml::Svr speedup_;
-  ml::Svr energy_;
+  std::string speedup_key_ = "svr-linear";
+  std::string energy_key_ = "svr-rbf";
+  std::unique_ptr<ml::Regressor> speedup_;
+  std::unique_ptr<ml::Regressor> energy_;
   std::vector<gpusim::FrequencyConfig> training_configs_;
   std::size_t training_samples_ = 0;
 };

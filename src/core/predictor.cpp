@@ -1,0 +1,145 @@
+#include "core/predictor.hpp"
+
+#include <utility>
+
+namespace repro::core {
+
+Predictor::Builder Predictor::builder() { return Builder(); }
+
+// --- Builder -----------------------------------------------------------------
+
+Predictor::Builder& Predictor::Builder::device(gpusim::DeviceModel device) {
+  device_ = std::move(device);
+  return *this;
+}
+
+Predictor::Builder& Predictor::Builder::sim_options(gpusim::SimOptions options) {
+  sim_options_ = options;
+  return *this;
+}
+
+Predictor::Builder& Predictor::Builder::backend(
+    std::unique_ptr<MeasurementBackend> backend) {
+  backend_ = std::move(backend);
+  return *this;
+}
+
+Predictor::Builder& Predictor::Builder::regressors(std::string speedup_key,
+                                                   std::string energy_key) {
+  training_.models.speedup_regressor = std::move(speedup_key);
+  training_.models.energy_regressor = std::move(energy_key);
+  return *this;
+}
+
+Predictor::Builder& Predictor::Builder::regressor_params(ml::RegressorParams speedup,
+                                                         ml::RegressorParams energy) {
+  training_.models.speedup = speedup;
+  training_.models.energy = energy;
+  return *this;
+}
+
+Predictor::Builder& Predictor::Builder::training(TrainingOptions options) {
+  training_ = std::move(options);
+  return *this;
+}
+
+Predictor::Builder& Predictor::Builder::num_configs(std::size_t n) {
+  training_.num_configs = n;
+  return *this;
+}
+
+Predictor::Builder& Predictor::Builder::suite(std::vector<benchgen::MicroBenchmark> suite) {
+  suite_ = std::move(suite);
+  return *this;
+}
+
+Predictor::Builder& Predictor::Builder::cache(std::string model_cache_path) {
+  cache_path_ = std::move(model_cache_path);
+  return *this;
+}
+
+Predictor::Builder& Predictor::Builder::memoize(bool on) {
+  memoize_ = on;
+  return *this;
+}
+
+common::Result<Predictor> Predictor::Builder::build() {
+  std::unique_ptr<MeasurementBackend> backend = std::move(backend_);
+  if (backend == nullptr) {
+    backend = std::make_unique<SimulatorBackend>(device_, sim_options_);
+  }
+  if (memoize_) {
+    backend = std::make_unique<CachingBackend>(std::move(backend));
+  }
+
+  std::vector<benchgen::MicroBenchmark> suite;
+  if (suite_.has_value()) {
+    suite = std::move(*suite_);
+  } else {
+    auto generated = benchgen::generate_training_suite();
+    if (!generated.ok()) return generated.error();
+    suite = std::move(generated).take();
+  }
+
+  auto model = cache_path_.has_value()
+                   ? FrequencyModel::train_or_load(*backend, suite, training_,
+                                                   *cache_path_)
+                   : FrequencyModel::train(*backend, suite, training_);
+  if (!model.ok()) return model.error();
+  return Predictor(std::move(backend), std::move(model).take());
+}
+
+// --- Predictor ---------------------------------------------------------------
+
+common::Result<PredictedPoint> Predictor::predict(const clfront::StaticFeatures& features,
+                                                  gpusim::FrequencyConfig config) const {
+  if (!domain().is_reported(config)) {
+    return common::invalid_argument(
+        "predict: configuration core " + std::to_string(config.core_mhz) + " / mem " +
+        std::to_string(config.mem_mhz) + " is not reported by " +
+        domain().device_name());
+  }
+  return PredictedPoint{config, model_.predict_speedup(features, config),
+                        model_.predict_energy(features, config), false};
+}
+
+common::Result<std::vector<PredictedPoint>> Predictor::predict_all(
+    const clfront::StaticFeatures& features,
+    std::span<const gpusim::FrequencyConfig> configs) const {
+  if (configs.empty()) return common::invalid_argument("predict_all: no configurations");
+  return model_.predict_all(features, configs);
+}
+
+common::Result<std::vector<PredictedPoint>> Predictor::predict_pareto(
+    const clfront::StaticFeatures& features) const {
+  return model_.predict_pareto(features);
+}
+
+common::Result<std::vector<PredictedPoint>> Predictor::predict_pareto(
+    const clfront::StaticFeatures& features,
+    std::span<const gpusim::FrequencyConfig> configs) const {
+  if (configs.empty()) {
+    return common::invalid_argument("predict_pareto: no configurations");
+  }
+  return model_.predict_pareto(features, configs);
+}
+
+common::Result<std::vector<PredictedPoint>> Predictor::predict_pareto_source(
+    const std::string& opencl_source, const std::string& kernel_name) const {
+  auto features = clfront::extract_features_from_source(opencl_source, kernel_name);
+  if (!features.ok()) return features.error();
+  return model_.predict_pareto(features.value());
+}
+
+common::Result<std::vector<Predictor::KernelPrediction>> Predictor::predict_batch(
+    std::span<const clfront::StaticFeatures> kernels) const {
+  if (kernels.empty()) return common::invalid_argument("predict_batch: no kernels");
+  std::vector<KernelPrediction> out;
+  out.reserve(kernels.size());
+  for (const auto& features : kernels) {
+    out.push_back({features.kernel_name, model_.predict_pareto(features)});
+  }
+  return out;
+}
+
+}  // namespace repro::core

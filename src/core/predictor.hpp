@@ -1,0 +1,128 @@
+// The public entry point of the library: a trained predictor behind a
+// builder, with every axis of the pipeline swappable.
+//
+//   auto predictor = core::Predictor::builder()
+//                        .device(gpusim::DeviceModel::titan_x())
+//                        .regressors("svr-linear", "svr-rbf")
+//                        .cache("gpufreq_model_cache.txt")
+//                        .build();
+//   if (!predictor.ok()) { ... }
+//   auto pareto = predictor.value().predict_pareto_source(kKernelSource);
+//
+// The builder defaults reproduce the paper end to end: simulated Titan X,
+// the 106-micro-benchmark training suite, linear-SVR speedup + RBF-SVR
+// energy models (C = 1000, epsilon = 0.1), 40 sampled training
+// configurations. Swap any of them: another device, a recorded
+// CsvReplayBackend, different regressor families from the registry, a
+// custom training suite.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "clfront/features.hpp"
+#include "common/status.hpp"
+#include "core/measurement.hpp"
+#include "core/model.hpp"
+
+namespace repro::core {
+
+class Predictor {
+ public:
+  class Builder;
+  [[nodiscard]] static Builder builder();
+
+  /// Per-kernel result of a batch prediction.
+  struct KernelPrediction {
+    std::string kernel;
+    std::vector<PredictedPoint> pareto;
+  };
+
+  // --- single-point ----------------------------------------------------------
+  /// Predict both objectives for one kernel at one configuration. The
+  /// configuration must be reported by the device's frequency domain.
+  [[nodiscard]] common::Result<PredictedPoint> predict(
+      const clfront::StaticFeatures& features, gpusim::FrequencyConfig config) const;
+
+  /// Predictions at every given configuration (no Pareto filter).
+  [[nodiscard]] common::Result<std::vector<PredictedPoint>> predict_all(
+      const clfront::StaticFeatures& features,
+      std::span<const gpusim::FrequencyConfig> configs) const;
+
+  // --- Pareto ----------------------------------------------------------------
+  [[nodiscard]] common::Result<std::vector<PredictedPoint>> predict_pareto(
+      const clfront::StaticFeatures& features) const;
+  [[nodiscard]] common::Result<std::vector<PredictedPoint>> predict_pareto(
+      const clfront::StaticFeatures& features,
+      std::span<const gpusim::FrequencyConfig> configs) const;
+
+  /// Extract static features from OpenCL-C source, then predict its Pareto
+  /// set — the paper's Fig. 3 flow in one call.
+  [[nodiscard]] common::Result<std::vector<PredictedPoint>> predict_pareto_source(
+      const std::string& opencl_source, const std::string& kernel_name = {}) const;
+
+  // --- batch of kernels ------------------------------------------------------
+  [[nodiscard]] common::Result<std::vector<KernelPrediction>> predict_batch(
+      std::span<const clfront::StaticFeatures> kernels) const;
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] const FrequencyModel& model() const noexcept { return model_; }
+  [[nodiscard]] const MeasurementBackend& backend() const noexcept { return *backend_; }
+  [[nodiscard]] const gpusim::FrequencyDomain& domain() const noexcept {
+    return model_.domain();
+  }
+
+ private:
+  Predictor(std::unique_ptr<MeasurementBackend> backend, FrequencyModel model)
+      : backend_(std::move(backend)), model_(std::move(model)) {}
+
+  std::unique_ptr<MeasurementBackend> backend_;
+  FrequencyModel model_;
+};
+
+class Predictor::Builder {
+ public:
+  /// Measurement device (default: the simulated Titan X).
+  Builder& device(gpusim::DeviceModel device);
+  Builder& sim_options(gpusim::SimOptions options);
+
+  /// Custom measurement backend; overrides device()/sim_options().
+  Builder& backend(std::unique_ptr<MeasurementBackend> backend);
+
+  /// Registry keys for the two objective models (see
+  /// ml::registered_regressors()).
+  Builder& regressors(std::string speedup_key, std::string energy_key);
+  Builder& regressor_params(ml::RegressorParams speedup, ml::RegressorParams energy);
+
+  /// Replace the full training options (regressor keys included).
+  Builder& training(TrainingOptions options);
+  Builder& num_configs(std::size_t n);
+
+  /// Custom training suite (default: the 106 generated micro-benchmarks).
+  Builder& suite(std::vector<benchgen::MicroBenchmark> suite);
+
+  /// Persist the trained model here and reuse it across builds.
+  Builder& cache(std::string model_cache_path);
+
+  /// Wrap the backend in a memoizing CachingBackend.
+  Builder& memoize(bool on = true);
+
+  /// Assemble the backend, generate/adopt the suite, then train (or load
+  /// the cached model).
+  [[nodiscard]] common::Result<Predictor> build();
+
+ private:
+  gpusim::DeviceModel device_ = gpusim::DeviceModel::titan_x();
+  gpusim::SimOptions sim_options_{};
+  std::unique_ptr<MeasurementBackend> backend_;
+  TrainingOptions training_{};
+  std::optional<std::vector<benchgen::MicroBenchmark>> suite_;
+  std::optional<std::string> cache_path_;
+  bool memoize_ = false;
+};
+
+}  // namespace repro::core

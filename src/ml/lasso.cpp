@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 namespace repro::ml {
@@ -75,6 +76,42 @@ double Lasso::predict_one(std::span<const double> x) const {
   if (!fitted_) throw std::logic_error("Lasso::predict before fit");
   if (x.size() != coef_.size()) throw std::invalid_argument("Lasso::predict: width");
   return intercept_ + dot(x, coef_);
+}
+
+std::string Lasso::serialize() const {
+  if (!fitted_) throw std::logic_error("Lasso::serialize before fit");
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << "lasso v1 " << params_.alpha << ' ' << params_.tol << ' ' << params_.max_iter
+      << ' ' << intercept_ << ' ' << coef_.size() << '\n';
+  for (std::size_t i = 0; i < coef_.size(); ++i) {
+    if (i != 0) oss << ' ';
+    oss << coef_[i];
+  }
+  oss << '\n';
+  return oss.str();
+}
+
+common::Result<Lasso> Lasso::deserialize(const std::string& text) {
+  std::istringstream iss(text);
+  std::string tag;
+  std::string version;
+  LassoParams params;
+  double intercept = 0.0;
+  std::size_t d = 0;
+  if (!(iss >> tag >> version >> params.alpha >> params.tol >> params.max_iter >>
+        intercept >> d) ||
+      tag != "lasso" || version != "v1") {
+    return common::parse_error("Lasso: bad header");
+  }
+  Lasso model(params);
+  model.coef_.resize(d);
+  for (auto& c : model.coef_) {
+    if (!(iss >> c)) return common::parse_error("Lasso: truncated coefficients");
+  }
+  model.intercept_ = intercept;
+  model.fitted_ = true;
+  return model;
 }
 
 }  // namespace repro::ml

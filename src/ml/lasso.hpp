@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "ml/model.hpp"
 
 namespace repro::ml {
@@ -28,6 +29,9 @@ class Lasso final : public Regressor {
   [[nodiscard]] const std::vector<double>& coefficients() const noexcept { return coef_; }
   [[nodiscard]] double intercept() const noexcept { return intercept_; }
   [[nodiscard]] std::size_t iterations_used() const noexcept { return iterations_; }
+
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] static common::Result<Lasso> deserialize(const std::string& text);
 
  private:
   LassoParams params_;

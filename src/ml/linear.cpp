@@ -1,5 +1,6 @@
 #include "ml/linear.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace repro::ml {
@@ -46,6 +47,40 @@ double LinearRegression::predict_one(std::span<const double> x) const {
   if (x.size() != coef_.size())
     throw std::invalid_argument("LinearRegression::predict: width mismatch");
   return intercept_ + dot(x, coef_);
+}
+
+std::string LinearRegression::serialize() const {
+  if (!fitted_) throw std::logic_error("LinearRegression::serialize before fit");
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << "linear v1 " << l2_ << ' ' << intercept_ << ' ' << coef_.size() << '\n';
+  for (std::size_t i = 0; i < coef_.size(); ++i) {
+    if (i != 0) oss << ' ';
+    oss << coef_[i];
+  }
+  oss << '\n';
+  return oss.str();
+}
+
+common::Result<LinearRegression> LinearRegression::deserialize(const std::string& text) {
+  std::istringstream iss(text);
+  std::string tag;
+  std::string version;
+  double l2 = 0.0;
+  double intercept = 0.0;
+  std::size_t d = 0;
+  if (!(iss >> tag >> version >> l2 >> intercept >> d) || tag != "linear" ||
+      version != "v1") {
+    return common::parse_error("LinearRegression: bad header");
+  }
+  LinearRegression model(l2);
+  model.coef_.resize(d);
+  for (auto& c : model.coef_) {
+    if (!(iss >> c)) return common::parse_error("LinearRegression: truncated coefficients");
+  }
+  model.intercept_ = intercept;
+  model.fitted_ = true;
+  return model;
 }
 
 }  // namespace repro::ml

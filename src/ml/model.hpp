@@ -1,6 +1,11 @@
 // Common regressor interface: every model in the library (SVR, OLS, ridge,
 // LASSO, polynomial) trains from a Matrix + target vector and predicts a
 // scalar per sample.
+//
+// Every concrete regressor also round-trips through a text serialization;
+// `name()` doubles as the registry key (see ml/registry.hpp), which is what
+// makes persistence polymorphic: a serialized model records its key and the
+// registry dispatches deserialization to the right family.
 #pragma once
 
 #include <memory>
@@ -22,8 +27,14 @@ class Regressor {
   /// Predict a single sample (x.size() == num_features at fit time).
   [[nodiscard]] virtual double predict_one(std::span<const double> x) const = 0;
 
+  /// Registry key of this model ("svr-linear", "ols", "lasso", ...).
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual bool fitted() const noexcept = 0;
+
+  /// Family-specific text payload; restore with the family's deserializer or
+  /// polymorphically via ml::deserialize_regressor (which adds a versioned
+  /// envelope naming the family). Throws std::logic_error before fit().
+  [[nodiscard]] virtual std::string serialize() const = 0;
 
   /// Batch prediction (default: loop over predict_one).
   [[nodiscard]] std::vector<double> predict(const Matrix& x) const;

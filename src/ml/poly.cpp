@@ -1,5 +1,6 @@
 #include "ml/poly.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace repro::ml {
@@ -35,6 +36,43 @@ double PolynomialRegression::predict_one(std::span<const double> x) const {
   if (x.size() != input_dim_) throw std::invalid_argument("PolynomialRegression: width");
   const auto e = expand(x);
   return linear_.predict_one(e);
+}
+
+std::string PolynomialRegression::serialize() const {
+  if (!fitted()) throw std::logic_error("PolynomialRegression::serialize before fit");
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << "poly v1 " << params_.degree << ' ' << params_.l2 << ' '
+      << (params_.interactions ? 1 : 0) << ' ' << input_dim_ << '\n';
+  oss << linear_.serialize();
+  return oss.str();
+}
+
+common::Result<PolynomialRegression> PolynomialRegression::deserialize(
+    const std::string& text) {
+  const auto header_end = text.find('\n');
+  if (header_end == std::string::npos) {
+    return common::parse_error("PolynomialRegression: missing header");
+  }
+  std::istringstream iss(text.substr(0, header_end));
+  std::string tag;
+  std::string version;
+  PolynomialParams params;
+  int interactions = 0;
+  std::size_t input_dim = 0;
+  if (!(iss >> tag >> version >> params.degree >> params.l2 >> interactions >>
+        input_dim) ||
+      tag != "poly" || version != "v1") {
+    return common::parse_error("PolynomialRegression: bad header");
+  }
+  params.interactions = interactions != 0;
+  auto linear = LinearRegression::deserialize(text.substr(header_end + 1));
+  if (!linear.ok()) return linear.error();
+
+  PolynomialRegression model(params);
+  model.linear_ = std::move(linear).take();
+  model.input_dim_ = input_dim;
+  return model;
 }
 
 }  // namespace repro::ml

@@ -30,6 +30,10 @@ class PolynomialRegression final : public Regressor {
   /// Expand a sample into the polynomial basis (exposed for tests).
   [[nodiscard]] std::vector<double> expand(std::span<const double> x) const;
 
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] static common::Result<PolynomialRegression> deserialize(
+      const std::string& text);
+
  private:
   PolynomialParams params_;
   LinearRegression linear_{1e-8};

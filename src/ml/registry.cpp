@@ -1,0 +1,169 @@
+#include "ml/registry.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace repro::ml {
+
+namespace {
+
+/// Adapt a family deserializer returning Result<T> into one returning a
+/// Result<unique_ptr<Regressor>>.
+template <typename T>
+common::Result<std::unique_ptr<Regressor>> lift(common::Result<T> result) {
+  if (!result.ok()) return result.error();
+  return std::unique_ptr<Regressor>(std::make_unique<T>(std::move(result).take()));
+}
+
+SvrParams svr_params_with_kernel(const RegressorParams& p, KernelFunction kernel) {
+  SvrParams q = p.svr;
+  q.kernel = kernel;
+  return q;
+}
+
+/// "ols" and "ridge" share LinearRegression, whose serialized payload does
+/// not record the family — restore it from the envelope key so a ridge
+/// model with l2 = 0 still round-trips as "ridge".
+RegressorRegistry::Deserializer linear_deserializer(std::string family) {
+  return [family = std::move(family)](
+             const std::string& text) -> common::Result<std::unique_ptr<Regressor>> {
+    auto result = LinearRegression::deserialize(text);
+    if (!result.ok()) return result.error();
+    auto model = std::make_unique<LinearRegression>(std::move(result).take());
+    model->set_family(family);
+    return std::unique_ptr<Regressor>(std::move(model));
+  };
+}
+
+}  // namespace
+
+RegressorRegistry::RegressorRegistry() {
+  register_family(
+      "svr-linear",
+      [](const RegressorParams& p) {
+        return std::make_unique<Svr>(svr_params_with_kernel(p, KernelFunction::linear()));
+      },
+      [](const std::string& text) { return lift(Svr::deserialize(text)); });
+  register_family(
+      "svr-rbf",
+      [](const RegressorParams& p) {
+        return std::make_unique<Svr>(
+            svr_params_with_kernel(p, KernelFunction::rbf(p.svr_rbf_gamma)));
+      },
+      [](const std::string& text) { return lift(Svr::deserialize(text)); });
+  register_family(
+      "svr-polynomial",
+      [](const RegressorParams& p) {
+        return std::make_unique<Svr>(svr_params_with_kernel(
+            p, KernelFunction::polynomial(p.svr_poly_degree)));
+      },
+      [](const std::string& text) { return lift(Svr::deserialize(text)); });
+  register_family(
+      "ols",
+      [](const RegressorParams&) { return std::make_unique<LinearRegression>(); },
+      linear_deserializer("ols"));
+  register_family(
+      "ridge",
+      [](const RegressorParams& p) {
+        return std::make_unique<LinearRegression>("ridge", p.ridge_l2);
+      },
+      linear_deserializer("ridge"));
+  register_family(
+      "lasso",
+      [](const RegressorParams& p) { return std::make_unique<Lasso>(p.lasso); },
+      [](const std::string& text) { return lift(Lasso::deserialize(text)); });
+  register_family(
+      "poly",
+      [](const RegressorParams& p) {
+        return std::make_unique<PolynomialRegression>(p.poly);
+      },
+      [](const std::string& text) {
+        return lift(PolynomialRegression::deserialize(text));
+      });
+}
+
+RegressorRegistry& RegressorRegistry::instance() {
+  static RegressorRegistry registry;
+  return registry;
+}
+
+common::Status RegressorRegistry::register_family(const std::string& name, Factory factory,
+                                                  Deserializer deserializer) {
+  const auto [it, inserted] =
+      entries_.emplace(name, Entry{std::move(factory), std::move(deserializer)});
+  (void)it;
+  if (!inserted) {
+    return common::invalid_argument("regressor family already registered: " + name);
+  }
+  return common::Status::Ok();
+}
+
+bool RegressorRegistry::contains(const std::string& name) const {
+  return entries_.contains(name);
+}
+
+std::vector<std::string> RegressorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+common::Result<std::unique_ptr<Regressor>> RegressorRegistry::make(
+    const std::string& name, const RegressorParams& params) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return common::not_found("unknown regressor \"" + name + "\"; registered: " +
+                             [this] {
+                               std::string joined;
+                               for (const auto& n : names()) {
+                                 if (!joined.empty()) joined += ", ";
+                                 joined += n;
+                               }
+                               return joined;
+                             }());
+  }
+  return it->second.factory(params);
+}
+
+common::Result<std::unique_ptr<Regressor>> RegressorRegistry::deserialize(
+    const std::string& name, const std::string& payload) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return common::not_found("unknown regressor family in model file: " + name);
+  }
+  return it->second.deserializer(payload);
+}
+
+common::Result<std::unique_ptr<Regressor>> make_regressor(const std::string& name,
+                                                          const RegressorParams& params) {
+  return RegressorRegistry::instance().make(name, params);
+}
+
+std::vector<std::string> registered_regressors() {
+  return RegressorRegistry::instance().names();
+}
+
+std::string serialize_regressor(const Regressor& model) {
+  return "regressor v1 " + model.name() + '\n' + model.serialize();
+}
+
+common::Result<std::unique_ptr<Regressor>> deserialize_regressor(const std::string& text) {
+  const auto header_end = text.find('\n');
+  if (header_end == std::string::npos) {
+    return common::parse_error("regressor: missing envelope header");
+  }
+  std::istringstream header(text.substr(0, header_end));
+  std::string tag;
+  std::string version;
+  std::string name;
+  if (!(header >> tag >> version >> name) || tag != "regressor") {
+    return common::parse_error("regressor: bad envelope header");
+  }
+  if (version != "v1") {
+    return common::unsupported("regressor: unsupported envelope version " + version);
+  }
+  return RegressorRegistry::instance().deserialize(name, text.substr(header_end + 1));
+}
+
+}  // namespace repro::ml

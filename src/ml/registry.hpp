@@ -1,0 +1,86 @@
+// Pluggable regressor registry: every model family in the library is
+// constructible by name, and serialized models carry that name so they can
+// be restored without the caller knowing the concrete type.
+//
+//   auto model = ml::make_regressor("svr-rbf", params);   // Result<unique_ptr>
+//   std::string blob = ml::serialize_regressor(*model.value());
+//   auto restored = ml::deserialize_regressor(blob);
+//
+// Built-in families: "svr-linear", "svr-rbf", "svr-polynomial", "ols",
+// "ridge", "lasso", "poly". New families can be registered at runtime via
+// RegressorRegistry::instance().register_family(...); the Regressor::name()
+// of a registered model must equal its registry key for round-trips to work.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ml/lasso.hpp"
+#include "ml/model.hpp"
+#include "ml/poly.hpp"
+#include "ml/svr.hpp"
+
+namespace repro::ml {
+
+/// Hyperparameter bag spanning every built-in family; each factory reads
+/// only the members of its own family. Defaults are the paper's (§3.4):
+/// C = 1000, ε = 0.1, γ = 0.1 for the SVRs.
+struct RegressorParams {
+  SvrParams svr{};             // the kernel function is set by the registry key
+  double svr_rbf_gamma = 0.1;  // γ for "svr-rbf"
+  int svr_poly_degree = 3;     // degree for "svr-polynomial"
+  double ridge_l2 = 1.0;       // λ for "ridge" ("ols" is unpenalised)
+  LassoParams lasso{};
+  PolynomialParams poly{};
+};
+
+class RegressorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Regressor>(const RegressorParams&)>;
+  using Deserializer =
+      std::function<common::Result<std::unique_ptr<Regressor>>(const std::string&)>;
+
+  /// The process-wide registry, pre-populated with the built-in families.
+  [[nodiscard]] static RegressorRegistry& instance();
+
+  /// Register a new family; fails when the name is already taken.
+  common::Status register_family(const std::string& name, Factory factory,
+                                 Deserializer deserializer);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;  // sorted
+
+  [[nodiscard]] common::Result<std::unique_ptr<Regressor>> make(
+      const std::string& name, const RegressorParams& params) const;
+
+  /// Deserialize a family payload (no envelope) for the given key.
+  [[nodiscard]] common::Result<std::unique_ptr<Regressor>> deserialize(
+      const std::string& name, const std::string& payload) const;
+
+ private:
+  RegressorRegistry();
+
+  struct Entry {
+    Factory factory;
+    Deserializer deserializer;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Construct a registered regressor by name.
+[[nodiscard]] common::Result<std::unique_ptr<Regressor>> make_regressor(
+    const std::string& name, const RegressorParams& params = {});
+
+/// Sorted names of every registered family.
+[[nodiscard]] std::vector<std::string> registered_regressors();
+
+/// Versioned polymorphic persistence: "regressor v1 <name>\n" + payload.
+[[nodiscard]] std::string serialize_regressor(const Regressor& model);
+[[nodiscard]] common::Result<std::unique_ptr<Regressor>> deserialize_regressor(
+    const std::string& text);
+
+}  // namespace repro::ml

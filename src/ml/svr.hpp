@@ -59,7 +59,7 @@ class Svr final : public Regressor {
   [[nodiscard]] std::size_t num_support_vectors() const noexcept { return sv_.rows(); }
 
   /// Text round-trip for model persistence.
-  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] std::string serialize() const override;
   [[nodiscard]] static common::Result<Svr> deserialize(const std::string& text);
 
  private:

@@ -1,0 +1,187 @@
+// Tests for the measurement abstraction: the simulator-backed
+// implementation, CSV trace record/replay, the memoizing decorator, and the
+// guarantee that a recorded trace trains the exact same model as the live
+// simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "core/measurement.hpp"
+#include "core/model.hpp"
+#include "gpusim/simulator.hpp"
+
+namespace rco = repro::core;
+namespace rg = repro::gpusim;
+namespace rb = repro::benchgen;
+
+namespace {
+
+const rg::GpuSimulator& sim() {
+  static const rg::GpuSimulator s(rg::DeviceModel::titan_x());
+  return s;
+}
+
+std::span<const rb::MicroBenchmark> small_suite() {
+  static const auto full = rb::generate_training_suite().value();
+  static const std::vector<rb::MicroBenchmark> subset = [] {
+    std::vector<rb::MicroBenchmark> out;
+    for (std::size_t i = 0; i < full.size(); i += 9) out.push_back(full[i]);
+    return out;
+  }();
+  return subset;
+}
+
+std::vector<rg::KernelProfile> suite_profiles() {
+  std::vector<rg::KernelProfile> out;
+  for (const auto& mb : small_suite()) out.push_back(mb.profile);
+  return out;
+}
+
+}  // namespace
+
+// --- SimulatorBackend -------------------------------------------------------
+
+TEST(SimulatorBackendTest, MatchesDirectCharacterization) {
+  const rco::SimulatorBackend backend(sim());
+  const auto configs = sim().freq().sample_configs(12);
+  const auto& profile = small_suite()[0].profile;
+
+  const auto points = backend.measure(profile, configs);
+  ASSERT_TRUE(points.ok());
+  const auto direct = sim().characterize(profile, configs);
+  ASSERT_EQ(points.value().size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(points.value()[i].config, direct[i].config);
+    EXPECT_DOUBLE_EQ(points.value()[i].speedup, direct[i].speedup);
+    EXPECT_DOUBLE_EQ(points.value()[i].norm_energy, direct[i].norm_energy);
+  }
+}
+
+TEST(SimulatorBackendTest, OwningConstructorBuildsItsOwnSimulator) {
+  const rco::SimulatorBackend backend(rg::DeviceModel::tesla_p100());
+  EXPECT_EQ(backend.domain().device_name(), rg::FrequencyDomain::tesla_p100().device_name());
+  EXPECT_NE(backend.name().find("P100"), std::string::npos);
+}
+
+// --- CsvReplayBackend -------------------------------------------------------
+
+TEST(CsvReplayBackendTest, RecordedTraceReplaysExactly) {
+  const rco::SimulatorBackend live(sim());
+  const auto configs = sim().freq().sample_configs(10);
+  const auto profiles = suite_profiles();
+
+  const auto doc = rco::CsvReplayBackend::record(live, profiles, configs);
+  ASSERT_TRUE(doc.ok());
+  auto replay = rco::CsvReplayBackend::from_document(doc.value(), sim().freq());
+  ASSERT_TRUE(replay.ok()) << replay.error().message;
+  EXPECT_EQ(replay.value().num_points(), profiles.size() * configs.size());
+
+  for (const auto& profile : profiles) {
+    const auto live_points = live.measure(profile, configs);
+    const auto replayed = replay.value().measure(profile, configs);
+    ASSERT_TRUE(live_points.ok());
+    ASSERT_TRUE(replayed.ok());
+    ASSERT_EQ(replayed.value().size(), live_points.value().size());
+    for (std::size_t i = 0; i < replayed.value().size(); ++i) {
+      EXPECT_EQ(replayed.value()[i].config, live_points.value()[i].config);
+      EXPECT_DOUBLE_EQ(replayed.value()[i].speedup, live_points.value()[i].speedup);
+      EXPECT_DOUBLE_EQ(replayed.value()[i].norm_energy,
+                       live_points.value()[i].norm_energy);
+    }
+  }
+}
+
+TEST(CsvReplayBackendTest, UnrecordedPointIsAnError) {
+  const rco::SimulatorBackend live(sim());
+  const auto configs = sim().freq().sample_configs(4);
+  const auto profiles = suite_profiles();
+  const auto doc = rco::CsvReplayBackend::record(live, {&profiles[0], 1}, configs);
+  ASSERT_TRUE(doc.ok());
+  const auto replay = rco::CsvReplayBackend::from_document(doc.value(), sim().freq());
+  ASSERT_TRUE(replay.ok());
+
+  // Unrecorded kernel.
+  const auto missing_kernel = replay.value().measure(profiles[1], configs);
+  EXPECT_FALSE(missing_kernel.ok());
+  // Unrecorded configuration of a recorded kernel.
+  const rg::FrequencyConfig bogus{1, 1};
+  const auto missing_config = replay.value().measure(profiles[0], {&bogus, 1});
+  ASSERT_FALSE(missing_config.ok());
+  EXPECT_EQ(missing_config.error().code, repro::common::ErrorCode::kNotFound);
+}
+
+TEST(CsvReplayBackendTest, RejectsDocumentsWithMissingColumns) {
+  const repro::common::CsvDocument doc({"kernel", "core_mhz"});
+  EXPECT_FALSE(rco::CsvReplayBackend::from_document(doc, sim().freq()).ok());
+}
+
+// --- CachingBackend ---------------------------------------------------------
+
+TEST(CachingBackendTest, ServesRepeatsFromCacheWithIdenticalValues) {
+  const rco::CachingBackend cached(
+      std::make_unique<rco::SimulatorBackend>(rg::DeviceModel::titan_x()));
+  const auto configs = sim().freq().sample_configs(8);
+  const auto& profile = small_suite()[0].profile;
+
+  const auto first = cached.measure(profile, configs);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cached.misses(), configs.size());
+  EXPECT_EQ(cached.hits(), 0u);
+
+  const auto second = cached.measure(profile, configs);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cached.hits(), configs.size());
+  EXPECT_EQ(cached.misses(), configs.size());
+  EXPECT_EQ(cached.cached_points(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(second.value()[i].speedup, first.value()[i].speedup);
+    EXPECT_DOUBLE_EQ(second.value()[i].norm_energy, first.value()[i].norm_energy);
+  }
+}
+
+TEST(CachingBackendTest, PartialOverlapOnlyMeasuresTheMisses) {
+  const rco::SimulatorBackend live(sim());
+  const rco::CachingBackend cached(live);
+  const auto configs = sim().freq().sample_configs(8);
+  const auto& profile = small_suite()[1].profile;
+
+  const std::span<const rg::FrequencyConfig> half(configs.data(), 4);
+  ASSERT_TRUE(cached.measure(profile, half).ok());
+  ASSERT_TRUE(cached.measure(profile, configs).ok());
+  EXPECT_EQ(cached.misses(), configs.size());  // 4 + 4, never re-measured
+  EXPECT_EQ(cached.hits(), 4u);
+}
+
+// --- training equivalence ---------------------------------------------------
+
+TEST(MeasurementBackendTest, CsvReplayTrainsTheSameModelAsTheSimulator) {
+  rco::TrainingOptions options;
+  options.num_configs = 40;
+  // Cheap regressors keep the double-training fast; equivalence holds for
+  // any family because the assembled training matrices are identical.
+  options.models.speedup_regressor = "ols";
+  options.models.energy_regressor = "ridge";
+
+  const rco::SimulatorBackend live(sim());
+  const auto trace = rco::CsvReplayBackend::record(
+      live, suite_profiles(), sim().freq().sample_configs(options.num_configs));
+  ASSERT_TRUE(trace.ok());
+  auto replay = rco::CsvReplayBackend::from_document(trace.value(), sim().freq());
+  ASSERT_TRUE(replay.ok());
+
+  const auto from_live = rco::FrequencyModel::train(live, small_suite(), options);
+  const auto from_trace = rco::FrequencyModel::train(replay.value(), small_suite(), options);
+  ASSERT_TRUE(from_live.ok());
+  ASSERT_TRUE(from_trace.ok());
+  EXPECT_EQ(from_trace.value().training_samples(), from_live.value().training_samples());
+
+  const auto& mb = small_suite()[0];
+  for (const auto& config : from_live.value().training_configs()) {
+    EXPECT_DOUBLE_EQ(from_trace.value().predict_speedup(mb.features, config),
+                     from_live.value().predict_speedup(mb.features, config));
+    EXPECT_DOUBLE_EQ(from_trace.value().predict_energy(mb.features, config),
+                     from_live.value().predict_energy(mb.features, config));
+  }
+}

@@ -1,0 +1,165 @@
+// Tests for the regressor registry: construction by name for every family,
+// the unknown-name error path, and polymorphic versioned persistence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/registry.hpp"
+
+namespace rm = repro::ml;
+
+namespace {
+
+/// Small smooth regression problem every family can fit: y = 2 x0 - x1 + 0.5.
+rm::Matrix train_x() {
+  rm::Matrix x(0, 0);
+  for (int i = 0; i < 25; ++i) {
+    const double a = 0.04 * i;
+    const double b = 1.0 - 0.04 * i * 0.7;
+    const double row[] = {a, b};
+    x.push_row(row);
+  }
+  return x;
+}
+
+std::vector<double> train_y(const rm::Matrix& x) {
+  std::vector<double> y;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    y.push_back(2.0 * x(r, 0) - x(r, 1) + 0.5);
+  }
+  return y;
+}
+
+}  // namespace
+
+TEST(RegressorRegistryTest, ContainsTheDocumentedFamilies) {
+  const auto names = rm::registered_regressors();
+  for (const char* expected :
+       {"svr-linear", "svr-rbf", "ols", "ridge", "lasso", "poly"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing family: " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(RegressorRegistryTest, ConstructsEveryRegisteredFamily) {
+  const auto x = train_x();
+  const auto y = train_y(x);
+  for (const auto& name : rm::registered_regressors()) {
+    auto model = rm::make_regressor(name);
+    ASSERT_TRUE(model.ok()) << name << ": " << model.error().message;
+    ASSERT_NE(model.value(), nullptr);
+    EXPECT_FALSE(model.value()->fitted());
+    model.value()->fit(x, y);
+    EXPECT_TRUE(model.value()->fitted()) << name;
+    const double probe[] = {0.5, 0.6};
+    EXPECT_TRUE(std::isfinite(model.value()->predict_one(probe))) << name;
+  }
+}
+
+TEST(RegressorRegistryTest, FactoryRespectsKernelChoice) {
+  auto linear = rm::make_regressor("svr-linear");
+  auto rbf = rm::make_regressor("svr-rbf");
+  ASSERT_TRUE(linear.ok());
+  ASSERT_TRUE(rbf.ok());
+  EXPECT_EQ(linear.value()->name(), "svr-linear");
+  EXPECT_EQ(rbf.value()->name(), "svr-rbf");
+}
+
+TEST(RegressorRegistryTest, NameMatchesRegistryKey) {
+  // Required for polymorphic persistence: the serialized envelope records
+  // name(), and deserialization dispatches on it.
+  for (const auto& name : rm::registered_regressors()) {
+    auto model = rm::make_regressor(name);
+    ASSERT_TRUE(model.ok());
+    EXPECT_EQ(model.value()->name(), name);
+  }
+}
+
+TEST(RegressorRegistryTest, RidgeKeepsItsKeyWhenUnregularised) {
+  // "ridge" with l2 = 0 is mathematically OLS, but the family key must
+  // survive construction and the serialization round-trip, or cache-key
+  // comparisons retrain on every run.
+  rm::RegressorParams params;
+  params.ridge_l2 = 0.0;
+  auto model = rm::make_regressor("ridge", params);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value()->name(), "ridge");
+
+  const auto x = train_x();
+  model.value()->fit(x, train_y(x));
+  auto restored = rm::deserialize_regressor(rm::serialize_regressor(*model.value()));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value()->name(), "ridge");
+}
+
+TEST(RegressorRegistryTest, UnknownNameIsAnError) {
+  const auto result = rm::make_regressor("gradient-boosting");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, repro::common::ErrorCode::kNotFound);
+  EXPECT_NE(result.error().message.find("gradient-boosting"), std::string::npos);
+  // The error lists what *is* available.
+  EXPECT_NE(result.error().message.find("svr-linear"), std::string::npos);
+}
+
+TEST(RegressorRegistryTest, DuplicateRegistrationIsRejected) {
+  auto& registry = rm::RegressorRegistry::instance();
+  const auto status = registry.register_family(
+      "ols", [](const rm::RegressorParams&) { return nullptr; },
+      [](const std::string&) -> repro::common::Result<std::unique_ptr<rm::Regressor>> {
+        return repro::common::internal_error("unused");
+      });
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(RegressorPersistenceTest, EveryFamilyRoundTripsThroughTheEnvelope) {
+  const auto x = train_x();
+  const auto y = train_y(x);
+  for (const auto& name : rm::registered_regressors()) {
+    auto model = rm::make_regressor(name);
+    ASSERT_TRUE(model.ok()) << name;
+    model.value()->fit(x, y);
+
+    const auto blob = rm::serialize_regressor(*model.value());
+    auto restored = rm::deserialize_regressor(blob);
+    ASSERT_TRUE(restored.ok()) << name << ": " << restored.error().message;
+    EXPECT_EQ(restored.value()->name(), name);
+    EXPECT_TRUE(restored.value()->fitted());
+
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      EXPECT_DOUBLE_EQ(restored.value()->predict_one(x.row(r)),
+                       model.value()->predict_one(x.row(r)))
+          << name << " row " << r;
+    }
+  }
+}
+
+TEST(RegressorPersistenceTest, SerializeBeforeFitThrows) {
+  for (const auto& name : rm::registered_regressors()) {
+    auto model = rm::make_regressor(name);
+    ASSERT_TRUE(model.ok());
+    EXPECT_THROW((void)model.value()->serialize(), std::logic_error) << name;
+  }
+}
+
+TEST(RegressorPersistenceTest, RejectsBadEnvelopes) {
+  EXPECT_FALSE(rm::deserialize_regressor("").ok());
+  EXPECT_FALSE(rm::deserialize_regressor("garbage\n").ok());
+  EXPECT_FALSE(rm::deserialize_regressor("regressor v1 unknown-family\npayload\n").ok());
+  // Future envelope versions are an explicit unsupported error, not a parse
+  // failure.
+  const auto v2 = rm::deserialize_regressor("regressor v2 ols\nlinear v1 0 0 0\n\n");
+  ASSERT_FALSE(v2.ok());
+  EXPECT_EQ(v2.error().code, repro::common::ErrorCode::kUnsupported);
+}
+
+TEST(RegressorPersistenceTest, RejectsTruncatedPayloads) {
+  const auto x = train_x();
+  const auto y = train_y(x);
+  auto model = rm::make_regressor("ols");
+  ASSERT_TRUE(model.ok());
+  model.value()->fit(x, y);
+  const auto blob = rm::serialize_regressor(*model.value());
+  EXPECT_FALSE(rm::deserialize_regressor(blob.substr(0, blob.size() / 2)).ok());
+}
