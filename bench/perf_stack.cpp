@@ -1,0 +1,300 @@
+// perf_stack — microbenchmark for the parallel + vectorized prediction
+// stack. Times the hot paths this layer optimizes, serial (1 thread /
+// reference algorithm) against parallel (thread pool / blocked kernels /
+// O(n log n) skyline), at several problem sizes, and emits the results as
+// BENCH_perf_stack.json — the measurement baseline future perf PRs are
+// judged against.
+//
+//   perf_stack [--smoke] [--threads N] [--out PATH]
+//
+// --smoke shrinks every case to seconds-total (CI); --threads overrides the
+// parallel thread count (default: ThreadPool::default_thread_count(), which
+// itself honours REPRO_THREADS). Every timed pair also verifies that the
+// parallel output is bit-identical to the serial output and records the
+// verdict in the JSON.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "ml/matrix.hpp"
+#include "ml/svr.hpp"
+#include "ml/synthetic.hpp"
+#include "pareto/pareto.hpp"
+
+using namespace repro;
+
+namespace {
+
+struct CaseResult {
+  std::string name;
+  std::size_t size = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool bit_identical = false;
+};
+
+double time_ms(const std::function<void()>& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+constexpr auto make_dataset = ml::make_synthetic_regression;
+
+std::vector<pareto::Point> make_points(std::size_t n, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  std::vector<pareto::Point> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i] = {rng.uniform(0.5, 1.5), rng.uniform(0.5, 1.5),
+              static_cast<std::uint32_t>(i)};
+  }
+  return pts;
+}
+
+ml::SvrParams rbf_params() {
+  ml::SvrParams params;
+  params.kernel = ml::KernelFunction::rbf(0.5);
+  params.c = 10.0;
+  params.epsilon = 0.05;
+  params.max_iter = 20'000;  // cap SMO so the timed cost is cache + solve
+  return params;
+}
+
+/// SVR training: the parallel win is the kernel-matrix construction.
+CaseResult bench_svr_train(std::size_t n, std::size_t threads, int reps) {
+  constexpr std::size_t kDim = 12;
+  ml::Matrix x;
+  std::vector<double> y;
+  make_dataset(n, kDim, 0x5EED0000 + n, x, y);
+
+  std::string serial_model;
+  std::string parallel_model;
+  common::ThreadPool::set_global_threads(1);
+  const double serial_ms = time_ms(
+      [&] {
+        ml::Svr svr(rbf_params());
+        svr.fit(x, y);
+        serial_model = svr.serialize();
+      },
+      reps);
+  common::ThreadPool::set_global_threads(threads);
+  const double parallel_ms = time_ms(
+      [&] {
+        ml::Svr svr(rbf_params());
+        svr.fit(x, y);
+        parallel_model = svr.serialize();
+      },
+      reps);
+  return {"svr_train", n, serial_ms, parallel_ms, serial_model == parallel_model};
+}
+
+/// Batched SVR inference over m test points (one blocked pass, parallel
+/// across points) against the same path pinned to one thread.
+CaseResult bench_batch_predict(std::size_t m, std::size_t threads, int reps) {
+  constexpr std::size_t kDim = 12;
+  constexpr std::size_t kTrain = 384;
+  ml::Matrix x_train;
+  std::vector<double> y_train;
+  make_dataset(kTrain, kDim, 0xBA7C4ED, x_train, y_train);
+  common::ThreadPool::set_global_threads(threads);
+  ml::Svr svr(rbf_params());
+  svr.fit(x_train, y_train);
+
+  ml::Matrix x_test;
+  std::vector<double> y_unused;
+  make_dataset(m, kDim, 0x7E57 + m, x_test, y_unused);
+
+  std::vector<double> serial_pred;
+  std::vector<double> parallel_pred;
+  common::ThreadPool::set_global_threads(1);
+  const double serial_ms = time_ms([&] { serial_pred = svr.predict(x_test); }, reps);
+  common::ThreadPool::set_global_threads(threads);
+  const double parallel_ms = time_ms([&] { parallel_pred = svr.predict(x_test); }, reps);
+  const bool identical =
+      serial_pred.size() == parallel_pred.size() &&
+      std::memcmp(serial_pred.data(), parallel_pred.data(),
+                  serial_pred.size() * sizeof(double)) == 0;
+  return {"svr_batch_predict", m, serial_ms, parallel_ms, identical};
+}
+
+/// O(n^2) Algorithm 1 vs the O(n log n) skyline on the same point cloud.
+CaseResult bench_pareto(std::size_t n, int reps) {
+  const auto pts = make_points(n, 0xFA57 + n);
+  std::vector<pareto::Point> naive;
+  std::vector<pareto::Point> fast;
+  const double serial_ms = time_ms([&] { naive = pareto::pareto_set_naive(pts); }, reps);
+  const double parallel_ms = time_ms([&] { fast = pareto::pareto_set_fast(pts); }, reps);
+  return {"pareto_front", n, serial_ms, parallel_ms, pareto::same_front(naive, fast)};
+}
+
+/// The acceptance path: batch-predict a frequency-grid-shaped problem for
+/// both objectives, then take the Pareto set of the predictions. Serial
+/// baseline = 1-thread prediction + Algorithm 1; parallel = pooled batched
+/// prediction + skyline. Fronts must agree point for point.
+CaseResult bench_predict_pareto(std::size_t m, std::size_t threads, int reps) {
+  constexpr std::size_t kDim = 12;
+  constexpr std::size_t kTrain = 384;
+  ml::Matrix x_train;
+  std::vector<double> y_speedup;
+  std::vector<double> y_energy;
+  make_dataset(kTrain, kDim, 0xBA7C4ED, x_train, y_speedup);
+  make_dataset(kTrain, kDim, 0xE4E26, x_train, y_energy);
+  common::ThreadPool::set_global_threads(threads);
+  ml::Svr speedup_model(rbf_params());
+  speedup_model.fit(x_train, y_speedup);
+  ml::Svr energy_model(rbf_params());
+  energy_model.fit(x_train, y_energy);
+
+  ml::Matrix x_test;
+  std::vector<double> unused;
+  make_dataset(m, kDim, 0x6A1D + m, x_test, unused);
+
+  const auto to_points = [](const std::vector<double>& s, const std::vector<double>& e) {
+    std::vector<pareto::Point> pts(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      pts[i] = {s[i], e[i], static_cast<std::uint32_t>(i)};
+    }
+    return pts;
+  };
+
+  std::vector<pareto::Point> serial_front;
+  std::vector<pareto::Point> parallel_front;
+  common::ThreadPool::set_global_threads(1);
+  const double serial_ms = time_ms(
+      [&] {
+        const auto s = speedup_model.predict(x_test);
+        const auto e = energy_model.predict(x_test);
+        serial_front = pareto::pareto_set_naive(to_points(s, e));
+      },
+      reps);
+  common::ThreadPool::set_global_threads(threads);
+  const double parallel_ms = time_ms(
+      [&] {
+        const auto s = speedup_model.predict(x_test);
+        const auto e = energy_model.predict(x_test);
+        parallel_front = pareto::pareto_set_fast(to_points(s, e));
+      },
+      reps);
+  return {"predict_plus_pareto", m, serial_ms, parallel_ms,
+          pareto::same_front(serial_front, parallel_front)};
+}
+
+/// Blocked, transposed-B, parallel matrix multiply vs one thread.
+CaseResult bench_matmul(std::size_t n, std::size_t threads, int reps) {
+  ml::Matrix a;
+  ml::Matrix b;
+  std::vector<double> unused;
+  make_dataset(n, n, 0xA0 + n, a, unused);
+  make_dataset(n, n, 0xB0 + n, b, unused);
+
+  ml::Matrix serial_out;
+  ml::Matrix parallel_out;
+  common::ThreadPool::set_global_threads(1);
+  const double serial_ms = time_ms([&] { serial_out = a.multiply(b); }, reps);
+  common::ThreadPool::set_global_threads(threads);
+  const double parallel_ms = time_ms([&] { parallel_out = a.multiply(b); }, reps);
+  const bool identical =
+      serial_out.data() == parallel_out.data();  // vector<double> operator==
+  return {"matrix_multiply", n, serial_ms, parallel_ms, identical};
+}
+
+void write_json(const std::string& path, bool smoke, std::size_t threads,
+                const std::vector<CaseResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"perf_stack\",\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(f, "  \"threads\": %zu,\n  \"cases\": [\n", threads);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const double speedup = r.parallel_ms > 0.0 ? r.serial_ms / r.parallel_ms : 0.0;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"size\": %zu, \"serial_ms\": %.3f, "
+                 "\"parallel_ms\": %.3f, \"speedup\": %.3f, \"bit_identical\": %s}%s\n",
+                 r.name.c_str(), r.size, r.serial_ms, r.parallel_ms, speedup,
+                 r.bit_identical ? "true" : "false", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t threads = common::ThreadPool::default_thread_count();
+  std::string out = "BENCH_perf_stack.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--threads N] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (threads == 0) threads = 1;
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("perf_stack: serial (1 thread / reference) vs parallel (%zu threads)%s\n\n",
+              threads, smoke ? " [smoke]" : "");
+
+  std::vector<CaseResult> results;
+  const auto run = [&](CaseResult r) {
+    std::printf("%-18s n=%-8zu serial %9.3f ms   parallel %9.3f ms   x%.2f   %s\n",
+                r.name.c_str(), r.size, r.serial_ms, r.parallel_ms,
+                r.parallel_ms > 0.0 ? r.serial_ms / r.parallel_ms : 0.0,
+                r.bit_identical ? "bit-identical" : "OUTPUT MISMATCH");
+    results.push_back(std::move(r));
+  };
+
+  const std::vector<std::size_t> train_sizes = smoke ? std::vector<std::size_t>{48}
+                                                     : std::vector<std::size_t>{128, 256, 512};
+  for (std::size_t n : train_sizes) run(bench_svr_train(n, threads, reps));
+
+  const std::vector<std::size_t> predict_sizes =
+      smoke ? std::vector<std::size_t>{256} : std::vector<std::size_t>{2000, 10000, 40000};
+  for (std::size_t m : predict_sizes) run(bench_batch_predict(m, threads, reps));
+
+  const std::vector<std::size_t> pareto_sizes =
+      smoke ? std::vector<std::size_t>{500} : std::vector<std::size_t>{2000, 8000, 20000};
+  for (std::size_t n : pareto_sizes) run(bench_pareto(n, reps));
+
+  const std::vector<std::size_t> combined_sizes =
+      smoke ? std::vector<std::size_t>{256} : std::vector<std::size_t>{2000, 10000, 40000};
+  for (std::size_t m : combined_sizes) run(bench_predict_pareto(m, threads, reps));
+
+  const std::vector<std::size_t> matmul_sizes =
+      smoke ? std::vector<std::size_t>{48} : std::vector<std::size_t>{128, 256, 384};
+  for (std::size_t n : matmul_sizes) run(bench_matmul(n, threads, reps));
+
+  // Restore the default pool before exiting (harmless, but keeps any later
+  // library use in this process on the expected thread count).
+  common::ThreadPool::set_global_threads(threads);
+
+  write_json(out, smoke, threads, results);
+  std::printf("\nwritten to %s\n", out.c_str());
+
+  bool ok = true;
+  for (const auto& r : results) ok = ok && r.bit_identical;
+  return ok ? 0 : 1;
+}

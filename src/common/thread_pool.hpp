@@ -1,0 +1,69 @@
+// A small fixed-size thread pool with a deterministic `parallel_for`
+// primitive — the parallelism layer under the prediction stack (SVR kernel
+// matrices, batched prediction, cross-validation folds, the config sweep).
+//
+// Design constraints, in order:
+//   1. Determinism. Work is split into *statically computed* chunks that
+//      depend only on (range, grain, thread count), and every call site
+//      writes disjoint output slots or reduces partial results in chunk
+//      order. Parallel output is bit-identical to serial output.
+//   2. Size awareness. Ranges at or below the grain run inline on the
+//      calling thread; a pool of one thread never spawns workers.
+//   3. Nesting safety. A `parallel_for` issued from inside a worker runs
+//      inline (serial) instead of deadlocking on the pool's own queue.
+//
+// Thread count: `ThreadPool::default_thread_count()` honours the
+// REPRO_THREADS environment variable when set to a positive integer and
+// falls back to `std::thread::hardware_concurrency()` otherwise. The
+// process-wide pool is `ThreadPool::global()`; benchmarks (and tests) pin
+// it with `ThreadPool::set_global_threads(n)`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace repro::common {
+
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 means `default_thread_count()`. A pool of n threads
+  /// keeps n-1 background workers; the caller of `parallel_for` is the nth.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count including the calling thread (>= 1).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Invoke `body(chunk_begin, chunk_end)` over a static partition of
+  /// [begin, end). Serial fallback when the range is at most `grain`
+  /// elements, the pool has one thread, or the caller is itself a pool
+  /// worker. Chunk boundaries depend only on (range, grain, size()) —
+  /// never on scheduling — so call sites that write disjoint slots are
+  /// bit-deterministic. The first exception thrown by `body` is rethrown
+  /// on the calling thread after all chunks finish.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body) const;
+
+  /// REPRO_THREADS env override (positive integer) or hardware_concurrency.
+  [[nodiscard]] static std::size_t default_thread_count();
+
+  /// The process-wide pool used by the ml/core layers.
+  [[nodiscard]] static ThreadPool& global();
+
+  /// Replace the global pool with an `n`-thread pool (0 = default count).
+  /// Not safe while work is in flight; intended for benchmarks and tests.
+  static void set_global_threads(std::size_t n);
+
+  /// True when the calling thread is a pool worker (any pool).
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace repro::common

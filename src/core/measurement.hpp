@@ -55,6 +55,12 @@ class SimulatorBackend final : public MeasurementBackend {
   explicit SimulatorBackend(gpusim::DeviceModel device, gpusim::SimOptions options = {});
   explicit SimulatorBackend(const gpusim::GpuSimulator& simulator);
 
+  // Non-copyable/movable: sim_ points into owned_ for the owning variant,
+  // and a defaulted copy/move would leave the new object aimed at the
+  // source's simulator.
+  SimulatorBackend(const SimulatorBackend&) = delete;
+  SimulatorBackend& operator=(const SimulatorBackend&) = delete;
+
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] const gpusim::FrequencyDomain& domain() const override;
   [[nodiscard]] common::Result<std::vector<MeasuredPoint>> measure(
@@ -100,6 +106,29 @@ class CsvReplayBackend final : public MeasurementBackend {
   std::unordered_map<std::string, MeasuredPoint> points_;  // key: kernel|core|mem
 };
 
+/// Non-owning adapter: forwards every call to a borrowed backend whose
+/// lifetime must cover the adapter's. Lets APIs that take ownership
+/// (e.g. Predictor::Builder::backend) share one long-lived backend — the
+/// ablation harnesses hand every candidate the same CachingBackend this
+/// way, so measurements are taken once instead of once per candidate/fold.
+class BorrowedBackend final : public MeasurementBackend {
+ public:
+  explicit BorrowedBackend(const MeasurementBackend& inner) : inner_(&inner) {}
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] const gpusim::FrequencyDomain& domain() const override {
+    return inner_->domain();
+  }
+  [[nodiscard]] common::Result<std::vector<MeasuredPoint>> measure(
+      const gpusim::KernelProfile& profile,
+      std::span<const gpusim::FrequencyConfig> configs) const override {
+    return inner_->measure(profile, configs);
+  }
+
+ private:
+  const MeasurementBackend* inner_;
+};
+
 /// Memoizing decorator: measurements are delegated to the wrapped backend
 /// once per (kernel, configuration) and served from memory afterwards.
 /// Either owns the inner backend or borrows it. Not thread-safe.
@@ -107,6 +136,9 @@ class CachingBackend final : public MeasurementBackend {
  public:
   explicit CachingBackend(std::unique_ptr<MeasurementBackend> inner);
   explicit CachingBackend(const MeasurementBackend& inner);
+
+  CachingBackend(const CachingBackend&) = delete;
+  CachingBackend& operator=(const CachingBackend&) = delete;
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] const gpusim::FrequencyDomain& domain() const override {

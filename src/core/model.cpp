@@ -1,5 +1,6 @@
 #include "core/model.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -58,9 +59,13 @@ common::Result<FrequencyModel> FrequencyModel::train(
   if (!energy.ok()) return energy.error();
 
   // Assemble the training matrices: one row per (kernel, configuration).
+  const std::size_t expected_rows = suite.size() * model.training_configs_.size();
   ml::Matrix x(0, 0);
+  x.reserve_rows(expected_rows, kFeatureDim);
   std::vector<double> y_speedup;
+  y_speedup.reserve(expected_rows);
   std::vector<double> y_energy;
+  y_energy.reserve(expected_rows);
   for (const auto& mb : suite) {
     auto points = backend.measure(mb.profile, model.training_configs_);
     if (!points.ok()) return points.error();
@@ -146,12 +151,22 @@ double FrequencyModel::predict_energy(const clfront::StaticFeatures& features,
 std::vector<PredictedPoint> FrequencyModel::predict_all(
     const clfront::StaticFeatures& features,
     std::span<const gpusim::FrequencyConfig> configs) const {
+  // Assemble the feature matrix for the whole grid once, then one batch
+  // prediction per objective — the regressors' batch paths parallelize
+  // across configurations (SVR additionally blocks over support vectors).
+  const auto normalized = features.normalized();
+  ml::Matrix x(0, 0);
+  x.reserve_rows(configs.size(), kFeatureDim);
+  for (const auto& config : configs) {
+    x.push_row(assembler_.assemble(normalized, config));
+  }
+  const auto speedups = speedup_->predict(x);
+  const auto energies = energy_->predict(x);
+
   std::vector<PredictedPoint> out;
   out.reserve(configs.size());
-  const auto normalized = features.normalized();
-  for (const auto& config : configs) {
-    const auto w = assembler_.assemble(normalized, config);
-    out.push_back({config, speedup_->predict_one(w), energy_->predict_one(w), false});
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    out.push_back({configs[i], speedups[i], energies[i], false});
   }
   return out;
 }
@@ -167,14 +182,19 @@ std::vector<PredictedPoint> FrequencyModel::predict_pareto(
   }
   const auto predictions = predict_all(features, modeled);
 
-  // Pareto set of the predictions (paper Algorithm 1).
+  // Pareto set of the predictions: the O(n log n) skyline computes the same
+  // set as the paper's Algorithm 1 (see pareto_test); re-sorting by id
+  // restores the naive algorithm's input-order output, keeping the result
+  // byte-identical to the O(n^2) path.
   std::vector<pareto::Point> points;
   points.reserve(predictions.size());
   for (std::size_t i = 0; i < predictions.size(); ++i) {
     points.push_back({predictions[i].speedup, predictions[i].energy,
                       static_cast<std::uint32_t>(i)});
   }
-  const auto front = pareto::pareto_set_naive(points);
+  auto front = pareto::pareto_set_fast(points);
+  std::sort(front.begin(), front.end(),
+            [](const pareto::Point& a, const pareto::Point& b) { return a.id < b.id; });
 
   std::vector<PredictedPoint> out;
   out.reserve(front.size() + 1);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/thread_pool.hpp"
+
 namespace repro::core {
 
 Predictor::Builder Predictor::builder() { return Builder(); }
@@ -134,11 +136,16 @@ common::Result<std::vector<PredictedPoint>> Predictor::predict_pareto_source(
 common::Result<std::vector<Predictor::KernelPrediction>> Predictor::predict_batch(
     std::span<const clfront::StaticFeatures> kernels) const {
   if (kernels.empty()) return common::invalid_argument("predict_batch: no kernels");
-  std::vector<KernelPrediction> out;
-  out.reserve(kernels.size());
-  for (const auto& features : kernels) {
-    out.push_back({features.kernel_name, model_.predict_pareto(features)});
-  }
+  // Kernels are independent — predict them in parallel, each into its own
+  // slot so the output order (and every value in it) is identical to the
+  // serial loop at any thread count.
+  std::vector<KernelPrediction> out(kernels.size());
+  common::ThreadPool::global().parallel_for(
+      0, kernels.size(), 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = {kernels[i].kernel_name, model_.predict_pareto(kernels[i])};
+        }
+      });
   return out;
 }
 

@@ -66,6 +66,9 @@ class Predictor {
       const std::string& opencl_source, const std::string& kernel_name = {}) const;
 
   // --- batch of kernels ------------------------------------------------------
+  /// Pareto predictions for many kernels, parallelized across kernels on
+  /// the global thread pool (common::ThreadPool). Output order and values
+  /// are identical to the serial loop at any thread count.
   [[nodiscard]] common::Result<std::vector<KernelPrediction>> predict_batch(
       std::span<const clfront::StaticFeatures> kernels) const;
 

@@ -42,12 +42,20 @@ class Matrix {
   /// Append a row (must match cols, or set cols when the matrix is empty).
   void push_row(std::span<const double> row);
 
+  /// Pre-allocate storage for `rows` rows of `cols` columns each — callers
+  /// that know the final shape avoid reallocation churn in push_row loops.
+  void reserve_rows(std::size_t rows, std::size_t cols) { data_.reserve(rows * cols); }
+
   [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
 
-  /// Transpose (used by the normal-equation solvers).
+  /// Transpose (used by the normal-equation solvers). Tiled for cache
+  /// friendliness: one operand is always walked along contiguous rows.
   [[nodiscard]] Matrix transposed() const;
 
-  /// this * other.
+  /// this * other — blocked over a transposed copy of `other` so both inner
+  /// operands stream contiguously, parallelized over row blocks of the
+  /// output. Each output element accumulates over k in ascending order, so
+  /// the result is bit-identical at any thread count.
   [[nodiscard]] Matrix multiply(const Matrix& other) const;
 
   /// this * v  (v.size() == cols()).

@@ -1,11 +1,15 @@
 #include "ml/model.hpp"
 
+#include "common/thread_pool.hpp"
+
 namespace repro::ml {
 
 std::vector<double> Regressor::predict(const Matrix& x) const {
-  std::vector<double> out;
-  out.reserve(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict_one(x.row(r)));
+  std::vector<double> out(x.rows(), 0.0);
+  common::ThreadPool::global().parallel_for(
+      0, x.rows(), 64, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) out[r] = predict_one(x.row(r));
+      });
   return out;
 }
 

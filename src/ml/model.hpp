@@ -36,8 +36,13 @@ class Regressor {
   /// envelope naming the family). Throws std::logic_error before fit().
   [[nodiscard]] virtual std::string serialize() const = 0;
 
-  /// Batch prediction (default: loop over predict_one).
-  [[nodiscard]] std::vector<double> predict(const Matrix& x) const;
+  /// Batch prediction over one sample per row. The default implementation
+  /// runs predict_one per row, parallelized over row blocks (each row writes
+  /// its own output slot, so the result is bit-identical at any thread
+  /// count). Families with a cheaper batch formulation override this — SVR
+  /// evaluates all rows against the support-vector matrix in one blocked
+  /// pass instead of per-point kernel loops.
+  [[nodiscard]] virtual std::vector<double> predict(const Matrix& x) const;
 };
 
 }  // namespace repro::ml

@@ -6,23 +6,39 @@
 
 #include "common/stats.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 
 namespace repro::ml {
 
 double cross_val_rmse(const Dataset& data, std::size_t folds, std::uint64_t seed,
                       const std::function<std::unique_ptr<Regressor>()>& make_model) {
   const auto splits = k_fold(data, folds, seed);
+  // Folds are independent fit/score problems — train them in parallel, one
+  // partial (sq_sum, count) slot per fold, then reduce in fold order so the
+  // result is bit-identical at any thread count.
+  std::vector<double> fold_sq(splits.size(), 0.0);
+  std::vector<std::size_t> fold_count(splits.size(), 0);
+  common::ThreadPool::global().parallel_for(
+      0, splits.size(), 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t f = lo; f < hi; ++f) {
+          const auto& [train, val] = splits[f];
+          auto model = make_model();
+          model->fit(train.x, train.y);
+          const auto pred = model->predict(val.x);
+          double sq = 0.0;
+          for (std::size_t i = 0; i < pred.size(); ++i) {
+            const double d = pred[i] - val.y[i];
+            sq += d * d;
+          }
+          fold_sq[f] = sq;
+          fold_count[f] = pred.size();
+        }
+      });
   double sq_sum = 0.0;
   std::size_t count = 0;
-  for (const auto& [train, val] : splits) {
-    auto model = make_model();
-    model->fit(train.x, train.y);
-    const auto pred = model->predict(val.x);
-    for (std::size_t i = 0; i < pred.size(); ++i) {
-      const double d = pred[i] - val.y[i];
-      sq_sum += d * d;
-    }
-    count += pred.size();
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    sq_sum += fold_sq[f];
+    count += fold_count[f];
   }
   if (count == 0) throw std::logic_error("cross_val_rmse: empty validation folds");
   return std::sqrt(sq_sum / static_cast<double>(count));

@@ -15,7 +15,10 @@
 namespace repro::ml {
 
 /// Cross-validated RMSE of a model factory on a dataset.
-/// `make_model` is invoked once per fold with a fresh regressor.
+/// `make_model` is invoked once per fold with a fresh regressor; folds are
+/// trained in parallel on the global thread pool (so `make_model` and the
+/// regressors it builds must not share mutable state) and reduced in fold
+/// order — the score is bit-identical at any thread count.
 [[nodiscard]] double cross_val_rmse(const Dataset& data, std::size_t folds,
                                     std::uint64_t seed,
                                     const std::function<std::unique_ptr<Regressor>()>&

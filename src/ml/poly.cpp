@@ -28,6 +28,7 @@ void PolynomialRegression::fit(const Matrix& x, const std::vector<double>& y) {
   input_dim_ = x.cols();
   linear_ = LinearRegression(params_.l2);
   Matrix expanded(0, 0);
+  if (x.rows() > 0) expanded.reserve_rows(x.rows(), expand(x.row(0)).size());
   for (std::size_t r = 0; r < x.rows(); ++r) expanded.push_row(expand(x.row(r)));
   linear_.fit(expanded, y);
 }

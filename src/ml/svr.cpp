@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace repro::ml {
 
@@ -19,15 +20,31 @@ constexpr double kTau = 1e-12;  // floor for the quadratic coefficient
 class KernelCache {
  public:
   KernelCache(const Matrix& x, const KernelFunction& kernel) : n_(x.rows()), k_(n_ * n_) {
-    for (std::size_t i = 0; i < n_; ++i) {
+    // Parallel over the leading index of the upper triangle: iteration i
+    // writes row i (columns >= i) and column i (rows > i) — cell (r, c) is
+    // written exactly once, by iteration min(r, c), so chunks touch
+    // disjoint cells and the cache is bit-identical at any thread count.
+    // The triangular workload is balanced by pairing row p (inner length
+    // n-p) with row n-1-p (inner length p+1): every parallel index costs
+    // ~n+1 kernel evaluations, so equal chunks get equal work.
+    float* k = k_.data();
+    const std::size_t n = n_;
+    const auto fill_row = [&x, &kernel, k, n](std::size_t i) {
       const auto xi = x.row(i);
-      float* row = k_.data() + i * n_;
-      for (std::size_t j = i; j < n_; ++j) {
+      float* row = k + i * n;
+      for (std::size_t j = i; j < n; ++j) {
         const auto v = static_cast<float>(kernel(xi, x.row(j)));
         row[j] = v;
-        k_[j * n_ + i] = v;
+        k[j * n + i] = v;
       }
-    }
+    };
+    common::ThreadPool::global().parallel_for(
+        0, (n + 1) / 2, 4, [&fill_row, n](std::size_t lo, std::size_t hi) {
+          for (std::size_t p = lo; p < hi; ++p) {
+            fill_row(p);
+            if (n - 1 - p != p) fill_row(n - 1 - p);
+          }
+        });
   }
 
   [[nodiscard]] const float* row(std::size_t i) const noexcept { return k_.data() + i * n_; }
@@ -237,8 +254,14 @@ void Svr::fit(const Matrix& x, const std::vector<double>& y) {
   }
 
   // Collapse to support vectors: coefficient c_i = α_i − α_i*.
+  std::size_t num_sv = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (beta[i] - beta[i + n] != 0.0) ++num_sv;
+  }
   sv_ = Matrix(0, 0);
+  sv_.reserve_rows(num_sv, x.cols());
   sv_coef_.clear();
+  sv_coef_.reserve(num_sv);
   for (std::size_t i = 0; i < n; ++i) {
     const double coef = beta[i] - beta[i + n];
     if (coef != 0.0) {
@@ -260,6 +283,34 @@ double Svr::predict_one(std::span<const double> x) const {
     acc += sv_coef_[i] * params_.kernel(sv_.row(i), x);
   }
   return acc;
+}
+
+std::vector<double> Svr::predict(const Matrix& x) const {
+  if (!fitted_) throw std::logic_error("Svr::predict before fit");
+  const std::size_t n_sv = sv_.rows();
+  std::vector<double> out(x.rows(), b_);
+  // One blocked pass over (test rows x support vectors) instead of x.rows()
+  // independent predict_one loops: the support-vector block stays hot in
+  // cache across the rows of a block. Support vectors are visited in
+  // ascending order per row, so each output is the same left-to-right sum
+  // predict_one computes — bit-identical, and deterministic under threading
+  // because rows write disjoint slots.
+  constexpr std::size_t kSvBlock = 64;
+  common::ThreadPool::global().parallel_for(
+      0, x.rows(), 32, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t sb = 0; sb < n_sv; sb += kSvBlock) {
+          const std::size_t s_hi = std::min(n_sv, sb + kSvBlock);
+          for (std::size_t r = lo; r < hi; ++r) {
+            const auto xr = x.row(r);
+            double acc = out[r];
+            for (std::size_t s = sb; s < s_hi; ++s) {
+              acc += sv_coef_[s] * params_.kernel(sv_.row(s), xr);
+            }
+            out[r] = acc;
+          }
+        }
+      });
+  return out;
 }
 
 std::string Svr::name() const {
@@ -300,6 +351,8 @@ common::Result<Svr> Svr::deserialize(const std::string& text) {
 
   Svr model(params);
   model.b_ = b;
+  model.sv_.reserve_rows(n_sv, dim);
+  model.sv_coef_.reserve(n_sv);
   std::vector<double> row(dim);
   for (std::size_t i = 0; i < n_sv; ++i) {
     double coef = 0.0;

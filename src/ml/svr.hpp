@@ -50,6 +50,11 @@ class Svr final : public Regressor {
 
   void fit(const Matrix& x, const std::vector<double>& y) override;
   [[nodiscard]] double predict_one(std::span<const double> x) const override;
+  /// Batch override: evaluates every row of `x` against the support-vector
+  /// matrix in one blocked pass (parallelized over rows). Per row, kernel
+  /// contributions accumulate in support-vector order, so the result is
+  /// bit-identical to predict_one at any thread count.
+  [[nodiscard]] std::vector<double> predict(const Matrix& x) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] bool fitted() const noexcept override { return fitted_; }
 

@@ -1,0 +1,32 @@
+// Deterministic synthetic regression problems, shared by the determinism
+// tests and the perf_stack benchmark so both exercise the exact same data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/matrix.hpp"
+
+namespace repro::ml {
+
+/// n samples of d features uniform in [0,1) with a smooth nonlinear target
+/// (alternating-sign quadratic) plus mild Gaussian noise. Bit-reproducible
+/// from the seed.
+inline void make_synthetic_regression(std::size_t n, std::size_t d, std::uint64_t seed,
+                                      Matrix& x, std::vector<double>& y) {
+  common::Xoshiro256 rng(seed);
+  x = Matrix(n, d);
+  y.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double v = rng.uniform();
+      x(i, j) = v;
+      acc += (j % 2 == 0 ? 1.0 : -0.5) * v * v;
+    }
+    y[i] = acc + 0.05 * rng.gaussian();
+  }
+}
+
+}  // namespace repro::ml

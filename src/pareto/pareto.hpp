@@ -34,7 +34,9 @@ struct Point {
 
 /// The paper's Algorithm 1 ("Simple Pareto set calculation"), faithfully
 /// O(n^2): every candidate is compared against the remaining points.
-/// Returns the Pareto-optimal subset (order unspecified).
+/// Returns the Pareto-optimal subset (order unspecified). Kept as the
+/// reference implementation for tests and benchmarks; production paths
+/// (core::FrequencyModel::predict_pareto) use pareto_set_fast.
 [[nodiscard]] std::vector<Point> pareto_set_naive(std::span<const Point> points);
 
 /// Sort-based O(n log n) 2-D Pareto set. Semantics identical to the naive

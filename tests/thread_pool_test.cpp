@@ -1,0 +1,137 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rc = repro::common;
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  rc::ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(), 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  rc::ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SmallRangeRunsInline) {
+  rc::ThreadPool pool(4);
+  // n <= grain: exactly one chunk, on the calling thread.
+  const auto caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  pool.parallel_for(0, 16, 16, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 16u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsSerial) {
+  rc::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::size_t calls = 0;
+  pool.parallel_for(0, 1000, 1, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 1000u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesAreContiguous) {
+  rc::ThreadPool pool(8);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(10, 1010, 10, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard lock(mutex);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 10u);
+  EXPECT_EQ(chunks.back().second, 1010u);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i - 1].second, chunks[i].first);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineOnWorkers) {
+  rc::ThreadPool pool(4);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  pool.parallel_for(0, 64, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      ++outer;
+      pool.parallel_for(0, 64, 1, [&](std::size_t ilo, std::size_t ihi) {
+        inner += static_cast<int>(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(outer.load(), 64);
+  EXPECT_EQ(inner.load(), 64 * 64);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  rc::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives the exception and remains usable.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, 1, [&](std::size_t lo, std::size_t hi) {
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DeterministicSumAcrossThreadCounts) {
+  // Per-slot writes + ordered reduce: any thread count gives the same bits.
+  std::vector<double> data(10'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto blocked_sum = [&](std::size_t threads) {
+    rc::ThreadPool pool(threads);
+    constexpr std::size_t kChunk = 64;
+    std::vector<double> partial((data.size() + kChunk - 1) / kChunk, 0.0);
+    pool.parallel_for(0, partial.size(), 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t c = lo; c < hi; ++c) {
+        double acc = 0.0;
+        const std::size_t end = std::min(data.size(), (c + 1) * kChunk);
+        for (std::size_t i = c * kChunk; i < end; ++i) acc += data[i];
+        partial[c] = acc;
+      }
+    });
+    return std::accumulate(partial.begin(), partial.end(), 0.0);
+  };
+  const double s1 = blocked_sum(1);
+  EXPECT_EQ(s1, blocked_sum(2));
+  EXPECT_EQ(s1, blocked_sum(8));
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(rc::ThreadPool::default_thread_count(), 1u);
+  EXPECT_GE(rc::ThreadPool::global().size(), 1u);
+}
