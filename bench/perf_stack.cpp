@@ -1,19 +1,25 @@
 // perf_stack — microbenchmark for the parallel + vectorized prediction
 // stack. Times the hot paths this layer optimizes, serial (1 thread /
-// reference algorithm) against parallel (thread pool / blocked kernels /
-// O(n log n) skyline), at several problem sizes, and emits the results as
+// reference algorithm / sequential scalar kernel) against the optimized
+// path (thread pool / blocked kernels / O(n log n) skyline / SIMD inner
+// kernels), at several problem sizes, and emits the results as
 // BENCH_perf_stack.json — the measurement baseline future perf PRs are
-// judged against.
+// judged against. The simd_kernels cases (simd_dot, simd_squared_distance,
+// simd_kernel_matrix) compare the pre-SIMD sequential loops against the
+// common::simd layer, and their bit_identical field checks the std-simd
+// backend against the unrolled fallback (the determinism contract of
+// docs/DETERMINISM.md).
 //
 //   perf_stack [--smoke] [--threads N] [--out PATH]
 //
 // --smoke shrinks every case to seconds-total (CI); --threads overrides the
 // parallel thread count (default: ThreadPool::default_thread_count(), which
 // itself honours REPRO_THREADS). Every timed pair also verifies that the
-// parallel output is bit-identical to the serial output and records the
+// optimized output is bit-identical to its reference and records the
 // verdict in the JSON.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,7 +28,9 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
+#include "ml/kernel.hpp"
 #include "ml/matrix.hpp"
 #include "ml/svr.hpp"
 #include "ml/synthetic.hpp"
@@ -210,6 +218,118 @@ CaseResult bench_matmul(std::size_t n, std::size_t threads, int reps) {
   return {"matrix_multiply", n, serial_ms, parallel_ms, identical};
 }
 
+// --- simd_kernels section ----------------------------------------------------
+//
+// Scalar vs SIMD inner kernels. "serial" is the pre-SIMD sequential scalar
+// loop (kept as common::simd::detail::*_sequential), "parallel" is the
+// dispatched common::simd path; bit_identical verifies the determinism
+// contract — the std-simd backend against the 4-wide unrolled fallback on
+// the *production* path, which must match bit for bit (the sequential
+// baseline intentionally has a different summation order).
+
+/// Batched reductions, one vector against many rows — the shape every
+/// production caller has (kernel rows, the matmul micro-kernel, the blocked
+/// SVR decision function). serial = the pre-SIMD sequential loop per row;
+/// SIMD = the batched dot_rows / squared_distance_rows entry points. The
+/// working set stays cache-resident (~128 KiB) so the measurement shows the
+/// arithmetic, not DRAM bandwidth; each timed pass sweeps the rows 16x.
+CaseResult bench_simd_reduce(bool sqd, std::size_t dim, int reps) {
+  const std::size_t rows = 16384 / std::max<std::size_t>(dim, 1) + 1;
+  ml::Matrix a;
+  ml::Matrix b;
+  std::vector<double> unused;
+  make_dataset(1, dim, 0x51A + dim, a, unused);
+  make_dataset(rows, dim, 0x51B + dim, b, unused);
+  const auto x = a.row(0);
+  std::vector<double> out(rows);
+
+  const double serial_ms = time_ms(
+      [&] {
+        for (int pass = 0; pass < 16; ++pass) {
+          for (std::size_t j = 0; j < rows; ++j) {
+            const double* y = b.row(j).data();
+            out[j] = sqd ? common::simd::detail::squared_distance_sequential(x.data(), y, dim)
+                         : common::simd::detail::dot_sequential(x.data(), y, dim);
+          }
+        }
+      },
+      reps);
+  // Timed on whatever backend the run dispatches to (REPRO_SIMD honored) —
+  // the JSON's simd_backend field records which.
+  const double simd_ms = time_ms(
+      [&] {
+        for (int pass = 0; pass < 16; ++pass) {
+          if (sqd) {
+            common::simd::squared_distance_rows(out, x, b.row(0).data(), dim, 1.0);
+          } else {
+            common::simd::dot_rows(out, x, b.row(0).data(), dim);
+          }
+        }
+      },
+      reps);
+  // Contract check: vector backend vs unrolled fallback, element by element.
+  bool identical = true;
+  for (std::size_t j = 0; j < rows && identical; ++j) {
+    const double* y = b.row(j).data();
+    const double v = sqd ? common::simd::detail::squared_distance_vector(x.data(), y, dim)
+                         : common::simd::detail::dot_vector(x.data(), y, dim);
+    const double u = sqd ? common::simd::detail::squared_distance_unrolled(x.data(), y, dim)
+                         : common::simd::detail::dot_unrolled(x.data(), y, dim);
+    identical = std::memcmp(&v, &u, sizeof(double)) == 0;
+  }
+  return {sqd ? "simd_squared_distance" : "simd_dot", dim, serial_ms, simd_ms, identical};
+}
+
+/// The SVR kernel-matrix build (the KernelCache fill pattern: upper
+/// triangle + mirror, float storage), pinned to one thread so the A/B
+/// isolates the SIMD effect from the thread pool.
+CaseResult bench_simd_kernel_matrix(std::size_t n, int reps) {
+  constexpr std::size_t kDim = 12;
+  ml::Matrix x;
+  std::vector<double> unused;
+  make_dataset(n, kDim, 0x5EED2 + n, x, unused);
+  const ml::KernelFunction kernel = ml::KernelFunction::rbf(0.5);
+  const double gamma = 0.5;
+  common::ThreadPool::set_global_threads(1);
+
+  std::vector<float> k;
+  // The pre-SIMD path: one kernel evaluation per pair, sequential scalar
+  // reduction plus libm exp. Allocates its matrix inside the timed region,
+  // exactly like the production builder below — cache construction includes
+  // the allocation in both generations.
+  const auto fill_scalar = [&] {
+    std::vector<float> kk(n * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto xi = x.row(i);
+      for (std::size_t j = i; j < n; ++j) {
+        const auto xj = x.row(j);
+        const auto v = static_cast<float>(
+            std::exp(-gamma * common::simd::detail::squared_distance_sequential(
+                                  xi.data(), xj.data(), xi.size())));
+        kk[i * n + j] = v;
+        kk[j * n + i] = v;
+      }
+    }
+    k = std::move(kk);
+  };
+  // The optimized side runs ml::build_kernel_matrix_f32 itself — the real
+  // KernelCache fill (batched SIMD evaluate_row, block-tiled mirror) —
+  // pinned to one thread above so the A/B isolates vectorization, and on
+  // whatever backend the run dispatches to (REPRO_SIMD honored).
+  const double serial_ms = time_ms(fill_scalar, reps);
+  const double simd_ms =
+      time_ms([&] { k = ml::build_kernel_matrix_f32(x, kernel); }, reps);
+  // Contract check: the two backends must build the same bytes.
+  const bool was_enabled = common::simd::enabled();
+  common::simd::set_enabled(true);
+  const std::vector<float> k_on = ml::build_kernel_matrix_f32(x, kernel);
+  common::simd::set_enabled(false);
+  k = ml::build_kernel_matrix_f32(x, kernel);
+  common::simd::set_enabled(was_enabled);
+  const bool identical = std::memcmp(k.data(), k_on.data(), n * n * sizeof(float)) == 0;
+  return {"simd_kernel_matrix", n, serial_ms, simd_ms, identical};
+}
+
 void write_json(const std::string& path, bool smoke, std::size_t threads,
                 const std::vector<CaseResult>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -219,7 +339,8 @@ void write_json(const std::string& path, bool smoke, std::size_t threads,
   }
   std::fprintf(f, "{\n  \"bench\": \"perf_stack\",\n  \"smoke\": %s,\n",
                smoke ? "true" : "false");
-  std::fprintf(f, "  \"threads\": %zu,\n  \"cases\": [\n", threads);
+  std::fprintf(f, "  \"threads\": %zu,\n  \"simd_backend\": \"%s\",\n  \"cases\": [\n",
+               threads, common::simd::backend_name());
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     const double speedup = r.parallel_ms > 0.0 ? r.serial_ms / r.parallel_ms : 0.0;
@@ -286,6 +407,18 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> matmul_sizes =
       smoke ? std::vector<std::size_t>{48} : std::vector<std::size_t>{128, 256, 384};
   for (std::size_t n : matmul_sizes) run(bench_matmul(n, threads, reps));
+
+  // simd_kernels: scalar (sequential) vs SIMD inner kernels. The reduction
+  // sweeps are sub-millisecond, so give them extra repetitions.
+  const int reduce_reps = smoke ? 3 : 10;
+  const std::vector<std::size_t> simd_dims =
+      smoke ? std::vector<std::size_t>{12} : std::vector<std::size_t>{12, 64, 1024};
+  for (std::size_t dim : simd_dims) run(bench_simd_reduce(false, dim, reduce_reps));
+  for (std::size_t dim : simd_dims) run(bench_simd_reduce(true, dim, reduce_reps));
+
+  const std::vector<std::size_t> kmat_sizes =
+      smoke ? std::vector<std::size_t>{96} : std::vector<std::size_t>{500, 2000};
+  for (std::size_t n : kmat_sizes) run(bench_simd_kernel_matrix(n, reps));
 
   // Restore the default pool before exiting (harmless, but keeps any later
   // library use in this process on the expected thread count).

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Link/pointer check for the Markdown docs: every relative link target and
+# every `src/...`, `tests/...`, `bench/...`, `scripts/...` path mentioned in
+# README.md and docs/*.md must exist in the repository, so stale docs fail
+# the CI pipeline. Usage: scripts/check_docs.sh  (from anywhere).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+status=0
+
+check() {
+  doc=$1
+  path=$2
+  case $path in
+    http://*|https://*|\#*) return 0 ;;
+  esac
+  # Strip a trailing #anchor.
+  path=${path%%#*}
+  [ -z "$path" ] && return 0
+  # Resolve relative to the doc's directory first, then the repo root, and
+  # accept executable-target mentions (`bench/perf_stack`) whose source is
+  # the same path plus .cpp.
+  docdir=$(dirname -- "$doc")
+  if [ ! -e "$docdir/$path" ] && [ ! -e "$path" ] && [ ! -e "$path.cpp" ]; then
+    echo "BROKEN: $doc -> $path" >&2
+    status=1
+  fi
+}
+
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  # 1) Markdown link targets: [text](target)
+  for target in $(grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//'); do
+    check "$doc" "$target"
+  done
+  # 2) Backticked repo paths: `src/...`, `tests/...`, `bench/...`, ...
+  for target in $(grep -o '`[A-Za-z0-9_./-]*`' "$doc" |
+                  sed 's/`//g' |
+                  grep -E '^(src|tests|bench|docs|examples|scripts)/[A-Za-z0-9_./-]+$' |
+                  grep -v '\.\.\.' | sort -u); do
+    check "$doc" "$target"
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_docs: all documentation pointers resolve"
+fi
+exit "$status"

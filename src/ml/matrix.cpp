@@ -60,9 +60,10 @@ Matrix Matrix::multiply(const Matrix& other) const {
   if (cols_ != other.rows_) throw std::invalid_argument("Matrix::multiply: shape mismatch");
   Matrix out(rows_, other.cols_);
   // out(i, j) = <row_i(A), row_j(B^T)>: transposing B up front turns the
-  // inner loop into two contiguous streams. Accumulation per element runs
-  // over k ascending regardless of blocking or thread count, so the output
-  // matches the naive triple loop bit for bit.
+  // inner loop into two contiguous streams that the SIMD dot micro-kernel
+  // consumes directly. Each element accumulates over k ascending in the
+  // fixed 4-lane layout of common::simd, regardless of blocking, thread
+  // count or SIMD backend — the same bits every time.
   const Matrix bt = other.transposed();
   const std::size_t out_cols = other.cols_;
   common::ThreadPool::global().parallel_for(
@@ -70,10 +71,8 @@ Matrix Matrix::multiply(const Matrix& other) const {
         for (std::size_t jb = 0; jb < out_cols; jb += kTile) {
           const std::size_t j_hi = std::min(out_cols, jb + kTile);
           for (std::size_t i = i_lo; i < i_hi; ++i) {
-            const auto a_row = row(i);
-            for (std::size_t j = jb; j < j_hi; ++j) {
-              out(i, j) = dot(a_row, bt.row(j));
-            }
+            common::simd::dot_rows({&out(i, jb), j_hi - jb}, row(i),
+                                   bt.row(jb).data(), bt.cols_);
           }
         }
       });
@@ -83,23 +82,10 @@ Matrix Matrix::multiply(const Matrix& other) const {
 std::vector<double> Matrix::multiply(std::span<const double> v) const {
   if (v.size() != cols_) throw std::invalid_argument("Matrix::multiply(v): shape mismatch");
   std::vector<double> out(rows_, 0.0);
-  for (std::size_t i = 0; i < rows_; ++i) out[i] = dot(row(i), v);
+  // dot(row, v) == dot(v, row) bit for bit: the per-lane products are the
+  // same values and the reduction order is fixed by the contract.
+  common::simd::dot_rows(out, v, data_.data(), cols_);
   return out;
-}
-
-double dot(std::span<const double> a, std::span<const double> b) noexcept {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
-}
-
-double squared_distance(std::span<const double> a, std::span<const double> b) noexcept {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
 }
 
 std::vector<double> solve_spd(Matrix a, std::vector<double> b) {

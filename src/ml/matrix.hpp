@@ -1,6 +1,11 @@
-// Dense row-major matrix, the only linear-algebra container the ML library
-// needs. Kept deliberately small: rows are contiguous so a sample is a
-// std::span<const double>.
+/// \file matrix.hpp
+/// \brief Dense row-major matrix — the only linear-algebra container the ML
+/// library needs — plus the free-function inner kernels (dot,
+/// squared_distance) every model bottoms out in.
+///
+/// Kept deliberately small: rows are contiguous so a sample is a
+/// std::span<const double>. The inner kernels forward to the portable
+/// common::simd layer and inherit its bit-determinism contract.
 #pragma once
 
 #include <cstddef>
@@ -8,8 +13,15 @@
 #include <span>
 #include <vector>
 
+#include "common/simd.hpp"
+
 namespace repro::ml {
 
+/// \brief Dense row-major matrix of doubles.
+///
+/// Rows are contiguous, so `row(r)` hands out a borrowed
+/// `std::span<const double>` — the representation every reduction in
+/// common::simd consumes without copying.
 class Matrix {
  public:
   Matrix() = default;
@@ -48,17 +60,22 @@ class Matrix {
 
   [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
 
-  /// Transpose (used by the normal-equation solvers). Tiled for cache
-  /// friendliness: one operand is always walked along contiguous rows.
+  /// \brief Transpose (used by the normal-equation solvers). Tiled for
+  /// cache friendliness: one operand is always walked along contiguous
+  /// rows.
   [[nodiscard]] Matrix transposed() const;
 
-  /// this * other — blocked over a transposed copy of `other` so both inner
-  /// operands stream contiguously, parallelized over row blocks of the
-  /// output. Each output element accumulates over k in ascending order, so
-  /// the result is bit-identical at any thread count.
+  /// \brief `this * other` — blocked over a transposed copy of `other` so
+  /// both inner operands stream contiguously, parallelized over row blocks
+  /// of the output, with the common::simd dot micro-kernel innermost.
+  ///
+  /// Each output element accumulates over k in the fixed 4-lane order of
+  /// the SIMD contract, so the result is bit-identical at any thread count
+  /// and on either SIMD backend. \pre cols() == other.rows().
   [[nodiscard]] Matrix multiply(const Matrix& other) const;
 
-  /// this * v  (v.size() == cols()).
+  /// \brief `this * v` under the same determinism contract as the matrix
+  /// overload. \pre v.size() == cols().
   [[nodiscard]] std::vector<double> multiply(std::span<const double> v) const;
 
  private:
@@ -67,12 +84,25 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// Dot product of equal-length spans.
-[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b) noexcept;
+/// \brief Dot product of equal-length spans.
+///
+/// Forwards to common::simd::dot — vectorized under the fixed 4-lane
+/// reduction contract, so the result is bit-identical whichever SIMD
+/// backend is active (see src/common/simd.hpp and docs/DETERMINISM.md).
+/// \pre a.size() == b.size().
+[[nodiscard]] inline double dot(std::span<const double> a,
+                                std::span<const double> b) noexcept {
+  return common::simd::dot(a, b);
+}
 
-/// Squared Euclidean distance of equal-length spans.
-[[nodiscard]] double squared_distance(std::span<const double> a,
-                                      std::span<const double> b) noexcept;
+/// \brief Squared Euclidean distance of equal-length spans.
+///
+/// Forwards to common::simd::squared_distance under the same 4-lane
+/// reduction contract as dot(). \pre a.size() == b.size().
+[[nodiscard]] inline double squared_distance(std::span<const double> a,
+                                             std::span<const double> b) noexcept {
+  return common::simd::squared_distance(a, b);
+}
 
 /// Solve A x = b for symmetric positive-definite A via Cholesky.
 /// Throws std::runtime_error when A is not SPD (within jitter tolerance).

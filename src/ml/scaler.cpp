@@ -3,39 +3,35 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace repro::ml {
 
 void MinMaxScaler::fit(const Matrix& x) {
   if (x.rows() == 0) throw std::invalid_argument("MinMaxScaler::fit: empty matrix");
-  mins_.assign(x.cols(), 0.0);
-  maxs_.assign(x.cols(), 0.0);
-  for (std::size_t c = 0; c < x.cols(); ++c) {
-    double lo = x(0, c);
-    double hi = x(0, c);
-    for (std::size_t r = 1; r < x.rows(); ++r) {
-      lo = std::min(lo, x(r, c));
-      hi = std::max(hi, x(r, c));
-    }
-    mins_[c] = lo;
-    maxs_[c] = hi;
+  // Row-major sweep: initialise from row 0, then fold each row in with the
+  // SIMD element-wise min/max. Column c still sees its values in ascending
+  // row order, so the result matches the column-at-a-time scan bit for bit
+  // while streaming the matrix contiguously once.
+  mins_.assign(x.row(0).begin(), x.row(0).end());
+  maxs_.assign(x.row(0).begin(), x.row(0).end());
+  for (std::size_t r = 1; r < x.rows(); ++r) {
+    common::simd::update_min_max(mins_, maxs_, x.row(r));
   }
 }
 
 std::vector<double> MinMaxScaler::transform(std::span<const double> row) const {
   if (row.size() != mins_.size()) throw std::invalid_argument("MinMaxScaler: width mismatch");
   std::vector<double> out(row.size());
-  for (std::size_t c = 0; c < row.size(); ++c) {
-    const double range = maxs_[c] - mins_[c];
-    out[c] = range == 0.0 ? 0.0 : (row[c] - mins_[c]) / range;
-  }
+  common::simd::min_max_transform(out, row, mins_, maxs_);
   return out;
 }
 
 Matrix MinMaxScaler::transform(const Matrix& x) const {
+  if (x.cols() != mins_.size()) throw std::invalid_argument("MinMaxScaler: width mismatch");
   Matrix out(x.rows(), x.cols());
   for (std::size_t r = 0; r < x.rows(); ++r) {
-    const auto t = transform(x.row(r));
-    for (std::size_t c = 0; c < x.cols(); ++c) out(r, c) = t[c];
+    common::simd::min_max_transform(out.row(r), x.row(r), mins_, maxs_);
   }
   return out;
 }
@@ -48,9 +44,7 @@ Matrix MinMaxScaler::fit_transform(const Matrix& x) {
 std::vector<double> MinMaxScaler::inverse_transform(std::span<const double> row) const {
   if (row.size() != mins_.size()) throw std::invalid_argument("MinMaxScaler: width mismatch");
   std::vector<double> out(row.size());
-  for (std::size_t c = 0; c < row.size(); ++c) {
-    out[c] = mins_[c] + row[c] * (maxs_[c] - mins_[c]);
-  }
+  common::simd::min_max_inverse(out, row, mins_, maxs_);
   return out;
 }
 

@@ -1,12 +1,14 @@
 #include "ml/svr.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 
 namespace repro::ml {
@@ -15,37 +17,39 @@ namespace {
 
 constexpr double kTau = 1e-12;  // floor for the quadratic coefficient
 
+/// Support-vector block length for the blocked decision function: 64
+/// kernel values (one evaluate_row batch) stay L1-resident alongside the
+/// matching coefficient block.
+constexpr std::size_t kSvBlock = 64;
+
+/// Row-block edge for the kernel cache fill; 16 rows keep the mirror
+/// stripe (16 floats = one cache line per destination row) dense.
+constexpr std::size_t kCacheBlock = 16;
+
+/// Shared decision function: b + Σ_s coef[s] * k(sv_s, x), evaluated in
+/// ascending kSvBlock batches — each batch is one SIMD evaluate_row plus a
+/// 4-lane dot against the coefficient block, and the per-batch partial sums
+/// accumulate in block order. predict_one and the batched predict both
+/// funnel through this exact sequence, so they agree bit for bit.
+double decision(const KernelFunction& kernel, const Matrix& sv,
+                const std::vector<double>& coef, double b, std::span<const double> x,
+                std::span<double> buf) noexcept {
+  double acc = b;
+  const std::size_t n_sv = sv.rows();
+  for (std::size_t sb = 0; sb < n_sv; sb += kSvBlock) {
+    const std::size_t len = std::min(kSvBlock, n_sv - sb);
+    kernel.evaluate_row(x, sv, sb, sb + len, buf);
+    acc += common::simd::dot({coef.data() + sb, len}, {buf.data(), len});
+  }
+  return acc;
+}
+
 /// Dense symmetric kernel cache over the n training samples, stored as
 /// float to halve memory (n ≈ 4240 in the paper's training set -> ~72 MB).
 class KernelCache {
  public:
-  KernelCache(const Matrix& x, const KernelFunction& kernel) : n_(x.rows()), k_(n_ * n_) {
-    // Parallel over the leading index of the upper triangle: iteration i
-    // writes row i (columns >= i) and column i (rows > i) — cell (r, c) is
-    // written exactly once, by iteration min(r, c), so chunks touch
-    // disjoint cells and the cache is bit-identical at any thread count.
-    // The triangular workload is balanced by pairing row p (inner length
-    // n-p) with row n-1-p (inner length p+1): every parallel index costs
-    // ~n+1 kernel evaluations, so equal chunks get equal work.
-    float* k = k_.data();
-    const std::size_t n = n_;
-    const auto fill_row = [&x, &kernel, k, n](std::size_t i) {
-      const auto xi = x.row(i);
-      float* row = k + i * n;
-      for (std::size_t j = i; j < n; ++j) {
-        const auto v = static_cast<float>(kernel(xi, x.row(j)));
-        row[j] = v;
-        k[j * n + i] = v;
-      }
-    };
-    common::ThreadPool::global().parallel_for(
-        0, (n + 1) / 2, 4, [&fill_row, n](std::size_t lo, std::size_t hi) {
-          for (std::size_t p = lo; p < hi; ++p) {
-            fill_row(p);
-            if (n - 1 - p != p) fill_row(n - 1 - p);
-          }
-        });
-  }
+  KernelCache(const Matrix& x, const KernelFunction& kernel)
+      : n_(x.rows()), k_(build_kernel_matrix_f32(x, kernel)) {}
 
   [[nodiscard]] const float* row(std::size_t i) const noexcept { return k_.data() + i * n_; }
   [[nodiscard]] float at(std::size_t i, std::size_t j) const noexcept {
@@ -58,6 +62,47 @@ class KernelCache {
 };
 
 }  // namespace
+
+std::vector<float> build_kernel_matrix_f32(const Matrix& x, const KernelFunction& kernel) {
+  // Parallel over kCacheBlock-row blocks of the upper triangle: the block
+  // holding row min(r, c) computes cell (r, c) — every cell is written
+  // exactly once, by one block, so chunks touch disjoint cells and the
+  // matrix is bit-identical at any thread count. The triangular workload
+  // is balanced by pairing block p with block nb-1-p. Each row is one
+  // batched SIMD evaluate_row; the mirror (column) writes are deferred and
+  // done per block with the target index innermost, so they hit
+  // ~kCacheBlock*4-byte runs of each destination row instead of one float
+  // every n*4 bytes — at n = 2000 the naive mirror's scattered misses cost
+  // more than the kernel math.
+  const std::size_t n = x.rows();
+  std::vector<float> k_storage(n * n);
+  float* k = k_storage.data();
+  const std::size_t nb = (n + kCacheBlock - 1) / kCacheBlock;
+  const auto fill_block = [&x, &kernel, k, n](std::size_t b, std::span<double> buf) {
+    const std::size_t i_lo = b * kCacheBlock;
+    const std::size_t i_hi = std::min(n, i_lo + kCacheBlock);
+    for (std::size_t i = i_lo; i < i_hi; ++i) {
+      kernel.evaluate_row(x.row(i), x, i, n, buf);
+      float* row = k + i * n;
+      for (std::size_t j = i; j < n; ++j) row[j] = static_cast<float>(buf[j - i]);
+    }
+    // Mirror the block's rows into its column stripe: k(j, i) = k(i, j).
+    for (std::size_t j = i_lo + 1; j < n; ++j) {
+      float* dst = k + j * n;
+      const std::size_t i_top = std::min(i_hi, j);
+      for (std::size_t i = i_lo; i < i_top; ++i) dst[i] = k[i * n + j];
+    }
+  };
+  common::ThreadPool::global().parallel_for(
+      0, (nb + 1) / 2, 1, [&fill_block, nb, n](std::size_t lo, std::size_t hi) {
+        std::vector<double> buf(n);
+        for (std::size_t p = lo; p < hi; ++p) {
+          fill_block(p, buf);
+          if (nb - 1 - p != p) fill_block(nb - 1 - p, buf);
+        }
+      });
+  return k_storage;
+}
 
 void Svr::fit(const Matrix& x, const std::vector<double>& y) {
   const std::size_t n = x.rows();
@@ -206,7 +251,10 @@ void Svr::fit(const Matrix& x, const std::vector<double>& y) {
       }
     }
 
-    // Gradient maintenance: G_s += Q_si Δβ_i + Q_sj Δβ_j.
+    // Gradient maintenance: G_s += Q_si Δβ_i + Q_sj Δβ_j. The 2n entries
+    // split into the two label halves (s < n carries y = +1, s >= n carries
+    // y = −1 over the same kernel rows), each a SIMD-fused element-wise
+    // update grad[s] += y * (li * K_i[s] + lj * K_j[s]).
     const double d_i = beta[i] - old_bi;
     const double d_j = beta[j] - old_bj;
     if (d_i == 0.0 && d_j == 0.0) continue;
@@ -214,12 +262,8 @@ void Svr::fit(const Matrix& x, const std::vector<double>& y) {
     const float* row_j = cache.row(j % n);
     const double li = static_cast<double>(label[i]) * d_i;
     const double lj = static_cast<double>(label[j]) * d_j;
-    for (std::size_t s = 0; s < m; ++s) {
-      const double ys = static_cast<double>(label[s]);
-      const std::size_t base = s % n;
-      grad[s] += ys * (li * static_cast<double>(row_i[base]) +
-                       lj * static_cast<double>(row_j[base]));
-    }
+    common::simd::add_scaled_pair_f32({grad.data(), n}, row_i, row_j, li, lj, +1.0);
+    common::simd::add_scaled_pair_f32({grad.data() + n, n}, row_i, row_j, li, lj, -1.0);
     // Jitter contributes only on the exact diagonal of the 2n-dim problem.
     grad[i] += params_.diag_jitter * d_i;
     grad[j] += params_.diag_jitter * d_j;
@@ -278,11 +322,8 @@ void Svr::fit(const Matrix& x, const std::vector<double>& y) {
 
 double Svr::predict_one(std::span<const double> x) const {
   if (!fitted_) throw std::logic_error("Svr::predict_one before fit");
-  double acc = b_;
-  for (std::size_t i = 0; i < sv_.rows(); ++i) {
-    acc += sv_coef_[i] * params_.kernel(sv_.row(i), x);
-  }
-  return acc;
+  std::array<double, kSvBlock> buf;
+  return decision(params_.kernel, sv_, sv_coef_, b_, x, buf);
 }
 
 std::vector<double> Svr::predict(const Matrix& x) const {
@@ -291,22 +332,17 @@ std::vector<double> Svr::predict(const Matrix& x) const {
   std::vector<double> out(x.rows(), b_);
   // One blocked pass over (test rows x support vectors) instead of x.rows()
   // independent predict_one loops: the support-vector block stays hot in
-  // cache across the rows of a block. Support vectors are visited in
-  // ascending order per row, so each output is the same left-to-right sum
-  // predict_one computes — bit-identical, and deterministic under threading
-  // because rows write disjoint slots.
-  constexpr std::size_t kSvBlock = 64;
+  // cache across the rows of a block. Per row the blocks accumulate in the
+  // same ascending order as decision() — bit-identical to predict_one, and
+  // deterministic under threading because rows write disjoint slots.
   common::ThreadPool::global().parallel_for(
       0, x.rows(), 32, [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> buf(kSvBlock);
         for (std::size_t sb = 0; sb < n_sv; sb += kSvBlock) {
-          const std::size_t s_hi = std::min(n_sv, sb + kSvBlock);
+          const std::size_t len = std::min(kSvBlock, n_sv - sb);
           for (std::size_t r = lo; r < hi; ++r) {
-            const auto xr = x.row(r);
-            double acc = out[r];
-            for (std::size_t s = sb; s < s_hi; ++s) {
-              acc += sv_coef_[s] * params_.kernel(sv_.row(s), xr);
-            }
-            out[r] = acc;
+            params_.kernel.evaluate_row(x.row(r), sv_, sb, sb + len, buf);
+            out[r] += common::simd::dot({sv_coef_.data() + sb, len}, {buf.data(), len});
           }
         }
       });

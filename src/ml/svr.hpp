@@ -21,6 +21,16 @@
 
 namespace repro::ml {
 
+/// \brief Dense symmetric kernel matrix over the rows of `x`, row-major
+/// float storage of size rows² — the SVR training-cache fill.
+///
+/// This is the production build path (batched SIMD evaluate_row per row,
+/// block-tiled mirror writes, parallel over the thread pool, and
+/// bit-deterministic at any thread count or SIMD backend); exposed so
+/// benchmarks and tests measure the real algorithm instead of a copy.
+[[nodiscard]] std::vector<float> build_kernel_matrix_f32(const Matrix& x,
+                                                         const KernelFunction& kernel);
+
 struct SvrParams {
   KernelFunction kernel = KernelFunction::linear();
   double c = 1000.0;       // box constraint (paper: C = 1000)
