@@ -8,7 +8,10 @@
 // simd_kernel_matrix) compare the pre-SIMD sequential loops against the
 // common::simd layer, and their bit_identical field checks the std-simd
 // backend against the unrolled fallback (the determinism contract of
-// docs/DETERMINISM.md).
+// docs/DETERMINISM.md). The serving section measures serve::Service —
+// micro-batched, sharded prediction under concurrent clients — reporting
+// throughput and latency percentiles per batching window, with
+// bit_identical comparing every response against direct predict_batch.
 //
 //   perf_stack [--smoke] [--threads N] [--out PATH]
 //
@@ -24,17 +27,25 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "benchgen/benchgen.hpp"
+#include "clfront/features.hpp"
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "common/thread_pool.hpp"
+#include "core/measurement.hpp"
+#include "core/model.hpp"
+#include "core/predictor.hpp"
 #include "ml/kernel.hpp"
 #include "ml/matrix.hpp"
 #include "ml/svr.hpp"
 #include "ml/synthetic.hpp"
 #include "pareto/pareto.hpp"
+#include "serve/service.hpp"
 
 using namespace repro;
 
@@ -330,8 +341,135 @@ CaseResult bench_simd_kernel_matrix(std::size_t n, int reps) {
   return {"simd_kernel_matrix", n, serial_ms, simd_ms, identical};
 }
 
+// --- serving section ----------------------------------------------------------
+//
+// Throughput and latency of serve::Service — the micro-batching scheduler
+// and sharded workers above Predictor::predict_batch — under concurrent
+// client threads, swept over the batching window. bit_identical checks the
+// serving determinism contract: every response must equal the direct
+// predict_batch output for the same kernel, byte for byte.
+
+struct ServingResult {
+  std::size_t shards = 0;
+  long window_us = 0;
+  std::size_t clients = 0;
+  std::size_t requests = 0;
+  std::size_t batches = 0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  bool bit_identical = false;
+};
+
+/// Percentile by nearest-rank; the caller sorts once.
+double percentile_ms(const std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+}
+
+bool points_bit_identical(const std::vector<core::PredictedPoint>& a,
+                          const std::vector<core::PredictedPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].config == b[i].config) || a[i].heuristic != b[i].heuristic ||
+        std::memcmp(&a[i].speedup, &b[i].speedup, sizeof(double)) != 0 ||
+        std::memcmp(&a[i].energy, &b[i].energy, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ServingResult bench_serving(const std::shared_ptr<const core::FrequencyModel>& model,
+                            const std::vector<clfront::StaticFeatures>& mix,
+                            std::size_t shards, long window_us, std::size_t clients,
+                            std::size_t per_client) {
+  ServingResult result;
+  result.shards = shards;
+  result.window_us = window_us;
+  result.clients = clients;
+  result.requests = clients * per_client;
+
+  auto direct = core::Predictor::from_model(model);
+  const auto reference = direct.value().predict_batch(mix);
+
+  serve::ServiceOptions options;
+  options.shards = shards;
+  options.max_batch = 16;
+  options.batch_window = std::chrono::microseconds(window_us);
+  auto service = serve::Service::from_model(model, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "serving bench: %s\n", service.error().to_string().c_str());
+    return result;
+  }
+
+  std::vector<double> latencies_ms(result.requests, 0.0);
+  std::vector<char> identical(result.requests, 0);
+  std::vector<std::thread> workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const std::size_t slot = c * per_client + i;
+        const std::size_t kernel = slot % mix.size();
+        const auto r0 = std::chrono::steady_clock::now();
+        auto response = service.value()->predict(mix[kernel]);
+        const auto r1 = std::chrono::steady_clock::now();
+        latencies_ms[slot] =
+            std::chrono::duration<double, std::milli>(r1 - r0).count();
+        identical[slot] =
+            response.ok() &&
+            points_bit_identical(response.value().pareto,
+                                 reference.value()[kernel].pareto)
+                ? 1
+                : 0;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  service.value()->stop();
+
+  const double elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  result.throughput_rps =
+      elapsed_s > 0.0 ? static_cast<double>(result.requests) / elapsed_s : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = percentile_ms(latencies_ms, 50.0);
+  result.p95_ms = percentile_ms(latencies_ms, 95.0);
+  result.p99_ms = percentile_ms(latencies_ms, 99.0);
+  result.bit_identical = true;
+  for (char ok : identical) result.bit_identical = result.bit_identical && ok != 0;
+  result.batches = service.value()->stats().batches;
+  return result;
+}
+
+/// Train the serving model on a reduced suite (every 4th micro-benchmark,
+/// 16 configurations) — representative shape, seconds-scale training.
+std::shared_ptr<const core::FrequencyModel> serving_model(
+    std::vector<clfront::StaticFeatures>& mix_out) {
+  auto full = benchgen::generate_training_suite();
+  if (!full.ok()) return nullptr;
+  std::vector<benchgen::MicroBenchmark> subset;
+  for (std::size_t i = 0; i < full.value().size(); i += 4) {
+    subset.push_back(full.value()[i]);
+  }
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    mix_out.push_back(subset[i].features);
+  }
+  core::TrainingOptions options;
+  options.num_configs = 16;
+  const core::SimulatorBackend backend(gpusim::DeviceModel::titan_x());
+  auto model = core::FrequencyModel::train(backend, subset, options);
+  if (!model.ok()) return nullptr;
+  return std::make_shared<const core::FrequencyModel>(std::move(model).take());
+}
+
 void write_json(const std::string& path, bool smoke, std::size_t threads,
-                const std::vector<CaseResult>& results) {
+                const std::vector<CaseResult>& results,
+                const std::vector<ServingResult>& serving) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -349,6 +487,18 @@ void write_json(const std::string& path, bool smoke, std::size_t threads,
                  "\"parallel_ms\": %.3f, \"speedup\": %.3f, \"bit_identical\": %s}%s\n",
                  r.name.c_str(), r.size, r.serial_ms, r.parallel_ms, speedup,
                  r.bit_identical ? "true" : "false", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"serving\": [\n");
+  for (std::size_t i = 0; i < serving.size(); ++i) {
+    const auto& s = serving[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"window_us\": %ld, \"clients\": %zu, "
+                 "\"requests\": %zu, \"batches\": %zu, \"throughput_rps\": %.1f, "
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"bit_identical\": %s}%s\n",
+                 s.shards, s.window_us, s.clients, s.requests, s.batches,
+                 s.throughput_rps, s.p50_ms, s.p95_ms, s.p99_ms,
+                 s.bit_identical ? "true" : "false", i + 1 < serving.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -420,14 +570,40 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{96} : std::vector<std::size_t>{500, 2000};
   for (std::size_t n : kmat_sizes) run(bench_simd_kernel_matrix(n, reps));
 
-  // Restore the default pool before exiting (harmless, but keeps any later
-  // library use in this process on the expected thread count).
+  // serving: throughput and latency percentiles of serve::Service vs the
+  // batching window, concurrent clients hammering one node. Restoring the
+  // pool here also keeps any later library use on the expected thread count.
   common::ThreadPool::set_global_threads(threads);
+  std::vector<ServingResult> serving;
+  std::vector<clfront::StaticFeatures> mix;
+  const auto model = serving_model(mix);
+  if (model != nullptr) {
+    const std::size_t clients = 4;
+    const std::size_t per_client = smoke ? 50 : 400;
+    const std::vector<long> windows =
+        smoke ? std::vector<long>{200} : std::vector<long>{0, 200, 1000};
+    const std::vector<std::size_t> shard_counts =
+        smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{1, 2};
+    for (std::size_t shards : shard_counts) {
+      for (long window : windows) {
+        auto s = bench_serving(model, mix, shards, window, clients, per_client);
+        std::printf(
+            "serving            shards=%zu window=%4ldus  %8.0f req/s   p50 %6.3f ms  "
+            "p99 %6.3f ms   %s\n",
+            s.shards, s.window_us, s.throughput_rps, s.p50_ms, s.p99_ms,
+            s.bit_identical ? "bit-identical" : "OUTPUT MISMATCH");
+        serving.push_back(s);
+      }
+    }
+  } else {
+    std::fprintf(stderr, "serving bench: model training failed, section skipped\n");
+  }
 
-  write_json(out, smoke, threads, results);
+  write_json(out, smoke, threads, results, serving);
   std::printf("\nwritten to %s\n", out.c_str());
 
   bool ok = true;
   for (const auto& r : results) ok = ok && r.bit_identical;
+  for (const auto& s : serving) ok = ok && s.bit_identical;
   return ok ? 0 : 1;
 }

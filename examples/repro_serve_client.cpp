@@ -1,0 +1,93 @@
+// repro_serve_client — query a running repro_serve instance.
+//
+//   repro_serve_client --unix /tmp/repro.sock [--file kernel.cl] [--kernel NAME]
+//   repro_serve_client --tcp 7070             [--file kernel.cl] [--kernel NAME]
+//
+// Sends the kernel source (a built-in SAXPY demo when --file is omitted),
+// prints the predicted Pareto-optimal frequency configurations.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/client.hpp"
+
+using namespace repro;
+
+namespace {
+
+const char* kDemoKernel = R"CL(
+kernel void saxpy_demo(global float* x, global float* y, float a, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) y[gid] = a * x[gid] + y[gid];
+}
+)CL";
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--unix PATH | --tcp PORT) [--file kernel.cl] [--kernel NAME]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  int tcp_port = -1;
+  std::string file;
+  std::string kernel_name;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--unix" && has_value) {
+      unix_path = argv[++i];
+    } else if (arg == "--tcp" && has_value) {
+      tcp_port = std::atoi(argv[++i]);
+    } else if (arg == "--file" && has_value) {
+      file = argv[++i];
+    } else if (arg == "--kernel" && has_value) {
+      kernel_name = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (unix_path.empty() && tcp_port < 0) return usage(argv[0]);
+
+  std::string source = kDemoKernel;
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    source = oss.str();
+  }
+
+  auto client = unix_path.empty() ? serve::SocketClient::connect_tcp(tcp_port)
+                                  : serve::SocketClient::connect_unix(unix_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.error().to_string().c_str());
+    return 1;
+  }
+
+  auto prediction = client.value().predict_source(source, kernel_name);
+  if (!prediction.ok()) {
+    std::fprintf(stderr, "predict: %s\n", prediction.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("kernel %s — predicted Pareto-optimal configurations:\n",
+              prediction.value().kernel.c_str());
+  std::printf("%-28s %10s %14s\n", "configuration", "speedup", "norm. energy");
+  for (const auto& p : prediction.value().pareto) {
+    std::printf("core %4d MHz / mem %4d MHz   %8.3f %14.3f%s\n", p.config.core_mhz,
+                p.config.mem_mhz, p.speedup, p.energy,
+                p.heuristic ? "   (mem-L heuristic)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env sh
+# Socket round-trip smoke of the serving stack: start repro_serve on a Unix
+# socket (small training suite so startup is seconds), run repro_serve_client
+# against it, require a Pareto table back, then shut the server down
+# gracefully and require a clean exit. Usage:
+#
+#   scripts/serve_smoke.sh BUILD_DIR
+#
+# Exits non-zero on any failure; used by CI after the build.
+set -eu
+
+build_dir=${1:?usage: serve_smoke.sh BUILD_DIR}
+build_dir=$(CDPATH= cd -- "$build_dir" && pwd)
+
+work_dir=$(mktemp -d)
+sock="$work_dir/repro_serve.sock"
+log="$work_dir/server.log"
+
+cleanup() {
+  if [ -n "${server_pid:-}" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work_dir"
+}
+trap cleanup EXIT INT TERM
+
+"$build_dir/repro_serve" --unix "$sock" --suite-stride 8 --num-configs 8 \
+  --cache-dir "$work_dir/model-cache" --shards 2 >"$log" 2>&1 &
+server_pid=$!
+
+# Wait for READY (training takes a few seconds on a cold cache).
+ready=0
+i=0
+while [ "$i" -lt 240 ]; do
+  if grep -q '^READY ' "$log" 2>/dev/null; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "serve_smoke: server exited before READY" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  sleep 0.5
+  i=$((i + 1))
+done
+if [ "$ready" -ne 1 ]; then
+  echo "serve_smoke: server did not become ready in time" >&2
+  cat "$log" >&2
+  exit 1
+fi
+
+client_out=$("$build_dir/repro_serve_client" --unix "$sock")
+echo "$client_out"
+case $client_out in
+  *"Pareto-optimal configurations"*) ;;
+  *)
+    echo "serve_smoke: client output missing the Pareto table" >&2
+    exit 1
+    ;;
+esac
+
+# A second client exercises the warm path (and the connection accounting).
+"$build_dir/repro_serve_client" --unix "$sock" >/dev/null
+
+kill -TERM "$server_pid"
+server_status=0
+wait "$server_pid" || server_status=$?
+if [ "$server_status" -ne 0 ]; then
+  echo "serve_smoke: server exited with status $server_status" >&2
+  cat "$log" >&2
+  exit 1
+fi
+grep -q 'shutting down' "$log" || {
+  echo "serve_smoke: no graceful shutdown message" >&2
+  cat "$log" >&2
+  exit 1
+}
+echo "serve_smoke: OK"

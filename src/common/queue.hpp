@@ -1,0 +1,124 @@
+// Bounded blocking MPMC queue — the admission and dispatch primitive under
+// the serving layer (serve::Service). Closing the queue is the shutdown
+// signal: producers are refused, consumers drain what is left and then see
+// end-of-stream. The queue imposes FIFO order under one mutex, which is what
+// the micro-batcher's arrival sequence numbers are assigned against.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace repro::common {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` == 0 is promoted to 1 (a zero-capacity queue could never
+  /// transfer anything).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Block until there is room, then enqueue. Returns false when the queue
+  /// is or becomes closed while waiting — in that case `item` is NOT moved
+  /// from, so the caller keeps it (the serving layer fails the request's
+  /// promise instead of losing it).
+  bool push(T&& item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueue only if there is room right now; never blocks. Like push(),
+  /// `item` is left intact when the call returns false.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available and dequeue it. Returns nullopt only
+  /// when the queue is closed *and* drained — items enqueued before close()
+  /// are always delivered.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return pop_locked(lock);
+  }
+
+  /// Like pop(), but gives up at `deadline`; nullopt on timeout as well as
+  /// on closed-and-drained (callers that care can check closed()).
+  template <typename Clock, typename Duration>
+  std::optional<T> pop_until(const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock lock(mutex_);
+    if (!not_empty_.wait_until(lock, deadline,
+                               [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    return pop_locked(lock);
+  }
+
+  /// Dequeue only if an item is available right now; never blocks.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    return pop_locked(lock);
+  }
+
+  /// Refuse new items and wake every waiter. Idempotent; already-queued
+  /// items remain poppable.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace repro::common

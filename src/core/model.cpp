@@ -263,6 +263,9 @@ common::Result<FrequencyModel> FrequencyModel::deserialize(const std::string& te
       return common::parse_error("FrequencyModel: missing training_configs");
     }
   }
+  if (n_configs > text.size()) {  // each config needs at least four payload bytes
+    return common::parse_error("FrequencyModel: config count exceeds payload size");
+  }
   std::vector<gpusim::FrequencyConfig> configs(n_configs);
   for (auto& c : configs) {
     if (!(iss >> c.core_mhz >> c.mem_mhz)) {

@@ -66,6 +66,33 @@ Predictor::Builder& Predictor::Builder::memoize(bool on) {
 }
 
 common::Result<Predictor> Predictor::Builder::build() {
+  // Validate the cheap-to-check axes before any backend or suite work, so a
+  // misconfigured builder fails in microseconds, not after a training pass.
+  for (const std::string& key :
+       {training_.models.speedup_regressor, training_.models.energy_regressor}) {
+    if (key.empty()) {
+      return common::invalid_argument("Predictor::builder: empty regressor key");
+    }
+    if (!ml::RegressorRegistry::instance().contains(key)) {
+      return common::not_found("Predictor::builder: unknown regressor \"" + key +
+                               "\"; registered: " + [] {
+                                 std::string joined;
+                                 for (const auto& n : ml::registered_regressors()) {
+                                   if (!joined.empty()) joined += ", ";
+                                   joined += n;
+                                 }
+                                 return joined;
+                               }());
+    }
+  }
+  if (training_.num_configs == 0) {
+    return common::invalid_argument(
+        "Predictor::builder: num_configs must be positive");
+  }
+  if (suite_.has_value() && suite_->empty()) {
+    return common::invalid_argument("Predictor::builder: empty training suite");
+  }
+
   std::unique_ptr<MeasurementBackend> backend = std::move(backend_);
   if (backend == nullptr) {
     backend = std::make_unique<SimulatorBackend>(device_, sim_options_);
@@ -88,7 +115,19 @@ common::Result<Predictor> Predictor::Builder::build() {
                                                    *cache_path_)
                    : FrequencyModel::train(*backend, suite, training_);
   if (!model.ok()) return model.error();
-  return Predictor(std::move(backend), std::move(model).take());
+  return Predictor(std::move(backend),
+                   std::make_shared<const FrequencyModel>(std::move(model).take()));
+}
+
+// --- from_model --------------------------------------------------------------
+
+common::Result<Predictor> Predictor::from_model(
+    std::shared_ptr<const FrequencyModel> model,
+    std::unique_ptr<MeasurementBackend> backend) {
+  if (model == nullptr) {
+    return common::invalid_argument("Predictor::from_model: null model");
+  }
+  return Predictor(std::move(backend), std::move(model));
 }
 
 // --- Predictor ---------------------------------------------------------------
@@ -101,20 +140,20 @@ common::Result<PredictedPoint> Predictor::predict(const clfront::StaticFeatures&
         std::to_string(config.mem_mhz) + " is not reported by " +
         domain().device_name());
   }
-  return PredictedPoint{config, model_.predict_speedup(features, config),
-                        model_.predict_energy(features, config), false};
+  return PredictedPoint{config, model_->predict_speedup(features, config),
+                        model_->predict_energy(features, config), false};
 }
 
 common::Result<std::vector<PredictedPoint>> Predictor::predict_all(
     const clfront::StaticFeatures& features,
     std::span<const gpusim::FrequencyConfig> configs) const {
   if (configs.empty()) return common::invalid_argument("predict_all: no configurations");
-  return model_.predict_all(features, configs);
+  return model_->predict_all(features, configs);
 }
 
 common::Result<std::vector<PredictedPoint>> Predictor::predict_pareto(
     const clfront::StaticFeatures& features) const {
-  return model_.predict_pareto(features);
+  return model_->predict_pareto(features);
 }
 
 common::Result<std::vector<PredictedPoint>> Predictor::predict_pareto(
@@ -123,14 +162,14 @@ common::Result<std::vector<PredictedPoint>> Predictor::predict_pareto(
   if (configs.empty()) {
     return common::invalid_argument("predict_pareto: no configurations");
   }
-  return model_.predict_pareto(features, configs);
+  return model_->predict_pareto(features, configs);
 }
 
 common::Result<std::vector<PredictedPoint>> Predictor::predict_pareto_source(
     const std::string& opencl_source, const std::string& kernel_name) const {
   auto features = clfront::extract_features_from_source(opencl_source, kernel_name);
   if (!features.ok()) return features.error();
-  return model_.predict_pareto(features.value());
+  return model_->predict_pareto(features.value());
 }
 
 common::Result<std::vector<Predictor::KernelPrediction>> Predictor::predict_batch(
@@ -143,7 +182,7 @@ common::Result<std::vector<Predictor::KernelPrediction>> Predictor::predict_batc
   common::ThreadPool::global().parallel_for(
       0, kernels.size(), 1, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-          out[i] = {kernels[i].kernel_name, model_.predict_pareto(kernels[i])};
+          out[i] = {kernels[i].kernel_name, model_->predict_pareto(kernels[i])};
         }
       });
   return out;

@@ -36,6 +36,16 @@ class Predictor {
   class Builder;
   [[nodiscard]] static Builder builder();
 
+  /// Wrap an already-trained model (e.g. one handed out by
+  /// serve::ModelCache) without re-training. The model is shared — several
+  /// predictors (one per serving shard) can point at the same immutable
+  /// FrequencyModel. `backend` may be null: prediction never measures, so a
+  /// backend-less predictor supports the whole predict_* surface; only
+  /// backend() is then off limits (check has_backend()).
+  [[nodiscard]] static common::Result<Predictor> from_model(
+      std::shared_ptr<const FrequencyModel> model,
+      std::unique_ptr<MeasurementBackend> backend = nullptr);
+
   /// Per-kernel result of a batch prediction.
   struct KernelPrediction {
     std::string kernel;
@@ -73,18 +83,26 @@ class Predictor {
       std::span<const clfront::StaticFeatures> kernels) const;
 
   // --- introspection ---------------------------------------------------------
-  [[nodiscard]] const FrequencyModel& model() const noexcept { return model_; }
+  [[nodiscard]] const FrequencyModel& model() const noexcept { return *model_; }
+  /// The trained model as a shareable handle (what serve::ModelCache stores).
+  [[nodiscard]] std::shared_ptr<const FrequencyModel> share_model() const noexcept {
+    return model_;
+  }
+  /// False for predictors created by from_model without a backend.
+  [[nodiscard]] bool has_backend() const noexcept { return backend_ != nullptr; }
+  /// Precondition: has_backend().
   [[nodiscard]] const MeasurementBackend& backend() const noexcept { return *backend_; }
   [[nodiscard]] const gpusim::FrequencyDomain& domain() const noexcept {
-    return model_.domain();
+    return model_->domain();
   }
 
  private:
-  Predictor(std::unique_ptr<MeasurementBackend> backend, FrequencyModel model)
+  Predictor(std::unique_ptr<MeasurementBackend> backend,
+            std::shared_ptr<const FrequencyModel> model)
       : backend_(std::move(backend)), model_(std::move(model)) {}
 
   std::unique_ptr<MeasurementBackend> backend_;
-  FrequencyModel model_;
+  std::shared_ptr<const FrequencyModel> model_;
 };
 
 class Predictor::Builder {

@@ -104,6 +104,9 @@ common::Result<Lasso> Lasso::deserialize(const std::string& text) {
       tag != "lasso" || version != "v1") {
     return common::parse_error("Lasso: bad header");
   }
+  if (d > text.size()) {  // each coefficient needs at least two payload bytes
+    return common::parse_error("Lasso: coefficient count exceeds payload size");
+  }
   Lasso model(params);
   model.coef_.resize(d);
   for (auto& c : model.coef_) {

@@ -73,6 +73,9 @@ common::Result<LinearRegression> LinearRegression::deserialize(const std::string
       version != "v1") {
     return common::parse_error("LinearRegression: bad header");
   }
+  if (d > text.size()) {  // each coefficient needs at least two payload bytes
+    return common::parse_error("LinearRegression: coefficient count exceeds payload size");
+  }
   LinearRegression model(l2);
   model.coef_.resize(d);
   for (auto& c : model.coef_) {

@@ -65,6 +65,9 @@ common::Result<MinMaxScaler> MinMaxScaler::deserialize(const std::string& text) 
   if (!(iss >> tag >> n) || tag != "minmax_scaler") {
     return common::parse_error("MinMaxScaler: bad header");
   }
+  if (n > text.size()) {  // each column needs at least four payload bytes
+    return common::parse_error("MinMaxScaler: column count exceeds payload size");
+  }
   MinMaxScaler s;
   s.mins_.resize(n);
   s.maxs_.resize(n);

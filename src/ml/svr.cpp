@@ -385,6 +385,16 @@ common::Result<Svr> Svr::deserialize(const std::string& text) {
   if (!kt.ok()) return kt.error();
   params.kernel.type = kt.value();
 
+  // A corrupt header must not drive the allocations below: every serialized
+  // value occupies at least two bytes (digit + separator), so counts beyond
+  // what the payload could hold are a parse error, not a bad_alloc.
+  if (dim > text.size()) {
+    return common::parse_error("Svr: dimension exceeds payload size");
+  }
+  if (n_sv > text.size() / (2 * (dim + 1)) + 1) {
+    return common::parse_error("Svr: support-vector count exceeds payload size");
+  }
+
   Svr model(params);
   model.b_ = b;
   model.sv_.reserve_rows(n_sv, dim);

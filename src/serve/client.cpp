@@ -1,0 +1,142 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace repro::serve {
+
+namespace {
+
+common::Error errno_error(const std::string& what) {
+  return common::io_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+common::Result<SocketClient> SocketClient::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return common::invalid_argument("SocketClient: unix path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("SocketClient: socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    auto err = errno_error("SocketClient: connect(" + path + ")");
+    ::close(fd);
+    return err;
+  }
+  return SocketClient(fd);
+}
+
+common::Result<SocketClient> SocketClient::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("SocketClient: socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    auto err = errno_error("SocketClient: connect(127.0.0.1:" + std::to_string(port) + ")");
+    ::close(fd);
+    return err;
+  }
+  return SocketClient(fd);
+}
+
+SocketClient::SocketClient(SocketClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      buffer_(std::move(other.buffer_)) {}
+
+SocketClient& SocketClient::operator=(SocketClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+common::Result<core::Predictor::KernelPrediction> SocketClient::predict(
+    const std::string& kernel, const std::array<double, clfront::kNumFeatures>& counts) {
+  WireRequest request;
+  request.id = next_id_++;
+  request.kernel = kernel;
+  request.features = counts;
+  return round_trip(format_request(request), request.id);
+}
+
+common::Result<core::Predictor::KernelPrediction> SocketClient::predict(
+    const clfront::StaticFeatures& features) {
+  return predict(features.kernel_name, features.counts);
+}
+
+common::Result<core::Predictor::KernelPrediction> SocketClient::predict_source(
+    const std::string& opencl_source, const std::string& kernel_name) {
+  WireRequest request;
+  request.id = next_id_++;
+  request.kernel = kernel_name;
+  request.source = opencl_source;
+  return round_trip(format_request(request), request.id);
+}
+
+common::Result<core::Predictor::KernelPrediction> SocketClient::round_trip(
+    const std::string& request_line, std::uint64_t expect_id) {
+  if (fd_ < 0) return common::io_error("SocketClient: not connected");
+
+  std::string line = request_line;
+  line.push_back('\n');
+  std::string_view remaining(line);
+  while (!remaining.empty()) {
+    // MSG_NOSIGNAL: a vanished server is an EPIPE Result, not a SIGPIPE.
+    const ssize_t n = ::send(fd_, remaining.data(), remaining.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("SocketClient: write");
+    }
+    remaining.remove_prefix(static_cast<std::size_t>(n));
+  }
+
+  for (;;) {
+    const auto nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string reply = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      auto response = parse_response(reply);
+      if (!response.ok()) return response.error();
+      if (response.value().id != expect_id) {
+        return common::internal_error(
+            "SocketClient: response id " + std::to_string(response.value().id) +
+            " does not match request id " + std::to_string(expect_id));
+      }
+      if (response.value().error.has_value()) return *response.value().error;
+      return std::move(*response.value().prediction);
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("SocketClient: read");
+    }
+    if (n == 0) return common::io_error("SocketClient: server closed the connection");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,48 @@
+// A small blocking client for the repro_serve wire protocol: connect to a
+// Unix or TCP endpoint, send one line-delimited JSON request per call, read
+// one response line. Not thread-safe — use one client per thread (the
+// server batches across connections).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "clfront/features.hpp"
+#include "common/status.hpp"
+#include "core/predictor.hpp"
+
+namespace repro::serve {
+
+class SocketClient {
+ public:
+  [[nodiscard]] static common::Result<SocketClient> connect_unix(const std::string& path);
+  [[nodiscard]] static common::Result<SocketClient> connect_tcp(int port);
+
+  SocketClient(SocketClient&& other) noexcept;
+  SocketClient& operator=(SocketClient&& other) noexcept;
+  ~SocketClient();
+
+  /// Predict from raw static feature counts.
+  [[nodiscard]] common::Result<core::Predictor::KernelPrediction> predict(
+      const std::string& kernel,
+      const std::array<double, clfront::kNumFeatures>& counts);
+  [[nodiscard]] common::Result<core::Predictor::KernelPrediction> predict(
+      const clfront::StaticFeatures& features);
+
+  /// Predict from OpenCL-C source (features are extracted server-side).
+  [[nodiscard]] common::Result<core::Predictor::KernelPrediction> predict_source(
+      const std::string& opencl_source, const std::string& kernel_name = {});
+
+ private:
+  explicit SocketClient(int fd) : fd_(fd) {}
+  [[nodiscard]] common::Result<core::Predictor::KernelPrediction> round_trip(
+      const std::string& request_line, std::uint64_t expect_id);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::string buffer_;  // bytes read past the last response line
+};
+
+}  // namespace repro::serve

@@ -1,0 +1,172 @@
+#include "serve/model_cache.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace repro::serve {
+
+namespace {
+
+/// common::fnv1a as a fixed-width hex token (stable across runs and
+/// platforms, unlike std::hash).
+std::string hash_token(const std::string& s) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(common::fnv1a(s)));
+  return hex;
+}
+
+}  // namespace
+
+std::string ModelKey::to_string() const {
+  return device + "|" + speedup_regressor + "|" + energy_regressor + "|" +
+         std::to_string(num_configs) + "|" + (exclude_mem_L ? "noL" : "L") + "|" +
+         suite;
+}
+
+std::string ModelKey::fingerprint(std::span<const benchgen::MicroBenchmark> suite) {
+  // Hash names *and* static feature counts: a benchmark edited in body but
+  // not renamed must still change the key, or the disk cache would serve a
+  // model trained on different data. Counts are framed as shortest
+  // round-trip text (std::to_chars — exact, endian- and locale-independent).
+  std::string blob;
+  blob.reserve(suite.size() * 192);
+  char buf[32];
+  for (const auto& mb : suite) {
+    blob += mb.name;
+    blob.push_back('\n');  // separator so {"ab"} and {"a","b"} differ
+    for (double c : mb.features.counts) {
+      const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, c);
+      (void)ec;  // 32 bytes always suffice
+      blob.append(buf, end);
+      blob.push_back(',');
+    }
+    blob.push_back('\n');
+  }
+  return "n" + std::to_string(suite.size()) + "-" + hash_token(blob);
+}
+
+std::string ModelKey::file_stem() const {
+  const std::string canonical = to_string();
+  std::string stem;
+  stem.reserve(canonical.size() + 20);
+  for (char c : canonical) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    stem.push_back(safe ? c : '_');
+  }
+  // Sanitization can collide ("a|b" vs "a_b"); the canonical hash cannot.
+  return stem + "-" + hash_token(canonical);
+}
+
+ModelKey ModelKey::from_options(const std::string& device_name,
+                                const core::TrainingOptions& options,
+                                std::string suite_fingerprint) {
+  return ModelKey{device_name,          options.models.speedup_regressor,
+                  options.models.energy_regressor, options.num_configs,
+                  options.exclude_mem_L_from_training,
+                  std::move(suite_fingerprint)};
+}
+
+ModelCache::ModelCache(std::size_t capacity, std::string disk_dir)
+    : capacity_(capacity == 0 ? 1 : capacity), disk_dir_(std::move(disk_dir)) {}
+
+std::string ModelCache::path_for(const ModelKey& key) const {
+  return disk_dir_ + "/" + key.file_stem() + ".model";
+}
+
+void ModelCache::insert_locked(const std::string& canonical,
+                               std::shared_ptr<const core::FrequencyModel> model) {
+  lru_.push_front(canonical);
+  entries_[canonical] = Entry{std::move(model), lru_.begin()};
+  while (entries_.size() > capacity_) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+common::Result<std::shared_ptr<const core::FrequencyModel>> ModelCache::get_or_train(
+    const ModelKey& key, const Trainer& trainer) {
+  const std::string canonical = key.to_string();
+  // One mutex over probe + load + train: concurrent requests for the same
+  // key train exactly once (the second caller finds the entry). Shard
+  // startup is the only caller on this path, so the serialization is not a
+  // serving bottleneck.
+  std::lock_guard lock(mutex_);
+  if (const auto it = entries_.find(canonical); it != entries_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.model;
+  }
+
+  // Disk probe. Any failure — unreadable, corrupt, version-mismatched, or
+  // trained for a different key — degrades to retraining, never propagates.
+  if (!disk_dir_.empty()) {
+    const std::string path = path_for(key);
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+      auto loaded = core::FrequencyModel::load(path);
+      const bool matches = loaded.ok() &&
+                           loaded.value().domain().device_name() == key.device &&
+                           loaded.value().speedup_regressor() == key.speedup_regressor &&
+                           loaded.value().energy_regressor() == key.energy_regressor;
+      if (matches) {
+        ++stats_.disk_hits;
+        auto model =
+            std::make_shared<const core::FrequencyModel>(std::move(loaded).take());
+        insert_locked(canonical, model);
+        return model;
+      }
+      ++stats_.disk_errors;
+      common::log_warn() << "ModelCache: unusable cache file " << path << " ("
+                         << (loaded.ok() ? std::string("trained for a different setup")
+                                         : loaded.error().message)
+                         << "), retraining";
+    }
+  }
+
+  ++stats_.misses;
+  auto trained = trainer();
+  if (!trained.ok()) return trained.error();
+  auto model = std::make_shared<const core::FrequencyModel>(std::move(trained).take());
+  if (!disk_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(disk_dir_, ec);
+    if (auto st = model->save(path_for(key)); !st.ok()) {
+      common::log_warn() << "ModelCache: could not persist model: "
+                         << st.error().message;
+    }
+  }
+  insert_locked(canonical, model);
+  return model;
+}
+
+std::shared_ptr<const core::FrequencyModel> ModelCache::peek(const ModelKey& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(key.to_string());
+  return it == entries_.end() ? nullptr : it->second.model;
+}
+
+std::size_t ModelCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::vector<std::string> ModelCache::resident_keys() const {
+  std::lock_guard lock(mutex_);
+  return {lru_.begin(), lru_.end()};
+}
+
+}  // namespace repro::serve

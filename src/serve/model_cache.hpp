@@ -1,0 +1,121 @@
+// LRU cache of trained FrequencyModels, shared by the serving shards.
+//
+// A model is identified by everything that determines its trained weights:
+// the device, the two regressor registry keys, and the training options
+// (configuration budget, mem-L exclusion). Cache hits return a
+// shared_ptr<const FrequencyModel> — shards hold the handle for as long as
+// they serve with it, so eviction never invalidates in-flight predictions.
+//
+// When constructed with a directory the cache is write-through: trained
+// models are persisted with FrequencyModel::save (the same serialization
+// behind Predictor::Builder::cache), and a miss first tries the disk copy.
+// A corrupt, truncated, or key-mismatched file is never fatal — loading
+// returns a common::Result error internally and the cache falls back to
+// retraining, overwriting the bad file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "common/status.hpp"
+#include "core/model.hpp"
+
+namespace repro::serve {
+
+/// Everything that determines a trained model's weights (hyperparameters
+/// excluded, matching the contract of Predictor::Builder::cache): device,
+/// regressor families, training options, and a fingerprint of the training
+/// suite — two services training on different suites must never share a
+/// cache entry.
+struct ModelKey {
+  std::string device;             // FrequencyDomain::device_name()
+  std::string speedup_regressor = "svr-linear";
+  std::string energy_regressor = "svr-rbf";
+  std::size_t num_configs = 40;
+  bool exclude_mem_L = false;
+  /// fingerprint() of the suite; kDefaultSuite = the generated 106-benchmark
+  /// suite (deterministic, so the name alone identifies it).
+  std::string suite = std::string(kDefaultSuite);
+
+  static constexpr std::string_view kDefaultSuite = "default106";
+
+  friend bool operator==(const ModelKey&, const ModelKey&) = default;
+
+  /// Canonical "device|speedup|energy|configs|excl|suite" form (logs, map key).
+  [[nodiscard]] std::string to_string() const;
+  /// Filesystem-safe stem for the on-disk copy, stable across runs.
+  [[nodiscard]] std::string file_stem() const;
+
+  /// Stable fingerprint ("n<count>-<hash>") of a custom training suite, over
+  /// the benchmark names AND their static feature counts — a benchmark edited
+  /// in body but not renamed still changes the key.
+  [[nodiscard]] static std::string fingerprint(
+      std::span<const benchgen::MicroBenchmark> suite);
+
+  [[nodiscard]] static ModelKey from_options(
+      const std::string& device_name, const core::TrainingOptions& options,
+      std::string suite_fingerprint = std::string(kDefaultSuite));
+};
+
+class ModelCache {
+ public:
+  using Trainer = std::function<common::Result<core::FrequencyModel>()>;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;        // miss = trained (disk load counts as hit_disk)
+    std::uint64_t disk_hits = 0;
+    std::uint64_t disk_errors = 0;   // corrupt / mismatched files survived
+    std::uint64_t evictions = 0;
+  };
+
+  /// Keep at most `capacity` models in memory (>= 1). With a non-empty
+  /// `disk_dir`, persist trained models there and try it first on a miss.
+  explicit ModelCache(std::size_t capacity, std::string disk_dir = {});
+
+  ModelCache(const ModelCache&) = delete;
+  ModelCache& operator=(const ModelCache&) = delete;
+
+  /// Return the cached model for `key`, loading it from disk or training it
+  /// (via `trainer`) on a miss. Serialized so concurrent callers of the
+  /// same key train once; held shared_ptrs outlive eviction.
+  [[nodiscard]] common::Result<std::shared_ptr<const core::FrequencyModel>> get_or_train(
+      const ModelKey& key, const Trainer& trainer);
+
+  /// The cached model when present (no disk probe, no training).
+  [[nodiscard]] std::shared_ptr<const core::FrequencyModel> peek(const ModelKey& key);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Stats stats() const;
+  /// Keys currently resident, most recently used first (tests).
+  [[nodiscard]] std::vector<std::string> resident_keys() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::FrequencyModel> model;
+    std::list<std::string>::iterator lru_pos;  // into lru_, most recent at front
+  };
+
+  [[nodiscard]] std::string path_for(const ModelKey& key) const;
+  void insert_locked(const std::string& canonical,
+                     std::shared_ptr<const core::FrequencyModel> model);
+
+  const std::size_t capacity_;
+  const std::string disk_dir_;
+  mutable std::mutex mutex_;
+  std::list<std::string> lru_;  // canonical keys, most recent first
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace repro::serve

@@ -1,0 +1,571 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <system_error>
+
+namespace repro::serve {
+
+// --- JSON parsing -------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+/// Classifies a from_chars result_out_of_range token: true when the value is
+/// too small for binary64 (rounds to zero) rather than too large (saturates
+/// to infinity). Decided textually from the decimal order of magnitude of the
+/// first significant digit, since from_chars leaves `value` unmodified.
+bool token_underflows(std::string_view token) {
+  if (!token.empty() && (token.front() == '-' || token.front() == '+')) {
+    token.remove_prefix(1);
+  }
+  long exp10 = 0;
+  const std::size_t epos = token.find_first_of("eE");
+  const std::string_view mantissa = token.substr(0, epos);
+  if (epos != std::string_view::npos) {
+    std::string_view exp_text = token.substr(epos + 1);
+    // Integer from_chars rejects a leading '+' that the double parse accepts.
+    if (!exp_text.empty() && exp_text.front() == '+') exp_text.remove_prefix(1);
+    const auto [end, ec] =
+        std::from_chars(exp_text.data(), exp_text.data() + exp_text.size(), exp10);
+    (void)end;
+    if (ec == std::errc::result_out_of_range) {
+      // Exponent itself exceeds long: its sign alone decides.
+      return !exp_text.empty() && exp_text.front() == '-';
+    }
+  }
+  const std::size_t dot = mantissa.find('.');
+  const std::size_t first = mantissa.find_first_not_of("0.");
+  if (first == std::string_view::npos) return true;  // all zeros: not out of range
+  // Order of magnitude of the leading significant digit relative to the point.
+  long order = 0;
+  if (dot == std::string_view::npos || first < dot) {
+    const std::size_t int_end = dot == std::string_view::npos ? mantissa.size() : dot;
+    order = static_cast<long>(int_end - first) - 1;
+  } else {
+    order = -static_cast<long>(first - dot);
+  }
+  // Clamp before the sum: |order| is bounded by the token length, but exp10
+  // may sit near LONG_MAX/LONG_MIN and the addition must not overflow.
+  if (exp10 > 1000000) return false;
+  if (exp10 < -1000000) return true;
+  return exp10 + order < 0;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  common::Result<JsonValue> parse() {
+    auto value = parse_value(0);
+    if (!value.ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  common::Error fail(const std::string& what) const {
+    return common::parse_error("json: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  common::Result<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        auto s = parse_string();
+        if (!s.ok()) return s.error();
+        return JsonValue(std::move(s).take());
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return JsonValue(true);
+        }
+        return fail("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return JsonValue(false);
+        }
+        return fail("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return JsonValue(nullptr);
+        }
+        return fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  common::Result<JsonValue> parse_object(int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object members;
+    skip_ws();
+    if (consume('}')) return JsonValue(std::move(members));
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected member key");
+      auto key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after key");
+      auto value = parse_value(depth + 1);
+      if (!value.ok()) return value;
+      members.emplace_back(std::move(key).take(), std::move(value).take());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue(std::move(members));
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  common::Result<JsonValue> parse_array(int depth) {
+    ++pos_;  // '['
+    JsonValue::Array items;
+    skip_ws();
+    if (consume(']')) return JsonValue(std::move(items));
+    for (;;) {
+      auto value = parse_value(depth + 1);
+      if (!value.ok()) return value;
+      items.push_back(std::move(value).take());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue(std::move(items));
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  common::Result<std::string> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return fail("control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) return fail("dangling escape");
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          pos_ += 4;
+          // Encode the BMP code point as UTF-8 (surrogate pairs are passed
+          // through as two 3-byte sequences — fine for this protocol, which
+          // only ships ASCII identifiers and OpenCL-C source).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  common::Result<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // sign consumed
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string_view token = text_.substr(start, pos_ - start);
+    // from_chars, not strtod: locale-independent (an embedder's LC_NUMERIC
+    // must not change how the wire parses) and exact for binary64.
+    double value = 0.0;
+    const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::result_out_of_range) {
+      // from_chars reports result_out_of_range for BOTH ends of the binary64
+      // range. Overflow (e.g. the "1e999" infinity sentinel dump_json emits)
+      // saturates to infinity; underflow ("1e-999") rounds to zero.
+      const bool negative = token.front() == '-';
+      if (token_underflows(token)) {
+        value = negative ? -0.0 : 0.0;
+      } else {
+        value = negative ? -HUGE_VAL : HUGE_VAL;
+      }
+    } else if (ec != std::errc() || end != token.data() + token.size()) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// std::to_chars — shortest form that round-trips binary64 exactly, and
+/// locale-independent (snprintf %g would honour LC_NUMERIC's decimal comma
+/// and emit invalid JSON under some embedder locales).
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; the protocol never produces them, but never emit
+    // invalid JSON either.
+    out += v > 0 ? "1e999" : (v < 0 ? "-1e999" : "null");
+    return;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;  // 32 bytes always suffice for the shortest double form
+  out.append(buf, end);
+}
+
+void dump_value(std::string& out, const JsonValue& value) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    append_double(out, value.as_number());
+  } else if (value.is_string()) {
+    out += json_quote(value.as_string());
+  } else if (value.is_array()) {
+    out.push_back('[');
+    const auto& items = value.as_array();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      dump_value(out, items[i]);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    const auto& members = value.as_object();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out += json_quote(members[i].first);
+      out.push_back(':');
+      dump_value(out, members[i].second);
+    }
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+common::Result<JsonValue> parse_json(std::string_view text) {
+  return JsonParser(text).parse();
+}
+
+std::string dump_json(const JsonValue& value) {
+  std::string out;
+  dump_value(out, value);
+  return out;
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+// --- protocol messages --------------------------------------------------------
+
+namespace {
+
+common::Result<std::uint64_t> require_id(const JsonValue& doc) {
+  const JsonValue* id = doc.find("id");
+  if (id == nullptr || !id->is_number()) {
+    return common::parse_error("protocol: missing numeric \"id\"");
+  }
+  const double v = id->as_number();
+  if (!(v >= 0) || v != std::floor(v) || v > 1.8e19) {
+    return common::parse_error("protocol: \"id\" must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+common::Result<clfront::StaticFeatures> WireRequest::to_features() const {
+  if (features.has_value()) {
+    clfront::StaticFeatures f;
+    f.kernel_name = kernel.empty() ? "request" : kernel;
+    f.counts = *features;
+    return f;
+  }
+  if (source.has_value()) {
+    auto extracted = clfront::extract_features_from_source(*source, kernel);
+    if (!extracted.ok()) return extracted.error();
+    return std::move(extracted).take();
+  }
+  return common::invalid_argument("protocol: request has neither features nor source");
+}
+
+common::Result<WireRequest> parse_request(const std::string& line) {
+  auto doc = parse_json(line);
+  if (!doc.ok()) return doc.error();
+  if (!doc.value().is_object()) {
+    return common::parse_error("protocol: request must be a JSON object");
+  }
+  auto id = require_id(doc.value());
+  if (!id.ok()) return id.error();
+
+  WireRequest request;
+  request.id = id.value();
+  if (const JsonValue* kernel = doc.value().find("kernel"); kernel != nullptr) {
+    if (!kernel->is_string()) {
+      return common::parse_error("protocol: \"kernel\" must be a string");
+    }
+    request.kernel = kernel->as_string();
+  }
+  const JsonValue* features = doc.value().find("features");
+  const JsonValue* source = doc.value().find("source");
+  if ((features != nullptr) == (source != nullptr)) {
+    return common::parse_error(
+        "protocol: request needs exactly one of \"features\" or \"source\"");
+  }
+  if (features != nullptr) {
+    if (!features->is_array() ||
+        features->as_array().size() != clfront::kNumFeatures) {
+      return common::parse_error("protocol: \"features\" must be an array of " +
+                                 std::to_string(clfront::kNumFeatures) + " numbers");
+    }
+    std::array<double, clfront::kNumFeatures> counts{};
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const JsonValue& v = features->as_array()[i];
+      if (!v.is_number()) {
+        return common::parse_error("protocol: \"features\" must be numbers");
+      }
+      // Reject non-finite counts (e.g. the 1e999 saturation) here: an inf
+      // feature would turn into NaN speedup/energy downstream, which
+      // format_response frames as null and parse_response then refuses —
+      // a whole-reply failure instead of this per-request error.
+      if (!std::isfinite(v.as_number())) {
+        return common::parse_error("protocol: \"features\" must be finite");
+      }
+      counts[i] = v.as_number();
+    }
+    request.features = counts;
+  } else {
+    if (!source->is_string()) {
+      return common::parse_error("protocol: \"source\" must be a string");
+    }
+    request.source = source->as_string();
+  }
+  return request;
+}
+
+std::string format_request(const WireRequest& request) {
+  std::string out = "{\"id\":" + std::to_string(request.id);
+  if (!request.kernel.empty()) {
+    out += ",\"kernel\":" + json_quote(request.kernel);
+  }
+  if (request.features.has_value()) {
+    out += ",\"features\":[";
+    for (std::size_t i = 0; i < request.features->size(); ++i) {
+      if (i != 0) out.push_back(',');
+      append_double(out, (*request.features)[i]);
+    }
+    out.push_back(']');
+  } else if (request.source.has_value()) {
+    out += ",\"source\":" + json_quote(*request.source);
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string format_response(std::uint64_t id,
+                            const core::Predictor::KernelPrediction& p) {
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"kernel\":" + json_quote(p.kernel) + ",\"pareto\":[";
+  for (std::size_t i = 0; i < p.pareto.size(); ++i) {
+    const auto& point = p.pareto[i];
+    if (i != 0) out.push_back(',');
+    out += "{\"core_mhz\":" + std::to_string(point.config.core_mhz) +
+           ",\"mem_mhz\":" + std::to_string(point.config.mem_mhz) + ",\"speedup\":";
+    append_double(out, point.speedup);
+    out += ",\"energy\":";
+    append_double(out, point.energy);
+    out += ",\"heuristic\":";
+    out += point.heuristic ? "true" : "false";
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+std::string format_error(std::uint64_t id, const common::Error& error) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"error\":{\"code\":" + json_quote(common::to_string(error.code)) +
+         ",\"message\":" + json_quote(error.message) + "}}";
+}
+
+common::Result<WireResponse> parse_response(const std::string& line) {
+  auto doc = parse_json(line);
+  if (!doc.ok()) return doc.error();
+  if (!doc.value().is_object()) {
+    return common::parse_error("protocol: response must be a JSON object");
+  }
+  auto id = require_id(doc.value());
+  if (!id.ok()) return id.error();
+
+  WireResponse response;
+  response.id = id.value();
+  if (const JsonValue* error = doc.value().find("error"); error != nullptr) {
+    const JsonValue* message = error->find("message");
+    const JsonValue* code = error->find("code");
+    common::Error e;
+    e.code = common::ErrorCode::kInternal;
+    if (code != nullptr && code->is_string()) {
+      for (int c = 0; c <= static_cast<int>(common::ErrorCode::kIo); ++c) {
+        if (code->as_string() == common::to_string(static_cast<common::ErrorCode>(c))) {
+          e.code = static_cast<common::ErrorCode>(c);
+          break;
+        }
+      }
+    }
+    e.message = message != nullptr && message->is_string() ? message->as_string()
+                                                           : "unknown remote error";
+    response.error = std::move(e);
+    return response;
+  }
+
+  const JsonValue* pareto = doc.value().find("pareto");
+  if (pareto == nullptr || !pareto->is_array()) {
+    return common::parse_error("protocol: response needs \"pareto\" or \"error\"");
+  }
+  core::Predictor::KernelPrediction prediction;
+  if (const JsonValue* kernel = doc.value().find("kernel");
+      kernel != nullptr && kernel->is_string()) {
+    prediction.kernel = kernel->as_string();
+  }
+  prediction.pareto.reserve(pareto->as_array().size());
+  for (const JsonValue& item : pareto->as_array()) {
+    const JsonValue* core_mhz = item.find("core_mhz");
+    const JsonValue* mem_mhz = item.find("mem_mhz");
+    const JsonValue* speedup = item.find("speedup");
+    const JsonValue* energy = item.find("energy");
+    const JsonValue* heuristic = item.find("heuristic");
+    if (core_mhz == nullptr || !core_mhz->is_number() || mem_mhz == nullptr ||
+        !mem_mhz->is_number() || speedup == nullptr || !speedup->is_number() ||
+        energy == nullptr || !energy->is_number()) {
+      return common::parse_error("protocol: malformed pareto point");
+    }
+    // Range-check before the int casts: a misbehaving server could frame
+    // core_mhz as 1e300 and static_cast<int> of that is undefined behavior.
+    const auto as_int = [](const JsonValue& v) -> common::Result<int> {
+      const double d = v.as_number();
+      if (!(d >= 0.0 && d <= 1e9) || d != std::trunc(d)) {
+        return common::parse_error("protocol: frequency out of range");
+      }
+      return static_cast<int>(d);
+    };
+    auto core = as_int(*core_mhz);
+    auto mem = as_int(*mem_mhz);
+    if (!core.ok()) return core.error();
+    if (!mem.ok()) return mem.error();
+    core::PredictedPoint point;
+    point.config.core_mhz = core.value();
+    point.config.mem_mhz = mem.value();
+    point.speedup = speedup->as_number();
+    point.energy = energy->as_number();
+    point.heuristic = heuristic != nullptr && heuristic->is_bool() && heuristic->as_bool();
+    prediction.pareto.push_back(point);
+  }
+  response.prediction = std::move(prediction);
+  return response;
+}
+
+std::uint64_t best_effort_id(const std::string& line) {
+  auto doc = parse_json(line);
+  if (!doc.ok() || !doc.value().is_object()) return 0;
+  auto id = require_id(doc.value());
+  return id.ok() ? id.value() : 0;
+}
+
+}  // namespace repro::serve

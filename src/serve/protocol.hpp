@@ -1,0 +1,120 @@
+// The line-delimited JSON wire protocol of repro_serve.
+//
+// One request per line, one response line per request, over a Unix or TCP
+// socket. A request names the kernel either by its 10 raw static feature
+// counts or by OpenCL-C source (extracted server-side):
+//
+//   {"id": 7, "kernel": "saxpy", "features": [12, 0, 0, 0, 8, 8, 0, 0, 3, 0]}
+//   {"id": 8, "source": "kernel void f(global float* x) { ... }"}
+//
+// Responses echo the id and carry the predicted Pareto set, or an error:
+//
+//   {"id": 7, "kernel": "saxpy", "pareto": [{"core_mhz": 1002, "mem_mhz": 3505,
+//       "speedup": 0.93, "energy": 0.71, "heuristic": false}, ...]}
+//   {"id": 8, "error": {"code": "parse_error", "message": "..."}}
+//
+// Determinism over the wire: every double is printed with std::to_chars
+// (shortest round-trip form, locale-independent) and parsed with
+// std::from_chars, which recovers IEEE-754 binary64 exactly — a client
+// parsing the response sees bit-identical values to an in-process
+// Predictor call (asserted in tests/serve_test.cpp) regardless of the
+// embedding program's LC_NUMERIC.
+//
+// The JSON layer is a deliberately small, dependency-free subset parser —
+// UTF-8 pass-through, \uXXXX escapes decoded for the BMP — sufficient for
+// and validated against this protocol.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "clfront/features.hpp"
+#include "common/status.hpp"
+#include "core/predictor.hpp"
+
+namespace repro::serve {
+
+// --- minimal JSON value -------------------------------------------------------
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;  // insertion order preserved
+
+  JsonValue() : data_(nullptr) {}
+  JsonValue(std::nullptr_t) : data_(nullptr) {}          // NOLINT
+  JsonValue(bool b) : data_(b) {}                        // NOLINT
+  JsonValue(double d) : data_(d) {}                      // NOLINT
+  JsonValue(std::string s) : data_(std::move(s)) {}      // NOLINT
+  JsonValue(Array a) : data_(std::move(a)) {}            // NOLINT
+  JsonValue(Object o) : data_(std::move(o)) {}           // NOLINT
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(data_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(data_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(data_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(data_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(data_); }
+
+  /// First member with this key, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parse one JSON document (the whole input must be consumed, modulo
+/// whitespace). Depth-limited; parse errors carry a byte offset.
+[[nodiscard]] common::Result<JsonValue> parse_json(std::string_view text);
+
+/// Serialize (doubles in shortest round-trip form — exact binary64).
+[[nodiscard]] std::string dump_json(const JsonValue& value);
+
+/// Escape-quote one string as a JSON string literal.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+// --- protocol messages --------------------------------------------------------
+
+struct WireRequest {
+  std::uint64_t id = 0;
+  std::string kernel;  // optional display name; defaults applied server-side
+  /// Exactly one of the two is set after a successful parse.
+  std::optional<std::array<double, clfront::kNumFeatures>> features;  // raw counts
+  std::optional<std::string> source;                                  // OpenCL-C
+
+  /// The features to predict on — extracts from `source` when needed.
+  [[nodiscard]] common::Result<clfront::StaticFeatures> to_features() const;
+};
+
+struct WireResponse {
+  std::uint64_t id = 0;
+  /// Exactly one of the two is set.
+  std::optional<core::Predictor::KernelPrediction> prediction;
+  std::optional<common::Error> error;
+};
+
+[[nodiscard]] common::Result<WireRequest> parse_request(const std::string& line);
+[[nodiscard]] std::string format_response(std::uint64_t id,
+                                          const core::Predictor::KernelPrediction& p);
+[[nodiscard]] std::string format_error(std::uint64_t id, const common::Error& error);
+[[nodiscard]] common::Result<WireResponse> parse_response(const std::string& line);
+[[nodiscard]] std::string format_request(const WireRequest& request);  // client side
+
+/// The numeric "id" of a line whose full parse failed, when one can still
+/// be recovered — error replies echo it so clients can correlate; 0 when
+/// even the id is unrecoverable.
+[[nodiscard]] std::uint64_t best_effort_id(const std::string& line);
+
+}  // namespace repro::serve

@@ -1,0 +1,325 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/log.hpp"
+#include "serve/protocol.hpp"
+
+namespace repro::serve {
+
+namespace {
+
+common::Error errno_error(const std::string& what) {
+  return common::io_error(what + ": " + std::strerror(errno));
+}
+
+/// send() the whole buffer, riding out EINTR and partial writes.
+/// MSG_NOSIGNAL: a peer that disconnected before its reply must surface as
+/// EPIPE here, not as a process-killing SIGPIPE in the embedding program.
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+struct SocketServer::Impl {
+  Service* service = nullptr;
+  ServerOptions options;
+  int listen_fd = -1;
+  int bound_tcp_port = -1;
+  std::string bound_unix_path;
+
+  /// One per accepted connection. The fd is closed only after the thread is
+  /// joined (by the acceptor's reap sweep or by stop()), so a shutdown() on
+  /// it can never hit a recycled descriptor.
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  std::thread acceptor;
+  std::mutex conn_mutex;
+  std::list<std::unique_ptr<Conn>> conns;
+  std::atomic<bool> stopping{false};
+  std::once_flag stop_once;
+
+  mutable std::mutex stats_mutex;
+  Stats stats;
+
+  void accept_loop();
+  void serve_connection(int fd);
+  void reap_finished_locked();
+};
+
+SocketServer::SocketServer() : impl_(std::make_unique<Impl>()) {}
+
+common::Result<std::unique_ptr<SocketServer>> SocketServer::start(
+    Service& service, const ServerOptions& options) {
+  std::unique_ptr<SocketServer> server(new SocketServer());
+  server->impl_->service = &service;
+  server->impl_->options = options;
+
+  int fd = -1;
+  if (!options.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.unix_path.size() >= sizeof(addr.sun_path)) {
+      return common::invalid_argument("SocketServer: unix path too long: " +
+                                      options.unix_path);
+    }
+    std::strncpy(addr.sun_path, options.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return errno_error("SocketServer: socket(AF_UNIX)");
+    ::unlink(options.unix_path.c_str());  // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      auto err = errno_error("SocketServer: bind(" + options.unix_path + ")");
+      ::close(fd);
+      return err;
+    }
+    server->impl_->bound_unix_path = options.unix_path;
+  } else if (options.tcp_port >= 0) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return errno_error("SocketServer: socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options.tcp_port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      auto err = errno_error("SocketServer: bind(127.0.0.1:" +
+                             std::to_string(options.tcp_port) + ")");
+      ::close(fd);
+      return err;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      auto err = errno_error("SocketServer: getsockname");
+      ::close(fd);
+      return err;
+    }
+    server->impl_->bound_tcp_port = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    return common::invalid_argument(
+        "SocketServer: configure either unix_path or tcp_port");
+  }
+
+  if (::listen(fd, 64) != 0) {
+    auto err = errno_error("SocketServer: listen");
+    ::close(fd);
+    return err;
+  }
+  server->impl_->listen_fd = fd;
+  server->impl_->acceptor = std::thread([impl = server->impl_.get()] {
+    impl->accept_loop();
+  });
+  return server;
+}
+
+void SocketServer::Impl::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      const int err = errno;  // logging below must not clobber it
+      if (err == EINTR) continue;
+      // stop() closed the listener (EBADF/EINVAL) — or a transient accept
+      // failure while stopping; either way only exit when told to.
+      if (stopping.load(std::memory_order_acquire)) return;
+      if (err == ECONNABORTED || err == EMFILE || err == ENFILE) {
+        common::log_warn() << "SocketServer: accept: " << std::strerror(err);
+        if (err != ECONNABORTED) {
+          // fd exhaustion: nothing in this loop frees descriptors (reaping
+          // happens in connection epilogues), so back off instead of
+          // busy-spinning and flooding the log until a client disconnects.
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        continue;
+      }
+      // Unexpected and unhandled — the server stops accepting; say so
+      // loudly instead of dying silently while the process looks healthy.
+      common::log_error() << "SocketServer: accept failed permanently: "
+                          << std::strerror(err) << "; no longer accepting";
+      return;
+    }
+    std::lock_guard lock(conn_mutex);
+    if (stopping.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    // Reap exited connections first so a long-lived server does not
+    // accumulate one dead (joinable) thread per past connection.
+    reap_finished_locked();
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    conns.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] {
+      serve_connection(raw->fd);
+      // Signal EOF to the peer now: the fd itself is closed only by the
+      // reap sweep (so stop() can never shutdown() a recycled descriptor),
+      // but the sweep runs at the next accept — without this, a pipelining
+      // client that half-closes and reads to EOF would hang until then.
+      ::shutdown(raw->fd, SHUT_RDWR);
+      // Reap siblings before raising our own done flag: entries with done
+      // set are past this epilogue and hold no locks, so joining them under
+      // conn_mutex cannot deadlock — and an idle server retains at most
+      // this one exited connection rather than every one since the last
+      // accept.
+      {
+        std::lock_guard lock(conn_mutex);
+        reap_finished_locked();
+      }
+      raw->done.store(true, std::memory_order_release);
+    });
+    std::lock_guard slock(stats_mutex);
+    ++stats.connections;
+  }
+}
+
+void SocketServer::Impl::reap_finished_locked() {
+  for (auto it = conns.begin(); it != conns.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      ::close((*it)->fd);
+      it = conns.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketServer::Impl::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool overlong = false;
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error (including shutdown() from stop)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (;;) {
+      const auto nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      // Parse → extract features → predict (blocking; batching happens in
+      // the Service across all connections) → answer on this connection.
+      std::string reply;
+      auto request = parse_request(line);
+      if (!request.ok()) {
+        std::lock_guard slock(stats_mutex);
+        ++stats.protocol_errors;
+        // Echo the id whenever one is recoverable from the malformed line,
+        // so clients correlating by id see the real error.
+        reply = format_error(best_effort_id(line), request.error());
+      } else {
+        std::lock_guard slock(stats_mutex);
+        ++stats.requests;
+      }
+      if (request.ok()) {
+        auto features = request.value().to_features();
+        if (!features.ok()) {
+          reply = format_error(request.value().id, features.error());
+        } else {
+          auto response = service->predict(std::move(features).take());
+          reply = response.ok()
+                      ? format_response(request.value().id, response.value())
+                      : format_error(request.value().id, response.error());
+        }
+      }
+      reply.push_back('\n');
+      if (!write_all(fd, reply)) return;
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options.max_line_bytes) {
+      std::string reply = format_error(
+          0, common::invalid_argument("protocol: request line exceeds " +
+                                      std::to_string(options.max_line_bytes) +
+                                      " bytes"));
+      reply.push_back('\n');
+      write_all(fd, reply);
+      overlong = true;
+      break;
+    }
+  }
+  if (overlong) {
+    std::lock_guard slock(stats_mutex);
+    ++stats.protocol_errors;
+  }
+}
+
+SocketServer::~SocketServer() {
+  if (impl_ != nullptr) stop();
+}
+
+void SocketServer::stop() {
+  std::call_once(impl_->stop_once, [this] {
+    impl_->stopping.store(true, std::memory_order_release);
+    if (impl_->listen_fd >= 0) {
+      // shutdown() unblocks a blocked accept(); the close comes after the
+      // acceptor is joined so the descriptor number cannot be recycled
+      // while the accept loop might still touch it.
+      ::shutdown(impl_->listen_fd, SHUT_RDWR);
+    }
+    if (impl_->acceptor.joinable()) impl_->acceptor.join();
+    if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+
+    // The acceptor is gone, so this thread now owns the connection list.
+    // Every fd in it is still open (fds are closed only at join time):
+    // shutdown() unblocks each connection's read(), then join and close.
+    std::list<std::unique_ptr<Impl::Conn>> conns;
+    {
+      std::lock_guard lock(impl_->conn_mutex);
+      conns.swap(impl_->conns);
+    }
+    for (auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
+    for (auto& conn : conns) {
+      if (conn->thread.joinable()) conn->thread.join();
+      ::close(conn->fd);
+    }
+    if (!impl_->bound_unix_path.empty()) {
+      ::unlink(impl_->bound_unix_path.c_str());
+    }
+  });
+}
+
+int SocketServer::tcp_port() const noexcept { return impl_->bound_tcp_port; }
+
+const std::string& SocketServer::unix_path() const noexcept {
+  return impl_->bound_unix_path;
+}
+
+SocketServer::Stats SocketServer::stats() const {
+  std::lock_guard lock(impl_->stats_mutex);
+  return impl_->stats;
+}
+
+}  // namespace repro::serve

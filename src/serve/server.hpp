@@ -1,0 +1,64 @@
+// The socket front of serve::Service: line-delimited JSON requests over a
+// Unix-domain or TCP socket (see protocol.hpp for the wire format).
+//
+// One acceptor thread plus one thread per connection; each connection's
+// requests are submitted to the shared Service, so micro-batching coalesces
+// across connections. Responses to a connection are written in its request
+// order. stop() is graceful: the listener closes, open connections are shut
+// down, in-flight requests are still answered.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "serve/service.hpp"
+
+namespace repro::serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path; takes precedence over TCP when non-empty.
+  std::string unix_path;
+  /// TCP port on 127.0.0.1 (0 = ask the kernel for an ephemeral port; the
+  /// bound port is reported by tcp_port()).
+  int tcp_port = -1;  // -1 = TCP disabled
+  /// Requests longer than this are answered with an error and the
+  /// connection is closed (protects the server from unbounded buffering).
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+class SocketServer {
+ public:
+  /// Bind, listen, and start accepting. `service` must outlive the server.
+  [[nodiscard]] static common::Result<std::unique_ptr<SocketServer>> start(
+      Service& service, const ServerOptions& options);
+
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Stop accepting, shut down open connections, join all threads. The
+  /// Service itself is left running (the owner decides when to stop it).
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  /// The TCP port actually bound (ephemeral-port discovery); -1 for Unix.
+  [[nodiscard]] int tcp_port() const noexcept;
+  /// The Unix socket path, empty for TCP.
+  [[nodiscard]] const std::string& unix_path() const noexcept;
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t protocol_errors = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  SocketServer();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace repro::serve

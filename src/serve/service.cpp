@@ -1,0 +1,245 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/queue.hpp"
+#include "core/measurement.hpp"
+
+namespace repro::serve {
+
+namespace {
+
+common::Error unavailable_error() {
+  return common::unsupported("serve::Service: stopped");
+}
+
+}  // namespace
+
+struct Service::Impl {
+  explicit Impl(const ServiceOptions& options)
+      : admission(options.queue_capacity) {}
+
+  common::BoundedQueue<Request> admission;
+  // One queue per shard; a small bound so a slow shard backpressures the
+  // scheduler instead of buffering unboundedly.
+  std::vector<std::unique_ptr<common::BoundedQueue<Batch>>> shard_queues;
+  std::vector<core::Predictor> shard_predictors;
+  std::vector<std::thread> shard_threads;
+  std::thread scheduler;
+  std::atomic<std::uint64_t> next_seq{0};
+  std::atomic<bool> stopped{false};
+  std::once_flag stop_once;
+  mutable std::mutex stats_mutex;
+  Stats stats;
+};
+
+Service::Service(std::shared_ptr<const core::FrequencyModel> model,
+                 ServiceOptions options)
+    : model_(std::move(model)), options_(options) {
+  options_.shards = std::max<std::size_t>(1, options_.shards);
+  options_.max_batch = std::max<std::size_t>(1, options_.max_batch);
+  impl_ = std::make_unique<Impl>(options_);
+}
+
+common::Result<std::unique_ptr<Service>> Service::create(const ServiceConfig& config,
+                                                         ModelCache& cache) {
+  // A custom suite joins the cache key as a fingerprint — a model trained
+  // on a reduced suite must never be served for the default one (or vice
+  // versa); the generated default suite is deterministic, so its name alone
+  // identifies it.
+  const ModelKey key = ModelKey::from_options(
+      config.device.freq.device_name(), config.training,
+      config.suite.has_value() ? ModelKey::fingerprint(*config.suite)
+                               : std::string(ModelKey::kDefaultSuite));
+  auto model = cache.get_or_train(key, [&]() -> common::Result<core::FrequencyModel> {
+    const core::SimulatorBackend backend(config.device);
+    if (config.suite.has_value()) {
+      if (config.suite->empty()) {
+        return common::invalid_argument("serve::Service: empty training suite");
+      }
+      return core::FrequencyModel::train(backend, *config.suite, config.training);
+    }
+    auto suite = benchgen::generate_training_suite();
+    if (!suite.ok()) return suite.error();
+    return core::FrequencyModel::train(backend, suite.value(), config.training);
+  });
+  if (!model.ok()) return model.error();
+  return from_model(std::move(model).take(), config.options);
+}
+
+common::Result<std::unique_ptr<Service>> Service::from_model(
+    std::shared_ptr<const core::FrequencyModel> model, const ServiceOptions& options) {
+  if (model == nullptr) {
+    return common::invalid_argument("serve::Service: null model");
+  }
+  std::unique_ptr<Service> service(new Service(std::move(model), options));
+
+  // Each shard owns its Predictor; all share the one immutable model.
+  std::vector<core::Predictor> shard_predictors;
+  shard_predictors.reserve(service->options_.shards);
+  for (std::size_t s = 0; s < service->options_.shards; ++s) {
+    auto predictor = core::Predictor::from_model(service->model_);
+    if (!predictor.ok()) return predictor.error();
+    shard_predictors.push_back(std::move(predictor).take());
+  }
+  service->start(std::move(shard_predictors));
+  return service;
+}
+
+void Service::start(std::vector<core::Predictor> shard_predictors) {
+  impl_->shard_predictors = std::move(shard_predictors);
+  impl_->shard_queues.reserve(options_.shards);
+  impl_->shard_threads.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    impl_->shard_queues.push_back(std::make_unique<common::BoundedQueue<Batch>>(4));
+  }
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    impl_->shard_threads.emplace_back([this, s] { shard_loop(s); });
+  }
+  impl_->scheduler = std::thread([this] { scheduler_loop(); });
+}
+
+Service::~Service() {
+  if (impl_ != nullptr) stop();
+}
+
+void Service::stop() {
+  std::call_once(impl_->stop_once, [this] {
+    impl_->stopped.store(true, std::memory_order_release);
+    impl_->admission.close();
+    if (impl_->scheduler.joinable()) impl_->scheduler.join();
+    // The scheduler has drained the admission queue into the shard queues
+    // by now; closing them lets the workers finish their backlog and exit.
+    for (auto& q : impl_->shard_queues) q->close();
+    for (auto& t : impl_->shard_threads) {
+      if (t.joinable()) t.join();
+    }
+  });
+}
+
+std::future<Service::Response> Service::submit(clfront::StaticFeatures features) {
+  Request request;
+  request.features = std::move(features);
+  auto future = request.promise.get_future();
+  // The sequence number is taken immediately before the push; the queue's
+  // FIFO order under its mutex can interleave differently, which is why the
+  // scheduler re-sorts each batch by seq before dispatch.
+  request.seq = impl_->next_seq.fetch_add(1, std::memory_order_relaxed);
+  if (impl_->stopped.load(std::memory_order_acquire) ||
+      !impl_->admission.push(std::move(request))) {
+    // A refused push leaves `request` intact — resolve its promise with the
+    // shutdown error so the future above still answers.
+    request.promise.set_value(unavailable_error());
+    std::lock_guard lock(impl_->stats_mutex);
+    ++impl_->stats.rejected;
+    return future;
+  }
+  std::lock_guard lock(impl_->stats_mutex);
+  ++impl_->stats.requests;
+  return future;
+}
+
+Service::Response Service::predict(clfront::StaticFeatures features) {
+  return submit(std::move(features)).get();
+}
+
+std::vector<Service::Response> Service::predict_many(
+    std::vector<clfront::StaticFeatures> kernels) {
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kernels.size());
+  for (auto& k : kernels) futures.push_back(submit(std::move(k)));
+  std::vector<Response> out;
+  out.reserve(futures.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+void Service::scheduler_loop() {
+  std::size_t next_shard = 0;
+  for (;;) {
+    auto first = impl_->admission.pop();
+    if (!first.has_value()) break;  // closed and drained → shut down
+
+    Batch batch;
+    batch.reserve(options_.max_batch);
+    batch.push_back(std::move(*first));
+    if (options_.batch_window.count() > 0) {
+      const auto deadline = std::chrono::steady_clock::now() + options_.batch_window;
+      while (batch.size() < options_.max_batch) {
+        auto follower = impl_->admission.pop_until(deadline);
+        if (!follower.has_value()) break;  // window expired or queue closed
+        batch.push_back(std::move(*follower));
+      }
+    } else {
+      while (batch.size() < options_.max_batch) {
+        auto follower = impl_->admission.try_pop();
+        if (!follower.has_value()) break;
+        batch.push_back(std::move(*follower));
+      }
+    }
+
+    // Deterministic batch assembly: the batch is ordered by arrival
+    // sequence number, not by queue-mutex interleaving.
+    std::sort(batch.begin(), batch.end(),
+              [](const Request& a, const Request& b) { return a.seq < b.seq; });
+
+    {
+      std::lock_guard lock(impl_->stats_mutex);
+      ++impl_->stats.batches;
+      impl_->stats.max_batch_seen =
+          std::max<std::uint64_t>(impl_->stats.max_batch_seen, batch.size());
+    }
+
+    // Round-robin dispatch. push() only fails when the shard queue is
+    // closed, which stop() does strictly after this loop exits — but if
+    // that invariant ever breaks, fail the promises rather than drop them
+    // (a refused push leaves the batch intact).
+    const std::size_t shard = next_shard;
+    next_shard = (next_shard + 1) % options_.shards;
+    if (!impl_->shard_queues[shard]->push(std::move(batch))) {
+      for (auto& request : batch) request.promise.set_value(unavailable_error());
+      break;
+    }
+  }
+  // Normal exit drains the admission queue through the loop above; after an
+  // abnormal break, answer whatever is still queued instead of abandoning it.
+  while (auto leftover = impl_->admission.try_pop()) {
+    leftover->promise.set_value(unavailable_error());
+  }
+}
+
+void Service::shard_loop(std::size_t shard_index) {
+  core::Predictor& predictor = impl_->shard_predictors[shard_index];
+  auto& queue = *impl_->shard_queues[shard_index];
+  for (;;) {
+    auto batch = queue.pop();
+    if (!batch.has_value()) return;  // closed and drained
+
+    std::vector<clfront::StaticFeatures> features;
+    features.reserve(batch->size());
+    // Only the promises are needed after this — move, don't copy.
+    for (auto& request : *batch) features.push_back(std::move(request.features));
+
+    auto predictions = predictor.predict_batch(features);
+    if (predictions.ok()) {
+      auto& results = predictions.value();
+      for (std::size_t i = 0; i < batch->size(); ++i) {
+        (*batch)[i].promise.set_value(std::move(results[i]));
+      }
+    } else {
+      for (auto& request : *batch) request.promise.set_value(predictions.error());
+    }
+  }
+}
+
+Service::Stats Service::stats() const {
+  std::lock_guard lock(impl_->stats_mutex);
+  return impl_->stats;
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,124 @@
+// The in-process prediction service: a bounded admission queue, a
+// micro-batching scheduler, and a sharded worker pool over core::Predictor.
+//
+//   admission queue          scheduler                shards
+//   (BoundedQueue) ──pop──▶ coalesce ≤ max_batch  ──▶ shard 0: Predictor ─▶ promise
+//    submit() seq#           within batch_window  ──▶ shard 1: Predictor ─▶ promise
+//                            sort by seq#, RR     ──▶ …        (LRU ModelCache)
+//
+// Determinism: a request's prediction depends only on its features and the
+// trained model — never on which batch, shard, or thread served it — so
+// every response is bit-identical to a direct Predictor::predict_batch call
+// at any shard count, batch window, and REPRO_THREADS setting
+// (tests/serve_test.cpp asserts this with memcmp). Batch assembly itself is
+// made reproducible-by-construction: requests carry arrival sequence
+// numbers and each batch is sorted by them before dispatch, so a batch's
+// composition is a deterministic function of which requests it coalesced.
+//
+// Shutdown: stop() (or the destructor) closes the admission queue, the
+// scheduler drains what was already admitted, every queued request is still
+// answered, and late submit() calls fail fast with an unavailable error.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "clfront/features.hpp"
+#include "common/status.hpp"
+#include "core/predictor.hpp"
+#include "gpusim/device.hpp"
+#include "serve/model_cache.hpp"
+
+namespace repro::serve {
+
+struct ServiceOptions {
+  /// Worker shards; each owns a Predictor over the shared trained model.
+  std::size_t shards = 1;
+  /// Coalesce at most this many requests into one predict_batch call.
+  std::size_t max_batch = 16;
+  /// How long the scheduler waits for followers after a batch's first
+  /// request arrives. Zero = dispatch whatever is immediately available.
+  std::chrono::microseconds batch_window{200};
+  /// Admission-queue bound; submit() blocks when full (backpressure).
+  std::size_t queue_capacity = 1024;
+};
+
+/// What a Service trains (or fetches from a ModelCache) at startup.
+struct ServiceConfig {
+  gpusim::DeviceModel device = gpusim::DeviceModel::titan_x();
+  core::TrainingOptions training{};
+  /// Training suite; defaults to the generated 106 micro-benchmarks.
+  std::optional<std::vector<benchgen::MicroBenchmark>> suite;
+  ServiceOptions options{};
+};
+
+class Service {
+ public:
+  using Response = common::Result<core::Predictor::KernelPrediction>;
+
+  /// Train (or fetch from `cache`) the model for `config`, then start the
+  /// scheduler and shard workers. The cache is only used during create —
+  /// the returned Service keeps the model alive on its own.
+  [[nodiscard]] static common::Result<std::unique_ptr<Service>> create(
+      const ServiceConfig& config, ModelCache& cache);
+
+  /// Serve an already-trained model (tests, or a model trained elsewhere).
+  [[nodiscard]] static common::Result<std::unique_ptr<Service>> from_model(
+      std::shared_ptr<const core::FrequencyModel> model, const ServiceOptions& options);
+
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Enqueue one request; the future resolves when its batch is served.
+  /// Blocks while the admission queue is full; resolves immediately with an
+  /// error after stop().
+  [[nodiscard]] std::future<Response> submit(clfront::StaticFeatures features);
+
+  /// Blocking convenience around submit().
+  [[nodiscard]] Response predict(clfront::StaticFeatures features);
+
+  /// Submit all, then gather in input order.
+  [[nodiscard]] std::vector<Response> predict_many(
+      std::vector<clfront::StaticFeatures> kernels);
+
+  /// Graceful shutdown: admitted requests are served, new ones refused.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  struct Stats {
+    std::uint64_t requests = 0;   // admitted
+    std::uint64_t rejected = 0;   // submit() after stop
+    std::uint64_t batches = 0;    // predict_batch calls issued
+    std::uint64_t max_batch_seen = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const ServiceOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const core::FrequencyModel& model() const noexcept { return *model_; }
+
+ private:
+  Service(std::shared_ptr<const core::FrequencyModel> model, ServiceOptions options);
+  void start(std::vector<core::Predictor> shard_predictors);
+  void scheduler_loop();
+  void shard_loop(std::size_t shard_index);
+
+  struct Request {
+    std::uint64_t seq = 0;
+    clfront::StaticFeatures features;
+    std::promise<Response> promise;
+  };
+  using Batch = std::vector<Request>;
+
+  std::shared_ptr<const core::FrequencyModel> model_;
+  ServiceOptions options_;
+  struct Impl;  // queues, threads, counters (keeps <thread> out of the header)
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace repro::serve

@@ -1,0 +1,727 @@
+// The serving subsystem: BoundedQueue semantics, the JSON wire protocol
+// (including exact double round-trips), the LRU model cache (eviction,
+// disk reuse, corrupt-file fallback), deserializer robustness against
+// truncated/corrupt model files, Predictor::Builder validation, and the
+// headline contract — serve::Service responses are bit-identical to direct
+// Predictor::predict_batch output at any shard count, batch window, and
+// thread count, under concurrent clients, in-process and over a socket.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchgen/benchgen.hpp"
+#include "common/queue.hpp"
+#include "common/thread_pool.hpp"
+#include "core/measurement.hpp"
+#include "core/model.hpp"
+#include "core/predictor.hpp"
+#include "gpusim/simulator.hpp"
+#include "ml/svr.hpp"
+#include "serve/client.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace rc = repro::common;
+namespace rco = repro::core;
+namespace rb = repro::benchgen;
+namespace rg = repro::gpusim;
+namespace rs = repro::serve;
+namespace rcl = repro::clfront;
+
+namespace {
+
+/// Restores the default global pool when the test scope ends.
+struct PoolGuard {
+  ~PoolGuard() { rc::ThreadPool::set_global_threads(0); }
+};
+
+/// A throwaway directory under the build tree, removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& stem) {
+    path = std::filesystem::temp_directory_path() /
+           (stem + "-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// Small training setup shared by the serving tests (training once keeps
+/// the binary fast; every 8th micro-benchmark, 8 sampled configurations).
+std::vector<rb::MicroBenchmark> small_suite() {
+  static const auto subset = [] {
+    const auto full = rb::generate_training_suite().value();
+    std::vector<rb::MicroBenchmark> out;
+    for (std::size_t i = 0; i < full.size(); i += 8) out.push_back(full[i]);
+    return out;
+  }();
+  return subset;
+}
+
+rco::TrainingOptions small_options() {
+  rco::TrainingOptions options;
+  options.num_configs = 8;
+  return options;
+}
+
+std::shared_ptr<const rco::FrequencyModel> trained_model() {
+  static const auto model = [] {
+    const rco::SimulatorBackend backend(rg::DeviceModel::titan_x());
+    auto m = rco::FrequencyModel::train(backend, small_suite(), small_options());
+    EXPECT_TRUE(m.ok()) << (m.ok() ? "" : m.error().message);
+    return std::make_shared<const rco::FrequencyModel>(std::move(m).take());
+  }();
+  return model;
+}
+
+bool bitwise_equal(const std::vector<rco::PredictedPoint>& a,
+                   const std::vector<rco::PredictedPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].config != b[i].config || a[i].heuristic != b[i].heuristic ||
+        std::memcmp(&a[i].speedup, &b[i].speedup, sizeof(double)) != 0 ||
+        std::memcmp(&a[i].energy, &b[i].energy, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Every kernel in the test request mix (the training features are as good
+/// a stand-in for client kernels as any).
+std::vector<rcl::StaticFeatures> request_mix(std::size_t n) {
+  const auto suite = small_suite();
+  std::vector<rcl::StaticFeatures> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(suite[i % suite.size()].features);
+  return out;
+}
+
+}  // namespace
+
+// --- BoundedQueue -------------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoAndCapacity) {
+  rc::BoundedQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPopMakesRoom) {
+  rc::BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // full queue blocks the producer
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsEnd) {
+  rc::BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));             // producers refused after close
+  EXPECT_EQ(q.pop().value(), 1);       // consumers still drain
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());   // then end-of-stream
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  rc::BoundedQueue<int> q(1);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, PopUntilTimesOut) {
+  rc::BoundedQueue<int> q(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto item =
+      q.pop_until(t0 + std::chrono::milliseconds(30));
+  EXPECT_FALSE(item.has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(25));
+}
+
+// --- JSON + protocol ----------------------------------------------------------
+
+TEST(ProtocolTest, JsonParsesScalarsArraysObjects) {
+  const auto doc = rs::parse_json(
+      R"({"a": 1.5, "b": [true, null, "x\n\"y\""], "c": {"d": -2e3}})");
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_DOUBLE_EQ(doc.value().find("a")->as_number(), 1.5);
+  const auto& b = doc.value().find("b")->as_array();
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b[0].as_bool());
+  EXPECT_TRUE(b[1].is_null());
+  EXPECT_EQ(b[2].as_string(), "x\n\"y\"");
+  EXPECT_DOUBLE_EQ(doc.value().find("c")->find("d")->as_number(), -2000.0);
+}
+
+TEST(ProtocolTest, JsonOutOfRangeNumbersSaturateOrRoundToZero) {
+  // Both ends of binary64 report from_chars result_out_of_range; overflow
+  // must saturate to infinity (the "1e999" sentinel) and underflow round to
+  // signed zero — never the other way around.
+  struct Case {
+    const char* text;
+    double expected;
+  };
+  for (const Case& c : {Case{"1e999", HUGE_VAL}, Case{"-1e999", -HUGE_VAL},
+                        Case{"1e-999", 0.0}, Case{"-1e-999", -0.0},
+                        Case{"0.0001e-999", 0.0}, Case{"12345e999", HUGE_VAL},
+                        Case{"1e-9999999999999999999999", 0.0},
+                        Case{"1e9999999999999999999999", HUGE_VAL},
+                        // '+'-signed exponents: integer from_chars rejects the
+                        // '+', so classification must strip it first.
+                        Case{"1e+999", HUGE_VAL}, Case{"0.001e+400", HUGE_VAL},
+                        Case{"100e-999", 0.0}}) {
+    const auto doc = rs::parse_json(c.text);
+    ASSERT_TRUE(doc.ok()) << c.text << ": " << doc.error().message;
+    const double got = doc.value().as_number();
+    EXPECT_EQ(got, c.expected) << c.text;
+    EXPECT_EQ(std::signbit(got), std::signbit(c.expected)) << c.text;
+  }
+}
+
+TEST(ProtocolTest, JsonRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated",
+                          "{\"a\":}", "nan", "--1"}) {
+    EXPECT_FALSE(rs::parse_json(bad).ok()) << bad;
+  }
+}
+
+TEST(ProtocolTest, RequestRoundTripAndValidation) {
+  rs::WireRequest request;
+  request.id = 42;
+  request.kernel = "saxpy";
+  request.features = std::array<double, rcl::kNumFeatures>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto parsed = rs::parse_request(rs::format_request(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().id, 42u);
+  EXPECT_EQ(parsed.value().kernel, "saxpy");
+  ASSERT_TRUE(parsed.value().features.has_value());
+  EXPECT_EQ((*parsed.value().features)[9], 10.0);
+
+  // Requests must have an id and exactly one payload member.
+  EXPECT_FALSE(rs::parse_request(R"({"kernel": "k"})").ok());
+  EXPECT_FALSE(rs::parse_request(R"({"id": 1})").ok());
+  EXPECT_FALSE(rs::parse_request(
+                   R"({"id": 1, "features": [1], "source": "kernel void f() {}"})")
+                   .ok());
+  EXPECT_FALSE(rs::parse_request(R"({"id": 1, "features": [1, 2, 3]})").ok());
+  EXPECT_FALSE(rs::parse_request(R"({"id": -4, "features": [1,2,3,4,5,6,7,8,9,10]})").ok());
+  // Non-finite counts are refused per-request: an inf feature would become a
+  // NaN prediction, which the response framing cannot round-trip.
+  EXPECT_FALSE(rs::parse_request(R"({"id": 1, "features": [1e999,2,3,4,5,6,7,8,9,10]})").ok());
+  EXPECT_FALSE(rs::parse_request(R"({"id": 1, "features": [-1e999,2,3,4,5,6,7,8,9,10]})").ok());
+}
+
+TEST(ProtocolTest, ResponseDoublesRoundTripBitExactly) {
+  rco::Predictor::KernelPrediction prediction;
+  prediction.kernel = "tricky \"name\"\n";
+  prediction.pareto.push_back(
+      {{1002, 3505}, 1.0 / 3.0, 0.1234567890123456789, false});
+  prediction.pareto.push_back({{135, 405}, 5e-324, 1.0 + 1e-15, true});
+
+  const auto parsed = rs::parse_response(rs::format_response(9, prediction));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().id, 9u);
+  ASSERT_TRUE(parsed.value().prediction.has_value());
+  EXPECT_EQ(parsed.value().prediction->kernel, prediction.kernel);
+  EXPECT_TRUE(bitwise_equal(parsed.value().prediction->pareto, prediction.pareto));
+}
+
+TEST(ProtocolTest, ResponseRejectsOutOfRangeFrequencies) {
+  // A misbehaving server must not drive static_cast<int> into UB client-side.
+  for (const char* bad :
+       {R"({"id":1,"pareto":[{"core_mhz":1e300,"mem_mhz":0,"speedup":1,"energy":1}]})",
+        R"({"id":1,"pareto":[{"core_mhz":1e999,"mem_mhz":0,"speedup":1,"energy":1}]})",
+        R"({"id":1,"pareto":[{"core_mhz":100,"mem_mhz":-5,"speedup":1,"energy":1}]})",
+        R"({"id":1,"pareto":[{"core_mhz":100.5,"mem_mhz":0,"speedup":1,"energy":1}]})"}) {
+    EXPECT_FALSE(rs::parse_response(bad).ok()) << bad;
+  }
+}
+
+TEST(ProtocolTest, BestEffortIdRecoversIdFromMalformedRequests) {
+  // Parseable JSON with a valid id but an invalid payload: the id survives
+  // so the server's error reply correlates.
+  EXPECT_EQ(rs::best_effort_id(R"({"id": 7, "features": "oops"})"), 7u);
+  EXPECT_EQ(rs::best_effort_id(R"({"id": 3})"), 3u);
+  // Unrecoverable: not JSON, not an object, or no usable id.
+  EXPECT_EQ(rs::best_effort_id("not json"), 0u);
+  EXPECT_EQ(rs::best_effort_id("[1,2]"), 0u);
+  EXPECT_EQ(rs::best_effort_id(R"({"id": -1})"), 0u);
+}
+
+TEST(ProtocolTest, ErrorResponsesCarryCodeAndMessage) {
+  const auto parsed = rs::parse_response(
+      rs::format_error(7, rc::invalid_argument("bad features")));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  ASSERT_TRUE(parsed.value().error.has_value());
+  EXPECT_EQ(parsed.value().error->code, rc::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(parsed.value().error->message, "bad features");
+}
+
+// --- ModelCache ---------------------------------------------------------------
+
+TEST(ModelCacheTest, TrainsOnceThenHits) {
+  rs::ModelCache cache(2);
+  std::atomic<int> trainings{0};
+  const rs::ModelKey key = rs::ModelKey::from_options("dev", small_options());
+  const auto trainer = [&]() -> rc::Result<rco::FrequencyModel> {
+    ++trainings;
+    const rco::SimulatorBackend backend(rg::DeviceModel::titan_x());
+    return rco::FrequencyModel::train(backend, small_suite(), small_options());
+  };
+  const auto first = cache.get_or_train(key, trainer);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  const auto second = cache.get_or_train(key, trainer);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(trainings.load(), 1);
+  EXPECT_EQ(first.value().get(), second.value().get());  // same shared model
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ModelCacheTest, SuiteFingerprintSeparatesKeys) {
+  // Two services training on different suites must never share an entry:
+  // the suite fingerprint is part of the key (and of the on-disk filename).
+  const auto full = rb::generate_training_suite().value();
+  const auto reduced = small_suite();
+  const auto fp_full = rs::ModelKey::fingerprint(full);
+  const auto fp_reduced = rs::ModelKey::fingerprint(reduced);
+  EXPECT_NE(fp_full, fp_reduced);
+  const auto key_full = rs::ModelKey::from_options("dev", small_options(), fp_full);
+  const auto key_reduced =
+      rs::ModelKey::from_options("dev", small_options(), fp_reduced);
+  EXPECT_NE(key_full.to_string(), key_reduced.to_string());
+  EXPECT_NE(key_full.file_stem(), key_reduced.file_stem());
+  // The fingerprint is stable across calls (it keys the disk cache).
+  EXPECT_EQ(fp_reduced, rs::ModelKey::fingerprint(small_suite()));
+}
+
+TEST(ModelCacheTest, EvictsLeastRecentlyUsed) {
+  rs::ModelCache cache(2);
+  const auto trainer = [&]() -> rc::Result<rco::FrequencyModel> {
+    const rco::SimulatorBackend backend(rg::DeviceModel::titan_x());
+    return rco::FrequencyModel::train(backend, small_suite(), small_options());
+  };
+  rs::ModelKey a = rs::ModelKey::from_options("a", small_options());
+  rs::ModelKey b = rs::ModelKey::from_options("b", small_options());
+  rs::ModelKey c = rs::ModelKey::from_options("c", small_options());
+  ASSERT_TRUE(cache.get_or_train(a, trainer).ok());
+  ASSERT_TRUE(cache.get_or_train(b, trainer).ok());
+  ASSERT_TRUE(cache.get_or_train(a, trainer).ok());  // a is now most recent
+  auto held_b = cache.peek(b);                       // holds b across eviction
+  ASSERT_NE(held_b, nullptr);
+  ASSERT_TRUE(cache.get_or_train(c, trainer).ok());  // evicts b (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.peek(b), nullptr);
+  EXPECT_NE(cache.peek(a), nullptr);
+  EXPECT_NE(cache.peek(c), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_NE(held_b, nullptr);  // eviction never invalidates held handles
+  EXPECT_EQ(cache.resident_keys().front(), c.to_string());
+}
+
+TEST(ModelCacheTest, ReloadsFromDiskAcrossInstances) {
+  TempDir dir("repro-model-cache");
+  std::atomic<int> trainings{0};
+  const rs::ModelKey key = rs::ModelKey::from_options(
+      rg::DeviceModel::titan_x().freq.device_name(), small_options());
+  const auto trainer = [&]() -> rc::Result<rco::FrequencyModel> {
+    ++trainings;
+    const rco::SimulatorBackend backend(rg::DeviceModel::titan_x());
+    return rco::FrequencyModel::train(backend, small_suite(), small_options());
+  };
+  std::string serialized;
+  {
+    rs::ModelCache cache(2, dir.path.string());
+    auto model = cache.get_or_train(key, trainer);
+    ASSERT_TRUE(model.ok()) << model.error().message;
+    serialized = model.value()->serialize();
+  }
+  {
+    rs::ModelCache cache(2, dir.path.string());
+    auto model = cache.get_or_train(key, trainer);
+    ASSERT_TRUE(model.ok()) << model.error().message;
+    EXPECT_EQ(trainings.load(), 1);  // served from disk, not retrained
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+    // The disk round-trip is exact (%.17 serialization).
+    EXPECT_EQ(model.value()->serialize(), serialized);
+  }
+}
+
+TEST(ModelCacheTest, CorruptDiskFileFallsBackToRetraining) {
+  TempDir dir("repro-model-corrupt");
+  std::atomic<int> trainings{0};
+  const rs::ModelKey key = rs::ModelKey::from_options(
+      rg::DeviceModel::titan_x().freq.device_name(), small_options());
+  const auto trainer = [&]() -> rc::Result<rco::FrequencyModel> {
+    ++trainings;
+    const rco::SimulatorBackend backend(rg::DeviceModel::titan_x());
+    return rco::FrequencyModel::train(backend, small_suite(), small_options());
+  };
+  {
+    rs::ModelCache cache(2, dir.path.string());
+    ASSERT_TRUE(cache.get_or_train(key, trainer).ok());
+  }
+  // Truncate the persisted model mid-file: the next instance must survive,
+  // report the damage, retrain, and overwrite the bad file.
+  const auto file = dir.path / (key.file_stem() + ".model");
+  ASSERT_TRUE(std::filesystem::exists(file));
+  const auto full_size = std::filesystem::file_size(file);
+  std::filesystem::resize_file(file, full_size / 2);
+  {
+    rs::ModelCache cache(2, dir.path.string());
+    auto model = cache.get_or_train(key, trainer);
+    ASSERT_TRUE(model.ok()) << model.error().message;
+    EXPECT_EQ(trainings.load(), 2);
+    EXPECT_EQ(cache.stats().disk_errors, 1u);
+  }
+  // The rewritten file serves the third instance again.
+  EXPECT_EQ(std::filesystem::file_size(file), full_size);
+  {
+    rs::ModelCache cache(2, dir.path.string());
+    ASSERT_TRUE(cache.get_or_train(key, trainer).ok());
+    EXPECT_EQ(trainings.load(), 2);
+  }
+}
+
+// --- deserializer robustness (corrupt / truncated model files) ----------------
+
+TEST(ModelRobustnessTest, TruncatedSerializedModelNeverCrashes) {
+  const std::string full = trained_model()->serialize();
+  // Every truncation length in coarse steps plus a fine sweep near the
+  // interesting boundaries; deserialization must return — with an error or
+  // (for a cut inside the final number) a value — and never crash.
+  std::size_t errors = 0;
+  std::size_t checked = 0;
+  for (std::size_t len = 0; len < full.size(); len += 131) {
+    ++checked;
+    if (!rco::FrequencyModel::deserialize(full.substr(0, len)).ok()) ++errors;
+  }
+  EXPECT_EQ(errors, checked);  // every strict prefix on the step grid fails
+  // Quarter points explicitly (the satellite's contract).
+  for (const double frac : {0.25, 0.5, 0.75}) {
+    const auto len = static_cast<std::size_t>(static_cast<double>(full.size()) * frac);
+    EXPECT_FALSE(rco::FrequencyModel::deserialize(full.substr(0, len)).ok()) << frac;
+  }
+  // And the untruncated text still round-trips.
+  const auto intact = rco::FrequencyModel::deserialize(full);
+  ASSERT_TRUE(intact.ok()) << intact.error().message;
+  EXPECT_EQ(intact.value().serialize(), full);
+}
+
+TEST(ModelRobustnessTest, VersionMismatchIsAnError) {
+  std::string text = trained_model()->serialize();
+  text.replace(text.find("v2"), 2, "v9");
+  const auto result = rco::FrequencyModel::deserialize(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, rc::ErrorCode::kParseError);
+}
+
+TEST(ModelRobustnessTest, AbsurdCountsAreParseErrorsNotBadAlloc) {
+  // A hand-corrupted header claiming ~10^18 training configs / support
+  // vectors must be rejected before any allocation is attempted.
+  const std::string model_text =
+      "gpufreq_model v2\ndevice X\nbounds 0 1 0 1\n"
+      "training_configs 999999999999999999\n";
+  const auto model = rco::FrequencyModel::deserialize(model_text);
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.error().code, rc::ErrorCode::kParseError);
+
+  const std::string svr_text = "svr rbf 0.1 0 3 1000 0.1 0 999999999999999999 10\n";
+  const auto svr = repro::ml::Svr::deserialize(svr_text);
+  ASSERT_FALSE(svr.ok());
+  EXPECT_EQ(svr.error().code, rc::ErrorCode::kParseError);
+}
+
+// --- Predictor::Builder validation --------------------------------------------
+
+TEST(BuilderValidationTest, UnknownRegressorKeyFailsFast) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = rco::Predictor::builder().regressors("svr-linear", "no-such-model").build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, rc::ErrorCode::kNotFound);
+  EXPECT_NE(result.error().message.find("no-such-model"), std::string::npos);
+  // Fail-fast means no suite generation and no training happened.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(1));
+}
+
+TEST(BuilderValidationTest, EmptyRegressorKeyIsInvalid) {
+  auto result = rco::Predictor::builder().regressors("", "svr-rbf").build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, rc::ErrorCode::kInvalidArgument);
+}
+
+TEST(BuilderValidationTest, EmptySuiteIsInvalid) {
+  auto result = rco::Predictor::builder().suite({}).build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, rc::ErrorCode::kInvalidArgument);
+  EXPECT_NE(result.error().message.find("suite"), std::string::npos);
+}
+
+TEST(BuilderValidationTest, ZeroConfigsIsInvalid) {
+  auto result = rco::Predictor::builder().num_configs(0).build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, rc::ErrorCode::kInvalidArgument);
+}
+
+TEST(BuilderValidationTest, FromModelRejectsNull) {
+  auto result = rco::Predictor::from_model(nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, rc::ErrorCode::kInvalidArgument);
+}
+
+TEST(BuilderValidationTest, FromModelServesWithoutBackend) {
+  auto predictor = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(predictor.ok());
+  EXPECT_FALSE(predictor.value().has_backend());
+  const auto kernels = request_mix(3);
+  const auto batch = predictor.value().predict_batch(kernels);
+  ASSERT_TRUE(batch.ok()) << batch.error().message;
+  EXPECT_EQ(batch.value().size(), 3u);
+}
+
+// --- Service ------------------------------------------------------------------
+
+TEST(ServiceTest, ResponsesBitIdenticalToDirectPredictBatch) {
+  PoolGuard guard;
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kPerClient = 6;
+  const auto kernels = request_mix(kClients * kPerClient);
+
+  // Reference: one direct predict_batch over the same request mix.
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_batch(kernels);
+  ASSERT_TRUE(reference.ok());
+
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    for (const std::size_t threads : {1u, 8u}) {
+      for (const long window_us : {0L, 1000L}) {
+        rc::ThreadPool::set_global_threads(threads);
+        rs::ServiceOptions options;
+        options.shards = shards;
+        options.max_batch = 4;
+        options.batch_window = std::chrono::microseconds(window_us);
+        auto service = rs::Service::from_model(trained_model(), options);
+        ASSERT_TRUE(service.ok()) << service.error().message;
+
+        // N concurrent clients, each with its own slice of the mix.
+        std::vector<rs::Service::Response> responses(kernels.size(),
+                                                     rc::internal_error("unset"));
+        std::vector<std::thread> clients;
+        for (std::size_t c = 0; c < kClients; ++c) {
+          clients.emplace_back([&, c] {
+            for (std::size_t i = 0; i < kPerClient; ++i) {
+              const std::size_t slot = c * kPerClient + i;
+              responses[slot] = service.value()->predict(kernels[slot]);
+            }
+          });
+        }
+        for (auto& t : clients) t.join();
+        service.value()->stop();
+
+        for (std::size_t i = 0; i < kernels.size(); ++i) {
+          ASSERT_TRUE(responses[i].ok())
+              << responses[i].error().message << " shards=" << shards
+              << " threads=" << threads << " window=" << window_us;
+          EXPECT_EQ(responses[i].value().kernel, reference.value()[i].kernel);
+          EXPECT_TRUE(bitwise_equal(responses[i].value().pareto,
+                                    reference.value()[i].pareto))
+              << "kernel " << i << " shards=" << shards << " threads=" << threads
+              << " window=" << window_us;
+        }
+        const auto stats = service.value()->stats();
+        EXPECT_EQ(stats.requests, kernels.size());
+        EXPECT_GE(stats.batches, 1u);
+      }
+    }
+  }
+}
+
+TEST(ServiceTest, CoalescesConcurrentRequestsIntoBatches) {
+  rs::ServiceOptions options;
+  options.shards = 1;
+  options.max_batch = 16;
+  options.batch_window = std::chrono::milliseconds(20);
+  auto service = rs::Service::from_model(trained_model(), options);
+  ASSERT_TRUE(service.ok());
+  const auto responses = service.value()->predict_many(request_mix(12));
+  for (const auto& r : responses) EXPECT_TRUE(r.ok());
+  service.value()->stop();
+  const auto stats = service.value()->stats();
+  EXPECT_EQ(stats.requests, 12u);
+  // predict_many submits all 12 before gathering; with a 20 ms window the
+  // scheduler must have coalesced at least some of them.
+  EXPECT_LT(stats.batches, 12u);
+  EXPECT_GT(stats.max_batch_seen, 1u);
+}
+
+TEST(ServiceTest, StopIsGracefulAndRefusesLateWork) {
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  auto response = service.value()->predict(request_mix(1)[0]);
+  EXPECT_TRUE(response.ok());
+  service.value()->stop();
+  service.value()->stop();  // idempotent
+  auto late = service.value()->predict(request_mix(1)[0]);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.error().code, rc::ErrorCode::kUnsupported);
+  EXPECT_GE(service.value()->stats().rejected, 1u);
+}
+
+TEST(ServiceTest, CreateTrainsThroughModelCache) {
+  TempDir dir("repro-serve-create");
+  rs::ServiceConfig config;
+  config.suite = small_suite();
+  config.training = small_options();
+  config.options.shards = 2;
+  rs::ModelCache cache(2, dir.path.string());
+  auto service = rs::Service::create(config, cache);
+  ASSERT_TRUE(service.ok()) << service.error().message;
+  EXPECT_EQ(cache.stats().misses, 1u);
+  auto response = service.value()->predict(request_mix(1)[0]);
+  ASSERT_TRUE(response.ok());
+  // The same cache immediately serves a second service without retraining.
+  auto second = rs::Service::create(config, cache);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+// --- socket round trip --------------------------------------------------------
+
+TEST(SocketTest, TcpRoundTripIsBitIdenticalToInProcess) {
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  rs::ServerOptions server_options;
+  server_options.tcp_port = 0;  // ephemeral
+  auto server = rs::SocketServer::start(*service.value(), server_options);
+  ASSERT_TRUE(server.ok()) << server.error().message;
+  ASSERT_GT(server.value()->tcp_port(), 0);
+
+  const auto kernels = request_mix(4);
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_batch(kernels);
+  ASSERT_TRUE(reference.ok());
+
+  auto client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+  ASSERT_TRUE(client.ok()) << client.error().message;
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    auto response = client.value().predict(kernels[i]);
+    ASSERT_TRUE(response.ok()) << response.error().message;
+    EXPECT_EQ(response.value().kernel, reference.value()[i].kernel);
+    // Shortest-round-trip framing means even the socket path is bit-identical.
+    EXPECT_TRUE(bitwise_equal(response.value().pareto, reference.value()[i].pareto))
+        << "kernel " << i;
+  }
+
+  // Malformed and unanswerable requests produce per-request errors, not
+  // dropped connections.
+  auto bad = client.value().predict_source("kernel void f( {", "f");
+  EXPECT_FALSE(bad.ok());
+  auto good_after_bad = client.value().predict(kernels[0]);
+  EXPECT_TRUE(good_after_bad.ok());
+
+  server.value()->stop();
+  service.value()->stop();
+  EXPECT_GE(server.value()->stats().requests, 5u);
+}
+
+TEST(SocketTest, HalfClosingPipelineClientStillGetsResponsesAndEof) {
+  // netcat-style usage: write all requests, shutdown the write side, read to
+  // EOF. The server must answer everything already buffered and then shut the
+  // connection down itself — without waiting for the next accept's reap.
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  rs::ServerOptions server_options;
+  server_options.tcp_port = 0;
+  auto server = rs::SocketServer::start(*service.value(), server_options);
+  ASSERT_TRUE(server.ok()) << server.error().message;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.value()->tcp_port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::string wire;
+  const auto kernels = request_mix(2);
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    rs::WireRequest request;
+    request.id = i + 1;
+    request.kernel = kernels[i].kernel_name;
+    request.features = kernels[i].counts;
+    wire += rs::format_request(request);
+    wire.push_back('\n');
+  }
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+  // Read until the server's EOF; a bounded recv timeout turns a regression
+  // (server never shuts down its side) into a failure instead of a hang.
+  timeval tv{};
+  tv.tv_sec = 30;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string received;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    ASSERT_GT(n, -1) << "recv timed out: server never signalled EOF";
+    if (n == 0) break;
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  EXPECT_EQ(std::count(received.begin(), received.end(), '\n'), 2);
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    const auto line_start = id == 1 ? 0 : received.find('\n') + 1;
+    auto response = rs::parse_response(
+        received.substr(line_start, received.find('\n', line_start) - line_start));
+    ASSERT_TRUE(response.ok()) << response.error().message;
+    EXPECT_EQ(response.value().id, id);
+    EXPECT_TRUE(response.value().prediction.has_value());
+  }
+
+  server.value()->stop();
+  service.value()->stop();
+}
