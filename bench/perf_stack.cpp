@@ -27,13 +27,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <future>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/queue.hpp"
+
 #include "benchgen/benchgen.hpp"
 #include "clfront/features.hpp"
+#include "clfront/stream.hpp"
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "common/thread_pool.hpp"
@@ -341,6 +345,47 @@ CaseResult bench_simd_kernel_matrix(std::size_t n, int reps) {
   return {"simd_kernel_matrix", n, serial_ms, simd_ms, identical};
 }
 
+// --- streaming featurization --------------------------------------------------
+
+/// Whole-string featurization vs the chunked SourceFeeder on a synthetic
+/// many-function OpenCL source (`n` helper functions + one kernel calling
+/// into them). The interesting number is not the speedup — both paths do
+/// the same lexing/parsing/lowering work — but bit_identical, which checks
+/// the chunk-size-invariance contract on a source far larger than any chunk,
+/// and the bounded pending buffer the streamed side keeps.
+CaseResult bench_stream_featurize(std::size_t n_functions, int reps) {
+  std::string source;
+  source.reserve(n_functions * 160);
+  for (std::size_t i = 0; i < n_functions; ++i) {
+    const std::string id = std::to_string(i);
+    source += "float helper" + id + "(float v) { /* synthetic filler " + id +
+              " */ return v * " + id + ".25f + native_sin(v) - " + id + "; }\n";
+  }
+  source += "kernel void chain(global float* x) {\n  float v = x[get_global_id(0)];\n";
+  for (std::size_t i = 0; i < n_functions; i += 7) {
+    source += "  v = helper" + std::to_string(i) + "(v);\n";
+  }
+  source += "  x[get_global_id(0)] = v;\n}\n";
+
+  repro::clfront::StaticFeatures whole;
+  repro::clfront::StaticFeatures streamed;
+  const double whole_ms = time_ms(
+      [&] {
+        whole = clfront::extract_features_from_source(source).value();
+      },
+      reps);
+  const double streamed_ms = time_ms(
+      [&] {
+        streamed = clfront::extract_features_chunked(source, 64 * 1024).value();
+      },
+      reps);
+  const bool identical =
+      whole.kernel_name == streamed.kernel_name &&
+      std::memcmp(whole.counts.data(), streamed.counts.data(),
+                  sizeof(double) * clfront::kNumFeatures) == 0;
+  return {"stream_featurize", source.size(), whole_ms, streamed_ms, identical};
+}
+
 // --- serving section ----------------------------------------------------------
 //
 // Throughput and latency of serve::Service — the micro-batching scheduler
@@ -350,9 +395,11 @@ CaseResult bench_simd_kernel_matrix(std::size_t n, int reps) {
 // predict_batch output for the same kernel, byte for byte.
 
 struct ServingResult {
+  const char* mode = "closed_loop";
   std::size_t shards = 0;
   long window_us = 0;
   std::size_t clients = 0;
+  double offered_rps = 0.0;  // open-loop arrival rate (0 for closed loop)
   std::size_t requests = 0;
   std::size_t batches = 0;
   double throughput_rps = 0.0;
@@ -446,6 +493,94 @@ ServingResult bench_serving(const std::shared_ptr<const core::FrequencyModel>& m
   return result;
 }
 
+/// Open-loop (arrival-rate-driven) serving latency. The closed-loop bench
+/// above understates batching wins — its 4 clients block on the window, so
+/// at most 4 requests can ever coalesce. Here one dispatcher submits
+/// requests on a fixed schedule (offered_rps), independent of completions,
+/// and an in-order collector timestamps each response as it resolves;
+/// latency is completion − *scheduled* arrival, so queueing delay under
+/// overload is charged to the request, as an open-loop harness must.
+ServingResult bench_serving_open_loop(
+    const std::shared_ptr<const core::FrequencyModel>& model,
+    const std::vector<clfront::StaticFeatures>& mix, std::size_t shards,
+    long window_us, double offered_rps, std::size_t total_requests) {
+  ServingResult result;
+  result.mode = "open_loop";
+  result.shards = shards;
+  result.window_us = window_us;
+  result.clients = 1;
+  result.offered_rps = offered_rps;
+  result.requests = total_requests;
+
+  auto direct = core::Predictor::from_model(model);
+  const auto reference = direct.value().predict_batch(mix);
+
+  serve::ServiceOptions options;
+  options.shards = shards;
+  options.max_batch = 16;
+  options.batch_window = std::chrono::microseconds(window_us);
+  // The admission queue must hold the whole backlog: a full queue would
+  // block the dispatcher and silently turn the harness closed-loop.
+  options.queue_capacity = total_requests;
+  auto service = serve::Service::from_model(model, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "open-loop bench: %s\n", service.error().to_string().c_str());
+    return result;
+  }
+
+  struct InFlight {
+    std::future<serve::Service::Response> response;
+    std::chrono::steady_clock::time_point scheduled;
+    std::size_t kernel = 0;
+  };
+  common::BoundedQueue<InFlight> in_flight(total_requests);
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(total_requests);
+  bool identical = true;
+  std::chrono::steady_clock::time_point last_completion;
+  std::thread collector([&] {
+    // FIFO batching completes requests in arrival order, so waiting on the
+    // head future timestamps each completion accurately (a whole batch
+    // resolves together and is read together).
+    while (auto item = in_flight.pop()) {
+      auto response = item->response.get();
+      const auto now = std::chrono::steady_clock::now();
+      last_completion = now;
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(now - item->scheduled).count());
+      identical = identical && response.ok() &&
+                  points_bit_identical(response.value().pareto,
+                                       reference.value()[item->kernel].pareto);
+    }
+  });
+
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / offered_rps));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < total_requests; ++i) {
+    const auto scheduled = t0 + interval * static_cast<long>(i);
+    std::this_thread::sleep_until(scheduled);
+    const std::size_t kernel = i % mix.size();
+    in_flight.push(InFlight{service.value()->submit(mix[kernel]), scheduled, kernel});
+  }
+  in_flight.close();
+  collector.join();
+  service.value()->stop();
+
+  const double elapsed_s = std::chrono::duration<double>(last_completion - t0).count();
+  result.throughput_rps =
+      elapsed_s > 0.0 ? static_cast<double>(total_requests) / elapsed_s : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = percentile_ms(latencies_ms, 50.0);
+  result.p95_ms = percentile_ms(latencies_ms, 95.0);
+  result.p99_ms = percentile_ms(latencies_ms, 99.0);
+  result.bit_identical = identical && latencies_ms.size() == total_requests;
+  result.batches = service.value()->stats().batches;
+  return result;
+}
+
 /// Train the serving model on a reduced suite (every 4th micro-benchmark,
 /// 16 configurations) — representative shape, seconds-scale training.
 std::shared_ptr<const core::FrequencyModel> serving_model(
@@ -492,12 +627,13 @@ void write_json(const std::string& path, bool smoke, std::size_t threads,
   for (std::size_t i = 0; i < serving.size(); ++i) {
     const auto& s = serving[i];
     std::fprintf(f,
-                 "    {\"shards\": %zu, \"window_us\": %ld, \"clients\": %zu, "
+                 "    {\"mode\": \"%s\", \"shards\": %zu, \"window_us\": %ld, "
+                 "\"clients\": %zu, \"offered_rps\": %.0f, "
                  "\"requests\": %zu, \"batches\": %zu, \"throughput_rps\": %.1f, "
                  "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
                  "\"bit_identical\": %s}%s\n",
-                 s.shards, s.window_us, s.clients, s.requests, s.batches,
-                 s.throughput_rps, s.p50_ms, s.p95_ms, s.p99_ms,
+                 s.mode, s.shards, s.window_us, s.clients, s.offered_rps, s.requests,
+                 s.batches, s.throughput_rps, s.p50_ms, s.p95_ms, s.p99_ms,
                  s.bit_identical ? "true" : "false", i + 1 < serving.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -570,6 +706,12 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{96} : std::vector<std::size_t>{500, 2000};
   for (std::size_t n : kmat_sizes) run(bench_simd_kernel_matrix(n, reps));
 
+  // stream_featurize: whole-string vs chunked SourceFeeder on a synthetic
+  // many-function source; "size" is the source length in bytes.
+  const std::vector<std::size_t> stream_fns =
+      smoke ? std::vector<std::size_t>{200} : std::vector<std::size_t>{500, 4000};
+  for (std::size_t n : stream_fns) run(bench_stream_featurize(n, reps));
+
   // serving: throughput and latency percentiles of serve::Service vs the
   // batching window, concurrent clients hammering one node. Restoring the
   // pool here also keeps any later library use on the expected thread count.
@@ -591,6 +733,27 @@ int main(int argc, char** argv) {
             "serving            shards=%zu window=%4ldus  %8.0f req/s   p50 %6.3f ms  "
             "p99 %6.3f ms   %s\n",
             s.shards, s.window_us, s.throughput_rps, s.p50_ms, s.p99_ms,
+            s.bit_identical ? "bit-identical" : "OUTPUT MISMATCH");
+        serving.push_back(s);
+      }
+    }
+    // Open loop: requests arrive on a clock, not on completions, so the
+    // batching window actually fills — the number the closed loop cannot
+    // show. Rates straddle the closed-loop single-shard throughput.
+    const double duration_s = smoke ? 0.1 : 0.5;
+    const std::vector<double> rates =
+        smoke ? std::vector<double>{5000.0}
+              : std::vector<double>{5000.0, 15000.0, 30000.0};
+    const std::vector<long> open_windows =
+        smoke ? std::vector<long>{200} : std::vector<long>{0, 200};
+    for (long window : open_windows) {
+      for (double rate : rates) {
+        const auto total = static_cast<std::size_t>(rate * duration_s);
+        auto s = bench_serving_open_loop(model, mix, 2, window, rate, total);
+        std::printf(
+            "serving-open       shards=%zu window=%4ldus  offered %6.0f req/s  "
+            "p50 %6.3f ms  p99 %6.3f ms   %s\n",
+            s.shards, s.window_us, s.offered_rps, s.p50_ms, s.p99_ms,
             s.bit_identical ? "bit-identical" : "OUTPUT MISMATCH");
         serving.push_back(s);
       }

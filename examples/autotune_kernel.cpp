@@ -63,7 +63,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto features = clfront::extract_features_from_source(source, kernel_name);
+  auto predictor = core::Predictor::builder().cache("gpufreq_model_cache.txt").build();
+  if (!predictor.ok()) {
+    std::fprintf(stderr, "%s\n", predictor.error().to_string().c_str());
+    return 1;
+  }
+
+  // The predictor's FeaturePipeline does source→features; printing them
+  // first keeps the "does it compile" failure mode separate from prediction.
+  auto features = predictor.value().pipeline().featurize(source, kernel_name);
   if (!features.ok()) {
     std::fprintf(stderr, "kernel does not compile: %s\n",
                  features.error().to_string().c_str());
@@ -72,12 +80,8 @@ int main(int argc, char** argv) {
   std::printf("autotuning kernel '%s'\n", features.value().kernel_name.c_str());
   std::printf("static features: %s\n\n", features.value().to_string().c_str());
 
-  auto predictor = core::Predictor::builder().cache("gpufreq_model_cache.txt").build();
-  if (!predictor.ok()) {
-    std::fprintf(stderr, "%s\n", predictor.error().to_string().c_str());
-    return 1;
-  }
-
+  // (predict_source(source, kernel_name) would do featurize + predict in
+  // one call; the features were already extracted for the printout above.)
   const auto pareto_result = predictor.value().predict_pareto(features.value());
   if (!pareto_result.ok()) {
     std::fprintf(stderr, "%s\n", pareto_result.error().to_string().c_str());

@@ -34,8 +34,12 @@ int main() {
     return 1;
   }
 
-  // 2. Static features of the new kernel — no execution involved.
-  auto features = clfront::extract_features_from_source(kNewKernel);
+  // 2. Static features of the new kernel — no execution involved. The
+  //    predictor's FeaturePipeline is the one deterministic source→features
+  //    path (whole-string or streamed, same bytes). When the features are
+  //    not interesting by themselves, predictor.predict_source(kNewKernel)
+  //    is this step and the next in one call.
+  auto features = predictor.value().pipeline().featurize(kNewKernel);
   if (!features.ok()) {
     std::fprintf(stderr, "feature extraction: %s\n", features.error().to_string().c_str());
     return 1;

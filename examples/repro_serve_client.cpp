@@ -2,14 +2,20 @@
 //
 //   repro_serve_client --unix /tmp/repro.sock [--file kernel.cl] [--kernel NAME]
 //   repro_serve_client --tcp 7070             [--file kernel.cl] [--kernel NAME]
+//                      [--pipeline N]
 //
-// Sends the kernel source (a built-in SAXPY demo when --file is omitted),
-// prints the predicted Pareto-optimal frequency configurations.
+// Sends the kernel source (a built-in SAXPY demo when --file is omitted) as
+// a predict_source request — features are extracted on the server's worker
+// shards — and prints the predicted Pareto-optimal frequency
+// configurations. --pipeline N sends N copies back-to-back on one
+// connection before reading any response, exercising the server's
+// pipelined decode (responses must come back in request order).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "serve/client.hpp"
 
@@ -26,7 +32,8 @@ kernel void saxpy_demo(global float* x, global float* y, float a, int n) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s (--unix PATH | --tcp PORT) [--file kernel.cl] [--kernel NAME]\n",
+               "usage: %s (--unix PATH | --tcp PORT) [--file kernel.cl] [--kernel NAME]\n"
+               "          [--pipeline N]\n",
                argv0);
   return 2;
 }
@@ -38,6 +45,7 @@ int main(int argc, char** argv) {
   int tcp_port = -1;
   std::string file;
   std::string kernel_name;
+  std::size_t pipeline = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -50,6 +58,8 @@ int main(int argc, char** argv) {
       file = argv[++i];
     } else if (arg == "--kernel" && has_value) {
       kernel_name = argv[++i];
+    } else if (arg == "--pipeline" && has_value) {
+      pipeline = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return usage(argv[0]);
     }
@@ -73,6 +83,23 @@ int main(int argc, char** argv) {
   if (!client.ok()) {
     std::fprintf(stderr, "connect: %s\n", client.error().to_string().c_str());
     return 1;
+  }
+
+  if (pipeline > 0) {
+    const std::vector<core::Predictor::SourceRequest> sources(
+        pipeline, {source, kernel_name});
+    const auto responses = client.value().predict_source_many(sources);
+    std::size_t ok = 0;
+    for (const auto& r : responses) {
+      if (r.ok()) {
+        ++ok;
+      } else {
+        std::fprintf(stderr, "pipelined predict: %s\n", r.error().to_string().c_str());
+      }
+    }
+    std::printf("pipelined: %zu/%zu responses OK, in request order\n", ok,
+                responses.size());
+    return ok == responses.size() ? 0 : 1;
   }
 
   auto prediction = client.value().predict_source(source, kernel_name);

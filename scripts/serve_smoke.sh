@@ -1,12 +1,16 @@
 #!/usr/bin/env sh
 # Socket round-trip smoke of the serving stack: start repro_serve on a Unix
-# socket (small training suite so startup is seconds), run repro_serve_client
-# against it, require a Pareto table back, then shut the server down
-# gracefully and require a clean exit. Usage:
+# socket (small training suite so startup is seconds), then exercise the
+# wire end to end — a predict_source request (OpenCL source featurized on
+# the worker shards), a warm repeat, and a pipelined burst (several
+# predict_source requests written before any response is read, answered in
+# request order) — and finally shut the server down gracefully and require
+# a clean exit. Usage:
 #
 #   scripts/serve_smoke.sh BUILD_DIR
 #
-# Exits non-zero on any failure; used by CI after the build.
+# Exits non-zero on any failure; used by CI after the build (including the
+# ASan+UBSan leg).
 set -eu
 
 build_dir=${1:?usage: serve_smoke.sh BUILD_DIR}
@@ -50,6 +54,8 @@ if [ "$ready" -ne 1 ]; then
   exit 1
 fi
 
+# predict_source end to end: the client ships raw OpenCL-C, the server
+# featurizes it on a worker shard and answers with the Pareto table.
 client_out=$("$build_dir/repro_serve_client" --unix "$sock")
 echo "$client_out"
 case $client_out in
@@ -62,6 +68,18 @@ esac
 
 # A second client exercises the warm path (and the connection accounting).
 "$build_dir/repro_serve_client" --unix "$sock" >/dev/null
+
+# Pipelined predict_source: 6 requests written back-to-back on one
+# connection; the server must answer all of them, in request order.
+pipeline_out=$("$build_dir/repro_serve_client" --unix "$sock" --pipeline 6)
+echo "$pipeline_out"
+case $pipeline_out in
+  *"6/6 responses OK"*) ;;
+  *)
+    echo "serve_smoke: pipelined predict_source burst failed" >&2
+    exit 1
+    ;;
+esac
 
 kill -TERM "$server_pid"
 server_status=0

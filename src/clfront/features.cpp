@@ -48,9 +48,7 @@ std::string StaticFeatures::to_string() const {
   return oss.str();
 }
 
-namespace {
-
-std::optional<FeatureIndex> feature_of(Opcode op) {
+std::optional<FeatureIndex> feature_index(Opcode op) noexcept {
   switch (op) {
     case Opcode::kIAdd: return FeatureIndex::kIntAdd;
     case Opcode::kIMul: return FeatureIndex::kIntMul;
@@ -68,14 +66,21 @@ std::optional<FeatureIndex> feature_of(Opcode op) {
   }
 }
 
+namespace {
+
 common::Status accumulate(const IrModule& module, const IrFunction& fn,
                           std::array<double, kNumFeatures>& counts,
                           std::set<std::string>& call_chain) {
+  if (call_chain.size() >= kMaxCallDepth) {
+    return common::internal_error("call chain exceeds the depth budget of " +
+                                  std::to_string(kMaxCallDepth) + " at '" + fn.name +
+                                  "'");
+  }
   if (!call_chain.insert(fn.name).second) {
     return common::internal_error("recursive call chain through '" + fn.name + "'");
   }
   for (const auto& inst : fn.body) {
-    if (const auto f = feature_of(inst.op)) {
+    if (const auto f = feature_index(inst.op)) {
       counts[static_cast<std::size_t>(*f)] += static_cast<double>(inst.width);
       continue;
     }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <optional>
 #include <string>
 
 #include "clfront/ir.hpp"
@@ -18,6 +19,12 @@
 namespace repro::clfront {
 
 inline constexpr std::size_t kNumFeatures = 10;
+
+/// Hard budget on the user-function call-chain depth feature extraction will
+/// inline through (the static analogue of an inliner depth limit): deeper
+/// chains fail with an error instead of overflowing the stack on
+/// pathological many-function sources.
+inline constexpr std::size_t kMaxCallDepth = 256;
 
 /// Feature indices (the order of the paper's vector).
 enum class FeatureIndex : std::size_t {
@@ -34,6 +41,11 @@ enum class FeatureIndex : std::size_t {
 };
 
 [[nodiscard]] const char* feature_name(FeatureIndex i) noexcept;
+
+/// The feature class an IR opcode contributes to, if any — the one
+/// opcode→feature mapping shared by whole-module extraction below and the
+/// per-function summaries of the streaming featurizer (clfront/stream.hpp).
+[[nodiscard]] std::optional<FeatureIndex> feature_index(Opcode op) noexcept;
 
 struct StaticFeatures {
   std::string kernel_name;

@@ -3,6 +3,7 @@
 #include <array>
 #include <cctype>
 #include <cstdlib>
+#include <utility>
 
 namespace repro::clfront {
 
@@ -83,224 +84,366 @@ const char* token_kind_name(TokenKind kind) noexcept {
   return "?";
 }
 
-Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+namespace {
 
-char Lexer::peek(std::size_t ahead) const noexcept {
-  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
-}
+/// The one lexing implementation. Scans a byte window starting in `mode` at
+/// `loc`; with final == false it suspends (rolls back) any token that
+/// touches the end of the window instead of committing it, so the caller
+/// can retry once more bytes arrive — which is exactly what makes chunked
+/// lexing byte-identical to one-shot lexing at any chunk size.
+class ChunkLexer {
+ public:
+  ChunkLexer(std::string_view text, SourceLoc loc, detail::LexMode mode, bool final)
+      : text_(text), loc_(loc), committed_loc_(loc), mode_(mode), final_(final) {}
 
-char Lexer::advance() noexcept {
-  const char c = src_[pos_++];
-  if (c == '\n') {
-    ++loc_.line;
-    loc_.column = 1;
-  } else {
-    ++loc_.column;
-  }
-  return c;
-}
-
-bool Lexer::match(char expected) noexcept {
-  if (at_end() || src_[pos_] != expected) return false;
-  advance();
-  return true;
-}
-
-common::Error Lexer::error_here(const std::string& msg) const {
-  return common::parse_error("line " + std::to_string(loc_.line) + ":" +
-                             std::to_string(loc_.column) + ": " + msg);
-}
-
-Token Lexer::make(TokenKind kind) const {
-  Token t;
-  t.kind = kind;
-  t.loc = token_start_;
-  return t;
-}
-
-common::Result<Token> Lexer::lex_number() {
-  const std::size_t start = pos_;
-  bool is_float = false;
-  bool is_hex = false;
-
-  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
-    is_hex = true;
-    advance();
-    advance();
-    while (std::isxdigit(static_cast<unsigned char>(peek())) != 0) advance();
-  } else {
-    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
-    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0) {
-      is_float = true;
-      advance();
-      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
-    } else if (peek() == '.') {
-      is_float = true;
-      advance();
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      is_float = true;
-      advance();
-      if (peek() == '+' || peek() == '-') advance();
-      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) {
-        return error_here("malformed exponent in float literal");
+  detail::ChunkLex run() {
+    for (;;) {
+      if (mode_ != detail::LexMode::kNormal) {
+        if (!resume()) break;  // suspended (bytes committed) or error
       }
+      commit();
+      if (at_end()) break;
+      token_start_ = loc_;
+      const std::size_t start_pos = pos_;
+      const SourceLoc start_loc = loc_;
+      const char c = peek();
+
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+        continue;
+      }
+      // Preprocessor lines (e.g. #pragma OPENCL EXTENSION ...) are skipped.
+      if (c == '#' && loc_.column == 1) {
+        advance();
+        mode_ = detail::LexMode::kPreprocessor;
+        continue;
+      }
+      if (c == '/') {
+        // Classifying '/' needs one byte of lookahead; mid-stream, suspend
+        // on the bare slash until the next chunk supplies it.
+        if (pos_ + 1 >= text_.size() && !final_) break;
+        if (peek(1) == '/') {
+          advance();
+          advance();
+          mode_ = detail::LexMode::kLineComment;
+          continue;
+        }
+        if (peek(1) == '*') {
+          advance();
+          advance();
+          mode_ = detail::LexMode::kBlockComment;
+          continue;
+        }
+      }
+      // A '.' may start a float literal (".5f") — that too needs lookahead.
+      if (c == '.' && pos_ + 1 >= text_.size() && !final_) break;
+
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+        auto tok = lex_number();
+        if (error_.has_value()) break;
+        if (suspended_) {
+          rollback(start_pos, start_loc);
+          break;
+        }
+        tokens_.push_back(std::move(tok));
+        if (pos_ == text_.size() && !final_) {
+          tokens_.pop_back();
+          rollback(start_pos, start_loc);
+          break;
+        }
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        tokens_.push_back(lex_identifier());
+        if (pos_ == text_.size() && !final_) {
+          tokens_.pop_back();
+          rollback(start_pos, start_loc);
+          break;
+        }
+        continue;
+      }
+
+      if (!lex_operator(c)) break;  // error recorded
+      if (pos_ == text_.size() && !final_) {
+        tokens_.pop_back();
+        rollback(start_pos, start_loc);
+        break;
+      }
+    }
+
+    detail::ChunkLex out;
+    out.tokens = std::move(tokens_);
+    out.consumed = committed_pos_;
+    out.loc = committed_loc_;
+    out.mode = mode_;
+    out.error = std::move(error_);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++loc_.line;
+      loc_.column = 1;
+    } else {
+      ++loc_.column;
+    }
+    return c;
+  }
+  [[nodiscard]] bool match(char expected) noexcept {
+    if (at_end() || text_[pos_] != expected) return false;
+    advance();
+    return true;
+  }
+  void commit() noexcept {
+    committed_pos_ = pos_;
+    committed_loc_ = loc_;
+  }
+  void rollback(std::size_t pos, SourceLoc loc) noexcept {
+    pos_ = pos;
+    loc_ = loc;
+  }
+
+  void fail_here(const std::string& msg) {
+    error_ = common::parse_error("line " + std::to_string(loc_.line) + ":" +
+                                 std::to_string(loc_.column) + ": " + msg);
+  }
+
+  [[nodiscard]] Token make(TokenKind kind) const {
+    Token t;
+    t.kind = kind;
+    t.loc = token_start_;
+    return t;
+  }
+
+  /// Consume the open comment / preprocessor line. Returns true when normal
+  /// lexing may proceed; false on suspend (bytes committed, mode saved) or
+  /// error.
+  bool resume() {
+    if (mode_ == detail::LexMode::kLineComment ||
+        mode_ == detail::LexMode::kPreprocessor) {
+      while (!at_end() && peek() != '\n') advance();
+      if (at_end() && !final_) {
+        commit();
+        return false;
+      }
+      // The '\n' (or EOF) ends the construct; the newline itself is left to
+      // the whitespace path, exactly like the one-shot scan.
+      mode_ = detail::LexMode::kNormal;
+      return true;
+    }
+    // Block comment; a '/' right after a '*' closes it, even across chunks.
+    bool star = mode_ == detail::LexMode::kBlockCommentStar;
+    while (!at_end()) {
+      const char c = advance();
+      if (star && c == '/') {
+        mode_ = detail::LexMode::kNormal;
+        return true;
+      }
+      star = c == '*';
+    }
+    if (final_) {
+      fail_here("unterminated block comment");
+      return false;
+    }
+    mode_ = star ? detail::LexMode::kBlockCommentStar : detail::LexMode::kBlockComment;
+    commit();
+    return false;
+  }
+
+  Token lex_number() {
+    const std::size_t start = pos_;
+    bool is_float = false;
+    bool is_hex = false;
+
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      is_hex = true;
+      advance();
+      advance();
+      while (std::isxdigit(static_cast<unsigned char>(peek())) != 0) advance();
+    } else {
       while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0) {
+        is_float = true;
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
+      } else if (peek() == '.') {
+        is_float = true;
+        advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_float = true;
+        advance();
+        if (peek() == '+' || peek() == '-') advance();
+        if (std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+          // Mid-stream the missing digit may simply be in the next chunk.
+          if (at_end() && !final_) {
+            suspended_ = true;
+            return Token{};
+          }
+          fail_here("malformed exponent in float literal");
+          return Token{};
+        }
+        while (std::isdigit(static_cast<unsigned char>(peek())) != 0) advance();
+      }
     }
+
+    std::string text(text_.substr(start, pos_ - start));
+    Token t = make(is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral);
+    t.text = text;
+
+    if (is_float) {
+      t.float_value = std::strtod(text.c_str(), nullptr);
+      t.is_float32 = false;
+      if (peek() == 'f' || peek() == 'F') {
+        advance();
+        t.is_float32 = true;
+      }
+    } else {
+      t.int_value = std::strtoull(text.c_str(), nullptr, is_hex ? 16 : 10);
+      // OpenCL suffixes: u, U, l, L and combinations.
+      while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') {
+        if (peek() == 'u' || peek() == 'U') t.is_unsigned = true;
+        advance();
+      }
+      // "1.f"-style handled above; "1f" is invalid in C but accept gracefully.
+      if (peek() == 'f' || peek() == 'F') {
+        advance();
+        t.kind = TokenKind::kFloatLiteral;
+        t.float_value = static_cast<double>(t.int_value);
+        t.is_float32 = true;
+      }
+    }
+    return t;
   }
 
-  std::string text = src_.substr(start, pos_ - start);
-  Token t = make(is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral);
-  t.text = text;
-
-  if (is_float) {
-    t.float_value = std::strtod(text.c_str(), nullptr);
-    t.is_float32 = false;
-    if (peek() == 'f' || peek() == 'F') {
-      advance();
-      t.is_float32 = true;
-    }
-  } else {
-    t.int_value = std::strtoull(text.c_str(), nullptr, is_hex ? 16 : 10);
-    // OpenCL suffixes: u, U, l, L and combinations.
-    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') {
-      if (peek() == 'u' || peek() == 'U') t.is_unsigned = true;
+  Token lex_identifier() {
+    const std::size_t start = pos_;
+    while (std::isalnum(static_cast<unsigned char>(peek())) != 0 || peek() == '_') {
       advance();
     }
-    // "1.f"-style handled above; "1f" is invalid in C but accept gracefully.
-    if (peek() == 'f' || peek() == 'F') {
-      advance();
-      t.kind = TokenKind::kFloatLiteral;
-      t.float_value = static_cast<double>(t.int_value);
-      t.is_float32 = true;
-    }
+    Token t = make(TokenKind::kIdentifier);
+    t.text = std::string(text_.substr(start, pos_ - start));
+    if (is_keyword(t.text)) t.kind = TokenKind::kKeyword;
+    return t;
   }
-  return t;
-}
 
-Token Lexer::lex_identifier() {
-  const std::size_t start = pos_;
-  while (std::isalnum(static_cast<unsigned char>(peek())) != 0 || peek() == '_') advance();
-  Token t = make(TokenKind::kIdentifier);
-  t.text = src_.substr(start, pos_ - start);
-  if (is_keyword(t.text)) t.kind = TokenKind::kKeyword;
-  return t;
-}
-
-common::Result<std::vector<Token>> Lexer::tokenize() {
-  std::vector<Token> tokens;
-  while (!at_end()) {
-    token_start_ = loc_;
-    const char c = peek();
-
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
-      advance();
-      continue;
-    }
-    // Preprocessor lines (e.g. #pragma OPENCL EXTENSION ...) are skipped.
-    if (c == '#' && loc_.column == 1) {
-      while (!at_end() && peek() != '\n') advance();
-      continue;
-    }
-    if (c == '/' && peek(1) == '/') {
-      while (!at_end() && peek() != '\n') advance();
-      continue;
-    }
-    if (c == '/' && peek(1) == '*') {
-      advance();
-      advance();
-      while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
-      if (at_end()) return error_here("unterminated block comment");
-      advance();
-      advance();
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
-        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
-      auto tok = lex_number();
-      if (!tok.ok()) return tok.error();
-      tokens.push_back(std::move(tok).take());
-      continue;
-    }
-    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
-      tokens.push_back(lex_identifier());
-      continue;
-    }
-
+  /// Punctuation and operators; pushes the token. False on error.
+  bool lex_operator(char c) {
     advance();
     switch (c) {
-      case '(': tokens.push_back(make(TokenKind::kLParen)); break;
-      case ')': tokens.push_back(make(TokenKind::kRParen)); break;
-      case '{': tokens.push_back(make(TokenKind::kLBrace)); break;
-      case '}': tokens.push_back(make(TokenKind::kRBrace)); break;
-      case '[': tokens.push_back(make(TokenKind::kLBracket)); break;
-      case ']': tokens.push_back(make(TokenKind::kRBracket)); break;
-      case ',': tokens.push_back(make(TokenKind::kComma)); break;
-      case ';': tokens.push_back(make(TokenKind::kSemicolon)); break;
-      case ':': tokens.push_back(make(TokenKind::kColon)); break;
-      case '?': tokens.push_back(make(TokenKind::kQuestion)); break;
-      case '~': tokens.push_back(make(TokenKind::kTilde)); break;
-      case '.': tokens.push_back(make(TokenKind::kDot)); break;
+      case '(': tokens_.push_back(make(TokenKind::kLParen)); break;
+      case ')': tokens_.push_back(make(TokenKind::kRParen)); break;
+      case '{': tokens_.push_back(make(TokenKind::kLBrace)); break;
+      case '}': tokens_.push_back(make(TokenKind::kRBrace)); break;
+      case '[': tokens_.push_back(make(TokenKind::kLBracket)); break;
+      case ']': tokens_.push_back(make(TokenKind::kRBracket)); break;
+      case ',': tokens_.push_back(make(TokenKind::kComma)); break;
+      case ';': tokens_.push_back(make(TokenKind::kSemicolon)); break;
+      case ':': tokens_.push_back(make(TokenKind::kColon)); break;
+      case '?': tokens_.push_back(make(TokenKind::kQuestion)); break;
+      case '~': tokens_.push_back(make(TokenKind::kTilde)); break;
+      case '.': tokens_.push_back(make(TokenKind::kDot)); break;
       case '+':
-        if (match('+')) tokens.push_back(make(TokenKind::kPlusPlus));
-        else if (match('=')) tokens.push_back(make(TokenKind::kPlusAssign));
-        else tokens.push_back(make(TokenKind::kPlus));
+        if (match('+')) tokens_.push_back(make(TokenKind::kPlusPlus));
+        else if (match('=')) tokens_.push_back(make(TokenKind::kPlusAssign));
+        else tokens_.push_back(make(TokenKind::kPlus));
         break;
       case '-':
-        if (match('-')) tokens.push_back(make(TokenKind::kMinusMinus));
-        else if (match('=')) tokens.push_back(make(TokenKind::kMinusAssign));
-        else if (match('>')) tokens.push_back(make(TokenKind::kArrow));
-        else tokens.push_back(make(TokenKind::kMinus));
+        if (match('-')) tokens_.push_back(make(TokenKind::kMinusMinus));
+        else if (match('=')) tokens_.push_back(make(TokenKind::kMinusAssign));
+        else if (match('>')) tokens_.push_back(make(TokenKind::kArrow));
+        else tokens_.push_back(make(TokenKind::kMinus));
         break;
       case '*':
-        tokens.push_back(make(match('=') ? TokenKind::kStarAssign : TokenKind::kStar));
+        tokens_.push_back(make(match('=') ? TokenKind::kStarAssign : TokenKind::kStar));
         break;
       case '/':
-        tokens.push_back(make(match('=') ? TokenKind::kSlashAssign : TokenKind::kSlash));
+        tokens_.push_back(make(match('=') ? TokenKind::kSlashAssign : TokenKind::kSlash));
         break;
       case '%':
-        tokens.push_back(make(match('=') ? TokenKind::kPercentAssign : TokenKind::kPercent));
+        tokens_.push_back(
+            make(match('=') ? TokenKind::kPercentAssign : TokenKind::kPercent));
         break;
       case '&':
-        if (match('&')) tokens.push_back(make(TokenKind::kAmpAmp));
-        else if (match('=')) tokens.push_back(make(TokenKind::kAmpAssign));
-        else tokens.push_back(make(TokenKind::kAmp));
+        if (match('&')) tokens_.push_back(make(TokenKind::kAmpAmp));
+        else if (match('=')) tokens_.push_back(make(TokenKind::kAmpAssign));
+        else tokens_.push_back(make(TokenKind::kAmp));
         break;
       case '|':
-        if (match('|')) tokens.push_back(make(TokenKind::kPipePipe));
-        else if (match('=')) tokens.push_back(make(TokenKind::kPipeAssign));
-        else tokens.push_back(make(TokenKind::kPipe));
+        if (match('|')) tokens_.push_back(make(TokenKind::kPipePipe));
+        else if (match('=')) tokens_.push_back(make(TokenKind::kPipeAssign));
+        else tokens_.push_back(make(TokenKind::kPipe));
         break;
       case '^':
-        tokens.push_back(make(match('=') ? TokenKind::kCaretAssign : TokenKind::kCaret));
+        tokens_.push_back(make(match('=') ? TokenKind::kCaretAssign : TokenKind::kCaret));
         break;
       case '!':
-        tokens.push_back(make(match('=') ? TokenKind::kNe : TokenKind::kBang));
+        tokens_.push_back(make(match('=') ? TokenKind::kNe : TokenKind::kBang));
         break;
       case '=':
-        tokens.push_back(make(match('=') ? TokenKind::kEq : TokenKind::kAssign));
+        tokens_.push_back(make(match('=') ? TokenKind::kEq : TokenKind::kAssign));
         break;
       case '<':
         if (match('<')) {
-          tokens.push_back(make(match('=') ? TokenKind::kShlAssign : TokenKind::kShl));
+          tokens_.push_back(make(match('=') ? TokenKind::kShlAssign : TokenKind::kShl));
         } else {
-          tokens.push_back(make(match('=') ? TokenKind::kLe : TokenKind::kLt));
+          tokens_.push_back(make(match('=') ? TokenKind::kLe : TokenKind::kLt));
         }
         break;
       case '>':
         if (match('>')) {
-          tokens.push_back(make(match('=') ? TokenKind::kShrAssign : TokenKind::kShr));
+          tokens_.push_back(make(match('=') ? TokenKind::kShrAssign : TokenKind::kShr));
         } else {
-          tokens.push_back(make(match('=') ? TokenKind::kGe : TokenKind::kGt));
+          tokens_.push_back(make(match('=') ? TokenKind::kGe : TokenKind::kGt));
         }
         break;
       default:
-        return error_here(std::string("unexpected character '") + c + "'");
+        fail_here(std::string("unexpected character '") + c + "'");
+        return false;
     }
+    return true;
   }
-  token_start_ = loc_;
-  tokens.push_back(make(TokenKind::kEof));
-  return tokens;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t committed_pos_ = 0;
+  SourceLoc loc_;
+  SourceLoc committed_loc_;
+  SourceLoc token_start_{};
+  detail::LexMode mode_;
+  bool final_;
+  bool suspended_ = false;
+  std::vector<Token> tokens_;
+  std::optional<common::Error> error_;
+};
+
+}  // namespace
+
+namespace detail {
+
+ChunkLex lex_chunk(std::string_view text, SourceLoc loc, LexMode mode, bool final) {
+  return ChunkLexer(text, loc, mode, final).run();
+}
+
+}  // namespace detail
+
+Lexer::Lexer(std::string source) : src_(std::move(source)) {}
+
+common::Result<std::vector<Token>> Lexer::tokenize() {
+  auto out = detail::lex_chunk(src_, SourceLoc{}, detail::LexMode::kNormal, true);
+  if (out.error.has_value()) return *out.error;
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.loc = out.loc;
+  out.tokens.push_back(eof);
+  return std::move(out.tokens);
 }
 
 }  // namespace repro::clfront

@@ -20,6 +20,15 @@ struct LowerError {
                                        std::to_string(loc.column) + ": " + msg)};
 }
 
+/// Unknown user-call failures carry kNotFound so LowerSession callers (the
+/// streaming featurizer) can distinguish "callee not declared *yet*" from a
+/// genuine lowering error and defer the function until the stream ends.
+[[noreturn]] void fail_unknown_callee(SourceLoc loc, const std::string& callee) {
+  throw LowerError{common::not_found("line " + std::to_string(loc.line) + ":" +
+                                     std::to_string(loc.column) +
+                                     ": call to unknown function '" + callee + "'")};
+}
+
 /// Builtin numeric constants accepted as identifiers.
 std::optional<Type> builtin_constant_type(const std::string& name) {
   static const std::map<std::string, Type> kConstants = {
@@ -63,20 +72,8 @@ int vload_width(const std::string& name, bool* is_store) {
 
 class Lowerer {
  public:
-  explicit Lowerer(const TranslationUnit& unit) : unit_(unit) {
-    for (const auto& fn : unit.functions) signatures_[fn.name] = &fn;
-  }
-
-  IrModule run() {
-    IrModule module;
-    for (const auto& fn : unit_.functions) {
-      module.functions.push_back(lower_function(fn));
-    }
-    return module;
-  }
-
- private:
-  // --- function / scope management ----------------------------------------
+  explicit Lowerer(const std::map<std::string, FunctionSignature>& signatures)
+      : signatures_(signatures) {}
 
   IrFunction lower_function(const FunctionDecl& fn) {
     current_ = IrFunction{};
@@ -92,6 +89,9 @@ class Lowerer {
     pop_scope();
     return std::move(current_);
   }
+
+ private:
+  // --- function / scope management ----------------------------------------
 
   void push_scope() { scopes_.emplace_back(); }
   void pop_scope() { scopes_.pop_back(); }
@@ -460,15 +460,14 @@ class Lowerer {
     // User-defined function.
     const auto it = signatures_.find(node.callee);
     if (it == signatures_.end()) {
-      fail(node.loc, "call to unknown function '" + node.callee + "'");
+      fail_unknown_callee(node.loc, node.callee);
     }
-    const FunctionDecl* callee = it->second;
-    if (node.args.size() != callee->params.size()) {
+    if (node.args.size() != it->second.num_params) {
       fail(node.loc, "wrong number of arguments to '" + node.callee + "'");
     }
     for (const auto& arg : node.args) lower_expr(*arg);
     emit(Opcode::kCall, 1, node.callee, node.loc);
-    return callee->return_type;
+    return it->second.return_type;
   }
 
   // --- statements ------------------------------------------------------------
@@ -581,8 +580,7 @@ class Lowerer {
     std::string break_label;
   };
 
-  const TranslationUnit& unit_;
-  std::map<std::string, const FunctionDecl*> signatures_;
+  const std::map<std::string, FunctionSignature>& signatures_;
   IrFunction current_;
   std::vector<std::map<std::string, Type>> scopes_;
   std::vector<LoopLabels> loop_stack_;
@@ -592,9 +590,40 @@ class Lowerer {
 }  // namespace
 
 common::Result<IrModule> lower_to_ir(const TranslationUnit& unit) {
+  // Declare every function first (forward references lower fine), then
+  // lower in declaration order — the exact sequence the streaming path
+  // reproduces incrementally through LowerSession.
+  std::map<std::string, FunctionSignature> signatures;
+  for (const auto& fn : unit.functions) {
+    signatures.emplace(fn.name, FunctionSignature{fn.return_type, fn.params.size()});
+  }
   try {
-    Lowerer lowerer(unit);
-    return lowerer.run();
+    Lowerer lowerer(signatures);
+    IrModule module;
+    for (const auto& fn : unit.functions) {
+      module.functions.push_back(lowerer.lower_function(fn));
+    }
+    return module;
+  } catch (LowerError& e) {
+    // The kNotFound unknown-callee sentinel is LowerSession-internal (it
+    // drives the streaming featurizer's deferral); at this public boundary
+    // an unknown callee is invalid source, i.e. a parse error — as it
+    // always has been.
+    if (e.error.code == common::ErrorCode::kNotFound) {
+      e.error.code = common::ErrorCode::kParseError;
+    }
+    return std::move(e.error);
+  }
+}
+
+void LowerSession::declare(const FunctionDecl& fn) {
+  signatures_.emplace(fn.name, FunctionSignature{fn.return_type, fn.params.size()});
+}
+
+common::Result<IrFunction> LowerSession::lower(const FunctionDecl& fn) const {
+  try {
+    Lowerer lowerer(signatures_);
+    return lowerer.lower_function(fn);
   } catch (LowerError& e) {
     return std::move(e.error);
   }

@@ -7,6 +7,9 @@
 // feature vector. Loop bodies are emitted once — the counts are static.
 #pragma once
 
+#include <map>
+#include <string>
+
 #include "clfront/ast.hpp"
 #include "clfront/ir.hpp"
 #include "common/status.hpp"
@@ -17,5 +20,33 @@ namespace repro::clfront {
 /// function declaration. Fails on undeclared identifiers, calls to unknown
 /// functions, or unsupported constructs.
 [[nodiscard]] common::Result<IrModule> lower_to_ir(const TranslationUnit& unit);
+
+/// What the lowerer needs to know about a call target: its arity (argument
+/// count check) and return type (usual-arithmetic-conversion input).
+struct FunctionSignature {
+  Type return_type;
+  std::size_t num_params = 0;
+};
+
+/// Incremental lowering for the streaming featurizer (clfront/stream.hpp):
+/// signatures accumulate as function definitions arrive, and each function
+/// lowers independently against everything declared so far. lower_to_ir is
+/// the one-shot equivalent — it declares every function of the unit first,
+/// then lowers them in order, so the two paths emit identical IR.
+class LowerSession {
+ public:
+  /// Register `fn` as a call target for subsequently lowered bodies. A
+  /// redefinition keeps the first signature, mirroring IrModule::find.
+  void declare(const FunctionDecl& fn);
+
+  /// Lower one function against the signatures declared so far. A call to a
+  /// user function with no declared signature fails with kNotFound — the
+  /// streaming featurizer defers those functions and retries once the whole
+  /// stream (hence every signature) has been seen.
+  [[nodiscard]] common::Result<IrFunction> lower(const FunctionDecl& fn) const;
+
+ private:
+  std::map<std::string, FunctionSignature> signatures_;
+};
 
 }  // namespace repro::clfront

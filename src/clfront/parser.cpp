@@ -124,6 +124,14 @@ void Parser::fail(const std::string& msg) const {
                                        std::to_string(loc.column) + ": " + msg)};
 }
 
+Parser::DepthGuard::DepthGuard(Parser& parser) : parser_(parser) {
+  if (parser_.depth_ >= kMaxNestingDepth) {
+    parser_.fail("nesting exceeds the depth budget of " +
+                 std::to_string(kMaxNestingDepth));
+  }
+  ++parser_.depth_;
+}
+
 bool Parser::looks_like_type_start(std::size_t ahead) const noexcept {
   const Token& t = peek(ahead);
   if (t.kind != TokenKind::kKeyword && t.kind != TokenKind::kIdentifier) return false;
@@ -220,6 +228,7 @@ std::unique_ptr<CompoundStmt> Parser::parse_compound() {
 }
 
 StmtPtr Parser::parse_statement() {
+  const DepthGuard depth(*this);
   const SourceLoc loc = peek().loc;
   if (check(TokenKind::kLBrace)) return parse_compound();
   if (match_keyword("if")) {
@@ -354,6 +363,10 @@ ExprPtr Parser::parse_binary(int min_prec) {
 }
 
 ExprPtr Parser::parse_unary() {
+  // Every expression-level recursion cycle (parenthesized primaries, casts,
+  // unary chains, nested subscripts/calls/ternaries) passes through here, so
+  // one guard bounds them all; parse_statement bounds the statement cycles.
+  const DepthGuard depth(*this);
   const SourceLoc loc = peek().loc;
   if (match(TokenKind::kMinus)) {
     return std::make_unique<UnaryExpr>(UnaryOp::kNegate, parse_unary(), loc);

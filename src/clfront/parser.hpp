@@ -17,6 +17,12 @@
 
 namespace repro::clfront {
 
+/// Hard nesting budget across statements and expressions. Pathologically
+/// nested input (thousands of parentheses or braces) fails with a parse
+/// error at this depth instead of overflowing the stack — the parser is fed
+/// untrusted sources over the serving socket.
+inline constexpr int kMaxNestingDepth = 256;
+
 class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
@@ -40,6 +46,16 @@ class Parser {
   const Token& expect(TokenKind kind, const std::string& what);
   [[noreturn]] void fail(const std::string& msg) const;
 
+  /// RAII guard enforcing kMaxNestingDepth on the recursive-descent entry
+  /// points (statements and unary expressions cover every recursion cycle).
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser);
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser_;
+  };
+
   // Types.
   [[nodiscard]] bool looks_like_type_start(std::size_t ahead = 0) const noexcept;
   Type parse_type();  // qualifiers + scalar/vector + optional '*'
@@ -61,6 +77,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 /// Convenience: lex + parse a source string.

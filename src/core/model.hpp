@@ -110,6 +110,10 @@ class FrequencyModel {
 
   // --- introspection ---------------------------------------------------------
   [[nodiscard]] const gpusim::FrequencyDomain& domain() const noexcept { return domain_; }
+  /// The feature scaler this model was trained with (frequency pairs mapped
+  /// into [0, 1] over the training domain) — what core::FeaturePipeline
+  /// assembles prediction inputs with.
+  [[nodiscard]] const FeatureAssembler& assembler() const noexcept { return assembler_; }
   [[nodiscard]] const std::vector<gpusim::FrequencyConfig>& training_configs()
       const noexcept {
     return training_configs_;

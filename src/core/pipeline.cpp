@@ -1,0 +1,27 @@
+#include "core/pipeline.hpp"
+
+namespace repro::core {
+
+FeaturePipeline::FeaturePipeline(FeatureAssembler assembler,
+                                 clfront::StreamOptions stream_options)
+    : assembler_(assembler), stream_options_(stream_options) {}
+
+common::Result<clfront::StaticFeatures> FeaturePipeline::featurize(
+    const std::string& source, const std::string& kernel) const {
+  // One-chunk streaming: bit-identical to the whole-string extractor (the
+  // chunk-size-invariance contract) and covered by the stream budgets.
+  clfront::SourceFeeder feeder(stream_options_);
+  if (auto st = feeder.feed(source); !st.ok()) return st.error();
+  if (auto st = feeder.finish(); !st.ok()) return st.error();
+  return feeder.features(kernel);
+}
+
+common::Result<std::vector<clfront::StaticFeatures>> FeaturePipeline::featurize_all(
+    const std::string& source) const {
+  clfront::SourceFeeder feeder(stream_options_);
+  if (auto st = feeder.feed(source); !st.ok()) return st.error();
+  if (auto st = feeder.finish(); !st.ok()) return st.error();
+  return feeder.kernel_features();
+}
+
+}  // namespace repro::core

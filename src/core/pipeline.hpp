@@ -1,0 +1,67 @@
+// The source→model-input featurization pipeline as a first-class object —
+// the front half of the paper's Fig. 3 flow:
+//
+//   OpenCL-C source ──clfront──▶ StaticFeatures ──normalize──▶ k (10 dims)
+//                                                     │
+//   FrequencyConfig ──FeatureAssembler (scaler)──▶ (f_core, f_mem) in [0,1]
+//                                                     ▼
+//                                     w = (k, f)  — the regressor input
+//
+// One FeaturePipeline is owned by every core::Predictor (built from the
+// trained model's FeatureAssembler, so assembled vectors match training) and
+// by every serving shard — it replaces the extract-then-predict glue that
+// examples and benches used to hand-roll. Featurization routes through
+// clfront::SourceFeeder, so whole-string and chunked input are bit-identical
+// and the streaming budgets (source size, nesting depth, call depth) guard
+// every entry point, including untrusted sources off the serving socket.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "clfront/features.hpp"
+#include "clfront/stream.hpp"
+#include "common/status.hpp"
+#include "core/features.hpp"
+#include "gpusim/freq_table.hpp"
+
+namespace repro::core {
+
+class FeaturePipeline {
+ public:
+  explicit FeaturePipeline(FeatureAssembler assembler,
+                           clfront::StreamOptions stream_options = {});
+
+  // --- source → static features ---------------------------------------------
+  /// Featurize one kernel (the first __kernel when `kernel` is empty).
+  [[nodiscard]] common::Result<clfront::StaticFeatures> featurize(
+      const std::string& source, const std::string& kernel = {}) const;
+
+  /// Featurize every kernel of a source, in declaration order.
+  [[nodiscard]] common::Result<std::vector<clfront::StaticFeatures>> featurize_all(
+      const std::string& source) const;
+
+  /// A SourceFeeder wired to this pipeline's budgets, for callers that
+  /// stream large sources chunk by chunk.
+  [[nodiscard]] clfront::SourceFeeder feeder() const {
+    return clfront::SourceFeeder(stream_options_);
+  }
+
+  // --- static features + frequency → model input ----------------------------
+  [[nodiscard]] std::array<double, kFeatureDim> assemble(
+      const clfront::StaticFeatures& features, gpusim::FrequencyConfig config) const {
+    return assembler_.assemble(features, config);
+  }
+
+  [[nodiscard]] const FeatureAssembler& assembler() const noexcept { return assembler_; }
+  [[nodiscard]] const clfront::StreamOptions& stream_options() const noexcept {
+    return stream_options_;
+  }
+
+ private:
+  FeatureAssembler assembler_;
+  clfront::StreamOptions stream_options_;
+};
+
+}  // namespace repro::core

@@ -165,11 +165,46 @@ common::Result<std::vector<PredictedPoint>> Predictor::predict_pareto(
   return model_->predict_pareto(features, configs);
 }
 
+common::Result<Predictor::KernelPrediction> Predictor::predict_source(
+    const std::string& opencl_source, const std::string& kernel_name) const {
+  auto features = pipeline_.featurize(opencl_source, kernel_name);
+  if (!features.ok()) return features.error();
+  KernelPrediction prediction;
+  prediction.kernel = features.value().kernel_name;
+  prediction.pareto = model_->predict_pareto(features.value());
+  return prediction;
+}
+
 common::Result<std::vector<PredictedPoint>> Predictor::predict_pareto_source(
     const std::string& opencl_source, const std::string& kernel_name) const {
-  auto features = clfront::extract_features_from_source(opencl_source, kernel_name);
-  if (!features.ok()) return features.error();
-  return model_->predict_pareto(features.value());
+  auto prediction = predict_source(opencl_source, kernel_name);
+  if (!prediction.ok()) return prediction.error();
+  return std::move(prediction.value().pareto);
+}
+
+common::Result<std::vector<Predictor::KernelPrediction>> Predictor::predict_source_batch(
+    std::span<const SourceRequest> sources) const {
+  if (sources.empty()) {
+    return common::invalid_argument("predict_source_batch: no sources");
+  }
+  // Sources are independent — featurize and predict each into its own slot
+  // (identical to the serial loop at any thread count); the first failure
+  // by input order, not completion order, fails the batch.
+  std::vector<common::Result<KernelPrediction>> slots(
+      sources.size(), common::internal_error("unset"));
+  common::ThreadPool::global().parallel_for(
+      0, sources.size(), 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          slots[i] = predict_source(sources[i].source, sources[i].kernel);
+        }
+      });
+  std::vector<KernelPrediction> out;
+  out.reserve(sources.size());
+  for (auto& slot : slots) {
+    if (!slot.ok()) return slot.error();
+    out.push_back(std::move(slot).take());
+  }
+  return out;
 }
 
 common::Result<std::vector<Predictor::KernelPrediction>> Predictor::predict_batch(

@@ -28,6 +28,7 @@
 #include "common/status.hpp"
 #include "core/measurement.hpp"
 #include "core/model.hpp"
+#include "core/pipeline.hpp"
 
 namespace repro::core {
 
@@ -52,6 +53,12 @@ class Predictor {
     std::vector<PredictedPoint> pareto;
   };
 
+  /// One raw-source prediction request (predict_source_batch, serving).
+  struct SourceRequest {
+    std::string source;  ///< OpenCL-C translation unit
+    std::string kernel;  ///< kernel name; empty = first __kernel in `source`
+  };
+
   // --- single-point ----------------------------------------------------------
   /// Predict both objectives for one kernel at one configuration. The
   /// configuration must be reported by the device's frequency domain.
@@ -70,10 +77,22 @@ class Predictor {
       const clfront::StaticFeatures& features,
       std::span<const gpusim::FrequencyConfig> configs) const;
 
-  /// Extract static features from OpenCL-C source, then predict its Pareto
-  /// set — the paper's Fig. 3 flow in one call.
+  // --- source-to-frequency (the paper's Fig. 3 flow) -------------------------
+  /// Featurize OpenCL-C source through the owned FeaturePipeline and predict
+  /// its Pareto set — source in, frequency recommendations out.
+  [[nodiscard]] common::Result<KernelPrediction> predict_source(
+      const std::string& opencl_source, const std::string& kernel_name = {}) const;
+
+  /// Same, keeping only the Pareto set (the pre-pipeline spelling).
   [[nodiscard]] common::Result<std::vector<PredictedPoint>> predict_pareto_source(
       const std::string& opencl_source, const std::string& kernel_name = {}) const;
+
+  /// predict_source over many sources, parallelized across them on the
+  /// global thread pool. Output order and every byte are identical to the
+  /// serial loop at any thread count; the first failing source (by input
+  /// order) fails the batch.
+  [[nodiscard]] common::Result<std::vector<KernelPrediction>> predict_source_batch(
+      std::span<const SourceRequest> sources) const;
 
   // --- batch of kernels ------------------------------------------------------
   /// Pareto predictions for many kernels, parallelized across kernels on
@@ -83,6 +102,9 @@ class Predictor {
       std::span<const clfront::StaticFeatures> kernels) const;
 
   // --- introspection ---------------------------------------------------------
+  /// The source→features→model-input pipeline this predictor featurizes
+  /// with (built on the trained model's FeatureAssembler).
+  [[nodiscard]] const FeaturePipeline& pipeline() const noexcept { return pipeline_; }
   [[nodiscard]] const FrequencyModel& model() const noexcept { return *model_; }
   /// The trained model as a shareable handle (what serve::ModelCache stores).
   [[nodiscard]] std::shared_ptr<const FrequencyModel> share_model() const noexcept {
@@ -99,10 +121,13 @@ class Predictor {
  private:
   Predictor(std::unique_ptr<MeasurementBackend> backend,
             std::shared_ptr<const FrequencyModel> model)
-      : backend_(std::move(backend)), model_(std::move(model)) {}
+      : backend_(std::move(backend)),
+        model_(std::move(model)),
+        pipeline_(model_->assembler()) {}
 
   std::unique_ptr<MeasurementBackend> backend_;
   std::shared_ptr<const FrequencyModel> model_;
+  FeaturePipeline pipeline_;
 };
 
 class Predictor::Builder {

@@ -96,11 +96,52 @@ common::Result<core::Predictor::KernelPrediction> SocketClient::predict_source(
   return round_trip(format_request(request), request.id);
 }
 
-common::Result<core::Predictor::KernelPrediction> SocketClient::round_trip(
-    const std::string& request_line, std::uint64_t expect_id) {
-  if (fd_ < 0) return common::io_error("SocketClient: not connected");
+std::vector<common::Result<core::Predictor::KernelPrediction>>
+SocketClient::predict_source_many(
+    const std::vector<core::Predictor::SourceRequest>& sources) {
+  // Keep at most this many requests outstanding (written, response not yet
+  // read). A client that writes an unbounded burst before reading deadlocks
+  // against the server's own pipelining window once both directions' socket
+  // buffers fill: the server's writer blocks on us, its reader stops at
+  // max_inflight, and our send_line blocks on the server — forever. Staying
+  // below the server's default window (64) keeps the pipeline moving.
+  constexpr std::size_t kMaxOutstanding = 32;
 
-  std::string line = request_line;
+  std::vector<common::Result<core::Predictor::KernelPrediction>> out;
+  out.reserve(sources.size());
+  const std::uint64_t first_id = next_id_;
+  // Interleaved pipelining: write ahead of the responses (the server
+  // decodes request N+1 while N's batch is in flight), draining the oldest
+  // response whenever the window is full. Responses arrive in request
+  // order, so slot k always reads id first_id + k. A write failure fails
+  // the remaining slots but the responses already owed are still read.
+  std::size_t sent = 0;
+  std::size_t read = 0;
+  common::Status send_status = common::Status::Ok();
+  for (const auto& source : sources) {
+    if (sent - read >= kMaxOutstanding) {
+      out.push_back(read_response(first_id + read));
+      ++read;
+    }
+    WireRequest request;
+    request.id = next_id_++;
+    request.kernel = source.kernel;
+    request.source = source.source;
+    send_status = send_line(format_request(request));
+    if (!send_status.ok()) break;
+    ++sent;
+  }
+  for (; read < sent; ++read) {
+    out.push_back(read_response(first_id + read));
+  }
+  for (std::size_t i = sent; i < sources.size(); ++i) {
+    out.push_back(send_status.error());
+  }
+  return out;
+}
+
+common::Status SocketClient::send_line(std::string line) {
+  if (fd_ < 0) return common::io_error("SocketClient: not connected");
   line.push_back('\n');
   std::string_view remaining(line);
   while (!remaining.empty()) {
@@ -112,7 +153,12 @@ common::Result<core::Predictor::KernelPrediction> SocketClient::round_trip(
     }
     remaining.remove_prefix(static_cast<std::size_t>(n));
   }
+  return common::Status::Ok();
+}
 
+common::Result<core::Predictor::KernelPrediction> SocketClient::read_response(
+    std::uint64_t expect_id) {
+  if (fd_ < 0) return common::io_error("SocketClient: not connected");
   for (;;) {
     const auto nl = buffer_.find('\n');
     if (nl != std::string::npos) {
@@ -137,6 +183,12 @@ common::Result<core::Predictor::KernelPrediction> SocketClient::round_trip(
     if (n == 0) return common::io_error("SocketClient: server closed the connection");
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+common::Result<core::Predictor::KernelPrediction> SocketClient::round_trip(
+    const std::string& request_line, std::uint64_t expect_id) {
+  if (auto st = send_line(request_line); !st.ok()) return st.error();
+  return read_response(expect_id);
 }
 
 }  // namespace repro::serve

@@ -1,13 +1,17 @@
 // A small blocking client for the repro_serve wire protocol: connect to a
-// Unix or TCP endpoint, send one line-delimited JSON request per call, read
-// one response line. Not thread-safe — use one client per thread (the
-// server batches across connections).
+// Unix or TCP endpoint, send line-delimited JSON requests, read response
+// lines. predict/predict_source are strict request→response round trips;
+// predict_source_many pipelines — all requests are written back-to-back and
+// the responses (which the server returns in request order) are read
+// afterwards, filling the server's micro-batching window from one
+// connection. Not thread-safe — use one client per thread.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "clfront/features.hpp"
 #include "common/status.hpp"
@@ -31,12 +35,21 @@ class SocketClient {
   [[nodiscard]] common::Result<core::Predictor::KernelPrediction> predict(
       const clfront::StaticFeatures& features);
 
-  /// Predict from OpenCL-C source (features are extracted server-side).
+  /// Predict from OpenCL-C source (features are extracted server-side, on
+  /// the worker shards).
   [[nodiscard]] common::Result<core::Predictor::KernelPrediction> predict_source(
       const std::string& opencl_source, const std::string& kernel_name = {});
 
+  /// Pipelined predict_source over many sources: write every request line,
+  /// then read the in-order responses. One Result per input, same order.
+  [[nodiscard]] std::vector<common::Result<core::Predictor::KernelPrediction>>
+  predict_source_many(const std::vector<core::Predictor::SourceRequest>& sources);
+
  private:
   explicit SocketClient(int fd) : fd_(fd) {}
+  [[nodiscard]] common::Status send_line(std::string line);
+  [[nodiscard]] common::Result<core::Predictor::KernelPrediction> read_response(
+      std::uint64_t expect_id);
   [[nodiscard]] common::Result<core::Predictor::KernelPrediction> round_trip(
       const std::string& request_line, std::uint64_t expect_id);
 

@@ -409,6 +409,22 @@ common::Result<WireRequest> parse_request(const std::string& line) {
     return common::parse_error(
         "protocol: request needs exactly one of \"features\" or \"source\"");
   }
+  // Optional explicit request type; when present it must match the payload
+  // (a "predict_source" request with a features array is a client bug worth
+  // rejecting loudly, not guessing about).
+  if (const JsonValue* type = doc.value().find("type"); type != nullptr) {
+    if (!type->is_string()) {
+      return common::parse_error("protocol: \"type\" must be a string");
+    }
+    const std::string& t = type->as_string();
+    if (t != "predict" && t != "predict_source") {
+      return common::parse_error("protocol: unknown request type \"" + t + "\"");
+    }
+    if ((t == "predict_source") != (source != nullptr)) {
+      return common::parse_error("protocol: request type \"" + t +
+                                 "\" does not match its payload");
+    }
+  }
   if (features != nullptr) {
     if (!features->is_array() ||
         features->as_array().size() != clfront::kNumFeatures) {
@@ -442,6 +458,9 @@ common::Result<WireRequest> parse_request(const std::string& line) {
 
 std::string format_request(const WireRequest& request) {
   std::string out = "{\"id\":" + std::to_string(request.id);
+  // Feature requests stay in the legacy (type-free) framing so old servers
+  // keep accepting them; source requests name the predict_source type.
+  if (request.source.has_value()) out += ",\"type\":\"predict_source\"";
   if (!request.kernel.empty()) {
     out += ",\"kernel\":" + json_quote(request.kernel);
   }

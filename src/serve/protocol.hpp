@@ -1,11 +1,20 @@
 // The line-delimited JSON wire protocol of repro_serve.
 //
 // One request per line, one response line per request, over a Unix or TCP
-// socket. A request names the kernel either by its 10 raw static feature
-// counts or by OpenCL-C source (extracted server-side):
+// socket. Two request types: "predict" carries the 10 raw static feature
+// counts, "predict_source" carries OpenCL-C source that the server
+// featurizes on its worker shards (inside the micro-batch, off the
+// connection thread):
 //
-//   {"id": 7, "kernel": "saxpy", "features": [12, 0, 0, 0, 8, 8, 0, 0, 3, 0]}
-//   {"id": 8, "source": "kernel void f(global float* x) { ... }"}
+//   {"id": 7, "type": "predict", "kernel": "saxpy",
+//    "features": [12, 0, 0, 0, 8, 8, 0, 0, 3, 0]}
+//   {"id": 8, "type": "predict_source",
+//    "source": "kernel void f(global float* x) { ... }"}
+//
+// "type" may be omitted for backward compatibility — the payload member
+// then decides — but when present it must match the payload. Connections
+// are pipelined: clients may write any number of request lines without
+// waiting; responses come back in request order.
 //
 // Responses echo the id and carry the predicted Pareto set, or an error:
 //
@@ -90,11 +99,14 @@ class JsonValue {
 struct WireRequest {
   std::uint64_t id = 0;
   std::string kernel;  // optional display name; defaults applied server-side
-  /// Exactly one of the two is set after a successful parse.
+  /// Exactly one of the two is set after a successful parse: "predict"
+  /// requests carry features, "predict_source" requests carry source.
   std::optional<std::array<double, clfront::kNumFeatures>> features;  // raw counts
   std::optional<std::string> source;                                  // OpenCL-C
 
   /// The features to predict on — extracts from `source` when needed.
+  /// (The server no longer calls this for source requests: featurization
+  /// runs on the worker shards via Service::submit_source.)
   [[nodiscard]] common::Result<clfront::StaticFeatures> to_features() const;
 };
 

@@ -5,17 +5,21 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/queue.hpp"
 #include "serve/protocol.hpp"
 
 namespace repro::serve {
@@ -212,6 +216,41 @@ void SocketServer::Impl::reap_finished_locked() {
 }
 
 void SocketServer::Impl::serve_connection(int fd) {
+  // Pipelined request handling: the reader below decodes and submits
+  // request N+1 while N's batch is still in flight; this writer drains an
+  // in-order reply queue, so responses always come back in request order.
+  // The queue bound is the pipelining window — a client that streams
+  // requests without reading responses blocks the reader at max_inflight
+  // outstanding (backpressure), never the server.
+  struct PendingReply {
+    std::uint64_t id = 0;
+    // Engaged for submitted requests; preformatted error line otherwise.
+    std::optional<std::future<Service::Response>> response;
+    std::string immediate;
+  };
+  common::BoundedQueue<PendingReply> replies(std::max<std::size_t>(1, options.max_inflight));
+  std::atomic<bool> write_failed{false};
+  std::thread writer([&] {
+    while (auto pending = replies.pop()) {
+      if (write_failed.load(std::memory_order_relaxed)) continue;  // drain only
+      std::string reply;
+      if (pending->response.has_value()) {
+        auto response = pending->response->get();
+        reply = response.ok() ? format_response(pending->id, response.value())
+                              : format_error(pending->id, response.error());
+      } else {
+        reply = std::move(pending->immediate);
+      }
+      reply.push_back('\n');
+      if (!write_all(fd, reply)) {
+        write_failed.store(true, std::memory_order_relaxed);
+        // The peer is gone; unblock the reader's read() so the connection
+        // tears down promptly instead of at the next request.
+        ::shutdown(fd, SHUT_RD);
+      }
+    }
+  });
+
   std::string buffer;
   char chunk[4096];
   bool overlong = false;
@@ -230,46 +269,54 @@ void SocketServer::Impl::serve_connection(int fd) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
 
-      // Parse → extract features → predict (blocking; batching happens in
-      // the Service across all connections) → answer on this connection.
-      std::string reply;
+      PendingReply pending;
       auto request = parse_request(line);
       if (!request.ok()) {
         std::lock_guard slock(stats_mutex);
         ++stats.protocol_errors;
         // Echo the id whenever one is recoverable from the malformed line,
         // so clients correlating by id see the real error.
-        reply = format_error(best_effort_id(line), request.error());
+        pending.id = best_effort_id(line);
+        pending.immediate = format_error(pending.id, request.error());
       } else {
-        std::lock_guard slock(stats_mutex);
-        ++stats.requests;
-      }
-      if (request.ok()) {
-        auto features = request.value().to_features();
-        if (!features.ok()) {
-          reply = format_error(request.value().id, features.error());
+        {
+          std::lock_guard slock(stats_mutex);
+          ++stats.requests;
+        }
+        auto& wire = request.value();
+        pending.id = wire.id;
+        if (wire.source.has_value()) {
+          // predict_source: ship the raw bytes; the worker shard featurizes
+          // inside the batch, off this connection thread.
+          pending.response = service->submit_source(std::move(*wire.source),
+                                                    std::move(wire.kernel));
         } else {
-          auto response = service->predict(std::move(features).take());
-          reply = response.ok()
-                      ? format_response(request.value().id, response.value())
-                      : format_error(request.value().id, response.error());
+          auto features = wire.to_features();
+          if (!features.ok()) {
+            pending.immediate = format_error(wire.id, features.error());
+          } else {
+            pending.response = service->submit(std::move(features).take());
+          }
         }
       }
-      reply.push_back('\n');
-      if (!write_all(fd, reply)) return;
+      replies.push(std::move(pending));
     }
     buffer.erase(0, start);
     if (buffer.size() > options.max_line_bytes) {
-      std::string reply = format_error(
+      PendingReply pending;
+      pending.immediate = format_error(
           0, common::invalid_argument("protocol: request line exceeds " +
                                       std::to_string(options.max_line_bytes) +
                                       " bytes"));
-      reply.push_back('\n');
-      write_all(fd, reply);
+      replies.push(std::move(pending));
       overlong = true;
       break;
     }
   }
+  // In-flight requests are still answered: close() lets the writer drain
+  // everything already queued before it exits.
+  replies.close();
+  writer.join();
   if (overlong) {
     std::lock_guard slock(stats_mutex);
     ++stats.protocol_errors;

@@ -1,11 +1,16 @@
 // The socket front of serve::Service: line-delimited JSON requests over a
 // Unix-domain or TCP socket (see protocol.hpp for the wire format).
 //
-// One acceptor thread plus one thread per connection; each connection's
-// requests are submitted to the shared Service, so micro-batching coalesces
-// across connections. Responses to a connection are written in its request
-// order. stop() is graceful: the listener closes, open connections are shut
-// down, in-flight requests are still answered.
+// One acceptor thread plus a reader/writer thread pair per connection, and
+// each connection is *pipelined*: the reader decodes and submits request
+// N+1 while N's batch is still in flight (up to max_inflight outstanding),
+// and the writer sends responses back strictly in request order. A client
+// that streams many request lines without waiting therefore fills the
+// micro-batching window from a single connection — previously batching only
+// coalesced across connections. Requests are submitted to the shared
+// Service; predict_source requests ship raw bytes and featurize on the
+// worker shards. stop() is graceful: the listener closes, open connections
+// are shut down, in-flight requests are still answered.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +31,10 @@ struct ServerOptions {
   /// Requests longer than this are answered with an error and the
   /// connection is closed (protects the server from unbounded buffering).
   std::size_t max_line_bytes = 1 << 20;
+  /// Per-connection pipelining window: how many decoded requests may be in
+  /// flight (submitted, response not yet written) before the reader stops
+  /// decoding — backpressure against a client that streams without reading.
+  std::size_t max_inflight = 64;
 };
 
 class SocketServer {

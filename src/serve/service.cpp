@@ -124,7 +124,19 @@ void Service::stop() {
 
 std::future<Service::Response> Service::submit(clfront::StaticFeatures features) {
   Request request;
-  request.features = std::move(features);
+  request.payload = std::move(features);
+  return enqueue(std::move(request), /*is_source=*/false);
+}
+
+std::future<Service::Response> Service::submit_source(std::string source,
+                                                      std::string kernel) {
+  Request request;
+  request.payload =
+      core::Predictor::SourceRequest{std::move(source), std::move(kernel)};
+  return enqueue(std::move(request), /*is_source=*/true);
+}
+
+std::future<Service::Response> Service::enqueue(Request request, bool is_source) {
   auto future = request.promise.get_future();
   // The sequence number is taken immediately before the push; the queue's
   // FIFO order under its mutex can interleave differently, which is why the
@@ -141,11 +153,16 @@ std::future<Service::Response> Service::submit(clfront::StaticFeatures features)
   }
   std::lock_guard lock(impl_->stats_mutex);
   ++impl_->stats.requests;
+  if (is_source) ++impl_->stats.source_requests;
   return future;
 }
 
 Service::Response Service::predict(clfront::StaticFeatures features) {
   return submit(std::move(features)).get();
+}
+
+Service::Response Service::predict_source(std::string source, std::string kernel) {
+  return submit_source(std::move(source), std::move(kernel)).get();
 }
 
 std::vector<Service::Response> Service::predict_many(
@@ -220,19 +237,43 @@ void Service::shard_loop(std::size_t shard_index) {
     auto batch = queue.pop();
     if (!batch.has_value()) return;  // closed and drained
 
+    // Featurize source payloads here, on the shard — a request's features
+    // depend only on its own bytes, so where this runs cannot change the
+    // output. A featurization failure answers just that request; everything
+    // that featurized joins the batch prediction. Only the promises are
+    // needed after this — move, don't copy.
     std::vector<clfront::StaticFeatures> features;
+    std::vector<std::size_t> slots;  // batch index serving features[k]
     features.reserve(batch->size());
-    // Only the promises are needed after this — move, don't copy.
-    for (auto& request : *batch) features.push_back(std::move(request.features));
+    slots.reserve(batch->size());
+    for (std::size_t i = 0; i < batch->size(); ++i) {
+      auto& request = (*batch)[i];
+      if (auto* ready = std::get_if<clfront::StaticFeatures>(&request.payload)) {
+        features.push_back(std::move(*ready));
+        slots.push_back(i);
+        continue;
+      }
+      auto& source = std::get<core::Predictor::SourceRequest>(request.payload);
+      auto extracted = predictor.pipeline().featurize(source.source, source.kernel);
+      if (extracted.ok()) {
+        features.push_back(std::move(extracted).take());
+        slots.push_back(i);
+      } else {
+        request.promise.set_value(extracted.error());
+      }
+    }
+    if (features.empty()) continue;
 
     auto predictions = predictor.predict_batch(features);
     if (predictions.ok()) {
       auto& results = predictions.value();
-      for (std::size_t i = 0; i < batch->size(); ++i) {
-        (*batch)[i].promise.set_value(std::move(results[i]));
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        (*batch)[slots[k]].promise.set_value(std::move(results[k]));
       }
     } else {
-      for (auto& request : *batch) request.promise.set_value(predictions.error());
+      for (std::size_t slot : slots) {
+        (*batch)[slot].promise.set_value(predictions.error());
+      }
     }
   }
 }

@@ -4,7 +4,14 @@
 //   admission queue          scheduler                shards
 //   (BoundedQueue) ──pop──▶ coalesce ≤ max_batch  ──▶ shard 0: Predictor ─▶ promise
 //    submit() seq#           within batch_window  ──▶ shard 1: Predictor ─▶ promise
-//                            sort by seq#, RR     ──▶ …        (LRU ModelCache)
+//    submit_source()         sort by seq#, RR     ──▶ …        (LRU ModelCache)
+//
+// Requests carry either pre-extracted features (submit) or raw OpenCL-C
+// source (submit_source). Source requests are featurized on the worker
+// shard that serves their batch — through the shard Predictor's
+// core::FeaturePipeline — so featurization parallelizes across shards and
+// never blocks the submitting (connection) thread; a featurization failure
+// resolves only that request's promise, never its batch neighbours'.
 //
 // Determinism: a request's prediction depends only on its features and the
 // trained model — never on which batch, shard, or thread served it — so
@@ -26,6 +33,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "benchgen/benchgen.hpp"
@@ -81,8 +89,14 @@ class Service {
   /// error after stop().
   [[nodiscard]] std::future<Response> submit(clfront::StaticFeatures features);
 
-  /// Blocking convenience around submit().
+  /// Enqueue a raw-source request; featurization happens on the worker
+  /// shard inside the batch (the serving half of Predictor::predict_source).
+  [[nodiscard]] std::future<Response> submit_source(std::string source,
+                                                    std::string kernel = {});
+
+  /// Blocking convenience around submit() / submit_source().
   [[nodiscard]] Response predict(clfront::StaticFeatures features);
+  [[nodiscard]] Response predict_source(std::string source, std::string kernel = {});
 
   /// Submit all, then gather in input order.
   [[nodiscard]] std::vector<Response> predict_many(
@@ -93,9 +107,10 @@ class Service {
   void stop();
 
   struct Stats {
-    std::uint64_t requests = 0;   // admitted
-    std::uint64_t rejected = 0;   // submit() after stop
-    std::uint64_t batches = 0;    // predict_batch calls issued
+    std::uint64_t requests = 0;         // admitted (both kinds)
+    std::uint64_t source_requests = 0;  // admitted submit_source requests
+    std::uint64_t rejected = 0;         // submit() after stop
+    std::uint64_t batches = 0;          // predict_batch calls issued
     std::uint64_t max_batch_seen = 0;
   };
   [[nodiscard]] Stats stats() const;
@@ -110,10 +125,12 @@ class Service {
 
   struct Request {
     std::uint64_t seq = 0;
-    clfront::StaticFeatures features;
+    std::variant<clfront::StaticFeatures, core::Predictor::SourceRequest> payload;
     std::promise<Response> promise;
   };
   using Batch = std::vector<Request>;
+
+  [[nodiscard]] std::future<Response> enqueue(Request request, bool is_source);
 
   std::shared_ptr<const core::FrequencyModel> model_;
   ServiceOptions options_;

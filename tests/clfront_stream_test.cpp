@@ -1,0 +1,227 @@
+// Streaming featurization: the chunk-size-invariance contract. Feeding a
+// source through SourceFeeder in chunks of ANY size — including one byte at
+// a time — must produce bit-identical features, the same kernel set, and
+// the same errors as the whole-string path (extract_features_from_source).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "clfront/features.hpp"
+#include "clfront/parser.hpp"
+#include "clfront/stream.hpp"
+
+namespace rcl = repro::clfront;
+namespace rc = repro::common;
+
+namespace {
+
+/// A workout for the lexer and the function splitter: comments (line/block,
+/// some spanning lines), a preprocessor line, float/hex/suffixed literals,
+/// vector literals, helpers called before AND after their definition, and
+/// two kernels.
+const char* kMultiKernelSource = R"CL(
+#pragma OPENCL EXTENSION cl_khr_fp64 : enable
+// scale by a constant /* not a block comment opener inside a line comment
+float helper_before(float v) { return v * 2.0f + 1.0e-3f; }
+
+kernel void first_kernel(global float* x, global float* y, int n) {
+  int gid = get_global_id(0);
+  /* block
+     comment */
+  float a = helper_before(x[gid]);
+  float b = helper_after(a);        // forward reference
+  float4 v = (float4)(a, b, 0.5f, 1.25f);
+  y[gid] = dot(v, v) + native_sin(a) / (b + 0x10);
+}
+
+float helper_after(float v) { return v - 3u; }
+
+kernel void second_kernel(global int* z) {
+  int gid = get_global_id(0);
+  for (int i = 0; i < 8; i++) z[gid] = z[gid] << 1 | (z[gid] & 1);
+}
+)CL";
+
+bool features_bitwise_equal(const rcl::StaticFeatures& a, const rcl::StaticFeatures& b) {
+  return a.kernel_name == b.kernel_name &&
+         std::memcmp(a.counts.data(), b.counts.data(),
+                     sizeof(double) * rcl::kNumFeatures) == 0;
+}
+
+}  // namespace
+
+TEST(SourceFeederTest, ChunkSizeInvariance) {
+  const std::string source = kMultiKernelSource;
+  for (const char* kernel : {"", "first_kernel", "second_kernel"}) {
+    const auto whole = rcl::extract_features_from_source(source, kernel);
+    ASSERT_TRUE(whole.ok()) << whole.error().message;
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                    std::size_t{5}, std::size_t{7}, std::size_t{64},
+                                    std::size_t{4096}, source.size()}) {
+      const auto streamed = rcl::extract_features_chunked(source, chunk, kernel);
+      ASSERT_TRUE(streamed.ok())
+          << "chunk=" << chunk << ": " << streamed.error().message;
+      EXPECT_TRUE(features_bitwise_equal(whole.value(), streamed.value()))
+          << "chunk=" << chunk << " kernel='" << kernel << "'\nwhole:    "
+          << whole.value().to_string() << "\nstreamed: "
+          << streamed.value().to_string();
+    }
+  }
+}
+
+TEST(SourceFeederTest, KernelFeaturesListsKernelsInOrder) {
+  rcl::SourceFeeder feeder;
+  ASSERT_TRUE(feeder.feed(kMultiKernelSource).ok());
+  ASSERT_TRUE(feeder.finish().ok());
+  const auto kernels = feeder.kernel_features();
+  ASSERT_TRUE(kernels.ok()) << kernels.error().message;
+  ASSERT_EQ(kernels.value().size(), 2u);
+  EXPECT_EQ(kernels.value()[0].kernel_name, "first_kernel");
+  EXPECT_EQ(kernels.value()[1].kernel_name, "second_kernel");
+  const auto whole = rcl::extract_features_from_source(kMultiKernelSource,
+                                                       "second_kernel");
+  ASSERT_TRUE(whole.ok());
+  EXPECT_TRUE(features_bitwise_equal(whole.value(), kernels.value()[1]));
+}
+
+TEST(SourceFeederTest, PendingBufferStaysBoundedOnLargeInput) {
+  // 400 small functions, each complete: the feeder must summarize and
+  // release them as they stream — the pending buffer never holds more than
+  // a chunk plus one unfinished token, and never the whole source.
+  std::string source;
+  for (int i = 0; i < 400; ++i) {
+    source += "float fn" + std::to_string(i) + "(float v) { return v * " +
+              std::to_string(i) + ".5f; /* filler comment to fatten the source " +
+              std::string(64, 'x') + " */ }\n";
+  }
+  source += "kernel void big(global float* x) { x[0] = fn399(fn0(x[0])); }\n";
+
+  rcl::SourceFeeder feeder;
+  constexpr std::size_t kChunk = 256;
+  for (std::size_t off = 0; off < source.size(); off += kChunk) {
+    ASSERT_TRUE(feeder.feed(std::string_view(source).substr(off, kChunk)).ok());
+  }
+  ASSERT_TRUE(feeder.finish().ok());
+  EXPECT_EQ(feeder.bytes_fed(), source.size());
+  EXPECT_LT(feeder.peak_pending_bytes(), std::size_t{2048});
+
+  const auto whole = rcl::extract_features_from_source(source);
+  const auto streamed = feeder.features();
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(streamed.ok()) << streamed.error().message;
+  EXPECT_TRUE(features_bitwise_equal(whole.value(), streamed.value()));
+}
+
+TEST(SourceFeederTest, ErrorParityWithWholeStringPath) {
+  // Lexical, parse, lowering, kernel-lookup, and cycle errors must agree
+  // with the whole-string path — same code, same message — at any chunking.
+  const struct Case {
+    const char* name;
+    const char* source;
+  } cases[] = {
+      {"lex_unterminated_comment", "kernel void f(global int* x) { x[0] = 1; } /* oops"},
+      {"lex_bad_char", "kernel void f(global int* x) { x[0] = 1 @ 2; }"},
+      {"parse_missing_paren", "kernel void f(global int* x { x[0] = 1; }"},
+      {"lower_unknown_call", "kernel void f(global int* x) { x[0] = nosuch(1); }"},
+      {"lower_undeclared_var", "kernel void f(global int* x) { x[0] = y; }"},
+      {"recursive_chain",
+       "float a(float v) { return b(v); } float b(float v) { return a(v); } "
+       "kernel void f(global float* x) { x[0] = a(x[0]); }"},
+  };
+  for (const auto& c : cases) {
+    const auto whole = rcl::extract_features_from_source(c.source);
+    ASSERT_FALSE(whole.ok()) << c.name;
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{9}, std::size_t{1024}}) {
+      const auto streamed = rcl::extract_features_chunked(c.source, chunk);
+      ASSERT_FALSE(streamed.ok()) << c.name << " chunk=" << chunk;
+      EXPECT_EQ(static_cast<int>(streamed.error().code),
+                static_cast<int>(whole.error().code))
+          << c.name << " chunk=" << chunk;
+      EXPECT_EQ(streamed.error().message, whole.error().message)
+          << c.name << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(SourceFeederTest, UnknownKernelNameMatchesWholeString) {
+  const auto whole =
+      rcl::extract_features_from_source(kMultiKernelSource, "missing_kernel");
+  const auto streamed =
+      rcl::extract_features_chunked(kMultiKernelSource, 16, "missing_kernel");
+  ASSERT_FALSE(whole.ok());
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.error().message, whole.error().message);
+  // And a helper is findable by name but is not a kernel — both paths
+  // resolve it (extract_features allows any function by name).
+  const auto helper_whole =
+      rcl::extract_features_from_source(kMultiKernelSource, "helper_after");
+  const auto helper_streamed =
+      rcl::extract_features_chunked(kMultiKernelSource, 16, "helper_after");
+  ASSERT_TRUE(helper_whole.ok());
+  ASSERT_TRUE(helper_streamed.ok());
+  EXPECT_TRUE(features_bitwise_equal(helper_whole.value(), helper_streamed.value()));
+}
+
+TEST(SourceFeederTest, SourceBudgetIsEnforced) {
+  rcl::StreamOptions options;
+  options.max_source_bytes = 64;
+  rcl::SourceFeeder feeder(options);
+  const std::string big(65, ' ');
+  const auto st = feeder.feed(big);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, rc::ErrorCode::kParseError);
+  // The error is sticky: finish() and features() report it too.
+  EXPECT_FALSE(feeder.finish().ok());
+  EXPECT_FALSE(feeder.features().ok());
+}
+
+TEST(SourceFeederTest, FeedAfterFinishIsRejected) {
+  rcl::SourceFeeder feeder;
+  ASSERT_TRUE(feeder.feed("kernel void f(global int* x) { x[0] = 1; }").ok());
+  ASSERT_TRUE(feeder.finish().ok());
+  EXPECT_FALSE(feeder.feed("more").ok());
+  EXPECT_TRUE(feeder.finish().ok());  // idempotent verdict
+}
+
+TEST(SourceFeederTest, FeaturesBeforeFinishIsRejected) {
+  rcl::SourceFeeder feeder;
+  ASSERT_TRUE(feeder.feed("kernel void f(global int* x) { x[0] = 1; }").ok());
+  EXPECT_FALSE(feeder.features().ok());
+}
+
+// --- parser hardening (deep nesting must be a parse error, not a crash) ------
+
+TEST(ParserDepthBudgetTest, DeeplyNestedParensFailGracefully) {
+  const std::string deep(4096, '(');
+  const std::string source = "kernel void f(global float* x) { x[0] = " + deep +
+                             "1.0f" + std::string(4096, ')') + "; }";
+  const auto result = rcl::extract_features_from_source(source);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, rc::ErrorCode::kParseError);
+  EXPECT_NE(result.error().message.find("depth budget"), std::string::npos);
+  // The streamed path reports the identical error.
+  const auto streamed = rcl::extract_features_chunked(source, 37);
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.error().message, result.error().message);
+}
+
+TEST(ParserDepthBudgetTest, DeeplyNestedBracesFailGracefully) {
+  std::string source = "kernel void f(global float* x) ";
+  source += std::string(4096, '{');
+  source += "x[0] = 1.0f;";
+  source += std::string(4096, '}');
+  const auto result = rcl::extract_features_from_source(source);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, rc::ErrorCode::kParseError);
+  EXPECT_NE(result.error().message.find("depth budget"), std::string::npos);
+}
+
+TEST(ParserDepthBudgetTest, ModerateNestingStillParses) {
+  const int depth = rcl::kMaxNestingDepth / 4;
+  const std::string source = "kernel void f(global float* x) { x[0] = " +
+                             std::string(depth, '(') + "1.0f" +
+                             std::string(depth, ')') + "; }";
+  EXPECT_TRUE(rcl::extract_features_from_source(source).ok());
+}

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "benchgen/benchgen.hpp"
+#include "clfront/stream.hpp"
 #include "common/queue.hpp"
 #include "common/thread_pool.hpp"
 #include "core/measurement.hpp"
@@ -115,6 +116,16 @@ std::vector<rcl::StaticFeatures> request_mix(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) out.push_back(suite[i % suite.size()].features);
   return out;
 }
+
+/// The raw-source request used by every predict_source test below.
+const char* kSourceKernel = R"CL(
+// A kernel the service has never seen: fused multiply-add with a helper.
+float damp(float v) { return v * 0.9375f + 0.0625f; }
+kernel void saxpy_damped(global float* x, global float* y, float a, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) y[gid] = damp(a * x[gid] + y[gid]);
+}
+)CL";
 
 }  // namespace
 
@@ -246,6 +257,37 @@ TEST(ProtocolTest, RequestRoundTripAndValidation) {
   // NaN prediction, which the response framing cannot round-trip.
   EXPECT_FALSE(rs::parse_request(R"({"id": 1, "features": [1e999,2,3,4,5,6,7,8,9,10]})").ok());
   EXPECT_FALSE(rs::parse_request(R"({"id": 1, "features": [-1e999,2,3,4,5,6,7,8,9,10]})").ok());
+}
+
+TEST(ProtocolTest, PredictSourceRequestTypeRoundTrips) {
+  rs::WireRequest request;
+  request.id = 11;
+  request.kernel = "saxpy_damped";
+  request.source = kSourceKernel;
+  const std::string wire = rs::format_request(request);
+  EXPECT_NE(wire.find("\"type\":\"predict_source\""), std::string::npos);
+  const auto parsed = rs::parse_request(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().id, 11u);
+  ASSERT_TRUE(parsed.value().source.has_value());
+  EXPECT_EQ(*parsed.value().source, kSourceKernel);
+  EXPECT_FALSE(parsed.value().features.has_value());
+
+  // Explicit "predict" with features is accepted; mismatched or unknown
+  // types are rejected.
+  EXPECT_TRUE(
+      rs::parse_request(
+          R"({"id": 1, "type": "predict", "features": [1,2,3,4,5,6,7,8,9,10]})")
+          .ok());
+  EXPECT_FALSE(
+      rs::parse_request(
+          R"({"id": 1, "type": "predict_source", "features": [1,2,3,4,5,6,7,8,9,10]})")
+          .ok());
+  EXPECT_FALSE(
+      rs::parse_request(R"({"id": 1, "type": "predict", "source": "kernel void f() {}"})")
+          .ok());
+  EXPECT_FALSE(
+      rs::parse_request(R"({"id": 1, "type": "frobnicate", "source": "x"})").ok());
 }
 
 TEST(ProtocolTest, ResponseDoublesRoundTripBitExactly) {
@@ -720,6 +762,223 @@ TEST(SocketTest, HalfClosingPipelineClientStillGetsResponsesAndEof) {
     ASSERT_TRUE(response.ok()) << response.error().message;
     EXPECT_EQ(response.value().id, id);
     EXPECT_TRUE(response.value().prediction.has_value());
+  }
+
+  server.value()->stop();
+  service.value()->stop();
+}
+
+// --- source→prediction determinism (the streaming featurization contract) -----
+
+TEST(ServiceTest, PredictSourceMatchesLocalPredictor) {
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok()) << reference.error().message;
+
+  auto response = service.value()->predict_source(kSourceKernel);
+  ASSERT_TRUE(response.ok()) << response.error().message;
+  EXPECT_EQ(response.value().kernel, "saxpy_damped");
+  EXPECT_TRUE(bitwise_equal(response.value().pareto, reference.value().pareto));
+
+  // A broken source answers just its own request; the service keeps serving.
+  auto broken = service.value()->predict_source("kernel void broken( {");
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.error().code, rc::ErrorCode::kParseError);
+  auto after = service.value()->predict_source(kSourceKernel);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(bitwise_equal(after.value().pareto, reference.value().pareto));
+
+  service.value()->stop();
+  EXPECT_EQ(service.value()->stats().source_requests, 3u);
+}
+
+TEST(SocketTest, SourcePredictionsBitIdenticalAtEveryShardThreadAndChunking) {
+  // The acceptance matrix: one source featurized (a) whole-string, (b) in
+  // 1-byte chunks, and (c) via predict_source over a socket at shard counts
+  // 1/2/4 × thread counts 1/8 — every path must produce the same bytes.
+  PoolGuard guard;
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok()) << reference.error().message;
+
+  // (a) vs (b): whole-string and 1-byte-chunked featurization.
+  const auto whole = rcl::extract_features_from_source(kSourceKernel);
+  const auto chunked = rcl::extract_features_chunked(kSourceKernel, 1);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE(chunked.ok()) << chunked.error().message;
+  EXPECT_EQ(whole.value().kernel_name, chunked.value().kernel_name);
+  EXPECT_EQ(std::memcmp(whole.value().counts.data(), chunked.value().counts.data(),
+                        sizeof(double) * rcl::kNumFeatures),
+            0);
+  // Chunked features drive the model to the same bytes as the socket below.
+  const auto from_chunked = direct.value().predict_pareto(chunked.value());
+  ASSERT_TRUE(from_chunked.ok());
+  EXPECT_TRUE(bitwise_equal(from_chunked.value(), reference.value().pareto));
+
+  // (c): over the socket, across the shard × thread matrix.
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    for (const std::size_t threads : {1u, 8u}) {
+      rc::ThreadPool::set_global_threads(threads);
+      rs::ServiceOptions options;
+      options.shards = shards;
+      options.max_batch = 4;
+      options.batch_window = std::chrono::microseconds(200);
+      auto service = rs::Service::from_model(trained_model(), options);
+      ASSERT_TRUE(service.ok());
+      rs::ServerOptions server_options;
+      server_options.tcp_port = 0;
+      auto server = rs::SocketServer::start(*service.value(), server_options);
+      ASSERT_TRUE(server.ok()) << server.error().message;
+
+      auto client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+      ASSERT_TRUE(client.ok()) << client.error().message;
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        auto response = client.value().predict_source(kSourceKernel);
+        ASSERT_TRUE(response.ok())
+            << response.error().message << " shards=" << shards
+            << " threads=" << threads;
+        EXPECT_EQ(response.value().kernel, reference.value().kernel);
+        EXPECT_TRUE(bitwise_equal(response.value().pareto, reference.value().pareto))
+            << "shards=" << shards << " threads=" << threads;
+      }
+      server.value()->stop();
+      service.value()->stop();
+    }
+  }
+}
+
+TEST(SocketTest, PipelinedConnectionAnswersInRequestOrder) {
+  // One connection, many request lines written before any response is read
+  // (features, sources, and a malformed line in the middle): the pipelined
+  // server must answer every request, in request order, with per-request
+  // errors where they belong.
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  rs::ServerOptions server_options;
+  server_options.tcp_port = 0;
+  server_options.max_inflight = 4;  // smaller than the request count below
+  auto server = rs::SocketServer::start(*service.value(), server_options);
+  ASSERT_TRUE(server.ok()) << server.error().message;
+
+  const auto kernels = request_mix(4);
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.value()->tcp_port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::string wire;
+  std::uint64_t id = 0;
+  for (const auto& kernel : kernels) {
+    rs::WireRequest request;
+    request.id = ++id;
+    request.kernel = kernel.kernel_name;
+    request.features = kernel.counts;
+    wire += rs::format_request(request);
+    wire.push_back('\n');
+    rs::WireRequest source_request;
+    source_request.id = ++id;
+    source_request.source = kSourceKernel;
+    wire += rs::format_request(source_request);
+    wire.push_back('\n');
+  }
+  wire += R"({"id": 999, "features": "malformed"})";
+  wire.push_back('\n');
+  {
+    rs::WireRequest last;
+    last.id = 1000;
+    last.source = kSourceKernel;
+    wire += rs::format_request(last);
+    wire.push_back('\n');
+  }
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+  timeval tv{};
+  tv.tv_sec = 30;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string received;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    ASSERT_GT(n, -1) << "recv timed out: pipelined responses never completed";
+    if (n == 0) break;
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // 2 * 4 interleaved requests + 1 malformed + 1 trailing source.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (true) {
+    const auto nl = received.find('\n', start);
+    if (nl == std::string::npos) break;
+    lines.push_back(received.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 10u);
+
+  const auto source_reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(source_reference.ok());
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    auto response = rs::parse_response(lines[i]);
+    ASSERT_TRUE(response.ok()) << response.error().message;
+    EXPECT_EQ(response.value().id, ++expect);  // strict request order
+    ASSERT_TRUE(response.value().prediction.has_value()) << lines[i];
+    if (i % 2 == 1) {
+      EXPECT_TRUE(bitwise_equal(response.value().prediction->pareto,
+                                source_reference.value().pareto));
+    }
+  }
+  auto malformed = rs::parse_response(lines[8]);
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_EQ(malformed.value().id, 999u);
+  EXPECT_TRUE(malformed.value().error.has_value());
+  auto last = rs::parse_response(lines[9]);
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last.value().id, 1000u);
+  EXPECT_TRUE(last.value().prediction.has_value());
+
+  server.value()->stop();
+  service.value()->stop();
+}
+
+TEST(SocketTest, PipelinedClientHelperMatchesSequentialCalls) {
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  rs::ServerOptions server_options;
+  server_options.tcp_port = 0;
+  auto server = rs::SocketServer::start(*service.value(), server_options);
+  ASSERT_TRUE(server.ok());
+
+  auto client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+  ASSERT_TRUE(client.ok());
+  const auto sequential = client.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(sequential.ok());
+
+  std::vector<rco::Predictor::SourceRequest> sources(
+      5, {kSourceKernel, ""});
+  sources[2].source = "kernel void broken( {";  // per-slot error, in place
+  const auto many = client.value().predict_source_many(sources);
+  ASSERT_EQ(many.size(), sources.size());
+  for (std::size_t i = 0; i < many.size(); ++i) {
+    if (i == 2) {
+      EXPECT_FALSE(many[i].ok());
+      continue;
+    }
+    ASSERT_TRUE(many[i].ok()) << i << ": " << many[i].error().message;
+    EXPECT_TRUE(bitwise_equal(many[i].value().pareto, sequential.value().pareto)) << i;
   }
 
   server.value()->stop();
