@@ -48,7 +48,10 @@
 #include "ml/matrix.hpp"
 #include "ml/svr.hpp"
 #include "ml/synthetic.hpp"
+#include "fleet/balancer.hpp"
 #include "pareto/pareto.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "serve/service.hpp"
 
 using namespace repro;
@@ -581,6 +584,109 @@ ServingResult bench_serving_open_loop(
   return result;
 }
 
+/// Fleet serving: concurrent clients against the front balancer over N
+/// in-process workers (each a Service + SocketServer on an ephemeral TCP
+/// port). Times the whole stack — wire framing both ways, balancer
+/// dispatch, worker micro-batching — closed loop; "shards" carries the
+/// worker count. bit_identical holds the fleet determinism contract: the
+/// same reply bytes at any worker count.
+ServingResult bench_serving_fleet(
+    const std::shared_ptr<const core::FrequencyModel>& model,
+    const std::vector<clfront::StaticFeatures>& mix, std::size_t workers,
+    std::size_t clients, std::size_t per_client) {
+  ServingResult result;
+  result.mode = "fleet";
+  result.shards = workers;
+  result.window_us = 200;
+  result.clients = clients;
+  result.requests = clients * per_client;
+
+  auto direct = core::Predictor::from_model(model);
+  const auto reference = direct.value().predict_batch(mix);
+
+  struct Worker {
+    std::unique_ptr<serve::Service> service;
+    std::unique_ptr<serve::SocketServer> server;
+  };
+  std::vector<Worker> nodes;
+  std::vector<fleet::BackendEndpoint> endpoints;
+  for (std::size_t w = 0; w < workers; ++w) {
+    serve::ServiceOptions options;
+    options.shards = 2;
+    options.max_batch = 16;
+    options.batch_window = std::chrono::microseconds(result.window_us);
+    auto service = serve::Service::from_model(model, options);
+    if (!service.ok()) {
+      std::fprintf(stderr, "fleet bench: %s\n", service.error().to_string().c_str());
+      return result;
+    }
+    serve::ServerOptions server_options;
+    server_options.tcp_port = 0;
+    auto server = serve::SocketServer::start(*service.value(), server_options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "fleet bench: %s\n", server.error().to_string().c_str());
+      return result;
+    }
+    endpoints.push_back({"", server.value()->tcp_port()});
+    nodes.push_back({std::move(service).take(), std::move(server).take()});
+  }
+  fleet::BalancerOptions balancer_options;
+  balancer_options.tcp_port = 0;
+  auto balancer = fleet::Balancer::start(endpoints, balancer_options);
+  if (!balancer.ok()) {
+    std::fprintf(stderr, "fleet bench: %s\n", balancer.error().to_string().c_str());
+    return result;
+  }
+
+  std::vector<double> latencies_ms(result.requests, 0.0);
+  std::vector<char> identical(result.requests, 0);
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client =
+          serve::SocketClient::connect_tcp(balancer.value()->tcp_port());
+      if (!client.ok()) return;
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const std::size_t slot = c * per_client + i;
+        const std::size_t kernel = slot % mix.size();
+        const auto r0 = std::chrono::steady_clock::now();
+        auto response = client.value().predict(mix[kernel]);
+        const auto r1 = std::chrono::steady_clock::now();
+        latencies_ms[slot] =
+            std::chrono::duration<double, std::milli>(r1 - r0).count();
+        identical[slot] =
+            response.ok() &&
+            points_bit_identical(response.value().pareto,
+                                 reference.value()[kernel].pareto)
+                ? 1
+                : 0;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  balancer.value()->stop();
+  std::size_t batches = 0;
+  for (auto& worker : nodes) {
+    worker.server->stop();
+    worker.service->stop();
+    batches += worker.service->stats().batches;
+  }
+
+  const double elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  result.throughput_rps =
+      elapsed_s > 0.0 ? static_cast<double>(result.requests) / elapsed_s : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = percentile_ms(latencies_ms, 50.0);
+  result.p95_ms = percentile_ms(latencies_ms, 95.0);
+  result.p99_ms = percentile_ms(latencies_ms, 99.0);
+  result.bit_identical = true;
+  for (char ok : identical) result.bit_identical = result.bit_identical && ok != 0;
+  result.batches = batches;
+  return result;
+}
+
 /// Train the serving model on a reduced suite (every 4th micro-benchmark,
 /// 16 configurations) — representative shape, seconds-scale training.
 std::shared_ptr<const core::FrequencyModel> serving_model(
@@ -757,6 +863,22 @@ int main(int argc, char** argv) {
             s.bit_identical ? "bit-identical" : "OUTPUT MISMATCH");
         serving.push_back(s);
       }
+    }
+    // Fleet: the same closed loop through the front balancer and N
+    // socket-served workers. The interesting read is fleet vs the
+    // single-node serving rows (wire + dispatch overhead) and how
+    // throughput scales with the worker count.
+    const std::size_t fleet_per_client = smoke ? 50 : 200;
+    const std::vector<std::size_t> worker_counts =
+        smoke ? std::vector<std::size_t>{2} : std::vector<std::size_t>{1, 2, 4};
+    for (std::size_t workers : worker_counts) {
+      auto s = bench_serving_fleet(model, mix, workers, clients, fleet_per_client);
+      std::printf(
+          "serving-fleet      workers=%zu           %8.0f req/s   p50 %6.3f ms  "
+          "p99 %6.3f ms   %s\n",
+          s.shards, s.throughput_rps, s.p50_ms, s.p99_ms,
+          s.bit_identical ? "bit-identical" : "OUTPUT MISMATCH");
+      serving.push_back(s);
     }
   } else {
     std::fprintf(stderr, "serving bench: model training failed, section skipped\n");

@@ -1,0 +1,223 @@
+// repro_fleet — the multi-process serving fleet: a model-cache broker, N
+// repro_serve worker processes under a supervisor, and a front balancer
+// speaking the unchanged line-JSON protocol to clients.
+//
+//   repro_fleet --unix /tmp/fleet.sock --workers 3 [options]
+//   repro_fleet --tcp 7070            --workers 3 [options]   (0 = ephemeral)
+//
+// Options:
+//   --workers N         worker processes                        (default 2)
+//   --dir DIR           runtime dir for sockets/logs (default: mkdtemp under /tmp)
+//   --serve-binary PATH the repro_serve executable (default: next to argv[0])
+//   --cache-dir DIR     shared on-disk model cache (default: DIR/model-cache)
+//   --shards N          worker shards per process               (default 2)
+//   --num-configs N     training configuration budget           (default 40)
+//   --suite-stride N    train on every Nth micro-benchmark      (default 1)
+//
+// Startup order: broker first (so the fleet's model is trained exactly once
+// — workers block on it instead of fitting N copies), then all workers
+// spawned concurrently, then the balancer connects to each worker socket
+// and opens the client endpoint. Prints one "WORKER <i> pid <pid> sock
+// <path>" line per worker and "READY <endpoint>" once clients can connect,
+// then serves until SIGINT/SIGTERM. Shutdown reverses the order.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "benchgen/benchgen.hpp"
+#include "fleet/balancer.hpp"
+#include "fleet/broker.hpp"
+#include "fleet/supervisor.hpp"
+
+using namespace repro;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--unix PATH | --tcp PORT) [--workers N] [--dir DIR]\n"
+               "          [--serve-binary PATH] [--cache-dir DIR] [--shards N]\n"
+               "          [--num-configs N] [--suite-stride N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fleet::BalancerOptions balancer_options;
+  serve::ServiceConfig config;
+  config.options.shards = 2;
+  std::size_t workers = 2;
+  std::string run_dir;
+  std::string serve_binary;
+  std::string cache_dir;
+  std::size_t suite_stride = 1;
+  std::size_t num_configs = 40;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--unix" && has_value) {
+      balancer_options.unix_path = argv[++i];
+    } else if (arg == "--tcp" && has_value) {
+      balancer_options.tcp_port = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && has_value) {
+      workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--dir" && has_value) {
+      run_dir = argv[++i];
+    } else if (arg == "--serve-binary" && has_value) {
+      serve_binary = argv[++i];
+    } else if (arg == "--cache-dir" && has_value) {
+      cache_dir = argv[++i];
+    } else if (arg == "--shards" && has_value) {
+      config.options.shards =
+          static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--num-configs" && has_value) {
+      num_configs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--suite-stride" && has_value) {
+      suite_stride = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (balancer_options.unix_path.empty() && balancer_options.tcp_port < 0) {
+    return usage(argv[0]);
+  }
+  if (workers == 0) {
+    std::fprintf(stderr, "repro_fleet: --workers must be >= 1\n");
+    return 2;
+  }
+  config.training.num_configs = num_configs;
+
+  if (run_dir.empty()) {
+    char tmpl[] = "/tmp/repro_fleet.XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    if (made == nullptr) {
+      std::fprintf(stderr, "repro_fleet: mkdtemp: %s\n", std::strerror(errno));
+      return 1;
+    }
+    run_dir = made;
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(run_dir, ec);
+  }
+  if (cache_dir.empty()) cache_dir = run_dir + "/model-cache";
+  if (serve_binary.empty()) {
+    serve_binary =
+        (std::filesystem::path(argv[0]).parent_path() / "repro_serve").string();
+  }
+  if (!std::filesystem::exists(serve_binary)) {
+    std::fprintf(stderr, "repro_fleet: repro_serve binary not found at %s\n",
+                 serve_binary.c_str());
+    return 1;
+  }
+
+  if (suite_stride > 1) {
+    auto full = benchgen::generate_training_suite();
+    if (!full.ok()) {
+      std::fprintf(stderr, "suite generation: %s\n", full.error().to_string().c_str());
+      return 1;
+    }
+    std::vector<benchgen::MicroBenchmark> subset;
+    for (std::size_t i = 0; i < full.value().size(); i += suite_stride) {
+      subset.push_back(full.value()[i]);
+    }
+    config.suite = std::move(subset);
+  }
+
+  // Same discipline as repro_serve: block the shutdown signals before any
+  // thread (or child) exists, sigwait below. Children reset the mask.
+  sigset_t stop_signals;
+  sigemptyset(&stop_signals);
+  sigaddset(&stop_signals, SIGINT);
+  sigaddset(&stop_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  fleet::BrokerOptions broker_options;
+  broker_options.unix_path = run_dir + "/broker.sock";
+  broker_options.cache_dir = cache_dir;
+  std::printf("repro_fleet: starting model broker (trains on first request)\n");
+  std::fflush(stdout);
+  auto broker = fleet::Broker::start(config, broker_options);
+  if (!broker.ok()) {
+    std::fprintf(stderr, "broker: %s\n", broker.error().to_string().c_str());
+    return 1;
+  }
+
+  fleet::WorkerSpec spec;
+  spec.binary = serve_binary;
+  spec.common_args = {"--broker",       broker.value()->unix_path(),
+                      "--cache-dir",    cache_dir,
+                      "--shards",       std::to_string(config.options.shards),
+                      "--num-configs",  std::to_string(num_configs),
+                      "--suite-stride", std::to_string(suite_stride)};
+  fleet::SupervisorOptions supervisor_options;
+  supervisor_options.workers = workers;
+  supervisor_options.socket_dir = run_dir;
+  std::printf("repro_fleet: spawning %zu worker(s)\n", workers);
+  std::fflush(stdout);
+  auto supervisor = fleet::Supervisor::start(spec, supervisor_options);
+  if (!supervisor.ok()) {
+    std::fprintf(stderr, "supervisor: %s\n", supervisor.error().to_string().c_str());
+    return 1;
+  }
+  {
+    const auto endpoints = supervisor.value()->endpoints();
+    const auto pids = supervisor.value()->pids();
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      std::printf("WORKER %zu pid %d sock %s\n", i, static_cast<int>(pids[i]),
+                  endpoints[i].c_str());
+    }
+  }
+
+  std::vector<fleet::BackendEndpoint> backends;
+  for (const auto& sock : supervisor.value()->endpoints()) {
+    backends.push_back({sock, -1});
+  }
+  auto balancer = fleet::Balancer::start(std::move(backends), balancer_options);
+  if (!balancer.ok()) {
+    std::fprintf(stderr, "balancer: %s\n", balancer.error().to_string().c_str());
+    return 1;
+  }
+
+  if (!balancer.value()->unix_path().empty()) {
+    std::printf("READY unix:%s\n", balancer.value()->unix_path().c_str());
+  } else {
+    std::printf("READY tcp:%d\n", balancer.value()->tcp_port());
+  }
+  std::fflush(stdout);
+
+  int sig = 0;
+  while (sigwait(&stop_signals, &sig) != 0) {
+    // Interrupted wait; try again.
+  }
+
+  std::printf("repro_fleet: shutting down\n");
+  balancer.value()->stop();
+  const auto routed = balancer.value()->stats();
+  supervisor.value()->stop();
+  const auto lifecycle = supervisor.value()->stats();
+  broker.value()->stop();
+
+  std::printf("repro_fleet: %llu connections, %llu requests, "
+              "%llu redispatches, %llu backend failures, %llu reconnects; "
+              "%llu spawns, %llu crashes, %llu restarts\n",
+              static_cast<unsigned long long>(routed.connections),
+              static_cast<unsigned long long>(routed.requests),
+              static_cast<unsigned long long>(routed.redispatches),
+              static_cast<unsigned long long>(routed.backend_failures),
+              static_cast<unsigned long long>(routed.reconnects),
+              static_cast<unsigned long long>(lifecycle.spawns),
+              static_cast<unsigned long long>(lifecycle.crashes),
+              static_cast<unsigned long long>(lifecycle.restarts));
+  return 0;
+}

@@ -13,6 +13,10 @@
 //   --num-configs N     training configuration budget            (default 40)
 //   --suite-stride N    train on every Nth micro-benchmark       (default 1)
 //                       (N > 1 trades accuracy for startup time — demos/CI)
+//   --broker PATH       ask the fleet's model-cache broker at this unix
+//                       socket to train the model first; this worker then
+//                       disk-loads it from the shared --cache-dir. Falls
+//                       back to training locally if the broker is gone.
 //
 // Prints "READY <endpoint>" on stdout once the socket is accepting, then
 // serves until SIGINT/SIGTERM.
@@ -26,6 +30,7 @@
 #include <unistd.h>
 
 #include "benchgen/benchgen.hpp"
+#include "fleet/broker.hpp"
 #include "serve/model_cache.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -38,7 +43,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--unix PATH | --tcp PORT) [--shards N] [--max-batch N]\n"
                "          [--batch-window-us N] [--cache-dir DIR] [--num-configs N]\n"
-               "          [--suite-stride N]\n",
+               "          [--suite-stride N] [--broker PATH]\n",
                argv0);
   return 2;
 }
@@ -50,6 +55,7 @@ int main(int argc, char** argv) {
   serve::ServiceConfig config;
   config.options.shards = 2;
   std::string cache_dir = ".repro_serve_cache";
+  std::string broker_path;
   std::size_t suite_stride = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -72,6 +78,8 @@ int main(int argc, char** argv) {
       config.training.num_configs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--suite-stride" && has_value) {
       suite_stride = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--broker" && has_value) {
+      broker_path = argv[++i];
     } else {
       return usage(argv[0]);
     }
@@ -103,9 +111,24 @@ int main(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
   std::signal(SIGPIPE, SIG_IGN);  // broken client connections are not fatal
 
+  if (!broker_path.empty()) {
+    // Ask the fleet broker to train (or disk-load) the shared model first;
+    // our own cache below then disk-hits the same directory instead of
+    // repeating the fit. A dead broker only costs a local training run.
+    std::printf("repro_serve: requesting model from broker %s\n", broker_path.c_str());
+    std::fflush(stdout);
+    serve::ConnectOptions retry;
+    retry.attempts = 10;
+    if (auto reply = fleet::fetch_model(broker_path, retry); !reply.ok()) {
+      std::fprintf(stderr, "broker: %s; training locally\n",
+                   reply.error().to_string().c_str());
+    }
+  }
+
   std::printf("repro_serve: training (or loading) the model...\n");
   std::fflush(stdout);
   serve::ModelCache cache(4, cache_dir);
+  server_options.model_cache = &cache;
   auto service = serve::Service::create(config, cache);
   if (!service.ok()) {
     std::fprintf(stderr, "service: %s\n", service.error().to_string().c_str());

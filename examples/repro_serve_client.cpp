@@ -10,6 +10,12 @@
 // configurations. --pipeline N sends N copies back-to-back on one
 // connection before reading any response, exercising the server's
 // pipelined decode (responses must come back in request order).
+//
+// --dump prints the prediction as exact machine-readable rows instead of
+// the pretty table: doubles with %.17g round-trip bit-exactly, so two
+// --dump outputs are byte-identical iff the predictions are bit-identical.
+// The fleet smoke test diffs a direct repro_serve against the balancer at
+// several worker counts this way.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,7 +39,7 @@ kernel void saxpy_demo(global float* x, global float* y, float a, int n) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--unix PATH | --tcp PORT) [--file kernel.cl] [--kernel NAME]\n"
-               "          [--pipeline N]\n",
+               "          [--pipeline N] [--dump]\n",
                argv0);
   return 2;
 }
@@ -46,6 +52,7 @@ int main(int argc, char** argv) {
   std::string file;
   std::string kernel_name;
   std::size_t pipeline = 0;
+  bool dump = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -60,6 +67,8 @@ int main(int argc, char** argv) {
       kernel_name = argv[++i];
     } else if (arg == "--pipeline" && has_value) {
       pipeline = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--dump") {
+      dump = true;
     } else {
       return usage(argv[0]);
     }
@@ -106,6 +115,15 @@ int main(int argc, char** argv) {
   if (!prediction.ok()) {
     std::fprintf(stderr, "predict: %s\n", prediction.error().to_string().c_str());
     return 1;
+  }
+
+  if (dump) {
+    std::printf("kernel %s\n", prediction.value().kernel.c_str());
+    for (const auto& p : prediction.value().pareto) {
+      std::printf("%d %d %.17g %.17g %d\n", p.config.core_mhz, p.config.mem_mhz,
+                  p.speedup, p.energy, p.heuristic ? 1 : 0);
+    }
+    return 0;
   }
 
   std::printf("kernel %s — predicted Pareto-optimal configurations:\n",

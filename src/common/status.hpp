@@ -22,6 +22,9 @@ enum class ErrorCode {
   kUnsupported,
   kInternal,
   kIo,
+  /// Transient refusal (service shutting down / no backend up). Retryable:
+  /// the fleet balancer re-dispatches requests that fail with this code.
+  kUnavailable,
 };
 
 /// Human-readable label for an ErrorCode.
@@ -35,6 +38,7 @@ constexpr const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kUnsupported: return "unsupported";
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kIo: return "io";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }
@@ -127,6 +131,9 @@ inline Error internal_error(std::string msg) {
 }
 inline Error io_error(std::string msg) {
   return Error{ErrorCode::kIo, std::move(msg)};
+}
+inline Error unavailable(std::string msg) {
+  return Error{ErrorCode::kUnavailable, std::move(msg)};
 }
 
 }  // namespace repro::common

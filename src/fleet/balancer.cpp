@@ -1,0 +1,798 @@
+#include "fleet/balancer.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/queue.hpp"
+#include "serve/protocol.hpp"
+
+namespace repro::fleet {
+
+namespace {
+
+common::Error errno_error(const std::string& what) {
+  return common::io_error(what + ": " + std::strerror(errno));
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+common::Result<int> connect_endpoint(const BackendEndpoint& endpoint,
+                                     const serve::ConnectOptions& options) {
+  auto client = !endpoint.unix_path.empty()
+                    ? serve::SocketClient::connect_unix(endpoint.unix_path, options)
+                    : serve::SocketClient::connect_tcp(endpoint.tcp_port, options);
+  if (!client.ok()) return client.error();
+  return client.value().release_fd();
+}
+
+std::string endpoint_name(const BackendEndpoint& endpoint) {
+  return !endpoint.unix_path.empty() ? endpoint.unix_path
+                                     : "127.0.0.1:" + std::to_string(endpoint.tcp_port);
+}
+
+}  // namespace
+
+struct Balancer::Impl {
+  /// One forwarded request. `request` keeps the client-side id; the copy
+  /// sent to a backend gets that backend's id, so the entry can move
+  /// between backends (re-dispatch) without the client noticing.
+  struct Pending {
+    serve::WireRequest request;
+    int attempts = 0;
+    bool internal = false;  // maintenance health ping: no one awaits it
+    std::promise<serve::WireResponse> promise;
+  };
+  using PendingPtr = std::shared_ptr<Pending>;
+
+  struct Backend {
+    BackendEndpoint endpoint;
+
+    /// Guards fd/generation/alive/next_id/pending. Never held across a
+    /// socket write — see write_mutex.
+    std::mutex state_mutex;
+    int fd = -1;
+    /// Bumped on every (re)connect; a dispatcher that registered against an
+    /// older generation must not touch the (possibly recycled) fd.
+    std::uint64_t generation = 0;
+    std::atomic<bool> alive{false};
+    bool reader_exited = false;  // reader finished; maintenance may join+close
+    std::uint64_t next_id = 1;
+    std::map<std::uint64_t, PendingPtr> pending;  // ordered: redispatch in id order
+
+    /// Serializes writes from concurrent client connections; close() takes
+    /// both mutexes, so a write never races the fd teardown.
+    std::mutex write_mutex;
+
+    std::atomic<std::size_t> outstanding{0};
+    std::atomic<std::uint64_t> routed{0};
+    std::thread reader;
+
+    // Maintenance bookkeeping (maintenance thread only).
+    std::chrono::steady_clock::time_point next_reconnect{};
+    std::chrono::milliseconds backoff{50};
+
+    // Last health-ping answers (state_mutex).
+    double last_uptime_s = 0.0;
+    std::uint64_t last_queue_depth = 0;
+  };
+
+  BalancerOptions options;
+  std::vector<std::unique_ptr<Backend>> backends;
+  std::atomic<std::size_t> rr_next{0};
+  std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
+
+  int listen_fd = -1;
+  int bound_tcp_port = -1;
+  std::string bound_unix_path;
+
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::thread acceptor;
+  std::mutex conn_mutex;
+  std::list<std::unique_ptr<Conn>> conns;
+
+  std::thread maintenance;
+  std::atomic<bool> stopping{false};
+  std::once_flag stop_once;
+
+  mutable std::mutex stats_mutex;
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t redispatches = 0;
+  std::uint64_t backend_failures = 0;
+  std::uint64_t reconnects = 0;
+
+  void accept_loop();
+  void serve_connection(int fd);
+  void reap_finished_locked();
+  void maintenance_loop();
+
+  void start_reader(Backend& backend);
+  void backend_reader(Backend& backend);
+  void teardown_backend(Backend& backend);
+  Backend* pick_backend();
+  void dispatch(const PendingPtr& pending);
+  void fail_pending(const PendingPtr& pending, const common::Error& error);
+  void send_health_ping(Backend& backend);
+  [[nodiscard]] serve::WireStats own_wire_stats();
+};
+
+Balancer::Balancer() : impl_(std::make_unique<Impl>()) {}
+
+common::Result<std::unique_ptr<Balancer>> Balancer::start(
+    std::vector<BackendEndpoint> backends, const BalancerOptions& options) {
+  if (backends.empty()) {
+    return common::invalid_argument("Balancer: need at least one backend");
+  }
+  std::unique_ptr<Balancer> balancer(new Balancer());
+  Impl& impl = *balancer->impl_;
+  impl.options = options;
+
+  // Backends first: a balancer that cannot reach its fleet should fail
+  // loudly at startup, not accept clients it cannot serve. The connect
+  // backoff rides out workers that are still binding their sockets.
+  for (auto& endpoint : backends) {
+    auto backend = std::make_unique<Impl::Backend>();
+    backend->endpoint = std::move(endpoint);
+    auto fd = connect_endpoint(backend->endpoint, options.connect);
+    if (!fd.ok()) return fd.error();
+    backend->fd = fd.value();
+    backend->generation = 1;
+    backend->alive.store(true, std::memory_order_release);
+    impl.backends.push_back(std::move(backend));
+  }
+  for (auto& backend : impl.backends) impl.start_reader(*backend);
+
+  // Client-facing listener (mirrors SocketServer::start).
+  int fd = -1;
+  if (!options.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.unix_path.size() >= sizeof(addr.sun_path)) {
+      return common::invalid_argument("Balancer: unix path too long: " +
+                                      options.unix_path);
+    }
+    std::strncpy(addr.sun_path, options.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return errno_error("Balancer: socket(AF_UNIX)");
+    ::unlink(options.unix_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      auto err = errno_error("Balancer: bind(" + options.unix_path + ")");
+      ::close(fd);
+      return err;
+    }
+    impl.bound_unix_path = options.unix_path;
+  } else if (options.tcp_port >= 0) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return errno_error("Balancer: socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options.tcp_port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      auto err = errno_error("Balancer: bind(127.0.0.1:" +
+                             std::to_string(options.tcp_port) + ")");
+      ::close(fd);
+      return err;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      auto err = errno_error("Balancer: getsockname");
+      ::close(fd);
+      return err;
+    }
+    impl.bound_tcp_port = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    return common::invalid_argument("Balancer: configure either unix_path or tcp_port");
+  }
+  if (::listen(fd, 64) != 0) {
+    auto err = errno_error("Balancer: listen");
+    ::close(fd);
+    return err;
+  }
+  impl.listen_fd = fd;
+  impl.acceptor = std::thread([&impl] { impl.accept_loop(); });
+  impl.maintenance = std::thread([&impl] { impl.maintenance_loop(); });
+  return balancer;
+}
+
+// --- backend side -------------------------------------------------------------
+
+void Balancer::Impl::start_reader(Backend& backend) {
+  backend.reader = std::thread([this, &backend] { backend_reader(backend); });
+}
+
+void Balancer::Impl::backend_reader(Backend& backend) {
+  const int fd = backend.fd;  // stable for this reader's lifetime
+  std::string buffer;
+  char chunk[4096];
+  bool read_loop_done = false;
+  while (!read_loop_done) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // worker gone (EOF) or shutdown() from a writer/stop
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (;;) {
+      const auto nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+
+      auto response = serve::parse_response(line);
+      if (!response.ok()) {
+        // A worker speaking gibberish cannot be correlated to a pending
+        // entry; drop the connection and let teardown re-dispatch.
+        common::log_warn() << "Balancer: unparseable response from "
+                           << endpoint_name(backend.endpoint) << ": "
+                           << response.error().to_string();
+        read_loop_done = true;
+        break;
+      }
+      PendingPtr pending;
+      {
+        std::lock_guard lock(backend.state_mutex);
+        const auto it = backend.pending.find(response.value().id);
+        if (it != backend.pending.end()) {
+          pending = it->second;
+          backend.pending.erase(it);
+        }
+      }
+      if (pending == nullptr) continue;  // stale id; nothing owed
+      backend.outstanding.fetch_sub(1, std::memory_order_relaxed);
+      if (pending->internal) {
+        if (response.value().stats.has_value()) {
+          std::lock_guard lock(backend.state_mutex);
+          backend.last_uptime_s = response.value().stats->uptime_s;
+          backend.last_queue_depth = response.value().stats->queue_depth;
+        }
+        continue;
+      }
+      if (response.value().error.has_value() &&
+          response.value().error->code == common::ErrorCode::kUnavailable &&
+          !stopping.load(std::memory_order_acquire)) {
+        // The worker is draining for a graceful restart — move the request
+        // to a live worker instead of surfacing the refusal.
+        {
+          std::lock_guard lock(stats_mutex);
+          ++redispatches;
+        }
+        dispatch(pending);
+        continue;
+      }
+      pending->promise.set_value(std::move(response.value()));
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options.max_line_bytes) {
+      common::log_warn() << "Balancer: overlong response line from "
+                         << endpoint_name(backend.endpoint);
+      break;
+    }
+  }
+  teardown_backend(backend);
+}
+
+void Balancer::Impl::teardown_backend(Backend& backend) {
+  std::map<std::uint64_t, PendingPtr> orphans;
+  {
+    std::lock_guard lock(backend.state_mutex);
+    backend.alive.store(false, std::memory_order_release);
+    orphans.swap(backend.pending);
+    if (backend.fd >= 0) ::shutdown(backend.fd, SHUT_RDWR);
+    backend.reader_exited = true;
+  }
+  backend.outstanding.fetch_sub(orphans.size(), std::memory_order_relaxed);
+  if (!orphans.empty() || !stopping.load(std::memory_order_acquire)) {
+    std::lock_guard lock(stats_mutex);
+    ++backend_failures;
+    redispatches += orphans.size();
+  }
+  // Re-dispatch in backend-id (= send) order. Order cannot change reply
+  // bytes — each reply depends only on its own request — it just keeps the
+  // failover deterministic and easy to reason about.
+  for (auto& [id, pending] : orphans) {
+    (void)id;
+    if (pending->internal) continue;
+    dispatch(pending);
+  }
+}
+
+Balancer::Impl::Backend* Balancer::Impl::pick_backend() {
+  // Least-loaded among the live backends; the rotating scan start makes
+  // ties round-robin (the fallback when loads are equal, e.g. all zero).
+  const std::size_t n = backends.size();
+  const std::size_t start = rr_next.fetch_add(1, std::memory_order_relaxed) % n;
+  Backend* best = nullptr;
+  std::size_t best_load = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Backend* candidate = backends[(start + i) % n].get();
+    if (!candidate->alive.load(std::memory_order_acquire)) continue;
+    const std::size_t load = candidate->outstanding.load(std::memory_order_relaxed);
+    if (best == nullptr || load < best_load) {
+      best = candidate;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void Balancer::Impl::fail_pending(const PendingPtr& pending,
+                                  const common::Error& error) {
+  if (pending->internal) return;
+  serve::WireResponse response;
+  response.id = pending->request.id;
+  response.error = error;
+  pending->promise.set_value(std::move(response));
+}
+
+void Balancer::Impl::dispatch(const PendingPtr& pending) {
+  for (;;) {
+    if (stopping.load(std::memory_order_acquire)) {
+      fail_pending(pending, common::unavailable("Balancer: shutting down"));
+      return;
+    }
+    if (pending->attempts >= options.max_dispatch_attempts) {
+      fail_pending(pending,
+                   common::unavailable("Balancer: request re-dispatched " +
+                                       std::to_string(pending->attempts) +
+                                       " times without an answer"));
+      return;
+    }
+    Backend* backend = pick_backend();
+    if (backend == nullptr) {
+      fail_pending(pending, common::unavailable("Balancer: no live workers"));
+      return;
+    }
+    ++pending->attempts;
+
+    std::uint64_t backend_id = 0;
+    std::uint64_t generation = 0;
+    {
+      std::lock_guard lock(backend->state_mutex);
+      if (!backend->alive.load(std::memory_order_relaxed)) continue;
+      backend_id = backend->next_id++;
+      generation = backend->generation;
+      backend->pending.emplace(backend_id, pending);
+    }
+    backend->outstanding.fetch_add(1, std::memory_order_relaxed);
+
+    serve::WireRequest request = pending->request;
+    request.id = backend_id;
+    std::string line = serve::format_request(request);
+    line.push_back('\n');
+
+    bool written = false;
+    {
+      // write_mutex serializes concurrent client connections onto the one
+      // backend connection; the generation check keeps a dispatcher that
+      // lost a race with reconnect off the new connection's fd.
+      std::lock_guard wlock(backend->write_mutex);
+      std::lock_guard slock(backend->state_mutex);
+      if (backend->generation == generation && backend->fd >= 0) {
+        written = write_all(backend->fd, line);
+      }
+    }
+    if (written) {
+      backend->routed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Write failed (worker died between pick and write). Wake the reader so
+    // teardown runs, reclaim the entry if teardown has not already — if it
+    // has, teardown owns the re-dispatch and this loop must not double it.
+    bool ours = false;
+    {
+      std::lock_guard lock(backend->state_mutex);
+      ours = backend->pending.erase(backend_id) > 0;
+      if (backend->generation == generation && backend->fd >= 0) {
+        ::shutdown(backend->fd, SHUT_RDWR);
+      }
+    }
+    if (!ours) return;
+    backend->outstanding.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Balancer::Impl::send_health_ping(Backend& backend) {
+  auto pending = std::make_shared<Pending>();
+  pending->internal = true;
+  pending->request.kind = serve::RequestKind::kHealth;
+  // Bypass pick_backend: a ping is addressed to this backend specifically.
+  std::uint64_t backend_id = 0;
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard lock(backend.state_mutex);
+    if (!backend.alive.load(std::memory_order_relaxed)) return;
+    backend_id = backend.next_id++;
+    generation = backend.generation;
+    backend.pending.emplace(backend_id, pending);
+  }
+  backend.outstanding.fetch_add(1, std::memory_order_relaxed);
+  serve::WireRequest request = pending->request;
+  request.id = backend_id;
+  std::string line = serve::format_request(request);
+  line.push_back('\n');
+  bool written = false;
+  {
+    std::lock_guard wlock(backend.write_mutex);
+    std::lock_guard slock(backend.state_mutex);
+    if (backend.generation == generation && backend.fd >= 0) {
+      written = write_all(backend.fd, line);
+    }
+  }
+  if (!written) {
+    std::lock_guard lock(backend.state_mutex);
+    if (backend.pending.erase(backend_id) > 0) {
+      backend.outstanding.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (backend.generation == generation && backend.fd >= 0) {
+      ::shutdown(backend.fd, SHUT_RDWR);  // reader runs the teardown
+    }
+  }
+}
+
+void Balancer::Impl::maintenance_loop() {
+  auto last_ping = std::chrono::steady_clock::now();
+  while (!stopping.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const auto now = std::chrono::steady_clock::now();
+
+    for (auto& backend_ptr : backends) {
+      Backend& backend = *backend_ptr;
+      bool joinable = false;
+      {
+        std::lock_guard lock(backend.state_mutex);
+        joinable = backend.reader_exited && backend.reader.joinable();
+      }
+      if (joinable) {
+        backend.reader.join();
+        // Both mutexes: no dispatcher can be mid-write on the fd.
+        std::lock_guard wlock(backend.write_mutex);
+        std::lock_guard slock(backend.state_mutex);
+        if (backend.fd >= 0) ::close(backend.fd);
+        backend.fd = -1;
+        backend.reader_exited = false;
+        backend.next_reconnect = now;  // eligible immediately
+      }
+
+      bool want_reconnect = false;
+      {
+        std::lock_guard lock(backend.state_mutex);
+        want_reconnect = backend.fd < 0 && !backend.reader.joinable() &&
+                         now >= backend.next_reconnect;
+      }
+      if (want_reconnect) {
+        serve::ConnectOptions one_shot;  // backoff lives in next_reconnect
+        auto fd = connect_endpoint(backend.endpoint, one_shot);
+        if (fd.ok()) {
+          {
+            std::lock_guard lock(backend.state_mutex);
+            backend.fd = fd.value();
+            ++backend.generation;
+            backend.alive.store(true, std::memory_order_release);
+          }
+          backend.backoff = std::chrono::milliseconds(50);
+          start_reader(backend);
+          {
+            std::lock_guard lock(stats_mutex);
+            ++reconnects;
+          }
+          common::log_info() << "Balancer: reconnected to "
+                             << endpoint_name(backend.endpoint);
+        } else {
+          backend.backoff = std::min(backend.backoff * 2,
+                                     std::chrono::milliseconds(2000));
+          backend.next_reconnect = now + backend.backoff;
+        }
+      }
+    }
+
+    if (options.health_interval.count() > 0 && now - last_ping >= options.health_interval) {
+      last_ping = now;
+      for (auto& backend : backends) {
+        if (backend->alive.load(std::memory_order_acquire)) {
+          send_health_ping(*backend);
+        }
+      }
+    }
+  }
+}
+
+// --- client side --------------------------------------------------------------
+
+void Balancer::Impl::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      const int err = errno;
+      if (err == EINTR) continue;
+      if (stopping.load(std::memory_order_acquire)) return;
+      if (err == ECONNABORTED || err == EMFILE || err == ENFILE) {
+        common::log_warn() << "Balancer: accept: " << std::strerror(err);
+        if (err != ECONNABORTED) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        continue;
+      }
+      common::log_error() << "Balancer: accept failed permanently: "
+                          << std::strerror(err) << "; no longer accepting";
+      return;
+    }
+    std::lock_guard lock(conn_mutex);
+    if (stopping.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    reap_finished_locked();
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    conns.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] {
+      serve_connection(raw->fd);
+      ::shutdown(raw->fd, SHUT_RDWR);
+      {
+        std::lock_guard lock(conn_mutex);
+        reap_finished_locked();
+      }
+      raw->done.store(true, std::memory_order_release);
+    });
+    std::lock_guard slock(stats_mutex);
+    ++connections;
+  }
+}
+
+void Balancer::Impl::reap_finished_locked() {
+  for (auto it = conns.begin(); it != conns.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      ::close((*it)->fd);
+      it = conns.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+serve::WireStats Balancer::Impl::own_wire_stats() {
+  serve::WireStats wire;
+  wire.uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  std::size_t outstanding = 0;
+  for (const auto& backend : backends) {
+    outstanding += backend->outstanding.load(std::memory_order_relaxed);
+  }
+  wire.queue_depth = outstanding;
+  std::lock_guard lock(stats_mutex);
+  wire.requests = requests;
+  wire.connections = connections;
+  wire.protocol_errors = protocol_errors;
+  return wire;
+}
+
+void Balancer::Impl::serve_connection(int fd) {
+  // Same pipelined reader/writer split as SocketServer::serve_connection:
+  // in-order reply queue, bounded by max_inflight. The difference is where
+  // a reply comes from — a promise fulfilled by whichever backend reader
+  // ends up holding the request.
+  struct PendingReply {
+    std::uint64_t id = 0;
+    std::optional<std::future<serve::WireResponse>> response;
+    std::string immediate;
+  };
+  common::BoundedQueue<PendingReply> replies(
+      std::max<std::size_t>(1, options.max_inflight));
+  std::atomic<bool> write_failed{false};
+  std::thread writer([&] {
+    while (auto pending = replies.pop()) {
+      if (write_failed.load(std::memory_order_relaxed)) continue;  // drain only
+      std::string reply;
+      if (pending->response.has_value()) {
+        serve::WireResponse response = pending->response->get();
+        if (response.prediction.has_value()) {
+          reply = serve::format_response(pending->id, *response.prediction);
+        } else if (response.error.has_value()) {
+          reply = serve::format_error(pending->id, *response.error);
+        } else {
+          reply = serve::format_error(
+              pending->id, common::internal_error("Balancer: malformed backend reply"));
+        }
+      } else {
+        reply = std::move(pending->immediate);
+      }
+      reply.push_back('\n');
+      if (!write_all(fd, reply)) {
+        write_failed.store(true, std::memory_order_relaxed);
+        ::shutdown(fd, SHUT_RD);
+      }
+    }
+  });
+
+  std::string buffer;
+  char chunk[4096];
+  bool overlong = false;
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (;;) {
+      const auto nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      PendingReply pending;
+      auto request = serve::parse_request(line);
+      if (!request.ok()) {
+        {
+          std::lock_guard slock(stats_mutex);
+          ++protocol_errors;
+        }
+        pending.id = serve::best_effort_id(line);
+        pending.immediate = serve::format_error(pending.id, request.error());
+        replies.push(std::move(pending));
+        continue;
+      }
+      auto& wire = request.value();
+      pending.id = wire.id;
+      if (wire.kind == serve::RequestKind::kHealth ||
+          wire.kind == serve::RequestKind::kStats) {
+        // The balancer answers for itself — a client asking the fleet
+        // endpoint for health wants the fleet front, not one worker.
+        pending.immediate =
+            wire.kind == serve::RequestKind::kHealth
+                ? serve::format_health_response(wire.id, own_wire_stats())
+                : serve::format_stats_response(wire.id, own_wire_stats());
+        replies.push(std::move(pending));
+        continue;
+      }
+      {
+        std::lock_guard slock(stats_mutex);
+        ++requests;
+      }
+      auto forwarded = std::make_shared<Pending>();
+      forwarded->request = std::move(wire);
+      pending.response = forwarded->promise.get_future();
+      // Push before dispatch: the queue bound is the pipelining window, and
+      // it must count this request before the next line is decoded.
+      replies.push(std::move(pending));
+      dispatch(forwarded);
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > options.max_line_bytes) {
+      PendingReply pending;
+      pending.immediate = serve::format_error(
+          0, common::invalid_argument("protocol: request line exceeds " +
+                                      std::to_string(options.max_line_bytes) +
+                                      " bytes"));
+      replies.push(std::move(pending));
+      overlong = true;
+      break;
+    }
+  }
+  replies.close();
+  writer.join();
+  if (overlong) {
+    std::lock_guard slock(stats_mutex);
+    ++protocol_errors;
+  }
+}
+
+// --- lifecycle ----------------------------------------------------------------
+
+Balancer::~Balancer() {
+  if (impl_ != nullptr) stop();
+}
+
+void Balancer::stop() {
+  std::call_once(impl_->stop_once, [this] {
+    Impl& impl = *impl_;
+    impl.stopping.store(true, std::memory_order_release);
+    if (impl.maintenance.joinable()) impl.maintenance.join();
+
+    // Listener down first: no new clients while the fleet detaches.
+    if (impl.listen_fd >= 0) ::shutdown(impl.listen_fd, SHUT_RDWR);
+    if (impl.acceptor.joinable()) impl.acceptor.join();
+    if (impl.listen_fd >= 0) ::close(impl.listen_fd);
+
+    // Backends next: readers exit, teardown fails whatever is pending with
+    // "unavailable" (stopping suppresses re-dispatch), so every client
+    // future is resolved before the connection writers drain below.
+    for (auto& backend : impl.backends) {
+      std::lock_guard lock(backend->state_mutex);
+      if (backend->fd >= 0) ::shutdown(backend->fd, SHUT_RDWR);
+    }
+    for (auto& backend : impl.backends) {
+      if (backend->reader.joinable()) backend->reader.join();
+      std::lock_guard wlock(backend->write_mutex);
+      std::lock_guard slock(backend->state_mutex);
+      if (backend->fd >= 0) ::close(backend->fd);
+      backend->fd = -1;
+    }
+
+    std::list<std::unique_ptr<Impl::Conn>> conns;
+    {
+      std::lock_guard lock(impl.conn_mutex);
+      conns.swap(impl.conns);
+    }
+    for (auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
+    for (auto& conn : conns) {
+      if (conn->thread.joinable()) conn->thread.join();
+      ::close(conn->fd);
+    }
+    if (!impl.bound_unix_path.empty()) ::unlink(impl.bound_unix_path.c_str());
+  });
+}
+
+int Balancer::tcp_port() const noexcept { return impl_->bound_tcp_port; }
+
+const std::string& Balancer::unix_path() const noexcept {
+  return impl_->bound_unix_path;
+}
+
+Balancer::Stats Balancer::stats() const {
+  Stats out;
+  {
+    std::lock_guard lock(impl_->stats_mutex);
+    out.connections = impl_->connections;
+    out.requests = impl_->requests;
+    out.protocol_errors = impl_->protocol_errors;
+    out.redispatches = impl_->redispatches;
+    out.backend_failures = impl_->backend_failures;
+    out.reconnects = impl_->reconnects;
+  }
+  out.routed.reserve(impl_->backends.size());
+  for (const auto& backend : impl_->backends) {
+    out.routed.push_back(backend->routed.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::size_t Balancer::alive_backends() const {
+  std::size_t alive = 0;
+  for (const auto& backend : impl_->backends) {
+    if (backend->alive.load(std::memory_order_acquire)) ++alive;
+  }
+  return alive;
+}
+
+}  // namespace repro::fleet

@@ -1,0 +1,103 @@
+// The fleet's front balancer: one client-facing endpoint speaking the
+// existing line-JSON protocol, dispatching every prediction request over a
+// persistent backend connection to one of N repro_serve workers.
+//
+//   clients ──▶ acceptor ──▶ conn reader ─┬─▶ backend 0 (pending map, reader)
+//               (line JSON,   dispatch:   ├─▶ backend 1       …
+//                unchanged)   least-loaded└─▶ backend N-1
+//                             RR tie-break
+//
+// Request ids are rewritten per backend (each backend connection has its
+// own id space) and mapped back before the reply line is written, so
+// clients keep their own ids and strict per-connection response order —
+// the wire contract is byte-for-byte the one repro_serve speaks directly.
+//
+// Fault handling: when a backend connection drops (worker crash, graceful
+// restart) every request pending on it is re-dispatched to a live worker,
+// and responses carrying the retryable "unavailable" code (a worker
+// draining for shutdown) are re-dispatched the same way — clients never
+// observe a worker death, only added latency. Re-dispatch cannot change
+// reply bytes: a prediction depends only on the request and the shared
+// model, never on which worker serves it (the fleet bit-identity tests
+// assert this at 1/2/4 workers). A maintenance thread reconnects dead
+// backends with bounded backoff and pings live ones with "health" requests.
+//
+// Balancer-addressed "health"/"stats" requests are answered by the balancer
+// itself (its own uptime and counters; queue_depth = requests currently
+// pending on backends).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "serve/client.hpp"
+
+namespace repro::fleet {
+
+/// One worker endpoint. A non-empty unix_path wins over tcp_port (the
+/// in-process tests back the balancer with TCP servers; the process fleet
+/// uses the supervisor's per-worker unix sockets).
+struct BackendEndpoint {
+  std::string unix_path;
+  int tcp_port = -1;
+};
+
+struct BalancerOptions {
+  /// Client-facing endpoint, same semantics as ServerOptions.
+  std::string unix_path;
+  int tcp_port = -1;  // 0 = ephemeral, reported by tcp_port()
+  std::size_t max_line_bytes = 1 << 20;
+  /// Per client connection, like ServerOptions::max_inflight.
+  std::size_t max_inflight = 64;
+  /// Backoff for the initial backend connects (fleet startup races).
+  serve::ConnectOptions connect{8, std::chrono::milliseconds(50),
+                                std::chrono::milliseconds(1000)};
+  /// Period of the maintenance tick (reconnects + health pings). Zero
+  /// disables pings but keeps reconnects on a 50ms tick.
+  std::chrono::milliseconds health_interval{1000};
+  /// A request is re-dispatched at most this many times before its client
+  /// sees the unavailable error (guards against a fleet dying mid-burst).
+  int max_dispatch_attempts = 4;
+};
+
+class Balancer {
+ public:
+  /// Connect to every backend (with backoff), then bind, listen, accept.
+  [[nodiscard]] static common::Result<std::unique_ptr<Balancer>> start(
+      std::vector<BackendEndpoint> backends, const BalancerOptions& options);
+
+  ~Balancer();
+  Balancer(const Balancer&) = delete;
+  Balancer& operator=(const Balancer&) = delete;
+
+  /// Stop accepting, fail whatever is still pending, join all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  [[nodiscard]] int tcp_port() const noexcept;
+  [[nodiscard]] const std::string& unix_path() const noexcept;
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;          // prediction requests forwarded
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t redispatches = 0;      // requests moved off a dead/draining worker
+    std::uint64_t backend_failures = 0;  // backend connections lost
+    std::uint64_t reconnects = 0;        // backend connections re-established
+    std::vector<std::uint64_t> routed;   // requests routed per backend
+  };
+  [[nodiscard]] Stats stats() const;
+  /// Backends currently connected (tests; racy by nature).
+  [[nodiscard]] std::size_t alive_backends() const;
+
+ private:
+  Balancer();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace repro::fleet

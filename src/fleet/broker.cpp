@@ -1,0 +1,270 @@
+#include "fleet/broker.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/log.hpp"
+#include "serve/protocol.hpp"
+
+namespace repro::fleet {
+
+namespace {
+
+common::Error errno_error(const std::string& what) {
+  return common::io_error(what + ": " + std::strerror(errno));
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Broker::Impl {
+  serve::ServiceConfig config;
+  BrokerOptions options;
+  std::unique_ptr<serve::ModelCache> cache;
+  int listen_fd = -1;
+  std::string bound_path;
+
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  std::thread acceptor;
+  std::mutex conn_mutex;
+  std::list<std::unique_ptr<Conn>> conns;
+  std::atomic<bool> stopping{false};
+  std::once_flag stop_once;
+
+  void accept_loop();
+  void serve_connection(int fd);
+  void reap_finished_locked();
+  [[nodiscard]] std::string answer(const std::string& line);
+};
+
+Broker::Broker() : impl_(std::make_unique<Impl>()) {}
+
+common::Result<std::unique_ptr<Broker>> Broker::start(serve::ServiceConfig config,
+                                                      const BrokerOptions& options) {
+  if (options.unix_path.empty()) {
+    return common::invalid_argument("Broker: unix_path is required");
+  }
+  if (options.cache_dir.empty()) {
+    return common::invalid_argument(
+        "Broker: cache_dir is required (workers load the write-through copy)");
+  }
+  std::unique_ptr<Broker> broker(new Broker());
+  broker->impl_->config = std::move(config);
+  broker->impl_->options = options;
+  broker->impl_->cache =
+      std::make_unique<serve::ModelCache>(options.cache_capacity, options.cache_dir);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options.unix_path.size() >= sizeof(addr.sun_path)) {
+    return common::invalid_argument("Broker: unix path too long: " + options.unix_path);
+  }
+  std::strncpy(addr.sun_path, options.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errno_error("Broker: socket(AF_UNIX)");
+  ::unlink(options.unix_path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    auto err = errno_error("Broker: bind(" + options.unix_path + ")");
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, 16) != 0) {
+    auto err = errno_error("Broker: listen");
+    ::close(fd);
+    return err;
+  }
+  broker->impl_->listen_fd = fd;
+  broker->impl_->bound_path = options.unix_path;
+  broker->impl_->acceptor =
+      std::thread([impl = broker->impl_.get()] { impl->accept_loop(); });
+  return broker;
+}
+
+void Broker::Impl::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stopping.load(std::memory_order_acquire)) return;
+      if (errno == ECONNABORTED) continue;
+      common::log_error() << "Broker: accept: " << std::strerror(errno)
+                          << "; no longer accepting";
+      return;
+    }
+    std::lock_guard lock(conn_mutex);
+    if (stopping.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    reap_finished_locked();
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    conns.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] {
+      serve_connection(raw->fd);
+      ::shutdown(raw->fd, SHUT_RDWR);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void Broker::Impl::reap_finished_locked() {
+  for (auto it = conns.begin(); it != conns.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      ::close((*it)->fd);
+      it = conns.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string Broker::Impl::answer(const std::string& line) {
+  auto doc = serve::parse_json(line);
+  const std::uint64_t id = serve::best_effort_id(line);
+  if (!doc.ok()) return serve::format_error(id, doc.error());
+  const serve::JsonValue* type =
+      doc.value().is_object() ? doc.value().find("type") : nullptr;
+  if (type == nullptr || !type->is_string()) {
+    return serve::format_error(
+        id, common::parse_error("broker: request needs a string \"type\""));
+  }
+  const std::string& t = type->as_string();
+  if (t == "model") {
+    // Train-or-load under the cache's own mutex: N workers asking at once
+    // block here and the suite is fitted exactly once for the whole fleet.
+    auto model = serve::Service::train_or_fetch(config, *cache);
+    if (!model.ok()) return serve::format_error(id, model.error());
+    const serve::ModelKey key = serve::Service::key_for(config);
+    return "{\"id\":" + std::to_string(id) + ",\"status\":\"ok\",\"key\":" +
+           serve::json_quote(key.to_string()) +
+           ",\"path\":" + serve::json_quote(cache->disk_path(key)) + "}";
+  }
+  if (t == "health" || t == "stats") {
+    const auto cache_stats = cache->stats();
+    serve::WireStats wire;
+    wire.cache_hits = cache_stats.hits + cache_stats.disk_hits;
+    wire.cache_misses = cache_stats.misses;
+    return t == "health" ? serve::format_health_response(id, wire)
+                         : serve::format_stats_response(id, wire);
+  }
+  return serve::format_error(
+      id, common::parse_error("broker: unknown request type \"" + t + "\""));
+}
+
+void Broker::Impl::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // EOF or error (including shutdown() from stop)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    for (;;) {
+      const auto nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string reply = answer(line);
+      reply.push_back('\n');
+      if (!write_all(fd, reply)) return;
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > (1u << 16)) return;  // no broker request is this long
+  }
+}
+
+Broker::~Broker() {
+  if (impl_ != nullptr) stop();
+}
+
+void Broker::stop() {
+  std::call_once(impl_->stop_once, [this] {
+    impl_->stopping.store(true, std::memory_order_release);
+    if (impl_->listen_fd >= 0) ::shutdown(impl_->listen_fd, SHUT_RDWR);
+    if (impl_->acceptor.joinable()) impl_->acceptor.join();
+    if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+    std::list<std::unique_ptr<Impl::Conn>> conns;
+    {
+      std::lock_guard lock(impl_->conn_mutex);
+      conns.swap(impl_->conns);
+    }
+    for (auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
+    for (auto& conn : conns) {
+      if (conn->thread.joinable()) conn->thread.join();
+      ::close(conn->fd);
+    }
+    if (!impl_->bound_path.empty()) ::unlink(impl_->bound_path.c_str());
+  });
+}
+
+const std::string& Broker::unix_path() const noexcept { return impl_->bound_path; }
+
+const serve::ModelCache& Broker::cache() const noexcept { return *impl_->cache; }
+
+common::Result<BrokerModelReply> fetch_model(const std::string& broker_unix_path,
+                                             const serve::ConnectOptions& retry) {
+  // Raw fd round trip rather than SocketClient: the reply is a broker
+  // message, not a prediction, and SocketClient's typed readers would
+  // reject it. Connect retry still comes from the shared backoff helper.
+  auto client = serve::SocketClient::connect_unix(broker_unix_path, retry);
+  if (!client.ok()) return client.error();
+  auto reply = client.value().raw_round_trip("{\"id\":1,\"type\":\"model\"}");
+  if (!reply.ok()) return reply.error();
+  auto doc = serve::parse_json(reply.value());
+  if (!doc.ok()) return doc.error();
+  if (doc.value().is_object()) {
+    if (const serve::JsonValue* error = doc.value().find("error");
+        error != nullptr && error->is_object()) {
+      const serve::JsonValue* message = error->find("message");
+      return common::unavailable(
+          "broker: " + (message != nullptr && message->is_string()
+                            ? message->as_string()
+                            : std::string("unknown error")));
+    }
+  }
+  const serve::JsonValue* status =
+      doc.value().is_object() ? doc.value().find("status") : nullptr;
+  const serve::JsonValue* key =
+      doc.value().is_object() ? doc.value().find("key") : nullptr;
+  const serve::JsonValue* path =
+      doc.value().is_object() ? doc.value().find("path") : nullptr;
+  if (status == nullptr || !status->is_string() || status->as_string() != "ok" ||
+      key == nullptr || !key->is_string() || path == nullptr || !path->is_string()) {
+    return common::parse_error("broker: malformed model reply: " + reply.value());
+  }
+  return BrokerModelReply{key->as_string(), path->as_string()};
+}
+
+}  // namespace repro::fleet

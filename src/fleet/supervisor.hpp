@@ -1,0 +1,86 @@
+// The fleet's worker lifecycle manager: fork/exec N `repro_serve`
+// processes, wait until each accepts connections, auto-respawn crashed
+// workers, and restart or stop them gracefully (SIGTERM → drain → exit).
+//
+// Each worker listens on its own Unix socket under socket_dir
+// (worker-<i>.sock) and logs to worker-<i>.log there. Readiness is probed
+// by connecting with the client's bounded backoff and completing a health
+// round trip — repro_serve only accepts after its model is trained or
+// loaded, so a successful probe means "serving", not just "spawned".
+//
+// One monitor thread per worker owns that worker's state machine: it polls
+// waitpid(WNOHANG), respawns on unexpected exit (the balancer reconnects to
+// the same socket path by itself), and executes restart()/stop() commands.
+// A kill -9'd worker is therefore back in the fleet within roughly
+// poll-interval + model-load time, and no other worker is disturbed.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace repro::fleet {
+
+/// How to launch one worker process. `binary` is argv[0] (the repro_serve
+/// executable); `common_args` is appended after the per-worker
+/// "--unix <socket_dir>/worker-<i>.sock" pair (cache dir, broker, suite
+/// flags — everything that must be identical across the fleet).
+struct WorkerSpec {
+  std::string binary;
+  std::vector<std::string> common_args;
+};
+
+struct SupervisorOptions {
+  std::size_t workers = 2;
+  /// Directory for the per-worker sockets and log files (must exist).
+  std::string socket_dir;
+  /// How long spawn()/restart() waits for a worker to accept connections.
+  /// Generous by default: the first worker of a cold fleet trains the model.
+  std::chrono::seconds ready_timeout{300};
+  /// Respawn workers that exit without being asked to.
+  bool auto_restart = true;
+};
+
+class Supervisor {
+ public:
+  /// Spawn every worker and wait until all of them serve.
+  [[nodiscard]] static common::Result<std::unique_ptr<Supervisor>> start(
+      WorkerSpec spec, const SupervisorOptions& options);
+
+  ~Supervisor();
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// The workers' Unix socket paths, index-aligned with pids().
+  [[nodiscard]] std::vector<std::string> endpoints() const;
+  /// Current pid of each worker (changes across respawns).
+  [[nodiscard]] std::vector<pid_t> pids() const;
+
+  /// Graceful rolling restart of one worker: SIGTERM (repro_serve drains
+  /// its connections and exits), wait, respawn, wait until serving again.
+  [[nodiscard]] common::Status restart(std::size_t index);
+
+  struct Stats {
+    std::uint64_t spawns = 0;    // initial spawns + respawns
+    std::uint64_t crashes = 0;   // exits the supervisor did not request
+    std::uint64_t restarts = 0;  // explicit restart() calls completed
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// SIGTERM every worker, wait for exits (SIGKILL stragglers). Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+ private:
+  Supervisor();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace repro::fleet

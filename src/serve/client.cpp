@@ -5,9 +5,11 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <string_view>
+#include <thread>
 #include <utility>
 
 #include "serve/protocol.hpp"
@@ -20,38 +22,84 @@ common::Error errno_error(const std::string& what) {
   return common::io_error(what + ": " + std::strerror(errno));
 }
 
+/// Connect failures worth retrying: the server process exists but has not
+/// bound/listened yet, or is between restarts. Anything else (bad address,
+/// permissions) will not heal with time.
+bool connect_errno_is_transient(int err) {
+  return err == ECONNREFUSED || err == ENOENT || err == ECONNRESET ||
+         err == ETIMEDOUT || err == EAGAIN || err == EINTR;
+}
+
+/// One connect attempt per iteration, sleeping the (doubling, capped)
+/// backoff between attempts. `try_connect` returns the connected fd or -1
+/// with errno set.
+template <typename TryConnect>
+common::Result<int> connect_with_backoff(const ConnectOptions& options,
+                                         const std::string& what,
+                                         TryConnect&& try_connect) {
+  const int attempts = options.attempts < 1 ? 1 : options.attempts;
+  auto backoff = options.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    const int fd = try_connect();
+    if (fd >= 0) return fd;
+    const int err = errno;
+    if (attempt >= attempts || !connect_errno_is_transient(err)) {
+      errno = err;
+      return errno_error(what + " (attempt " + std::to_string(attempt) + "/" +
+                         std::to_string(attempts) + ")");
+    }
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, options.max_backoff);
+  }
+}
+
 }  // namespace
 
-common::Result<SocketClient> SocketClient::connect_unix(const std::string& path) {
+common::Result<SocketClient> SocketClient::connect_unix(const std::string& path,
+                                                        const ConnectOptions& options) {
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
     return common::invalid_argument("SocketClient: unix path too long: " + path);
   }
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return errno_error("SocketClient: socket(AF_UNIX)");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    auto err = errno_error("SocketClient: connect(" + path + ")");
-    ::close(fd);
-    return err;
-  }
-  return SocketClient(fd);
+  auto fd = connect_with_backoff(
+      options, "SocketClient: connect(" + path + ")", [&]() -> int {
+        const int s = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (s < 0) return -1;
+        if (::connect(s, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+          const int err = errno;
+          ::close(s);
+          errno = err;
+          return -1;
+        }
+        return s;
+      });
+  if (!fd.ok()) return fd.error();
+  return SocketClient(fd.value());
 }
 
-common::Result<SocketClient> SocketClient::connect_tcp(int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return errno_error("SocketClient: socket(AF_INET)");
+common::Result<SocketClient> SocketClient::connect_tcp(int port,
+                                                       const ConnectOptions& options) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    auto err = errno_error("SocketClient: connect(127.0.0.1:" + std::to_string(port) + ")");
-    ::close(fd);
-    return err;
-  }
-  return SocketClient(fd);
+  auto fd = connect_with_backoff(
+      options, "SocketClient: connect(127.0.0.1:" + std::to_string(port) + ")",
+      [&]() -> int {
+        const int s = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (s < 0) return -1;
+        if (::connect(s, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+          const int err = errno;
+          ::close(s);
+          errno = err;
+          return -1;
+        }
+        return s;
+      });
+  if (!fd.ok()) return fd.error();
+  return SocketClient(fd.value());
 }
 
 SocketClient::SocketClient(SocketClient&& other) noexcept
@@ -156,8 +204,7 @@ common::Status SocketClient::send_line(std::string line) {
   return common::Status::Ok();
 }
 
-common::Result<core::Predictor::KernelPrediction> SocketClient::read_response(
-    std::uint64_t expect_id) {
+common::Result<WireResponse> SocketClient::read_wire(std::uint64_t expect_id) {
   if (fd_ < 0) return common::io_error("SocketClient: not connected");
   for (;;) {
     const auto nl = buffer_.find('\n');
@@ -171,8 +218,7 @@ common::Result<core::Predictor::KernelPrediction> SocketClient::read_response(
             "SocketClient: response id " + std::to_string(response.value().id) +
             " does not match request id " + std::to_string(expect_id));
       }
-      if (response.value().error.has_value()) return *response.value().error;
-      return std::move(*response.value().prediction);
+      return response;
     }
     char chunk[4096];
     const ssize_t n = ::read(fd_, chunk, sizeof chunk);
@@ -183,6 +229,59 @@ common::Result<core::Predictor::KernelPrediction> SocketClient::read_response(
     if (n == 0) return common::io_error("SocketClient: server closed the connection");
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+common::Result<core::Predictor::KernelPrediction> SocketClient::read_response(
+    std::uint64_t expect_id) {
+  auto response = read_wire(expect_id);
+  if (!response.ok()) return response.error();
+  if (response.value().error.has_value()) return *response.value().error;
+  if (!response.value().prediction.has_value()) {
+    return common::parse_error("SocketClient: expected a prediction response");
+  }
+  return std::move(*response.value().prediction);
+}
+
+common::Result<WireStats> SocketClient::introspect(RequestKind kind) {
+  WireRequest request;
+  request.id = next_id_++;
+  request.kind = kind;
+  if (auto st = send_line(format_request(request)); !st.ok()) return st.error();
+  auto response = read_wire(request.id);
+  if (!response.ok()) return response.error();
+  if (response.value().error.has_value()) return *response.value().error;
+  if (!response.value().stats.has_value()) {
+    return common::parse_error("SocketClient: expected a health/stats response");
+  }
+  return *response.value().stats;
+}
+
+common::Result<std::string> SocketClient::raw_round_trip(const std::string& line) {
+  if (auto st = send_line(line); !st.ok()) return st.error();
+  for (;;) {
+    const auto nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string reply = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return reply;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("SocketClient: read");
+    }
+    if (n == 0) return common::io_error("SocketClient: server closed the connection");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+common::Result<WireStats> SocketClient::health() {
+  return introspect(RequestKind::kHealth);
+}
+
+common::Result<WireStats> SocketClient::stats() {
+  return introspect(RequestKind::kStats);
 }
 
 common::Result<core::Predictor::KernelPrediction> SocketClient::round_trip(

@@ -5,24 +5,46 @@
 // the responses (which the server returns in request order) are read
 // afterwards, filling the server's micro-batching window from one
 // connection. Not thread-safe — use one client per thread.
+//
+// connect_unix/connect_tcp take a ConnectOptions with bounded exponential
+// backoff: a fleet spawns its workers and connects to them concurrently, so
+// the first connect routinely races a worker that has not called listen()
+// yet — retry-with-backoff turns that startup race into a short wait
+// instead of an error.
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "clfront/features.hpp"
 #include "common/status.hpp"
 #include "core/predictor.hpp"
+#include "serve/protocol.hpp"
 
 namespace repro::serve {
 
+/// Retry policy for the connect call itself (never for requests). The delay
+/// starts at initial_backoff and doubles per failed attempt, capped at
+/// max_backoff; attempts <= 1 preserves the old fail-fast behaviour. Only
+/// "server not up yet" errors are retried (ECONNREFUSED, ENOENT on a unix
+/// path, and friends) — a path that is too long fails immediately.
+struct ConnectOptions {
+  int attempts = 1;
+  std::chrono::milliseconds initial_backoff{25};
+  std::chrono::milliseconds max_backoff{1000};
+};
+
 class SocketClient {
  public:
-  [[nodiscard]] static common::Result<SocketClient> connect_unix(const std::string& path);
-  [[nodiscard]] static common::Result<SocketClient> connect_tcp(int port);
+  [[nodiscard]] static common::Result<SocketClient> connect_unix(
+      const std::string& path, const ConnectOptions& options = {});
+  [[nodiscard]] static common::Result<SocketClient> connect_tcp(
+      int port, const ConnectOptions& options = {});
 
   SocketClient(SocketClient&& other) noexcept;
   SocketClient& operator=(SocketClient&& other) noexcept;
@@ -45,13 +67,34 @@ class SocketClient {
   [[nodiscard]] std::vector<common::Result<core::Predictor::KernelPrediction>>
   predict_source_many(const std::vector<core::Predictor::SourceRequest>& sources);
 
+  /// Liveness probe: uptime_s and queue_depth only (the cheap form the
+  /// balancer pings workers with).
+  [[nodiscard]] common::Result<WireStats> health();
+  /// The server's full counter dump.
+  [[nodiscard]] common::Result<WireStats> stats();
+
+  /// Send one raw line (no trailing newline) and read one raw reply line —
+  /// for side protocols that share the line framing but not the message
+  /// schema (the fleet's model-cache broker).
+  [[nodiscard]] common::Result<std::string> raw_round_trip(const std::string& line);
+
+  /// Relinquish ownership of the connected descriptor and disconnect this
+  /// client. The fleet balancer pools backend connections this way: connect
+  /// with the shared backoff logic here, then run its own reader on the fd.
+  [[nodiscard]] int release_fd() noexcept {
+    buffer_.clear();
+    return std::exchange(fd_, -1);
+  }
+
  private:
   explicit SocketClient(int fd) : fd_(fd) {}
   [[nodiscard]] common::Status send_line(std::string line);
+  [[nodiscard]] common::Result<WireResponse> read_wire(std::uint64_t expect_id);
   [[nodiscard]] common::Result<core::Predictor::KernelPrediction> read_response(
       std::uint64_t expect_id);
   [[nodiscard]] common::Result<core::Predictor::KernelPrediction> round_trip(
       const std::string& request_line, std::uint64_t expect_id);
+  [[nodiscard]] common::Result<WireStats> introspect(RequestKind kind);
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;

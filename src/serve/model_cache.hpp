@@ -96,6 +96,12 @@ class ModelCache {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Where the write-through copy of `key` lives (or would live); empty
+  /// when the cache is memory-only. The fleet broker hands this path to
+  /// workers so they load the broker-trained model instead of retraining.
+  [[nodiscard]] std::string disk_path(const ModelKey& key) const {
+    return disk_dir_.empty() ? std::string() : path_for(key);
+  }
   [[nodiscard]] Stats stats() const;
   /// Keys currently resident, most recently used first (tests).
   [[nodiscard]] std::vector<std::string> resident_keys() const;

@@ -405,18 +405,23 @@ common::Result<WireRequest> parse_request(const std::string& line) {
   }
   const JsonValue* features = doc.value().find("features");
   const JsonValue* source = doc.value().find("source");
-  if ((features != nullptr) == (source != nullptr)) {
-    return common::parse_error(
-        "protocol: request needs exactly one of \"features\" or \"source\"");
-  }
   // Optional explicit request type; when present it must match the payload
   // (a "predict_source" request with a features array is a client bug worth
-  // rejecting loudly, not guessing about).
+  // rejecting loudly, not guessing about). The introspection kinds have no
+  // payload-inferable form, so they require the type member.
   if (const JsonValue* type = doc.value().find("type"); type != nullptr) {
     if (!type->is_string()) {
       return common::parse_error("protocol: \"type\" must be a string");
     }
     const std::string& t = type->as_string();
+    if (t == "health" || t == "stats") {
+      if (features != nullptr || source != nullptr) {
+        return common::parse_error("protocol: \"" + t +
+                                   "\" requests carry no payload");
+      }
+      request.kind = t == "health" ? RequestKind::kHealth : RequestKind::kStats;
+      return request;
+    }
     if (t != "predict" && t != "predict_source") {
       return common::parse_error("protocol: unknown request type \"" + t + "\"");
     }
@@ -424,6 +429,10 @@ common::Result<WireRequest> parse_request(const std::string& line) {
       return common::parse_error("protocol: request type \"" + t +
                                  "\" does not match its payload");
     }
+  }
+  if ((features != nullptr) == (source != nullptr)) {
+    return common::parse_error(
+        "protocol: request needs exactly one of \"features\" or \"source\"");
   }
   if (features != nullptr) {
     if (!features->is_array() ||
@@ -447,17 +456,21 @@ common::Result<WireRequest> parse_request(const std::string& line) {
       counts[i] = v.as_number();
     }
     request.features = counts;
+    request.kind = RequestKind::kPredict;
   } else {
     if (!source->is_string()) {
       return common::parse_error("protocol: \"source\" must be a string");
     }
     request.source = source->as_string();
+    request.kind = RequestKind::kPredictSource;
   }
   return request;
 }
 
 std::string format_request(const WireRequest& request) {
   std::string out = "{\"id\":" + std::to_string(request.id);
+  if (request.kind == RequestKind::kHealth) return out + ",\"type\":\"health\"}";
+  if (request.kind == RequestKind::kStats) return out + ",\"type\":\"stats\"}";
   // Feature requests stay in the legacy (type-free) framing so old servers
   // keep accepting them; source requests name the predict_source type.
   if (request.source.has_value()) out += ",\"type\":\"predict_source\"";
@@ -498,6 +511,28 @@ std::string format_response(std::uint64_t id,
   return out;
 }
 
+std::string format_health_response(std::uint64_t id, const WireStats& stats) {
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"health\":{\"status\":\"ok\",\"uptime_s\":";
+  append_double(out, stats.uptime_s);
+  out += ",\"queue_depth\":" + std::to_string(stats.queue_depth) + "}}";
+  return out;
+}
+
+std::string format_stats_response(std::uint64_t id, const WireStats& stats) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"stats\":{\"uptime_s\":";
+  append_double(out, stats.uptime_s);
+  out += ",\"queue_depth\":" + std::to_string(stats.queue_depth) +
+         ",\"requests\":" + std::to_string(stats.requests) +
+         ",\"source_requests\":" + std::to_string(stats.source_requests) +
+         ",\"batches\":" + std::to_string(stats.batches) +
+         ",\"connections\":" + std::to_string(stats.connections) +
+         ",\"protocol_errors\":" + std::to_string(stats.protocol_errors) +
+         ",\"cache_hits\":" + std::to_string(stats.cache_hits) +
+         ",\"cache_misses\":" + std::to_string(stats.cache_misses) + "}}";
+  return out;
+}
+
 std::string format_error(std::uint64_t id, const common::Error& error) {
   return "{\"id\":" + std::to_string(id) +
          ",\"error\":{\"code\":" + json_quote(common::to_string(error.code)) +
@@ -521,7 +556,7 @@ common::Result<WireResponse> parse_response(const std::string& line) {
     common::Error e;
     e.code = common::ErrorCode::kInternal;
     if (code != nullptr && code->is_string()) {
-      for (int c = 0; c <= static_cast<int>(common::ErrorCode::kIo); ++c) {
+      for (int c = 0; c <= static_cast<int>(common::ErrorCode::kUnavailable); ++c) {
         if (code->as_string() == common::to_string(static_cast<common::ErrorCode>(c))) {
           e.code = static_cast<common::ErrorCode>(c);
           break;
@@ -531,6 +566,53 @@ common::Result<WireResponse> parse_response(const std::string& line) {
     e.message = message != nullptr && message->is_string() ? message->as_string()
                                                            : "unknown remote error";
     response.error = std::move(e);
+    return response;
+  }
+
+  // health / stats responses: the counters object under either key.
+  const JsonValue* health = doc.value().find("health");
+  const JsonValue* counters = health != nullptr ? health : doc.value().find("stats");
+  if (counters != nullptr) {
+    if (!counters->is_object()) {
+      return common::parse_error("protocol: \"health\"/\"stats\" must be an object");
+    }
+    if (health != nullptr) {
+      const JsonValue* status = counters->find("status");
+      if (status == nullptr || !status->is_string() || status->as_string() != "ok") {
+        return common::parse_error("protocol: health status missing or not ok");
+      }
+    }
+    WireStats stats;
+    const auto read_counter = [&](const char* key,
+                                  std::uint64_t& out) -> common::Status {
+      const JsonValue* v = counters->find(key);
+      if (v == nullptr) return common::Status::Ok();  // absent = zero
+      const double d = v->is_number() ? v->as_number() : -1.0;
+      if (!(d >= 0) || d != std::floor(d) || d > 1.8e19) {
+        return common::parse_error(std::string("protocol: \"") + key +
+                                   "\" must be a non-negative integer");
+      }
+      out = static_cast<std::uint64_t>(d);
+      return common::Status::Ok();
+    };
+    if (const JsonValue* uptime = counters->find("uptime_s"); uptime != nullptr) {
+      if (!uptime->is_number() || !(uptime->as_number() >= 0)) {
+        return common::parse_error("protocol: \"uptime_s\" must be non-negative");
+      }
+      stats.uptime_s = uptime->as_number();
+    }
+    for (auto [key, field] : {std::pair<const char*, std::uint64_t*>
+                                  {"queue_depth", &stats.queue_depth},
+                              {"requests", &stats.requests},
+                              {"source_requests", &stats.source_requests},
+                              {"batches", &stats.batches},
+                              {"connections", &stats.connections},
+                              {"protocol_errors", &stats.protocol_errors},
+                              {"cache_hits", &stats.cache_hits},
+                              {"cache_misses", &stats.cache_misses}}) {
+      if (auto st = read_counter(key, *field); !st.ok()) return st.error();
+    }
+    response.stats = stats;
     return response;
   }
 

@@ -1,8 +1,8 @@
 // The line-delimited JSON wire protocol of repro_serve.
 //
 // One request per line, one response line per request, over a Unix or TCP
-// socket. Two request types: "predict" carries the 10 raw static feature
-// counts, "predict_source" carries OpenCL-C source that the server
+// socket. Two prediction request types: "predict" carries the 10 raw static
+// feature counts, "predict_source" carries OpenCL-C source that the server
 // featurizes on its worker shards (inside the micro-batch, off the
 // connection thread):
 //
@@ -10,6 +10,18 @@
 //    "features": [12, 0, 0, 0, 8, 8, 0, 0, 3, 0]}
 //   {"id": 8, "type": "predict_source",
 //    "source": "kernel void f(global float* x) { ... }"}
+//
+// Two introspection request types, payload-free, answered on the connection
+// thread (they never enter the batching pipeline): "health" is the cheap
+// liveness probe (the fleet balancer pings it), "stats" the full counter
+// dump:
+//
+//   {"id": 9, "type": "health"}
+//     → {"id": 9, "health": {"status": "ok", "uptime_s": 12.5, "queue_depth": 0}}
+//   {"id": 10, "type": "stats"}
+//     → {"id": 10, "stats": {"uptime_s": ..., "queue_depth": ..., "requests": ...,
+//        "source_requests": ..., "batches": ..., "connections": ...,
+//        "protocol_errors": ..., "cache_hits": ..., "cache_misses": ...}}
 //
 // "type" may be omitted for backward compatibility — the payload member
 // then decides — but when present it must match the payload. Connections
@@ -96,11 +108,18 @@ class JsonValue {
 
 // --- protocol messages --------------------------------------------------------
 
+/// What a request line asks for. The two predict kinds are inferred from
+/// the payload (the "type" member is optional for them); health and stats
+/// must be named explicitly and carry no payload.
+enum class RequestKind { kPredict, kPredictSource, kHealth, kStats };
+
 struct WireRequest {
   std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kPredict;
   std::string kernel;  // optional display name; defaults applied server-side
-  /// Exactly one of the two is set after a successful parse: "predict"
-  /// requests carry features, "predict_source" requests carry source.
+  /// For the predict kinds, exactly one of the two is set after a
+  /// successful parse: "predict" requests carry features, "predict_source"
+  /// requests carry source. Both empty for health/stats.
   std::optional<std::array<double, clfront::kNumFeatures>> features;  // raw counts
   std::optional<std::string> source;                                  // OpenCL-C
 
@@ -110,10 +129,27 @@ struct WireRequest {
   [[nodiscard]] common::Result<clfront::StaticFeatures> to_features() const;
 };
 
+/// The counters a "stats" (or, in its short form, "health") response
+/// carries. One struct serves both framings: health replies fill only
+/// uptime_s and queue_depth, stats replies everything their server knows
+/// (cache_* stay zero when the server has no model cache wired in).
+struct WireStats {
+  double uptime_s = 0.0;
+  std::uint64_t queue_depth = 0;  // admission-queue backlog right now
+  std::uint64_t requests = 0;
+  std::uint64_t source_requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
 struct WireResponse {
   std::uint64_t id = 0;
-  /// Exactly one of the two is set.
+  /// Exactly one of the three is set.
   std::optional<core::Predictor::KernelPrediction> prediction;
+  std::optional<WireStats> stats;  // health and stats responses
   std::optional<common::Error> error;
 };
 
@@ -121,6 +157,10 @@ struct WireResponse {
 [[nodiscard]] std::string format_response(std::uint64_t id,
                                           const core::Predictor::KernelPrediction& p);
 [[nodiscard]] std::string format_error(std::uint64_t id, const common::Error& error);
+/// {"id":…,"health":{"status":"ok","uptime_s":…,"queue_depth":…}}
+[[nodiscard]] std::string format_health_response(std::uint64_t id, const WireStats& stats);
+/// {"id":…,"stats":{…all WireStats fields…}}
+[[nodiscard]] std::string format_stats_response(std::uint64_t id, const WireStats& stats);
 [[nodiscard]] common::Result<WireResponse> parse_response(const std::string& line);
 [[nodiscard]] std::string format_request(const WireRequest& request);  // client side
 

@@ -20,6 +20,7 @@
 
 #include "common/log.hpp"
 #include "common/queue.hpp"
+#include "serve/model_cache.hpp"
 #include "serve/protocol.hpp"
 
 namespace repro::serve {
@@ -53,6 +54,7 @@ struct SocketServer::Impl {
   int listen_fd = -1;
   int bound_tcp_port = -1;
   std::string bound_unix_path;
+  std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
 
   /// One per accepted connection. The fd is closed only after the thread is
   /// joined (by the acceptor's reap sweep or by stop()), so a shutdown() on
@@ -75,6 +77,7 @@ struct SocketServer::Impl {
   void accept_loop();
   void serve_connection(int fd);
   void reap_finished_locked();
+  [[nodiscard]] WireStats wire_stats();
 };
 
 SocketServer::SocketServer() : impl_(std::make_unique<Impl>()) {}
@@ -278,6 +281,19 @@ void SocketServer::Impl::serve_connection(int fd) {
         // so clients correlating by id see the real error.
         pending.id = best_effort_id(line);
         pending.immediate = format_error(pending.id, request.error());
+      } else if (request.value().kind == RequestKind::kHealth ||
+                 request.value().kind == RequestKind::kStats) {
+        // Introspection is answered right here on the connection thread —
+        // a health ping must not queue behind a full admission queue (its
+        // whole point is reporting that backlog).
+        {
+          std::lock_guard slock(stats_mutex);
+          ++stats.requests;
+        }
+        pending.id = request.value().id;
+        pending.immediate = request.value().kind == RequestKind::kHealth
+                                ? format_health_response(pending.id, wire_stats())
+                                : format_stats_response(pending.id, wire_stats());
       } else {
         {
           std::lock_guard slock(stats_mutex);
@@ -321,6 +337,29 @@ void SocketServer::Impl::serve_connection(int fd) {
     std::lock_guard slock(stats_mutex);
     ++stats.protocol_errors;
   }
+}
+
+WireStats SocketServer::Impl::wire_stats() {
+  WireStats wire;
+  wire.uptime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                started)
+                      .count();
+  wire.queue_depth = service->queue_depth();
+  const auto service_stats = service->stats();
+  wire.requests = service_stats.requests;
+  wire.source_requests = service_stats.source_requests;
+  wire.batches = service_stats.batches;
+  {
+    std::lock_guard lock(stats_mutex);
+    wire.connections = stats.connections;
+    wire.protocol_errors = stats.protocol_errors;
+  }
+  if (options.model_cache != nullptr) {
+    const auto cache_stats = options.model_cache->stats();
+    wire.cache_hits = cache_stats.hits + cache_stats.disk_hits;
+    wire.cache_misses = cache_stats.misses;
+  }
+  return wire;
 }
 
 SocketServer::~SocketServer() {

@@ -22,6 +22,8 @@
 
 namespace repro::serve {
 
+class ModelCache;
+
 struct ServerOptions {
   /// Unix-domain socket path; takes precedence over TCP when non-empty.
   std::string unix_path;
@@ -35,6 +37,9 @@ struct ServerOptions {
   /// flight (submitted, response not yet written) before the reader stops
   /// decoding — backpressure against a client that streams without reading.
   std::size_t max_inflight = 64;
+  /// When set, "stats" responses include this cache's hit/miss counters
+  /// (the cache the service was created against). Must outlive the server.
+  const ModelCache* model_cache = nullptr;
 };
 
 class SocketServer {

@@ -15,7 +15,10 @@ namespace repro::serve {
 namespace {
 
 common::Error unavailable_error() {
-  return common::unsupported("serve::Service: stopped");
+  // kUnavailable, not kUnsupported: clients (and the fleet balancer's
+  // re-dispatch) must be able to tell "shutting down, retry elsewhere" from
+  // a request the service genuinely cannot serve.
+  return common::unavailable("serve::Service: stopped");
 }
 
 }  // namespace
@@ -46,28 +49,37 @@ Service::Service(std::shared_ptr<const core::FrequencyModel> model,
   impl_ = std::make_unique<Impl>(options_);
 }
 
-common::Result<std::unique_ptr<Service>> Service::create(const ServiceConfig& config,
-                                                         ModelCache& cache) {
+ModelKey Service::key_for(const ServiceConfig& config) {
   // A custom suite joins the cache key as a fingerprint — a model trained
   // on a reduced suite must never be served for the default one (or vice
   // versa); the generated default suite is deterministic, so its name alone
   // identifies it.
-  const ModelKey key = ModelKey::from_options(
+  return ModelKey::from_options(
       config.device.freq.device_name(), config.training,
       config.suite.has_value() ? ModelKey::fingerprint(*config.suite)
                                : std::string(ModelKey::kDefaultSuite));
-  auto model = cache.get_or_train(key, [&]() -> common::Result<core::FrequencyModel> {
-    const core::SimulatorBackend backend(config.device);
-    if (config.suite.has_value()) {
-      if (config.suite->empty()) {
-        return common::invalid_argument("serve::Service: empty training suite");
-      }
-      return core::FrequencyModel::train(backend, *config.suite, config.training);
-    }
-    auto suite = benchgen::generate_training_suite();
-    if (!suite.ok()) return suite.error();
-    return core::FrequencyModel::train(backend, suite.value(), config.training);
-  });
+}
+
+common::Result<std::shared_ptr<const core::FrequencyModel>> Service::train_or_fetch(
+    const ServiceConfig& config, ModelCache& cache) {
+  return cache.get_or_train(
+      key_for(config), [&]() -> common::Result<core::FrequencyModel> {
+        const core::SimulatorBackend backend(config.device);
+        if (config.suite.has_value()) {
+          if (config.suite->empty()) {
+            return common::invalid_argument("serve::Service: empty training suite");
+          }
+          return core::FrequencyModel::train(backend, *config.suite, config.training);
+        }
+        auto suite = benchgen::generate_training_suite();
+        if (!suite.ok()) return suite.error();
+        return core::FrequencyModel::train(backend, suite.value(), config.training);
+      });
+}
+
+common::Result<std::unique_ptr<Service>> Service::create(const ServiceConfig& config,
+                                                         ModelCache& cache) {
+  auto model = train_or_fetch(config, cache);
   if (!model.ok()) return model.error();
   return from_model(std::move(model).take(), config.options);
 }
@@ -282,5 +294,7 @@ Service::Stats Service::stats() const {
   std::lock_guard lock(impl_->stats_mutex);
   return impl_->stats;
 }
+
+std::size_t Service::queue_depth() const { return impl_->admission.size(); }
 
 }  // namespace repro::serve

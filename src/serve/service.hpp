@@ -80,6 +80,13 @@ class Service {
   [[nodiscard]] static common::Result<std::unique_ptr<Service>> from_model(
       std::shared_ptr<const core::FrequencyModel> model, const ServiceOptions& options);
 
+  /// The cache key create() files `config` under.
+  [[nodiscard]] static ModelKey key_for(const ServiceConfig& config);
+  /// The train-or-fetch step of create() by itself — what the fleet's
+  /// model-cache broker runs without starting a Service.
+  [[nodiscard]] static common::Result<std::shared_ptr<const core::FrequencyModel>>
+  train_or_fetch(const ServiceConfig& config, ModelCache& cache);
+
   ~Service();
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
@@ -114,6 +121,9 @@ class Service {
     std::uint64_t max_batch_seen = 0;
   };
   [[nodiscard]] Stats stats() const;
+  /// Requests admitted but not yet pulled into a batch — the backlog a
+  /// "health" wire response reports as queue_depth.
+  [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] const ServiceOptions& options() const noexcept { return options_; }
   [[nodiscard]] const core::FrequencyModel& model() const noexcept { return *model_; }
 

@@ -53,7 +53,8 @@ TEST(ErrorCodeTest, AllCodesHaveNames) {
   for (auto code : {rc::ErrorCode::kInvalidArgument, rc::ErrorCode::kOutOfRange,
                     rc::ErrorCode::kNotFound, rc::ErrorCode::kParseError,
                     rc::ErrorCode::kTypeError, rc::ErrorCode::kUnsupported,
-                    rc::ErrorCode::kInternal, rc::ErrorCode::kIo}) {
+                    rc::ErrorCode::kInternal, rc::ErrorCode::kIo,
+                    rc::ErrorCode::kUnavailable}) {
     EXPECT_STRNE(rc::to_string(code), "unknown");
   }
 }

@@ -1,0 +1,387 @@
+// The multi-process serving fleet, exercised in-process: the front
+// balancer must be invisible to clients — responses bit-identical to a
+// direct Predictor at any backend count, per-connection response order
+// preserved — and worker loss must cost latency, never an error: requests
+// pending on a dying backend are re-dispatched to live ones, and a backend
+// that comes back on the same endpoint is re-adopted by the maintenance
+// thread. (The true multi-process version of these assertions, with real
+// repro_serve workers and kill -9, lives in scripts/fleet_smoke.sh.)
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "benchgen/benchgen.hpp"
+#include "core/measurement.hpp"
+#include "core/model.hpp"
+#include "core/predictor.hpp"
+#include "fleet/balancer.hpp"
+#include "fleet/broker.hpp"
+#include "gpusim/simulator.hpp"
+#include "serve/client.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace rc = repro::common;
+namespace rco = repro::core;
+namespace rb = repro::benchgen;
+namespace rg = repro::gpusim;
+namespace rs = repro::serve;
+namespace rf = repro::fleet;
+
+namespace {
+
+/// A throwaway directory under the build tree, removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& stem) {
+    path = std::filesystem::temp_directory_path() /
+           (stem + "-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// Same small training setup as serve_test.cpp: train once per binary.
+std::vector<rb::MicroBenchmark> small_suite() {
+  static const auto subset = [] {
+    const auto full = rb::generate_training_suite().value();
+    std::vector<rb::MicroBenchmark> out;
+    for (std::size_t i = 0; i < full.size(); i += 8) out.push_back(full[i]);
+    return out;
+  }();
+  return subset;
+}
+
+std::shared_ptr<const rco::FrequencyModel> trained_model() {
+  static const auto model = [] {
+    const rco::SimulatorBackend backend(rg::DeviceModel::titan_x());
+    rco::TrainingOptions options;
+    options.num_configs = 8;
+    auto m = rco::FrequencyModel::train(backend, small_suite(), options);
+    EXPECT_TRUE(m.ok()) << (m.ok() ? "" : m.error().message);
+    return std::make_shared<const rco::FrequencyModel>(std::move(m).take());
+  }();
+  return model;
+}
+
+bool bitwise_equal(const std::vector<rco::PredictedPoint>& a,
+                   const std::vector<rco::PredictedPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].config != b[i].config || a[i].heuristic != b[i].heuristic ||
+        std::memcmp(&a[i].speedup, &b[i].speedup, sizeof(double)) != 0 ||
+        std::memcmp(&a[i].energy, &b[i].energy, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* kSourceKernel = R"CL(
+float damp(float v) { return v * 0.9375f + 0.0625f; }
+kernel void saxpy_damped(global float* x, global float* y, float a, int n) {
+  int gid = get_global_id(0);
+  if (gid < n) y[gid] = damp(a * x[gid] + y[gid]);
+}
+)CL";
+
+/// One in-process stand-in for a repro_serve worker: a Service over the
+/// shared model plus a SocketServer (TCP by default, Unix when a path is
+/// given). stop() mimics a worker death — pending work surfaces as EOF and
+/// kUnavailable errors, exactly what the balancer must absorb.
+struct InProcWorker {
+  std::unique_ptr<rs::Service> service;
+  std::unique_ptr<rs::SocketServer> server;
+
+  static InProcWorker start(const std::string& unix_path = {}) {
+    InProcWorker worker;
+    auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+    EXPECT_TRUE(service.ok());
+    worker.service = std::move(service).take();
+    rs::ServerOptions options;
+    if (unix_path.empty()) {
+      options.tcp_port = 0;
+    } else {
+      options.unix_path = unix_path;
+    }
+    auto server = rs::SocketServer::start(*worker.service, options);
+    EXPECT_TRUE(server.ok()) << server.error().message;
+    worker.server = std::move(server).take();
+    return worker;
+  }
+
+  rf::BackendEndpoint endpoint() const {
+    if (!server->unix_path().empty()) return {server->unix_path(), -1};
+    return {"", server->tcp_port()};
+  }
+
+  void stop() {
+    server->stop();
+    service->stop();
+  }
+};
+
+std::vector<rco::Predictor::SourceRequest> source_burst(std::size_t n) {
+  return std::vector<rco::Predictor::SourceRequest>(n, {kSourceKernel, ""});
+}
+
+}  // namespace
+
+// --- the fleet's headline contract --------------------------------------------
+
+TEST(BalancerTest, BitIdenticalToDirectPredictorAtEveryBackendCount) {
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto source_reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(source_reference.ok()) << source_reference.error().message;
+
+  const auto kernels = [&] {
+    std::vector<repro::clfront::StaticFeatures> out;
+    const auto suite = small_suite();
+    for (std::size_t i = 0; i < 12; ++i) out.push_back(suite[i % suite.size()].features);
+    return out;
+  }();
+  const auto feature_reference = direct.value().predict_batch(kernels);
+  ASSERT_TRUE(feature_reference.ok());
+
+  for (const std::size_t backends : {1u, 2u, 4u}) {
+    std::vector<InProcWorker> workers;
+    std::vector<rf::BackendEndpoint> endpoints;
+    for (std::size_t i = 0; i < backends; ++i) {
+      workers.push_back(InProcWorker::start());
+      endpoints.push_back(workers.back().endpoint());
+    }
+    rf::BalancerOptions options;
+    options.tcp_port = 0;
+    auto balancer = rf::Balancer::start(endpoints, options);
+    ASSERT_TRUE(balancer.ok()) << balancer.error().message;
+    EXPECT_EQ(balancer.value()->alive_backends(), backends);
+
+    auto client = rs::SocketClient::connect_tcp(balancer.value()->tcp_port());
+    ASSERT_TRUE(client.ok()) << client.error().message;
+
+    // Feature requests, strict round trips.
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      auto response = client.value().predict(kernels[i]);
+      ASSERT_TRUE(response.ok()) << response.error().message << " backends=" << backends;
+      EXPECT_EQ(response.value().kernel, feature_reference.value()[i].kernel);
+      EXPECT_TRUE(bitwise_equal(response.value().pareto,
+                                feature_reference.value()[i].pareto))
+          << "kernel " << i << " backends=" << backends;
+    }
+
+    // A pipelined source burst: responses must come back in request order
+    // on this connection even though they fan out across backends.
+    const auto burst = client.value().predict_source_many(source_burst(8));
+    ASSERT_EQ(burst.size(), 8u);
+    for (const auto& r : burst) {
+      ASSERT_TRUE(r.ok()) << r.error().message << " backends=" << backends;
+      EXPECT_EQ(r.value().kernel, "saxpy_damped");
+      EXPECT_TRUE(bitwise_equal(r.value().pareto, source_reference.value().pareto))
+          << "backends=" << backends;
+    }
+
+    // Per-request errors stay per-request through the balancer too.
+    auto bad = client.value().predict_source("kernel void broken( {");
+    EXPECT_FALSE(bad.ok());
+    auto after = client.value().predict_source(kSourceKernel);
+    ASSERT_TRUE(after.ok());
+    EXPECT_TRUE(bitwise_equal(after.value().pareto, source_reference.value().pareto));
+
+    balancer.value()->stop();
+    const auto stats = balancer.value()->stats();
+    EXPECT_EQ(stats.requests, kernels.size() + 8 + 2);
+    EXPECT_EQ(stats.routed.size(), backends);
+    std::uint64_t routed_total = 0;
+    for (const auto r : stats.routed) routed_total += r;
+    EXPECT_GE(routed_total, stats.requests);  // redispatches can only add
+    if (backends > 1) {
+      // Least-loaded with round-robin tie-break must actually spread work.
+      std::uint64_t max_routed = 0;
+      for (const auto r : stats.routed) max_routed = std::max(max_routed, r);
+      EXPECT_LT(max_routed, routed_total);
+    }
+    for (auto& worker : workers) worker.stop();
+  }
+}
+
+// --- fault handling -----------------------------------------------------------
+
+TEST(BalancerTest, BackendDeathMidBurstLosesNoRequests) {
+  std::vector<InProcWorker> workers;
+  std::vector<rf::BackendEndpoint> endpoints;
+  for (std::size_t i = 0; i < 2; ++i) {
+    workers.push_back(InProcWorker::start());
+    endpoints.push_back(workers.back().endpoint());
+  }
+  rf::BalancerOptions options;
+  options.tcp_port = 0;
+  auto balancer = rf::Balancer::start(endpoints, options);
+  ASSERT_TRUE(balancer.ok()) << balancer.error().message;
+
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok());
+
+  // Pipelined burst from a client thread; kill one backend while it runs.
+  constexpr std::size_t kBurst = 32;
+  std::vector<rc::Result<rco::Predictor::KernelPrediction>> responses;
+  std::thread client_thread([&] {
+    auto client = rs::SocketClient::connect_tcp(balancer.value()->tcp_port());
+    ASSERT_TRUE(client.ok()) << client.error().message;
+    responses = client.value().predict_source_many(source_burst(kBurst));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  workers[0].stop();  // in-flight and queued work must move to worker 1
+  client_thread.join();
+
+  ASSERT_EQ(responses.size(), kBurst);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].ok())
+        << "request " << i << ": " << responses[i].error().message;
+    EXPECT_TRUE(bitwise_equal(responses[i].value().pareto, reference.value().pareto))
+        << "request " << i;
+  }
+
+  balancer.value()->stop();
+  workers[1].stop();
+}
+
+TEST(BalancerTest, ReconnectsToRestartedBackend) {
+  TempDir dir("repro-fleet-reconnect");
+  const std::string sock = (dir.path / "worker.sock").string();
+  auto worker = InProcWorker::start(sock);
+
+  rf::BalancerOptions options;
+  options.tcp_port = 0;
+  options.health_interval = std::chrono::milliseconds(100);
+  auto balancer = rf::Balancer::start({{sock, -1}}, options);
+  ASSERT_TRUE(balancer.ok()) << balancer.error().message;
+
+  auto client = rs::SocketClient::connect_tcp(balancer.value()->tcp_port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().predict_source(kSourceKernel).ok());
+
+  worker.stop();
+  const auto gone_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (balancer.value()->alive_backends() != 0 &&
+         std::chrono::steady_clock::now() < gone_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(balancer.value()->alive_backends(), 0u);
+  // With no live worker the client sees a retryable error, not a hang.
+  auto while_down = client.value().predict_source(kSourceKernel);
+  ASSERT_FALSE(while_down.ok());
+  EXPECT_EQ(while_down.error().code, rc::ErrorCode::kUnavailable);
+
+  // Same endpoint comes back (the supervisor respawns onto the same socket
+  // path); the maintenance thread must re-adopt it without help.
+  worker = InProcWorker::start(sock);
+  const auto back_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (balancer.value()->alive_backends() != 1 &&
+         std::chrono::steady_clock::now() < back_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(balancer.value()->alive_backends(), 1u);
+  auto after = client.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(after.ok()) << after.error().message;
+
+  EXPECT_GE(balancer.value()->stats().reconnects, 1u);
+  EXPECT_GE(balancer.value()->stats().backend_failures, 1u);
+  balancer.value()->stop();
+  worker.stop();
+}
+
+// --- balancer-addressed health/stats ------------------------------------------
+
+TEST(BalancerTest, AnswersHealthAndStatsItself) {
+  auto worker = InProcWorker::start();
+  rf::BalancerOptions options;
+  options.tcp_port = 0;
+  auto balancer = rf::Balancer::start({worker.endpoint()}, options);
+  ASSERT_TRUE(balancer.ok()) << balancer.error().message;
+
+  auto client = rs::SocketClient::connect_tcp(balancer.value()->tcp_port());
+  ASSERT_TRUE(client.ok());
+  auto health = client.value().health();
+  ASSERT_TRUE(health.ok()) << health.error().message;
+  EXPECT_GE(health.value().uptime_s, 0.0);
+
+  ASSERT_TRUE(client.value().predict_source(kSourceKernel).ok());
+  auto stats = client.value().stats();
+  ASSERT_TRUE(stats.ok()) << stats.error().message;
+  EXPECT_EQ(stats.value().requests, 1u);
+  EXPECT_EQ(stats.value().connections, 1u);
+  EXPECT_EQ(stats.value().queue_depth, 0u);
+
+  balancer.value()->stop();
+  worker.stop();
+}
+
+// --- the model-cache broker ---------------------------------------------------
+
+TEST(BrokerTest, TrainsOnceAndHandsWorkersTheDiskCopy) {
+  TempDir dir("repro-fleet-broker");
+  rs::ServiceConfig config;
+  config.suite = small_suite();
+  config.training.num_configs = 8;
+
+  rf::BrokerOptions options;
+  options.unix_path = (dir.path / "broker.sock").string();
+  options.cache_dir = (dir.path / "cache").string();
+  auto broker = rf::Broker::start(config, options);
+  ASSERT_TRUE(broker.ok()) << broker.error().message;
+
+  // N concurrent workers ask for the model; the broker's get_or_train
+  // mutex means exactly one training run.
+  constexpr std::size_t kWorkers = 4;
+  std::vector<rc::Result<rf::BrokerModelReply>> replies(
+      kWorkers, rc::internal_error("unset"));
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    threads.emplace_back(
+        [&, i] { replies[i] = rf::fetch_model(broker.value()->unix_path()); });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& reply : replies) {
+    ASSERT_TRUE(reply.ok()) << reply.error().message;
+    EXPECT_EQ(reply.value().path, replies[0].value().path);
+    EXPECT_TRUE(std::filesystem::exists(reply.value().path));
+  }
+  EXPECT_EQ(broker.value()->cache().stats().misses, 1u);
+  EXPECT_EQ(broker.value()->cache().stats().hits, kWorkers - 1);
+
+  // A worker pointing its own cache at the shared directory disk-hits and
+  // serves a model bit-identical to a freshly trained one.
+  rs::ModelCache worker_cache(2, options.cache_dir);
+  auto service = rs::Service::create(config, worker_cache);
+  ASSERT_TRUE(service.ok()) << service.error().message;
+  EXPECT_EQ(worker_cache.stats().disk_hits, 1u);
+  EXPECT_EQ(worker_cache.stats().misses, 0u);
+
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok());
+  auto served = service.value()->predict_source(kSourceKernel);
+  ASSERT_TRUE(served.ok()) << served.error().message;
+  EXPECT_TRUE(bitwise_equal(served.value().pareto, reference.value().pareto));
+
+  service.value()->stop();
+  broker.value()->stop();
+}

@@ -336,6 +336,76 @@ TEST(ProtocolTest, ErrorResponsesCarryCodeAndMessage) {
   EXPECT_EQ(parsed.value().error->message, "bad features");
 }
 
+TEST(ProtocolTest, HealthAndStatsRequestsRoundTrip) {
+  for (const auto kind : {rs::RequestKind::kHealth, rs::RequestKind::kStats}) {
+    rs::WireRequest request;
+    request.id = 5;
+    request.kind = kind;
+    const auto parsed = rs::parse_request(rs::format_request(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_EQ(parsed.value().id, 5u);
+    EXPECT_EQ(parsed.value().kind, kind);
+    EXPECT_FALSE(parsed.value().features.has_value());
+    EXPECT_FALSE(parsed.value().source.has_value());
+  }
+  // Introspection requests must not smuggle a payload.
+  EXPECT_FALSE(
+      rs::parse_request(R"({"id": 1, "type": "health", "source": "x"})").ok());
+  EXPECT_FALSE(
+      rs::parse_request(
+          R"({"id": 1, "type": "stats", "features": [1,2,3,4,5,6,7,8,9,10]})")
+          .ok());
+}
+
+TEST(ProtocolTest, HealthAndStatsResponsesRoundTrip) {
+  rs::WireStats stats;
+  stats.uptime_s = 12.34567891234;
+  stats.queue_depth = 3;
+  stats.requests = 1000000007;
+  stats.source_requests = 41;
+  stats.batches = 99;
+  stats.connections = 8;
+  stats.protocol_errors = 2;
+  stats.cache_hits = 5;
+  stats.cache_misses = 1;
+
+  const auto health = rs::parse_response(rs::format_health_response(4, stats));
+  ASSERT_TRUE(health.ok()) << health.error().message;
+  EXPECT_EQ(health.value().id, 4u);
+  ASSERT_TRUE(health.value().stats.has_value());
+  EXPECT_EQ(health.value().stats->uptime_s, stats.uptime_s);  // exact framing
+  EXPECT_EQ(health.value().stats->queue_depth, 3u);
+  EXPECT_FALSE(health.value().prediction.has_value());
+  EXPECT_FALSE(health.value().error.has_value());
+
+  const std::string wire = rs::format_stats_response(6, stats);
+  const auto full = rs::parse_response(wire);
+  ASSERT_TRUE(full.ok()) << full.error().message;
+  ASSERT_TRUE(full.value().stats.has_value());
+  EXPECT_EQ(full.value().stats->requests, stats.requests);
+  EXPECT_EQ(full.value().stats->source_requests, stats.source_requests);
+  EXPECT_EQ(full.value().stats->batches, stats.batches);
+  EXPECT_EQ(full.value().stats->connections, stats.connections);
+  EXPECT_EQ(full.value().stats->protocol_errors, stats.protocol_errors);
+  EXPECT_EQ(full.value().stats->cache_hits, stats.cache_hits);
+  EXPECT_EQ(full.value().stats->cache_misses, stats.cache_misses);
+
+  // Every proper prefix is malformed — truncation must fail cleanly (no
+  // crash, no half-parsed stats accepted).
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(rs::parse_response(wire.substr(0, len)).ok()) << "len " << len;
+  }
+  // And hostile values are refused rather than wrapped or negated.
+  EXPECT_FALSE(
+      rs::parse_response(R"({"id":1,"stats":{"uptime_s":-1,"requests":0}})").ok());
+  EXPECT_FALSE(
+      rs::parse_response(R"({"id":1,"stats":{"uptime_s":0,"requests":-3}})").ok());
+  EXPECT_FALSE(
+      rs::parse_response(R"({"id":1,"stats":{"uptime_s":0,"requests":1e30}})").ok());
+  EXPECT_FALSE(
+      rs::parse_response(R"({"id":1,"health":{"status":"sick","uptime_s":0}})").ok());
+}
+
 // --- ModelCache ---------------------------------------------------------------
 
 TEST(ModelCacheTest, TrainsOnceThenHits) {
@@ -355,6 +425,67 @@ TEST(ModelCacheTest, TrainsOnceThenHits) {
   EXPECT_EQ(first.value().get(), second.value().get());  // same shared model
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ModelCacheTest, SurvivesConcurrentGetInsertEvictChurn) {
+  // Many threads hammering more keys than the cache holds: every lookup
+  // must return a usable model, the resident set must respect capacity,
+  // and the counters must stay coherent. The trainer deserializes a
+  // pre-serialized model, so a "training run" is cheap enough to churn.
+  TempDir dir("repro-cache-churn");
+  const std::string blob = trained_model()->serialize();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 50;
+  constexpr std::size_t kKeys = 6;
+
+  rs::ModelCache cache(2, dir.path.string());
+  // Distinct keys over the same underlying model; the device must be the
+  // model's real one or the disk probe rejects every write-through copy.
+  const std::string device = trained_model()->domain().device_name();
+  std::vector<rs::ModelKey> keys;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    auto options = small_options();
+    options.num_configs = 8 + k;
+    keys.push_back(rs::ModelKey::from_options(device, options));
+  }
+
+  std::atomic<std::uint64_t> trainings{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        const auto& key = keys[(t * 31 + i) % kKeys];
+        auto model = cache.get_or_train(key, [&]() {
+          trainings.fetch_add(1, std::memory_order_relaxed);
+          return rco::FrequencyModel::deserialize(blob);
+        });
+        if (!model.ok() || model.value() == nullptr) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        // The handle stays valid even if the entry is evicted underneath.
+        if (model.value()->serialize().empty()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_LE(cache.size(), cache.capacity());
+  const auto stats = cache.stats();
+  // Every call resolved exactly one way.
+  EXPECT_EQ(stats.hits + stats.misses + stats.disk_hits, kThreads * kIters);
+  EXPECT_EQ(stats.misses, trainings.load());
+  EXPECT_EQ(stats.disk_errors, 0u);
+  // 6 keys through a 2-entry cache must evict; write-through means a key
+  // can come back from disk instead of retraining.
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.disk_hits, 0u);
+  EXPECT_LE(cache.resident_keys().size(), 2u);
 }
 
 TEST(ModelCacheTest, SuiteFingerprintSeparatesKeys) {
@@ -643,7 +774,7 @@ TEST(ServiceTest, StopIsGracefulAndRefusesLateWork) {
   service.value()->stop();  // idempotent
   auto late = service.value()->predict(request_mix(1)[0]);
   ASSERT_FALSE(late.ok());
-  EXPECT_EQ(late.error().code, rc::ErrorCode::kUnsupported);
+  EXPECT_EQ(late.error().code, rc::ErrorCode::kUnavailable);
   EXPECT_GE(service.value()->stats().rejected, 1u);
 }
 
@@ -704,6 +835,90 @@ TEST(SocketTest, TcpRoundTripIsBitIdenticalToInProcess) {
   server.value()->stop();
   service.value()->stop();
   EXPECT_GE(server.value()->stats().requests, 5u);
+}
+
+TEST(SocketTest, ConnectRetryRidesOutLateServerStart) {
+  // The fleet race in miniature: the client starts connecting before the
+  // server exists. Bounded backoff must absorb the gap.
+  TempDir dir("repro-serve-retry");
+  const std::string sock = (dir.path / "late.sock").string();
+
+  std::unique_ptr<rs::Service> service;
+  std::unique_ptr<rs::SocketServer> server;
+  std::thread late_starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    auto s = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+    ASSERT_TRUE(s.ok());
+    service = std::move(s).take();
+    rs::ServerOptions options;
+    options.unix_path = sock;
+    auto srv = rs::SocketServer::start(*service, options);
+    ASSERT_TRUE(srv.ok()) << srv.error().message;
+    server = std::move(srv).take();
+  });
+
+  rs::ConnectOptions retry;
+  retry.attempts = 40;
+  retry.initial_backoff = std::chrono::milliseconds(25);
+  auto client = rs::SocketClient::connect_unix(sock, retry);
+  late_starter.join();
+  ASSERT_TRUE(client.ok()) << client.error().message;
+  auto health = client.value().health();
+  ASSERT_TRUE(health.ok()) << health.error().message;
+
+  server->stop();
+  service->stop();
+
+  // Exhausted attempts surface the last error, annotated with the count.
+  rs::ConnectOptions bounded;
+  bounded.attempts = 3;
+  bounded.initial_backoff = std::chrono::milliseconds(1);
+  auto gone = rs::SocketClient::connect_unix((dir.path / "nope.sock").string(), bounded);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_NE(gone.error().message.find("attempt 3/3"), std::string::npos)
+      << gone.error().message;
+}
+
+TEST(SocketTest, ServerAnswersHealthAndStatsOverTheWire) {
+  TempDir dir("repro-serve-stats");
+  rs::ServiceConfig config;
+  config.suite = small_suite();
+  config.training = small_options();
+  rs::ModelCache cache(2, dir.path.string());
+  auto service = rs::Service::create(config, cache);
+  ASSERT_TRUE(service.ok()) << service.error().message;
+
+  rs::ServerOptions server_options;
+  server_options.tcp_port = 0;
+  server_options.model_cache = &cache;  // stats include cache counters
+  auto server = rs::SocketServer::start(*service.value(), server_options);
+  ASSERT_TRUE(server.ok()) << server.error().message;
+
+  auto client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+  ASSERT_TRUE(client.ok());
+  auto health = client.value().health();
+  ASSERT_TRUE(health.ok()) << health.error().message;
+  EXPECT_GE(health.value().uptime_s, 0.0);
+
+  ASSERT_TRUE(client.value().predict_source(kSourceKernel).ok());
+  ASSERT_TRUE(client.value().predict(request_mix(1)[0]).ok());
+  auto stats = client.value().stats();
+  ASSERT_TRUE(stats.ok()) << stats.error().message;
+  // "requests" counts work that entered the batching pipeline; the health
+  // and stats calls are answered inline on the connection thread.
+  EXPECT_EQ(stats.value().requests, 2u);
+  EXPECT_EQ(stats.value().source_requests, 1u);
+  EXPECT_GE(stats.value().batches, 1u);
+  EXPECT_EQ(stats.value().connections, 1u);
+  EXPECT_EQ(stats.value().cache_misses, 1u);  // Service::create trained once
+
+  // Uptime is monotone across calls on the same server.
+  auto again = client.value().health();
+  ASSERT_TRUE(again.ok());
+  EXPECT_GE(again.value().uptime_s, health.value().uptime_s);
+
+  server.value()->stop();
+  service.value()->stop();
 }
 
 TEST(SocketTest, HalfClosingPipelineClientStillGetsResponsesAndEof) {
