@@ -410,6 +410,9 @@ struct ServingResult {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   bool bit_identical = false;
+  // Overload rows only: the admission bound in force and what it refused.
+  long max_queue_delay_us = 0;
+  std::size_t shed = 0;
 };
 
 /// Percentile by nearest-rank; the caller sorts once.
@@ -584,6 +587,132 @@ ServingResult bench_serving_open_loop(
   return result;
 }
 
+/// Overload: an open-loop dispatcher offering ~2x the service's measured
+/// capacity, with and without the admission-time load shedder
+/// (ServiceOptions::max_queue_delay). Without shedding every request is
+/// admitted and the backlog — and therefore the latency of *every* request —
+/// grows for as long as the burst lasts; with shedding the service refuses
+/// (retryable kUnavailable) what it could only serve stale, and the p50/p99
+/// here are those of the ACCEPTED requests, which is the number shedding
+/// exists to protect. "shed" counts the refused requests.
+/// True service capacity for the overload A/B: submit `n` requests as fast
+/// as the admission queue accepts them and time the drain. Closed-loop
+/// client threads understate this badly — they are latency-bound and the
+/// batching window never fills — and an overload bench calibrated against
+/// an understated capacity never actually overloads.
+double measure_capacity_rps(const std::shared_ptr<const core::FrequencyModel>& model,
+                            const std::vector<clfront::StaticFeatures>& mix,
+                            std::size_t shards, long window_us, std::size_t n) {
+  serve::ServiceOptions options;
+  options.shards = shards;
+  options.max_batch = 16;
+  options.batch_window = std::chrono::microseconds(window_us);
+  options.queue_capacity = n;
+  auto service = serve::Service::from_model(model, options);
+  if (!service.ok()) return 0.0;
+  std::vector<std::future<serve::Service::Response>> futures;
+  futures.reserve(n);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(service.value()->submit(mix[i % mix.size()]));
+  }
+  for (auto& f : futures) (void)f.get();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  service.value()->stop();
+  return elapsed_s > 0.0 ? static_cast<double>(n) / elapsed_s : 0.0;
+}
+
+ServingResult bench_serving_overload(
+    const std::shared_ptr<const core::FrequencyModel>& model,
+    const std::vector<clfront::StaticFeatures>& mix, std::size_t shards,
+    long window_us, double offered_rps, std::size_t total_requests,
+    std::chrono::microseconds max_queue_delay) {
+  ServingResult result;
+  result.mode = "overload";
+  result.shards = shards;
+  result.window_us = window_us;
+  result.clients = 1;
+  result.offered_rps = offered_rps;
+  result.requests = total_requests;
+  result.max_queue_delay_us = static_cast<long>(max_queue_delay.count());
+
+  auto direct = core::Predictor::from_model(model);
+  const auto reference = direct.value().predict_batch(mix);
+
+  serve::ServiceOptions options;
+  options.shards = shards;
+  options.max_batch = 16;
+  options.batch_window = std::chrono::microseconds(window_us);
+  options.queue_capacity = total_requests;  // admission never blocks
+  options.max_queue_delay = max_queue_delay;
+  auto service = serve::Service::from_model(model, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "overload bench: %s\n", service.error().to_string().c_str());
+    return result;
+  }
+  // Warm the shedder's service-time estimate: it deliberately never fires
+  // cold, and this bench is about its steady-state behaviour.
+  (void)service.value()->predict(mix[0]);
+
+  struct InFlight {
+    std::future<serve::Service::Response> response;
+    std::chrono::steady_clock::time_point scheduled;
+    std::size_t kernel = 0;
+  };
+  common::BoundedQueue<InFlight> in_flight(total_requests);
+
+  std::vector<double> accepted_ms;
+  accepted_ms.reserve(total_requests);
+  std::size_t shed = 0;
+  bool identical = true;
+  std::chrono::steady_clock::time_point last_completion;
+  std::thread collector([&] {
+    while (auto item = in_flight.pop()) {
+      auto response = item->response.get();
+      const auto now = std::chrono::steady_clock::now();
+      last_completion = now;
+      if (response.ok()) {
+        accepted_ms.push_back(
+            std::chrono::duration<double, std::milli>(now - item->scheduled).count());
+        identical = identical &&
+                    points_bit_identical(response.value().pareto,
+                                         reference.value()[item->kernel].pareto);
+      } else if (response.error().code == common::ErrorCode::kUnavailable) {
+        ++shed;  // the admission bound working as designed
+      } else {
+        identical = false;  // anything else is a bench failure
+      }
+    }
+  });
+
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(1.0 / offered_rps));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < total_requests; ++i) {
+    const auto scheduled = t0 + interval * static_cast<long>(i);
+    std::this_thread::sleep_until(scheduled);
+    const std::size_t kernel = i % mix.size();
+    in_flight.push(InFlight{service.value()->submit(mix[kernel]), scheduled, kernel});
+  }
+  in_flight.close();
+  collector.join();
+  service.value()->stop();
+
+  const double elapsed_s = std::chrono::duration<double>(last_completion - t0).count();
+  result.throughput_rps =
+      elapsed_s > 0.0 ? static_cast<double>(accepted_ms.size()) / elapsed_s : 0.0;
+  std::sort(accepted_ms.begin(), accepted_ms.end());
+  result.p50_ms = percentile_ms(accepted_ms, 50.0);
+  result.p95_ms = percentile_ms(accepted_ms, 95.0);
+  result.p99_ms = percentile_ms(accepted_ms, 99.0);
+  result.shed = shed;
+  result.bit_identical = identical && accepted_ms.size() + shed == total_requests;
+  result.batches = service.value()->stats().batches;
+  return result;
+}
+
 /// Fleet serving: concurrent clients against the front balancer over N
 /// in-process workers (each a Service + SocketServer on an ephemeral TCP
 /// port). Times the whole stack — wire framing both ways, balancer
@@ -737,9 +866,11 @@ void write_json(const std::string& path, bool smoke, std::size_t threads,
                  "\"clients\": %zu, \"offered_rps\": %.0f, "
                  "\"requests\": %zu, \"batches\": %zu, \"throughput_rps\": %.1f, "
                  "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"max_queue_delay_us\": %ld, \"shed\": %zu, "
                  "\"bit_identical\": %s}%s\n",
                  s.mode, s.shards, s.window_us, s.clients, s.offered_rps, s.requests,
                  s.batches, s.throughput_rps, s.p50_ms, s.p95_ms, s.p99_ms,
+                 s.max_queue_delay_us, s.shed,
                  s.bit_identical ? "true" : "false", i + 1 < serving.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -861,6 +992,33 @@ int main(int argc, char** argv) {
             "p50 %6.3f ms  p99 %6.3f ms   %s\n",
             s.shards, s.window_us, s.offered_rps, s.p50_ms, s.p99_ms,
             s.bit_identical ? "bit-identical" : "OUTPUT MISMATCH");
+        serving.push_back(s);
+      }
+    }
+    // Overload: offer ~2x the measured closed-loop capacity, with the
+    // admission shedder off and on. The off row shows what an unprotected
+    // queue does to latency; the on row shows the shed rate that buys the
+    // accepted requests a bounded p99.
+    {
+      double capacity_rps =
+          measure_capacity_rps(model, mix, 2, 200, smoke ? 2000 : 20000);
+      if (capacity_rps <= 0.0) capacity_rps = smoke ? 5000.0 : 20000.0;
+      const double overload_rps = 2.0 * capacity_rps;
+      const double overload_duration_s = smoke ? 0.1 : 0.5;
+      const auto overload_total =
+          static_cast<std::size_t>(overload_rps * overload_duration_s);
+      for (const long delay_us : {0L, 2000L}) {
+        auto s = bench_serving_overload(model, mix, 2, 200, overload_rps,
+                                        overload_total,
+                                        std::chrono::microseconds(delay_us));
+        std::printf(
+            "serving-overload   shards=%zu bound=%4ldus offered %6.0f req/s  "
+            "shed %5.1f%%  p50 %6.3f ms  p99 %6.3f ms   %s\n",
+            s.shards, s.max_queue_delay_us, s.offered_rps,
+            s.requests > 0
+                ? 100.0 * static_cast<double>(s.shed) / static_cast<double>(s.requests)
+                : 0.0,
+            s.p50_ms, s.p99_ms, s.bit_identical ? "bit-identical" : "OUTPUT MISMATCH");
         serving.push_back(s);
       }
     }

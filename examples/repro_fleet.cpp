@@ -13,6 +13,13 @@
 //   --shards N          worker shards per process               (default 2)
 //   --num-configs N     training configuration budget           (default 40)
 //   --suite-stride N    train on every Nth micro-benchmark      (default 1)
+//   --max-queue-delay-us N  per-worker overload shedding bound  (default 0 = off)
+//   --chaos-kill-ms N   SIGKILL a random worker every N ms      (default 0 = off)
+//   --worker-faults S   REPRO_FAULTS spec ("seed:key=v,...") exported to the
+//                       worker processes ONLY — the broker, balancer, and
+//                       supervisor in this process stay fault-free so the
+//                       soak measures worker-side fault recovery, not a
+//                       corrupted control plane
 //
 // Startup order: broker first (so the fleet's model is trained exactly once
 // — workers block on it instead of fitting N copies), then all workers
@@ -32,6 +39,7 @@
 #include <unistd.h>
 
 #include "benchgen/benchgen.hpp"
+#include "common/fault.hpp"
 #include "fleet/balancer.hpp"
 #include "fleet/broker.hpp"
 #include "fleet/supervisor.hpp"
@@ -44,7 +52,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--unix PATH | --tcp PORT) [--workers N] [--dir DIR]\n"
                "          [--serve-binary PATH] [--cache-dir DIR] [--shards N]\n"
-               "          [--num-configs N] [--suite-stride N]\n",
+               "          [--num-configs N] [--suite-stride N]\n"
+               "          [--max-queue-delay-us N] [--chaos-kill-ms N]\n"
+               "          [--worker-faults SEED:SPEC]\n",
                argv0);
   return 2;
 }
@@ -61,6 +71,9 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   std::size_t suite_stride = 1;
   std::size_t num_configs = 40;
+  long max_queue_delay_us = 0;
+  long chaos_kill_ms = 0;
+  std::string worker_faults;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,6 +97,12 @@ int main(int argc, char** argv) {
       num_configs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--suite-stride" && has_value) {
       suite_stride = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--max-queue-delay-us" && has_value) {
+      max_queue_delay_us = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--chaos-kill-ms" && has_value) {
+      chaos_kill_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--worker-faults" && has_value) {
+      worker_faults = argv[++i];
     } else {
       return usage(argv[0]);
     }
@@ -133,6 +152,24 @@ int main(int argc, char** argv) {
     config.suite = std::move(subset);
   }
 
+  // Worker-only fault injection: REPRO_FAULTS must be in the environment
+  // when the supervisor fork/execs workers (including every chaos respawn),
+  // so it stays exported for the whole run. This process pins its OWN
+  // injector to an empty spec first — the balancer, broker, and supervisor
+  // here must stay fault-free or the soak would measure a corrupted control
+  // plane instead of worker-side recovery.
+  common::FaultInjector::Scope parent_faults_off(0, common::FaultSpec{});
+  if (!worker_faults.empty()) {
+    if (auto parsed = common::FaultInjector::parse(worker_faults); !parsed.ok()) {
+      std::fprintf(stderr, "repro_fleet: --worker-faults: %s\n",
+                   parsed.error().to_string().c_str());
+      return 2;
+    }
+    ::setenv("REPRO_FAULTS", worker_faults.c_str(), 1);
+    std::printf("repro_fleet: workers run with REPRO_FAULTS=%s\n",
+                worker_faults.c_str());
+  }
+
   // Same discipline as repro_serve: block the shutdown signals before any
   // thread (or child) exists, sigwait below. Children reset the mask.
   sigset_t stop_signals;
@@ -160,9 +197,18 @@ int main(int argc, char** argv) {
                       "--shards",       std::to_string(config.options.shards),
                       "--num-configs",  std::to_string(num_configs),
                       "--suite-stride", std::to_string(suite_stride)};
+  if (max_queue_delay_us > 0) {
+    spec.common_args.push_back("--max-queue-delay-us");
+    spec.common_args.push_back(std::to_string(max_queue_delay_us));
+  }
   fleet::SupervisorOptions supervisor_options;
   supervisor_options.workers = workers;
   supervisor_options.socket_dir = run_dir;
+  if (chaos_kill_ms > 0) {
+    supervisor_options.chaos_kill_interval = std::chrono::milliseconds(chaos_kill_ms);
+    std::printf("repro_fleet: chaos mode, SIGKILLing a random worker every %ldms\n",
+                chaos_kill_ms);
+  }
   std::printf("repro_fleet: spawning %zu worker(s)\n", workers);
   std::fflush(stdout);
   auto supervisor = fleet::Supervisor::start(spec, supervisor_options);
@@ -210,7 +256,7 @@ int main(int argc, char** argv) {
 
   std::printf("repro_fleet: %llu connections, %llu requests, "
               "%llu redispatches, %llu backend failures, %llu reconnects; "
-              "%llu spawns, %llu crashes, %llu restarts\n",
+              "%llu spawns, %llu crashes, %llu restarts, %llu chaos kills\n",
               static_cast<unsigned long long>(routed.connections),
               static_cast<unsigned long long>(routed.requests),
               static_cast<unsigned long long>(routed.redispatches),
@@ -218,6 +264,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(routed.reconnects),
               static_cast<unsigned long long>(lifecycle.spawns),
               static_cast<unsigned long long>(lifecycle.crashes),
-              static_cast<unsigned long long>(lifecycle.restarts));
+              static_cast<unsigned long long>(lifecycle.restarts),
+              static_cast<unsigned long long>(lifecycle.chaos_kills));
   return 0;
 }

@@ -16,6 +16,16 @@
 // --dump outputs are byte-identical iff the predictions are bit-identical.
 // The fleet smoke test diffs a direct repro_serve against the balancer at
 // several worker counts this way.
+//
+// --deadline-ms X stamps every request with a relative deadline; the server
+// answers "deadline_exceeded" (retryable) instead of predicting late.
+//
+// --pipeline N --dump switches to the chaos-soak report: one line per
+// request — "req I ok <fnv1a-of-dump>" / "req I retryable <msg>" /
+// "req I error <msg>" — and exits 0 iff no request hit a NON-retryable
+// error. Identical hashes == bit-identical predictions; retryable errors
+// (worker draining, overload shed, expired deadline) are expected under
+// chaos and do not fail the burst.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "common/status.hpp"
 #include "serve/client.hpp"
 
 using namespace repro;
@@ -39,9 +51,21 @@ kernel void saxpy_demo(global float* x, global float* y, float a, int n) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--unix PATH | --tcp PORT) [--file kernel.cl] [--kernel NAME]\n"
-               "          [--pipeline N] [--dump]\n",
+               "          [--pipeline N] [--dump] [--deadline-ms X]\n",
                argv0);
   return 2;
+}
+
+/// The exact --dump text of one prediction (the bit-identity format).
+std::string dump_text(const core::Predictor::KernelPrediction& prediction) {
+  std::string out = "kernel " + prediction.kernel + "\n";
+  char row[160];
+  for (const auto& p : prediction.pareto) {
+    std::snprintf(row, sizeof row, "%d %d %.17g %.17g %d\n", p.config.core_mhz,
+                  p.config.mem_mhz, p.speedup, p.energy, p.heuristic ? 1 : 0);
+    out += row;
+  }
+  return out;
 }
 
 }  // namespace
@@ -53,6 +77,7 @@ int main(int argc, char** argv) {
   std::string kernel_name;
   std::size_t pipeline = 0;
   bool dump = false;
+  double deadline_ms = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,6 +94,8 @@ int main(int argc, char** argv) {
       pipeline = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--dump") {
       dump = true;
+    } else if (arg == "--deadline-ms" && has_value) {
+      deadline_ms = std::strtod(argv[++i], nullptr);
     } else {
       return usage(argv[0]);
     }
@@ -93,11 +120,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "connect: %s\n", client.error().to_string().c_str());
     return 1;
   }
+  if (deadline_ms > 0.0) client.value().set_deadline_ms(deadline_ms);
 
   if (pipeline > 0) {
     const std::vector<core::Predictor::SourceRequest> sources(
         pipeline, {source, kernel_name});
     const auto responses = client.value().predict_source_many(sources);
+    if (dump) {
+      // Chaos-soak report: every request accounted for, retryable errors
+      // expected (worker draining, overload shed, expired deadline) — only
+      // a non-retryable error or a lost request fails the burst.
+      std::size_t ok = 0, retryable = 0, failed = 0;
+      for (std::size_t i = 0; i < responses.size(); ++i) {
+        const auto& r = responses[i];
+        if (r.ok()) {
+          ++ok;
+          std::printf("req %zu ok %016llx\n", i,
+                      static_cast<unsigned long long>(
+                          common::fnv1a(dump_text(r.value()))));
+        } else if (common::is_retryable(r.error().code)) {
+          ++retryable;
+          std::printf("req %zu retryable %s\n", i, r.error().to_string().c_str());
+        } else {
+          ++failed;
+          std::printf("req %zu error %s\n", i, r.error().to_string().c_str());
+        }
+      }
+      std::printf("pipelined: %zu ok, %zu retryable, %zu failed of %zu\n", ok,
+                  retryable, failed, responses.size());
+      return failed == 0 ? 0 : 1;
+    }
     std::size_t ok = 0;
     for (const auto& r : responses) {
       if (r.ok()) {

@@ -1,0 +1,196 @@
+#!/usr/bin/env sh
+# Chaos soak of the serving fleet: real repro_serve workers under
+# repro_fleet, with every failure mode the robustness layer claims to
+# absorb switched on at once —
+#
+#   * supervisor chaos mode (--chaos-kill-ms): SIGKILLs a random live
+#     worker on a timer; the monitor respawns it,
+#   * seeded socket-fault injection in the workers (--worker-faults /
+#     REPRO_FAULTS): short reads/writes, EINTR storms, injected latency,
+#     and occasional connection drops on every worker socket operation,
+#   * overload: a pipelined burst arrives as fast as one connection can
+#     carry it, far above a few workers' service rate, with admission
+#     shedding armed (--max-queue-delay-us).
+#
+# The contract under all of that, checked here end to end:
+#
+#   1. Every request in the burst is answered — a bit-identical prediction
+#      (same fnv1a as a direct no-fleet repro_serve) or a retryable error
+#      (worker draining, overload shed, expired deadline). Never a hang,
+#      never a non-retryable error, never a lost id.
+#   2. The burst terminates inside a wall-clock bound (no wedged sockets).
+#   3. The model cache survives the kills: zero torn/unparseable model
+#      files and zero leftover *.tmp.* files (repro_cache_check).
+#
+# Usage:
+#
+#   scripts/chaos_soak.sh BUILD_DIR [--quick]
+#
+# --quick (the CI leg) shrinks the burst and kill count to keep the job in
+# tens of seconds; the full soak is the pre-merge check.
+set -eu
+
+build_dir=${1:?usage: chaos_soak.sh BUILD_DIR [--quick]}
+build_dir=$(CDPATH= cd -- "$build_dir" && pwd)
+quick=0
+[ "${2:-}" = "--quick" ] && quick=1
+
+if [ "$quick" -eq 1 ]; then
+  burst=128
+  kill_ms=400
+  burst_timeout=90
+else
+  burst=256
+  kill_ms=250
+  burst_timeout=180
+fi
+workers=3
+# Benign faults dominate (they must be invisible); drops are rare but
+# present so backend connections actually die mid-request now and then.
+faults='7:short_rw=0.05,eintr=0.05,delay_ms=2,delay_p=0.05,drop=0.002'
+train_flags="--suite-stride 8 --num-configs 8"
+
+work_dir=$(mktemp -d)
+cache_dir="$work_dir/model-cache"
+
+cleanup() {
+  for pid in ${pids:-}; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$work_dir"
+}
+trap cleanup EXIT INT TERM
+pids=""
+
+wait_ready() { # log_file
+  i=0
+  while [ "$i" -lt 240 ]; do
+    if grep -q '^READY ' "$1" 2>/dev/null; then
+      return 0
+    fi
+    sleep 0.5
+    i=$((i + 1))
+  done
+  echo "chaos_soak: no READY in $1" >&2
+  cat "$1" >&2
+  return 1
+}
+
+# --- reference hash: a direct repro_serve, no fleet, no faults ----------------
+direct_sock="$work_dir/direct.sock"
+direct_log="$work_dir/direct.log"
+# shellcheck disable=SC2086
+"$build_dir/repro_serve" --unix "$direct_sock" $train_flags \
+  --cache-dir "$cache_dir" >"$direct_log" 2>&1 &
+direct_pid=$!
+pids="$pids $direct_pid"
+wait_ready "$direct_log"
+"$build_dir/repro_serve_client" --unix "$direct_sock" --pipeline 1 --dump \
+  >"$work_dir/reference.out"
+kill -TERM "$direct_pid"
+wait "$direct_pid" || {
+  echo "chaos_soak: direct server exited uncleanly" >&2
+  cat "$direct_log" >&2
+  exit 1
+}
+pids=$(echo "$pids" | sed "s/ $direct_pid//")
+
+ref_hash=$(awk '$1 == "req" && $3 == "ok" { print $4; exit }' "$work_dir/reference.out")
+if [ -z "$ref_hash" ]; then
+  echo "chaos_soak: could not extract the reference hash" >&2
+  cat "$work_dir/reference.out" >&2
+  exit 1
+fi
+echo "chaos_soak: reference hash $ref_hash"
+
+# --- the fleet, with every chaos knob on --------------------------------------
+fleet_dir="$work_dir/fleet"
+mkdir -p "$fleet_dir"
+fleet_sock="$work_dir/fleet.sock"
+fleet_log="$work_dir/fleet.log"
+# shellcheck disable=SC2086
+"$build_dir/repro_fleet" --unix "$fleet_sock" --workers "$workers" \
+  --dir "$fleet_dir" --cache-dir "$cache_dir" $train_flags \
+  --max-queue-delay-us 50000 \
+  --chaos-kill-ms "$kill_ms" \
+  --worker-faults "$faults" \
+  --serve-binary "$build_dir/repro_serve" >"$fleet_log" 2>&1 &
+fleet_pid=$!
+pids="$pids $fleet_pid"
+wait_ready "$fleet_log"
+
+# --- the burst: pipelined, overloading, deadline-stamped ----------------------
+burst_status=0
+timeout "$burst_timeout" \
+  "$build_dir/repro_serve_client" --unix "$fleet_sock" \
+  --pipeline "$burst" --dump --deadline-ms 30000 \
+  >"$work_dir/burst.out" 2>&1 || burst_status=$?
+tail -n 3 "$work_dir/burst.out"
+if [ "$burst_status" -eq 124 ]; then
+  echo "chaos_soak: burst HUNG past ${burst_timeout}s" >&2
+  cat "$fleet_log" >&2
+  exit 1
+fi
+if [ "$burst_status" -ne 0 ]; then
+  echo "chaos_soak: burst saw non-retryable failures (exit $burst_status)" >&2
+  grep ' error ' "$work_dir/burst.out" >&2 || true
+  cat "$fleet_log" >&2
+  exit 1
+fi
+
+# Every id answered exactly once.
+answered=$(grep -c '^req ' "$work_dir/burst.out" || true)
+if [ "$answered" -ne "$burst" ]; then
+  echo "chaos_soak: $answered of $burst requests answered — ids were lost" >&2
+  exit 1
+fi
+
+# Every ok reply bit-identical to the no-fleet reference.
+bad_hashes=$(awk -v ref="$ref_hash" \
+  '$1 == "req" && $3 == "ok" && $4 != ref { n++ } END { print n + 0 }' \
+  "$work_dir/burst.out")
+ok_count=$(grep -c ' ok ' "$work_dir/burst.out" || true)
+retry_count=$(grep -c ' retryable ' "$work_dir/burst.out" || true)
+if [ "$bad_hashes" -ne 0 ]; then
+  echo "chaos_soak: $bad_hashes replies differ from the reference hash $ref_hash" >&2
+  exit 1
+fi
+if [ "$ok_count" -eq 0 ]; then
+  echo "chaos_soak: every request was refused — the fleet served nothing" >&2
+  cat "$fleet_log" >&2
+  exit 1
+fi
+echo "chaos_soak: $ok_count ok (all bit-identical), $retry_count retryable, 0 lost"
+
+# Chaos actually happened: at least one worker was SIGKILLed during the run.
+sleep 1
+if ! grep -q 'chaos' "$fleet_log"; then
+  echo "chaos_soak: no chaos kill was logged — the soak did not soak" >&2
+  cat "$fleet_log" >&2
+  exit 1
+fi
+
+# --- graceful teardown, then the crash-safety audit ---------------------------
+kill -TERM "$fleet_pid"
+fleet_status=0
+wait "$fleet_pid" || fleet_status=$?
+if [ "$fleet_status" -ne 0 ]; then
+  echo "chaos_soak: repro_fleet exited with $fleet_status" >&2
+  cat "$fleet_log" >&2
+  exit 1
+fi
+pids=$(echo "$pids" | sed "s/ $fleet_pid//")
+
+# Every model file parses, checksum intact; no torn tmp files left behind.
+"$build_dir/repro_cache_check" "$cache_dir" >"$work_dir/cache.out" || {
+  echo "chaos_soak: cache check found corrupt model files" >&2
+  cat "$work_dir/cache.out" >&2
+  exit 1
+}
+cat "$work_dir/cache.out"
+if grep -q '^tmp ' "$work_dir/cache.out"; then
+  echo "chaos_soak: leftover tmp files after the soak" >&2
+  exit 1
+fi
+
+echo "chaos_soak: OK"

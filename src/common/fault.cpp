@@ -1,0 +1,173 @@
+#include "common/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace repro::common {
+namespace {
+
+struct Engine {
+  std::mutex mutex;
+  SplitMix64 rng{0};
+  FaultSpec spec;
+};
+
+Engine& engine() {
+  static Engine e;
+  return e;
+}
+
+// Uniform double in [0,1) from the shared stream. Caller holds the mutex.
+double draw(SplitMix64& rng) {
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::atomic<int>& FaultInjector::state() {
+  static std::atomic<int> s{0};
+  return s;
+}
+
+void FaultInjector::install(std::uint64_t seed, const FaultSpec& spec) {
+  Engine& e = engine();
+  {
+    std::lock_guard<std::mutex> lock(e.mutex);
+    e.rng = SplitMix64(seed);
+    e.spec = spec;
+  }
+  state().store(spec.any() ? 2 : 1, std::memory_order_relaxed);
+}
+
+void FaultInjector::set_disabled() {
+  state().store(1, std::memory_order_relaxed);
+}
+
+bool FaultInjector::init_from_env() {
+  // Races between threads both seeing state()==0 are benign: both parse the
+  // same env value and install the same spec; the seed reset is idempotent.
+  const char* env = std::getenv("REPRO_FAULTS");
+  if (env == nullptr || *env == '\0') {
+    set_disabled();
+    return false;
+  }
+  auto parsed = parse(env);
+  if (!parsed.ok()) {
+    // A malformed spec must not silently disable injection — the chaos soak
+    // would then "pass" while testing nothing. Fail the process loudly.
+    std::fprintf(stderr, "REPRO_FAULTS invalid: %s\n",
+                 parsed.error().to_string().c_str());
+    std::abort();
+  }
+  install(parsed.value().first, parsed.value().second);
+  return state().load(std::memory_order_relaxed) == 2;
+}
+
+FaultInjector::IoDecision FaultInjector::next_io() {
+  Engine& e = engine();
+  std::lock_guard<std::mutex> lock(e.mutex);
+  IoDecision d;
+  if (e.spec.delay_p > 0 && draw(e.rng) < e.spec.delay_p) {
+    d.delay = e.spec.delay_ms;
+  }
+  if (e.spec.short_rw > 0 && draw(e.rng) < e.spec.short_rw) d.clamp = true;
+  // eintr and drop are mutually exclusive per decision: a syscall fails one
+  // way at a time.
+  if (e.spec.eintr > 0 && draw(e.rng) < e.spec.eintr) {
+    d.eintr = true;
+  } else if (e.spec.drop > 0 && draw(e.rng) < e.spec.drop) {
+    d.drop = true;
+  }
+  return d;
+}
+
+bool FaultInjector::drop_connect() {
+  Engine& e = engine();
+  std::lock_guard<std::mutex> lock(e.mutex);
+  return e.spec.connect_fail > 0 && draw(e.rng) < e.spec.connect_fail;
+}
+
+Result<std::pair<std::uint64_t, FaultSpec>> FaultInjector::parse(
+    const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) {
+    return parse_error("fault spec must be '<seed>:<key=value,...>', got '" +
+                       text + "'");
+  }
+  std::uint64_t seed = 0;
+  {
+    const std::string seed_text = text.substr(0, colon);
+    if (seed_text.empty()) return parse_error("fault spec: empty seed");
+    for (char c : seed_text) {
+      if (c < '0' || c > '9') {
+        return parse_error("fault spec: seed must be a decimal integer, got '" +
+                           seed_text + "'");
+      }
+      seed = seed * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+  }
+
+  FaultSpec spec;
+  for (const std::string& item : split(text.substr(colon + 1), ',')) {
+    const std::string entry{trim(item)};
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return parse_error("fault spec: entry '" + entry + "' has no '='");
+    }
+    const std::string key{trim(std::string_view(entry).substr(0, eq))};
+    const std::string value{trim(std::string_view(entry).substr(eq + 1))};
+    char* end = nullptr;
+    const double number = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || !(number >= 0.0)) {
+      return parse_error("fault spec: bad value for '" + key + "': '" + value +
+                         "'");
+    }
+    const bool is_probability =
+        key == "short_rw" || key == "eintr" || key == "drop" ||
+        key == "connect_fail" || key == "delay_p";
+    if (is_probability && number > 1.0) {
+      return parse_error("fault spec: probability '" + key + "' > 1");
+    }
+    if (key == "short_rw") {
+      spec.short_rw = number;
+    } else if (key == "eintr") {
+      spec.eintr = number;
+    } else if (key == "drop") {
+      spec.drop = number;
+    } else if (key == "connect_fail") {
+      spec.connect_fail = number;
+    } else if (key == "delay_p") {
+      spec.delay_p = number;
+    } else if (key == "delay_ms") {
+      spec.delay_ms = std::chrono::milliseconds(static_cast<long>(number));
+    } else {
+      return parse_error("fault spec: unknown key '" + key + "'");
+    }
+  }
+  return std::make_pair(seed, spec);
+}
+
+FaultInjector::Scope::Scope(std::uint64_t seed, const FaultSpec& spec) {
+  Engine& e = engine();
+  {
+    std::lock_guard<std::mutex> lock(e.mutex);
+    prev_spec_ = e.spec;
+  }
+  prev_enabled_ = state().load(std::memory_order_relaxed) == 2;
+  prev_seed_ = 0;  // the previous stream position is not restorable; tests
+                   // that stack scopes re-seed deterministically anyway.
+  install(seed, spec);
+}
+
+FaultInjector::Scope::~Scope() {
+  install(prev_seed_, prev_enabled_ ? prev_spec_ : FaultSpec{});
+  if (!prev_enabled_) set_disabled();
+}
+
+}  // namespace repro::common

@@ -1,0 +1,113 @@
+// Deterministic, seed-driven fault injection for the socket I/O layer.
+//
+// The injection point is compiled into common::net's read/write helpers (and
+// SocketClient's connect path), so every byte the serving stack moves can be
+// subjected to the failure modes that dominate real deployments: short reads
+// and writes, EINTR storms, injected latency, and mid-line connection drops.
+// Two ways to turn it on:
+//
+//   1. Environment (whole process, read once at first use):
+//        REPRO_FAULTS=<seed>:<spec>
+//      where <spec> is a comma list of knobs, e.g.
+//        REPRO_FAULTS=42:short_rw=0.3,eintr=0.2,drop=0.01,delay_ms=2,delay_p=0.1
+//      scripts/chaos_soak.sh drives the fleet this way.
+//
+//   2. FaultInjector::Scope (unit tests): installs a spec for the lifetime
+//      of the scope object and restores the previous state on destruction.
+//      Scopes are not meant to nest across threads — create them from the
+//      test body only, before spawning the threads under test.
+//
+// Knobs (all probabilities in [0,1], independent per I/O operation):
+//
+//   short_rw=P      clamp the operation to 1 byte (exercises reassembly loops)
+//   eintr=P         fail the syscall once with EINTR (exercises retry loops)
+//   drop=P          fail the operation with ECONNRESET (peer "died" mid-line)
+//   connect_fail=P  fail a connect attempt with ECONNREFUSED
+//   delay_ms=N      latency to inject when delay_p fires
+//   delay_p=P       probability of injecting delay_ms before the operation
+//
+// Determinism: decisions come from a SplitMix64 stream seeded by <seed>, so
+// a run is reproducible given the same seed *and* the same interleaving of
+// I/O operations. Across threads the stream is shared under a mutex — the
+// sequence of decisions is deterministic, their assignment to threads is
+// not (that is inherent to injecting at the syscall boundary).
+//
+// Zero overhead when disabled: enabled() is a single relaxed atomic load,
+// and nothing else is touched.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace repro::common {
+
+/// The knobs, as parsed from a REPRO_FAULTS spec (see file comment).
+struct FaultSpec {
+  double short_rw = 0.0;
+  double eintr = 0.0;
+  double drop = 0.0;
+  double connect_fail = 0.0;
+  double delay_p = 0.0;
+  std::chrono::milliseconds delay_ms{0};
+
+  [[nodiscard]] bool any() const noexcept {
+    return short_rw > 0 || eintr > 0 || drop > 0 || connect_fail > 0 ||
+           delay_p > 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// What one I/O operation should suffer. Consulted by common::net before
+  /// the real syscall; at most one of eintr/drop fires per decision.
+  struct IoDecision {
+    bool eintr = false;                   // fail once with EINTR
+    bool drop = false;                    // fail with ECONNRESET
+    bool clamp = false;                   // move at most 1 byte
+    std::chrono::milliseconds delay{0};   // sleep first
+  };
+
+  /// True when a spec is installed (env or Scope). One relaxed atomic load.
+  [[nodiscard]] static bool enabled() noexcept {
+    const int s = state().load(std::memory_order_relaxed);
+    return s == 0 ? init_from_env() : s == 2;
+  }
+
+  /// Draw the next decision for a read/write. Only call when enabled().
+  [[nodiscard]] static IoDecision next_io();
+  /// Should this connect attempt fail? Only call when enabled().
+  [[nodiscard]] static bool drop_connect();
+
+  /// "seed:spec" → (seed, FaultSpec). Rejects unknown keys and bad numbers
+  /// loudly — a typo'd chaos spec that silently injects nothing would make
+  /// the soak test lie.
+  [[nodiscard]] static Result<std::pair<std::uint64_t, FaultSpec>> parse(
+      const std::string& text);
+
+  /// Scoped installation for unit tests; restores the previous state.
+  class Scope {
+   public:
+    Scope(std::uint64_t seed, const FaultSpec& spec);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    bool prev_enabled_;
+    std::uint64_t prev_seed_;
+    FaultSpec prev_spec_;
+  };
+
+ private:
+  static std::atomic<int>& state();  // 0 = uninit, 1 = off, 2 = on
+  static bool init_from_env();
+  static void install(std::uint64_t seed, const FaultSpec& spec);
+  static void set_disabled();
+};
+
+}  // namespace repro::common

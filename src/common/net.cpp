@@ -1,0 +1,140 @@
+#include "common/net.hpp"
+
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/fault.hpp"
+
+namespace repro::common::net {
+namespace {
+
+// Wait for `events` on fd. Returns 0 on ready, ETIMEDOUT on expiry, errno on
+// failure. timeout <= 0 means block forever.
+int wait_for(int fd, short events, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    int wait_ms = -1;
+    if (timeout.count() > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return ETIMEDOUT;
+      wait_ms = static_cast<int>(left.count());
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc > 0) return 0;  // readable/writable, or POLLERR/POLLHUP — let the
+                           // following read/write surface the real error.
+    if (rc == 0) return ETIMEDOUT;
+    if (errno != EINTR) return errno;
+  }
+}
+
+// Apply an injected fault decision. Returns true when the caller should fail
+// with `out->err` already set; updates `len` for short-op clamping.
+bool apply_fault(const FaultInjector::IoDecision& d, std::size_t& len,
+                 IoResult* out) {
+  if (d.delay.count() > 0) std::this_thread::sleep_for(d.delay);
+  if (d.drop) {
+    out->status = IoStatus::kError;
+    out->err = ECONNRESET;
+    return true;
+  }
+  if (d.clamp && len > 1) len = 1;
+  return false;
+}
+
+}  // namespace
+
+IoResult read_some(int fd, char* buf, std::size_t len,
+                   std::chrono::milliseconds timeout) {
+  IoResult result;
+  if (len == 0) return result;
+  for (;;) {
+    const int wait_err = wait_for(fd, POLLIN, timeout);
+    if (wait_err == ETIMEDOUT) {
+      result.status = IoStatus::kTimeout;
+      return result;
+    }
+    if (wait_err != 0) {
+      result.status = IoStatus::kError;
+      result.err = wait_err;
+      return result;
+    }
+    std::size_t want = len;
+    if (FaultInjector::enabled()) {
+      const auto d = FaultInjector::next_io();
+      if (apply_fault(d, want, &result)) return result;
+      if (d.eintr) continue;  // model the syscall failing with EINTR once
+    }
+    // MSG_DONTWAIT: poll() above is the only place allowed to block, or the
+    // timeout could not be enforced on sockets left in blocking mode.
+    const ssize_t n = ::recv(fd, buf, want, MSG_DONTWAIT);
+    if (n > 0) {
+      result.bytes = static_cast<std::size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      result.status = IoStatus::kEof;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // raced readiness
+    result.status = IoStatus::kError;
+    result.err = errno;
+    return result;
+  }
+}
+
+IoResult write_all(int fd, std::string_view data,
+                   std::chrono::milliseconds timeout) {
+  IoResult result;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const int wait_err = wait_for(fd, POLLOUT, timeout);
+    if (wait_err == ETIMEDOUT) {
+      result.status = IoStatus::kTimeout;
+      result.bytes = off;
+      return result;
+    }
+    if (wait_err != 0) {
+      result.status = IoStatus::kError;
+      result.err = wait_err;
+      result.bytes = off;
+      return result;
+    }
+    std::size_t want = data.size() - off;
+    if (FaultInjector::enabled()) {
+      const auto d = FaultInjector::next_io();
+      if (apply_fault(d, want, &result)) {
+        result.bytes = off;
+        return result;
+      }
+      if (d.eintr) continue;
+    }
+    // MSG_DONTWAIT, or a blocking send() of a chunk larger than the free
+    // buffer space parks in the kernel until the peer reads — the poll
+    // timeout above would never fire and a dead peer would hang the writer.
+    const ssize_t n =
+        ::send(fd, data.data() + off, want, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;  // progress made — the next wait_for restarts the clock
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    result.status = IoStatus::kError;
+    result.err = (n < 0) ? errno : EIO;
+    result.bytes = off;
+    return result;
+  }
+  result.bytes = off;
+  return result;
+}
+
+}  // namespace repro::common::net

@@ -1,0 +1,45 @@
+// Timeout-aware socket I/O primitives shared by serve and fleet.
+//
+// Every socket read and write in the serving stack goes through these two
+// helpers so that (a) no peer can wedge another — each operation carries a
+// per-op timeout enforced with poll(2) — and (b) common::FaultInjector has a
+// single choke point to inject short reads/writes, EINTR, latency, and
+// connection drops (see docs/ROBUSTNESS.md).
+//
+// Timeout semantics: the timeout applies to *progress*, not to the whole
+// transfer. write_all resets its clock every time bytes leave; read_some
+// waits at most `timeout` for the fd to become readable. A non-positive
+// timeout blocks forever (opt-in, used by idle-capable loops that implement
+// their own progress checks).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string_view>
+
+namespace repro::common::net {
+
+enum class IoStatus {
+  kOk,       // moved >= 1 byte (read) / moved everything (write)
+  kEof,      // orderly shutdown by the peer (read only)
+  kTimeout,  // no progress within the per-op timeout
+  kError,    // errno-style failure; see IoResult::err
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;  // bytes actually moved
+  int err = 0;            // errno when status == kError
+};
+
+/// Read up to `len` bytes, waiting at most `timeout` for readability.
+/// Retries EINTR internally. timeout <= 0 blocks until readable.
+[[nodiscard]] IoResult read_some(int fd, char* buf, std::size_t len,
+                                 std::chrono::milliseconds timeout);
+
+/// Write all of `data`, waiting at most `timeout` between progress steps.
+/// Sends with MSG_NOSIGNAL; retries EINTR internally.
+[[nodiscard]] IoResult write_all(int fd, std::string_view data,
+                                 std::chrono::milliseconds timeout);
+
+}  // namespace repro::common::net

@@ -22,9 +22,15 @@ enum class ErrorCode {
   kUnsupported,
   kInternal,
   kIo,
-  /// Transient refusal (service shutting down / no backend up). Retryable:
-  /// the fleet balancer re-dispatches requests that fail with this code.
+  /// Transient refusal (service shutting down / no backend up / overload
+  /// shed). Retryable: the fleet balancer re-dispatches requests that fail
+  /// with this code.
   kUnavailable,
+  /// The request's deadline budget ran out before an answer was produced.
+  /// Retryable by the *client* (with a fresh deadline), but never
+  /// re-dispatched by the balancer — a retry cannot resurrect a dead
+  /// deadline. See docs/ROBUSTNESS.md.
+  kDeadlineExceeded,
 };
 
 /// Human-readable label for an ErrorCode.
@@ -39,8 +45,15 @@ constexpr const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kIo: return "io";
     case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
+}
+
+/// Codes a client may retry on (the serving layer's contract: everything
+/// else is a permanent answer for that exact request).
+constexpr bool is_retryable(ErrorCode code) noexcept {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kDeadlineExceeded;
 }
 
 /// An error with a code and a message. Cheap to move, printable.
@@ -134,6 +147,9 @@ inline Error io_error(std::string msg) {
 }
 inline Error unavailable(std::string msg) {
   return Error{ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Error deadline_exceeded(std::string msg) {
+  return Error{ErrorCode::kDeadlineExceeded, std::move(msg)};
 }
 
 }  // namespace repro::common

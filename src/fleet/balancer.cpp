@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/net.hpp"
 #include "common/queue.hpp"
 #include "serve/protocol.hpp"
 
@@ -29,16 +30,9 @@ common::Error errno_error(const std::string& what) {
   return common::io_error(what + ": " + std::strerror(errno));
 }
 
-bool write_all(int fd, std::string_view data) {
-  while (!data.empty()) {
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
+bool write_all(int fd, std::string_view data, std::chrono::milliseconds timeout) {
+  return common::net::write_all(fd, data, timeout).status ==
+         common::net::IoStatus::kOk;
 }
 
 common::Result<int> connect_endpoint(const BackendEndpoint& endpoint,
@@ -62,7 +56,11 @@ struct Balancer::Impl {
   /// sent to a backend gets that backend's id, so the entry can move
   /// between backends (re-dispatch) without the client noticing.
   struct Pending {
-    serve::WireRequest request;
+    serve::WireRequest request;  // deadline_ms stays the ORIGINAL budget
+    /// When the balancer took custody. Every dispatch (first try or
+    /// re-dispatch) deducts the time elapsed since then from the wire
+    /// deadline, so a retry can never resurrect a dead budget.
+    std::chrono::steady_clock::time_point arrival;
     int attempts = 0;
     bool internal = false;  // maintenance health ping: no one awaits it
     std::promise<serve::WireResponse> promise;
@@ -239,11 +237,32 @@ void Balancer::Impl::backend_reader(Backend& backend) {
   std::string buffer;
   char chunk[4096];
   bool read_loop_done = false;
+  // Progress-based liveness: read in short ticks; a backend that stays
+  // silent past io_timeout *while it owes replies* is declared dead (its
+  // pending re-dispatch via teardown). An idle connection — nothing
+  // outstanding — can stay quiet forever; quiet is not dead.
+  auto last_progress = std::chrono::steady_clock::now();
   while (!read_loop_done) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // worker gone (EOF) or shutdown() from a writer/stop
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    const auto r = common::net::read_some(fd, chunk, sizeof chunk,
+                                          std::chrono::milliseconds(250));
+    if (r.status == common::net::IoStatus::kTimeout) {
+      if (backend.outstanding.load(std::memory_order_relaxed) == 0) {
+        last_progress = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (options.io_timeout.count() > 0 &&
+          std::chrono::steady_clock::now() - last_progress >= options.io_timeout) {
+        common::log_warn() << "Balancer: backend "
+                           << endpoint_name(backend.endpoint)
+                           << " silent past io_timeout with requests "
+                              "outstanding; tearing down";
+        break;
+      }
+      continue;
+    }
+    if (r.status != common::net::IoStatus::kOk) break;  // EOF, error, shutdown
+    last_progress = std::chrono::steady_clock::now();
+    buffer.append(chunk, r.bytes);
 
     std::size_t start = 0;
     for (;;) {
@@ -372,6 +391,25 @@ void Balancer::Impl::dispatch(const PendingPtr& pending) {
                                        " times without an answer"));
       return;
     }
+    // Deadline accounting happens here, once per dispatch attempt: whatever
+    // the client's budget was, the backend only gets what is left of it.
+    // When nothing is left the request fails *here* — a re-dispatch must
+    // not resurrect a deadline the first attempt already spent.
+    double remaining_ms = 0.0;
+    if (pending->request.deadline_ms.has_value()) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - pending->arrival)
+              .count();
+      remaining_ms = *pending->request.deadline_ms - elapsed_ms;
+      if (remaining_ms <= 0.0) {
+        fail_pending(pending, common::deadline_exceeded(
+                                  "Balancer: deadline budget exhausted after " +
+                                  std::to_string(pending->attempts) +
+                                  " dispatch attempt(s)"));
+        return;
+      }
+    }
     Backend* backend = pick_backend();
     if (backend == nullptr) {
       fail_pending(pending, common::unavailable("Balancer: no live workers"));
@@ -392,6 +430,7 @@ void Balancer::Impl::dispatch(const PendingPtr& pending) {
 
     serve::WireRequest request = pending->request;
     request.id = backend_id;
+    if (request.deadline_ms.has_value()) request.deadline_ms = remaining_ms;
     std::string line = serve::format_request(request);
     line.push_back('\n');
 
@@ -403,7 +442,7 @@ void Balancer::Impl::dispatch(const PendingPtr& pending) {
       std::lock_guard wlock(backend->write_mutex);
       std::lock_guard slock(backend->state_mutex);
       if (backend->generation == generation && backend->fd >= 0) {
-        written = write_all(backend->fd, line);
+        written = write_all(backend->fd, line, options.io_timeout);
       }
     }
     if (written) {
@@ -450,7 +489,7 @@ void Balancer::Impl::send_health_ping(Backend& backend) {
     std::lock_guard wlock(backend.write_mutex);
     std::lock_guard slock(backend.state_mutex);
     if (backend.generation == generation && backend.fd >= 0) {
-      written = write_all(backend.fd, line);
+      written = write_all(backend.fd, line, options.io_timeout);
     }
   }
   if (!written) {
@@ -635,7 +674,7 @@ void Balancer::Impl::serve_connection(int fd) {
         reply = std::move(pending->immediate);
       }
       reply.push_back('\n');
-      if (!write_all(fd, reply)) {
+      if (!write_all(fd, reply, options.io_timeout)) {
         write_failed.store(true, std::memory_order_relaxed);
         ::shutdown(fd, SHUT_RD);
       }
@@ -646,10 +685,11 @@ void Balancer::Impl::serve_connection(int fd) {
   char chunk[4096];
   bool overlong = false;
   for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    // Blocking (timeout 0): an idle client connection is legitimate.
+    const auto rd = common::net::read_some(fd, chunk, sizeof chunk,
+                                           std::chrono::milliseconds(0));
+    if (rd.status != common::net::IoStatus::kOk) break;
+    buffer.append(chunk, rd.bytes);
 
     std::size_t start = 0;
     for (;;) {
@@ -691,6 +731,7 @@ void Balancer::Impl::serve_connection(int fd) {
       }
       auto forwarded = std::make_shared<Pending>();
       forwarded->request = std::move(wire);
+      forwarded->arrival = std::chrono::steady_clock::now();
       pending.response = forwarded->promise.get_future();
       // Push before dispatch: the queue bound is the pipelining window, and
       // it must count this request before the next line is decoded.

@@ -62,6 +62,12 @@ struct BalancerOptions {
   /// A request is re-dispatched at most this many times before its client
   /// sees the unavailable error (guards against a fleet dying mid-burst).
   int max_dispatch_attempts = 4;
+  /// Progress timeout on backend I/O: a write that cannot make progress
+  /// fails the connection, and a backend that stays silent this long *while
+  /// requests are outstanding on it* is declared dead and torn down (its
+  /// pending requests re-dispatch). An idle backend connection never times
+  /// out — quiet is not dead. Also bounds client-facing reply writes.
+  std::chrono::milliseconds io_timeout{10000};
 };
 
 class Balancer {

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/net.hpp"
 #include "serve/protocol.hpp"
 
 namespace repro::fleet {
@@ -23,16 +24,11 @@ common::Error errno_error(const std::string& what) {
   return common::io_error(what + ": " + std::strerror(errno));
 }
 
+// Replies are small (one JSON line); a worker that cannot absorb one within
+// 30s has wedged — drop it, it will retry with backoff.
 bool write_all(int fd, std::string_view data) {
-  while (!data.empty()) {
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
+  return common::net::write_all(fd, data, std::chrono::milliseconds(30000))
+             .status == common::net::IoStatus::kOk;
 }
 
 }  // namespace
@@ -183,10 +179,12 @@ void Broker::Impl::serve_connection(int fd) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return;  // EOF or error (including shutdown() from stop)
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    // Blocking (timeout 0): workers keep the connection only for the fetch,
+    // but a worker mid-backoff between retries may legitimately idle here.
+    const auto r = common::net::read_some(fd, chunk, sizeof chunk,
+                                          std::chrono::milliseconds(0));
+    if (r.status != common::net::IoStatus::kOk) return;  // EOF, error, shutdown
+    buffer.append(chunk, r.bytes);
 
     std::size_t start = 0;
     for (;;) {
@@ -238,7 +236,12 @@ common::Result<BrokerModelReply> fetch_model(const std::string& broker_unix_path
   // Raw fd round trip rather than SocketClient: the reply is a broker
   // message, not a prediction, and SocketClient's typed readers would
   // reject it. Connect retry still comes from the shared backoff helper.
-  auto client = serve::SocketClient::connect_unix(broker_unix_path, retry);
+  // The read blocks for the whole training run when this worker is the
+  // fleet's first — that can legitimately take minutes, so the fetch gets a
+  // much longer io_timeout than a prediction round trip would.
+  serve::ConnectOptions options = retry;
+  options.io_timeout = std::max(options.io_timeout, std::chrono::milliseconds(300000));
+  auto client = serve::SocketClient::connect_unix(broker_unix_path, options);
   if (!client.ok()) return client.error();
   auto reply = client.value().raw_round_trip("{\"id\":1,\"type\":\"model\"}");
   if (!reply.ok()) return reply.error();

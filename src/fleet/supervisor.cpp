@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "serve/client.hpp"
 
 namespace repro::fleet {
@@ -100,6 +101,37 @@ struct Supervisor::Impl {
   std::atomic<bool> stopping{false};
   std::once_flag stop_once;
   Stats stats;
+  std::thread chaos;
+
+  /// SIGKILL a seeded-random live worker every chaos_kill_interval. The
+  /// worker's own monitor sees the exit as a crash and respawns it — chaos
+  /// mode only supplies the kills, recovery is the normal path under test.
+  void chaos_loop() {
+    common::SplitMix64 rng(options.chaos_seed);
+    for (;;) {
+      // Sleep in small slices so stop() is not delayed by a long interval.
+      const auto until = std::chrono::steady_clock::now() + options.chaos_kill_interval;
+      while (std::chrono::steady_clock::now() < until) {
+        if (stopping.load(std::memory_order_acquire)) return;
+        std::this_thread::sleep_for(kPollInterval);
+      }
+      const std::size_t victim = rng.next() % workers.size();
+      pid_t pid;
+      {
+        // Kill under the mutex so pid and the kill count stay coherent with
+        // the monitor's respawn bookkeeping.
+        std::lock_guard lock(mutex);
+        pid = workers[victim]->pid;
+        if (pid > 0) {
+          ++stats.chaos_kills;
+          ::kill(pid, SIGKILL);
+        }
+      }
+      if (pid <= 0) continue;  // mid-respawn; try again next tick
+      common::log_warn() << "Supervisor[chaos]: SIGKILLed worker " << victim
+                         << " (pid " << pid << ")";
+    }
+  }
 
   [[nodiscard]] std::vector<std::string> worker_args(const Worker& worker) const {
     std::vector<std::string> args;
@@ -242,6 +274,10 @@ common::Result<std::unique_ptr<Supervisor>> Supervisor::start(
     worker->monitor = std::thread(
         [impl = supervisor->impl_.get(), w = worker.get()] { impl->monitor_loop(*w); });
   }
+  if (options.chaos_kill_interval.count() > 0) {
+    supervisor->impl_->chaos =
+        std::thread([impl = supervisor->impl_.get()] { impl->chaos_loop(); });
+  }
   return supervisor;
 }
 
@@ -284,6 +320,7 @@ void Supervisor::stop() {
   std::call_once(impl_->stop_once, [this] {
     impl_->stopping.store(true, std::memory_order_release);
     impl_->restart_cv.notify_all();
+    if (impl_->chaos.joinable()) impl_->chaos.join();
     for (auto& worker : impl_->workers) {
       if (worker->monitor.joinable()) worker->monitor.join();
     }

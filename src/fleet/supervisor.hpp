@@ -45,6 +45,12 @@ struct SupervisorOptions {
   std::chrono::seconds ready_timeout{300};
   /// Respawn workers that exit without being asked to.
   bool auto_restart = true;
+  /// Chaos mode: every this-many milliseconds, SIGKILL one randomly chosen
+  /// live worker (the regular monitor respawns it). Zero disables. Meant
+  /// for the chaos soak — pair with auto_restart, never with production.
+  std::chrono::milliseconds chaos_kill_interval{0};
+  /// Seed for the chaos victim sequence (deterministic per seed).
+  std::uint64_t chaos_seed = 1;
 };
 
 class Supervisor {
@@ -67,9 +73,10 @@ class Supervisor {
   [[nodiscard]] common::Status restart(std::size_t index);
 
   struct Stats {
-    std::uint64_t spawns = 0;    // initial spawns + respawns
-    std::uint64_t crashes = 0;   // exits the supervisor did not request
-    std::uint64_t restarts = 0;  // explicit restart() calls completed
+    std::uint64_t spawns = 0;       // initial spawns + respawns
+    std::uint64_t crashes = 0;      // exits the supervisor did not request
+    std::uint64_t restarts = 0;     // explicit restart() calls completed
+    std::uint64_t chaos_kills = 0;  // SIGKILLs delivered by chaos mode
   };
   [[nodiscard]] Stats stats() const;
 

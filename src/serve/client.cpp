@@ -12,6 +12,8 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault.hpp"
+#include "common/net.hpp"
 #include "serve/protocol.hpp"
 
 namespace repro::serve {
@@ -40,7 +42,13 @@ common::Result<int> connect_with_backoff(const ConnectOptions& options,
   const int attempts = options.attempts < 1 ? 1 : options.attempts;
   auto backoff = options.initial_backoff;
   for (int attempt = 1;; ++attempt) {
-    const int fd = try_connect();
+    if (common::FaultInjector::enabled() &&
+        common::FaultInjector::drop_connect()) {
+      errno = ECONNREFUSED;  // injected: peer "not up" — retried via backoff
+    } else {
+      errno = 0;
+    }
+    const int fd = errno == ECONNREFUSED ? -1 : try_connect();
     if (fd >= 0) return fd;
     const int err = errno;
     if (attempt >= attempts || !connect_errno_is_transient(err)) {
@@ -76,7 +84,7 @@ common::Result<SocketClient> SocketClient::connect_unix(const std::string& path,
         return s;
       });
   if (!fd.ok()) return fd.error();
-  return SocketClient(fd.value());
+  return SocketClient(fd.value(), options.io_timeout);
 }
 
 common::Result<SocketClient> SocketClient::connect_tcp(int port,
@@ -99,11 +107,13 @@ common::Result<SocketClient> SocketClient::connect_tcp(int port,
         return s;
       });
   if (!fd.ok()) return fd.error();
-  return SocketClient(fd.value());
+  return SocketClient(fd.value(), options.io_timeout);
 }
 
 SocketClient::SocketClient(SocketClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
+      io_timeout_(other.io_timeout_),
+      deadline_ms_(other.deadline_ms_),
       next_id_(other.next_id_),
       buffer_(std::move(other.buffer_)) {}
 
@@ -111,6 +121,8 @@ SocketClient& SocketClient::operator=(SocketClient&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    io_timeout_ = other.io_timeout_;
+    deadline_ms_ = other.deadline_ms_;
     next_id_ = other.next_id_;
     buffer_ = std::move(other.buffer_);
   }
@@ -127,6 +139,7 @@ common::Result<core::Predictor::KernelPrediction> SocketClient::predict(
   request.id = next_id_++;
   request.kernel = kernel;
   request.features = counts;
+  request.deadline_ms = deadline_ms_;
   return round_trip(format_request(request), request.id);
 }
 
@@ -141,6 +154,7 @@ common::Result<core::Predictor::KernelPrediction> SocketClient::predict_source(
   request.id = next_id_++;
   request.kernel = kernel_name;
   request.source = opencl_source;
+  request.deadline_ms = deadline_ms_;
   return round_trip(format_request(request), request.id);
 }
 
@@ -175,6 +189,7 @@ SocketClient::predict_source_many(
     request.id = next_id_++;
     request.kernel = source.kernel;
     request.source = source.source;
+    request.deadline_ms = deadline_ms_;
     send_status = send_line(format_request(request));
     if (!send_status.ok()) break;
     ++sent;
@@ -191,17 +206,18 @@ SocketClient::predict_source_many(
 common::Status SocketClient::send_line(std::string line) {
   if (fd_ < 0) return common::io_error("SocketClient: not connected");
   line.push_back('\n');
-  std::string_view remaining(line);
-  while (!remaining.empty()) {
-    // MSG_NOSIGNAL: a vanished server is an EPIPE Result, not a SIGPIPE.
-    const ssize_t n = ::send(fd_, remaining.data(), remaining.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
+  const auto result = common::net::write_all(fd_, line, io_timeout_);
+  switch (result.status) {
+    case common::net::IoStatus::kOk:
+      return common::Status::Ok();
+    case common::net::IoStatus::kTimeout:
+      // Retryable: the peer is wedged, not wrong — a retry elsewhere (or
+      // later) can succeed.
+      return common::unavailable("SocketClient: write timed out");
+    default:
+      errno = result.err;
       return errno_error("SocketClient: write");
-    }
-    remaining.remove_prefix(static_cast<std::size_t>(n));
   }
-  return common::Status::Ok();
 }
 
 common::Result<WireResponse> SocketClient::read_wire(std::uint64_t expect_id) {
@@ -221,13 +237,18 @@ common::Result<WireResponse> SocketClient::read_wire(std::uint64_t expect_id) {
       return response;
     }
     char chunk[4096];
-    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
-    if (n < 0) {
-      if (errno == EINTR) continue;
+    const auto r = common::net::read_some(fd_, chunk, sizeof chunk, io_timeout_);
+    if (r.status == common::net::IoStatus::kTimeout) {
+      return common::unavailable("SocketClient: read timed out");
+    }
+    if (r.status == common::net::IoStatus::kError) {
+      errno = r.err;
       return errno_error("SocketClient: read");
     }
-    if (n == 0) return common::io_error("SocketClient: server closed the connection");
-    buffer_.append(chunk, static_cast<std::size_t>(n));
+    if (r.status == common::net::IoStatus::kEof) {
+      return common::io_error("SocketClient: server closed the connection");
+    }
+    buffer_.append(chunk, r.bytes);
   }
 }
 
@@ -266,13 +287,18 @@ common::Result<std::string> SocketClient::raw_round_trip(const std::string& line
       return reply;
     }
     char chunk[4096];
-    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
-    if (n < 0) {
-      if (errno == EINTR) continue;
+    const auto r = common::net::read_some(fd_, chunk, sizeof chunk, io_timeout_);
+    if (r.status == common::net::IoStatus::kTimeout) {
+      return common::unavailable("SocketClient: read timed out");
+    }
+    if (r.status == common::net::IoStatus::kError) {
+      errno = r.err;
       return errno_error("SocketClient: read");
     }
-    if (n == 0) return common::io_error("SocketClient: server closed the connection");
-    buffer_.append(chunk, static_cast<std::size_t>(n));
+    if (r.status == common::net::IoStatus::kEof) {
+      return common::io_error("SocketClient: server closed the connection");
+    }
+    buffer_.append(chunk, r.bytes);
   }
 }
 

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,6 +38,13 @@ struct ConnectOptions {
   int attempts = 1;
   std::chrono::milliseconds initial_backoff{25};
   std::chrono::milliseconds max_backoff{1000};
+  /// Per-operation socket timeout for every read and write on the connected
+  /// client (progress-based, enforced with poll). A stalled or wedged server
+  /// yields a retryable kUnavailable instead of hanging the caller forever.
+  /// Zero or negative = block indefinitely (opt-in only; the broker fetch
+  /// path raises it instead, because "the model is still training" can
+  /// legitimately take minutes).
+  std::chrono::milliseconds io_timeout{30000};
 };
 
 class SocketClient {
@@ -67,6 +75,14 @@ class SocketClient {
   [[nodiscard]] std::vector<common::Result<core::Predictor::KernelPrediction>>
   predict_source_many(const std::vector<core::Predictor::SourceRequest>& sources);
 
+  /// Default latency budget stamped on every subsequent prediction request
+  /// (wire "deadline_ms"). The server answers deadline_exceeded instead of
+  /// predicting once the budget runs out. nullopt (the default) sends no
+  /// deadline.
+  void set_deadline_ms(std::optional<double> deadline_ms) noexcept {
+    deadline_ms_ = deadline_ms;
+  }
+
   /// Liveness probe: uptime_s and queue_depth only (the cheap form the
   /// balancer pings workers with).
   [[nodiscard]] common::Result<WireStats> health();
@@ -87,7 +103,8 @@ class SocketClient {
   }
 
  private:
-  explicit SocketClient(int fd) : fd_(fd) {}
+  SocketClient(int fd, std::chrono::milliseconds io_timeout)
+      : fd_(fd), io_timeout_(io_timeout) {}
   [[nodiscard]] common::Status send_line(std::string line);
   [[nodiscard]] common::Result<WireResponse> read_wire(std::uint64_t expect_id);
   [[nodiscard]] common::Result<core::Predictor::KernelPrediction> read_response(
@@ -97,6 +114,8 @@ class SocketClient {
   [[nodiscard]] common::Result<WireStats> introspect(RequestKind kind);
 
   int fd_ = -1;
+  std::chrono::milliseconds io_timeout_{30000};
+  std::optional<double> deadline_ms_;
   std::uint64_t next_id_ = 1;
   std::string buffer_;  // bytes read past the last response line
 };

@@ -1,8 +1,15 @@
 #include "serve/model_cache.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <charconv>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/log.hpp"
@@ -21,7 +28,93 @@ std::string hash_token(const std::string& s) {
   return hex;
 }
 
+constexpr std::string_view kChecksumTag = "gpufreq_checksum ";
+
 }  // namespace
+
+common::Status save_model_atomic(const core::FrequencyModel& model,
+                                 const std::string& path) {
+  const std::string payload = model.serialize();
+  std::string content;
+  content.reserve(payload.size() + 32);
+  content.append(kChecksumTag);
+  content += hash_token(payload);
+  content.push_back('\n');
+  content += payload;
+
+  // The temp name is unique per process: the broker and cold workers can
+  // race on the same key, and each must scribble in its own file. The
+  // content is deterministic for a given key, so whichever rename lands
+  // last is byte-identical anyway.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return common::io_error("save_model_atomic: open(" + tmp +
+                            "): " + std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return common::io_error("save_model_atomic: write(" + tmp +
+                              "): " + std::strerror(err));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: rename is atomic in the namespace, but without the
+  // fsync a power loss could surface the *new* name with *old* (empty)
+  // contents on some filesystems.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return common::io_error("save_model_atomic: fsync(" + tmp +
+                            "): " + std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return common::io_error(std::string("save_model_atomic: close: ") +
+                            std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return common::io_error("save_model_atomic: rename(" + tmp + " -> " + path +
+                            "): " + std::strerror(err));
+  }
+  return common::Status::Ok();
+}
+
+common::Result<core::FrequencyModel> load_cached_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::io_error("load_cached_model: cannot open " + path);
+  }
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  std::string content = raw.str();
+
+  if (content.compare(0, kChecksumTag.size(), kChecksumTag) == 0) {
+    const auto nl = content.find('\n');
+    if (nl == std::string::npos) {
+      return common::parse_error("load_cached_model: truncated header in " + path);
+    }
+    const std::string stored = content.substr(kChecksumTag.size(),
+                                              nl - kChecksumTag.size());
+    content.erase(0, nl + 1);
+    if (stored != hash_token(content)) {
+      return common::parse_error("load_cached_model: checksum mismatch in " +
+                                 path + " (torn or corrupted file)");
+    }
+  }
+  // No header: a legacy FrequencyModel::save file — parse as-is, its own
+  // format validation is the only protection it ever had.
+  return core::FrequencyModel::deserialize(content);
+}
 
 std::string ModelKey::to_string() const {
   return device + "|" + speedup_regressor + "|" + energy_regressor + "|" +
@@ -112,7 +205,7 @@ common::Result<std::shared_ptr<const core::FrequencyModel>> ModelCache::get_or_t
     const std::string path = path_for(key);
     std::error_code ec;
     if (std::filesystem::exists(path, ec)) {
-      auto loaded = core::FrequencyModel::load(path);
+      auto loaded = load_cached_model(path);
       const bool matches = loaded.ok() &&
                            loaded.value().domain().device_name() == key.device &&
                            loaded.value().speedup_regressor() == key.speedup_regressor &&
@@ -139,7 +232,7 @@ common::Result<std::shared_ptr<const core::FrequencyModel>> ModelCache::get_or_t
   if (!disk_dir_.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(disk_dir_, ec);
-    if (auto st = model->save(path_for(key)); !st.ok()) {
+    if (auto st = save_model_atomic(*model, path_for(key)); !st.ok()) {
       common::log_warn() << "ModelCache: could not persist model: "
                          << st.error().message;
     }

@@ -66,6 +66,22 @@ struct ModelKey {
       std::string suite_fingerprint = std::string(kDefaultSuite));
 };
 
+/// Crash-atomic model persistence: serialize, write to a process-unique
+/// temp file in the same directory, fsync, rename over `path`. The file
+/// starts with a "gpufreq_checksum <16-hex fnv1a>" header over the payload,
+/// so a torn or bit-flipped file is detected as parse_error (and the cache
+/// degrades to retraining) instead of being parsed as a plausible model.
+/// Readers anywhere in the fleet only ever observe the old file, the new
+/// file, or no file — never a partial write.
+[[nodiscard]] common::Status save_model_atomic(const core::FrequencyModel& model,
+                                               const std::string& path);
+
+/// Load a model persisted by save_model_atomic, verifying the checksum.
+/// Headerless files (written by plain FrequencyModel::save before the
+/// checksum existed) still load — old caches stay usable.
+[[nodiscard]] common::Result<core::FrequencyModel> load_cached_model(
+    const std::string& path);
+
 class ModelCache {
  public:
   using Trainer = std::function<common::Result<core::FrequencyModel>()>;

@@ -403,6 +403,17 @@ common::Result<WireRequest> parse_request(const std::string& line) {
     }
     request.kernel = kernel->as_string();
   }
+  if (const JsonValue* deadline = doc.value().find("deadline_ms");
+      deadline != nullptr) {
+    // Finite number; non-positive is legal and means "already expired" —
+    // the server answers deadline_exceeded without predicting, which is
+    // exactly what a client whose budget ran out mid-flight wants.
+    if (!deadline->is_number() || !std::isfinite(deadline->as_number())) {
+      return common::parse_error(
+          "protocol: \"deadline_ms\" must be a finite number");
+    }
+    request.deadline_ms = deadline->as_number();
+  }
   const JsonValue* features = doc.value().find("features");
   const JsonValue* source = doc.value().find("source");
   // Optional explicit request type; when present it must match the payload
@@ -477,6 +488,10 @@ std::string format_request(const WireRequest& request) {
   if (!request.kernel.empty()) {
     out += ",\"kernel\":" + json_quote(request.kernel);
   }
+  if (request.deadline_ms.has_value()) {
+    out += ",\"deadline_ms\":";
+    append_double(out, *request.deadline_ms);
+  }
   if (request.features.has_value()) {
     out += ",\"features\":[";
     for (std::size_t i = 0; i < request.features->size(); ++i) {
@@ -529,7 +544,10 @@ std::string format_stats_response(std::uint64_t id, const WireStats& stats) {
          ",\"connections\":" + std::to_string(stats.connections) +
          ",\"protocol_errors\":" + std::to_string(stats.protocol_errors) +
          ",\"cache_hits\":" + std::to_string(stats.cache_hits) +
-         ",\"cache_misses\":" + std::to_string(stats.cache_misses) + "}}";
+         ",\"cache_misses\":" + std::to_string(stats.cache_misses) +
+         ",\"shed\":" + std::to_string(stats.shed) +
+         ",\"deadline_exceeded\":" + std::to_string(stats.deadline_exceeded) +
+         "}}";
   return out;
 }
 
@@ -556,7 +574,8 @@ common::Result<WireResponse> parse_response(const std::string& line) {
     common::Error e;
     e.code = common::ErrorCode::kInternal;
     if (code != nullptr && code->is_string()) {
-      for (int c = 0; c <= static_cast<int>(common::ErrorCode::kUnavailable); ++c) {
+      for (int c = 0; c <= static_cast<int>(common::ErrorCode::kDeadlineExceeded);
+           ++c) {
         if (code->as_string() == common::to_string(static_cast<common::ErrorCode>(c))) {
           e.code = static_cast<common::ErrorCode>(c);
           break;
@@ -609,7 +628,9 @@ common::Result<WireResponse> parse_response(const std::string& line) {
                               {"connections", &stats.connections},
                               {"protocol_errors", &stats.protocol_errors},
                               {"cache_hits", &stats.cache_hits},
-                              {"cache_misses", &stats.cache_misses}}) {
+                              {"cache_misses", &stats.cache_misses},
+                              {"shed", &stats.shed},
+                              {"deadline_exceeded", &stats.deadline_exceeded}}) {
       if (auto st = read_counter(key, *field); !st.ok()) return st.error();
     }
     response.stats = stats;

@@ -122,6 +122,12 @@ struct WireRequest {
   /// requests carry source. Both empty for health/stats.
   std::optional<std::array<double, clfront::kNumFeatures>> features;  // raw counts
   std::optional<std::string> source;                                  // OpenCL-C
+  /// Optional latency budget in milliseconds, relative to when the server
+  /// parses the line. A request whose budget has run out anywhere in the
+  /// pipeline is answered "deadline_exceeded" without being predicted; the
+  /// balancer deducts elapsed time before re-dispatching (see
+  /// docs/ROBUSTNESS.md). Absent = no deadline (old clients unaffected).
+  std::optional<double> deadline_ms;
 
   /// The features to predict on — extracts from `source` when needed.
   /// (The server no longer calls this for source requests: featurization
@@ -143,6 +149,8 @@ struct WireStats {
   std::uint64_t protocol_errors = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t shed = 0;               // rejected at admission by load shedding
+  std::uint64_t deadline_exceeded = 0;  // expired before prediction
 };
 
 struct WireResponse {

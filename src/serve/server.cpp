@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/net.hpp"
 #include "common/queue.hpp"
 #include "serve/model_cache.hpp"
 #include "serve/protocol.hpp"
@@ -29,21 +30,6 @@ namespace {
 
 common::Error errno_error(const std::string& what) {
   return common::io_error(what + ": " + std::strerror(errno));
-}
-
-/// send() the whole buffer, riding out EINTR and partial writes.
-/// MSG_NOSIGNAL: a peer that disconnected before its reply must surface as
-/// EPIPE here, not as a process-killing SIGPIPE in the embedding program.
-bool write_all(int fd, std::string_view data) {
-  while (!data.empty()) {
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
 }
 
 }  // namespace
@@ -245,7 +231,11 @@ void SocketServer::Impl::serve_connection(int fd) {
         reply = std::move(pending->immediate);
       }
       reply.push_back('\n');
-      if (!write_all(fd, reply)) {
+      // A write timeout counts as failure too: a client that stopped
+      // reading has forfeited its replies — drain and tear down rather
+      // than wedge this writer (and every future queued behind it).
+      const auto wr = common::net::write_all(fd, reply, options.write_timeout);
+      if (wr.status != common::net::IoStatus::kOk) {
         write_failed.store(true, std::memory_order_relaxed);
         // The peer is gone; unblock the reader's read() so the connection
         // tears down promptly instead of at the next request.
@@ -258,10 +248,13 @@ void SocketServer::Impl::serve_connection(int fd) {
   char chunk[4096];
   bool overlong = false;
   for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF or error (including shutdown() from stop)
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    // Blocking read (timeout 0): an idle connection is legitimate — the
+    // balancer keeps persistent backend connections that go quiet between
+    // bursts. Routed through net so fault injection covers this path.
+    const auto rd = common::net::read_some(fd, chunk, sizeof chunk,
+                                           std::chrono::milliseconds(0));
+    if (rd.status != common::net::IoStatus::kOk) break;  // EOF, error, shutdown
+    buffer.append(chunk, rd.bytes);
 
     std::size_t start = 0;
     for (;;) {
@@ -301,17 +294,27 @@ void SocketServer::Impl::serve_connection(int fd) {
         }
         auto& wire = request.value();
         pending.id = wire.id;
+        // The wire deadline is relative to this moment — the instant the
+        // server took custody of the request. From here on it is an
+        // absolute steady_clock point, immune to queueing delays.
+        Service::Deadline deadline;
+        if (wire.deadline_ms.has_value()) {
+          deadline = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(*wire.deadline_ms));
+        }
         if (wire.source.has_value()) {
           // predict_source: ship the raw bytes; the worker shard featurizes
           // inside the batch, off this connection thread.
-          pending.response = service->submit_source(std::move(*wire.source),
-                                                    std::move(wire.kernel));
+          pending.response = service->submit_source(
+              std::move(*wire.source), std::move(wire.kernel), deadline);
         } else {
           auto features = wire.to_features();
           if (!features.ok()) {
             pending.immediate = format_error(wire.id, features.error());
           } else {
-            pending.response = service->submit(std::move(features).take());
+            pending.response =
+                service->submit(std::move(features).take(), deadline);
           }
         }
       }
@@ -349,6 +352,8 @@ WireStats SocketServer::Impl::wire_stats() {
   wire.requests = service_stats.requests;
   wire.source_requests = service_stats.source_requests;
   wire.batches = service_stats.batches;
+  wire.shed = service_stats.shed;
+  wire.deadline_exceeded = service_stats.deadline_exceeded;
   {
     std::lock_guard lock(stats_mutex);
     wire.connections = stats.connections;

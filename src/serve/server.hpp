@@ -13,6 +13,7 @@
 // are shut down, in-flight requests are still answered.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -40,6 +41,11 @@ struct ServerOptions {
   /// When set, "stats" responses include this cache's hit/miss counters
   /// (the cache the service was created against). Must outlive the server.
   const ModelCache* model_cache = nullptr;
+  /// Per-operation progress timeout on response writes: a client that stops
+  /// reading cannot wedge this connection's writer thread (and the futures
+  /// queued behind it) forever. Reads deliberately stay unbounded — idle
+  /// persistent connections (the balancer's backend pool) are legitimate.
+  std::chrono::milliseconds write_timeout{30000};
 };
 
 class SocketServer {

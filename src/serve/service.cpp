@@ -21,6 +21,10 @@ common::Error unavailable_error() {
   return common::unavailable("serve::Service: stopped");
 }
 
+common::Error deadline_error() {
+  return common::deadline_exceeded("serve::Service: deadline expired");
+}
+
 }  // namespace
 
 struct Service::Impl {
@@ -39,6 +43,9 @@ struct Service::Impl {
   std::once_flag stop_once;
   mutable std::mutex stats_mutex;
   Stats stats;
+  // EWMA of per-request service time (µs), fed by the shard workers.
+  // 0 until the first batch completes — shedding never fires cold.
+  double ewma_service_us = 0.0;
 };
 
 Service::Service(std::shared_ptr<const core::FrequencyModel> model,
@@ -134,22 +141,62 @@ void Service::stop() {
   });
 }
 
-std::future<Service::Response> Service::submit(clfront::StaticFeatures features) {
+std::future<Service::Response> Service::submit(clfront::StaticFeatures features,
+                                               Deadline deadline) {
   Request request;
   request.payload = std::move(features);
+  request.deadline = deadline;
   return enqueue(std::move(request), /*is_source=*/false);
 }
 
 std::future<Service::Response> Service::submit_source(std::string source,
-                                                      std::string kernel) {
+                                                      std::string kernel,
+                                                      Deadline deadline) {
   Request request;
   request.payload =
       core::Predictor::SourceRequest{std::move(source), std::move(kernel)};
+  request.deadline = deadline;
   return enqueue(std::move(request), /*is_source=*/true);
 }
 
 std::future<Service::Response> Service::enqueue(Request request, bool is_source) {
   auto future = request.promise.get_future();
+  const auto now = std::chrono::steady_clock::now();
+  // An expired deadline never enters batch assembly: answer right here, and
+  // do not count it as an admitted request.
+  if (request.deadline.has_value() && *request.deadline <= now) {
+    request.promise.set_value(deadline_error());
+    std::lock_guard lock(impl_->stats_mutex);
+    ++impl_->stats.deadline_exceeded;
+    return future;
+  }
+  // Load shedding: refuse work that would only be served stale. The
+  // estimate is backlog × EWMA service time ÷ shards — deliberately crude,
+  // but it is zero when the service is keeping up and grows linearly once
+  // it is not, which is the only distinction shedding needs.
+  if (options_.max_queue_delay.count() > 0) {
+    double est_us = 0.0;
+    {
+      std::lock_guard lock(impl_->stats_mutex);
+      est_us = impl_->ewma_service_us;
+    }
+    est_us *= static_cast<double>(impl_->admission.size()) /
+              static_cast<double>(options_.shards);
+    const bool over_bound =
+        est_us > static_cast<double>(options_.max_queue_delay.count());
+    const bool over_deadline =
+        request.deadline.has_value() &&
+        now + std::chrono::microseconds(static_cast<long>(est_us)) >=
+            *request.deadline;
+    if (over_bound || over_deadline) {
+      request.promise.set_value(common::unavailable(
+          "serve::Service: overloaded (estimated queue delay " +
+          std::to_string(static_cast<long>(est_us)) + "us)"));
+      std::lock_guard lock(impl_->stats_mutex);
+      ++impl_->stats.shed;
+      return future;
+    }
+  }
   // The sequence number is taken immediately before the push; the queue's
   // FIFO order under its mutex can interleave differently, which is why the
   // scheduler re-sorts each batch by seq before dispatch.
@@ -258,8 +305,18 @@ void Service::shard_loop(std::size_t shard_index) {
     std::vector<std::size_t> slots;  // batch index serving features[k]
     features.reserve(batch->size());
     slots.reserve(batch->size());
+    const auto batch_start = std::chrono::steady_clock::now();
+    std::uint64_t expired = 0;
     for (std::size_t i = 0; i < batch->size(); ++i) {
       auto& request = (*batch)[i];
+      // A deadline that ran out while the request sat in a queue: answer it
+      // now, spend nothing on featurization or prediction. Checked once per
+      // batch, not per-predict — close enough, and keeps the hot loop flat.
+      if (request.deadline.has_value() && *request.deadline <= batch_start) {
+        request.promise.set_value(deadline_error());
+        ++expired;
+        continue;
+      }
       if (auto* ready = std::get_if<clfront::StaticFeatures>(&request.payload)) {
         features.push_back(std::move(*ready));
         slots.push_back(i);
@@ -274,9 +331,32 @@ void Service::shard_loop(std::size_t shard_index) {
         request.promise.set_value(extracted.error());
       }
     }
+    if (expired > 0) {
+      std::lock_guard lock(impl_->stats_mutex);
+      impl_->stats.deadline_exceeded += expired;
+    }
     if (features.empty()) continue;
 
     auto predictions = predictor.predict_batch(features);
+
+    // Feed the shedding estimator BEFORE resolving the promises: per-request
+    // service time over this batch (featurize + predict, amortized). The
+    // ordering matters — anyone unblocked by these promises (a client that
+    // warms up, then bursts) must find the sample already published, or the
+    // burst races a zero EWMA and nothing sheds. EWMA with a 0.2 step —
+    // reacts within a handful of batches, ignores single outliers.
+    const double elapsed_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - batch_start)
+            .count();
+    const double sample = elapsed_us / static_cast<double>(features.size());
+    {
+      std::lock_guard lock(impl_->stats_mutex);
+      impl_->ewma_service_us = impl_->ewma_service_us == 0.0
+                                   ? sample
+                                   : 0.8 * impl_->ewma_service_us + 0.2 * sample;
+    }
+
     if (predictions.ok()) {
       auto& results = predictions.value();
       for (std::size_t k = 0; k < slots.size(); ++k) {

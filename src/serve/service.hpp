@@ -55,6 +55,12 @@ struct ServiceOptions {
   std::chrono::microseconds batch_window{200};
   /// Admission-queue bound; submit() blocks when full (backpressure).
   std::size_t queue_capacity = 1024;
+  /// Load shedding: when non-zero, submit() rejects (kUnavailable,
+  /// retryable) any request whose estimated queue delay — admission backlog
+  /// × EWMA of per-request service time ÷ shards — already exceeds this
+  /// bound, or the request's own deadline. Zero disables shedding (the
+  /// bounded queue's blocking backpressure is then the only limit).
+  std::chrono::microseconds max_queue_delay{0};
 };
 
 /// What a Service trains (or fetches from a ModelCache) at startup.
@@ -91,15 +97,23 @@ class Service {
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
+  /// Absolute point after which a request must not be predicted. Requests
+  /// that are already expired at submit resolve kDeadlineExceeded without
+  /// ever entering batch assembly; ones that expire while queued are dropped
+  /// by the shard worker before featurization/prediction.
+  using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
   /// Enqueue one request; the future resolves when its batch is served.
   /// Blocks while the admission queue is full; resolves immediately with an
   /// error after stop().
-  [[nodiscard]] std::future<Response> submit(clfront::StaticFeatures features);
+  [[nodiscard]] std::future<Response> submit(clfront::StaticFeatures features,
+                                             Deadline deadline = {});
 
   /// Enqueue a raw-source request; featurization happens on the worker
   /// shard inside the batch (the serving half of Predictor::predict_source).
   [[nodiscard]] std::future<Response> submit_source(std::string source,
-                                                    std::string kernel = {});
+                                                    std::string kernel = {},
+                                                    Deadline deadline = {});
 
   /// Blocking convenience around submit() / submit_source().
   [[nodiscard]] Response predict(clfront::StaticFeatures features);
@@ -119,6 +133,8 @@ class Service {
     std::uint64_t rejected = 0;         // submit() after stop
     std::uint64_t batches = 0;          // predict_batch calls issued
     std::uint64_t max_batch_seen = 0;
+    std::uint64_t shed = 0;               // refused at admission by load shedding
+    std::uint64_t deadline_exceeded = 0;  // expired before prediction
   };
   [[nodiscard]] Stats stats() const;
   /// Requests admitted but not yet pulled into a batch — the backlog a
@@ -136,6 +152,7 @@ class Service {
   struct Request {
     std::uint64_t seq = 0;
     std::variant<clfront::StaticFeatures, core::Predictor::SourceRequest> payload;
+    Deadline deadline;
     std::promise<Response> promise;
   };
   using Batch = std::vector<Request>;

@@ -8,6 +8,7 @@
 // repro_serve workers and kill -9, lives in scripts/fleet_smoke.sh.)
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -16,7 +17,12 @@
 #include <thread>
 #include <vector>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
+
+#include "common/fault.hpp"
+#include "serve/protocol.hpp"
 
 #include "benchgen/benchgen.hpp"
 #include "core/measurement.hpp"
@@ -137,6 +143,79 @@ struct InProcWorker {
 std::vector<rco::Predictor::SourceRequest> source_burst(std::size_t n) {
   return std::vector<rco::Predictor::SourceRequest>(n, {kSourceKernel, ""});
 }
+
+/// A fake worker that answers every request line with a retryable
+/// "unavailable" error after a fixed delay — so the balancer re-dispatches
+/// each reply, burning the request's deadline budget one slice at a time.
+class UnavailableBackend {
+ public:
+  explicit UnavailableBackend(std::chrono::milliseconds reply_delay)
+      : reply_delay_(reply_delay) {
+    listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listener_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listener_, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)), 0);
+    EXPECT_EQ(::listen(listener_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
+  ~UnavailableBackend() { stop(); }
+
+  void stop() {
+    if (stopping_.exchange(true)) return;
+    ::shutdown(listener_, SHUT_RDWR);
+    if (acceptor_.joinable()) acceptor_.join();
+    ::close(listener_);
+  }
+  [[nodiscard]] int port() const { return port_; }
+
+ private:
+  void accept_loop() {
+    std::vector<std::thread> conns;
+    for (;;) {
+      const int fd = ::accept(listener_, nullptr, nullptr);
+      if (fd < 0) break;  // stop() shut the listener down
+      conns.emplace_back([fd, delay = reply_delay_] {
+        std::string buffer;
+        char chunk[4096];
+        for (;;) {
+          const ssize_t n = ::read(fd, chunk, sizeof chunk);
+          if (n < 0 && errno == EINTR) continue;
+          if (n <= 0) break;
+          buffer.append(chunk, static_cast<std::size_t>(n));
+          std::size_t start = 0;
+          for (;;) {
+            const auto nl = buffer.find('\n', start);
+            if (nl == std::string::npos) break;
+            const std::string line = buffer.substr(start, nl - start);
+            start = nl + 1;
+            std::this_thread::sleep_for(delay);
+            std::string reply =
+                rs::format_error(rs::best_effort_id(line),
+                                 rc::unavailable("always draining"));
+            reply.push_back('\n');
+            (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+          }
+          buffer.erase(0, start);
+        }
+        ::close(fd);
+      });
+    }
+    for (auto& conn : conns) conn.join();
+  }
+
+  std::chrono::milliseconds reply_delay_;
+  int listener_ = -1;
+  int port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+};
 
 }  // namespace
 
@@ -304,6 +383,86 @@ TEST(BalancerTest, ReconnectsToRestartedBackend) {
   EXPECT_GE(balancer.value()->stats().backend_failures, 1u);
   balancer.value()->stop();
   worker.stop();
+}
+
+// --- deadlines across re-dispatch ---------------------------------------------
+
+TEST(BalancerTest, DeadlineBudgetDeductedAcrossRedispatch) {
+  // The only backend answers every request "unavailable" after ~30ms, so
+  // the balancer re-dispatches in a loop. With the ORIGINAL budget forwarded
+  // each time, the loop would only stop at max_dispatch_attempts (set
+  // absurdly high here); deducting elapsed time means the client must see
+  // kDeadlineExceeded once the 250ms budget is burned.
+  UnavailableBackend backend(std::chrono::milliseconds(30));
+  rf::BalancerOptions options;
+  options.tcp_port = 0;
+  options.health_interval = std::chrono::milliseconds(0);  // no pings
+  options.max_dispatch_attempts = 1000;
+  auto balancer = rf::Balancer::start({{"", backend.port()}}, options);
+  ASSERT_TRUE(balancer.ok()) << balancer.error().message;
+
+  auto client = rs::SocketClient::connect_tcp(balancer.value()->tcp_port());
+  ASSERT_TRUE(client.ok()) << client.error().message;
+  client.value().set_deadline_ms(250.0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto response = client.value().predict_source(kSourceKernel);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code, rc::ErrorCode::kDeadlineExceeded)
+      << response.error().message;
+  EXPECT_TRUE(rc::is_retryable(response.error().code));
+  // The budget actually bounded the retry loop: well past the deadline is
+  // fine (one in-flight slice can finish), but nowhere near 1000 * 30ms.
+  EXPECT_GE(elapsed, std::chrono::milliseconds(200));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  EXPECT_GE(balancer.value()->stats().redispatches, 1u);
+
+  balancer.value()->stop();
+  backend.stop();
+}
+
+// --- socket faults through the whole fleet path -------------------------------
+
+TEST(BalancerTest, RoundTripBitIdenticalUnderSocketFaults) {
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok());
+
+  std::vector<InProcWorker> workers;
+  std::vector<rf::BackendEndpoint> endpoints;
+  for (std::size_t i = 0; i < 2; ++i) {
+    workers.push_back(InProcWorker::start());
+    endpoints.push_back(workers.back().endpoint());
+  }
+  rf::BalancerOptions options;
+  options.tcp_port = 0;
+  auto balancer = rf::Balancer::start(endpoints, options);
+  ASSERT_TRUE(balancer.ok()) << balancer.error().message;
+
+  {
+    // Benign faults only (no drops): short reads/writes and EINTR storms on
+    // every socket hop — client↔balancer and balancer↔worker — must change
+    // nothing about the bytes that come back.
+    rc::FaultSpec spec;
+    spec.short_rw = 0.5;
+    spec.eintr = 0.3;
+    rc::FaultInjector::Scope scope(123, spec);
+
+    auto client = rs::SocketClient::connect_tcp(balancer.value()->tcp_port());
+    ASSERT_TRUE(client.ok()) << client.error().message;
+    for (int i = 0; i < 3; ++i) {
+      auto response = client.value().predict_source(kSourceKernel);
+      ASSERT_TRUE(response.ok()) << response.error().message;
+      EXPECT_EQ(response.value().kernel, "saxpy_damped");
+      EXPECT_TRUE(bitwise_equal(response.value().pareto, reference.value().pareto))
+          << "round trip " << i;
+    }
+  }
+
+  balancer.value()->stop();
+  for (auto& worker : workers) worker.stop();
 }
 
 // --- balancer-addressed health/stats ------------------------------------------

@@ -24,6 +24,7 @@
 
 #include "benchgen/benchgen.hpp"
 #include "clfront/stream.hpp"
+#include "common/fault.hpp"
 #include "common/queue.hpp"
 #include "common/thread_pool.hpp"
 #include "core/measurement.hpp"
@@ -983,6 +984,178 @@ TEST(SocketTest, HalfClosingPipelineClientStillGetsResponsesAndEof) {
   service.value()->stop();
 }
 
+// --- deadlines + load shedding ------------------------------------------------
+
+TEST(DeadlineTest, WireRequestDeadlineRoundTripsAndStaysOptional) {
+  rs::WireRequest request;
+  request.id = 21;
+  request.features = std::array<double, rcl::kNumFeatures>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  request.deadline_ms = 250.5;
+  const std::string wire = rs::format_request(request);
+  EXPECT_NE(wire.find("\"deadline_ms\":"), std::string::npos);
+  const auto parsed = rs::parse_request(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  ASSERT_TRUE(parsed.value().deadline_ms.has_value());
+  EXPECT_EQ(*parsed.value().deadline_ms, 250.5);  // exact framing
+
+  // Absent stays absent (old clients), and a non-finite budget is refused.
+  request.deadline_ms.reset();
+  const auto plain = rs::parse_request(rs::format_request(request));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.value().deadline_ms.has_value());
+  EXPECT_FALSE(
+      rs::parse_request(
+          R"({"id":1,"features":[1,2,3,4,5,6,7,8,9,10],"deadline_ms":1e999})")
+          .ok());
+}
+
+TEST(DeadlineTest, ErrorCodeIsRetryableAndRoundTrips) {
+  EXPECT_TRUE(rc::is_retryable(rc::ErrorCode::kDeadlineExceeded));
+  EXPECT_TRUE(rc::is_retryable(rc::ErrorCode::kUnavailable));
+  EXPECT_FALSE(rc::is_retryable(rc::ErrorCode::kParseError));
+  const auto parsed = rs::parse_response(
+      rs::format_error(3, rc::deadline_exceeded("too late")));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  ASSERT_TRUE(parsed.value().error.has_value());
+  EXPECT_EQ(parsed.value().error->code, rc::ErrorCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineTest, ExpiredAtSubmitRejectedBeforeBatchAssembly) {
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  const auto kernels = request_mix(1);
+  const auto expired =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  auto response = service.value()->submit(kernels[0], expired).get();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code, rc::ErrorCode::kDeadlineExceeded);
+  service.value()->stop();
+  const auto stats = service.value()->stats();
+  // The request never entered batch assembly: not admitted, no batch ran.
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+}
+
+TEST(DeadlineTest, GenerousDeadlineStillPredictsBitIdentically) {
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto kernels = request_mix(1);
+  const auto reference = direct.value().predict_batch(kernels);
+  ASSERT_TRUE(reference.ok());
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::minutes(1);
+  auto response = service.value()->submit(kernels[0], deadline).get();
+  ASSERT_TRUE(response.ok()) << response.error().message;
+  EXPECT_TRUE(bitwise_equal(response.value().pareto, reference.value()[0].pareto));
+  service.value()->stop();
+  EXPECT_EQ(service.value()->stats().deadline_exceeded, 0u);
+}
+
+TEST(SheddingTest, OverloadShedsWithRetryableErrorAndServesTheRest) {
+  rs::ServiceOptions options;
+  options.shards = 1;
+  options.max_batch = 1;  // one request per batch: backlog builds fast
+  options.batch_window = std::chrono::microseconds(0);
+  options.max_queue_delay = std::chrono::microseconds(1);
+  auto service = rs::Service::from_model(trained_model(), options);
+  ASSERT_TRUE(service.ok());
+
+  // Source requests: featurization on the shard makes service time large
+  // and measurable, so the admission backlog genuinely outruns the worker.
+  // Shedding must never fire cold: the first request warms the EWMA.
+  auto warm = service.value()->predict_source(kSourceKernel);
+  ASSERT_TRUE(warm.ok()) << warm.error().message;
+
+  std::vector<std::future<rs::Service::Response>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(service.value()->submit_source(kSourceKernel));
+  }
+  std::size_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const auto r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.error().code, rc::ErrorCode::kUnavailable) << r.error().message;
+      EXPECT_NE(r.error().message.find("overloaded"), std::string::npos);
+      ++shed;
+    }
+  }
+  service.value()->stop();
+  const auto stats = service.value()->stats();
+  // A 64-burst against a 1-wide, 1-per-batch service with a 1us delay bound
+  // must shed; everything not shed is answered normally.
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(ok + shed, 64u);
+  EXPECT_EQ(stats.requests, ok + 1);  // warm-up + the admitted part of the burst
+}
+
+TEST(SheddingTest, StatsCarryShedAndDeadlineCountersOverTheWire) {
+  rs::WireStats stats;
+  stats.uptime_s = 1.0;
+  stats.shed = 17;
+  stats.deadline_exceeded = 5;
+  const auto parsed = rs::parse_response(rs::format_stats_response(2, stats));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  ASSERT_TRUE(parsed.value().stats.has_value());
+  EXPECT_EQ(parsed.value().stats->shed, 17u);
+  EXPECT_EQ(parsed.value().stats->deadline_exceeded, 5u);
+  // Replies from an older server (no counters) still parse, as zero.
+  const auto old = rs::parse_response(R"({"id":1,"stats":{"uptime_s":0,"requests":4}})");
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(old.value().stats->shed, 0u);
+  EXPECT_EQ(old.value().stats->deadline_exceeded, 0u);
+}
+
+// --- crash-atomic model persistence -------------------------------------------
+
+TEST(AtomicSaveTest, SaveLoadRoundTripsAndDetectsCorruption) {
+  TempDir dir("repro-atomic-save");
+  const auto path = (dir.path / "m.model").string();
+  ASSERT_TRUE(rs::save_model_atomic(*trained_model(), path).ok());
+  // No temp file survives a successful save.
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."), std::string::npos);
+  }
+  auto loaded = rs::load_cached_model(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().serialize(), trained_model()->serialize());
+
+  // Flip one payload byte: the checksum catches it as a parse error.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-10, std::ios::end);
+    f.put('#');
+  }
+  auto corrupt = rs::load_cached_model(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.error().code, rc::ErrorCode::kParseError);
+  EXPECT_NE(corrupt.error().message.find("checksum"), std::string::npos);
+
+  // A truncated header line is also a clean parse error, not a crash.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "gpufreq_checksum 0123";
+  }
+  EXPECT_FALSE(rs::load_cached_model(path).ok());
+}
+
+TEST(AtomicSaveTest, LegacyHeaderlessFilesStillLoad) {
+  TempDir dir("repro-legacy-model");
+  const auto path = (dir.path / "legacy.model").string();
+  // A pre-checksum cache file: the raw serialization, no header.
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << trained_model()->serialize();
+  }
+  auto loaded = rs::load_cached_model(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().serialize(), trained_model()->serialize());
+}
+
 // --- source→prediction determinism (the streaming featurization contract) -----
 
 TEST(ServiceTest, PredictSourceMatchesLocalPredictor) {
@@ -1164,6 +1337,39 @@ TEST(SocketTest, PipelinedConnectionAnswersInRequestOrder) {
   ASSERT_TRUE(last.ok());
   EXPECT_EQ(last.value().id, 1000u);
   EXPECT_TRUE(last.value().prediction.has_value());
+
+  server.value()->stop();
+  service.value()->stop();
+}
+
+TEST(SocketTest, RoundTripBitIdenticalUnderShortReadsAndEintr) {
+  // The full server↔client path with every socket operation subjected to
+  // short reads/writes and EINTR storms: reassembly and retry must be
+  // invisible — same bytes, no errors. (No drops here: this asserts the
+  // benign faults change nothing; drop handling is covered in fault_test.)
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  rs::ServerOptions server_options;
+  server_options.tcp_port = 0;
+  auto server = rs::SocketServer::start(*service.value(), server_options);
+  ASSERT_TRUE(server.ok()) << server.error().message;
+
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok());
+
+  rc::FaultSpec spec;
+  spec.short_rw = 0.5;
+  spec.eintr = 0.3;
+  rc::FaultInjector::Scope scope(123, spec);
+  auto client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+  ASSERT_TRUE(client.ok()) << client.error().message;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    auto response = client.value().predict_source(kSourceKernel);
+    ASSERT_TRUE(response.ok()) << response.error().message;
+    EXPECT_TRUE(bitwise_equal(response.value().pareto, reference.value().pareto));
+  }
 
   server.value()->stop();
   service.value()->stop();
