@@ -389,6 +389,134 @@ CaseResult bench_stream_featurize(std::size_t n_functions, int reps) {
   return {"stream_featurize", source.size(), whole_ms, streamed_ms, identical};
 }
 
+// --- protocol codec: JSON lines vs binary frames ------------------------------
+//
+// One batch of wire messages encoded and decoded through the JSON framing
+// (serial_ms) and the binary framing (parallel_ms) — the wire-level cost a
+// negotiated connection saves. bit_identical cross-checks the codecs
+// against each other: both decoded forms must carry the same bytes (ids,
+// kernels, and every double compared by bit pattern).
+
+bool wire_doubles_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+CaseResult bench_protocol_request_codec(std::size_t n, int reps) {
+  common::Xoshiro256 rng(99);
+  std::vector<serve::WireRequest> requests(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& request = requests[i];
+    request.id = i + 1;
+    request.kernel = "kernel_" + std::to_string(i % 17);
+    request.deadline_ms = 50.0 + rng.uniform(0.0, 10.0);
+    if (i % 3 == 0) {
+      request.kind = serve::RequestKind::kPredictSource;
+      request.source = std::string(200, 'k');
+    } else {
+      request.kind = serve::RequestKind::kPredict;
+      std::array<double, clfront::kNumFeatures> features{};
+      for (auto& f : features) f = rng.uniform(0.0, 64.0);
+      request.features = features;
+    }
+  }
+
+  std::vector<serve::WireRequest> via_json(n);
+  std::vector<serve::WireRequest> via_binary(n);
+  const double json_ms = time_ms(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          via_json[i] = serve::parse_request(serve::format_request(requests[i])).value();
+        }
+      },
+      reps);
+  const double binary_ms = time_ms(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::string framed = serve::binary::format_request_frame(requests[i]);
+          via_binary[i] = serve::binary::parse_request(
+                              std::string_view(framed).substr(serve::binary::kHeaderBytes))
+                              .value();
+        }
+      },
+      reps);
+
+  bool identical = true;
+  for (std::size_t i = 0; i < n && identical; ++i) {
+    const auto& a = via_json[i];
+    const auto& b = via_binary[i];
+    identical = a.id == b.id && a.kind == b.kind && a.kernel == b.kernel &&
+                a.source == b.source &&
+                a.features.has_value() == b.features.has_value() &&
+                a.deadline_ms.has_value() == b.deadline_ms.has_value();
+    if (identical && a.deadline_ms) {
+      identical = wire_doubles_equal(*a.deadline_ms, *b.deadline_ms);
+    }
+    if (identical && a.features) {
+      for (std::size_t f = 0; f < a.features->size() && identical; ++f) {
+        identical = wire_doubles_equal((*a.features)[f], (*b.features)[f]);
+      }
+    }
+  }
+  return {"protocol_request_codec", n, json_ms, binary_ms, identical};
+}
+
+CaseResult bench_protocol_response_codec(std::size_t n, int reps) {
+  common::Xoshiro256 rng(101);
+  std::vector<core::Predictor::KernelPrediction> predictions(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& p = predictions[i];
+    p.kernel = "kernel_" + std::to_string(i % 17);
+    p.pareto.resize(5);
+    for (auto& point : p.pareto) {
+      point.config.core_mhz = static_cast<int>(500 + rng.uniform_index(1000));
+      point.config.mem_mhz = static_cast<int>(3000 + rng.uniform_index(1000));
+      point.speedup = rng.uniform(0.5, 1.5);
+      point.energy = rng.uniform(0.5, 1.5);
+      point.heuristic = rng.uniform_index(2) == 1;
+    }
+  }
+
+  std::vector<serve::WireResponse> via_json(n);
+  std::vector<serve::WireResponse> via_binary(n);
+  const double json_ms = time_ms(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          via_json[i] =
+              serve::parse_response(serve::format_response(i + 1, predictions[i]))
+                  .value();
+        }
+      },
+      reps);
+  const double binary_ms = time_ms(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::string framed =
+              serve::binary::format_prediction_frame(i + 1, predictions[i]);
+          via_binary[i] = serve::binary::parse_response(
+                              std::string_view(framed).substr(serve::binary::kHeaderBytes))
+                              .value();
+        }
+      },
+      reps);
+
+  bool identical = true;
+  for (std::size_t i = 0; i < n && identical; ++i) {
+    const auto& a = via_json[i];
+    const auto& b = via_binary[i];
+    identical = a.id == b.id && a.prediction.has_value() && b.prediction.has_value() &&
+                a.prediction->kernel == b.prediction->kernel &&
+                a.prediction->pareto.size() == b.prediction->pareto.size();
+    for (std::size_t k = 0; identical && k < a.prediction->pareto.size(); ++k) {
+      const auto& pa = a.prediction->pareto[k];
+      const auto& pb = b.prediction->pareto[k];
+      identical = pa.config == pb.config && pa.heuristic == pb.heuristic &&
+                  wire_doubles_equal(pa.speedup, pb.speedup) &&
+                  wire_doubles_equal(pa.energy, pb.energy);
+    }
+  }
+  return {"protocol_response_codec", n, json_ms, binary_ms, identical};
+}
+
 // --- serving section ----------------------------------------------------------
 //
 // Throughput and latency of serve::Service — the micro-batching scheduler
@@ -948,6 +1076,14 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> stream_fns =
       smoke ? std::vector<std::size_t>{200} : std::vector<std::size_t>{500, 4000};
   for (std::size_t n : stream_fns) run(bench_stream_featurize(n, reps));
+
+  // protocol_codec: JSON-line framing vs negotiated binary frames, encode +
+  // decode per message batch; "size" is the number of messages per rep.
+  const int codec_reps = smoke ? 3 : 10;
+  const std::vector<std::size_t> codec_sizes =
+      smoke ? std::vector<std::size_t>{500} : std::vector<std::size_t>{2000, 10000};
+  for (std::size_t n : codec_sizes) run(bench_protocol_request_codec(n, codec_reps));
+  for (std::size_t n : codec_sizes) run(bench_protocol_response_codec(n, codec_reps));
 
   // serving: throughput and latency percentiles of serve::Service vs the
   // batching window, concurrent clients hammering one node. Restoring the

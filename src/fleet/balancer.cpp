@@ -15,6 +15,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/log.hpp"
@@ -35,13 +36,27 @@ bool write_all(int fd, std::string_view data, std::chrono::milliseconds timeout)
          common::net::IoStatus::kOk;
 }
 
-common::Result<int> connect_endpoint(const BackendEndpoint& endpoint,
-                                     const serve::ConnectOptions& options) {
+struct BackendConn {
+  int fd = -1;
+  bool binary = false;  // negotiated framing for this backend connection
+};
+
+common::Result<BackendConn> connect_endpoint(const BackendEndpoint& endpoint,
+                                             const serve::ConnectOptions& options) {
   auto client = !endpoint.unix_path.empty()
                     ? serve::SocketClient::connect_unix(endpoint.unix_path, options)
                     : serve::SocketClient::connect_tcp(endpoint.tcp_port, options);
   if (!client.ok()) return client.error();
-  return client.value().release_fd();
+  // Negotiate per backend connection: a mixed fleet (some workers upgraded,
+  // some not) works — each backend is spoken to in its own framing, and
+  // protocol 0 just means this one stays on JSON lines. An IO failure here
+  // is a connect failure (the worker died mid-handshake).
+  auto version = client.value().negotiate_binary();
+  if (!version.ok()) return version.error();
+  BackendConn conn;
+  conn.binary = version.value() >= 1;
+  conn.fd = client.value().release_fd();
+  return conn;
 }
 
 std::string endpoint_name(const BackendEndpoint& endpoint) {
@@ -63,6 +78,11 @@ struct Balancer::Impl {
     std::chrono::steady_clock::time_point arrival;
     int attempts = 0;
     bool internal = false;  // maintenance health ping: no one awaits it
+    /// A chunk-streamed predict_source. The balancer forwards its chunks as
+    /// they arrive and buffers none of them, so the request can NEVER be
+    /// re-dispatched — losing the backend mid-stream surfaces a retryable
+    /// kUnavailable to the client, which still holds the bytes.
+    bool streamed = false;
     std::promise<serve::WireResponse> promise;
   };
   using PendingPtr = std::shared_ptr<Pending>;
@@ -78,6 +98,9 @@ struct Balancer::Impl {
     /// older generation must not touch the (possibly recycled) fd.
     std::uint64_t generation = 0;
     std::atomic<bool> alive{false};
+    /// Framing negotiated for the current connection (re-negotiated on every
+    /// reconnect — a worker may be replaced by an older or newer binary).
+    std::atomic<bool> binary{false};
     bool reader_exited = false;  // reader finished; maintenance may join+close
     std::uint64_t next_id = 1;
     std::map<std::uint64_t, PendingPtr> pending;  // ordered: redispatch in id order
@@ -137,7 +160,7 @@ struct Balancer::Impl {
   void start_reader(Backend& backend);
   void backend_reader(Backend& backend);
   void teardown_backend(Backend& backend);
-  Backend* pick_backend();
+  Backend* pick_backend(bool need_binary = false);
   void dispatch(const PendingPtr& pending);
   void fail_pending(const PendingPtr& pending, const common::Error& error);
   void send_health_ping(Backend& backend);
@@ -161,9 +184,10 @@ common::Result<std::unique_ptr<Balancer>> Balancer::start(
   for (auto& endpoint : backends) {
     auto backend = std::make_unique<Impl::Backend>();
     backend->endpoint = std::move(endpoint);
-    auto fd = connect_endpoint(backend->endpoint, options.connect);
-    if (!fd.ok()) return fd.error();
-    backend->fd = fd.value();
+    auto conn = connect_endpoint(backend->endpoint, options.connect);
+    if (!conn.ok()) return conn.error();
+    backend->fd = conn.value().fd;
+    backend->binary.store(conn.value().binary, std::memory_order_release);
     backend->generation = 1;
     backend->alive.store(true, std::memory_order_release);
     impl.backends.push_back(std::move(backend));
@@ -234,7 +258,7 @@ void Balancer::Impl::start_reader(Backend& backend) {
 
 void Balancer::Impl::backend_reader(Backend& backend) {
   const int fd = backend.fd;  // stable for this reader's lifetime
-  std::string buffer;
+  serve::MessageSplitter splitter(options.max_line_bytes);
   char chunk[4096];
   bool read_loop_done = false;
   // Progress-based liveness: read in short ticks; a backend that stays
@@ -262,17 +286,27 @@ void Balancer::Impl::backend_reader(Backend& backend) {
     }
     if (r.status != common::net::IoStatus::kOk) break;  // EOF, error, shutdown
     last_progress = std::chrono::steady_clock::now();
-    buffer.append(chunk, r.bytes);
+    splitter.feed(std::string_view(chunk, r.bytes));
 
-    std::size_t start = 0;
     for (;;) {
-      const auto nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (line.empty()) continue;
+      auto next = splitter.next();
+      if (!next.ok()) {
+        common::log_warn() << "Balancer: framing fault from "
+                           << endpoint_name(backend.endpoint) << ": "
+                           << next.error().to_string();
+        read_loop_done = true;
+        break;
+      }
+      if (!next.value().has_value()) break;  // need more bytes
+      const serve::WireMessage& message = *next.value();
 
-      auto response = serve::parse_response(line);
+      auto response = [&]() -> common::Result<serve::WireResponse> {
+        if (!message.binary) return serve::parse_response(message.payload);
+        if (message.frame != serve::binary::FrameType::kResponse) {
+          return common::parse_error("Balancer: unexpected frame from worker");
+        }
+        return serve::binary::parse_response(message.payload);
+      }();
       if (!response.ok()) {
         // A worker speaking gibberish cannot be correlated to a pending
         // entry; drop the connection and let teardown re-dispatch.
@@ -303,9 +337,11 @@ void Balancer::Impl::backend_reader(Backend& backend) {
       }
       if (response.value().error.has_value() &&
           response.value().error->code == common::ErrorCode::kUnavailable &&
-          !stopping.load(std::memory_order_acquire)) {
+          !pending->streamed && !stopping.load(std::memory_order_acquire)) {
         // The worker is draining for a graceful restart — move the request
-        // to a live worker instead of surfacing the refusal.
+        // to a live worker instead of surfacing the refusal. A streamed
+        // request cannot move (its chunks were never buffered here): the
+        // refusal goes back to the client, which can retry the stream.
         {
           std::lock_guard lock(stats_mutex);
           ++redispatches;
@@ -315,12 +351,7 @@ void Balancer::Impl::backend_reader(Backend& backend) {
       }
       pending->promise.set_value(std::move(response.value()));
     }
-    buffer.erase(0, start);
-    if (buffer.size() > options.max_line_bytes) {
-      common::log_warn() << "Balancer: overlong response line from "
-                         << endpoint_name(backend.endpoint);
-      break;
-    }
+    if (read_loop_done) break;
   }
   teardown_backend(backend);
 }
@@ -342,17 +373,26 @@ void Balancer::Impl::teardown_backend(Backend& backend) {
   }
   // Re-dispatch in backend-id (= send) order. Order cannot change reply
   // bytes — each reply depends only on its own request — it just keeps the
-  // failover deterministic and easy to reason about.
+  // failover deterministic and easy to reason about. A partially-streamed
+  // request is the one thing that can NOT move: its chunks were forwarded,
+  // not buffered, so only the client can replay them. It fails retryably.
   for (auto& [id, pending] : orphans) {
     (void)id;
     if (pending->internal) continue;
+    if (pending->streamed) {
+      fail_pending(pending,
+                   common::unavailable("Balancer: backend lost mid-stream"));
+      continue;
+    }
     dispatch(pending);
   }
 }
 
-Balancer::Impl::Backend* Balancer::Impl::pick_backend() {
+Balancer::Impl::Backend* Balancer::Impl::pick_backend(bool need_binary) {
   // Least-loaded among the live backends; the rotating scan start makes
   // ties round-robin (the fallback when loads are equal, e.g. all zero).
+  // A chunk stream needs a binary-framing backend — its chunks cannot be
+  // expressed on a JSON-only connection.
   const std::size_t n = backends.size();
   const std::size_t start = rr_next.fetch_add(1, std::memory_order_relaxed) % n;
   Backend* best = nullptr;
@@ -360,6 +400,7 @@ Balancer::Impl::Backend* Balancer::Impl::pick_backend() {
   for (std::size_t i = 0; i < n; ++i) {
     Backend* candidate = backends[(start + i) % n].get();
     if (!candidate->alive.load(std::memory_order_acquire)) continue;
+    if (need_binary && !candidate->binary.load(std::memory_order_acquire)) continue;
     const std::size_t load = candidate->outstanding.load(std::memory_order_relaxed);
     if (best == nullptr || load < best_load) {
       best = candidate;
@@ -431,8 +472,15 @@ void Balancer::Impl::dispatch(const PendingPtr& pending) {
     serve::WireRequest request = pending->request;
     request.id = backend_id;
     if (request.deadline_ms.has_value()) request.deadline_ms = remaining_ms;
-    std::string line = serve::format_request(request);
-    line.push_back('\n');
+    // Speak the backend's negotiated framing; the request itself is
+    // framing-agnostic, so JSON clients ride binary backends and vice versa.
+    std::string line;
+    if (backend->binary.load(std::memory_order_acquire)) {
+      line = serve::binary::format_request_frame(request);
+    } else {
+      line = serve::format_request(request);
+      line.push_back('\n');
+    }
 
     bool written = false;
     {
@@ -535,11 +583,12 @@ void Balancer::Impl::maintenance_loop() {
       }
       if (want_reconnect) {
         serve::ConnectOptions one_shot;  // backoff lives in next_reconnect
-        auto fd = connect_endpoint(backend.endpoint, one_shot);
-        if (fd.ok()) {
+        auto conn = connect_endpoint(backend.endpoint, one_shot);
+        if (conn.ok()) {
           {
             std::lock_guard lock(backend.state_mutex);
-            backend.fd = fd.value();
+            backend.fd = conn.value().fd;
+            backend.binary.store(conn.value().binary, std::memory_order_release);
             ++backend.generation;
             backend.alive.store(true, std::memory_order_release);
           }
@@ -647,9 +696,10 @@ void Balancer::Impl::serve_connection(int fd) {
   // Same pipelined reader/writer split as SocketServer::serve_connection:
   // in-order reply queue, bounded by max_inflight. The difference is where
   // a reply comes from — a promise fulfilled by whichever backend reader
-  // ends up holding the request.
+  // ends up holding the request. Replies mirror their request's framing.
   struct PendingReply {
     std::uint64_t id = 0;
+    bool binary = false;
     std::optional<std::future<serve::WireResponse>> response;
     std::string immediate;
   };
@@ -662,18 +712,30 @@ void Balancer::Impl::serve_connection(int fd) {
       std::string reply;
       if (pending->response.has_value()) {
         serve::WireResponse response = pending->response->get();
-        if (response.prediction.has_value()) {
-          reply = serve::format_response(pending->id, *response.prediction);
-        } else if (response.error.has_value()) {
-          reply = serve::format_error(pending->id, *response.error);
+        const common::Error malformed =
+            common::internal_error("Balancer: malformed backend reply");
+        if (pending->binary) {
+          if (response.prediction.has_value()) {
+            reply = serve::binary::format_prediction_frame(pending->id,
+                                                           *response.prediction);
+          } else if (response.error.has_value()) {
+            reply = serve::binary::format_error_frame(pending->id, *response.error);
+          } else {
+            reply = serve::binary::format_error_frame(pending->id, malformed);
+          }
         } else {
-          reply = serve::format_error(
-              pending->id, common::internal_error("Balancer: malformed backend reply"));
+          if (response.prediction.has_value()) {
+            reply = serve::format_response(pending->id, *response.prediction);
+          } else if (response.error.has_value()) {
+            reply = serve::format_error(pending->id, *response.error);
+          } else {
+            reply = serve::format_error(pending->id, malformed);
+          }
         }
       } else {
         reply = std::move(pending->immediate);
       }
-      reply.push_back('\n');
+      if (!pending->binary) reply.push_back('\n');
       if (!write_all(fd, reply, options.io_timeout)) {
         write_failed.store(true, std::memory_order_relaxed);
         ::shutdown(fd, SHUT_RD);
@@ -681,78 +743,333 @@ void Balancer::Impl::serve_connection(int fd) {
     }
   });
 
-  std::string buffer;
+  auto count_protocol_error = [&] {
+    std::lock_guard slock(stats_mutex);
+    ++protocol_errors;
+  };
+  // Writes one frame to a routed stream's backend under the same
+  // generation-checked double-mutex discipline as dispatch(). Returns false
+  // when the backend is gone (caller marks the route broken).
+  auto write_to_backend = [&](Backend& backend, std::uint64_t generation,
+                              std::string_view bytes) {
+    std::lock_guard wlock(backend.write_mutex);
+    std::lock_guard slock(backend.state_mutex);
+    if (backend.generation != generation || backend.fd < 0) return false;
+    return write_all(backend.fd, bytes, options.io_timeout);
+  };
+
+  // One live chunk stream per client request id: where its frames are being
+  // forwarded. The balancer is a pass-through — it never buffers chunks, so
+  // peak memory per stream is one frame.
+  struct StreamRoute {
+    Backend* backend = nullptr;
+    std::uint64_t backend_id = 0;
+    std::uint64_t generation = 0;
+    PendingPtr pending;
+    bool broken = false;  // forwarding failed; End still surfaces the error
+  };
+  std::unordered_map<std::uint64_t, StreamRoute> routes;
+
+  // Decoded WireRequests from either framing meet here.
+  auto handle_request = [&](serve::WireRequest wire, bool is_binary) {
+    PendingReply pending;
+    pending.binary = is_binary;
+    pending.id = wire.id;
+    if (wire.kind == serve::RequestKind::kHello) {
+      // The balancer negotiates for itself: its client-facing connection
+      // always speaks both framings, whatever the workers speak.
+      const std::uint32_t negotiated =
+          std::min(wire.max_protocol, serve::kProtocolVersion);
+      pending.immediate =
+          is_binary ? serve::binary::format_hello_frame(wire.id, negotiated)
+                    : serve::format_hello_response(wire.id, negotiated);
+      replies.push(std::move(pending));
+      return;
+    }
+    if (wire.kind == serve::RequestKind::kHealth ||
+        wire.kind == serve::RequestKind::kStats) {
+      // The balancer answers for itself — a client asking the fleet
+      // endpoint for health wants the fleet front, not one worker.
+      const auto stats_now = own_wire_stats();
+      if (wire.kind == serve::RequestKind::kHealth) {
+        pending.immediate = is_binary
+                                ? serve::binary::format_health_frame(wire.id, stats_now)
+                                : serve::format_health_response(wire.id, stats_now);
+      } else {
+        pending.immediate = is_binary
+                                ? serve::binary::format_stats_frame(wire.id, stats_now)
+                                : serve::format_stats_response(wire.id, stats_now);
+      }
+      replies.push(std::move(pending));
+      return;
+    }
+    {
+      std::lock_guard slock(stats_mutex);
+      ++requests;
+    }
+    auto forwarded = std::make_shared<Pending>();
+    forwarded->request = std::move(wire);
+    forwarded->arrival = std::chrono::steady_clock::now();
+    pending.response = forwarded->promise.get_future();
+    // Push before dispatch: the queue bound is the pipelining window, and
+    // it must count this request before the next message is decoded.
+    replies.push(std::move(pending));
+    dispatch(forwarded);
+  };
+
+  serve::MessageSplitter splitter(options.max_line_bytes);
   char chunk[4096];
-  bool overlong = false;
+  bool framing_fault = false;
   for (;;) {
     // Blocking (timeout 0): an idle client connection is legitimate.
     const auto rd = common::net::read_some(fd, chunk, sizeof chunk,
                                            std::chrono::milliseconds(0));
     if (rd.status != common::net::IoStatus::kOk) break;
-    buffer.append(chunk, rd.bytes);
+    splitter.feed(std::string_view(chunk, rd.bytes));
 
-    std::size_t start = 0;
     for (;;) {
-      const auto nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
+      auto next = splitter.next();
+      if (!next.ok()) {
+        PendingReply pending;
+        pending.immediate = serve::format_error(0, next.error());
+        replies.push(std::move(pending));
+        framing_fault = true;
+        break;
+      }
+      if (!next.value().has_value()) break;  // need more bytes
+      serve::WireMessage message = std::move(*next.value());
 
-      PendingReply pending;
-      auto request = serve::parse_request(line);
-      if (!request.ok()) {
-        {
-          std::lock_guard slock(stats_mutex);
-          ++protocol_errors;
+      if (!message.binary) {
+        auto request = serve::parse_request(message.payload);
+        if (!request.ok()) {
+          count_protocol_error();
+          PendingReply pending;
+          pending.id = serve::best_effort_id(message.payload);
+          pending.immediate = serve::format_error(pending.id, request.error());
+          replies.push(std::move(pending));
+        } else {
+          handle_request(std::move(request).take(), /*is_binary=*/false);
         }
-        pending.id = serve::best_effort_id(line);
-        pending.immediate = serve::format_error(pending.id, request.error());
-        replies.push(std::move(pending));
         continue;
       }
-      auto& wire = request.value();
-      pending.id = wire.id;
-      if (wire.kind == serve::RequestKind::kHealth ||
-          wire.kind == serve::RequestKind::kStats) {
-        // The balancer answers for itself — a client asking the fleet
-        // endpoint for health wants the fleet front, not one worker.
-        pending.immediate =
-            wire.kind == serve::RequestKind::kHealth
-                ? serve::format_health_response(wire.id, own_wire_stats())
-                : serve::format_stats_response(wire.id, own_wire_stats());
-        replies.push(std::move(pending));
-        continue;
+
+      switch (message.frame) {
+        case serve::binary::FrameType::kRequest: {
+          auto request = serve::binary::parse_request(message.payload);
+          if (!request.ok()) {
+            count_protocol_error();
+            PendingReply pending;
+            pending.binary = true;
+            pending.id = serve::binary::best_effort_id(message.payload);
+            pending.immediate =
+                serve::binary::format_error_frame(pending.id, request.error());
+            replies.push(std::move(pending));
+          } else {
+            handle_request(std::move(request).take(), /*is_binary=*/true);
+          }
+          break;
+        }
+        case serve::binary::FrameType::kSourceBegin: {
+          auto begin = serve::binary::parse_source_begin(message.payload);
+          if (!begin.ok()) {
+            count_protocol_error();
+            PendingReply pending;
+            pending.binary = true;
+            pending.id = serve::binary::best_effort_id(message.payload);
+            pending.immediate =
+                serve::binary::format_error_frame(pending.id, begin.error());
+            replies.push(std::move(pending));
+            break;
+          }
+          auto& open = begin.value();
+          if (routes.find(open.id) != routes.end()) {
+            count_protocol_error();
+            PendingReply pending;
+            pending.binary = true;
+            pending.id = open.id;
+            pending.immediate = serve::binary::format_error_frame(
+                open.id, common::parse_error("binary: duplicate stream id"));
+            replies.push(std::move(pending));
+            break;
+          }
+          {
+            std::lock_guard slock(stats_mutex);
+            ++requests;
+          }
+          auto pending_entry = std::make_shared<Pending>();
+          pending_entry->streamed = true;
+          pending_entry->request.id = open.id;
+          pending_entry->request.kind = serve::RequestKind::kPredictSource;
+          pending_entry->request.deadline_ms = open.deadline_ms;
+          pending_entry->arrival = std::chrono::steady_clock::now();
+          // Route selection retries write failures like dispatch(), but only
+          // for the Begin frame — once a chunk has been forwarded the stream
+          // is pinned to its backend.
+          StreamRoute route;
+          route.pending = pending_entry;
+          bool routed = false;
+          while (pending_entry->attempts < options.max_dispatch_attempts &&
+                 !stopping.load(std::memory_order_acquire)) {
+            Backend* backend = pick_backend(/*need_binary=*/true);
+            if (backend == nullptr) break;
+            ++pending_entry->attempts;
+            std::uint64_t backend_id = 0;
+            std::uint64_t generation = 0;
+            {
+              std::lock_guard lock(backend->state_mutex);
+              if (!backend->alive.load(std::memory_order_relaxed)) continue;
+              backend_id = backend->next_id++;
+              generation = backend->generation;
+              backend->pending.emplace(backend_id, pending_entry);
+            }
+            backend->outstanding.fetch_add(1, std::memory_order_relaxed);
+            serve::binary::SourceBegin fwd;
+            fwd.id = backend_id;
+            fwd.kernel = open.kernel;
+            fwd.deadline_ms = open.deadline_ms;
+            if (write_to_backend(*backend, generation,
+                                 serve::binary::format_source_begin(fwd))) {
+              backend->routed.fetch_add(1, std::memory_order_relaxed);
+              route.backend = backend;
+              route.backend_id = backend_id;
+              route.generation = generation;
+              routed = true;
+              break;
+            }
+            bool ours = false;
+            {
+              std::lock_guard lock(backend->state_mutex);
+              ours = backend->pending.erase(backend_id) > 0;
+              if (backend->generation == generation && backend->fd >= 0) {
+                ::shutdown(backend->fd, SHUT_RDWR);
+              }
+            }
+            if (ours) backend->outstanding.fetch_sub(1, std::memory_order_relaxed);
+          }
+          if (!routed) {
+            PendingReply pending;
+            pending.binary = true;
+            pending.id = open.id;
+            pending.immediate = serve::binary::format_error_frame(
+                open.id,
+                common::unavailable("Balancer: no stream-capable worker"));
+            replies.push(std::move(pending));
+            break;
+          }
+          routes.emplace(open.id, std::move(route));
+          break;
+        }
+        case serve::binary::FrameType::kSourceChunk: {
+          auto source_chunk = serve::binary::parse_source_chunk(message.payload);
+          if (!source_chunk.ok()) {
+            count_protocol_error();
+            break;
+          }
+          auto it = routes.find(source_chunk.value().id);
+          if (it == routes.end()) {
+            count_protocol_error();
+            break;
+          }
+          StreamRoute& route = it->second;
+          if (route.broken) break;  // error already owed at End
+          if (!write_to_backend(*route.backend, route.generation,
+                                serve::binary::format_source_chunk(
+                                    route.backend_id, source_chunk.value().data))) {
+            // Backend died mid-stream: the teardown fails the pending entry
+            // with a retryable error; stop forwarding, keep the route so the
+            // client's End still collects that error in order.
+            route.broken = true;
+          }
+          break;
+        }
+        case serve::binary::FrameType::kSourceEnd: {
+          auto end = serve::binary::parse_source_end(message.payload);
+          if (!end.ok()) {
+            count_protocol_error();
+            break;
+          }
+          auto it = routes.find(end.value());
+          if (it == routes.end()) {
+            count_protocol_error();
+            break;
+          }
+          StreamRoute& route = it->second;
+          if (!route.broken &&
+              !write_to_backend(*route.backend, route.generation,
+                                serve::binary::format_source_end(route.backend_id))) {
+            route.broken = true;
+          }
+          // The reply slot is taken at End — matching the worker, which also
+          // answers streams at End; a broken route's promise is resolved by
+          // the backend teardown, never left dangling.
+          PendingReply pending;
+          pending.binary = true;
+          pending.id = end.value();
+          pending.response = route.pending->promise.get_future();
+          routes.erase(it);
+          replies.push(std::move(pending));
+          break;
+        }
+        case serve::binary::FrameType::kSourceAbort: {
+          auto abort = serve::binary::parse_source_abort(message.payload);
+          if (!abort.ok()) {
+            count_protocol_error();
+            break;
+          }
+          auto it = routes.find(abort.value());
+          if (it == routes.end()) {
+            count_protocol_error();
+            break;
+          }
+          StreamRoute& route = it->second;
+          if (!route.broken) {
+            (void)write_to_backend(*route.backend, route.generation,
+                                   serve::binary::format_source_abort(route.backend_id));
+          }
+          // The worker never answers an abort — reclaim the pending entry
+          // ourselves (backend ids are never reused, so a stale erase is a
+          // harmless no-op).
+          {
+            std::lock_guard lock(route.backend->state_mutex);
+            if (route.backend->pending.erase(route.backend_id) > 0) {
+              route.backend->outstanding.fetch_sub(1, std::memory_order_relaxed);
+            }
+          }
+          routes.erase(it);
+          break;
+        }
+        case serve::binary::FrameType::kResponse: {
+          count_protocol_error();
+          PendingReply pending;
+          pending.binary = true;
+          pending.id = serve::binary::best_effort_id(message.payload);
+          pending.immediate = serve::binary::format_error_frame(
+              pending.id,
+              common::parse_error("binary: unexpected response frame"));
+          replies.push(std::move(pending));
+          break;
+        }
       }
-      {
-        std::lock_guard slock(stats_mutex);
-        ++requests;
-      }
-      auto forwarded = std::make_shared<Pending>();
-      forwarded->request = std::move(wire);
-      forwarded->arrival = std::chrono::steady_clock::now();
-      pending.response = forwarded->promise.get_future();
-      // Push before dispatch: the queue bound is the pipelining window, and
-      // it must count this request before the next line is decoded.
-      replies.push(std::move(pending));
-      dispatch(forwarded);
     }
-    buffer.erase(0, start);
-    if (buffer.size() > options.max_line_bytes) {
-      PendingReply pending;
-      pending.immediate = serve::format_error(
-          0, common::invalid_argument("protocol: request line exceeds " +
-                                      std::to_string(options.max_line_bytes) +
-                                      " bytes"));
-      replies.push(std::move(pending));
-      overlong = true;
-      break;
+    if (framing_fault) break;
+  }
+  // A connection that dies with open streams: tell their backends to drop
+  // the half-streamed requests (best effort) and reclaim the entries, so a
+  // worker never waits on chunks that can no longer arrive.
+  for (auto& [id, route] : routes) {
+    (void)id;
+    if (!route.broken) {
+      (void)write_to_backend(*route.backend, route.generation,
+                             serve::binary::format_source_abort(route.backend_id));
+    }
+    std::lock_guard lock(route.backend->state_mutex);
+    if (route.backend->pending.erase(route.backend_id) > 0) {
+      route.backend->outstanding.fetch_sub(1, std::memory_order_relaxed);
     }
   }
   replies.close();
   writer.join();
-  if (overlong) {
+  if (framing_fault) {
     std::lock_guard slock(stats_mutex);
     ++protocol_errors;
   }

@@ -115,7 +115,8 @@ SocketClient::SocketClient(SocketClient&& other) noexcept
       io_timeout_(other.io_timeout_),
       deadline_ms_(other.deadline_ms_),
       next_id_(other.next_id_),
-      buffer_(std::move(other.buffer_)) {}
+      binary_(other.binary_),
+      splitter_(std::move(other.splitter_)) {}
 
 SocketClient& SocketClient::operator=(SocketClient&& other) noexcept {
   if (this != &other) {
@@ -124,7 +125,8 @@ SocketClient& SocketClient::operator=(SocketClient&& other) noexcept {
     io_timeout_ = other.io_timeout_;
     deadline_ms_ = other.deadline_ms_;
     next_id_ = other.next_id_;
-    buffer_ = std::move(other.buffer_);
+    binary_ = other.binary_;
+    splitter_ = std::move(other.splitter_);
   }
   return *this;
 }
@@ -140,7 +142,7 @@ common::Result<core::Predictor::KernelPrediction> SocketClient::predict(
   request.kernel = kernel;
   request.features = counts;
   request.deadline_ms = deadline_ms_;
-  return round_trip(format_request(request), request.id);
+  return round_trip(request);
 }
 
 common::Result<core::Predictor::KernelPrediction> SocketClient::predict(
@@ -152,10 +154,75 @@ common::Result<core::Predictor::KernelPrediction> SocketClient::predict_source(
     const std::string& opencl_source, const std::string& kernel_name) {
   WireRequest request;
   request.id = next_id_++;
+  request.kind = RequestKind::kPredictSource;
   request.kernel = kernel_name;
   request.source = opencl_source;
   request.deadline_ms = deadline_ms_;
-  return round_trip(format_request(request), request.id);
+  return round_trip(request);
+}
+
+common::Result<core::Predictor::KernelPrediction> SocketClient::predict_source_stream(
+    const ChunkProvider& next_chunk, const std::string& kernel_name) {
+  if (!binary_) {
+    // JSON peers have no chunk framing: gather the stream and fall back to
+    // one predict_source request. Same answer (chunk invariance), but the
+    // whole source crosses the wire as one line.
+    std::string source;
+    while (auto chunk = next_chunk()) source += *chunk;
+    return predict_source(source, kernel_name);
+  }
+  const std::uint64_t id = next_id_++;
+  binary::SourceBegin begin;
+  begin.id = id;
+  begin.kernel = kernel_name;
+  begin.deadline_ms = deadline_ms_;
+  if (auto st = send_raw(binary::format_source_begin(begin)); !st.ok()) {
+    return st.error();
+  }
+  // Re-split provider chunks so one frame never exceeds a size every
+  // reasonable server-side frame bound accepts — the provider's chunking is
+  // a caller convenience, not the wire's.
+  constexpr std::size_t kMaxChunkFrame = 64u << 10;
+  while (auto chunk = next_chunk()) {
+    std::string_view rest(*chunk);
+    while (!rest.empty()) {
+      const std::size_t take = std::min(rest.size(), kMaxChunkFrame);
+      if (auto st = send_raw(binary::format_source_chunk(id, rest.substr(0, take)));
+          !st.ok()) {
+        return st.error();
+      }
+      rest.remove_prefix(take);
+    }
+  }
+  if (auto st = send_raw(binary::format_source_end(id)); !st.ok()) {
+    return st.error();
+  }
+  return read_response(id);
+}
+
+common::Result<std::uint32_t> SocketClient::negotiate_binary() {
+  WireRequest request;
+  request.id = next_id_++;
+  request.kind = RequestKind::kHello;
+  request.max_protocol = kProtocolVersion;
+  // The offer itself always goes as JSON — the one framing every peer,
+  // however old, can parse.
+  if (auto st = send_line(format_request(request)); !st.ok()) return st.error();
+  auto response = read_wire(request.id);
+  if (!response.ok()) return response.error();
+  if (response.value().error.has_value()) {
+    // Any well-formed error reply proves the peer frames JSON correctly but
+    // does not serve hello (a pre-hello server's "unknown request type", a
+    // shedding backend's "unavailable"): that is the downgrade signal, not a
+    // failure — stay on JSON.
+    return 0;
+  }
+  if (!response.value().protocol.has_value()) {
+    return common::parse_error("SocketClient: expected a hello response");
+  }
+  const std::uint32_t version = std::min(*response.value().protocol, kProtocolVersion);
+  binary_ = version >= 1;
+  return version;
 }
 
 std::vector<common::Result<core::Predictor::KernelPrediction>>
@@ -187,10 +254,11 @@ SocketClient::predict_source_many(
     }
     WireRequest request;
     request.id = next_id_++;
+    request.kind = RequestKind::kPredictSource;
     request.kernel = source.kernel;
     request.source = source.source;
     request.deadline_ms = deadline_ms_;
-    send_status = send_line(format_request(request));
+    send_status = send_request(request);
     if (!send_status.ok()) break;
     ++sent;
   }
@@ -203,10 +271,9 @@ SocketClient::predict_source_many(
   return out;
 }
 
-common::Status SocketClient::send_line(std::string line) {
+common::Status SocketClient::send_raw(std::string bytes) {
   if (fd_ < 0) return common::io_error("SocketClient: not connected");
-  line.push_back('\n');
-  const auto result = common::net::write_all(fd_, line, io_timeout_);
+  const auto result = common::net::write_all(fd_, bytes, io_timeout_);
   switch (result.status) {
     case common::net::IoStatus::kOk:
       return common::Status::Ok();
@@ -220,14 +287,30 @@ common::Status SocketClient::send_line(std::string line) {
   }
 }
 
+common::Status SocketClient::send_line(std::string line) {
+  line.push_back('\n');
+  return send_raw(std::move(line));
+}
+
+common::Status SocketClient::send_request(const WireRequest& request) {
+  return binary_ ? send_raw(binary::format_request_frame(request))
+                 : send_line(format_request(request));
+}
+
 common::Result<WireResponse> SocketClient::read_wire(std::uint64_t expect_id) {
   if (fd_ < 0) return common::io_error("SocketClient: not connected");
   for (;;) {
-    const auto nl = buffer_.find('\n');
-    if (nl != std::string::npos) {
-      std::string reply = buffer_.substr(0, nl);
-      buffer_.erase(0, nl + 1);
-      auto response = parse_response(reply);
+    auto next = splitter_.next();
+    if (!next.ok()) return next.error();
+    if (next.value().has_value()) {
+      const WireMessage& message = *next.value();
+      common::Result<WireResponse> response = [&]() -> common::Result<WireResponse> {
+        if (!message.binary) return parse_response(message.payload);
+        if (message.frame != binary::FrameType::kResponse) {
+          return common::parse_error("SocketClient: unexpected frame from server");
+        }
+        return binary::parse_response(message.payload);
+      }();
       if (!response.ok()) return response.error();
       if (response.value().id != expect_id) {
         return common::internal_error(
@@ -248,7 +331,7 @@ common::Result<WireResponse> SocketClient::read_wire(std::uint64_t expect_id) {
     if (r.status == common::net::IoStatus::kEof) {
       return common::io_error("SocketClient: server closed the connection");
     }
-    buffer_.append(chunk, r.bytes);
+    splitter_.feed(std::string_view(chunk, r.bytes));
   }
 }
 
@@ -267,7 +350,7 @@ common::Result<WireStats> SocketClient::introspect(RequestKind kind) {
   WireRequest request;
   request.id = next_id_++;
   request.kind = kind;
-  if (auto st = send_line(format_request(request)); !st.ok()) return st.error();
+  if (auto st = send_request(request); !st.ok()) return st.error();
   auto response = read_wire(request.id);
   if (!response.ok()) return response.error();
   if (response.value().error.has_value()) return *response.value().error;
@@ -280,11 +363,13 @@ common::Result<WireStats> SocketClient::introspect(RequestKind kind) {
 common::Result<std::string> SocketClient::raw_round_trip(const std::string& line) {
   if (auto st = send_line(line); !st.ok()) return st.error();
   for (;;) {
-    const auto nl = buffer_.find('\n');
-    if (nl != std::string::npos) {
-      std::string reply = buffer_.substr(0, nl);
-      buffer_.erase(0, nl + 1);
-      return reply;
+    auto next = splitter_.next();
+    if (!next.ok()) return next.error();
+    if (next.value().has_value()) {
+      if (next.value()->binary) {
+        return common::parse_error("SocketClient: unexpected binary frame");
+      }
+      return std::move(next.value()->payload);
     }
     char chunk[4096];
     const auto r = common::net::read_some(fd_, chunk, sizeof chunk, io_timeout_);
@@ -298,7 +383,7 @@ common::Result<std::string> SocketClient::raw_round_trip(const std::string& line
     if (r.status == common::net::IoStatus::kEof) {
       return common::io_error("SocketClient: server closed the connection");
     }
-    buffer_.append(chunk, r.bytes);
+    splitter_.feed(std::string_view(chunk, r.bytes));
   }
 }
 
@@ -311,9 +396,9 @@ common::Result<WireStats> SocketClient::stats() {
 }
 
 common::Result<core::Predictor::KernelPrediction> SocketClient::round_trip(
-    const std::string& request_line, std::uint64_t expect_id) {
-  if (auto st = send_line(request_line); !st.ok()) return st.error();
-  return read_response(expect_id);
+    const WireRequest& request) {
+  if (auto st = send_request(request); !st.ok()) return st.error();
+  return read_response(request.id);
 }
 
 }  // namespace repro::serve

@@ -1,6 +1,6 @@
 // A small blocking client for the repro_serve wire protocol: connect to a
-// Unix or TCP endpoint, send line-delimited JSON requests, read response
-// lines. predict/predict_source are strict request→response round trips;
+// Unix or TCP endpoint, send line-delimited JSON requests (or, after
+// negotiate_binary(), length-prefixed binary frames), read responses. predict/predict_source are strict request→response round trips;
 // predict_source_many pipelines — all requests are written back-to-back and
 // the responses (which the server returns in request order) are read
 // afterwards, filling the server's micro-batching window from one
@@ -16,9 +16,11 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -75,6 +77,32 @@ class SocketClient {
   [[nodiscard]] std::vector<common::Result<core::Predictor::KernelPrediction>>
   predict_source_many(const std::vector<core::Predictor::SourceRequest>& sources);
 
+  /// Pulls the next source chunk; nullopt ends the stream (an engaged empty
+  /// string is a legal chunk that sends nothing).
+  using ChunkProvider = std::function<std::optional<std::string>()>;
+
+  /// Streamed predict_source: chunks are framed and written as they are
+  /// pulled from the provider, so neither side ever holds the whole source —
+  /// the way to serve a file larger than the server's max_line_bytes. Needs
+  /// a negotiated binary connection; on a JSON connection the chunks are
+  /// concatenated into one ordinary predict_source request (correct, but
+  /// subject to the server's line bound). The reply is bit-identical to
+  /// predict_source on the concatenated bytes at any chunk split.
+  [[nodiscard]] common::Result<core::Predictor::KernelPrediction>
+  predict_source_stream(const ChunkProvider& next_chunk,
+                        const std::string& kernel_name = {});
+
+  /// Offer the server binary framing (one "hello" round trip). Returns the
+  /// negotiated protocol version: >= 1 switches this client's subsequent
+  /// requests to binary frames, 0 means the peer is JSON-only (any error
+  /// reply — an old server's "unknown request type", a shedding backend's
+  /// "unavailable" — is treated as 0, not a failure) and the connection
+  /// stays on JSON lines either way — no desync.
+  [[nodiscard]] common::Result<std::uint32_t> negotiate_binary();
+
+  /// True once negotiate_binary() settled on protocol >= 1.
+  [[nodiscard]] bool binary() const noexcept { return binary_; }
+
   /// Default latency budget stamped on every subsequent prediction request
   /// (wire "deadline_ms"). The server answers deadline_exceeded instead of
   /// predicting once the budget runs out. nullopt (the default) sends no
@@ -98,26 +126,35 @@ class SocketClient {
   /// client. The fleet balancer pools backend connections this way: connect
   /// with the shared backoff logic here, then run its own reader on the fd.
   [[nodiscard]] int release_fd() noexcept {
-    buffer_.clear();
+    splitter_ = MessageSplitter(kMaxMessageBytes);
+    binary_ = false;
     return std::exchange(fd_, -1);
   }
 
  private:
+  /// Reply-side buffering bound — far above any real reply, it only guards
+  /// against a garbage peer whose bytes never frame a message.
+  static constexpr std::size_t kMaxMessageBytes = 64u << 20;
+
   SocketClient(int fd, std::chrono::milliseconds io_timeout)
       : fd_(fd), io_timeout_(io_timeout) {}
+  [[nodiscard]] common::Status send_raw(std::string bytes);
   [[nodiscard]] common::Status send_line(std::string line);
+  /// Format per the negotiated framing and send.
+  [[nodiscard]] common::Status send_request(const WireRequest& request);
   [[nodiscard]] common::Result<WireResponse> read_wire(std::uint64_t expect_id);
   [[nodiscard]] common::Result<core::Predictor::KernelPrediction> read_response(
       std::uint64_t expect_id);
   [[nodiscard]] common::Result<core::Predictor::KernelPrediction> round_trip(
-      const std::string& request_line, std::uint64_t expect_id);
+      const WireRequest& request);
   [[nodiscard]] common::Result<WireStats> introspect(RequestKind kind);
 
   int fd_ = -1;
   std::chrono::milliseconds io_timeout_{30000};
   std::optional<double> deadline_ms_;
   std::uint64_t next_id_ = 1;
-  std::string buffer_;  // bytes read past the last response line
+  bool binary_ = false;  // negotiated framing for requests this client sends
+  MessageSplitter splitter_{kMaxMessageBytes};  // reply reassembly, both framings
 };
 
 }  // namespace repro::serve

@@ -1,11 +1,14 @@
 #include "serve/protocol.hpp"
 
+#include <bit>
 #include <cctype>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <system_error>
+#include <utility>
 
 namespace repro::serve {
 
@@ -433,6 +436,27 @@ common::Result<WireRequest> parse_request(const std::string& line) {
       request.kind = t == "health" ? RequestKind::kHealth : RequestKind::kStats;
       return request;
     }
+    if (t == "hello") {
+      // Binary-framing negotiation. A server without this branch answers
+      // "unknown request type" — exactly the signal a client needs to stay
+      // on JSON lines, so the handshake downgrades instead of desyncing.
+      if (features != nullptr || source != nullptr) {
+        return common::parse_error("protocol: \"hello\" requests carry no payload");
+      }
+      const JsonValue* max = doc.value().find("max_protocol");
+      if (max == nullptr || !max->is_number()) {
+        return common::parse_error(
+            "protocol: \"hello\" needs a numeric \"max_protocol\"");
+      }
+      const double v = max->as_number();
+      if (!(v >= 0) || v != std::floor(v) || v > 4.0e9) {
+        return common::parse_error(
+            "protocol: \"max_protocol\" must be a small non-negative integer");
+      }
+      request.kind = RequestKind::kHello;
+      request.max_protocol = static_cast<std::uint32_t>(v);
+      return request;
+    }
     if (t != "predict" && t != "predict_source") {
       return common::parse_error("protocol: unknown request type \"" + t + "\"");
     }
@@ -482,6 +506,10 @@ std::string format_request(const WireRequest& request) {
   std::string out = "{\"id\":" + std::to_string(request.id);
   if (request.kind == RequestKind::kHealth) return out + ",\"type\":\"health\"}";
   if (request.kind == RequestKind::kStats) return out + ",\"type\":\"stats\"}";
+  if (request.kind == RequestKind::kHello) {
+    return out + ",\"type\":\"hello\",\"max_protocol\":" +
+           std::to_string(request.max_protocol) + "}";
+  }
   // Feature requests stay in the legacy (type-free) framing so old servers
   // keep accepting them; source requests name the predict_source type.
   if (request.source.has_value()) out += ",\"type\":\"predict_source\"";
@@ -547,8 +575,13 @@ std::string format_stats_response(std::uint64_t id, const WireStats& stats) {
          ",\"cache_misses\":" + std::to_string(stats.cache_misses) +
          ",\"shed\":" + std::to_string(stats.shed) +
          ",\"deadline_exceeded\":" + std::to_string(stats.deadline_exceeded) +
-         "}}";
+         ",\"streamed\":" + std::to_string(stats.streamed) + "}}";
   return out;
+}
+
+std::string format_hello_response(std::uint64_t id, std::uint32_t protocol) {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"hello\":{\"protocol\":" + std::to_string(protocol) + "}}";
 }
 
 std::string format_error(std::uint64_t id, const common::Error& error) {
@@ -585,6 +618,21 @@ common::Result<WireResponse> parse_response(const std::string& line) {
     e.message = message != nullptr && message->is_string() ? message->as_string()
                                                            : "unknown remote error";
     response.error = std::move(e);
+    return response;
+  }
+
+  if (const JsonValue* hello = doc.value().find("hello"); hello != nullptr) {
+    const JsonValue* protocol = hello->find("protocol");
+    if (protocol == nullptr || !protocol->is_number()) {
+      return common::parse_error(
+          "protocol: \"hello\" response needs a numeric \"protocol\"");
+    }
+    const double v = protocol->as_number();
+    if (!(v >= 0) || v != std::floor(v) || v > 4.0e9) {
+      return common::parse_error(
+          "protocol: \"protocol\" must be a small non-negative integer");
+    }
+    response.protocol = static_cast<std::uint32_t>(v);
     return response;
   }
 
@@ -630,10 +678,12 @@ common::Result<WireResponse> parse_response(const std::string& line) {
                               {"cache_hits", &stats.cache_hits},
                               {"cache_misses", &stats.cache_misses},
                               {"shed", &stats.shed},
-                              {"deadline_exceeded", &stats.deadline_exceeded}}) {
+                              {"deadline_exceeded", &stats.deadline_exceeded},
+                              {"streamed", &stats.streamed}}) {
       if (auto st = read_counter(key, *field); !st.ok()) return st.error();
     }
     response.stats = stats;
+    response.health = health != nullptr;
     return response;
   }
 
@@ -688,6 +738,575 @@ std::uint64_t best_effort_id(const std::string& line) {
   if (!doc.ok() || !doc.value().is_object()) return 0;
   auto id = require_id(doc.value());
   return id.ok() ? id.value() : 0;
+}
+
+// --- binary framing -----------------------------------------------------------
+
+namespace binary {
+
+namespace {
+
+// Request kind and response body codes on the wire. Fixed numbers, not the
+// enum's values: the enum may be reordered, the wire must not.
+constexpr std::uint8_t kWirePredict = 0;
+constexpr std::uint8_t kWirePredictSource = 1;
+constexpr std::uint8_t kWireHealth = 2;
+constexpr std::uint8_t kWireStats = 3;
+constexpr std::uint8_t kWireHello = 4;
+
+constexpr std::uint8_t kBodyPrediction = 0;
+constexpr std::uint8_t kBodyError = 1;
+constexpr std::uint8_t kBodyHealth = 2;
+constexpr std::uint8_t kBodyStats = 3;
+constexpr std::uint8_t kBodyHello = 4;
+
+constexpr std::uint8_t kFlagDeadline = 0x01;
+
+// u32(core) + u32(mem) + f64(speedup) + f64(energy) + u8(heuristic)
+constexpr std::size_t kPointBytes = 4 + 4 + 8 + 8 + 1;
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Doubles travel as their binary64 bit pattern: exact for every value a
+/// double can hold, including inf/nan payloads and denormals — the binary
+/// counterpart of the JSON framing's shortest-round-trip to_chars.
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+common::Error truncated() {
+  return common::parse_error("binary: truncated payload");
+}
+
+/// Bounds-checked little-endian reader over one frame payload. Every
+/// accessor fails (never overreads) when fewer bytes remain than it needs —
+/// the property the fuzzer drives with length-prefix lies and mid-frame
+/// truncation.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+  common::Result<std::uint8_t> u8() {
+    if (remaining() < 1) return truncated();
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  common::Result<std::uint32_t> u32() {
+    if (remaining() < 4) return truncated();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  common::Result<std::uint64_t> u64() {
+    if (remaining() < 8) return truncated();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  common::Result<double> f64() {
+    auto bits = u64();
+    if (!bits.ok()) return bits.error();
+    return std::bit_cast<double>(bits.value());
+  }
+
+  common::Result<std::string_view> str() {
+    auto len = u32();
+    if (!len.ok()) return len.error();
+    // The length is validated against what actually arrived before any
+    // allocation — a lying prefix cannot trigger a huge reserve or a read
+    // past the payload.
+    if (len.value() > remaining()) return truncated();
+    std::string_view s = data_.substr(pos_, len.value());
+    pos_ += len.value();
+    return s;
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+common::Error trailing_bytes() {
+  return common::parse_error("binary: trailing bytes after payload");
+}
+
+/// The shared (id, kind/flags, deadline, kernel) prefix of request-like
+/// payloads.
+common::Status read_deadline(Reader& reader, std::uint8_t flags,
+                             std::optional<double>& out) {
+  if ((flags & ~kFlagDeadline) != 0) {
+    return common::parse_error("binary: unknown request flags");
+  }
+  if ((flags & kFlagDeadline) != 0) {
+    auto deadline = reader.f64();
+    if (!deadline.ok()) return deadline.error();
+    if (!std::isfinite(deadline.value())) {
+      return common::parse_error("binary: deadline_ms must be finite");
+    }
+    out = deadline.value();
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+std::string frame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.push_back(static_cast<char>(kMagic));
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::string format_request_frame(const WireRequest& request) {
+  std::string payload;
+  put_u64(payload, request.id);
+  // Like the JSON formatter, the payload member decides between the two
+  // predict kinds — a request built with source set but kind left at its
+  // default still encodes as predict_source.
+  RequestKind effective = request.kind;
+  if (effective == RequestKind::kPredict && request.source.has_value()) {
+    effective = RequestKind::kPredictSource;
+  }
+  std::uint8_t kind = kWirePredict;
+  switch (effective) {
+    case RequestKind::kPredict: kind = kWirePredict; break;
+    case RequestKind::kPredictSource: kind = kWirePredictSource; break;
+    case RequestKind::kHealth: kind = kWireHealth; break;
+    case RequestKind::kStats: kind = kWireStats; break;
+    case RequestKind::kHello: kind = kWireHello; break;
+  }
+  put_u8(payload, kind);
+  // Deadlines only ride on the predict kinds (introspection and hello are
+  // answered on the connection thread, never queued) — matching the JSON
+  // formatter, so the two framings encode one logical request identically.
+  const bool deadline =
+      request.deadline_ms.has_value() && (effective == RequestKind::kPredict ||
+                                          effective == RequestKind::kPredictSource);
+  put_u8(payload, deadline ? kFlagDeadline : 0);
+  if (deadline) put_f64(payload, *request.deadline_ms);
+  put_str(payload, request.kernel);
+  switch (effective) {
+    case RequestKind::kPredict:
+      put_u8(payload, static_cast<std::uint8_t>(clfront::kNumFeatures));
+      for (double f : request.features.value_or(
+               std::array<double, clfront::kNumFeatures>{})) {
+        put_f64(payload, f);
+      }
+      break;
+    case RequestKind::kPredictSource:
+      put_str(payload, request.source.value_or(std::string()));
+      break;
+    case RequestKind::kHello: put_u32(payload, request.max_protocol); break;
+    case RequestKind::kHealth:
+    case RequestKind::kStats: break;
+  }
+  return frame(FrameType::kRequest, payload);
+}
+
+common::Result<WireRequest> parse_request(std::string_view payload) {
+  Reader reader(payload);
+  WireRequest request;
+  auto id = reader.u64();
+  if (!id.ok()) return id.error();
+  request.id = id.value();
+  auto kind = reader.u8();
+  if (!kind.ok()) return kind.error();
+  auto flags = reader.u8();
+  if (!flags.ok()) return flags.error();
+  if (auto st = read_deadline(reader, flags.value(), request.deadline_ms); !st.ok()) {
+    return st.error();
+  }
+  auto kernel = reader.str();
+  if (!kernel.ok()) return kernel.error();
+  request.kernel = std::string(kernel.value());
+  switch (kind.value()) {
+    case kWirePredict: {
+      request.kind = RequestKind::kPredict;
+      auto count = reader.u8();
+      if (!count.ok()) return count.error();
+      if (count.value() != clfront::kNumFeatures) {
+        return common::parse_error("binary: predict needs exactly " +
+                                   std::to_string(clfront::kNumFeatures) +
+                                   " features");
+      }
+      std::array<double, clfront::kNumFeatures> counts{};
+      for (auto& c : counts) {
+        auto f = reader.f64();
+        if (!f.ok()) return f.error();
+        // Same rule as the JSON parse: non-finite counts would surface as a
+        // whole-reply failure downstream instead of a per-request error.
+        if (!std::isfinite(f.value())) {
+          return common::parse_error("binary: features must be finite");
+        }
+        c = f.value();
+      }
+      request.features = counts;
+      break;
+    }
+    case kWirePredictSource: {
+      request.kind = RequestKind::kPredictSource;
+      auto source = reader.str();
+      if (!source.ok()) return source.error();
+      request.source = std::string(source.value());
+      break;
+    }
+    case kWireHealth: request.kind = RequestKind::kHealth; break;
+    case kWireStats: request.kind = RequestKind::kStats; break;
+    case kWireHello: {
+      request.kind = RequestKind::kHello;
+      auto max = reader.u32();
+      if (!max.ok()) return max.error();
+      request.max_protocol = max.value();
+      break;
+    }
+    default: return common::parse_error("binary: unknown request kind");
+  }
+  if (!reader.done()) return trailing_bytes();
+  return request;
+}
+
+std::string format_prediction_frame(std::uint64_t id,
+                                    const core::Predictor::KernelPrediction& p) {
+  std::string payload;
+  put_u64(payload, id);
+  put_u8(payload, kBodyPrediction);
+  put_str(payload, p.kernel);
+  put_u32(payload, static_cast<std::uint32_t>(p.pareto.size()));
+  for (const auto& point : p.pareto) {
+    put_u32(payload, static_cast<std::uint32_t>(point.config.core_mhz));
+    put_u32(payload, static_cast<std::uint32_t>(point.config.mem_mhz));
+    put_f64(payload, point.speedup);
+    put_f64(payload, point.energy);
+    put_u8(payload, point.heuristic ? 1 : 0);
+  }
+  return frame(FrameType::kResponse, payload);
+}
+
+std::string format_error_frame(std::uint64_t id, const common::Error& error) {
+  std::string payload;
+  put_u64(payload, id);
+  put_u8(payload, kBodyError);
+  put_u8(payload, static_cast<std::uint8_t>(error.code));
+  put_str(payload, error.message);
+  return frame(FrameType::kResponse, payload);
+}
+
+std::string format_health_frame(std::uint64_t id, const WireStats& stats) {
+  std::string payload;
+  put_u64(payload, id);
+  put_u8(payload, kBodyHealth);
+  put_f64(payload, stats.uptime_s);
+  put_u64(payload, stats.queue_depth);
+  return frame(FrameType::kResponse, payload);
+}
+
+std::string format_stats_frame(std::uint64_t id, const WireStats& stats) {
+  std::string payload;
+  put_u64(payload, id);
+  put_u8(payload, kBodyStats);
+  put_f64(payload, stats.uptime_s);
+  put_u64(payload, stats.queue_depth);
+  put_u64(payload, stats.requests);
+  put_u64(payload, stats.source_requests);
+  put_u64(payload, stats.batches);
+  put_u64(payload, stats.connections);
+  put_u64(payload, stats.protocol_errors);
+  put_u64(payload, stats.cache_hits);
+  put_u64(payload, stats.cache_misses);
+  put_u64(payload, stats.shed);
+  put_u64(payload, stats.deadline_exceeded);
+  put_u64(payload, stats.streamed);
+  return frame(FrameType::kResponse, payload);
+}
+
+std::string format_hello_frame(std::uint64_t id, std::uint32_t protocol) {
+  std::string payload;
+  put_u64(payload, id);
+  put_u8(payload, kBodyHello);
+  put_u32(payload, protocol);
+  return frame(FrameType::kResponse, payload);
+}
+
+common::Result<WireResponse> parse_response(std::string_view payload) {
+  Reader reader(payload);
+  WireResponse response;
+  auto id = reader.u64();
+  if (!id.ok()) return id.error();
+  response.id = id.value();
+  auto body = reader.u8();
+  if (!body.ok()) return body.error();
+  switch (body.value()) {
+    case kBodyPrediction: {
+      core::Predictor::KernelPrediction prediction;
+      auto kernel = reader.str();
+      if (!kernel.ok()) return kernel.error();
+      prediction.kernel = std::string(kernel.value());
+      auto count = reader.u32();
+      if (!count.ok()) return count.error();
+      // A lying count cannot force a huge reserve: every point still in the
+      // payload occupies kPointBytes, so the cap below is exact.
+      if (count.value() > reader.remaining() / kPointBytes) return truncated();
+      prediction.pareto.reserve(count.value());
+      for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto core = reader.u32();
+        auto mem = reader.u32();
+        auto speedup = reader.f64();
+        auto energy = reader.f64();
+        auto heuristic = reader.u8();
+        if (!core.ok()) return core.error();
+        if (!mem.ok()) return mem.error();
+        if (!speedup.ok()) return speedup.error();
+        if (!energy.ok()) return energy.error();
+        if (!heuristic.ok()) return heuristic.error();
+        // Same range rule as the JSON parse (and int stays in range).
+        if (core.value() > 1000000000u || mem.value() > 1000000000u) {
+          return common::parse_error("binary: frequency out of range");
+        }
+        if (heuristic.value() > 1) {
+          return common::parse_error("binary: heuristic must be 0 or 1");
+        }
+        core::PredictedPoint point;
+        point.config.core_mhz = static_cast<int>(core.value());
+        point.config.mem_mhz = static_cast<int>(mem.value());
+        point.speedup = speedup.value();
+        point.energy = energy.value();
+        point.heuristic = heuristic.value() == 1;
+        prediction.pareto.push_back(point);
+      }
+      response.prediction = std::move(prediction);
+      break;
+    }
+    case kBodyError: {
+      auto code = reader.u8();
+      if (!code.ok()) return code.error();
+      if (code.value() > static_cast<std::uint8_t>(common::ErrorCode::kDeadlineExceeded)) {
+        return common::parse_error("binary: unknown error code");
+      }
+      auto message = reader.str();
+      if (!message.ok()) return message.error();
+      common::Error e;
+      e.code = static_cast<common::ErrorCode>(code.value());
+      e.message = std::string(message.value());
+      response.error = std::move(e);
+      break;
+    }
+    case kBodyHealth:
+    case kBodyStats: {
+      WireStats stats;
+      auto uptime = reader.f64();
+      if (!uptime.ok()) return uptime.error();
+      if (!(uptime.value() >= 0)) {
+        return common::parse_error("binary: uptime_s must be non-negative");
+      }
+      stats.uptime_s = uptime.value();
+      std::uint64_t* fields_health[] = {&stats.queue_depth};
+      std::uint64_t* fields_stats[] = {
+          &stats.queue_depth,  &stats.requests, &stats.source_requests,
+          &stats.batches,      &stats.connections, &stats.protocol_errors,
+          &stats.cache_hits,   &stats.cache_misses, &stats.shed,
+          &stats.deadline_exceeded, &stats.streamed};
+      const bool is_health = body.value() == kBodyHealth;
+      auto* fields = is_health ? fields_health : fields_stats;
+      const std::size_t n = is_health ? std::size(fields_health) : std::size(fields_stats);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto v = reader.u64();
+        if (!v.ok()) return v.error();
+        *fields[i] = v.value();
+      }
+      response.stats = stats;
+      response.health = is_health;
+      break;
+    }
+    case kBodyHello: {
+      auto protocol = reader.u32();
+      if (!protocol.ok()) return protocol.error();
+      response.protocol = protocol.value();
+      break;
+    }
+    default: return common::parse_error("binary: unknown response body");
+  }
+  if (!reader.done()) return trailing_bytes();
+  return response;
+}
+
+std::string format_source_begin(const SourceBegin& begin) {
+  std::string payload;
+  put_u64(payload, begin.id);
+  put_u8(payload, begin.deadline_ms.has_value() ? kFlagDeadline : 0);
+  if (begin.deadline_ms.has_value()) put_f64(payload, *begin.deadline_ms);
+  put_str(payload, begin.kernel);
+  return frame(FrameType::kSourceBegin, payload);
+}
+
+std::string format_source_chunk(std::uint64_t id, std::string_view bytes) {
+  std::string payload;
+  payload.reserve(8 + bytes.size());
+  put_u64(payload, id);
+  // No length prefix: the frame header already delimits the chunk, so the
+  // rest of the payload IS the source bytes.
+  payload.append(bytes);
+  return frame(FrameType::kSourceChunk, payload);
+}
+
+std::string format_source_end(std::uint64_t id) {
+  std::string payload;
+  put_u64(payload, id);
+  return frame(FrameType::kSourceEnd, payload);
+}
+
+std::string format_source_abort(std::uint64_t id) {
+  std::string payload;
+  put_u64(payload, id);
+  return frame(FrameType::kSourceAbort, payload);
+}
+
+common::Result<SourceBegin> parse_source_begin(std::string_view payload) {
+  Reader reader(payload);
+  SourceBegin begin;
+  auto id = reader.u64();
+  if (!id.ok()) return id.error();
+  begin.id = id.value();
+  auto flags = reader.u8();
+  if (!flags.ok()) return flags.error();
+  if (auto st = read_deadline(reader, flags.value(), begin.deadline_ms); !st.ok()) {
+    return st.error();
+  }
+  auto kernel = reader.str();
+  if (!kernel.ok()) return kernel.error();
+  begin.kernel = std::string(kernel.value());
+  if (!reader.done()) return trailing_bytes();
+  return begin;
+}
+
+common::Result<SourceChunk> parse_source_chunk(std::string_view payload) {
+  Reader reader(payload);
+  SourceChunk chunk;
+  auto id = reader.u64();
+  if (!id.ok()) return id.error();
+  chunk.id = id.value();
+  chunk.data = std::string(payload.substr(8));
+  return chunk;
+}
+
+common::Result<std::uint64_t> parse_source_end(std::string_view payload) {
+  Reader reader(payload);
+  auto id = reader.u64();
+  if (!id.ok()) return id.error();
+  if (!reader.done()) return trailing_bytes();
+  return id.value();
+}
+
+common::Result<std::uint64_t> parse_source_abort(std::string_view payload) {
+  return parse_source_end(payload);
+}
+
+std::uint64_t best_effort_id(std::string_view payload) {
+  Reader reader(payload);
+  auto id = reader.u64();
+  return id.ok() ? id.value() : 0;
+}
+
+}  // namespace binary
+
+// --- incremental message splitting --------------------------------------------
+
+void MessageSplitter::feed(std::string_view bytes) {
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+  peak_ = std::max(peak_, buffer_.size());
+}
+
+common::Result<std::optional<WireMessage>> MessageSplitter::next() {
+  for (;;) {
+    if (pos_ >= buffer_.size()) return std::optional<WireMessage>();
+    if (accept_binary_ &&
+        static_cast<unsigned char>(buffer_[pos_]) == binary::kMagic) {
+      if (buffer_.size() - pos_ < binary::kHeaderBytes) {
+        return std::optional<WireMessage>();  // header still arriving
+      }
+      const auto type = static_cast<std::uint8_t>(buffer_[pos_ + 1]);
+      if (type < static_cast<std::uint8_t>(binary::FrameType::kRequest) ||
+          type > static_cast<std::uint8_t>(binary::FrameType::kSourceAbort)) {
+        return common::parse_error("binary: unknown frame type " +
+                                   std::to_string(type));
+      }
+      std::uint32_t length = 0;
+      for (int i = 0; i < 4; ++i) {
+        length |= static_cast<std::uint32_t>(
+                      static_cast<unsigned char>(buffer_[pos_ + 2 + i]))
+                  << (8 * i);
+      }
+      if (length > max_bytes_) {
+        // The bound exists to keep per-connection buffering finite; a prefix
+        // that exceeds it is unrecoverable (there is no resync point).
+        return common::invalid_argument(
+            "protocol: frame payload exceeds " + std::to_string(max_bytes_) +
+            " bytes");
+      }
+      if (buffer_.size() - pos_ < binary::kHeaderBytes + length) {
+        return std::optional<WireMessage>();  // payload still arriving
+      }
+      WireMessage message;
+      message.binary = true;
+      message.frame = static_cast<binary::FrameType>(type);
+      message.payload = buffer_.substr(pos_ + binary::kHeaderBytes, length);
+      pos_ += binary::kHeaderBytes + length;
+      return std::optional<WireMessage>(std::move(message));
+    }
+    const auto nl = buffer_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      if (buffer_.size() - pos_ > max_bytes_) {
+        return common::invalid_argument("protocol: request line exceeds " +
+                                        std::to_string(max_bytes_) + " bytes");
+      }
+      return std::optional<WireMessage>();
+    }
+    std::string line = buffer_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // blank keep-alive line
+    WireMessage message;
+    message.payload = std::move(line);
+    return std::optional<WireMessage>(std::move(message));
+  }
 }
 
 }  // namespace repro::serve

@@ -44,6 +44,39 @@
 // The JSON layer is a deliberately small, dependency-free subset parser —
 // UTF-8 pass-through, \uXXXX escapes decoded for the BMP — sufficient for
 // and validated against this protocol.
+//
+// --- binary framing (protocol version 1) -------------------------------------
+//
+// JSON lines stay the default and the debug surface. A client may upgrade a
+// connection by sending a JSON "hello" request:
+//
+//   {"id": 1, "type": "hello", "max_protocol": 1}
+//     → {"id": 1, "hello": {"protocol": 1}}
+//
+// A server that predates "hello" answers it with a parse error, which the
+// client treats as a clean downgrade to JSON (no desync: the error reply is
+// a perfectly ordinary reply line). After a successful negotiation both
+// sides may frame messages as length-prefixed binary frames:
+//
+//   byte 0       magic 0xB1 (never the first byte of a JSON line)
+//   byte 1       frame type (FrameType below)
+//   bytes 2..5   payload length, u32 little-endian
+//   bytes 6..    payload
+//
+// The two framings share one byte stream: each message is classified by its
+// first byte (0xB1 = frame, anything else = JSON line up to '\n'), and every
+// reply mirrors its request's framing. All binary integers are fixed-width
+// little-endian; doubles travel as their IEEE-754 binary64 bit pattern —
+// bit-exact by construction, including inf/nan/denormals, matching the
+// exactness the JSON framing gets from to_chars/from_chars. Strings are a
+// u32 length followed by raw bytes.
+//
+// kSourceBegin/kSourceChunk/kSourceEnd stream one predict_source request in
+// bounded memory: Begin carries id/kernel/deadline, each Chunk up to one
+// frame of raw source bytes (fed straight into the server's SourceFeeder),
+// End settles the request and is answered like any predict reply.
+// kSourceAbort drops a half-streamed request without a reply (client gone,
+// or a forwarding balancer cleaning up).
 #pragma once
 
 #include <array>
@@ -108,14 +141,20 @@ class JsonValue {
 
 // --- protocol messages --------------------------------------------------------
 
+/// Highest binary protocol version this build speaks. "hello" negotiates
+/// min(client max, server max); version 0 means "JSON lines only".
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
 /// What a request line asks for. The two predict kinds are inferred from
-/// the payload (the "type" member is optional for them); health and stats
-/// must be named explicitly and carry no payload.
-enum class RequestKind { kPredict, kPredictSource, kHealth, kStats };
+/// the payload (the "type" member is optional for them); health, stats and
+/// hello must be named explicitly and carry no payload.
+enum class RequestKind { kPredict, kPredictSource, kHealth, kStats, kHello };
 
 struct WireRequest {
   std::uint64_t id = 0;
   RequestKind kind = RequestKind::kPredict;
+  /// kHello only: the highest binary protocol version the client speaks.
+  std::uint32_t max_protocol = 0;
   std::string kernel;  // optional display name; defaults applied server-side
   /// For the predict kinds, exactly one of the two is set after a
   /// successful parse: "predict" requests carry features, "predict_source"
@@ -151,14 +190,19 @@ struct WireStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t shed = 0;               // rejected at admission by load shedding
   std::uint64_t deadline_exceeded = 0;  // expired before prediction
+  std::uint64_t streamed = 0;           // requests that arrived as chunk streams
 };
 
 struct WireResponse {
   std::uint64_t id = 0;
-  /// Exactly one of the three is set.
+  /// Exactly one of prediction/stats/error/protocol is set.
   std::optional<core::Predictor::KernelPrediction> prediction;
   std::optional<WireStats> stats;  // health and stats responses
+  /// True when `stats` came from the short "health" framing (uptime_s and
+  /// queue_depth only) rather than the full "stats" counter dump.
+  bool health = false;
   std::optional<common::Error> error;
+  std::optional<std::uint32_t> protocol;  // hello responses
 };
 
 [[nodiscard]] common::Result<WireRequest> parse_request(const std::string& line);
@@ -169,6 +213,8 @@ struct WireResponse {
 [[nodiscard]] std::string format_health_response(std::uint64_t id, const WireStats& stats);
 /// {"id":…,"stats":{…all WireStats fields…}}
 [[nodiscard]] std::string format_stats_response(std::uint64_t id, const WireStats& stats);
+/// {"id":…,"hello":{"protocol":…}}
+[[nodiscard]] std::string format_hello_response(std::uint64_t id, std::uint32_t protocol);
 [[nodiscard]] common::Result<WireResponse> parse_response(const std::string& line);
 [[nodiscard]] std::string format_request(const WireRequest& request);  // client side
 
@@ -176,5 +222,119 @@ struct WireResponse {
 /// be recovered — error replies echo it so clients can correlate; 0 when
 /// even the id is unrecoverable.
 [[nodiscard]] std::uint64_t best_effort_id(const std::string& line);
+
+// --- binary framing -----------------------------------------------------------
+
+namespace binary {
+
+/// First byte of every binary frame. JSON requests are objects, so a line
+/// never starts with 0xB1 — one byte classifies the framing of a message.
+inline constexpr unsigned char kMagic = 0xB1;
+/// magic + frame type + u32 payload length.
+inline constexpr std::size_t kHeaderBytes = 6;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,      // one WireRequest (any kind)
+  kResponse = 2,     // one WireResponse
+  kSourceBegin = 3,  // open a chunked predict_source stream
+  kSourceChunk = 4,  // raw source bytes for an open stream
+  kSourceEnd = 5,    // settle the stream; answered like a predict reply
+  kSourceAbort = 6,  // drop a half-streamed request; never answered
+};
+
+/// Opening frame of a chunked predict_source request. The deadline is
+/// relative to when the receiver parses this frame, exactly like the JSON
+/// deadline_ms; the kernel selects which __kernel to predict (first when
+/// empty). Chunks and End correlate by id.
+struct SourceBegin {
+  std::uint64_t id = 0;
+  std::string kernel;
+  std::optional<double> deadline_ms;
+};
+
+struct SourceChunk {
+  std::uint64_t id = 0;
+  std::string data;  // raw source bytes; boundaries may fall anywhere
+};
+
+/// Wrap a payload in a frame header.
+[[nodiscard]] std::string frame(FrameType type, std::string_view payload);
+
+[[nodiscard]] std::string format_request_frame(const WireRequest& request);
+[[nodiscard]] std::string format_prediction_frame(
+    std::uint64_t id, const core::Predictor::KernelPrediction& p);
+[[nodiscard]] std::string format_error_frame(std::uint64_t id,
+                                             const common::Error& error);
+[[nodiscard]] std::string format_health_frame(std::uint64_t id, const WireStats& stats);
+[[nodiscard]] std::string format_stats_frame(std::uint64_t id, const WireStats& stats);
+[[nodiscard]] std::string format_hello_frame(std::uint64_t id, std::uint32_t protocol);
+[[nodiscard]] std::string format_source_begin(const SourceBegin& begin);
+[[nodiscard]] std::string format_source_chunk(std::uint64_t id, std::string_view bytes);
+[[nodiscard]] std::string format_source_end(std::uint64_t id);
+[[nodiscard]] std::string format_source_abort(std::uint64_t id);
+
+/// Parsers take the frame *payload* (header already stripped by the
+/// MessageSplitter). Every read is bounds-checked; trailing bytes after a
+/// well-formed payload are a parse error, so a length-prefix lie can never
+/// smuggle data past validation.
+[[nodiscard]] common::Result<WireRequest> parse_request(std::string_view payload);
+[[nodiscard]] common::Result<WireResponse> parse_response(std::string_view payload);
+[[nodiscard]] common::Result<SourceBegin> parse_source_begin(std::string_view payload);
+[[nodiscard]] common::Result<SourceChunk> parse_source_chunk(std::string_view payload);
+[[nodiscard]] common::Result<std::uint64_t> parse_source_end(std::string_view payload);
+[[nodiscard]] common::Result<std::uint64_t> parse_source_abort(std::string_view payload);
+
+/// Binary analogue of serve::best_effort_id: every frame payload leads with
+/// the u64 id, so it is recoverable whenever at least 8 bytes arrived.
+[[nodiscard]] std::uint64_t best_effort_id(std::string_view payload);
+
+}  // namespace binary
+
+// --- incremental message splitting --------------------------------------------
+
+/// One decoded-but-unparsed wire message: a JSON line (terminator stripped)
+/// or a binary frame's type + payload.
+struct WireMessage {
+  bool binary = false;
+  binary::FrameType frame = binary::FrameType::kRequest;  // binary only
+  std::string payload;
+};
+
+/// Incremental splitter over the shared byte stream, used by the server,
+/// the balancer (both sides), the client, and the protocol fuzzer: feed()
+/// raw socket bytes, then drain next() until it reports "need more input".
+///
+/// Classification is per message by first byte (0xB1 = binary frame,
+/// anything else = JSON line up to '\n'; a bare '\r\n' line is skipped).
+/// Buffering is bounded: a message longer than max_message_bytes — an
+/// overlong line, or a frame whose length prefix exceeds the bound — is an
+/// unrecoverable framing fault. next() then returns an error, and the
+/// connection must close: once a length prefix lies there is no resync
+/// point in the stream.
+class MessageSplitter {
+ public:
+  explicit MessageSplitter(std::size_t max_message_bytes = 1 << 20,
+                           bool accept_binary = true)
+      : max_bytes_(max_message_bytes), accept_binary_(accept_binary) {}
+
+  void feed(std::string_view bytes);
+  /// A complete message, nullopt when more input is needed, or an
+  /// unrecoverable framing fault (overlong message, unknown frame type).
+  [[nodiscard]] common::Result<std::optional<WireMessage>> next();
+
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - pos_;
+  }
+  /// High-water mark of unconsumed bytes — the observable "bounded request
+  /// buffer" of the streaming contract (asserted in tests).
+  [[nodiscard]] std::size_t peak_buffered_bytes() const noexcept { return peak_; }
+
+ private:
+  std::size_t max_bytes_;
+  bool accept_binary_;
+  std::string buffer_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted on feed()
+  std::size_t peak_ = 0;
+};
 
 }  // namespace repro::serve

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/log.hpp"
@@ -213,7 +214,10 @@ void SocketServer::Impl::serve_connection(int fd) {
   // outstanding (backpressure), never the server.
   struct PendingReply {
     std::uint64_t id = 0;
-    // Engaged for submitted requests; preformatted error line otherwise.
+    // The reply mirrors its request's framing.
+    bool binary = false;
+    // Engaged for submitted requests; preformatted message otherwise
+    // (JSON without the trailing newline, binary as a complete frame).
     std::optional<std::future<Service::Response>> response;
     std::string immediate;
   };
@@ -225,12 +229,18 @@ void SocketServer::Impl::serve_connection(int fd) {
       std::string reply;
       if (pending->response.has_value()) {
         auto response = pending->response->get();
-        reply = response.ok() ? format_response(pending->id, response.value())
-                              : format_error(pending->id, response.error());
+        if (pending->binary) {
+          reply = response.ok()
+                      ? binary::format_prediction_frame(pending->id, response.value())
+                      : binary::format_error_frame(pending->id, response.error());
+        } else {
+          reply = response.ok() ? format_response(pending->id, response.value())
+                                : format_error(pending->id, response.error());
+        }
       } else {
         reply = std::move(pending->immediate);
       }
-      reply.push_back('\n');
+      if (!pending->binary) reply.push_back('\n');
       // A write timeout counts as failure too: a client that stopped
       // reading has forfeited its replies — drain and tear down rather
       // than wedge this writer (and every future queued behind it).
@@ -244,65 +254,65 @@ void SocketServer::Impl::serve_connection(int fd) {
     }
   });
 
-  std::string buffer;
-  char chunk[4096];
-  bool overlong = false;
-  for (;;) {
-    // Blocking read (timeout 0): an idle connection is legitimate — the
-    // balancer keeps persistent backend connections that go quiet between
-    // bursts. Routed through net so fault injection covers this path.
-    const auto rd = common::net::read_some(fd, chunk, sizeof chunk,
-                                           std::chrono::milliseconds(0));
-    if (rd.status != common::net::IoStatus::kOk) break;  // EOF, error, shutdown
-    buffer.append(chunk, rd.bytes);
-
-    std::size_t start = 0;
-    for (;;) {
-      const auto nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-
-      PendingReply pending;
-      auto request = parse_request(line);
-      if (!request.ok()) {
-        std::lock_guard slock(stats_mutex);
-        ++stats.protocol_errors;
-        // Echo the id whenever one is recoverable from the malformed line,
-        // so clients correlating by id see the real error.
-        pending.id = best_effort_id(line);
-        pending.immediate = format_error(pending.id, request.error());
-      } else if (request.value().kind == RequestKind::kHealth ||
-                 request.value().kind == RequestKind::kStats) {
+  auto count_protocol_error = [&] {
+    std::lock_guard slock(stats_mutex);
+    ++stats.protocol_errors;
+  };
+  // The wire deadline is relative to the moment the server takes custody of
+  // the request (parses its frame). From here on it is an absolute
+  // steady_clock point, immune to queueing delays.
+  auto deadline_from = [](const std::optional<double>& ms) {
+    Service::Deadline deadline;
+    if (ms.has_value()) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::milli>(*ms));
+    }
+    return deadline;
+  };
+  // Shared by both framings once a WireRequest is decoded — only the reply
+  // encoding differs, so JSON and binary dispatch cannot drift apart.
+  auto handle_request = [&](WireRequest wire, bool is_binary) {
+    PendingReply pending;
+    pending.binary = is_binary;
+    pending.id = wire.id;
+    {
+      std::lock_guard slock(stats_mutex);
+      ++stats.requests;
+    }
+    switch (wire.kind) {
+      case RequestKind::kHello: {
+        // Per-connection negotiation: the reply is the min of the client's
+        // ceiling and ours — or 0 when binary framing is disabled, telling
+        // the client to stay on JSON lines.
+        const std::uint32_t negotiated =
+            options.enable_binary ? std::min(wire.max_protocol, kProtocolVersion)
+                                  : 0;
+        pending.immediate = is_binary
+                                ? binary::format_hello_frame(wire.id, negotiated)
+                                : format_hello_response(wire.id, negotiated);
+        break;
+      }
+      case RequestKind::kHealth:
+      case RequestKind::kStats: {
         // Introspection is answered right here on the connection thread —
         // a health ping must not queue behind a full admission queue (its
         // whole point is reporting that backlog).
-        {
-          std::lock_guard slock(stats_mutex);
-          ++stats.requests;
+        const auto now_stats = wire_stats();
+        if (wire.kind == RequestKind::kHealth) {
+          pending.immediate = is_binary
+                                  ? binary::format_health_frame(wire.id, now_stats)
+                                  : format_health_response(wire.id, now_stats);
+        } else {
+          pending.immediate = is_binary
+                                  ? binary::format_stats_frame(wire.id, now_stats)
+                                  : format_stats_response(wire.id, now_stats);
         }
-        pending.id = request.value().id;
-        pending.immediate = request.value().kind == RequestKind::kHealth
-                                ? format_health_response(pending.id, wire_stats())
-                                : format_stats_response(pending.id, wire_stats());
-      } else {
-        {
-          std::lock_guard slock(stats_mutex);
-          ++stats.requests;
-        }
-        auto& wire = request.value();
-        pending.id = wire.id;
-        // The wire deadline is relative to this moment — the instant the
-        // server took custody of the request. From here on it is an
-        // absolute steady_clock point, immune to queueing delays.
-        Service::Deadline deadline;
-        if (wire.deadline_ms.has_value()) {
-          deadline = std::chrono::steady_clock::now() +
-                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                         std::chrono::duration<double, std::milli>(*wire.deadline_ms));
-        }
+        break;
+      }
+      case RequestKind::kPredict:
+      case RequestKind::kPredictSource: {
+        const auto deadline = deadline_from(wire.deadline_ms);
         if (wire.source.has_value()) {
           // predict_source: ship the raw bytes; the worker shard featurizes
           // inside the batch, off this connection thread.
@@ -311,34 +321,199 @@ void SocketServer::Impl::serve_connection(int fd) {
         } else {
           auto features = wire.to_features();
           if (!features.ok()) {
-            pending.immediate = format_error(wire.id, features.error());
+            pending.immediate =
+                is_binary ? binary::format_error_frame(wire.id, features.error())
+                          : format_error(wire.id, features.error());
           } else {
-            pending.response =
-                service->submit(std::move(features).take(), deadline);
+            pending.response = service->submit(std::move(features).take(), deadline);
           }
         }
+        break;
       }
-      replies.push(std::move(pending));
     }
-    buffer.erase(0, start);
-    if (buffer.size() > options.max_line_bytes) {
-      PendingReply pending;
-      pending.immediate = format_error(
-          0, common::invalid_argument("protocol: request line exceeds " +
-                                      std::to_string(options.max_line_bytes) +
-                                      " bytes"));
-      replies.push(std::move(pending));
-      overlong = true;
-      break;
+    replies.push(std::move(pending));
+  };
+
+  // Per-message framing detection; binary frames are refused outright when
+  // negotiation is disabled (they parse as malformed JSON lines).
+  MessageSplitter splitter(options.max_line_bytes, options.enable_binary);
+  // Open chunked predict_source streams by client request id. Each buffers
+  // at most the feeder's bounded pending window, never the whole source.
+  std::unordered_map<std::uint64_t, Service::SourceStream> streams;
+  char chunk[4096];
+  bool framing_fault = false;
+  for (;;) {
+    // Blocking read (timeout 0): an idle connection is legitimate — the
+    // balancer keeps persistent backend connections that go quiet between
+    // bursts. Routed through net so fault injection covers this path.
+    const auto rd = common::net::read_some(fd, chunk, sizeof chunk,
+                                           std::chrono::milliseconds(0));
+    if (rd.status != common::net::IoStatus::kOk) break;  // EOF, error, shutdown
+    splitter.feed(std::string_view(chunk, rd.bytes));
+
+    for (;;) {
+      auto next = splitter.next();
+      if (!next.ok()) {
+        // Unrecoverable framing fault (overlong message, unknown frame
+        // type): there is no resync point, so answer once and close. JSON
+        // framing for the answer — a peer confused enough to trip this may
+        // not speak binary at all.
+        PendingReply pending;
+        pending.immediate = format_error(0, next.error());
+        replies.push(std::move(pending));
+        framing_fault = true;
+        break;
+      }
+      if (!next.value().has_value()) break;  // need more bytes
+      WireMessage message = std::move(*next.value());
+
+      if (!message.binary) {
+        auto request = parse_request(message.payload);
+        if (!request.ok()) {
+          count_protocol_error();
+          // Echo the id whenever one is recoverable from the malformed
+          // line, so clients correlating by id see the real error.
+          PendingReply pending;
+          pending.id = best_effort_id(message.payload);
+          pending.immediate = format_error(pending.id, request.error());
+          replies.push(std::move(pending));
+        } else {
+          handle_request(std::move(request).take(), /*is_binary=*/false);
+        }
+        continue;
+      }
+
+      switch (message.frame) {
+        case binary::FrameType::kRequest: {
+          auto request = binary::parse_request(message.payload);
+          if (!request.ok()) {
+            count_protocol_error();
+            PendingReply pending;
+            pending.binary = true;
+            pending.id = binary::best_effort_id(message.payload);
+            pending.immediate =
+                binary::format_error_frame(pending.id, request.error());
+            replies.push(std::move(pending));
+          } else {
+            handle_request(std::move(request).take(), /*is_binary=*/true);
+          }
+          break;
+        }
+        case binary::FrameType::kSourceBegin: {
+          auto begin = binary::parse_source_begin(message.payload);
+          if (!begin.ok()) {
+            count_protocol_error();
+            PendingReply pending;
+            pending.binary = true;
+            pending.id = binary::best_effort_id(message.payload);
+            pending.immediate = binary::format_error_frame(pending.id, begin.error());
+            replies.push(std::move(pending));
+            break;
+          }
+          auto& open = begin.value();
+          if (streams.find(open.id) != streams.end()) {
+            count_protocol_error();
+            PendingReply pending;
+            pending.binary = true;
+            pending.id = open.id;
+            pending.immediate = binary::format_error_frame(
+                open.id, common::parse_error("binary: duplicate stream id"));
+            replies.push(std::move(pending));
+            break;
+          }
+          if (streams.size() >= std::max<std::size_t>(1, options.max_inflight)) {
+            // Overload, not a protocol fault: refuse retryably, open nothing.
+            PendingReply pending;
+            pending.binary = true;
+            pending.id = open.id;
+            pending.immediate = binary::format_error_frame(
+                open.id, common::unavailable("binary: too many open streams"));
+            replies.push(std::move(pending));
+            break;
+          }
+          {
+            std::lock_guard slock(stats_mutex);
+            ++stats.requests;
+          }
+          streams.emplace(open.id,
+                          service->begin_stream(std::move(open.kernel),
+                                                deadline_from(open.deadline_ms),
+                                                options.max_source_bytes));
+          break;
+        }
+        case binary::FrameType::kSourceChunk: {
+          // Chunks are never answered — feed errors are sticky inside the
+          // stream and surface from the End reply, so mid-stream faults
+          // cannot desynchronize the in-order reply queue.
+          auto source_chunk = binary::parse_source_chunk(message.payload);
+          if (!source_chunk.ok()) {
+            count_protocol_error();
+            break;
+          }
+          auto it = streams.find(source_chunk.value().id);
+          if (it == streams.end()) {
+            count_protocol_error();  // chunk for a stream that was never opened
+            break;
+          }
+          (void)it->second.feed(source_chunk.value().data);
+          break;
+        }
+        case binary::FrameType::kSourceEnd: {
+          auto end = binary::parse_source_end(message.payload);
+          if (!end.ok()) {
+            count_protocol_error();
+            break;
+          }
+          auto it = streams.find(end.value());
+          if (it == streams.end()) {
+            count_protocol_error();  // end without a begin
+            break;
+          }
+          // The stream settles here; its reply takes its slot in request
+          // order at End (a stream's featurization already happened
+          // incrementally, chunk by chunk).
+          PendingReply pending;
+          pending.binary = true;
+          pending.id = end.value();
+          pending.response = it->second.finish();
+          streams.erase(it);
+          replies.push(std::move(pending));
+          break;
+        }
+        case binary::FrameType::kSourceAbort: {
+          // A half-streamed request the client gave up on: drop it, answer
+          // nothing (the client is not waiting).
+          auto abort = binary::parse_source_abort(message.payload);
+          if (!abort.ok() || streams.erase(abort.value()) == 0) {
+            count_protocol_error();
+          }
+          break;
+        }
+        case binary::FrameType::kResponse: {
+          count_protocol_error();
+          PendingReply pending;
+          pending.binary = true;
+          pending.id = binary::best_effort_id(message.payload);
+          pending.immediate = binary::format_error_frame(
+              pending.id,
+              common::parse_error("binary: unexpected response frame"));
+          replies.push(std::move(pending));
+          break;
+        }
+      }
     }
+    if (framing_fault) break;
   }
   // In-flight requests are still answered: close() lets the writer drain
-  // everything already queued before it exits.
+  // everything already queued before it exits. Open streams die with the
+  // connection — their requests were never admitted, so nothing leaks.
   replies.close();
   writer.join();
-  if (overlong) {
+  {
     std::lock_guard slock(stats_mutex);
-    ++stats.protocol_errors;
+    if (framing_fault) ++stats.protocol_errors;
+    stats.peak_message_bytes = std::max<std::uint64_t>(
+        stats.peak_message_bytes, splitter.peak_buffered_bytes());
   }
 }
 
@@ -354,6 +529,7 @@ WireStats SocketServer::Impl::wire_stats() {
   wire.batches = service_stats.batches;
   wire.shed = service_stats.shed;
   wire.deadline_exceeded = service_stats.deadline_exceeded;
+  wire.streamed = service_stats.streamed;
   {
     std::lock_guard lock(stats_mutex);
     wire.connections = stats.connections;

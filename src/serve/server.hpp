@@ -1,5 +1,9 @@
-// The socket front of serve::Service: line-delimited JSON requests over a
-// Unix-domain or TCP socket (see protocol.hpp for the wire format).
+// The socket front of serve::Service: line-delimited JSON requests — and,
+// after a per-connection "hello" negotiation, length-prefixed binary frames
+// — over a Unix-domain or TCP socket (see protocol.hpp for both wire
+// formats). Framing is detected per message by first byte, and every reply
+// mirrors its request's framing, so JSON and binary can interleave on one
+// connection without desync.
 //
 // One acceptor thread plus a reader/writer thread pair per connection, and
 // each connection is *pipelined*: the reader decodes and submits request
@@ -33,7 +37,18 @@ struct ServerOptions {
   int tcp_port = -1;  // -1 = TCP disabled
   /// Requests longer than this are answered with an error and the
   /// connection is closed (protects the server from unbounded buffering).
+  /// Bounds both framings: a JSON line and a binary frame payload. A
+  /// chunk-streamed predict_source is bounded per *frame*, not per request —
+  /// the total source may far exceed this.
   std::size_t max_line_bytes = 1 << 20;
+  /// Accept binary-framed messages and answer a "hello" negotiation with
+  /// protocol 1. When false the server is a JSON-only peer: hello answers
+  /// protocol 0 and a 0xB1 byte is just a malformed JSON line.
+  bool enable_binary = true;
+  /// Per-request input budget for chunk-streamed predict_source. Zero means
+  /// the featurization pipeline's own max_source_bytes budget applies
+  /// unchanged; non-zero can only tighten it.
+  std::size_t max_source_bytes = 0;
   /// Per-connection pipelining window: how many decoded requests may be in
   /// flight (submitted, response not yet written) before the reader stops
   /// decoding — backpressure against a client that streams without reading.
@@ -72,6 +87,10 @@ class SocketServer {
     std::uint64_t connections = 0;
     std::uint64_t requests = 0;
     std::uint64_t protocol_errors = 0;
+    /// High-water mark, across finished connections, of bytes buffered for
+    /// one message — the observable bound the streaming contract asserts
+    /// (a chunked predict_source never buffers more than a frame at a time).
+    std::uint64_t peak_message_bytes = 0;
   };
   [[nodiscard]] Stats stats() const;
 

@@ -159,7 +159,62 @@ std::future<Service::Response> Service::submit_source(std::string source,
   return enqueue(std::move(request), /*is_source=*/true);
 }
 
-std::future<Service::Response> Service::enqueue(Request request, bool is_source) {
+Service::SourceStream Service::begin_stream(std::string kernel, Deadline deadline,
+                                            std::size_t max_source_bytes) {
+  // The feeder inherits the pipeline's budgets so a streamed request obeys
+  // the same input bound as submit_source; a caller override can only
+  // tighten it (the server passes its own per-request budget here).
+  clfront::StreamOptions stream_options =
+      impl_->shard_predictors.front().pipeline().stream_options();
+  if (max_source_bytes > 0) {
+    stream_options.max_source_bytes =
+        std::min(stream_options.max_source_bytes, max_source_bytes);
+  }
+  return SourceStream(this, clfront::SourceFeeder(stream_options),
+                      std::move(kernel), deadline);
+}
+
+common::Status Service::SourceStream::feed(std::string_view chunk) {
+  if (finished_) {
+    return common::internal_error("serve::SourceStream: feed after finish");
+  }
+  return feeder_->feed(chunk);
+}
+
+std::future<Service::Response> Service::SourceStream::finish() {
+  std::promise<Response> failed;
+  auto fail = [&](common::Error error) {
+    auto future = failed.get_future();
+    failed.set_value(std::move(error));
+    return future;
+  };
+  if (finished_) {
+    return fail(common::internal_error("serve::SourceStream: already finished"));
+  }
+  finished_ = true;
+  if (auto status = feeder_->finish(); !status.ok()) {
+    return fail(status.error());
+  }
+  auto features = feeder_->features(kernel_);
+  if (!features.ok()) {
+    return fail(features.error());
+  }
+  // From here the request is indistinguishable from submit(): featurization
+  // already happened incrementally, so only the (fixed-size) feature vector
+  // enters batch assembly. Counted as a source request AND a streamed one.
+  Request request;
+  request.payload = std::move(features).take();
+  request.deadline = deadline_;
+  return service_->enqueue(std::move(request), /*is_source=*/true,
+                           /*is_streamed=*/true);
+}
+
+std::size_t Service::SourceStream::peak_pending_bytes() const noexcept {
+  return feeder_->peak_pending_bytes();
+}
+
+std::future<Service::Response> Service::enqueue(Request request, bool is_source,
+                                                bool is_streamed) {
   auto future = request.promise.get_future();
   const auto now = std::chrono::steady_clock::now();
   // An expired deadline never enters batch assembly: answer right here, and
@@ -213,6 +268,7 @@ std::future<Service::Response> Service::enqueue(Request request, bool is_source)
   std::lock_guard lock(impl_->stats_mutex);
   ++impl_->stats.requests;
   if (is_source) ++impl_->stats.source_requests;
+  if (is_streamed) ++impl_->stats.streamed;
   return future;
 }
 

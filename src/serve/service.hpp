@@ -38,6 +38,7 @@
 
 #include "benchgen/benchgen.hpp"
 #include "clfront/features.hpp"
+#include "clfront/stream.hpp"
 #include "common/status.hpp"
 #include "core/predictor.hpp"
 #include "gpusim/device.hpp"
@@ -115,6 +116,54 @@ class Service {
                                                     std::string kernel = {},
                                                     Deadline deadline = {});
 
+  /// An in-progress streamed source request: chunks are featurized
+  /// incrementally through a clfront::SourceFeeder as they arrive off the
+  /// wire, so peak memory is bounded by the feeder's pending window — never
+  /// the full source. finish() enqueues the resolved features exactly like
+  /// submit(); the result is bit-identical to submit_source() on the
+  /// concatenated bytes at any chunk split (the feeder's chunk-invariance
+  /// contract). Feed errors are sticky and surface from finish().
+  class SourceStream {
+   public:
+    SourceStream(SourceStream&&) = default;
+    SourceStream& operator=(SourceStream&&) = default;
+    SourceStream(const SourceStream&) = delete;
+    SourceStream& operator=(const SourceStream&) = delete;
+
+    /// Append the next chunk; boundaries may fall anywhere. Errors are
+    /// sticky — callers may stop early or keep feeding harmlessly.
+    common::Status feed(std::string_view chunk);
+
+    /// End of input: settle featurization and enqueue the request. Exactly
+    /// one call resolves the returned future; further calls fail fast.
+    [[nodiscard]] std::future<Response> finish();
+
+    /// Peak bytes the feeder ever buffered (the bounded window the memory
+    /// contract is about).
+    [[nodiscard]] std::size_t peak_pending_bytes() const noexcept;
+
+   private:
+    friend class Service;
+    SourceStream(Service* service, clfront::SourceFeeder feeder,
+                 std::string kernel, Deadline deadline)
+        : service_(service),
+          feeder_(std::make_unique<clfront::SourceFeeder>(std::move(feeder))),
+          kernel_(std::move(kernel)),
+          deadline_(deadline) {}
+
+    Service* service_;
+    std::unique_ptr<clfront::SourceFeeder> feeder_;
+    std::string kernel_;
+    Deadline deadline_;
+    bool finished_ = false;
+  };
+
+  /// Open a streamed source request. `max_source_bytes` overrides (by min)
+  /// the pipeline's own input budget when non-zero.
+  [[nodiscard]] SourceStream begin_stream(std::string kernel = {},
+                                          Deadline deadline = {},
+                                          std::size_t max_source_bytes = 0);
+
   /// Blocking convenience around submit() / submit_source().
   [[nodiscard]] Response predict(clfront::StaticFeatures features);
   [[nodiscard]] Response predict_source(std::string source, std::string kernel = {});
@@ -135,6 +184,7 @@ class Service {
     std::uint64_t max_batch_seen = 0;
     std::uint64_t shed = 0;               // refused at admission by load shedding
     std::uint64_t deadline_exceeded = 0;  // expired before prediction
+    std::uint64_t streamed = 0;           // admitted via SourceStream::finish
   };
   [[nodiscard]] Stats stats() const;
   /// Requests admitted but not yet pulled into a batch — the backlog a
@@ -157,7 +207,8 @@ class Service {
   };
   using Batch = std::vector<Request>;
 
-  [[nodiscard]] std::future<Response> enqueue(Request request, bool is_source);
+  [[nodiscard]] std::future<Response> enqueue(Request request, bool is_source,
+                                              bool is_streamed = false);
 
   std::shared_ptr<const core::FrequencyModel> model_;
   ServiceOptions options_;

@@ -544,3 +544,100 @@ TEST(BrokerTest, TrainsOnceAndHandsWorkersTheDiskCopy) {
   service.value()->stop();
   broker.value()->stop();
 }
+
+// --- binary framing & chunked streams through the balancer --------------------
+
+TEST(BalancerTest, ChunkedStreamThroughBalancerBitIdentical) {
+  // A chunk-streamed predict_source forwarded through the balancer must be
+  // bit-identical to the direct predictor at every chunk split — and a
+  // plain JSON client on the same balancer must be unaffected by the binary
+  // traffic next to it.
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok());
+
+  std::vector<InProcWorker> workers;
+  std::vector<rf::BackendEndpoint> endpoints;
+  for (std::size_t i = 0; i < 2; ++i) {
+    workers.push_back(InProcWorker::start());
+    endpoints.push_back(workers.back().endpoint());
+  }
+  rf::BalancerOptions options;
+  options.tcp_port = 0;
+  auto balancer = rf::Balancer::start(endpoints, options);
+  ASSERT_TRUE(balancer.ok()) << balancer.error().message;
+
+  auto binary_client = rs::SocketClient::connect_tcp(balancer.value()->tcp_port());
+  auto json_client = rs::SocketClient::connect_tcp(balancer.value()->tcp_port());
+  ASSERT_TRUE(binary_client.ok() && json_client.ok());
+  auto negotiated = binary_client.value().negotiate_binary();
+  ASSERT_TRUE(negotiated.ok()) << negotiated.error().message;
+  ASSERT_EQ(negotiated.value(), rs::kProtocolVersion);
+
+  const std::string source = kSourceKernel;
+  for (const std::size_t split : {std::size_t{1}, std::size_t{37}, source.size()}) {
+    std::size_t offset = 0;
+    auto provider = [&]() -> std::optional<std::string> {
+      if (offset >= source.size()) return std::nullopt;
+      const std::size_t n = std::min(split, source.size() - offset);
+      std::string chunk = source.substr(offset, n);
+      offset += n;
+      return chunk;
+    };
+    auto streamed = binary_client.value().predict_source_stream(provider);
+    ASSERT_TRUE(streamed.ok()) << streamed.error().message << " split=" << split;
+    EXPECT_TRUE(bitwise_equal(streamed.value().pareto, reference.value().pareto))
+        << "split=" << split;
+
+    auto via_json = json_client.value().predict_source(kSourceKernel);
+    ASSERT_TRUE(via_json.ok()) << via_json.error().message;
+    EXPECT_TRUE(bitwise_equal(via_json.value().pareto, reference.value().pareto));
+  }
+
+  balancer.value()->stop();
+  for (auto& worker : workers) worker.stop();
+}
+
+TEST(BalancerTest, BackendDeathMidStreamFailsRetryablyWithoutRedispatch) {
+  // A partially-streamed request cannot be replayed (the balancer does not
+  // buffer chunks): when the backend dies mid-stream the client must see a
+  // retryable kUnavailable — promptly, not after a hang — and the balancer
+  // must keep serving. Fresh requests then land on nothing until the worker
+  // returns, so this uses a single disposable worker.
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok());
+
+  auto worker = InProcWorker::start();
+  rf::BalancerOptions options;
+  options.tcp_port = 0;
+  auto balancer = rf::Balancer::start({worker.endpoint()}, options);
+  ASSERT_TRUE(balancer.ok()) << balancer.error().message;
+
+  auto client = rs::SocketClient::connect_tcp(balancer.value()->tcp_port());
+  ASSERT_TRUE(client.ok());
+  auto negotiated = client.value().negotiate_binary();
+  ASSERT_TRUE(negotiated.ok());
+  ASSERT_EQ(negotiated.value(), rs::kProtocolVersion);
+
+  const std::string source = kSourceKernel;
+  int calls = 0;
+  auto provider = [&]() -> std::optional<std::string> {
+    ++calls;
+    if (calls == 1) return source.substr(0, source.size() / 2);
+    if (calls == 2) {
+      // Kill the backend between chunks: the stream is now half-forwarded.
+      worker.stop();
+      return source.substr(source.size() / 2);
+    }
+    return std::nullopt;
+  };
+  auto streamed = client.value().predict_source_stream(provider);
+  ASSERT_FALSE(streamed.ok()) << "half-streamed request must not succeed";
+  EXPECT_EQ(streamed.error().code, rc::ErrorCode::kUnavailable)
+      << streamed.error().message;
+
+  balancer.value()->stop();
+}

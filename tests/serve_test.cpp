@@ -1405,3 +1405,272 @@ TEST(SocketTest, PipelinedClientHelperMatchesSequentialCalls) {
   server.value()->stop();
   service.value()->stop();
 }
+
+// --- binary framing & chunked source streaming --------------------------------
+
+TEST(BinaryProtocolTest, NegotiatedRoundTripsBitIdenticalAcrossShards) {
+  // The same requests over (a) the default JSON framing and (b) a
+  // negotiated binary connection must produce byte-identical predictions —
+  // to each other and to the direct Predictor — at every shard count.
+  PoolGuard guard;
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto kernels = request_mix(4);
+  const auto feature_reference = direct.value().predict_batch(kernels);
+  ASSERT_TRUE(feature_reference.ok());
+  const auto source_reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(source_reference.ok());
+
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    rs::ServiceOptions options;
+    options.shards = shards;
+    auto service = rs::Service::from_model(trained_model(), options);
+    ASSERT_TRUE(service.ok());
+    rs::ServerOptions server_options;
+    server_options.tcp_port = 0;
+    auto server = rs::SocketServer::start(*service.value(), server_options);
+    ASSERT_TRUE(server.ok()) << server.error().message;
+
+    auto json_client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+    auto binary_client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+    ASSERT_TRUE(json_client.ok() && binary_client.ok());
+    auto negotiated = binary_client.value().negotiate_binary();
+    ASSERT_TRUE(negotiated.ok()) << negotiated.error().message;
+    EXPECT_EQ(negotiated.value(), rs::kProtocolVersion);
+    EXPECT_TRUE(binary_client.value().binary());
+    EXPECT_FALSE(json_client.value().binary());
+
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      auto via_json = json_client.value().predict(kernels[i]);
+      auto via_binary = binary_client.value().predict(kernels[i]);
+      ASSERT_TRUE(via_json.ok()) << via_json.error().message;
+      ASSERT_TRUE(via_binary.ok()) << via_binary.error().message;
+      EXPECT_TRUE(bitwise_equal(via_binary.value().pareto,
+                                feature_reference.value()[i].pareto))
+          << "kernel " << i << " shards=" << shards;
+      EXPECT_TRUE(bitwise_equal(via_binary.value().pareto, via_json.value().pareto));
+      EXPECT_EQ(via_binary.value().kernel, via_json.value().kernel);
+    }
+    auto source_binary = binary_client.value().predict_source(kSourceKernel);
+    ASSERT_TRUE(source_binary.ok()) << source_binary.error().message;
+    EXPECT_TRUE(bitwise_equal(source_binary.value().pareto,
+                              source_reference.value().pareto))
+        << "shards=" << shards;
+
+    // Errors travel the binary framing too, still per-request.
+    auto bad = binary_client.value().predict_source("kernel void broken( {");
+    EXPECT_FALSE(bad.ok());
+    auto after = binary_client.value().predict_source(kSourceKernel);
+    ASSERT_TRUE(after.ok());
+    EXPECT_TRUE(bitwise_equal(after.value().pareto, source_reference.value().pareto));
+
+    // Introspection over binary frames matches the JSON answers.
+    auto binary_stats = binary_client.value().stats();
+    auto json_stats = json_client.value().stats();
+    ASSERT_TRUE(binary_stats.ok() && json_stats.ok());
+    EXPECT_EQ(binary_stats.value().requests, json_stats.value().requests);
+
+    server.value()->stop();
+    service.value()->stop();
+  }
+}
+
+TEST(BinaryProtocolTest, ChunkedStreamMatchesUnstreamedAtEverySplit) {
+  // predict_source_stream must be bit-identical to plain predict_source on
+  // the concatenated bytes at any chunk boundary — 1 byte at a time up to
+  // the whole source in one chunk.
+  PoolGuard guard;
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok());
+
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  rs::ServerOptions server_options;
+  server_options.tcp_port = 0;
+  auto server = rs::SocketServer::start(*service.value(), server_options);
+  ASSERT_TRUE(server.ok());
+
+  auto client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+  ASSERT_TRUE(client.ok());
+  auto negotiated = client.value().negotiate_binary();
+  ASSERT_TRUE(negotiated.ok());
+  ASSERT_EQ(negotiated.value(), rs::kProtocolVersion);
+
+  const std::string source = kSourceKernel;
+  const std::size_t splits[] = {1, 7, 64, 1024, source.size()};
+  for (const std::size_t split : splits) {
+    std::size_t offset = 0;
+    auto provider = [&]() -> std::optional<std::string> {
+      if (offset >= source.size()) return std::nullopt;
+      const std::size_t n = std::min(split, source.size() - offset);
+      std::string chunk = source.substr(offset, n);
+      offset += n;
+      return chunk;
+    };
+    auto response = client.value().predict_source_stream(provider);
+    ASSERT_TRUE(response.ok()) << response.error().message << " split=" << split;
+    EXPECT_EQ(response.value().kernel, reference.value().kernel);
+    EXPECT_TRUE(bitwise_equal(response.value().pareto, reference.value().pareto))
+        << "split=" << split;
+  }
+
+  // The stream requests are visible in the server's counters.
+  auto stats = client.value().stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().streamed, std::size(splits));
+
+  server.value()->stop();
+  service.value()->stop();
+}
+
+TEST(BinaryProtocolTest, StreamServesSourceLargerThanLineBoundInBoundedMemory) {
+  // A source far larger than max_line_bytes is un-servable as one JSON line
+  // (the framing bound kills the connection) but streams through chunked
+  // frames fine — and the server never buffers more than a frame at a time:
+  // its per-connection peak message buffer stays within a few line bounds
+  // while the source is two orders of magnitude larger.
+  PoolGuard guard;
+  std::string big_source = kSourceKernel;
+  big_source.reserve(260 << 10);
+  while (big_source.size() < (256 << 10)) {
+    big_source += "// padding comment line to inflate the translation unit\n";
+  }
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(big_source);
+  ASSERT_TRUE(reference.ok()) << reference.error().message;
+
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  rs::ServerOptions server_options;
+  server_options.tcp_port = 0;
+  server_options.max_line_bytes = 4096;
+  auto server = rs::SocketServer::start(*service.value(), server_options);
+  ASSERT_TRUE(server.ok());
+
+  {
+    // The whole-line JSON path cannot carry it: the request exceeds the
+    // framing bound and the connection dies with an error.
+    auto json_client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+    ASSERT_TRUE(json_client.ok());
+    auto refused = json_client.value().predict_source(big_source);
+    EXPECT_FALSE(refused.ok());
+  }
+
+  {
+    auto client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+    ASSERT_TRUE(client.ok());
+    auto negotiated = client.value().negotiate_binary();
+    ASSERT_TRUE(negotiated.ok());
+    ASSERT_EQ(negotiated.value(), rs::kProtocolVersion);
+
+    std::size_t offset = 0;
+    auto provider = [&]() -> std::optional<std::string> {
+      if (offset >= big_source.size()) return std::nullopt;
+      const std::size_t n = std::min<std::size_t>(512, big_source.size() - offset);
+      std::string chunk = big_source.substr(offset, n);
+      offset += n;
+      return chunk;
+    };
+    auto response = client.value().predict_source_stream(provider);
+    ASSERT_TRUE(response.ok()) << response.error().message;
+    EXPECT_TRUE(bitwise_equal(response.value().pareto, reference.value().pareto));
+  }  // disconnect: the connection's buffering peak folds into server stats
+
+  server.value()->stop();
+  const auto stats = server.value()->stats();
+  EXPECT_GT(stats.peak_message_bytes, 0u);
+  EXPECT_LE(stats.peak_message_bytes, 3 * server_options.max_line_bytes)
+      << "request buffering must be bounded by the frame size, not the source";
+
+  service.value()->stop();
+}
+
+TEST(BinaryProtocolTest, NegotiationDowngradesAgainstJsonOnlyServer) {
+  // enable_binary=false makes the server an old-style JSON-only peer: hello
+  // answers protocol 0 and the client stays on JSON lines, fully working.
+  PoolGuard guard;
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  rs::ServerOptions server_options;
+  server_options.tcp_port = 0;
+  server_options.enable_binary = false;
+  auto server = rs::SocketServer::start(*service.value(), server_options);
+  ASSERT_TRUE(server.ok());
+
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok());
+
+  auto client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+  ASSERT_TRUE(client.ok());
+  auto negotiated = client.value().negotiate_binary();
+  ASSERT_TRUE(negotiated.ok()) << negotiated.error().message;
+  EXPECT_EQ(negotiated.value(), 0u);
+  EXPECT_FALSE(client.value().binary());
+
+  auto response = client.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(response.ok()) << response.error().message;
+  EXPECT_TRUE(bitwise_equal(response.value().pareto, reference.value().pareto));
+
+  // predict_source_stream still works on the downgraded connection — the
+  // chunks are concatenated into one ordinary request.
+  int calls = 0;
+  auto provider = [&]() -> std::optional<std::string> {
+    const std::string source = kSourceKernel;
+    const std::size_t piece = source.size() / 3 + 1;
+    if (static_cast<std::size_t>(calls) * piece >= source.size()) return std::nullopt;
+    auto chunk = source.substr(static_cast<std::size_t>(calls) * piece, piece);
+    ++calls;
+    return chunk;
+  };
+  auto streamed = client.value().predict_source_stream(provider);
+  ASSERT_TRUE(streamed.ok()) << streamed.error().message;
+  EXPECT_TRUE(bitwise_equal(streamed.value().pareto, reference.value().pareto));
+
+  server.value()->stop();
+  service.value()->stop();
+}
+
+TEST(BinaryProtocolTest, NegotiationDowngradesAgainstPreHelloPeer) {
+  // A peer that predates "hello" answers it with an ordinary JSON error
+  // line (here: a raw fake speaking exactly that). negotiate_binary must
+  // treat the error reply as "JSON only", not as a failure.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  std::thread peer([listener] {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) return;
+    std::string line;
+    char c = 0;
+    while (::read(fd, &c, 1) == 1 && c != '\n') line.push_back(c);
+    std::string reply = rs::format_error(
+        rs::best_effort_id(line),
+        rc::parse_error("protocol: unknown request type \"hello\""));
+    reply.push_back('\n');
+    (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  });
+
+  auto client = rs::SocketClient::connect_tcp(ntohs(addr.sin_port));
+  ASSERT_TRUE(client.ok()) << client.error().message;
+  auto negotiated = client.value().negotiate_binary();
+  ASSERT_TRUE(negotiated.ok()) << negotiated.error().message;
+  EXPECT_EQ(negotiated.value(), 0u);
+  EXPECT_FALSE(client.value().binary());
+
+  peer.join();
+  ::close(listener);
+}
