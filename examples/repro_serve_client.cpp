@@ -26,6 +26,18 @@
 // error. Identical hashes == bit-identical predictions; retryable errors
 // (worker draining, overload shed, expired deadline) are expected under
 // chaos and do not fail the burst.
+//
+// Introspection instead of prediction:
+//   --stats    pretty table of the server's full counter dump (shed,
+//              deadline_exceeded, peak_message_bytes, ...)
+//   --metrics  the server's metrics-registry exposition (against a
+//              balancer: merged across the fleet)
+//
+// --trace asks every hop for per-stage timings and prints the stage table
+// on stderr (stderr so --dump stdout stays byte-comparable). In pipeline
+// mode the table of the last-read response is printed after the burst —
+// the smoke/chaos scripts use that to show where a failing fleet spends
+// its time.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -35,6 +47,7 @@
 
 #include "common/rng.hpp"
 #include "common/status.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 
 using namespace repro;
@@ -51,9 +64,44 @@ kernel void saxpy_demo(global float* x, global float* y, float a, int n) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--unix PATH | --tcp PORT) [--file kernel.cl] [--kernel NAME]\n"
-               "          [--pipeline N] [--dump] [--deadline-ms X]\n",
+               "          [--pipeline N] [--dump] [--deadline-ms X] [--trace]\n"
+               "          [--stats | --metrics]\n",
                argv0);
   return 2;
+}
+
+/// Human table of the full counter dump; the interesting overload counters
+/// (shed, deadline_exceeded) and the streaming memory bound
+/// (peak_message_bytes) get called out even when zero.
+void print_stats(const serve::WireStats& s) {
+  std::printf("%-22s %14.3f\n", "uptime_s", s.uptime_s);
+  const struct {
+    const char* name;
+    std::uint64_t value;
+  } rows[] = {
+      {"queue_depth", s.queue_depth},
+      {"requests", s.requests},
+      {"source_requests", s.source_requests},
+      {"batches", s.batches},
+      {"connections", s.connections},
+      {"protocol_errors", s.protocol_errors},
+      {"cache_hits", s.cache_hits},
+      {"cache_misses", s.cache_misses},
+      {"shed", s.shed},
+      {"deadline_exceeded", s.deadline_exceeded},
+      {"streamed", s.streamed},
+      {"peak_message_bytes", s.peak_message_bytes},
+  };
+  for (const auto& row : rows) {
+    std::printf("%-22s %14llu\n", row.name,
+                static_cast<unsigned long long>(row.value));
+  }
+}
+
+void print_last_trace(serve::SocketClient& client) {
+  if (client.last_trace().has_value()) {
+    std::fputs(obs::format_trace_table(*client.last_trace()).c_str(), stderr);
+  }
 }
 
 /// The exact --dump text of one prediction (the bit-identity format).
@@ -77,6 +125,9 @@ int main(int argc, char** argv) {
   std::string kernel_name;
   std::size_t pipeline = 0;
   bool dump = false;
+  bool trace = false;
+  bool want_stats = false;
+  bool want_metrics = false;
   double deadline_ms = 0.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +145,12 @@ int main(int argc, char** argv) {
       pipeline = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--dump") {
       dump = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--metrics") {
+      want_metrics = true;
     } else if (arg == "--deadline-ms" && has_value) {
       deadline_ms = std::strtod(argv[++i], nullptr);
     } else {
@@ -121,11 +178,32 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (deadline_ms > 0.0) client.value().set_deadline_ms(deadline_ms);
+  if (trace) client.value().set_trace_enabled(true);
+
+  if (want_stats) {
+    auto stats = client.value().stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats: %s\n", stats.error().to_string().c_str());
+      return 1;
+    }
+    print_stats(stats.value());
+    return 0;
+  }
+  if (want_metrics) {
+    auto metrics = client.value().metrics();
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", metrics.error().to_string().c_str());
+      return 1;
+    }
+    std::fputs(metrics.value().text.c_str(), stdout);
+    return 0;
+  }
 
   if (pipeline > 0) {
     const std::vector<core::Predictor::SourceRequest> sources(
         pipeline, {source, kernel_name});
     const auto responses = client.value().predict_source_many(sources);
+    if (trace) print_last_trace(client.value());
     if (dump) {
       // Chaos-soak report: every request accounted for, retryable errors
       // expected (worker draining, overload shed, expired deadline) — only
@@ -164,6 +242,7 @@ int main(int argc, char** argv) {
   }
 
   auto prediction = client.value().predict_source(source, kernel_name);
+  if (trace) print_last_trace(client.value());
   if (!prediction.ok()) {
     std::fprintf(stderr, "predict: %s\n", prediction.error().to_string().c_str());
     return 1;

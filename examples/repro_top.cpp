@@ -1,0 +1,144 @@
+// repro_top — live one-screen view of a running repro_serve worker or
+// fleet balancer, built on the "metrics" wire request.
+//
+//   repro_top --unix /tmp/repro.sock [--interval-ms 1000]
+//   repro_top --tcp 7070 --once
+//
+// Each tick scrapes the target's metrics registry (against a balancer:
+// the merged fleet view) and renders throughput (derived from successive
+// repro_requests_total deltas), queue depth, the overload counters
+// (shed / deadline_exceeded / rejected / redispatches), and the request
+// latency histogram's quantile expansion. --once prints a single frame
+// without clearing the screen — scripts and CI use it as a cheap "is the
+// fleet answering metrics" probe.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "serve/client.hpp"
+
+using namespace repro;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--unix PATH | --tcp PORT) [--interval-ms N] [--once]\n",
+               argv0);
+  return 2;
+}
+
+/// Missing names read 0 — a worker answers repro_* names, a balancer adds
+/// repro_balancer_*; one renderer serves both.
+double value_of(const std::map<std::string, double>& values, const char* name) {
+  const auto it = values.find(name);
+  return it != values.end() ? it->second : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  int tcp_port = -1;
+  long interval_ms = 1000;
+  bool once = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--unix" && has_value) {
+      unix_path = argv[++i];
+    } else if (arg == "--tcp" && has_value) {
+      tcp_port = std::atoi(argv[++i]);
+    } else if (arg == "--interval-ms" && has_value) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (unix_path.empty() && tcp_port < 0) return usage(argv[0]);
+  if (interval_ms < 50) interval_ms = 50;
+
+  auto client = unix_path.empty() ? serve::SocketClient::connect_tcp(tcp_port)
+                                  : serve::SocketClient::connect_unix(unix_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.error().to_string().c_str());
+    return 1;
+  }
+  const std::string target =
+      unix_path.empty() ? "127.0.0.1:" + std::to_string(tcp_port) : unix_path;
+
+  double prev_requests = 0.0;
+  auto prev_time = std::chrono::steady_clock::now();
+  bool have_prev = false;
+
+  for (;;) {
+    auto metrics = client.value().metrics();
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", metrics.error().to_string().c_str());
+      return 1;
+    }
+    const std::map<std::string, double> values(metrics.value().values.begin(),
+                                               metrics.value().values.end());
+    const auto now = std::chrono::steady_clock::now();
+    const double requests = value_of(values, "repro_requests_total");
+    double throughput = 0.0;
+    if (have_prev) {
+      const double dt = std::chrono::duration<double>(now - prev_time).count();
+      if (dt > 0.0) throughput = (requests - prev_requests) / dt;
+    }
+    prev_requests = requests;
+    prev_time = now;
+    have_prev = true;
+
+    // A worker reports its own queue/uptime gauges; a balancer's merged
+    // view carries repro_balancer_* on top — show whichever is present.
+    const double queue = value_of(values, "repro_queue_depth") +
+                         value_of(values, "repro_balancer_pending");
+    const double uptime = std::max(value_of(values, "repro_uptime_seconds"),
+                                   value_of(values, "repro_balancer_uptime_seconds"));
+    const double alive = value_of(values, "repro_balancer_backends_alive");
+
+    if (!once) std::fputs("\033[2J\033[H", stdout);
+    std::printf("repro_top — %s   up %.0fs%s\n", target.c_str(), uptime,
+                alive > 0.0
+                    ? ("   workers alive " + std::to_string(static_cast<int>(alive)))
+                          .c_str()
+                    : "");
+    std::printf("\n");
+    std::printf("  throughput   %10.1f req/s      queue depth  %10.0f\n",
+                throughput, queue);
+    std::printf("  requests     %10.0f            batches      %10.0f\n",
+                requests, value_of(values, "repro_batches_total"));
+    std::printf("  shed         %10.0f            deadline     %10.0f\n",
+                value_of(values, "repro_shed_total"),
+                value_of(values, "repro_deadline_exceeded_total"));
+    std::printf("  rejected     %10.0f            redispatch   %10.0f\n",
+                value_of(values, "repro_rejected_total"),
+                value_of(values, "repro_balancer_redispatches_total"));
+    std::printf("  streamed     %10.0f            proto errors %10.0f\n",
+                value_of(values, "repro_streamed_total"),
+                value_of(values, "repro_protocol_errors_total"));
+    std::printf("\n  request latency (us)\n");
+    const double count = value_of(values, "repro_request_latency_us_count");
+    const double sum = value_of(values, "repro_request_latency_us_sum_us");
+    std::printf("  count %8.0f   mean %10.1f\n", count,
+                count > 0.0 ? sum / count : 0.0);
+    std::printf("  p50 %12.1f   p95 %12.1f\n",
+                value_of(values, "repro_request_latency_us_p50_us"),
+                value_of(values, "repro_request_latency_us_p95_us"));
+    std::printf("  p99 %12.1f   max %12.1f\n",
+                value_of(values, "repro_request_latency_us_p99_us"),
+                value_of(values, "repro_request_latency_us_max_us"));
+    std::fflush(stdout);
+
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}

@@ -76,6 +76,16 @@ wait_ready() { # log_file
   return 1
 }
 
+# On a burst failure, send one traced probe request through the fleet and
+# print its trace id + per-stage timing table — which hop the struggling
+# fleet spends its time in, attached to the failure report.
+trace_probe() { # unix_sock
+  echo "chaos_soak: per-stage trace of a probe request through $1:" >&2
+  timeout 30 "$build_dir/repro_serve_client" --unix "$1" --trace --dump \
+    >/dev/null 2>"$work_dir/trace-probe.txt" || true
+  cat "$work_dir/trace-probe.txt" >&2
+}
+
 # --- reference hash: a direct repro_serve, no fleet, no faults ----------------
 direct_sock="$work_dir/direct.sock"
 direct_log="$work_dir/direct.log"
@@ -129,12 +139,14 @@ tail -n 3 "$work_dir/burst.out"
 if [ "$burst_status" -eq 124 ]; then
   echo "chaos_soak: burst HUNG past ${burst_timeout}s" >&2
   cat "$fleet_log" >&2
+  trace_probe "$fleet_sock"
   exit 1
 fi
 if [ "$burst_status" -ne 0 ]; then
   echo "chaos_soak: burst saw non-retryable failures (exit $burst_status)" >&2
   grep ' error ' "$work_dir/burst.out" >&2 || true
   cat "$fleet_log" >&2
+  trace_probe "$fleet_sock"
   exit 1
 fi
 
@@ -142,6 +154,7 @@ fi
 answered=$(grep -c '^req ' "$work_dir/burst.out" || true)
 if [ "$answered" -ne "$burst" ]; then
   echo "chaos_soak: $answered of $burst requests answered — ids were lost" >&2
+  trace_probe "$fleet_sock"
   exit 1
 fi
 
@@ -153,11 +166,13 @@ ok_count=$(grep -c ' ok ' "$work_dir/burst.out" || true)
 retry_count=$(grep -c ' retryable ' "$work_dir/burst.out" || true)
 if [ "$bad_hashes" -ne 0 ]; then
   echo "chaos_soak: $bad_hashes replies differ from the reference hash $ref_hash" >&2
+  trace_probe "$fleet_sock"
   exit 1
 fi
 if [ "$ok_count" -eq 0 ]; then
   echo "chaos_soak: every request was refused — the fleet served nothing" >&2
   cat "$fleet_log" >&2
+  trace_probe "$fleet_sock"
   exit 1
 fi
 echo "chaos_soak: $ok_count ok (all bit-identical), $retry_count retryable, 0 lost"

@@ -49,6 +49,16 @@ wait_ready() { # log_file
   return 1
 }
 
+# On a failure, send one traced probe request through the same endpoint and
+# print its trace id + per-stage timing table — where the (failing) fleet
+# spends its time, attached to the failure report.
+trace_probe() { # unix_sock
+  echo "fleet_smoke: per-stage trace of a probe request through $1:" >&2
+  "$build_dir/repro_serve_client" --unix "$1" --trace --dump \
+    >/dev/null 2>"$work_dir/trace-probe.txt" || true
+  cat "$work_dir/trace-probe.txt" >&2
+}
+
 # --- reference: a direct repro_serve, no fleet in between --------------------
 direct_sock="$work_dir/direct.sock"
 direct_log="$work_dir/direct.log"
@@ -86,6 +96,7 @@ for workers in 1 2 4; do
   if ! cmp -s "$work_dir/direct.txt" "$work_dir/fleet-$workers.txt"; then
     echo "fleet_smoke: fleet with $workers worker(s) is NOT bit-identical to direct serving" >&2
     diff "$work_dir/direct.txt" "$work_dir/fleet-$workers.txt" >&2 || true
+    trace_probe "$fleet_sock"
     exit 1
   fi
   echo "fleet_smoke: $workers worker(s) bit-identical to direct serving"
@@ -109,6 +120,7 @@ for workers in 1 2 4; do
     if [ "$burst_status" -ne 0 ] || ! grep -q '128/128 responses OK' "$work_dir/burst.out"; then
       echo "fleet_smoke: pipelined burst lost requests across the worker kill" >&2
       cat "$fleet_log" >&2
+      trace_probe "$fleet_sock"
       exit 1
     fi
     # A fresh request after the kill: the respawned (or surviving) fleet
@@ -117,6 +129,7 @@ for workers in 1 2 4; do
       >"$work_dir/after-kill.txt"
     cmp -s "$work_dir/direct.txt" "$work_dir/after-kill.txt" || {
       echo "fleet_smoke: post-kill reply differs from the reference" >&2
+      trace_probe "$fleet_sock"
       exit 1
     }
   fi

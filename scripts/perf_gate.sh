@@ -62,8 +62,24 @@ for name in $cases; do
   [ "$verdict" = "ok" ] || fail=1
 done
 
+# The observability overhead contract: the serving row with mode
+# "obs-overhead" reports instrumented-vs-disabled throughput cost in
+# percent (min over alternating pairs, so machine noise is already
+# filtered). Gated against an absolute bound, not the baseline — the
+# contract is "metrics cost <= 3% of serving throughput", full stop.
+obs_pct=$(sed -n 's/.*"mode": "obs-overhead".*"overhead_pct": \([0-9.]*\).*/\1/p' "$current")
+if [ -z "$obs_pct" ]; then
+  echo "perf_gate: obs-overhead row missing from perf_stack output" >&2
+  fail=1
+else
+  obs_verdict=$(awk -v p="$obs_pct" 'BEGIN { print (p > 3.0) ? "REGRESSED" : "ok" }')
+  printf 'perf_gate: %-20s overhead %6.2f %%   (bound 3.00 %%)   %s\n' \
+    "obs-overhead" "$obs_pct" "$obs_verdict"
+  [ "$obs_verdict" = "ok" ] || fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
-  echo "perf_gate: FAILED — a gated case regressed more than 25% (+0.25 ms slack)" >&2
+  echo "perf_gate: FAILED — a gated case regressed more than 25% (+0.25 ms slack) or the obs-overhead bound was exceeded" >&2
   exit 1
 fi
 echo "perf_gate: OK"

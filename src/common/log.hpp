@@ -1,9 +1,15 @@
 // Tiny leveled logger. Experiments log progress (training epochs, sweep
 // status) to stderr; the printed tables/series stay clean on stdout.
+//
+// A filtered-out log line costs one atomic load and one comparison: the
+// LogLine only engages its ostringstream (and streams its operands) when
+// the level passes the threshold at construction time.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace repro::common {
 
@@ -16,24 +22,49 @@ void set_log_level(LogLevel level) noexcept;
 /// Emit a message (already formatted) at the given level.
 void log_message(LogLevel level, const std::string& msg);
 
+/// Structured `key=value` field for log lines:
+///   log_info() << "dispatch " << kv("backend", id) << ' ' << kv("us", n);
+template <typename T>
+struct KV {
+  std::string_view key;
+  const T& value;
+};
+
+template <typename T>
+[[nodiscard]] KV<T> kv(std::string_view key, const T& value) {
+  return KV<T>{key, value};
+}
+
 namespace detail {
 
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
+  explicit LogLine(LogLevel level) : level_(level) {
+    if (static_cast<int>(level) >= static_cast<int>(log_level())) {
+      oss_.emplace();
+    }
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
-  ~LogLine() { log_message(level_, oss_.str()); }
+  ~LogLine() {
+    if (oss_) log_message(level_, oss_->str());
+  }
 
   template <typename T>
   LogLine& operator<<(const T& v) {
-    oss_ << v;
+    if (oss_) *oss_ << v;
+    return *this;
+  }
+
+  template <typename T>
+  LogLine& operator<<(const KV<T>& field) {
+    if (oss_) *oss_ << field.key << '=' << field.value;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream oss_;
+  std::optional<std::ostringstream> oss_;
 };
 
 }  // namespace detail

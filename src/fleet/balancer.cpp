@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <future>
 #include <list>
@@ -83,6 +84,11 @@ struct Balancer::Impl {
     /// re-dispatched — losing the backend mid-stream surfaces a retryable
     /// kUnavailable to the client, which still holds the bytes.
     bool streamed = false;
+    /// Non-null when the client asked to be traced: balancer-side stages
+    /// (parse/dispatch/redispatch) stamped against this balancer's own
+    /// clock; the connection writer merges the worker's stages in and adds
+    /// balancer.reply.
+    obs::RequestTracePtr trace;
     std::promise<serve::WireResponse> promise;
   };
   using PendingPtr = std::shared_ptr<Pending>;
@@ -151,6 +157,18 @@ struct Balancer::Impl {
   std::uint64_t redispatches = 0;
   std::uint64_t backend_failures = 0;
   std::uint64_t reconnects = 0;
+  std::uint64_t peak_message_bytes = 0;
+
+  /// The balancer's own metrics (see BalancerOptions::registry for why the
+  /// default is private, not global). Counter pointers are resolved once at
+  /// start; gauges are set at scrape time by gather_metrics.
+  obs::Registry owned_registry;
+  obs::Registry* registry = nullptr;
+  obs::Counter* obs_requests = nullptr;
+  obs::Counter* obs_dispatches = nullptr;
+  obs::Counter* obs_redispatches = nullptr;
+  obs::Counter* obs_backend_failures = nullptr;
+  obs::Counter* obs_reconnects = nullptr;
 
   void accept_loop();
   void serve_connection(int fd);
@@ -164,6 +182,16 @@ struct Balancer::Impl {
   void dispatch(const PendingPtr& pending);
   void fail_pending(const PendingPtr& pending, const common::Error& error);
   void send_health_ping(Backend& backend);
+  /// Register + write a balancer-originated request addressed to this one
+  /// backend, bypassing pick_backend — health pings and metrics scrapes are
+  /// per-backend by nature. Sent as a JSON line (framing is detected per
+  /// message, so it interleaves safely with binary traffic). On failure the
+  /// entry is reclaimed, the reader is woken to run the teardown, and the
+  /// pending promise resolves with a retryable error.
+  void send_to_backend(Backend& backend, const PendingPtr& pending);
+  /// One bounded round of per-backend "metrics" scrapes, merged with the
+  /// balancer's own registry.
+  [[nodiscard]] serve::WireMetrics gather_metrics();
   [[nodiscard]] serve::WireStats own_wire_stats();
 };
 
@@ -177,6 +205,13 @@ common::Result<std::unique_ptr<Balancer>> Balancer::start(
   std::unique_ptr<Balancer> balancer(new Balancer());
   Impl& impl = *balancer->impl_;
   impl.options = options;
+  impl.registry = options.registry != nullptr ? options.registry : &impl.owned_registry;
+  impl.obs_requests = impl.registry->counter("repro_balancer_requests_total");
+  impl.obs_dispatches = impl.registry->counter("repro_balancer_dispatches_total");
+  impl.obs_redispatches = impl.registry->counter("repro_balancer_redispatches_total");
+  impl.obs_backend_failures =
+      impl.registry->counter("repro_balancer_backend_failures_total");
+  impl.obs_reconnects = impl.registry->counter("repro_balancer_reconnects_total");
 
   // Backends first: a balancer that cannot reach its fleet should fail
   // loudly at startup, not accept clients it cannot serve. The connect
@@ -346,6 +381,7 @@ void Balancer::Impl::backend_reader(Backend& backend) {
           std::lock_guard lock(stats_mutex);
           ++redispatches;
         }
+        obs_redispatches->inc();
         dispatch(pending);
         continue;
       }
@@ -367,9 +403,13 @@ void Balancer::Impl::teardown_backend(Backend& backend) {
   }
   backend.outstanding.fetch_sub(orphans.size(), std::memory_order_relaxed);
   if (!orphans.empty() || !stopping.load(std::memory_order_acquire)) {
-    std::lock_guard lock(stats_mutex);
-    ++backend_failures;
-    redispatches += orphans.size();
+    {
+      std::lock_guard lock(stats_mutex);
+      ++backend_failures;
+      redispatches += orphans.size();
+    }
+    obs_backend_failures->inc();
+    obs_redispatches->inc(orphans.size());
   }
   // Re-dispatch in backend-id (= send) order. Order cannot change reply
   // bytes — each reply depends only on its own request — it just keeps the
@@ -457,6 +497,8 @@ void Balancer::Impl::dispatch(const PendingPtr& pending) {
       return;
     }
     ++pending->attempts;
+    obs::stamp(pending->trace, pending->attempts == 1 ? "balancer.dispatch"
+                                                      : "balancer.redispatch");
 
     std::uint64_t backend_id = 0;
     std::uint64_t generation = 0;
@@ -495,6 +537,7 @@ void Balancer::Impl::dispatch(const PendingPtr& pending) {
     }
     if (written) {
       backend->routed.fetch_add(1, std::memory_order_relaxed);
+      obs_dispatches->inc();
       return;
     }
     // Write failed (worker died between pick and write). Wake the reader so
@@ -513,16 +556,15 @@ void Balancer::Impl::dispatch(const PendingPtr& pending) {
   }
 }
 
-void Balancer::Impl::send_health_ping(Backend& backend) {
-  auto pending = std::make_shared<Pending>();
-  pending->internal = true;
-  pending->request.kind = serve::RequestKind::kHealth;
-  // Bypass pick_backend: a ping is addressed to this backend specifically.
+void Balancer::Impl::send_to_backend(Backend& backend, const PendingPtr& pending) {
   std::uint64_t backend_id = 0;
   std::uint64_t generation = 0;
   {
     std::lock_guard lock(backend.state_mutex);
-    if (!backend.alive.load(std::memory_order_relaxed)) return;
+    if (!backend.alive.load(std::memory_order_relaxed)) {
+      fail_pending(pending, common::unavailable("Balancer: backend not alive"));
+      return;
+    }
     backend_id = backend.next_id++;
     generation = backend.generation;
     backend.pending.emplace(backend_id, pending);
@@ -541,14 +583,113 @@ void Balancer::Impl::send_health_ping(Backend& backend) {
     }
   }
   if (!written) {
-    std::lock_guard lock(backend.state_mutex);
-    if (backend.pending.erase(backend_id) > 0) {
-      backend.outstanding.fetch_sub(1, std::memory_order_relaxed);
+    bool ours = false;
+    {
+      std::lock_guard lock(backend.state_mutex);
+      ours = backend.pending.erase(backend_id) > 0;
+      if (backend.generation == generation && backend.fd >= 0) {
+        ::shutdown(backend.fd, SHUT_RDWR);  // reader runs the teardown
+      }
     }
-    if (backend.generation == generation && backend.fd >= 0) {
-      ::shutdown(backend.fd, SHUT_RDWR);  // reader runs the teardown
+    if (ours) {
+      backend.outstanding.fetch_sub(1, std::memory_order_relaxed);
+      fail_pending(pending,
+                   common::unavailable("Balancer: backend write failed"));
     }
   }
+}
+
+void Balancer::Impl::send_health_ping(Backend& backend) {
+  auto pending = std::make_shared<Pending>();
+  pending->internal = true;
+  pending->request.kind = serve::RequestKind::kHealth;
+  send_to_backend(backend, pending);
+}
+
+serve::WireMetrics Balancer::Impl::gather_metrics() {
+  // Scrape every live worker over its existing backend connection. The
+  // pending entries are marked streamed so they can never re-dispatch — a
+  // snapshot is per-backend; moving it would answer for the wrong worker —
+  // and a backend lost mid-scrape resolves them with an error via teardown,
+  // which the merge below simply skips.
+  std::vector<std::future<serve::WireResponse>> probes;
+  for (auto& backend : backends) {
+    if (!backend->alive.load(std::memory_order_acquire)) continue;
+    auto pending = std::make_shared<Pending>();
+    pending->streamed = true;
+    pending->request.kind = serve::RequestKind::kMetrics;
+    pending->arrival = std::chrono::steady_clock::now();
+    probes.push_back(pending->promise.get_future());
+    send_to_backend(*backend, pending);
+  }
+
+  // Merge rule: counters and sums add across workers; per-worker quantile
+  // and max expansions take the max (a fleet p99 is at least some worker's
+  // p99 — summing them would be meaningless).
+  const auto merged_by_max = [](std::string_view name) {
+    for (std::string_view suffix : {"_p50_us", "_p95_us", "_p99_us", "_max_us"}) {
+      if (name.size() >= suffix.size() &&
+          name.substr(name.size() - suffix.size()) == suffix) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::map<std::string, double> merged;
+  const auto merge_value = [&](const std::string& name, double value) {
+    auto [it, inserted] = merged.emplace(name, value);
+    if (!inserted) {
+      it->second =
+          merged_by_max(name) ? std::max(it->second, value) : it->second + value;
+    }
+  };
+  // Workers answer metrics inline, so a short budget covers the fleet; one
+  // that cannot answer in time is skipped rather than wedging the scrape.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  std::size_t scraped = 0;
+  for (auto& probe : probes) {
+    if (probe.wait_until(deadline) != std::future_status::ready) continue;
+    serve::WireResponse response = probe.get();
+    if (!response.metrics.has_value()) continue;
+    ++scraped;
+    for (const auto& [name, value] : response.metrics->values) {
+      merge_value(name, value);
+    }
+  }
+
+  // The balancer's own registry rides along (names are disjoint by the
+  // repro_balancer_ prefix), with its gauges stamped at scrape time.
+  registry->gauge("repro_balancer_uptime_seconds")
+      ->set(std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                .count());
+  std::size_t outstanding = 0;
+  std::size_t alive = 0;
+  for (const auto& backend : backends) {
+    outstanding += backend->outstanding.load(std::memory_order_relaxed);
+    if (backend->alive.load(std::memory_order_acquire)) ++alive;
+  }
+  registry->gauge("repro_balancer_pending")->set(static_cast<double>(outstanding));
+  registry->gauge("repro_balancer_backends_alive")->set(static_cast<double>(alive));
+  registry->gauge("repro_balancer_backends_scraped")->set(static_cast<double>(scraped));
+  for (const auto& [name, value] : registry->snapshot_values()) {
+    merge_value(name, value);
+  }
+
+  serve::WireMetrics wire;
+  wire.values.assign(merged.begin(), merged.end());
+  // Regenerated flat text: per-worker histogram buckets do not survive the
+  // merge (scrape a worker directly for its bucket lines).
+  std::string text = "# merged across " + std::to_string(scraped) + " worker(s)\n";
+  char buffer[64];
+  for (const auto& [name, value] : merged) {
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    text += name;
+    text += ' ';
+    text += buffer;
+    text += '\n';
+  }
+  wire.text = std::move(text);
+  return wire;
 }
 
 void Balancer::Impl::maintenance_loop() {
@@ -598,6 +739,7 @@ void Balancer::Impl::maintenance_loop() {
             std::lock_guard lock(stats_mutex);
             ++reconnects;
           }
+          obs_reconnects->inc();
           common::log_info() << "Balancer: reconnected to "
                              << endpoint_name(backend.endpoint);
         } else {
@@ -689,6 +831,7 @@ serve::WireStats Balancer::Impl::own_wire_stats() {
   wire.requests = requests;
   wire.connections = connections;
   wire.protocol_errors = protocol_errors;
+  wire.peak_message_bytes = peak_message_bytes;
   return wire;
 }
 
@@ -702,6 +845,9 @@ void Balancer::Impl::serve_connection(int fd) {
     bool binary = false;
     std::optional<std::future<serve::WireResponse>> response;
     std::string immediate;
+    /// The forwarded request's balancer-side trace; the writer merges the
+    /// worker's stages into it and stamps balancer.reply.
+    obs::RequestTracePtr trace;
   };
   common::BoundedQueue<PendingReply> replies(
       std::max<std::size_t>(1, options.max_inflight));
@@ -712,22 +858,36 @@ void Balancer::Impl::serve_connection(int fd) {
       std::string reply;
       if (pending->response.has_value()) {
         serve::WireResponse response = pending->response->get();
+        // Merge order: balancer pre-dispatch stages, the worker's stage
+        // table (offsets against the WORKER's clock — per-hop, never
+        // rebased), then balancer.reply against this balancer's clock.
+        std::optional<obs::Trace> trace;
+        if (pending->trace != nullptr) {
+          if (response.trace.has_value()) {
+            pending->trace->append(response.trace->stages);
+          }
+          pending->trace->stamp("balancer.reply");
+          trace = pending->trace->snapshot();
+        }
+        const obs::Trace* trace_ptr = trace.has_value() ? &*trace : nullptr;
         const common::Error malformed =
             common::internal_error("Balancer: malformed backend reply");
         if (pending->binary) {
           if (response.prediction.has_value()) {
-            reply = serve::binary::format_prediction_frame(pending->id,
-                                                           *response.prediction);
+            reply = serve::binary::format_prediction_frame(
+                pending->id, *response.prediction, trace_ptr);
           } else if (response.error.has_value()) {
-            reply = serve::binary::format_error_frame(pending->id, *response.error);
+            reply = serve::binary::format_error_frame(pending->id, *response.error,
+                                                      trace_ptr);
           } else {
             reply = serve::binary::format_error_frame(pending->id, malformed);
           }
         } else {
           if (response.prediction.has_value()) {
-            reply = serve::format_response(pending->id, *response.prediction);
+            reply = serve::format_response(pending->id, *response.prediction,
+                                           trace_ptr);
           } else if (response.error.has_value()) {
-            reply = serve::format_error(pending->id, *response.error);
+            reply = serve::format_error(pending->id, *response.error, trace_ptr);
           } else {
             reply = serve::format_error(pending->id, malformed);
           }
@@ -803,13 +963,31 @@ void Balancer::Impl::serve_connection(int fd) {
       replies.push(std::move(pending));
       return;
     }
+    if (wire.kind == serve::RequestKind::kMetrics) {
+      // Aggregation runs on this reader thread: scrapes come from dedicated
+      // monitoring connections (repro_top), and the gather is bounded, so
+      // stalling this connection's decode briefly is fine.
+      const serve::WireMetrics merged = gather_metrics();
+      pending.immediate = is_binary
+                              ? serve::binary::format_metrics_frame(wire.id, merged)
+                              : serve::format_metrics_response(wire.id, merged);
+      replies.push(std::move(pending));
+      return;
+    }
     {
       std::lock_guard slock(stats_mutex);
       ++requests;
     }
+    obs_requests->inc();
     auto forwarded = std::make_shared<Pending>();
     forwarded->request = std::move(wire);
     forwarded->arrival = std::chrono::steady_clock::now();
+    if (forwarded->request.trace.has_value()) {
+      forwarded->trace =
+          std::make_shared<obs::RequestTrace>(*forwarded->request.trace);
+      forwarded->trace->stamp("balancer.parse");
+      pending.trace = forwarded->trace;
+    }
     pending.response = forwarded->promise.get_future();
     // Push before dispatch: the queue bound is the pipelining window, and
     // it must count this request before the next message is decoded.
@@ -896,6 +1074,7 @@ void Balancer::Impl::serve_connection(int fd) {
             std::lock_guard slock(stats_mutex);
             ++requests;
           }
+          obs_requests->inc();
           auto pending_entry = std::make_shared<Pending>();
           pending_entry->streamed = true;
           pending_entry->request.id = open.id;
@@ -1069,9 +1248,11 @@ void Balancer::Impl::serve_connection(int fd) {
   }
   replies.close();
   writer.join();
-  if (framing_fault) {
+  {
     std::lock_guard slock(stats_mutex);
-    ++protocol_errors;
+    peak_message_bytes = std::max<std::uint64_t>(peak_message_bytes,
+                                                 splitter.peak_buffered_bytes());
+    if (framing_fault) ++protocol_errors;
   }
 }
 
@@ -1137,6 +1318,7 @@ Balancer::Stats Balancer::stats() const {
     out.redispatches = impl_->redispatches;
     out.backend_failures = impl_->backend_failures;
     out.reconnects = impl_->reconnects;
+    out.peak_message_bytes = impl_->peak_message_bytes;
   }
   out.routed.reserve(impl_->backends.size());
   for (const auto& backend : impl_->backends) {

@@ -24,7 +24,16 @@
 //
 // Balancer-addressed "health"/"stats" requests are answered by the balancer
 // itself (its own uptime and counters; queue_depth = requests currently
-// pending on backends).
+// pending on backends). A "metrics" request aggregates: each live worker is
+// scraped over its backend connection, the flat name→value snapshots are
+// merged (counters sum; per-worker quantile/max expansions take the max),
+// and the balancer's own repro_balancer_* metrics ride along.
+//
+// Traced requests (wire "trace") get balancer-side stages — balancer.parse,
+// balancer.dispatch, balancer.redispatch, balancer.reply — merged around
+// the worker's own stage table in the reply. The trace member is forwarded
+// unchanged while ids are rewritten, so one trace id follows the request
+// end to end.
 #pragma once
 
 #include <chrono>
@@ -34,6 +43,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 
 namespace repro::fleet {
@@ -68,6 +78,12 @@ struct BalancerOptions {
   /// pending requests re-dispatch). An idle backend connection never times
   /// out — quiet is not dead. Also bounds client-facing reply writes.
   std::chrono::milliseconds io_timeout{10000};
+  /// Registry the balancer's own repro_balancer_* counters register in.
+  /// Null = a registry PRIVATE to this balancer — deliberately not the
+  /// process-global one, so an in-process fleet (tests start workers and
+  /// the balancer in one process) never double-counts worker metrics when
+  /// a "metrics" scrape merges backend snapshots with the balancer's own.
+  obs::Registry* registry = nullptr;
 };
 
 class Balancer {
@@ -94,6 +110,9 @@ class Balancer {
     std::uint64_t redispatches = 0;      // requests moved off a dead/draining worker
     std::uint64_t backend_failures = 0;  // backend connections lost
     std::uint64_t reconnects = 0;        // backend connections re-established
+    /// High-water mark, across finished client connections, of bytes
+    /// buffered for one message (same contract as SocketServer::Stats).
+    std::uint64_t peak_message_bytes = 0;
     std::vector<std::uint64_t> routed;   // requests routed per backend
   };
   [[nodiscard]] Stats stats() const;

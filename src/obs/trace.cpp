@@ -1,0 +1,48 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace repro::obs {
+
+void RequestTrace::stamp(std::string_view stage) {
+  const auto now = std::chrono::steady_clock::now();
+  const double us =
+      std::chrono::duration<double, std::micro>(now - t0_).count();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stages_.push_back(TraceStage{std::string(stage), us});
+}
+
+void RequestTrace::append(const std::vector<TraceStage>& stages) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stages_.insert(stages_.end(), stages.begin(), stages.end());
+}
+
+Trace RequestTrace::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Trace t;
+  t.id = id_;
+  t.stages = stages_;
+  return t;
+}
+
+std::string format_trace_table(const Trace& trace) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "trace %016llx\n",
+                static_cast<unsigned long long>(trace.id));
+  out += line;
+  std::size_t width = 5;  // "stage"
+  for (const TraceStage& s : trace.stages) {
+    width = std::max(width, s.stage.size());
+  }
+  for (const TraceStage& s : trace.stages) {
+    std::snprintf(line, sizeof(line), "  %-*s %12.1f us\n",
+                  static_cast<int>(width), s.stage.c_str(), s.us);
+    out += line;
+  }
+  if (trace.stages.empty()) out += "  (no stages)\n";
+  return out;
+}
+
+}  // namespace repro::obs

@@ -1,0 +1,71 @@
+// Per-request tracing: a 64-bit trace id plus per-stage monotonic
+// timestamps, carried on the wire when (and only when) the client asked
+// for it. Each hop stamps stages against its own steady_clock t0, so
+// offsets are per-hop microseconds — clock domains are never merged
+// across processes (docs/OBSERVABILITY.md covers reading a merged
+// trace). Requests without a trace id pay nothing: the shared_ptr stays
+// null and every stamp site is one pointer test.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::obs {
+
+/// One stamped stage: name plus µs elapsed since the owning hop's t0.
+struct TraceStage {
+  std::string stage;
+  double us = 0.0;
+};
+
+/// The wire form of a trace: id plus the accumulated stages.
+struct Trace {
+  std::uint64_t id = 0;
+  std::vector<TraceStage> stages;
+};
+
+/// Mutable per-request trace, shared between the connection reader, the
+/// service pipeline, and the reply writer. The mutex is only ever taken
+/// for requests that asked to be traced, so it costs untraced traffic
+/// nothing.
+class RequestTrace {
+ public:
+  explicit RequestTrace(std::uint64_t id)
+      : id_(id), t0_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// Record `stage` at now() - t0, in µs.
+  void stamp(std::string_view stage);
+
+  /// Splice in stages received from another hop (kept in their order,
+  /// with their own time base).
+  void append(const std::vector<TraceStage>& stages);
+
+  [[nodiscard]] Trace snapshot() const;
+
+ private:
+  std::uint64_t id_;
+  std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mutex_;
+  std::vector<TraceStage> stages_;
+};
+
+using RequestTracePtr = std::shared_ptr<RequestTrace>;
+
+/// stamp() through a possibly-null trace pointer — the universal call
+/// site form.
+inline void stamp(const RequestTracePtr& trace, std::string_view stage) {
+  if (trace) trace->stamp(stage);
+}
+
+/// Render a trace as an aligned "stage / us" table for failure reports
+/// (repro_serve_client --trace, chaos/fleet script failure paths).
+[[nodiscard]] std::string format_trace_table(const Trace& trace);
+
+}  // namespace repro::obs

@@ -116,6 +116,9 @@ SocketClient::SocketClient(SocketClient&& other) noexcept
       deadline_ms_(other.deadline_ms_),
       next_id_(other.next_id_),
       binary_(other.binary_),
+      protocol_(other.protocol_),
+      trace_enabled_(other.trace_enabled_),
+      last_trace_(std::move(other.last_trace_)),
       splitter_(std::move(other.splitter_)) {}
 
 SocketClient& SocketClient::operator=(SocketClient&& other) noexcept {
@@ -126,6 +129,9 @@ SocketClient& SocketClient::operator=(SocketClient&& other) noexcept {
     deadline_ms_ = other.deadline_ms_;
     next_id_ = other.next_id_;
     binary_ = other.binary_;
+    protocol_ = other.protocol_;
+    trace_enabled_ = other.trace_enabled_;
+    last_trace_ = std::move(other.last_trace_);
     splitter_ = std::move(other.splitter_);
   }
   return *this;
@@ -142,6 +148,7 @@ common::Result<core::Predictor::KernelPrediction> SocketClient::predict(
   request.kernel = kernel;
   request.features = counts;
   request.deadline_ms = deadline_ms_;
+  maybe_trace(request);
   return round_trip(request);
 }
 
@@ -158,6 +165,7 @@ common::Result<core::Predictor::KernelPrediction> SocketClient::predict_source(
   request.kernel = kernel_name;
   request.source = opencl_source;
   request.deadline_ms = deadline_ms_;
+  maybe_trace(request);
   return round_trip(request);
 }
 
@@ -215,6 +223,7 @@ common::Result<std::uint32_t> SocketClient::negotiate_binary() {
     // does not serve hello (a pre-hello server's "unknown request type", a
     // shedding backend's "unavailable"): that is the downgrade signal, not a
     // failure — stay on JSON.
+    protocol_ = 0;
     return 0;
   }
   if (!response.value().protocol.has_value()) {
@@ -222,6 +231,7 @@ common::Result<std::uint32_t> SocketClient::negotiate_binary() {
   }
   const std::uint32_t version = std::min(*response.value().protocol, kProtocolVersion);
   binary_ = version >= 1;
+  protocol_ = version;
   return version;
 }
 
@@ -258,6 +268,7 @@ SocketClient::predict_source_many(
     request.kernel = source.kernel;
     request.source = source.source;
     request.deadline_ms = deadline_ms_;
+    maybe_trace(request);
     send_status = send_request(request);
     if (!send_status.ok()) break;
     ++sent;
@@ -317,6 +328,7 @@ common::Result<WireResponse> SocketClient::read_wire(std::uint64_t expect_id) {
             "SocketClient: response id " + std::to_string(response.value().id) +
             " does not match request id " + std::to_string(expect_id));
       }
+      last_trace_ = response.value().trace;
       return response;
     }
     char chunk[4096];
@@ -393,6 +405,29 @@ common::Result<WireStats> SocketClient::health() {
 
 common::Result<WireStats> SocketClient::stats() {
   return introspect(RequestKind::kStats);
+}
+
+common::Result<WireMetrics> SocketClient::metrics() {
+  WireRequest request;
+  request.id = next_id_++;
+  request.kind = RequestKind::kMetrics;
+  if (auto st = send_request(request); !st.ok()) return st.error();
+  auto response = read_wire(request.id);
+  if (!response.ok()) return response.error();
+  if (response.value().error.has_value()) return *response.value().error;
+  if (!response.value().metrics.has_value()) {
+    return common::parse_error("SocketClient: expected a metrics response");
+  }
+  return std::move(*response.value().metrics);
+}
+
+void SocketClient::maybe_trace(WireRequest& request) {
+  if (!trace_enabled_) return;
+  // An old binary peer (protocol 1) has no trace flag bit and would reject
+  // it as a protocol error; JSON peers ignore unknown members, so the JSON
+  // path always opts in.
+  if (binary_ && protocol_ < 2) return;
+  request.trace = request.id;
 }
 
 common::Result<core::Predictor::KernelPrediction> SocketClient::round_trip(

@@ -103,6 +103,11 @@ class SocketClient {
   /// True once negotiate_binary() settled on protocol >= 1.
   [[nodiscard]] bool binary() const noexcept { return binary_; }
 
+  /// The version negotiate_binary() settled on (0 until negotiated, or when
+  /// the peer is JSON-only). Wire features gated on a version — the binary
+  /// trace flag needs >= 2 — check this, not binary().
+  [[nodiscard]] std::uint32_t protocol() const noexcept { return protocol_; }
+
   /// Default latency budget stamped on every subsequent prediction request
   /// (wire "deadline_ms"). The server answers deadline_exceeded instead of
   /// predicting once the budget runs out. nullopt (the default) sends no
@@ -111,11 +116,30 @@ class SocketClient {
     deadline_ms_ = deadline_ms;
   }
 
+  /// Ask the server for per-stage timing on every subsequent prediction
+  /// request (wire "trace"; the trace id is the request id, so one id
+  /// follows the request end to end). On a binary connection the trace flag
+  /// needs negotiated protocol >= 2 — against an older peer the request is
+  /// simply sent untraced rather than rejected. The reply's stage table
+  /// lands in last_trace().
+  void set_trace_enabled(bool enabled) noexcept { trace_enabled_ = enabled; }
+
+  /// The trace carried by the most recently parsed response, if any (error
+  /// replies carry traces too). Overwritten — or cleared — by every
+  /// successful read.
+  [[nodiscard]] const std::optional<obs::Trace>& last_trace() const noexcept {
+    return last_trace_;
+  }
+
   /// Liveness probe: uptime_s and queue_depth only (the cheap form the
   /// balancer pings workers with).
   [[nodiscard]] common::Result<WireStats> health();
   /// The server's full counter dump.
   [[nodiscard]] common::Result<WireStats> stats();
+  /// The server's metrics-registry exposition: Prometheus-style text plus
+  /// the flat name→value map (a balancer answers with its own counters
+  /// merged with every backend's).
+  [[nodiscard]] common::Result<WireMetrics> metrics();
 
   /// Send one raw line (no trailing newline) and read one raw reply line —
   /// for side protocols that share the line framing but not the message
@@ -128,6 +152,8 @@ class SocketClient {
   [[nodiscard]] int release_fd() noexcept {
     splitter_ = MessageSplitter(kMaxMessageBytes);
     binary_ = false;
+    protocol_ = 0;
+    last_trace_.reset();
     return std::exchange(fd_, -1);
   }
 
@@ -148,12 +174,18 @@ class SocketClient {
   [[nodiscard]] common::Result<core::Predictor::KernelPrediction> round_trip(
       const WireRequest& request);
   [[nodiscard]] common::Result<WireStats> introspect(RequestKind kind);
+  /// Stamp the trace opt-in on a prediction request when enabled and the
+  /// negotiated framing can carry it.
+  void maybe_trace(WireRequest& request);
 
   int fd_ = -1;
   std::chrono::milliseconds io_timeout_{30000};
   std::optional<double> deadline_ms_;
   std::uint64_t next_id_ = 1;
   bool binary_ = false;  // negotiated framing for requests this client sends
+  std::uint32_t protocol_ = 0;  // negotiated version; 0 = unnegotiated/JSON-only
+  bool trace_enabled_ = false;
+  std::optional<obs::Trace> last_trace_;
   MessageSplitter splitter_{kMaxMessageBytes};  // reply reassembly, both framings
 };
 

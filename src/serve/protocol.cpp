@@ -417,6 +417,17 @@ common::Result<WireRequest> parse_request(const std::string& line) {
     }
     request.deadline_ms = deadline->as_number();
   }
+  if (const JsonValue* trace = doc.value().find("trace"); trace != nullptr) {
+    // A trace id: opt into per-stage reply timings. Servers that predate
+    // tracing simply never look the member up, so it is backward
+    // compatible on the JSON framing by construction.
+    const double v = trace->is_number() ? trace->as_number() : -1.0;
+    if (!(v >= 0) || v != std::floor(v) || v > 1.8e19) {
+      return common::parse_error(
+          "protocol: \"trace\" must be a non-negative integer");
+    }
+    request.trace = static_cast<std::uint64_t>(v);
+  }
   const JsonValue* features = doc.value().find("features");
   const JsonValue* source = doc.value().find("source");
   // Optional explicit request type; when present it must match the payload
@@ -428,12 +439,14 @@ common::Result<WireRequest> parse_request(const std::string& line) {
       return common::parse_error("protocol: \"type\" must be a string");
     }
     const std::string& t = type->as_string();
-    if (t == "health" || t == "stats") {
+    if (t == "health" || t == "stats" || t == "metrics") {
       if (features != nullptr || source != nullptr) {
         return common::parse_error("protocol: \"" + t +
                                    "\" requests carry no payload");
       }
-      request.kind = t == "health" ? RequestKind::kHealth : RequestKind::kStats;
+      request.kind = t == "health"  ? RequestKind::kHealth
+                     : t == "stats" ? RequestKind::kStats
+                                    : RequestKind::kMetrics;
       return request;
     }
     if (t == "hello") {
@@ -506,6 +519,7 @@ std::string format_request(const WireRequest& request) {
   std::string out = "{\"id\":" + std::to_string(request.id);
   if (request.kind == RequestKind::kHealth) return out + ",\"type\":\"health\"}";
   if (request.kind == RequestKind::kStats) return out + ",\"type\":\"stats\"}";
+  if (request.kind == RequestKind::kMetrics) return out + ",\"type\":\"metrics\"}";
   if (request.kind == RequestKind::kHello) {
     return out + ",\"type\":\"hello\",\"max_protocol\":" +
            std::to_string(request.max_protocol) + "}";
@@ -519,6 +533,9 @@ std::string format_request(const WireRequest& request) {
   if (request.deadline_ms.has_value()) {
     out += ",\"deadline_ms\":";
     append_double(out, *request.deadline_ms);
+  }
+  if (request.trace.has_value()) {
+    out += ",\"trace\":" + std::to_string(*request.trace);
   }
   if (request.features.has_value()) {
     out += ",\"features\":[";
@@ -534,8 +551,27 @@ std::string format_request(const WireRequest& request) {
   return out;
 }
 
+namespace {
+
+/// ,"trace":{"id":…,"stages":[{"stage":…,"us":…},…]} — appended to
+/// prediction and error responses when the request asked to be traced.
+void append_trace(std::string& out, const obs::Trace* trace) {
+  if (trace == nullptr) return;
+  out += ",\"trace\":{\"id\":" + std::to_string(trace->id) + ",\"stages\":[";
+  for (std::size_t i = 0; i < trace->stages.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += "{\"stage\":" + json_quote(trace->stages[i].stage) + ",\"us\":";
+    append_double(out, trace->stages[i].us);
+    out.push_back('}');
+  }
+  out += "]}";
+}
+
+}  // namespace
+
 std::string format_response(std::uint64_t id,
-                            const core::Predictor::KernelPrediction& p) {
+                            const core::Predictor::KernelPrediction& p,
+                            const obs::Trace* trace) {
   std::string out = "{\"id\":" + std::to_string(id) +
                     ",\"kernel\":" + json_quote(p.kernel) + ",\"pareto\":[";
   for (std::size_t i = 0; i < p.pareto.size(); ++i) {
@@ -550,7 +586,9 @@ std::string format_response(std::uint64_t id,
     out += point.heuristic ? "true" : "false";
     out.push_back('}');
   }
-  out += "]}";
+  out += "]";
+  append_trace(out, trace);
+  out.push_back('}');
   return out;
 }
 
@@ -575,7 +613,22 @@ std::string format_stats_response(std::uint64_t id, const WireStats& stats) {
          ",\"cache_misses\":" + std::to_string(stats.cache_misses) +
          ",\"shed\":" + std::to_string(stats.shed) +
          ",\"deadline_exceeded\":" + std::to_string(stats.deadline_exceeded) +
-         ",\"streamed\":" + std::to_string(stats.streamed) + "}}";
+         ",\"streamed\":" + std::to_string(stats.streamed) +
+         ",\"peak_message_bytes\":" + std::to_string(stats.peak_message_bytes) +
+         "}}";
+  return out;
+}
+
+std::string format_metrics_response(std::uint64_t id, const WireMetrics& metrics) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"metrics\":{\"text\":" +
+                    json_quote(metrics.text) + ",\"values\":{";
+  for (std::size_t i = 0; i < metrics.values.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += json_quote(metrics.values[i].first);
+    out.push_back(':');
+    append_double(out, metrics.values[i].second);
+  }
+  out += "}}}";
   return out;
 }
 
@@ -584,10 +637,15 @@ std::string format_hello_response(std::uint64_t id, std::uint32_t protocol) {
          ",\"hello\":{\"protocol\":" + std::to_string(protocol) + "}}";
 }
 
-std::string format_error(std::uint64_t id, const common::Error& error) {
-  return "{\"id\":" + std::to_string(id) +
-         ",\"error\":{\"code\":" + json_quote(common::to_string(error.code)) +
-         ",\"message\":" + json_quote(error.message) + "}}";
+std::string format_error(std::uint64_t id, const common::Error& error,
+                         const obs::Trace* trace) {
+  std::string out =
+      "{\"id\":" + std::to_string(id) +
+      ",\"error\":{\"code\":" + json_quote(common::to_string(error.code)) +
+      ",\"message\":" + json_quote(error.message) + "}";
+  append_trace(out, trace);
+  out.push_back('}');
+  return out;
 }
 
 common::Result<WireResponse> parse_response(const std::string& line) {
@@ -601,6 +659,35 @@ common::Result<WireResponse> parse_response(const std::string& line) {
 
   WireResponse response;
   response.id = id.value();
+  // Optional per-stage trace; rides on prediction and error responses.
+  if (const JsonValue* trace = doc.value().find("trace"); trace != nullptr) {
+    if (!trace->is_object()) {
+      return common::parse_error("protocol: \"trace\" must be an object");
+    }
+    obs::Trace t;
+    if (const JsonValue* tid = trace->find("id");
+        tid != nullptr && tid->is_number() && tid->as_number() >= 0 &&
+        tid->as_number() == std::floor(tid->as_number()) &&
+        tid->as_number() <= 1.8e19) {
+      t.id = static_cast<std::uint64_t>(tid->as_number());
+    } else {
+      return common::parse_error("protocol: \"trace\" needs a numeric \"id\"");
+    }
+    const JsonValue* stages = trace->find("stages");
+    if (stages == nullptr || !stages->is_array()) {
+      return common::parse_error("protocol: \"trace\" needs a \"stages\" array");
+    }
+    for (const JsonValue& item : stages->as_array()) {
+      const JsonValue* stage = item.find("stage");
+      const JsonValue* us = item.find("us");
+      if (stage == nullptr || !stage->is_string() || us == nullptr ||
+          !us->is_number()) {
+        return common::parse_error("protocol: malformed trace stage");
+      }
+      t.stages.push_back(obs::TraceStage{stage->as_string(), us->as_number()});
+    }
+    response.trace = std::move(t);
+  }
   if (const JsonValue* error = doc.value().find("error"); error != nullptr) {
     const JsonValue* message = error->find("message");
     const JsonValue* code = error->find("code");
@@ -633,6 +720,31 @@ common::Result<WireResponse> parse_response(const std::string& line) {
           "protocol: \"protocol\" must be a small non-negative integer");
     }
     response.protocol = static_cast<std::uint32_t>(v);
+    return response;
+  }
+
+  if (const JsonValue* metrics = doc.value().find("metrics"); metrics != nullptr) {
+    if (!metrics->is_object()) {
+      return common::parse_error("protocol: \"metrics\" must be an object");
+    }
+    WireMetrics m;
+    if (const JsonValue* text = metrics->find("text"); text != nullptr) {
+      if (!text->is_string()) {
+        return common::parse_error("protocol: metrics \"text\" must be a string");
+      }
+      m.text = text->as_string();
+    }
+    const JsonValue* values = metrics->find("values");
+    if (values == nullptr || !values->is_object()) {
+      return common::parse_error("protocol: metrics needs a \"values\" object");
+    }
+    for (const auto& [name, value] : values->as_object()) {
+      if (!value.is_number()) {
+        return common::parse_error("protocol: metric values must be numbers");
+      }
+      m.values.emplace_back(name, value.as_number());
+    }
+    response.metrics = std::move(m);
     return response;
   }
 
@@ -679,7 +791,8 @@ common::Result<WireResponse> parse_response(const std::string& line) {
                               {"cache_misses", &stats.cache_misses},
                               {"shed", &stats.shed},
                               {"deadline_exceeded", &stats.deadline_exceeded},
-                              {"streamed", &stats.streamed}}) {
+                              {"streamed", &stats.streamed},
+                              {"peak_message_bytes", &stats.peak_message_bytes}}) {
       if (auto st = read_counter(key, *field); !st.ok()) return st.error();
     }
     response.stats = stats;
@@ -753,14 +866,20 @@ constexpr std::uint8_t kWirePredictSource = 1;
 constexpr std::uint8_t kWireHealth = 2;
 constexpr std::uint8_t kWireStats = 3;
 constexpr std::uint8_t kWireHello = 4;
+constexpr std::uint8_t kWireMetrics = 5;  // protocol >= 2
 
 constexpr std::uint8_t kBodyPrediction = 0;
 constexpr std::uint8_t kBodyError = 1;
 constexpr std::uint8_t kBodyHealth = 2;
 constexpr std::uint8_t kBodyStats = 3;
 constexpr std::uint8_t kBodyHello = 4;
+constexpr std::uint8_t kBodyMetrics = 5;  // protocol >= 2
 
 constexpr std::uint8_t kFlagDeadline = 0x01;
+// Protocol >= 2: a u64 trace id follows the (optional) deadline. Version-1
+// parsers reject unknown flag bits, so clients only set this after
+// negotiating protocol >= 2 (the JSON framing needs no such gate).
+constexpr std::uint8_t kFlagTrace = 0x02;
 
 // u32(core) + u32(mem) + f64(speedup) + f64(energy) + u8(heuristic)
 constexpr std::size_t kPointBytes = 4 + 4 + 8 + 8 + 1;
@@ -863,10 +982,12 @@ common::Error trailing_bytes() {
 }
 
 /// The shared (id, kind/flags, deadline, kernel) prefix of request-like
-/// payloads.
+/// payloads. `allowed` is the flag mask this payload kind accepts —
+/// chunked-source Begin frames stay deadline-only (streams are untraced).
 common::Status read_deadline(Reader& reader, std::uint8_t flags,
-                             std::optional<double>& out) {
-  if ((flags & ~kFlagDeadline) != 0) {
+                             std::optional<double>& out,
+                             std::uint8_t allowed = kFlagDeadline) {
+  if ((flags & ~allowed) != 0) {
     return common::parse_error("binary: unknown request flags");
   }
   if ((flags & kFlagDeadline) != 0) {
@@ -877,6 +998,40 @@ common::Status read_deadline(Reader& reader, std::uint8_t flags,
     }
     out = deadline.value();
   }
+  return common::Status::Ok();
+}
+
+/// Trailing per-stage trace on prediction/error response payloads:
+/// u64 trace id, u32 stage count, then (str stage, f64 us) per stage.
+void put_trace(std::string& out, const obs::Trace& trace) {
+  put_u64(out, trace.id);
+  put_u32(out, static_cast<std::uint32_t>(trace.stages.size()));
+  for (const obs::TraceStage& s : trace.stages) {
+    put_str(out, s.stage);
+    put_f64(out, s.us);
+  }
+}
+
+common::Status read_trace(Reader& reader, std::optional<obs::Trace>& out) {
+  obs::Trace trace;
+  auto id = reader.u64();
+  if (!id.ok()) return id.error();
+  trace.id = id.value();
+  auto count = reader.u32();
+  if (!count.ok()) return count.error();
+  // str(stage) is at least 4 bytes (its length prefix) + f64 = 12 — a lying
+  // count cannot force a huge reserve.
+  if (count.value() > reader.remaining() / 12) return truncated();
+  trace.stages.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto stage = reader.str();
+    if (!stage.ok()) return stage.error();
+    auto us = reader.f64();
+    if (!us.ok()) return us.error();
+    trace.stages.push_back(
+        obs::TraceStage{std::string(stage.value()), us.value()});
+  }
+  out = std::move(trace);
   return common::Status::Ok();
 }
 
@@ -909,16 +1064,20 @@ std::string format_request_frame(const WireRequest& request) {
     case RequestKind::kHealth: kind = kWireHealth; break;
     case RequestKind::kStats: kind = kWireStats; break;
     case RequestKind::kHello: kind = kWireHello; break;
+    case RequestKind::kMetrics: kind = kWireMetrics; break;
   }
   put_u8(payload, kind);
-  // Deadlines only ride on the predict kinds (introspection and hello are
-  // answered on the connection thread, never queued) — matching the JSON
-  // formatter, so the two framings encode one logical request identically.
-  const bool deadline =
-      request.deadline_ms.has_value() && (effective == RequestKind::kPredict ||
-                                          effective == RequestKind::kPredictSource);
-  put_u8(payload, deadline ? kFlagDeadline : 0);
+  // Deadlines and traces only ride on the predict kinds (introspection and
+  // hello are answered on the connection thread, never queued) — matching
+  // the JSON formatter, so the two framings encode one logical request
+  // identically.
+  const bool queued = effective == RequestKind::kPredict ||
+                      effective == RequestKind::kPredictSource;
+  const bool deadline = request.deadline_ms.has_value() && queued;
+  const bool trace = request.trace.has_value() && queued;
+  put_u8(payload, (deadline ? kFlagDeadline : 0) | (trace ? kFlagTrace : 0));
   if (deadline) put_f64(payload, *request.deadline_ms);
+  if (trace) put_u64(payload, *request.trace);
   put_str(payload, request.kernel);
   switch (effective) {
     case RequestKind::kPredict:
@@ -933,7 +1092,8 @@ std::string format_request_frame(const WireRequest& request) {
       break;
     case RequestKind::kHello: put_u32(payload, request.max_protocol); break;
     case RequestKind::kHealth:
-    case RequestKind::kStats: break;
+    case RequestKind::kStats:
+    case RequestKind::kMetrics: break;
   }
   return frame(FrameType::kRequest, payload);
 }
@@ -948,8 +1108,15 @@ common::Result<WireRequest> parse_request(std::string_view payload) {
   if (!kind.ok()) return kind.error();
   auto flags = reader.u8();
   if (!flags.ok()) return flags.error();
-  if (auto st = read_deadline(reader, flags.value(), request.deadline_ms); !st.ok()) {
+  if (auto st = read_deadline(reader, flags.value(), request.deadline_ms,
+                              kFlagDeadline | kFlagTrace);
+      !st.ok()) {
     return st.error();
+  }
+  if ((flags.value() & kFlagTrace) != 0) {
+    auto trace = reader.u64();
+    if (!trace.ok()) return trace.error();
+    request.trace = trace.value();
   }
   auto kernel = reader.str();
   if (!kernel.ok()) return kernel.error();
@@ -987,6 +1154,7 @@ common::Result<WireRequest> parse_request(std::string_view payload) {
     }
     case kWireHealth: request.kind = RequestKind::kHealth; break;
     case kWireStats: request.kind = RequestKind::kStats; break;
+    case kWireMetrics: request.kind = RequestKind::kMetrics; break;
     case kWireHello: {
       request.kind = RequestKind::kHello;
       auto max = reader.u32();
@@ -1001,7 +1169,8 @@ common::Result<WireRequest> parse_request(std::string_view payload) {
 }
 
 std::string format_prediction_frame(std::uint64_t id,
-                                    const core::Predictor::KernelPrediction& p) {
+                                    const core::Predictor::KernelPrediction& p,
+                                    const obs::Trace* trace) {
   std::string payload;
   put_u64(payload, id);
   put_u8(payload, kBodyPrediction);
@@ -1014,15 +1183,18 @@ std::string format_prediction_frame(std::uint64_t id,
     put_f64(payload, point.energy);
     put_u8(payload, point.heuristic ? 1 : 0);
   }
+  if (trace != nullptr) put_trace(payload, *trace);
   return frame(FrameType::kResponse, payload);
 }
 
-std::string format_error_frame(std::uint64_t id, const common::Error& error) {
+std::string format_error_frame(std::uint64_t id, const common::Error& error,
+                               const obs::Trace* trace) {
   std::string payload;
   put_u64(payload, id);
   put_u8(payload, kBodyError);
   put_u8(payload, static_cast<std::uint8_t>(error.code));
   put_str(payload, error.message);
+  if (trace != nullptr) put_trace(payload, *trace);
   return frame(FrameType::kResponse, payload);
 }
 
@@ -1051,6 +1223,20 @@ std::string format_stats_frame(std::uint64_t id, const WireStats& stats) {
   put_u64(payload, stats.shed);
   put_u64(payload, stats.deadline_exceeded);
   put_u64(payload, stats.streamed);
+  put_u64(payload, stats.peak_message_bytes);
+  return frame(FrameType::kResponse, payload);
+}
+
+std::string format_metrics_frame(std::uint64_t id, const WireMetrics& metrics) {
+  std::string payload;
+  put_u64(payload, id);
+  put_u8(payload, kBodyMetrics);
+  put_str(payload, metrics.text);
+  put_u32(payload, static_cast<std::uint32_t>(metrics.values.size()));
+  for (const auto& [name, value] : metrics.values) {
+    put_str(payload, name);
+    put_f64(payload, value);
+  }
   return frame(FrameType::kResponse, payload);
 }
 
@@ -1109,6 +1295,13 @@ common::Result<WireResponse> parse_response(std::string_view payload) {
         prediction.pareto.push_back(point);
       }
       response.prediction = std::move(prediction);
+      // Remaining bytes are the optional trace section — only ever present
+      // when this side asked for it, so pre-trace peers never see one.
+      if (!reader.done()) {
+        if (auto st = read_trace(reader, response.trace); !st.ok()) {
+          return st.error();
+        }
+      }
       break;
     }
     case kBodyError: {
@@ -1123,6 +1316,11 @@ common::Result<WireResponse> parse_response(std::string_view payload) {
       e.code = static_cast<common::ErrorCode>(code.value());
       e.message = std::string(message.value());
       response.error = std::move(e);
+      if (!reader.done()) {
+        if (auto st = read_trace(reader, response.trace); !st.ok()) {
+          return st.error();
+        }
+      }
       break;
     }
     case kBodyHealth:
@@ -1148,6 +1346,14 @@ common::Result<WireResponse> parse_response(std::string_view payload) {
         if (!v.ok()) return v.error();
         *fields[i] = v.value();
       }
+      // Trailing fields appended after protocol 1 — absent means zero, the
+      // binary analogue of the JSON parser's absent-counter rule, so a new
+      // client still reads an old server's stats frame.
+      if (!is_health && !reader.done()) {
+        auto v = reader.u64();
+        if (!v.ok()) return v.error();
+        stats.peak_message_bytes = v.value();
+      }
       response.stats = stats;
       response.health = is_health;
       break;
@@ -1156,6 +1362,26 @@ common::Result<WireResponse> parse_response(std::string_view payload) {
       auto protocol = reader.u32();
       if (!protocol.ok()) return protocol.error();
       response.protocol = protocol.value();
+      break;
+    }
+    case kBodyMetrics: {
+      WireMetrics metrics;
+      auto text = reader.str();
+      if (!text.ok()) return text.error();
+      metrics.text = std::string(text.value());
+      auto count = reader.u32();
+      if (!count.ok()) return count.error();
+      // Each entry is at least str's u32 length prefix + f64 = 12 bytes.
+      if (count.value() > reader.remaining() / 12) return truncated();
+      metrics.values.reserve(count.value());
+      for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto name = reader.str();
+        if (!name.ok()) return name.error();
+        auto value = reader.f64();
+        if (!value.ok()) return value.error();
+        metrics.values.emplace_back(std::string(name.value()), value.value());
+      }
+      response.metrics = std::move(metrics);
       break;
     }
     default: return common::parse_error("binary: unknown response body");

@@ -11,10 +11,13 @@
 //   {"id": 8, "type": "predict_source",
 //    "source": "kernel void f(global float* x) { ... }"}
 //
-// Two introspection request types, payload-free, answered on the connection
-// thread (they never enter the batching pipeline): "health" is the cheap
-// liveness probe (the fleet balancer pings it), "stats" the full counter
-// dump:
+// Three introspection request types, payload-free, answered on the
+// connection thread (they never enter the batching pipeline): "health" is
+// the cheap liveness probe (the fleet balancer pings it), "stats" the full
+// counter dump, and "metrics" the Prometheus-style registry exposition
+// (docs/OBSERVABILITY.md). Any request may also carry a numeric "trace"
+// member — a trace id asking every hop to stamp per-stage timings onto the
+// reply:
 //
 //   {"id": 9, "type": "health"}
 //     → {"id": 9, "health": {"status": "ok", "uptime_s": 12.5, "queue_depth": 0}}
@@ -90,6 +93,7 @@
 #include "clfront/features.hpp"
 #include "common/status.hpp"
 #include "core/predictor.hpp"
+#include "obs/trace.hpp"
 
 namespace repro::serve {
 
@@ -143,12 +147,23 @@ class JsonValue {
 
 /// Highest binary protocol version this build speaks. "hello" negotiates
 /// min(client max, server max); version 0 means "JSON lines only".
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Version 2 added the optional request trace flag (kFlagTrace) and the
+/// metrics kind to the binary framing. The JSON framing needs no version:
+/// its parser ignores unknown members, so "trace" is inherently
+/// backward compatible there.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// What a request line asks for. The two predict kinds are inferred from
-/// the payload (the "type" member is optional for them); health, stats and
-/// hello must be named explicitly and carry no payload.
-enum class RequestKind { kPredict, kPredictSource, kHealth, kStats, kHello };
+/// the payload (the "type" member is optional for them); health, stats,
+/// metrics and hello must be named explicitly and carry no payload.
+enum class RequestKind {
+  kPredict,
+  kPredictSource,
+  kHealth,
+  kStats,
+  kHello,
+  kMetrics,
+};
 
 struct WireRequest {
   std::uint64_t id = 0;
@@ -167,6 +182,12 @@ struct WireRequest {
   /// balancer deducts elapsed time before re-dispatching (see
   /// docs/ROBUSTNESS.md). Absent = no deadline (old clients unaffected).
   std::optional<double> deadline_ms;
+  /// Optional trace id: asks every hop to stamp per-stage timestamps onto
+  /// the reply (docs/OBSERVABILITY.md). Absent = untraced (the default;
+  /// tracing is strictly opt-in per request). JSON servers that predate
+  /// tracing ignore the member; on the binary framing the flag is only
+  /// legal at protocol >= 2, so clients gate it on the negotiated version.
+  std::optional<std::uint64_t> trace;
 
   /// The features to predict on — extracts from `source` when needed.
   /// (The server no longer calls this for source requests: featurization
@@ -191,28 +212,51 @@ struct WireStats {
   std::uint64_t shed = 0;               // rejected at admission by load shedding
   std::uint64_t deadline_exceeded = 0;  // expired before prediction
   std::uint64_t streamed = 0;           // requests that arrived as chunk streams
+  std::uint64_t peak_message_bytes = 0;  // largest buffered wire message seen
+};
+
+/// A "metrics" response: the Prometheus text exposition plus the flat
+/// structured view (obs::Registry::snapshot_values) so programmatic
+/// consumers — the balancer's aggregator, repro_top — need not parse the
+/// text form.
+struct WireMetrics {
+  std::string text;
+  std::vector<std::pair<std::string, double>> values;
 };
 
 struct WireResponse {
   std::uint64_t id = 0;
-  /// Exactly one of prediction/stats/error/protocol is set.
+  /// Exactly one of prediction/stats/metrics/error/protocol is set.
   std::optional<core::Predictor::KernelPrediction> prediction;
   std::optional<WireStats> stats;  // health and stats responses
   /// True when `stats` came from the short "health" framing (uptime_s and
   /// queue_depth only) rather than the full "stats" counter dump.
   bool health = false;
+  std::optional<WireMetrics> metrics;  // metrics responses
   std::optional<common::Error> error;
   std::optional<std::uint32_t> protocol;  // hello responses
+  /// Per-stage timings, present only when the request carried a trace id.
+  /// Rides on prediction AND error replies (a shed request's trace answers
+  /// "where was it shed"). The one deliberately nondeterministic reply
+  /// field — excluded from bit-identity comparisons (DETERMINISM.md).
+  std::optional<obs::Trace> trace;
 };
 
 [[nodiscard]] common::Result<WireRequest> parse_request(const std::string& line);
+/// Prediction/error responses take an optional trace to append as the
+/// ,"trace":{"id":…,"stages":[{"stage":…,"us":…},…]} member.
 [[nodiscard]] std::string format_response(std::uint64_t id,
-                                          const core::Predictor::KernelPrediction& p);
-[[nodiscard]] std::string format_error(std::uint64_t id, const common::Error& error);
+                                          const core::Predictor::KernelPrediction& p,
+                                          const obs::Trace* trace = nullptr);
+[[nodiscard]] std::string format_error(std::uint64_t id, const common::Error& error,
+                                       const obs::Trace* trace = nullptr);
 /// {"id":…,"health":{"status":"ok","uptime_s":…,"queue_depth":…}}
 [[nodiscard]] std::string format_health_response(std::uint64_t id, const WireStats& stats);
 /// {"id":…,"stats":{…all WireStats fields…}}
 [[nodiscard]] std::string format_stats_response(std::uint64_t id, const WireStats& stats);
+/// {"id":…,"metrics":{"text":…,"values":{…name:number…}}}
+[[nodiscard]] std::string format_metrics_response(std::uint64_t id,
+                                                  const WireMetrics& metrics);
 /// {"id":…,"hello":{"protocol":…}}
 [[nodiscard]] std::string format_hello_response(std::uint64_t id, std::uint32_t protocol);
 [[nodiscard]] common::Result<WireResponse> parse_response(const std::string& line);
@@ -261,12 +305,21 @@ struct SourceChunk {
 [[nodiscard]] std::string frame(FrameType type, std::string_view payload);
 
 [[nodiscard]] std::string format_request_frame(const WireRequest& request);
+/// Like the JSON formatters, prediction/error frames take an optional
+/// trace, encoded as a trailing section after the body (u64 id, u32 stage
+/// count, then str+f64 per stage). Pre-trace parsers never see it: a
+/// server only emits a trace when the request carried the trace flag,
+/// which old clients never set.
 [[nodiscard]] std::string format_prediction_frame(
-    std::uint64_t id, const core::Predictor::KernelPrediction& p);
+    std::uint64_t id, const core::Predictor::KernelPrediction& p,
+    const obs::Trace* trace = nullptr);
 [[nodiscard]] std::string format_error_frame(std::uint64_t id,
-                                             const common::Error& error);
+                                             const common::Error& error,
+                                             const obs::Trace* trace = nullptr);
 [[nodiscard]] std::string format_health_frame(std::uint64_t id, const WireStats& stats);
 [[nodiscard]] std::string format_stats_frame(std::uint64_t id, const WireStats& stats);
+[[nodiscard]] std::string format_metrics_frame(std::uint64_t id,
+                                               const WireMetrics& metrics);
 [[nodiscard]] std::string format_hello_frame(std::uint64_t id, std::uint32_t protocol);
 [[nodiscard]] std::string format_source_begin(const SourceBegin& begin);
 [[nodiscard]] std::string format_source_chunk(std::uint64_t id, std::string_view bytes);

@@ -61,10 +61,16 @@ struct SocketServer::Impl {
   mutable std::mutex stats_mutex;
   Stats stats;
 
+  // obs instruments, resolved once in start() (after options are known).
+  obs::Registry* registry = nullptr;
+  obs::Counter* obs_connections = nullptr;
+  obs::Counter* obs_protocol_errors = nullptr;
+
   void accept_loop();
   void serve_connection(int fd);
   void reap_finished_locked();
   [[nodiscard]] WireStats wire_stats();
+  [[nodiscard]] WireMetrics wire_metrics();
 };
 
 SocketServer::SocketServer() : impl_(std::make_unique<Impl>()) {}
@@ -74,6 +80,12 @@ common::Result<std::unique_ptr<SocketServer>> SocketServer::start(
   std::unique_ptr<SocketServer> server(new SocketServer());
   server->impl_->service = &service;
   server->impl_->options = options;
+  server->impl_->registry = options.registry != nullptr ? options.registry
+                                                        : &obs::Registry::global();
+  server->impl_->obs_connections =
+      server->impl_->registry->counter("repro_connections_total");
+  server->impl_->obs_protocol_errors =
+      server->impl_->registry->counter("repro_protocol_errors_total");
 
   int fd = -1;
   if (!options.unix_path.empty()) {
@@ -188,6 +200,7 @@ void SocketServer::Impl::accept_loop() {
       }
       raw->done.store(true, std::memory_order_release);
     });
+    obs_connections->inc();
     std::lock_guard slock(stats_mutex);
     ++stats.connections;
   }
@@ -220,6 +233,9 @@ void SocketServer::Impl::serve_connection(int fd) {
     // (JSON without the trailing newline, binary as a complete frame).
     std::optional<std::future<Service::Response>> response;
     std::string immediate;
+    // Shared with the service pipeline; the writer stamps "reply" and
+    // serializes the accumulated stages. Null for untraced requests.
+    obs::RequestTracePtr trace;
   };
   common::BoundedQueue<PendingReply> replies(std::max<std::size_t>(1, options.max_inflight));
   std::atomic<bool> write_failed{false};
@@ -229,13 +245,24 @@ void SocketServer::Impl::serve_connection(int fd) {
       std::string reply;
       if (pending->response.has_value()) {
         auto response = pending->response->get();
+        // The last worker-side stage: the reply is being written. Snapshot
+        // after the stamp so the serialized trace includes it.
+        std::optional<obs::Trace> trace;
+        if (pending->trace != nullptr) {
+          pending->trace->stamp("reply");
+          trace = pending->trace->snapshot();
+        }
+        const obs::Trace* trace_ptr = trace.has_value() ? &*trace : nullptr;
         if (pending->binary) {
           reply = response.ok()
-                      ? binary::format_prediction_frame(pending->id, response.value())
-                      : binary::format_error_frame(pending->id, response.error());
+                      ? binary::format_prediction_frame(pending->id, response.value(),
+                                                        trace_ptr)
+                      : binary::format_error_frame(pending->id, response.error(),
+                                                   trace_ptr);
         } else {
-          reply = response.ok() ? format_response(pending->id, response.value())
-                                : format_error(pending->id, response.error());
+          reply = response.ok()
+                      ? format_response(pending->id, response.value(), trace_ptr)
+                      : format_error(pending->id, response.error(), trace_ptr);
         }
       } else {
         reply = std::move(pending->immediate);
@@ -255,6 +282,7 @@ void SocketServer::Impl::serve_connection(int fd) {
   });
 
   auto count_protocol_error = [&] {
+    obs_protocol_errors->inc();
     std::lock_guard slock(stats_mutex);
     ++stats.protocol_errors;
   };
@@ -310,22 +338,48 @@ void SocketServer::Impl::serve_connection(int fd) {
         }
         break;
       }
+      case RequestKind::kMetrics: {
+        // Same inline contract as health/stats: a registry snapshot never
+        // waits behind the admission queue.
+        const WireMetrics metrics = wire_metrics();
+        pending.immediate = is_binary
+                                ? binary::format_metrics_frame(wire.id, metrics)
+                                : format_metrics_response(wire.id, metrics);
+        break;
+      }
       case RequestKind::kPredict:
       case RequestKind::kPredictSource: {
+        // Tracing is opt-in per request: only a request that carried a
+        // trace id pays for stamps. t0 is the parse moment — every worker
+        // stage offset is relative to it.
+        if (wire.trace.has_value()) {
+          pending.trace = std::make_shared<obs::RequestTrace>(*wire.trace);
+          pending.trace->stamp("parse");
+        }
         const auto deadline = deadline_from(wire.deadline_ms);
         if (wire.source.has_value()) {
           // predict_source: ship the raw bytes; the worker shard featurizes
           // inside the batch, off this connection thread.
-          pending.response = service->submit_source(
-              std::move(*wire.source), std::move(wire.kernel), deadline);
+          pending.response =
+              service->submit_source(std::move(*wire.source),
+                                     std::move(wire.kernel), deadline, pending.trace);
         } else {
           auto features = wire.to_features();
           if (!features.ok()) {
+            const obs::Trace* trace_ptr = nullptr;
+            std::optional<obs::Trace> trace;
+            if (pending.trace != nullptr) {
+              trace = pending.trace->snapshot();
+              trace_ptr = &*trace;
+            }
             pending.immediate =
-                is_binary ? binary::format_error_frame(wire.id, features.error())
-                          : format_error(wire.id, features.error());
+                is_binary
+                    ? binary::format_error_frame(wire.id, features.error(), trace_ptr)
+                    : format_error(wire.id, features.error(), trace_ptr);
+            pending.trace = nullptr;  // already serialized into `immediate`
           } else {
-            pending.response = service->submit(std::move(features).take(), deadline);
+            pending.response =
+                service->submit(std::move(features).take(), deadline, pending.trace);
           }
         }
         break;
@@ -534,6 +588,7 @@ WireStats SocketServer::Impl::wire_stats() {
     std::lock_guard lock(stats_mutex);
     wire.connections = stats.connections;
     wire.protocol_errors = stats.protocol_errors;
+    wire.peak_message_bytes = stats.peak_message_bytes;
   }
   if (options.model_cache != nullptr) {
     const auto cache_stats = options.model_cache->stats();
@@ -541,6 +596,28 @@ WireStats SocketServer::Impl::wire_stats() {
     wire.cache_misses = cache_stats.misses;
   }
   return wire;
+}
+
+WireMetrics SocketServer::Impl::wire_metrics() {
+  // Point-in-time gauges are set at scrape time (never from a hot path, so
+  // there is no dangling-callback hazard when the server outlives a scrape).
+  registry->gauge("repro_uptime_seconds")
+      ->set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count());
+  registry->gauge("repro_queue_depth")
+      ->set(static_cast<double>(service->queue_depth()));
+  if (options.model_cache != nullptr) {
+    const auto cache_stats = options.model_cache->stats();
+    registry->gauge("repro_cache_hits")
+        ->set(static_cast<double>(cache_stats.hits + cache_stats.disk_hits));
+    registry->gauge("repro_cache_misses")
+        ->set(static_cast<double>(cache_stats.misses));
+  }
+  WireMetrics metrics;
+  metrics.values = registry->snapshot_values();
+  metrics.text = registry->prometheus_text();
+  return metrics;
 }
 
 SocketServer::~SocketServer() {

@@ -61,6 +61,10 @@ struct ServerOptions {
   /// queued behind it) forever. Reads deliberately stay unbounded — idle
   /// persistent connections (the balancer's backend pool) are legitimate.
   std::chrono::milliseconds write_timeout{30000};
+  /// Registry the server's own counters join and "metrics" requests expose.
+  /// Null = obs::Registry::global(). Should match the Service's registry so
+  /// one scrape shows the whole worker.
+  obs::Registry* registry = nullptr;
 };
 
 class SocketServer {

@@ -29,7 +29,20 @@ common::Error deadline_error() {
 
 struct Service::Impl {
   explicit Impl(const ServiceOptions& options)
-      : admission(options.queue_capacity) {}
+      : admission(options.queue_capacity) {
+    // One name lookup each at construction; the hot paths below touch only
+    // the cached pointers (one relaxed atomic per event).
+    obs::Registry& reg =
+        options.registry != nullptr ? *options.registry : obs::Registry::global();
+    obs_requests = reg.counter("repro_requests_total");
+    obs_source_requests = reg.counter("repro_source_requests_total");
+    obs_rejected = reg.counter("repro_rejected_total");
+    obs_batches = reg.counter("repro_batches_total");
+    obs_shed = reg.counter("repro_shed_total");
+    obs_deadline_exceeded = reg.counter("repro_deadline_exceeded_total");
+    obs_streamed = reg.counter("repro_streamed_total");
+    obs_latency = reg.histogram("repro_request_latency_us");
+  }
 
   common::BoundedQueue<Request> admission;
   // One queue per shard; a small bound so a slow shard backpressures the
@@ -46,6 +59,16 @@ struct Service::Impl {
   // EWMA of per-request service time (µs), fed by the shard workers.
   // 0 until the first batch completes — shedding never fires cold.
   double ewma_service_us = 0.0;
+
+  // obs instruments (registry-owned; see the constructor).
+  obs::Counter* obs_requests = nullptr;
+  obs::Counter* obs_source_requests = nullptr;
+  obs::Counter* obs_rejected = nullptr;
+  obs::Counter* obs_batches = nullptr;
+  obs::Counter* obs_shed = nullptr;
+  obs::Counter* obs_deadline_exceeded = nullptr;
+  obs::Counter* obs_streamed = nullptr;
+  obs::Histogram* obs_latency = nullptr;
 };
 
 Service::Service(std::shared_ptr<const core::FrequencyModel> model,
@@ -142,20 +165,24 @@ void Service::stop() {
 }
 
 std::future<Service::Response> Service::submit(clfront::StaticFeatures features,
-                                               Deadline deadline) {
+                                               Deadline deadline,
+                                               obs::RequestTracePtr trace) {
   Request request;
   request.payload = std::move(features);
   request.deadline = deadline;
+  request.trace = std::move(trace);
   return enqueue(std::move(request), /*is_source=*/false);
 }
 
 std::future<Service::Response> Service::submit_source(std::string source,
                                                       std::string kernel,
-                                                      Deadline deadline) {
+                                                      Deadline deadline,
+                                                      obs::RequestTracePtr trace) {
   Request request;
   request.payload =
       core::Predictor::SourceRequest{std::move(source), std::move(kernel)};
   request.deadline = deadline;
+  request.trace = std::move(trace);
   return enqueue(std::move(request), /*is_source=*/true);
 }
 
@@ -217,10 +244,12 @@ std::future<Service::Response> Service::enqueue(Request request, bool is_source,
                                                 bool is_streamed) {
   auto future = request.promise.get_future();
   const auto now = std::chrono::steady_clock::now();
+  request.arrival = now;
   // An expired deadline never enters batch assembly: answer right here, and
   // do not count it as an admitted request.
   if (request.deadline.has_value() && *request.deadline <= now) {
     request.promise.set_value(deadline_error());
+    impl_->obs_deadline_exceeded->inc();
     std::lock_guard lock(impl_->stats_mutex);
     ++impl_->stats.deadline_exceeded;
     return future;
@@ -247,6 +276,7 @@ std::future<Service::Response> Service::enqueue(Request request, bool is_source,
       request.promise.set_value(common::unavailable(
           "serve::Service: overloaded (estimated queue delay " +
           std::to_string(static_cast<long>(est_us)) + "us)"));
+      impl_->obs_shed->inc();
       std::lock_guard lock(impl_->stats_mutex);
       ++impl_->stats.shed;
       return future;
@@ -256,15 +286,23 @@ std::future<Service::Response> Service::enqueue(Request request, bool is_source,
   // FIFO order under its mutex can interleave differently, which is why the
   // scheduler re-sorts each batch by seq before dispatch.
   request.seq = impl_->next_seq.fetch_add(1, std::memory_order_relaxed);
+  // The request is moved into the queue; keep the (usually null) trace
+  // handle so the admission stamp lands after a successful push.
+  obs::RequestTracePtr trace = request.trace;
   if (impl_->stopped.load(std::memory_order_acquire) ||
       !impl_->admission.push(std::move(request))) {
     // A refused push leaves `request` intact — resolve its promise with the
     // shutdown error so the future above still answers.
     request.promise.set_value(unavailable_error());
+    impl_->obs_rejected->inc();
     std::lock_guard lock(impl_->stats_mutex);
     ++impl_->stats.rejected;
     return future;
   }
+  obs::stamp(trace, "admission");
+  impl_->obs_requests->inc();
+  if (is_source) impl_->obs_source_requests->inc();
+  if (is_streamed) impl_->obs_streamed->inc();
   std::lock_guard lock(impl_->stats_mutex);
   ++impl_->stats.requests;
   if (is_source) ++impl_->stats.source_requests;
@@ -320,6 +358,7 @@ void Service::scheduler_loop() {
     std::sort(batch.begin(), batch.end(),
               [](const Request& a, const Request& b) { return a.seq < b.seq; });
 
+    impl_->obs_batches->inc();
     {
       std::lock_guard lock(impl_->stats_mutex);
       ++impl_->stats.batches;
@@ -373,6 +412,7 @@ void Service::shard_loop(std::size_t shard_index) {
         ++expired;
         continue;
       }
+      obs::stamp(request.trace, "batch");
       if (auto* ready = std::get_if<clfront::StaticFeatures>(&request.payload)) {
         features.push_back(std::move(*ready));
         slots.push_back(i);
@@ -388,12 +428,14 @@ void Service::shard_loop(std::size_t shard_index) {
       }
     }
     if (expired > 0) {
+      impl_->obs_deadline_exceeded->inc(expired);
       std::lock_guard lock(impl_->stats_mutex);
       impl_->stats.deadline_exceeded += expired;
     }
     if (features.empty()) continue;
 
     auto predictions = predictor.predict_batch(features);
+    const auto batch_end = std::chrono::steady_clock::now();
 
     // Feed the shedding estimator BEFORE resolving the promises: per-request
     // service time over this batch (featurize + predict, amortized). The
@@ -402,8 +444,7 @@ void Service::shard_loop(std::size_t shard_index) {
     // burst races a zero EWMA and nothing sheds. EWMA with a 0.2 step —
     // reacts within a handful of batches, ignores single outliers.
     const double elapsed_us =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - batch_start)
+        std::chrono::duration<double, std::micro>(batch_end - batch_start)
             .count();
     const double sample = elapsed_us / static_cast<double>(features.size());
     {
@@ -413,6 +454,15 @@ void Service::shard_loop(std::size_t shard_index) {
                                    : 0.8 * impl_->ewma_service_us + 0.2 * sample;
     }
 
+    // Admission-to-prediction latency, one histogram sample per request —
+    // all against the single batch_end clock read above.
+    for (std::size_t slot : slots) {
+      auto& request = (*batch)[slot];
+      obs::stamp(request.trace, "execute");
+      impl_->obs_latency->observe_us(
+          std::chrono::duration<double, std::micro>(batch_end - request.arrival)
+              .count());
+    }
     if (predictions.ok()) {
       auto& results = predictions.value();
       for (std::size_t k = 0; k < slots.size(); ++k) {

@@ -42,6 +42,8 @@
 #include "common/status.hpp"
 #include "core/predictor.hpp"
 #include "gpusim/device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/model_cache.hpp"
 
 namespace repro::serve {
@@ -62,6 +64,10 @@ struct ServiceOptions {
   /// bound, or the request's own deadline. Zero disables shedding (the
   /// bounded queue's blocking backpressure is then the only limit).
   std::chrono::microseconds max_queue_delay{0};
+  /// Metrics registry the service's counters/histograms register in.
+  /// Null = the process-global registry (obs::Registry::global()); tests
+  /// that assert exact counter values pass their own.
+  obs::Registry* registry = nullptr;
 };
 
 /// What a Service trains (or fetches from a ModelCache) at startup.
@@ -106,15 +112,19 @@ class Service {
 
   /// Enqueue one request; the future resolves when its batch is served.
   /// Blocks while the admission queue is full; resolves immediately with an
-  /// error after stop().
+  /// error after stop(). A non-null `trace` opts the request into per-stage
+  /// timing stamps (admission, batch, execute) — untraced requests pay one
+  /// pointer test per stamp site.
   [[nodiscard]] std::future<Response> submit(clfront::StaticFeatures features,
-                                             Deadline deadline = {});
+                                             Deadline deadline = {},
+                                             obs::RequestTracePtr trace = nullptr);
 
   /// Enqueue a raw-source request; featurization happens on the worker
   /// shard inside the batch (the serving half of Predictor::predict_source).
   [[nodiscard]] std::future<Response> submit_source(std::string source,
                                                     std::string kernel = {},
-                                                    Deadline deadline = {});
+                                                    Deadline deadline = {},
+                                                    obs::RequestTracePtr trace = nullptr);
 
   /// An in-progress streamed source request: chunks are featurized
   /// incrementally through a clfront::SourceFeeder as they arrive off the
@@ -203,6 +213,10 @@ class Service {
     std::uint64_t seq = 0;
     std::variant<clfront::StaticFeatures, core::Predictor::SourceRequest> payload;
     Deadline deadline;
+    /// Admission time; feeds the latency histogram when the batch resolves.
+    std::chrono::steady_clock::time_point arrival;
+    /// Null unless the request asked to be traced.
+    obs::RequestTracePtr trace;
     std::promise<Response> promise;
   };
   using Batch = std::vector<Request>;

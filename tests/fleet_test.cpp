@@ -31,6 +31,7 @@
 #include "fleet/balancer.hpp"
 #include "fleet/broker.hpp"
 #include "gpusim/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/model_cache.hpp"
 #include "serve/server.hpp"
@@ -112,12 +113,20 @@ struct InProcWorker {
   std::unique_ptr<rs::Service> service;
   std::unique_ptr<rs::SocketServer> server;
 
-  static InProcWorker start(const std::string& unix_path = {}) {
+  /// In-process workers share this test binary, so a metrics test must give
+  /// each worker its OWN registry — with the shared global one, N workers
+  /// would each expose the same accumulated counters and the balancer's
+  /// sum-merge would multiply them (docs/OBSERVABILITY.md).
+  static InProcWorker start(const std::string& unix_path = {},
+                            repro::obs::Registry* registry = nullptr) {
     InProcWorker worker;
-    auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+    rs::ServiceOptions service_options;
+    service_options.registry = registry;
+    auto service = rs::Service::from_model(trained_model(), service_options);
     EXPECT_TRUE(service.ok());
     worker.service = std::move(service).take();
     rs::ServerOptions options;
+    options.registry = registry;
     if (unix_path.empty()) {
       options.tcp_port = 0;
     } else {
@@ -640,4 +649,132 @@ TEST(BalancerTest, BackendDeathMidStreamFailsRetryablyWithoutRedispatch) {
       << streamed.error().message;
 
   balancer.value()->stop();
+}
+
+// --- observability through the balancer ---------------------------------------
+
+TEST(BalancerTest, TracedRequestMergesBalancerAndWorkerStages) {
+  // A traced request through the balancer must return one merged trace:
+  // the balancer's own stages (parse, dispatch, reply) plus the worker's
+  // stage set spliced in between — at least five distinct stages end to
+  // end — and the prediction must stay bit-identical to the direct
+  // Predictor at every worker count, over both framings.
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok());
+
+  for (const std::size_t backends : {1u, 2u, 4u}) {
+    std::vector<InProcWorker> workers;
+    std::vector<rf::BackendEndpoint> endpoints;
+    for (std::size_t i = 0; i < backends; ++i) {
+      workers.push_back(InProcWorker::start());
+      endpoints.push_back(workers.back().endpoint());
+    }
+    rf::BalancerOptions options;
+    options.tcp_port = 0;
+    auto balancer = rf::Balancer::start(endpoints, options);
+    ASSERT_TRUE(balancer.ok()) << balancer.error().message;
+
+    for (const bool binary : {false, true}) {
+      auto client = rs::SocketClient::connect_tcp(balancer.value()->tcp_port());
+      ASSERT_TRUE(client.ok()) << client.error().message;
+      if (binary) {
+        auto negotiated = client.value().negotiate_binary();
+        ASSERT_TRUE(negotiated.ok()) << negotiated.error().message;
+        ASSERT_EQ(negotiated.value(), rs::kProtocolVersion);
+      }
+      client.value().set_trace_enabled(true);
+
+      auto response = client.value().predict_source(kSourceKernel);
+      ASSERT_TRUE(response.ok())
+          << response.error().message << " backends=" << backends;
+      EXPECT_TRUE(bitwise_equal(response.value().pareto,
+                                reference.value().pareto))
+          << "backends=" << backends << " binary=" << binary;
+
+      ASSERT_TRUE(client.value().last_trace().has_value())
+          << "backends=" << backends << " binary=" << binary;
+      const auto& trace = *client.value().last_trace();
+      std::vector<std::string> stages;
+      for (const auto& s : trace.stages) stages.push_back(s.stage);
+      for (const char* expected :
+           {"balancer.parse", "balancer.dispatch", "parse", "execute",
+            "balancer.reply"}) {
+        EXPECT_NE(std::find(stages.begin(), stages.end(), expected),
+                  stages.end())
+            << "missing stage " << expected << " backends=" << backends
+            << " binary=" << binary;
+      }
+      EXPECT_GE(stages.size(), 5u);
+    }
+
+    balancer.value()->stop();
+    for (auto& worker : workers) worker.stop();
+  }
+}
+
+TEST(BalancerTest, AggregatesWorkerMetricsWithItsOwn) {
+  // The balancer answers "metrics" by scraping every live worker and
+  // merging: counters sum across workers, and the balancer's own
+  // repro_balancer_* series join the result. Each in-process worker gets
+  // its own registry so the sum is a real sum, not N copies of one shared
+  // registry.
+#if defined(REPRO_OBS_DISABLED)
+  GTEST_SKIP() << "metrics compiled out (REPRO_OBS=OFF)";
+#else
+  constexpr std::size_t kBackends = 2;
+  std::vector<repro::obs::Registry> registries(kBackends);
+  std::vector<InProcWorker> workers;
+  std::vector<rf::BackendEndpoint> endpoints;
+  for (std::size_t i = 0; i < kBackends; ++i) {
+    workers.push_back(InProcWorker::start({}, &registries[i]));
+    endpoints.push_back(workers.back().endpoint());
+  }
+  rf::BalancerOptions options;
+  options.tcp_port = 0;
+  auto balancer = rf::Balancer::start(endpoints, options);
+  ASSERT_TRUE(balancer.ok()) << balancer.error().message;
+
+  auto client = rs::SocketClient::connect_tcp(balancer.value()->tcp_port());
+  ASSERT_TRUE(client.ok());
+  constexpr std::size_t kRequests = 8;
+  const auto burst = client.value().predict_source_many(source_burst(kRequests));
+  ASSERT_EQ(burst.size(), kRequests);
+  for (const auto& r : burst) ASSERT_TRUE(r.ok()) << r.error().message;
+
+  auto metrics = client.value().metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.error().message;
+  const auto& values = metrics.value().values;
+  auto value_of = [&values](const std::string& name) -> double {
+    for (const auto& [n, v] : values) {
+      if (n == name) return v;
+    }
+    return -1.0;
+  };
+  // The workers' counters, summed. Dispatches can exceed requests (a slice
+  // may be re-dispatched) but every request executed exactly once.
+  EXPECT_EQ(value_of("repro_requests_total"), static_cast<double>(kRequests));
+  EXPECT_EQ(value_of("repro_source_requests_total"),
+            static_cast<double>(kRequests));
+  // The balancer's own series ride along.
+  EXPECT_EQ(value_of("repro_balancer_requests_total"),
+            static_cast<double>(kRequests));
+  EXPECT_GE(value_of("repro_balancer_dispatches_total"),
+            static_cast<double>(kRequests));
+  EXPECT_GE(value_of("repro_balancer_backends_alive"),
+            static_cast<double>(kBackends));
+  // The merged text form announces the scrape width.
+  EXPECT_NE(metrics.value().text.find("# merged across 2 worker(s)"),
+            std::string::npos)
+      << metrics.value().text;
+
+  // Both workers actually served (least-loaded spreads a pipelined burst),
+  // so the sum is a genuine cross-worker aggregate.
+  EXPECT_GT(registries[0].counter("repro_requests_total")->value(), 0u);
+  EXPECT_GT(registries[1].counter("repro_requests_total")->value(), 0u);
+
+  balancer.value()->stop();
+  for (auto& worker : workers) worker.stop();
+#endif
 }

@@ -30,6 +30,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "core/predictor.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 
 namespace rc = repro::common;
@@ -102,7 +103,7 @@ std::uint64_t random_json_safe_u64(rc::Xoshiro256& rng) {
 rs::WireRequest random_request(rc::Xoshiro256& rng, bool json_safe) {
   rs::WireRequest request;
   request.id = json_safe ? random_json_safe_u64(rng) : rng.next();
-  switch (rng.uniform_index(5)) {
+  switch (rng.uniform_index(6)) {
     case 0: {
       request.kind = rs::RequestKind::kPredict;
       request.kernel = random_ascii(rng, 24);
@@ -124,17 +125,50 @@ rs::WireRequest random_request(rc::Xoshiro256& rng, bool json_safe) {
     case 3:
       request.kind = rs::RequestKind::kStats;
       break;
+    case 4:
+      request.kind = rs::RequestKind::kMetrics;
+      break;
     default:
       request.kind = rs::RequestKind::kHello;
       request.max_protocol = static_cast<std::uint32_t>(rng.uniform_index(8));
       break;
   }
-  if ((request.kind == rs::RequestKind::kPredict ||
-       request.kind == rs::RequestKind::kPredictSource) &&
-      rng.uniform_index(2) == 0) {
-    request.deadline_ms = std::fabs(random_finite(rng));
+  // Deadlines and trace ids ride only on the predict kinds — the binary
+  // formatter drops both from introspection/hello requests, so generating
+  // them there would make the framings disagree by construction.
+  if (request.kind == rs::RequestKind::kPredict ||
+      request.kind == rs::RequestKind::kPredictSource) {
+    if (rng.uniform_index(2) == 0) {
+      request.deadline_ms = std::fabs(random_finite(rng));
+    }
+    if (rng.uniform_index(2) == 0) {
+      request.trace = json_safe ? random_json_safe_u64(rng) : rng.next();
+    }
   }
   return request;
+}
+
+/// A reply trace: json-safe id (both framings must agree) and a handful of
+/// stages whose offsets span the finite-double space.
+repro::obs::Trace random_trace(rc::Xoshiro256& rng) {
+  repro::obs::Trace trace;
+  trace.id = random_json_safe_u64(rng);
+  const std::size_t n = rng.uniform_index(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.stages.push_back(
+        {random_ascii(rng, 24), std::fabs(random_finite(rng))});
+  }
+  return trace;
+}
+
+rs::WireMetrics random_metrics(rc::Xoshiro256& rng) {
+  rs::WireMetrics metrics;
+  metrics.text = random_ascii(rng, 120);
+  const std::size_t n = rng.uniform_index(8);
+  for (std::size_t i = 0; i < n; ++i) {
+    metrics.values.emplace_back(random_ascii(rng, 24), random_finite(rng));
+  }
+  return metrics;
 }
 
 rco::Predictor::KernelPrediction random_prediction(rc::Xoshiro256& rng,
@@ -174,6 +208,7 @@ rs::WireStats random_stats(rc::Xoshiro256& rng) {
   stats.shed = random_json_safe_u64(rng);
   stats.deadline_exceeded = random_json_safe_u64(rng);
   stats.streamed = random_json_safe_u64(rng);
+  stats.peak_message_bytes = random_json_safe_u64(rng);
   return stats;
 }
 
@@ -189,7 +224,7 @@ rc::Error random_error(rc::Xoshiro256& rng) {
 /// as the exact bytes a peer would send.
 std::string random_valid_message(rc::Xoshiro256& rng) {
   const bool binary = rng.uniform_index(2) == 1;
-  switch (rng.uniform_index(8)) {
+  switch (rng.uniform_index(9)) {
     case 0: {
       const auto request = random_request(rng, /*json_safe=*/true);
       if (binary) return rb::format_request_frame(request);
@@ -197,13 +232,26 @@ std::string random_valid_message(rc::Xoshiro256& rng) {
     }
     case 1: {
       const auto p = random_prediction(rng, /*allow_inf=*/true);
-      if (binary) return rb::format_prediction_frame(rng.next(), p);
-      return rs::format_response(rng.next() & ((1ULL << 53) - 1), p) + "\n";
+      const auto trace = random_trace(rng);
+      const auto* trace_ptr = rng.uniform_index(2) == 0 ? &trace : nullptr;
+      if (binary) return rb::format_prediction_frame(rng.next(), p, trace_ptr);
+      return rs::format_response(rng.next() & ((1ULL << 53) - 1), p, trace_ptr) +
+             "\n";
     }
     case 2: {
       const auto e = random_error(rng);
-      if (binary) return rb::format_error_frame(rng.next(), e);
-      return rs::format_error(rng.next() & ((1ULL << 53) - 1), e) + "\n";
+      const auto trace = random_trace(rng);
+      const auto* trace_ptr = rng.uniform_index(2) == 0 ? &trace : nullptr;
+      if (binary) return rb::format_error_frame(rng.next(), e, trace_ptr);
+      return rs::format_error(rng.next() & ((1ULL << 53) - 1), e, trace_ptr) +
+             "\n";
+    }
+    case 8: {
+      const auto metrics = random_metrics(rng);
+      if (binary) return rb::format_metrics_frame(rng.next(), metrics);
+      return rs::format_metrics_response(rng.next() & ((1ULL << 53) - 1),
+                                         metrics) +
+             "\n";
     }
     case 3: {
       const auto stats = random_stats(rng);
@@ -364,6 +412,8 @@ void expect_request_equal(const rs::WireRequest& a, const rs::WireRequest& b) {
   EXPECT_EQ(a.source, b.source);
   ASSERT_EQ(a.deadline_ms.has_value(), b.deadline_ms.has_value());
   if (a.deadline_ms) EXPECT_TRUE(bits_equal(*a.deadline_ms, *b.deadline_ms));
+  ASSERT_EQ(a.trace.has_value(), b.trace.has_value());
+  if (a.trace) EXPECT_EQ(*a.trace, *b.trace);
 }
 
 void expect_response_equal(const rs::WireResponse& a, const rs::WireResponse& b) {
@@ -396,6 +446,28 @@ void expect_response_equal(const rs::WireResponse& a, const rs::WireResponse& b)
     EXPECT_EQ(a.stats->shed, b.stats->shed);
     EXPECT_EQ(a.stats->deadline_exceeded, b.stats->deadline_exceeded);
     EXPECT_EQ(a.stats->streamed, b.stats->streamed);
+    EXPECT_EQ(a.stats->peak_message_bytes, b.stats->peak_message_bytes);
+  }
+  ASSERT_EQ(a.metrics.has_value(), b.metrics.has_value());
+  if (a.metrics) {
+    EXPECT_EQ(a.metrics->text, b.metrics->text);
+    ASSERT_EQ(a.metrics->values.size(), b.metrics->values.size());
+    for (std::size_t i = 0; i < a.metrics->values.size(); ++i) {
+      EXPECT_EQ(a.metrics->values[i].first, b.metrics->values[i].first);
+      EXPECT_TRUE(bits_equal(a.metrics->values[i].second,
+                             b.metrics->values[i].second))
+          << "metric " << i;
+    }
+  }
+  ASSERT_EQ(a.trace.has_value(), b.trace.has_value());
+  if (a.trace) {
+    EXPECT_EQ(a.trace->id, b.trace->id);
+    ASSERT_EQ(a.trace->stages.size(), b.trace->stages.size());
+    for (std::size_t i = 0; i < a.trace->stages.size(); ++i) {
+      EXPECT_EQ(a.trace->stages[i].stage, b.trace->stages[i].stage);
+      EXPECT_TRUE(bits_equal(a.trace->stages[i].us, b.trace->stages[i].us))
+          << "stage " << i;
+    }
   }
   ASSERT_EQ(a.error.has_value(), b.error.has_value());
   if (a.error) {
@@ -464,8 +536,12 @@ TEST(ProtocolFuzz, MutatedJsonLinesAlwaysParseOrError) {
 }
 
 // Truncation at every byte boundary: mid-frame EOF must always be a clean
-// parse error. Only a SourceChunk has a valid proper prefix (its data is
-// "the rest of the payload" by design); every other payload is exact-length.
+// parse error, with three deliberate exceptions. A SourceChunk has valid
+// proper prefixes (its data is "the rest of the payload" by design); a
+// stats body's trailing peak_message_bytes u64 and a prediction/error
+// body's trailing trace section are optional for version skew, so the cut
+// that removes EXACTLY that tail yields a valid (tail-less) message — any
+// other cut must still error.
 TEST(ProtocolFuzz, TruncatedBinaryPayloadsAlwaysError) {
   rc::Xoshiro256 rng(7);
   for (std::size_t i = 0; i < iterations(60); ++i) {
@@ -481,9 +557,20 @@ TEST(ProtocolFuzz, TruncatedBinaryPayloadsAlwaysError) {
         case rb::FrameType::kRequest:
           EXPECT_FALSE(rb::parse_request(prefix).ok()) << "cut " << cut;
           break;
-        case rb::FrameType::kResponse:
-          EXPECT_FALSE(rb::parse_response(prefix).ok()) << "cut " << cut;
+        case rb::FrameType::kResponse: {
+          const auto parsed = rb::parse_response(prefix);
+          if (parsed.ok()) {
+            const bool stats_tail = parsed.value().stats.has_value() &&
+                                    !parsed.value().health &&
+                                    cut == payload.size() - 8;
+            const bool trace_tail = (parsed.value().prediction.has_value() ||
+                                     parsed.value().error.has_value()) &&
+                                    !parsed.value().trace.has_value();
+            EXPECT_TRUE(stats_tail || trace_tail)
+                << "unexpected parse success at cut " << cut;
+          }
           break;
+        }
         case rb::FrameType::kSourceBegin:
           EXPECT_FALSE(rb::parse_source_begin(prefix).ok()) << "cut " << cut;
           break;
@@ -740,4 +827,88 @@ TEST(ProtocolDifferential, TrailingBytesAreRejected) {
   std::string end = frame_payload(rb::format_source_end(9));
   end.push_back('x');
   EXPECT_FALSE(rb::parse_source_end(end).ok());
+}
+
+// Traced replies: the per-stage trace section must decode to identical
+// id/stage/offset fields from the JSON member and the binary trailing
+// section, on prediction and error replies alike.
+TEST(ProtocolDifferential, TracedResponsesAgreeAcrossFramings) {
+  for (const std::uint64_t seed : kSeeds) {
+    rc::Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < iterations(200); ++i) {
+      const std::uint64_t id = random_json_safe_u64(rng);
+      const auto trace = random_trace(rng);
+      std::string json_line;
+      std::string framed;
+      if (rng.uniform_index(2) == 0) {
+        const auto p = random_prediction(rng, /*allow_inf=*/true);
+        json_line = rs::format_response(id, p, &trace);
+        framed = rb::format_prediction_frame(id, p, &trace);
+      } else {
+        const auto e = random_error(rng);
+        json_line = rs::format_error(id, e, &trace);
+        framed = rb::format_error_frame(id, e, &trace);
+      }
+      auto from_json = rs::parse_response(json_line);
+      ASSERT_TRUE(from_json.ok()) << from_json.error().message << "\n" << json_line;
+      auto from_binary = rb::parse_response(frame_payload(framed));
+      ASSERT_TRUE(from_binary.ok()) << from_binary.error().message;
+      ASSERT_TRUE(from_json.value().trace.has_value());
+      EXPECT_EQ(from_json.value().trace->id, trace.id);
+      EXPECT_EQ(from_json.value().trace->stages.size(), trace.stages.size());
+      expect_response_equal(from_json.value(), from_binary.value());
+    }
+  }
+}
+
+// Metrics replies: the text exposition and every (name, value) pair must
+// survive both framings bit-exactly.
+TEST(ProtocolDifferential, MetricsResponsesAgreeAcrossFramings) {
+  for (const std::uint64_t seed : kSeeds) {
+    rc::Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < iterations(200); ++i) {
+      const std::uint64_t id = random_json_safe_u64(rng);
+      const auto metrics = random_metrics(rng);
+      auto from_json =
+          rs::parse_response(rs::format_metrics_response(id, metrics));
+      ASSERT_TRUE(from_json.ok()) << from_json.error().message;
+      auto from_binary =
+          rb::parse_response(frame_payload(rb::format_metrics_frame(id, metrics)));
+      ASSERT_TRUE(from_binary.ok()) << from_binary.error().message;
+      ASSERT_TRUE(from_json.value().metrics.has_value());
+      ASSERT_EQ(from_json.value().metrics->values.size(), metrics.values.size());
+      EXPECT_EQ(from_json.value().metrics->text, metrics.text);
+      expect_response_equal(from_json.value(), from_binary.value());
+    }
+  }
+}
+
+// The metrics request kind and trace ids on requests are protocol-2
+// additions; both must agree across framings (random_request already mixes
+// them in — this pins the specific fields explicitly).
+TEST(ProtocolDifferential, TracedAndMetricsRequestsAgreeAcrossFramings) {
+  rs::WireRequest request;
+  request.id = 99;
+  request.kind = rs::RequestKind::kPredictSource;
+  request.source = "kernel void k() {}";
+  request.trace = 0xabcdefULL;
+  auto from_json = rs::parse_request(rs::format_request(request));
+  ASSERT_TRUE(from_json.ok()) << from_json.error().message;
+  auto from_binary =
+      rb::parse_request(frame_payload(rb::format_request_frame(request)));
+  ASSERT_TRUE(from_binary.ok()) << from_binary.error().message;
+  ASSERT_TRUE(from_json.value().trace.has_value());
+  EXPECT_EQ(*from_json.value().trace, 0xabcdefULL);
+  expect_request_equal(from_json.value(), from_binary.value());
+
+  rs::WireRequest metrics_request;
+  metrics_request.id = 100;
+  metrics_request.kind = rs::RequestKind::kMetrics;
+  auto mj = rs::parse_request(rs::format_request(metrics_request));
+  ASSERT_TRUE(mj.ok()) << mj.error().message;
+  auto mb =
+      rb::parse_request(frame_payload(rb::format_request_frame(metrics_request)));
+  ASSERT_TRUE(mb.ok()) << mb.error().message;
+  EXPECT_EQ(mj.value().kind, rs::RequestKind::kMetrics);
+  expect_request_equal(mj.value(), mb.value());
 }

@@ -32,6 +32,7 @@
 #include "core/predictor.hpp"
 #include "gpusim/simulator.hpp"
 #include "ml/svr.hpp"
+#include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/model_cache.hpp"
 #include "serve/protocol.hpp"
@@ -1673,4 +1674,204 @@ TEST(BinaryProtocolTest, NegotiationDowngradesAgainstPreHelloPeer) {
 
   peer.join();
   ::close(listener);
+}
+
+// --- observability: traced requests and the metrics request kind --------------
+
+TEST(ObservabilityTest, TracedRequestCarriesStagesAndStaysBitIdentical) {
+  // A traced predict_source must come back with the full worker stage set
+  // (parse, admission, batch, execute, reply) and — trace aside — the exact
+  // bytes an untraced request gets: the trace is the one deliberately
+  // nondeterministic reply field (docs/DETERMINISM.md), never part of the
+  // prediction. Checked at several shard counts over both framings.
+  PoolGuard guard;
+  auto direct = rco::Predictor::from_model(trained_model());
+  ASSERT_TRUE(direct.ok());
+  const auto reference = direct.value().predict_source(kSourceKernel);
+  ASSERT_TRUE(reference.ok());
+
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    rs::ServiceOptions options;
+    options.shards = shards;
+    auto service = rs::Service::from_model(trained_model(), options);
+    ASSERT_TRUE(service.ok());
+    rs::ServerOptions server_options;
+    server_options.tcp_port = 0;
+    auto server = rs::SocketServer::start(*service.value(), server_options);
+    ASSERT_TRUE(server.ok()) << server.error().message;
+
+    for (const bool binary : {false, true}) {
+      auto client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+      ASSERT_TRUE(client.ok()) << client.error().message;
+      if (binary) {
+        auto negotiated = client.value().negotiate_binary();
+        ASSERT_TRUE(negotiated.ok()) << negotiated.error().message;
+        ASSERT_EQ(negotiated.value(), rs::kProtocolVersion);
+      }
+
+      // Untraced by default: no trace rides the reply.
+      auto plain = client.value().predict_source(kSourceKernel);
+      ASSERT_TRUE(plain.ok()) << plain.error().message;
+      EXPECT_FALSE(client.value().last_trace().has_value());
+
+      client.value().set_trace_enabled(true);
+      auto traced = client.value().predict_source(kSourceKernel);
+      ASSERT_TRUE(traced.ok()) << traced.error().message;
+      EXPECT_TRUE(bitwise_equal(traced.value().pareto, reference.value().pareto))
+          << "shards=" << shards << " binary=" << binary;
+      EXPECT_TRUE(bitwise_equal(traced.value().pareto, plain.value().pareto));
+
+      ASSERT_TRUE(client.value().last_trace().has_value())
+          << "shards=" << shards << " binary=" << binary;
+      const auto& trace = *client.value().last_trace();
+      std::vector<std::string> stages;
+      for (const auto& s : trace.stages) stages.push_back(s.stage);
+      for (const char* expected :
+           {"parse", "admission", "batch", "execute", "reply"}) {
+        EXPECT_NE(std::find(stages.begin(), stages.end(), expected),
+                  stages.end())
+            << "missing stage " << expected << " shards=" << shards
+            << " binary=" << binary;
+      }
+      EXPECT_GE(stages.size(), 5u);
+
+      // Back off: the next request is untraced again.
+      client.value().set_trace_enabled(false);
+      auto untraced = client.value().predict_source(kSourceKernel);
+      ASSERT_TRUE(untraced.ok());
+      EXPECT_FALSE(client.value().last_trace().has_value());
+    }
+
+    server.value()->stop();
+    service.value()->stop();
+  }
+}
+
+TEST(ObservabilityTest, TracedErrorReplyAnswersWhereItFailed) {
+  // The trace rides error replies too — a rejected request still tells the
+  // client which stage it reached.
+  PoolGuard guard;
+  auto service = rs::Service::from_model(trained_model(), rs::ServiceOptions{});
+  ASSERT_TRUE(service.ok());
+  rs::ServerOptions server_options;
+  server_options.tcp_port = 0;
+  auto server = rs::SocketServer::start(*service.value(), server_options);
+  ASSERT_TRUE(server.ok());
+
+  auto client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+  ASSERT_TRUE(client.ok());
+  client.value().set_trace_enabled(true);
+  auto bad = client.value().predict_source("kernel void broken( {");
+  ASSERT_FALSE(bad.ok());
+  ASSERT_TRUE(client.value().last_trace().has_value());
+  EXPECT_FALSE(client.value().last_trace()->stages.empty());
+
+  server.value()->stop();
+  service.value()->stop();
+}
+
+TEST(ObservabilityTest, MetricsRequestAnsweredInlineOverBothFramings) {
+  // The "metrics" request is answered on the connection thread like
+  // health/stats, in both framings, exposing the service's counters from a
+  // per-test registry (so parallel tests in this binary can't interfere).
+  PoolGuard guard;
+  repro::obs::Registry registry;
+  rs::ServiceOptions options;
+  options.registry = &registry;
+  auto service = rs::Service::from_model(trained_model(), options);
+  ASSERT_TRUE(service.ok());
+  rs::ServerOptions server_options;
+  server_options.tcp_port = 0;
+  server_options.registry = &registry;
+  auto server = rs::SocketServer::start(*service.value(), server_options);
+  ASSERT_TRUE(server.ok());
+
+  auto client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+  ASSERT_TRUE(client.ok());
+  const auto kernels = request_mix(3);
+  for (const auto& kernel : kernels) {
+    ASSERT_TRUE(client.value().predict(kernel).ok());
+  }
+
+  auto metrics = client.value().metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.error().message;
+#if !defined(REPRO_OBS_DISABLED)
+  bool found = false;
+  for (const auto& [name, value] : metrics.value().values) {
+    if (name == "repro_requests_total") {
+      EXPECT_EQ(value, 3.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "repro_requests_total missing";
+  EXPECT_NE(metrics.value().text.find("repro_requests_total 3"),
+            std::string::npos)
+      << metrics.value().text;
+  EXPECT_NE(metrics.value().text.find("repro_request_latency_us_count"),
+            std::string::npos);
+#endif
+
+  // The binary framing answers the same snapshot shape.
+  auto binary_client = rs::SocketClient::connect_tcp(server.value()->tcp_port());
+  ASSERT_TRUE(binary_client.ok());
+  auto negotiated = binary_client.value().negotiate_binary();
+  ASSERT_TRUE(negotiated.ok());
+  ASSERT_EQ(negotiated.value(), rs::kProtocolVersion);
+  auto binary_metrics = binary_client.value().metrics();
+  ASSERT_TRUE(binary_metrics.ok()) << binary_metrics.error().message;
+  EXPECT_EQ(binary_metrics.value().values.size(), metrics.value().values.size());
+#if !defined(REPRO_OBS_DISABLED)
+  EXPECT_NE(binary_metrics.value().text.find("repro_requests_total"),
+            std::string::npos);
+#endif
+
+  server.value()->stop();
+  service.value()->stop();
+}
+
+TEST(ObservabilityTest, WireStatsFieldsSurviveBothFramings) {
+  // Every WireStats counter — all 13 fields, each with a distinct value —
+  // must round-trip unchanged through the JSON and the binary stats
+  // framing. A field swap or a dropped member shows up as a mismatch here
+  // before any fuzz run would find it.
+  rs::WireStats stats;
+  stats.uptime_s = 1.5;
+  stats.queue_depth = 2;
+  stats.requests = 3;
+  stats.source_requests = 4;
+  stats.batches = 5;
+  stats.connections = 6;
+  stats.protocol_errors = 7;
+  stats.cache_hits = 8;
+  stats.cache_misses = 9;
+  stats.shed = 10;
+  stats.deadline_exceeded = 11;
+  stats.streamed = 12;
+  stats.peak_message_bytes = 13;
+
+  const std::string framed = rs::binary::format_stats_frame(21, stats);
+  ASSERT_GE(framed.size(), rs::binary::kHeaderBytes);
+  auto from_binary =
+      rs::binary::parse_response(framed.substr(rs::binary::kHeaderBytes));
+  auto from_json = rs::parse_response(rs::format_stats_response(21, stats));
+  ASSERT_TRUE(from_binary.ok()) << from_binary.error().message;
+  ASSERT_TRUE(from_json.ok()) << from_json.error().message;
+
+  for (const auto* parsed : {&from_binary.value(), &from_json.value()}) {
+    ASSERT_TRUE(parsed->stats.has_value());
+    const rs::WireStats& s = *parsed->stats;
+    EXPECT_DOUBLE_EQ(s.uptime_s, 1.5);
+    EXPECT_EQ(s.queue_depth, 2u);
+    EXPECT_EQ(s.requests, 3u);
+    EXPECT_EQ(s.source_requests, 4u);
+    EXPECT_EQ(s.batches, 5u);
+    EXPECT_EQ(s.connections, 6u);
+    EXPECT_EQ(s.protocol_errors, 7u);
+    EXPECT_EQ(s.cache_hits, 8u);
+    EXPECT_EQ(s.cache_misses, 9u);
+    EXPECT_EQ(s.shed, 10u);
+    EXPECT_EQ(s.deadline_exceeded, 11u);
+    EXPECT_EQ(s.streamed, 12u);
+    EXPECT_EQ(s.peak_message_bytes, 13u);
+  }
 }
