@@ -20,8 +20,12 @@
 // itself honours REPRO_THREADS). Every timed pair also verifies that the
 // optimized output is bit-identical to its reference and records the
 // verdict in the JSON.
+#include "common/alloc_hook.hpp"  // this binary's one hook TU (--alloc-report)
+
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <cstdint>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +38,10 @@
 #include <thread>
 #include <vector>
 
+#include <string_view>
+
+#include "common/arena.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/queue.hpp"
 
 #include "benchgen/benchgen.hpp"
@@ -517,6 +525,189 @@ CaseResult bench_protocol_response_codec(std::size_t n, int reps) {
     }
   }
   return {"protocol_response_codec", n, json_ms, binary_ms, identical};
+}
+
+// --- zero-allocation serve hot path ------------------------------------------
+//
+// The per-connection protocol loop the arena/pool work targets: split →
+// parse → serialize the reply. "serial" is the pre-pooling shape (fresh
+// heap strings per message: a copied payload, a heap-backed JSON document,
+// a returned reply string); "parallel" is the production path (payload
+// views, arena-backed parse reset per message, reply serialized _into a
+// pooled buffer). bit_identical compares the reply bytes of both paths.
+
+/// One representative predict request + its reply content.
+struct HotpathFixture {
+  std::string json_request;    // newline-terminated wire line
+  std::string binary_request;  // full binary frame
+  core::Predictor::KernelPrediction prediction;
+};
+
+HotpathFixture make_hotpath_fixture() {
+  HotpathFixture fx;
+  serve::WireRequest request;
+  request.id = 42;
+  request.kind = serve::RequestKind::kPredict;
+  request.kernel = "k0";
+  std::array<double, clfront::kNumFeatures> features{};
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    features[i] = static_cast<double>(i) * 3.25 + 0.5;
+  }
+  request.features = features;
+  fx.json_request = serve::format_request(request);
+  fx.json_request.push_back('\n');
+  fx.binary_request = serve::binary::format_request_frame(request);
+  fx.prediction.kernel = "k0";
+  for (int i = 0; i < 6; ++i) {
+    core::PredictedPoint point;
+    point.config = {500 + 100 * i, 3505};
+    point.speedup = 1.0 + 0.125 * i;
+    point.energy = 1.0 - 0.0625 * i;
+    point.heuristic = i == 5;
+    fx.prediction.pareto.push_back(point);
+  }
+  return fx;
+}
+
+/// JSON parse with and without a per-message arena behind the document.
+CaseResult bench_protocol_parse_arena(std::size_t n, int reps) {
+  const HotpathFixture fx = make_hotpath_fixture();
+  const std::string_view line(fx.json_request.data(), fx.json_request.size() - 1);
+
+  std::uint64_t heap_ids = 0;
+  const double heap_ms = time_ms(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          heap_ids += serve::parse_request(line).value().id;
+        }
+      },
+      reps);
+  std::uint64_t arena_ids = 0;
+  common::Arena arena;
+  const double arena_ms = time_ms(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          arena_ids += serve::parse_request(line, &arena).value().id;
+          arena.reset();
+        }
+      },
+      reps);
+  // Same requests decoded either way — the id sums must agree across every
+  // rep (reps * n * 42 each), and one decoded pair is compared field-level.
+  const auto heap_decoded = serve::parse_request(line).value();
+  const auto arena_decoded = serve::parse_request(line, &arena).value();
+  const bool identical =
+      heap_ids == arena_ids && heap_decoded.id == arena_decoded.id &&
+      heap_decoded.kernel == arena_decoded.kernel &&
+      heap_decoded.features.has_value() && arena_decoded.features.has_value() &&
+      std::memcmp(heap_decoded.features->data(), arena_decoded.features->data(),
+                  sizeof(double) * clfront::kNumFeatures) == 0;
+  return {"protocol_parse_arena", n, heap_ms, arena_ms, identical};
+}
+
+CaseResult bench_serving_hotpath(std::size_t n, int reps) {
+  const HotpathFixture fx = make_hotpath_fixture();
+
+  // Pre-pooling shape: payload copied to a fresh string, heap-backed JSON
+  // document, reply returned as a new string — one message at a time
+  // through a pool-less splitter.
+  std::string last_alloc_reply;
+  serve::MessageSplitter alloc_splitter(1 << 20);
+  const double alloc_ms = time_ms(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          alloc_splitter.feed(fx.json_request);
+          for (;;) {
+            auto next = alloc_splitter.next();
+            if (!next.ok() || !next.value().has_value()) break;
+            const std::string payload(next.value()->payload);
+            auto request = serve::parse_request(payload);
+            std::string reply =
+                serve::format_response(request.value().id, fx.prediction);
+            reply.push_back('\n');
+            last_alloc_reply = std::move(reply);
+          }
+        }
+      },
+      reps);
+
+  // Production path: pooled splitter buffer, payload stays a view, the
+  // document lives in a per-connection arena reset after each message, and
+  // the reply is serialized _into one pooled buffer.
+  common::BufferPool pool;
+  serve::MessageSplitter pooled_splitter(1 << 20, /*accept_binary=*/true, &pool);
+  common::Arena arena;
+  auto reply_lease = pool.acquire();
+  std::string& reply = *reply_lease;
+  const double pooled_ms = time_ms(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          pooled_splitter.feed(fx.json_request);
+          for (;;) {
+            auto next = pooled_splitter.next();
+            if (!next.ok() || !next.value().has_value()) break;
+            auto request = serve::parse_request(next.value()->payload, &arena);
+            reply.clear();
+            serve::format_response_into(reply, request.value().id, fx.prediction);
+            reply.push_back('\n');
+            arena.reset();
+          }
+        }
+      },
+      reps);
+
+  return {"serving_hotpath", n, alloc_ms, pooled_ms, last_alloc_reply == reply};
+}
+
+/// --alloc-report: count heap allocations across a steady-state hot-path
+/// loop (the measurement AllocationRegressionTest gates at zero) and print
+/// allocs/request per framing. Returns false if any steady-state request
+/// allocated.
+bool run_alloc_report() {
+  namespace hook = repro::common::alloc_hook;
+  const HotpathFixture fx = make_hotpath_fixture();
+  bool clean = true;
+  for (const bool binary : {false, true}) {
+    const std::string& wire = binary ? fx.binary_request : fx.json_request;
+    common::BufferPool pool;
+    serve::MessageSplitter splitter(1 << 20, /*accept_binary=*/true, &pool);
+    common::Arena arena;
+    auto reply_lease = pool.acquire();
+    std::string& reply = *reply_lease;
+    const auto pump = [&] {
+      splitter.feed(wire);
+      for (;;) {
+        auto next = splitter.next();
+        if (!next.ok() || !next.value().has_value()) break;
+        auto request = binary
+                           ? serve::binary::parse_request(next.value()->payload)
+                           : serve::parse_request(next.value()->payload, &arena);
+        reply.clear();
+        if (binary) {
+          serve::binary::format_prediction_frame_into(reply, request.value().id,
+                                                      fx.prediction);
+        } else {
+          serve::format_response_into(reply, request.value().id, fx.prediction);
+          reply.push_back('\n');
+        }
+        arena.reset();
+      }
+    };
+    for (int i = 0; i < 64; ++i) pump();  // warm capacities
+    constexpr int kIters = 1024;
+    const std::uint64_t before = hook::allocations();
+    for (int i = 0; i < kIters; ++i) pump();
+    const std::uint64_t allocs = hook::allocations() - before;
+    std::printf("alloc-report  framing=%-6s  requests=%d  heap_allocs=%llu  "
+                "allocs/request=%.4f\n",
+                binary ? "binary" : "json", kIters,
+                static_cast<unsigned long long>(allocs),
+                static_cast<double>(allocs) / kIters);
+    clean = clean && allocs == 0;
+  }
+  std::printf("alloc-report  steady-state %s\n",
+              clean ? "allocation-free" : "ALLOCATES (regression)");
+  return clean;
 }
 
 // --- serving section ----------------------------------------------------------
@@ -1068,8 +1259,15 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--out" && i + 1 < argc) {
       out = argv[++i];
+    } else if (arg == "--alloc-report") {
+      // Count steady-state heap allocations on the serve hot path (the
+      // contract AllocationRegressionTest locks at zero) and exit.
+      return run_alloc_report() ? 0 : 1;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--threads N] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--threads N] [--out PATH] "
+                   "[--alloc-report]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -1133,6 +1331,11 @@ int main(int argc, char** argv) {
       smoke ? std::vector<std::size_t>{500} : std::vector<std::size_t>{2000, 10000};
   for (std::size_t n : codec_sizes) run(bench_protocol_request_codec(n, codec_reps));
   for (std::size_t n : codec_sizes) run(bench_protocol_response_codec(n, codec_reps));
+
+  // protocol_parse_arena / serving_hotpath: heap-per-message vs arena/pool
+  // protocol paths; "size" is messages per rep.
+  for (std::size_t n : codec_sizes) run(bench_protocol_parse_arena(n, codec_reps));
+  for (std::size_t n : codec_sizes) run(bench_serving_hotpath(n, codec_reps));
 
   // serving: throughput and latency percentiles of serve::Service vs the
   // batching window, concurrent clients hammering one node. Restoring the

@@ -129,6 +129,15 @@ fleet_pid=$!
 pids="$pids $fleet_pid"
 wait_ready "$fleet_log"
 
+# Resident-set sample of the fleet front process (the balancer, whose
+# per-connection splitter/arena/pool path the burst hammers). Compared
+# against a second sample after the burst: pooled buffers and arenas mean
+# steady state must not grow the heap with request count.
+rss_kb() { # pid
+  awk '/^VmRSS:/ { print $2; exit }' "/proc/$1/status" 2>/dev/null || echo 0
+}
+rss_before=$(rss_kb "$fleet_pid")
+
 # --- the burst: pipelined, overloading, deadline-stamped ----------------------
 burst_status=0
 timeout "$burst_timeout" \
@@ -176,6 +185,19 @@ if [ "$ok_count" -eq 0 ]; then
   exit 1
 fi
 echo "chaos_soak: $ok_count ok (all bit-identical), $retry_count retryable, 0 lost"
+
+# Steady RSS across the burst: the front process must not grow its resident
+# set with request count (pooled splitter buffers, per-connection arenas).
+# The bound is deliberately loose — 64 MB covers late-faulting pages and
+# allocator slack, while a per-request leak on even this burst would blow
+# far past it.
+rss_after=$(rss_kb "$fleet_pid")
+rss_growth_kb=$((rss_after - rss_before))
+echo "chaos_soak: fleet front VmRSS ${rss_before} kB -> ${rss_after} kB (+${rss_growth_kb} kB) across the burst"
+if [ "$rss_before" -gt 0 ] && [ "$rss_growth_kb" -gt 65536 ]; then
+  echo "chaos_soak: fleet front RSS grew ${rss_growth_kb} kB across the burst — per-request memory is leaking past the pools" >&2
+  exit 1
+fi
 
 # Chaos actually happened: at least one worker was SIGKILLed during the run.
 sleep 1

@@ -29,6 +29,12 @@ work_dir=$(mktemp -d)
 trap 'rm -rf "$work_dir"' EXIT INT TERM
 current="$work_dir/perf_stack.json"
 
+echo "perf_gate: running perf_stack --alloc-report"
+"$build_dir/perf_stack" --alloc-report || {
+  echo "perf_gate: serve hot path allocates at steady state" >&2
+  exit 1
+}
+
 echo "perf_gate: running perf_stack --smoke"
 "$build_dir/perf_stack" --smoke --out "$current" || {
   echo "perf_gate: perf_stack failed (bit-identity violation or crash)" >&2
@@ -44,7 +50,7 @@ extract "$current" >"$work_dir/cur.txt"
 
 # The gated cases: the stack's headline hot paths. Sub-0.1 ms cases are
 # covered by the absolute slack more than the ratio.
-cases="svr_train svr_batch_predict pareto_front predict_plus_pareto matrix_multiply simd_kernel_matrix protocol_request_codec protocol_response_codec"
+cases="svr_train svr_batch_predict pareto_front predict_plus_pareto matrix_multiply simd_kernel_matrix protocol_request_codec protocol_response_codec protocol_parse_arena serving_hotpath"
 
 fail=0
 for name in $cases; do

@@ -1,0 +1,169 @@
+// Monotonic bump allocator for per-request scratch (the serve hot path's
+// protocol parse), plus an STL-compatible allocator over it.
+//
+// An Arena hands out pointers by bumping an offset through chunked slabs;
+// nothing is ever freed individually. reset() rewinds the arena for the
+// next request, keeping the largest slab, so a connection that has seen
+// its biggest request once never touches the heap again — the lifecycle
+// the zero-allocation serving contract is built on (docs/ARCHITECTURE.md,
+// "Arena and pool lifetimes").
+//
+// Lifetime rule: everything allocated from an arena dies at the next
+// reset(). Values that outlive the request (a WireRequest's source bytes,
+// anything queued into the Service) must be copied out into ordinary
+// heap-owned storage before the parse returns.
+//
+// Not thread-safe by design: one arena per connection (per thread). The
+// allocator's null-arena state falls back to the global heap, so
+// arena-typed containers (JsonValue's vectors and strings) behave exactly
+// like their std counterparts when no arena is supplied.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace repro::common {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 4096;
+
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes)
+      : first_chunk_bytes_(first_chunk_bytes == 0 ? kDefaultChunkBytes
+                                                  : first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (a power of two). Grows by
+  /// doubling chunks when the active chunk is exhausted; throws
+  /// std::bad_alloc only if the underlying slab allocation does.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    if (active_ < chunks_.size()) {
+      Chunk& chunk = chunks_[active_];
+      const std::size_t offset = (chunk.used + align - 1) & ~(align - 1);
+      if (offset + bytes <= chunk.capacity && offset + bytes >= offset) {
+        chunk.used = offset + bytes;
+        bump_used(chunk);
+        return chunk.data.get() + offset;
+      }
+    }
+    return allocate_slow(bytes, align);
+  }
+
+  /// Rewind for the next request: every previous allocation is dead. The
+  /// largest slab is kept so a warmed-up arena serves the steady state
+  /// without heap traffic; the rest are released.
+  void reset() noexcept {
+    if (chunks_.empty()) return;
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < chunks_.size(); ++i) {
+      if (chunks_[i].capacity > chunks_[largest].capacity) largest = i;
+    }
+    if (largest != 0) chunks_[0] = std::move(chunks_[largest]);
+    chunks_.resize(1);
+    chunks_[0].used = 0;
+    active_ = 0;
+    base_used_ = 0;
+    used_ = 0;
+  }
+
+  /// Live bytes since the last reset (bump offsets, padding included).
+  [[nodiscard]] std::size_t used_bytes() const noexcept { return used_; }
+  /// Total slab capacity currently held.
+  [[nodiscard]] std::size_t reserved_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.capacity;
+    return total;
+  }
+  /// High-water mark of used_bytes() across the arena's whole life — the
+  /// number the repro_arena_bytes gauge reports.
+  [[nodiscard]] std::size_t peak_used_bytes() const noexcept { return peak_used_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  void bump_used(const Chunk& chunk) noexcept {
+    used_ = base_used_ + chunk.used;
+    if (used_ > peak_used_) peak_used_ = used_;
+  }
+
+  [[nodiscard]] void* allocate_slow(std::size_t bytes, std::size_t align) {
+    // Move past the exhausted chunk; its tail is wasted until reset().
+    if (active_ < chunks_.size()) base_used_ += chunks_[active_].used;
+    std::size_t capacity =
+        chunks_.empty() ? first_chunk_bytes_ : chunks_.back().capacity * 2;
+    if (capacity < bytes + align) capacity = bytes + align;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(capacity), capacity, 0});
+    active_ = chunks_.size() - 1;
+    Chunk& chunk = chunks_.back();
+    const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+    const std::size_t offset =
+        ((base + align - 1) & ~(std::uintptr_t{align} - 1)) - base;
+    chunk.used = offset + bytes;
+    bump_used(chunk);
+    return chunk.data.get() + offset;
+  }
+
+  std::size_t first_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;     // index of the chunk being bumped
+  std::size_t base_used_ = 0;  // used bytes in exhausted chunks before it
+  std::size_t used_ = 0;
+  std::size_t peak_used_ = 0;
+};
+
+/// STL allocator over an Arena. Null arena = global heap, so containers
+/// typed on ArenaAllocator are drop-in replacements when no arena is in
+/// play (a default-constructed JsonValue, a test building documents by
+/// hand). deallocate is a no-op on the arena side — memory comes back only
+/// at Arena::reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  // Propagate on assignment/swap so moves between containers steal buffers
+  // instead of copying elements across allocators.
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > static_cast<std::size_t>(-1) / sizeof(T)) throw std::bad_alloc();
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) noexcept {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) noexcept {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace repro::common

@@ -1,0 +1,13 @@
+#include "common/buffer_pool.hpp"
+
+namespace repro::common {
+
+BufferPool& BufferPool::global() {
+  // Leaked on purpose: connection threads may release leases during static
+  // destruction (a server torn down by atexit paths must not race a dying
+  // pool).
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+}  // namespace repro::common

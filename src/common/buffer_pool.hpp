@@ -1,0 +1,166 @@
+// Size-classed pool of reusable byte buffers (std::string storage) with
+// RAII leases — the other half of the zero-allocation serve hot path next
+// to common::Arena.
+//
+// A Lease hands out a cleared std::string whose capacity is recycled:
+// when the lease dies the buffer goes back to the pool's free list for its
+// capacity class instead of the heap. Connections lease their splitter
+// input buffer and their reply output buffer, so a churning fleet of
+// short-lived connections stops paying a malloc/free pair per connection
+// and per reply.
+//
+// A default-constructed (detached) Lease owns a plain string and returns
+// nothing anywhere — the no-pool fallback, so callers can be written
+// against Lease unconditionally.
+//
+// Thread-safe: leases may be acquired and released from any thread (one
+// mutex around the free lists; the counters are atomics readable without
+// it). The pool must outlive its leases. Capacity per class is bounded —
+// a burst of giant buffers is dropped back to the heap, not hoarded —
+// which is what keeps RSS flat across overload bursts
+// (scripts/chaos_soak.sh asserts this).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace repro::common {
+
+class BufferPool {
+ public:
+  /// Capacity classes: ≤4 KiB, ≤64 KiB, ≤1 MiB, everything larger.
+  static constexpr std::size_t kClasses = 4;
+  static constexpr std::array<std::size_t, kClasses - 1> kClassBytes = {
+      4u << 10, 64u << 10, 1u << 20};
+
+  explicit BufferPool(std::size_t max_buffers_per_class = 16)
+      : max_per_class_(max_buffers_per_class) {
+    // Pre-size the free lists so give_back (noexcept, runs in Lease
+    // destructors) never grows a vector.
+    for (auto& list : free_) list.reserve(max_per_class_);
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  class Lease {
+   public:
+    /// Detached lease: plain string storage, no pool behind it.
+    Lease() = default;
+
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)), buf_(std::move(other.buf_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        buf_ = std::move(other.buf_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    ~Lease() { release(); }
+
+    [[nodiscard]] std::string& operator*() noexcept { return buf_; }
+    [[nodiscard]] const std::string& operator*() const noexcept { return buf_; }
+    [[nodiscard]] std::string* operator->() noexcept { return &buf_; }
+    [[nodiscard]] const std::string* operator->() const noexcept { return &buf_; }
+
+   private:
+    friend class BufferPool;
+    Lease(BufferPool* pool, std::string buf) : pool_(pool), buf_(std::move(buf)) {}
+
+    void release() noexcept {
+      if (pool_ != nullptr) {
+        pool_->give_back(std::move(buf_));
+        pool_ = nullptr;
+      }
+    }
+
+    BufferPool* pool_ = nullptr;
+    std::string buf_;
+  };
+
+  /// Lease a cleared buffer with at least `reserve_bytes` of capacity,
+  /// reusing a pooled one when any class holds a big-enough buffer.
+  [[nodiscard]] Lease acquire(std::size_t reserve_bytes = 0) {
+    acquires_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t c = class_of(reserve_bytes); c < kClasses; ++c) {
+        if (!free_[c].empty()) {
+          std::string buf = std::move(free_[c].back());
+          free_[c].pop_back();
+          reuses_.fetch_add(1, std::memory_order_relaxed);
+          if (buf.capacity() < reserve_bytes) buf.reserve(reserve_bytes);
+          return Lease(this, std::move(buf));
+        }
+      }
+    }
+    std::string buf;
+    if (reserve_bytes > 0) buf.reserve(reserve_bytes);
+    return Lease(this, std::move(buf));
+  }
+
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t reuses = 0;    // acquires served from a free list
+    std::uint64_t discards = 0;  // returns dropped because the class was full
+    std::size_t pooled_buffers = 0;
+    std::size_t pooled_bytes = 0;  // capacity currently parked in free lists
+  };
+  [[nodiscard]] Stats stats() const {
+    Stats s;
+    s.acquires = acquires_.load(std::memory_order_relaxed);
+    s.reuses = reuses_.load(std::memory_order_relaxed);
+    s.discards = discards_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& list : free_) {
+      s.pooled_buffers += list.size();
+      for (const std::string& buf : list) s.pooled_bytes += buf.capacity();
+    }
+    return s;
+  }
+
+  /// Process-wide pool: the default the server, balancer, and client ride
+  /// when their options carry no explicit pool.
+  [[nodiscard]] static BufferPool& global();
+
+ private:
+  static std::size_t class_of(std::size_t bytes) noexcept {
+    for (std::size_t c = 0; c < kClassBytes.size(); ++c) {
+      if (bytes <= kClassBytes[c]) return c;
+    }
+    return kClasses - 1;
+  }
+
+  void give_back(std::string&& buf) noexcept {
+    buf.clear();
+    const std::size_t c = class_of(buf.capacity());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (free_[c].size() < max_per_class_) {
+        free_[c].push_back(std::move(buf));
+        return;
+      }
+    }
+    discards_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::size_t max_per_class_;
+  mutable std::mutex mutex_;
+  std::array<std::vector<std::string>, kClasses> free_;
+  std::atomic<std::uint64_t> acquires_{0};
+  std::atomic<std::uint64_t> reuses_{0};
+  std::atomic<std::uint64_t> discards_{0};
+};
+
+}  // namespace repro::common

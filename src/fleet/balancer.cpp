@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/arena.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/log.hpp"
 #include "common/net.hpp"
 #include "common/queue.hpp"
@@ -129,6 +131,9 @@ struct Balancer::Impl {
   };
 
   BalancerOptions options;
+  /// Resolved buffer pool (options.buffer_pool or the process-global one);
+  /// backs every splitter's input buffer on both sides of the balancer.
+  common::BufferPool* pool = nullptr;
   std::vector<std::unique_ptr<Backend>> backends;
   std::atomic<std::size_t> rr_next{0};
   std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
@@ -205,6 +210,8 @@ common::Result<std::unique_ptr<Balancer>> Balancer::start(
   std::unique_ptr<Balancer> balancer(new Balancer());
   Impl& impl = *balancer->impl_;
   impl.options = options;
+  impl.pool = options.buffer_pool != nullptr ? options.buffer_pool
+                                             : &common::BufferPool::global();
   impl.registry = options.registry != nullptr ? options.registry : &impl.owned_registry;
   impl.obs_requests = impl.registry->counter("repro_balancer_requests_total");
   impl.obs_dispatches = impl.registry->counter("repro_balancer_dispatches_total");
@@ -293,7 +300,8 @@ void Balancer::Impl::start_reader(Backend& backend) {
 
 void Balancer::Impl::backend_reader(Backend& backend) {
   const int fd = backend.fd;  // stable for this reader's lifetime
-  serve::MessageSplitter splitter(options.max_line_bytes);
+  serve::MessageSplitter splitter(options.max_line_bytes, /*accept_binary=*/true,
+                                  pool);
   char chunk[4096];
   bool read_loop_done = false;
   // Progress-based liveness: read in short ticks; a backend that stays
@@ -995,7 +1003,11 @@ void Balancer::Impl::serve_connection(int fd) {
     dispatch(forwarded);
   };
 
-  serve::MessageSplitter splitter(options.max_line_bytes);
+  serve::MessageSplitter splitter(options.max_line_bytes, /*accept_binary=*/true,
+                                  pool);
+  // Backs the intermediate JSON document inside parse_request; reset after
+  // every message (the decoded WireRequest owns plain heap strings).
+  common::Arena arena;
   char chunk[4096];
   bool framing_fault = false;
   for (;;) {
@@ -1018,7 +1030,7 @@ void Balancer::Impl::serve_connection(int fd) {
       serve::WireMessage message = std::move(*next.value());
 
       if (!message.binary) {
-        auto request = serve::parse_request(message.payload);
+        auto request = serve::parse_request(message.payload, &arena);
         if (!request.ok()) {
           count_protocol_error();
           PendingReply pending;
@@ -1028,6 +1040,7 @@ void Balancer::Impl::serve_connection(int fd) {
         } else {
           handle_request(std::move(request).take(), /*is_binary=*/false);
         }
+        arena.reset();
         continue;
       }
 

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
 #include "serve/client.hpp"
@@ -84,6 +85,10 @@ struct BalancerOptions {
   /// the balancer in one process) never double-counts worker metrics when
   /// a "metrics" scrape merges backend snapshots with the balancer's own.
   obs::Registry* registry = nullptr;
+  /// Pool behind every splitter input buffer (client connections and backend
+  /// readers). Null = common::BufferPool::global(), the same pool the worker
+  /// servers default to. Must outlive the balancer.
+  common::BufferPool* buffer_pool = nullptr;
 };
 
 class Balancer {

@@ -152,7 +152,7 @@ std::string Broker::Impl::answer(const std::string& line) {
     return serve::format_error(
         id, common::parse_error("broker: request needs a string \"type\""));
   }
-  const std::string& t = type->as_string();
+  const std::string_view t = type->as_string();
   if (t == "model") {
     // Train-or-load under the cache's own mutex: N workers asking at once
     // block here and the suite is fitted exactly once for the whole fleet.
@@ -172,7 +172,8 @@ std::string Broker::Impl::answer(const std::string& line) {
                          : serve::format_stats_response(id, wire);
   }
   return serve::format_error(
-      id, common::parse_error("broker: unknown request type \"" + t + "\""));
+      id, common::parse_error("broker: unknown request type \"" + std::string(t) +
+                              "\""));
 }
 
 void Broker::Impl::serve_connection(int fd) {
@@ -253,7 +254,7 @@ common::Result<BrokerModelReply> fetch_model(const std::string& broker_unix_path
       const serve::JsonValue* message = error->find("message");
       return common::unavailable(
           "broker: " + (message != nullptr && message->is_string()
-                            ? message->as_string()
+                            ? std::string(message->as_string())
                             : std::string("unknown error")));
     }
   }
@@ -267,7 +268,8 @@ common::Result<BrokerModelReply> fetch_model(const std::string& broker_unix_path
       key == nullptr || !key->is_string() || path == nullptr || !path->is_string()) {
     return common::parse_error("broker: malformed model reply: " + reply.value());
   }
-  return BrokerModelReply{key->as_string(), path->as_string()};
+  return BrokerModelReply{std::string(key->as_string()),
+                          std::string(path->as_string())};
 }
 
 }  // namespace repro::fleet

@@ -17,6 +17,12 @@ constexpr std::size_t kTile = 64;
 /// Row-block grain for parallel loops over output rows.
 constexpr std::size_t kRowGrain = 16;
 
+/// Below this many multiply-accumulates a fan-out costs more than the whole
+/// product (queue push + latch per chunk is ~microseconds; 2^18 MACs is
+/// tens of microseconds of arithmetic). The serial path runs the identical
+/// body over the full row range, so the output bits cannot change.
+constexpr std::size_t kSerialMultiplyWork = 1u << 18;
+
 }  // namespace
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
@@ -66,16 +72,20 @@ Matrix Matrix::multiply(const Matrix& other) const {
   // count or SIMD backend — the same bits every time.
   const Matrix bt = other.transposed();
   const std::size_t out_cols = other.cols_;
-  common::ThreadPool::global().parallel_for(
-      0, rows_, kRowGrain, [&](std::size_t i_lo, std::size_t i_hi) {
-        for (std::size_t jb = 0; jb < out_cols; jb += kTile) {
-          const std::size_t j_hi = std::min(out_cols, jb + kTile);
-          for (std::size_t i = i_lo; i < i_hi; ++i) {
-            common::simd::dot_rows({&out(i, jb), j_hi - jb}, row(i),
-                                   bt.row(jb).data(), bt.cols_);
-          }
-        }
-      });
+  const auto body = [&](std::size_t i_lo, std::size_t i_hi) {
+    for (std::size_t jb = 0; jb < out_cols; jb += kTile) {
+      const std::size_t j_hi = std::min(out_cols, jb + kTile);
+      for (std::size_t i = i_lo; i < i_hi; ++i) {
+        common::simd::dot_rows({&out(i, jb), j_hi - jb}, row(i),
+                               bt.row(jb).data(), bt.cols_);
+      }
+    }
+  };
+  if (rows_ * out_cols * cols_ < kSerialMultiplyWork) {
+    body(0, rows_);
+  } else {
+    common::ThreadPool::global().parallel_for(0, rows_, kRowGrain, body);
+  }
   return out;
 }
 

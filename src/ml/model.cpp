@@ -6,10 +6,17 @@ namespace repro::ml {
 
 std::vector<double> Regressor::predict(const Matrix& x) const {
   std::vector<double> out(x.rows(), 0.0);
-  common::ThreadPool::global().parallel_for(
-      0, x.rows(), 64, [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t r = lo; r < hi; ++r) out[r] = predict_one(x.row(r));
-      });
+  const auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) out[r] = predict_one(x.row(r));
+  };
+  // rows × dim under ~2^14 is a few microseconds of arithmetic — cheaper
+  // than waking workers. Rows write disjoint slots, so serial and parallel
+  // produce the same bits.
+  if (x.rows() * x.cols() < 16384) {
+    body(0, x.rows());
+  } else {
+    common::ThreadPool::global().parallel_for(0, x.rows(), 64, body);
+  }
   return out;
 }
 

@@ -93,14 +93,20 @@ std::vector<float> build_kernel_matrix_f32(const Matrix& x, const KernelFunction
       for (std::size_t i = i_lo; i < i_top; ++i) dst[i] = k[i * n + j];
     }
   };
-  common::ThreadPool::global().parallel_for(
-      0, (nb + 1) / 2, 1, [&fill_block, nb, n](std::size_t lo, std::size_t hi) {
-        std::vector<double> buf(n);
-        for (std::size_t p = lo; p < hi; ++p) {
-          fill_block(p, buf);
-          if (nb - 1 - p != p) fill_block(nb - 1 - p, buf);
-        }
-      });
+  const auto body = [&fill_block, nb, n](std::size_t lo, std::size_t hi) {
+    std::vector<double> buf(n);
+    for (std::size_t p = lo; p < hi; ++p) {
+      fill_block(p, buf);
+      if (nb - 1 - p != p) fill_block(nb - 1 - p, buf);
+    }
+  };
+  // A small kernel matrix (n*n cells) is cheaper to fill than to fan out —
+  // same body over the full block range, so the cells are the same bits.
+  if (n * n < 16384) {
+    body(0, (nb + 1) / 2);
+  } else {
+    common::ThreadPool::global().parallel_for(0, (nb + 1) / 2, 1, body);
+  }
   return k_storage;
 }
 
@@ -335,17 +341,24 @@ std::vector<double> Svr::predict(const Matrix& x) const {
   // cache across the rows of a block. Per row the blocks accumulate in the
   // same ascending order as decision() — bit-identical to predict_one, and
   // deterministic under threading because rows write disjoint slots.
-  common::ThreadPool::global().parallel_for(
-      0, x.rows(), 32, [&](std::size_t lo, std::size_t hi) {
-        std::vector<double> buf(kSvBlock);
-        for (std::size_t sb = 0; sb < n_sv; sb += kSvBlock) {
-          const std::size_t len = std::min(kSvBlock, n_sv - sb);
-          for (std::size_t r = lo; r < hi; ++r) {
-            params_.kernel.evaluate_row(x.row(r), sv_, sb, sb + len, buf);
-            out[r] += common::simd::dot({sv_coef_.data() + sb, len}, {buf.data(), len});
-          }
-        }
-      });
+  const auto body = [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> buf(kSvBlock);
+    for (std::size_t sb = 0; sb < n_sv; sb += kSvBlock) {
+      const std::size_t len = std::min(kSvBlock, n_sv - sb);
+      for (std::size_t r = lo; r < hi; ++r) {
+        params_.kernel.evaluate_row(x.row(r), sv_, sb, sb + len, buf);
+        out[r] += common::simd::dot({sv_coef_.data() + sb, len}, {buf.data(), len});
+      }
+    }
+  };
+  // rows × support vectors is the kernel-evaluation count; under ~2^15 the
+  // whole pass is microseconds and a fan-out only adds latch overhead. Rows
+  // accumulate in the same block order either way — bit-identical.
+  if (x.rows() * n_sv < 32768) {
+    body(0, x.rows());
+  } else {
+    common::ThreadPool::global().parallel_for(0, x.rows(), 32, body);
+  }
   return out;
 }
 

@@ -119,7 +119,9 @@ SocketClient::SocketClient(SocketClient&& other) noexcept
       protocol_(other.protocol_),
       trace_enabled_(other.trace_enabled_),
       last_trace_(std::move(other.last_trace_)),
-      splitter_(std::move(other.splitter_)) {}
+      splitter_(std::move(other.splitter_)),
+      send_buf_(std::move(other.send_buf_)),
+      scratch_request_(std::move(other.scratch_request_)) {}
 
 SocketClient& SocketClient::operator=(SocketClient&& other) noexcept {
   if (this != &other) {
@@ -133,6 +135,8 @@ SocketClient& SocketClient::operator=(SocketClient&& other) noexcept {
     trace_enabled_ = other.trace_enabled_;
     last_trace_ = std::move(other.last_trace_);
     splitter_ = std::move(other.splitter_);
+    send_buf_ = std::move(other.send_buf_);
+    scratch_request_ = std::move(other.scratch_request_);
   }
   return *this;
 }
@@ -262,12 +266,21 @@ SocketClient::predict_source_many(
       out.push_back(read_response(first_id + read));
       ++read;
     }
-    WireRequest request;
+    // Reuse one scratch request across the pipeline: its kernel/source
+    // strings keep their capacity, so the steady state of a burst encodes
+    // without reallocating per request.
+    WireRequest& request = scratch_request_;
     request.id = next_id_++;
     request.kind = RequestKind::kPredictSource;
     request.kernel = source.kernel;
-    request.source = source.source;
+    request.features.reset();
+    if (request.source.has_value()) {
+      *request.source = source.source;  // copy-assign reuses capacity
+    } else {
+      request.source = source.source;
+    }
     request.deadline_ms = deadline_ms_;
+    request.trace.reset();
     maybe_trace(request);
     send_status = send_request(request);
     if (!send_status.ok()) break;
@@ -282,7 +295,7 @@ SocketClient::predict_source_many(
   return out;
 }
 
-common::Status SocketClient::send_raw(std::string bytes) {
+common::Status SocketClient::send_raw(std::string_view bytes) {
   if (fd_ < 0) return common::io_error("SocketClient: not connected");
   const auto result = common::net::write_all(fd_, bytes, io_timeout_);
   switch (result.status) {
@@ -298,14 +311,23 @@ common::Status SocketClient::send_raw(std::string bytes) {
   }
 }
 
-common::Status SocketClient::send_line(std::string line) {
-  line.push_back('\n');
-  return send_raw(std::move(line));
+common::Status SocketClient::send_line(std::string_view line) {
+  send_buf_.assign(line);
+  send_buf_.push_back('\n');
+  return send_raw(send_buf_);
 }
 
 common::Status SocketClient::send_request(const WireRequest& request) {
-  return binary_ ? send_raw(binary::format_request_frame(request))
-                 : send_line(format_request(request));
+  // Encode into the reused buffer: the steady state of a pipelined burst
+  // sends without touching the heap (both framings).
+  send_buf_.clear();
+  if (binary_) {
+    binary::format_request_frame_into(send_buf_, request);
+  } else {
+    format_request_into(send_buf_, request);
+    send_buf_.push_back('\n');
+  }
+  return send_raw(send_buf_);
 }
 
 common::Result<WireResponse> SocketClient::read_wire(std::uint64_t expect_id) {
@@ -381,7 +403,9 @@ common::Result<std::string> SocketClient::raw_round_trip(const std::string& line
       if (next.value()->binary) {
         return common::parse_error("SocketClient: unexpected binary frame");
       }
-      return std::move(next.value()->payload);
+      // Copy out: the payload views the splitter's buffer and would dangle
+      // past the next feed().
+      return std::string(next.value()->payload);
     }
     char chunk[4096];
     const auto r = common::net::read_some(fd_, chunk, sizeof chunk, io_timeout_);

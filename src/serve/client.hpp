@@ -164,8 +164,8 @@ class SocketClient {
 
   SocketClient(int fd, std::chrono::milliseconds io_timeout)
       : fd_(fd), io_timeout_(io_timeout) {}
-  [[nodiscard]] common::Status send_raw(std::string bytes);
-  [[nodiscard]] common::Status send_line(std::string line);
+  [[nodiscard]] common::Status send_raw(std::string_view bytes);
+  [[nodiscard]] common::Status send_line(std::string_view line);
   /// Format per the negotiated framing and send.
   [[nodiscard]] common::Status send_request(const WireRequest& request);
   [[nodiscard]] common::Result<WireResponse> read_wire(std::uint64_t expect_id);
@@ -187,6 +187,14 @@ class SocketClient {
   bool trace_enabled_ = false;
   std::optional<obs::Trace> last_trace_;
   MessageSplitter splitter_{kMaxMessageBytes};  // reply reassembly, both framings
+  /// Reused across requests: every outgoing message (both framings) is
+  /// encoded _into this buffer, so a pipelined predict_source_many burst
+  /// encodes N requests with zero steady-state allocations.
+  std::string send_buf_;
+  /// Scratch request reused by predict_source_many — kernel/source strings
+  /// keep their capacity across the pipeline instead of reallocating per
+  /// request.
+  WireRequest scratch_request_;
 };
 
 }  // namespace repro::serve

@@ -61,7 +61,8 @@ bool token_underflows(std::string_view token) {
 
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  explicit JsonParser(std::string_view text, common::Arena* arena)
+      : text_(text), alloc_(arena) {}
 
   common::Result<JsonValue> parse() {
     auto value = parse_value(0);
@@ -129,7 +130,7 @@ class JsonParser {
 
   common::Result<JsonValue> parse_object(int depth) {
     ++pos_;  // '{'
-    JsonValue::Object members;
+    JsonValue::Object members{JsonValue::Object::allocator_type(alloc_)};
     skip_ws();
     if (consume('}')) return JsonValue(std::move(members));
     for (;;) {
@@ -151,7 +152,7 @@ class JsonParser {
 
   common::Result<JsonValue> parse_array(int depth) {
     ++pos_;  // '['
-    JsonValue::Array items;
+    JsonValue::Array items{JsonValue::Array::allocator_type(alloc_)};
     skip_ws();
     if (consume(']')) return JsonValue(std::move(items));
     for (;;) {
@@ -165,9 +166,9 @@ class JsonParser {
     }
   }
 
-  common::Result<std::string> parse_string() {
+  common::Result<JsonValue::String> parse_string() {
     ++pos_;  // opening quote
-    std::string out;
+    JsonValue::String out{alloc_};
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
       if (c == '"') {
@@ -260,6 +261,7 @@ class JsonParser {
   }
 
   std::string_view text_;
+  common::ArenaAllocator<char> alloc_;
   std::size_t pos_ = 0;
 };
 
@@ -314,13 +316,13 @@ void dump_value(std::string& out, const JsonValue& value) {
 const JsonValue* JsonValue::find(std::string_view key) const {
   if (!is_object()) return nullptr;
   for (const auto& [k, v] : as_object()) {
-    if (k == key) return &v;
+    if (std::string_view(k.data(), k.size()) == key) return &v;
   }
   return nullptr;
 }
 
-common::Result<JsonValue> parse_json(std::string_view text) {
-  return JsonParser(text).parse();
+common::Result<JsonValue> parse_json(std::string_view text, common::Arena* arena) {
+  return JsonParser(text, arena).parse();
 }
 
 std::string dump_json(const JsonValue& value) {
@@ -329,9 +331,11 @@ std::string dump_json(const JsonValue& value) {
   return out;
 }
 
-std::string json_quote(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
+namespace {
+
+/// Append-style json_quote — the hot-path formatters write straight into
+/// the pooled reply buffer instead of materializing a quoted temporary.
+void quote_into(std::string& out, std::string_view s) {
   out.push_back('"');
   for (char c : s) {
     switch (c) {
@@ -353,6 +357,22 @@ std::string json_quote(std::string_view s) {
     }
   }
   out.push_back('"');
+}
+
+/// std::to_chars integer append — no std::to_string temporary.
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;  // 24 bytes always suffice for u64
+  out.append(buf, end);
+}
+
+}  // namespace
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  quote_into(out, s);
   return out;
 }
 
@@ -389,8 +409,8 @@ common::Result<clfront::StaticFeatures> WireRequest::to_features() const {
   return common::invalid_argument("protocol: request has neither features nor source");
 }
 
-common::Result<WireRequest> parse_request(const std::string& line) {
-  auto doc = parse_json(line);
+common::Result<WireRequest> parse_request(std::string_view line, common::Arena* arena) {
+  auto doc = parse_json(line, arena);
   if (!doc.ok()) return doc.error();
   if (!doc.value().is_object()) {
     return common::parse_error("protocol: request must be a JSON object");
@@ -438,10 +458,10 @@ common::Result<WireRequest> parse_request(const std::string& line) {
     if (!type->is_string()) {
       return common::parse_error("protocol: \"type\" must be a string");
     }
-    const std::string& t = type->as_string();
+    const std::string_view t = type->as_string();
     if (t == "health" || t == "stats" || t == "metrics") {
       if (features != nullptr || source != nullptr) {
-        return common::parse_error("protocol: \"" + t +
+        return common::parse_error("protocol: \"" + std::string(t) +
                                    "\" requests carry no payload");
       }
       request.kind = t == "health"  ? RequestKind::kHealth
@@ -471,10 +491,11 @@ common::Result<WireRequest> parse_request(const std::string& line) {
       return request;
     }
     if (t != "predict" && t != "predict_source") {
-      return common::parse_error("protocol: unknown request type \"" + t + "\"");
+      return common::parse_error("protocol: unknown request type \"" + std::string(t) +
+                                 "\"");
     }
     if ((t == "predict_source") != (source != nullptr)) {
-      return common::parse_error("protocol: request type \"" + t +
+      return common::parse_error("protocol: request type \"" + std::string(t) +
                                  "\" does not match its payload");
     }
   }
@@ -509,33 +530,49 @@ common::Result<WireRequest> parse_request(const std::string& line) {
     if (!source->is_string()) {
       return common::parse_error("protocol: \"source\" must be a string");
     }
-    request.source = source->as_string();
+    // Copy out of the (possibly arena-backed) document: the source escapes
+    // into the batching pipeline and must outlive the arena reset.
+    request.source = std::string(source->as_string());
     request.kind = RequestKind::kPredictSource;
   }
   return request;
 }
 
-std::string format_request(const WireRequest& request) {
-  std::string out = "{\"id\":" + std::to_string(request.id);
-  if (request.kind == RequestKind::kHealth) return out + ",\"type\":\"health\"}";
-  if (request.kind == RequestKind::kStats) return out + ",\"type\":\"stats\"}";
-  if (request.kind == RequestKind::kMetrics) return out + ",\"type\":\"metrics\"}";
+void format_request_into(std::string& out, const WireRequest& request) {
+  out += "{\"id\":";
+  append_u64(out, request.id);
+  if (request.kind == RequestKind::kHealth) {
+    out += ",\"type\":\"health\"}";
+    return;
+  }
+  if (request.kind == RequestKind::kStats) {
+    out += ",\"type\":\"stats\"}";
+    return;
+  }
+  if (request.kind == RequestKind::kMetrics) {
+    out += ",\"type\":\"metrics\"}";
+    return;
+  }
   if (request.kind == RequestKind::kHello) {
-    return out + ",\"type\":\"hello\",\"max_protocol\":" +
-           std::to_string(request.max_protocol) + "}";
+    out += ",\"type\":\"hello\",\"max_protocol\":";
+    append_u64(out, request.max_protocol);
+    out.push_back('}');
+    return;
   }
   // Feature requests stay in the legacy (type-free) framing so old servers
   // keep accepting them; source requests name the predict_source type.
   if (request.source.has_value()) out += ",\"type\":\"predict_source\"";
   if (!request.kernel.empty()) {
-    out += ",\"kernel\":" + json_quote(request.kernel);
+    out += ",\"kernel\":";
+    quote_into(out, request.kernel);
   }
   if (request.deadline_ms.has_value()) {
     out += ",\"deadline_ms\":";
     append_double(out, *request.deadline_ms);
   }
   if (request.trace.has_value()) {
-    out += ",\"trace\":" + std::to_string(*request.trace);
+    out += ",\"trace\":";
+    append_u64(out, *request.trace);
   }
   if (request.features.has_value()) {
     out += ",\"features\":[";
@@ -545,9 +582,15 @@ std::string format_request(const WireRequest& request) {
     }
     out.push_back(']');
   } else if (request.source.has_value()) {
-    out += ",\"source\":" + json_quote(*request.source);
+    out += ",\"source\":";
+    quote_into(out, *request.source);
   }
   out.push_back('}');
+}
+
+std::string format_request(const WireRequest& request) {
+  std::string out;
+  format_request_into(out, request);
   return out;
 }
 
@@ -557,28 +600,48 @@ namespace {
 /// prediction and error responses when the request asked to be traced.
 void append_trace(std::string& out, const obs::Trace* trace) {
   if (trace == nullptr) return;
-  out += ",\"trace\":{\"id\":" + std::to_string(trace->id) + ",\"stages\":[";
+  out += ",\"trace\":{\"id\":";
+  append_u64(out, trace->id);
+  out += ",\"stages\":[";
   for (std::size_t i = 0; i < trace->stages.size(); ++i) {
     if (i != 0) out.push_back(',');
-    out += "{\"stage\":" + json_quote(trace->stages[i].stage) + ",\"us\":";
+    out += "{\"stage\":";
+    quote_into(out, trace->stages[i].stage);
+    out += ",\"us\":";
     append_double(out, trace->stages[i].us);
     out.push_back('}');
   }
   out += "]}";
 }
 
+/// to_chars append for signed ints (frequency fields) — byte-identical to
+/// the std::to_string output it replaces.
+template <typename Int>
+void append_int(std::string& out, Int v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out.append(buf, end);
+}
+
 }  // namespace
 
-std::string format_response(std::uint64_t id,
-                            const core::Predictor::KernelPrediction& p,
-                            const obs::Trace* trace) {
-  std::string out = "{\"id\":" + std::to_string(id) +
-                    ",\"kernel\":" + json_quote(p.kernel) + ",\"pareto\":[";
+void format_response_into(std::string& out, std::uint64_t id,
+                          const core::Predictor::KernelPrediction& p,
+                          const obs::Trace* trace) {
+  out += "{\"id\":";
+  append_u64(out, id);
+  out += ",\"kernel\":";
+  quote_into(out, p.kernel);
+  out += ",\"pareto\":[";
   for (std::size_t i = 0; i < p.pareto.size(); ++i) {
     const auto& point = p.pareto[i];
     if (i != 0) out.push_back(',');
-    out += "{\"core_mhz\":" + std::to_string(point.config.core_mhz) +
-           ",\"mem_mhz\":" + std::to_string(point.config.mem_mhz) + ",\"speedup\":";
+    out += "{\"core_mhz\":";
+    append_int(out, point.config.core_mhz);
+    out += ",\"mem_mhz\":";
+    append_int(out, point.config.mem_mhz);
+    out += ",\"speedup\":";
     append_double(out, point.speedup);
     out += ",\"energy\":";
     append_double(out, point.energy);
@@ -589,66 +652,124 @@ std::string format_response(std::uint64_t id,
   out += "]";
   append_trace(out, trace);
   out.push_back('}');
+}
+
+std::string format_response(std::uint64_t id,
+                            const core::Predictor::KernelPrediction& p,
+                            const obs::Trace* trace) {
+  std::string out;
+  format_response_into(out, id, p, trace);
   return out;
+}
+
+void format_health_response_into(std::string& out, std::uint64_t id,
+                                 const WireStats& stats) {
+  out += "{\"id\":";
+  append_u64(out, id);
+  out += ",\"health\":{\"status\":\"ok\",\"uptime_s\":";
+  append_double(out, stats.uptime_s);
+  out += ",\"queue_depth\":";
+  append_u64(out, stats.queue_depth);
+  out += "}}";
 }
 
 std::string format_health_response(std::uint64_t id, const WireStats& stats) {
-  std::string out = "{\"id\":" + std::to_string(id) +
-                    ",\"health\":{\"status\":\"ok\",\"uptime_s\":";
-  append_double(out, stats.uptime_s);
-  out += ",\"queue_depth\":" + std::to_string(stats.queue_depth) + "}}";
+  std::string out;
+  format_health_response_into(out, id, stats);
   return out;
+}
+
+void format_stats_response_into(std::string& out, std::uint64_t id,
+                                const WireStats& stats) {
+  out += "{\"id\":";
+  append_u64(out, id);
+  out += ",\"stats\":{\"uptime_s\":";
+  append_double(out, stats.uptime_s);
+  const std::pair<const char*, std::uint64_t> counters[] = {
+      {",\"queue_depth\":", stats.queue_depth},
+      {",\"requests\":", stats.requests},
+      {",\"source_requests\":", stats.source_requests},
+      {",\"batches\":", stats.batches},
+      {",\"connections\":", stats.connections},
+      {",\"protocol_errors\":", stats.protocol_errors},
+      {",\"cache_hits\":", stats.cache_hits},
+      {",\"cache_misses\":", stats.cache_misses},
+      {",\"shed\":", stats.shed},
+      {",\"deadline_exceeded\":", stats.deadline_exceeded},
+      {",\"streamed\":", stats.streamed},
+      {",\"peak_message_bytes\":", stats.peak_message_bytes},
+  };
+  for (const auto& [key, value] : counters) {
+    out += key;
+    append_u64(out, value);
+  }
+  out += "}}";
 }
 
 std::string format_stats_response(std::uint64_t id, const WireStats& stats) {
-  std::string out = "{\"id\":" + std::to_string(id) + ",\"stats\":{\"uptime_s\":";
-  append_double(out, stats.uptime_s);
-  out += ",\"queue_depth\":" + std::to_string(stats.queue_depth) +
-         ",\"requests\":" + std::to_string(stats.requests) +
-         ",\"source_requests\":" + std::to_string(stats.source_requests) +
-         ",\"batches\":" + std::to_string(stats.batches) +
-         ",\"connections\":" + std::to_string(stats.connections) +
-         ",\"protocol_errors\":" + std::to_string(stats.protocol_errors) +
-         ",\"cache_hits\":" + std::to_string(stats.cache_hits) +
-         ",\"cache_misses\":" + std::to_string(stats.cache_misses) +
-         ",\"shed\":" + std::to_string(stats.shed) +
-         ",\"deadline_exceeded\":" + std::to_string(stats.deadline_exceeded) +
-         ",\"streamed\":" + std::to_string(stats.streamed) +
-         ",\"peak_message_bytes\":" + std::to_string(stats.peak_message_bytes) +
-         "}}";
+  std::string out;
+  format_stats_response_into(out, id, stats);
   return out;
 }
 
-std::string format_metrics_response(std::uint64_t id, const WireMetrics& metrics) {
-  std::string out = "{\"id\":" + std::to_string(id) + ",\"metrics\":{\"text\":" +
-                    json_quote(metrics.text) + ",\"values\":{";
+void format_metrics_response_into(std::string& out, std::uint64_t id,
+                                  const WireMetrics& metrics) {
+  out += "{\"id\":";
+  append_u64(out, id);
+  out += ",\"metrics\":{\"text\":";
+  quote_into(out, metrics.text);
+  out += ",\"values\":{";
   for (std::size_t i = 0; i < metrics.values.size(); ++i) {
     if (i != 0) out.push_back(',');
-    out += json_quote(metrics.values[i].first);
+    quote_into(out, metrics.values[i].first);
     out.push_back(':');
     append_double(out, metrics.values[i].second);
   }
   out += "}}}";
+}
+
+std::string format_metrics_response(std::uint64_t id, const WireMetrics& metrics) {
+  std::string out;
+  format_metrics_response_into(out, id, metrics);
   return out;
 }
 
+void format_hello_response_into(std::string& out, std::uint64_t id,
+                                std::uint32_t protocol) {
+  out += "{\"id\":";
+  append_u64(out, id);
+  out += ",\"hello\":{\"protocol\":";
+  append_u64(out, protocol);
+  out += "}}";
+}
+
 std::string format_hello_response(std::uint64_t id, std::uint32_t protocol) {
-  return "{\"id\":" + std::to_string(id) +
-         ",\"hello\":{\"protocol\":" + std::to_string(protocol) + "}}";
+  std::string out;
+  format_hello_response_into(out, id, protocol);
+  return out;
+}
+
+void format_error_into(std::string& out, std::uint64_t id, const common::Error& error,
+                       const obs::Trace* trace) {
+  out += "{\"id\":";
+  append_u64(out, id);
+  out += ",\"error\":{\"code\":";
+  quote_into(out, common::to_string(error.code));
+  out += ",\"message\":";
+  quote_into(out, error.message);
+  out.push_back('}');
+  append_trace(out, trace);
+  out.push_back('}');
 }
 
 std::string format_error(std::uint64_t id, const common::Error& error,
                          const obs::Trace* trace) {
-  std::string out =
-      "{\"id\":" + std::to_string(id) +
-      ",\"error\":{\"code\":" + json_quote(common::to_string(error.code)) +
-      ",\"message\":" + json_quote(error.message) + "}";
-  append_trace(out, trace);
-  out.push_back('}');
+  std::string out;
+  format_error_into(out, id, error, trace);
   return out;
 }
 
-common::Result<WireResponse> parse_response(const std::string& line) {
+common::Result<WireResponse> parse_response(std::string_view line) {
   auto doc = parse_json(line);
   if (!doc.ok()) return doc.error();
   if (!doc.value().is_object()) {
@@ -684,7 +805,8 @@ common::Result<WireResponse> parse_response(const std::string& line) {
           !us->is_number()) {
         return common::parse_error("protocol: malformed trace stage");
       }
-      t.stages.push_back(obs::TraceStage{stage->as_string(), us->as_number()});
+      t.stages.push_back(
+          obs::TraceStage{std::string(stage->as_string()), us->as_number()});
     }
     response.trace = std::move(t);
   }
@@ -846,7 +968,7 @@ common::Result<WireResponse> parse_response(const std::string& line) {
   return response;
 }
 
-std::uint64_t best_effort_id(const std::string& line) {
+std::uint64_t best_effort_id(std::string_view line) {
   auto doc = parse_json(line);
   if (!doc.ok() || !doc.value().is_object()) return 0;
   auto id = require_id(doc.value());
@@ -1035,6 +1157,25 @@ common::Status read_trace(Reader& reader, std::optional<obs::Trace>& out) {
   return common::Status::Ok();
 }
 
+/// In-place framing for the _into formatters: write the 6-byte header with
+/// a zero length, append the payload straight into `out`, then patch the
+/// length — no per-frame payload temporary. Byte-identical to frame().
+std::size_t begin_frame(std::string& out, FrameType type) {
+  const std::size_t header = out.size();
+  out.push_back(static_cast<char>(kMagic));
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u32(out, 0);
+  return header;
+}
+
+void end_frame(std::string& out, std::size_t header) {
+  const std::size_t length = out.size() - header - kHeaderBytes;
+  for (int i = 0; i < 4; ++i) {
+    out[header + 2 + static_cast<std::size_t>(i)] =
+        static_cast<char>((length >> (8 * i)) & 0xFF);
+  }
+}
+
 }  // namespace
 
 std::string frame(FrameType type, std::string_view payload) {
@@ -1047,8 +1188,9 @@ std::string frame(FrameType type, std::string_view payload) {
   return out;
 }
 
-std::string format_request_frame(const WireRequest& request) {
-  std::string payload;
+void format_request_frame_into(std::string& out, const WireRequest& request) {
+  const std::size_t header = begin_frame(out, FrameType::kRequest);
+  std::string& payload = out;
   put_u64(payload, request.id);
   // Like the JSON formatter, the payload member decides between the two
   // predict kinds — a request built with source set but kind left at its
@@ -1095,7 +1237,13 @@ std::string format_request_frame(const WireRequest& request) {
     case RequestKind::kStats:
     case RequestKind::kMetrics: break;
   }
-  return frame(FrameType::kRequest, payload);
+  end_frame(out, header);
+}
+
+std::string format_request_frame(const WireRequest& request) {
+  std::string out;
+  format_request_frame_into(out, request);
+  return out;
 }
 
 common::Result<WireRequest> parse_request(std::string_view payload) {
@@ -1168,84 +1316,127 @@ common::Result<WireRequest> parse_request(std::string_view payload) {
   return request;
 }
 
+void format_prediction_frame_into(std::string& out, std::uint64_t id,
+                                  const core::Predictor::KernelPrediction& p,
+                                  const obs::Trace* trace) {
+  const std::size_t header = begin_frame(out, FrameType::kResponse);
+  put_u64(out, id);
+  put_u8(out, kBodyPrediction);
+  put_str(out, p.kernel);
+  put_u32(out, static_cast<std::uint32_t>(p.pareto.size()));
+  for (const auto& point : p.pareto) {
+    put_u32(out, static_cast<std::uint32_t>(point.config.core_mhz));
+    put_u32(out, static_cast<std::uint32_t>(point.config.mem_mhz));
+    put_f64(out, point.speedup);
+    put_f64(out, point.energy);
+    put_u8(out, point.heuristic ? 1 : 0);
+  }
+  if (trace != nullptr) put_trace(out, *trace);
+  end_frame(out, header);
+}
+
 std::string format_prediction_frame(std::uint64_t id,
                                     const core::Predictor::KernelPrediction& p,
                                     const obs::Trace* trace) {
-  std::string payload;
-  put_u64(payload, id);
-  put_u8(payload, kBodyPrediction);
-  put_str(payload, p.kernel);
-  put_u32(payload, static_cast<std::uint32_t>(p.pareto.size()));
-  for (const auto& point : p.pareto) {
-    put_u32(payload, static_cast<std::uint32_t>(point.config.core_mhz));
-    put_u32(payload, static_cast<std::uint32_t>(point.config.mem_mhz));
-    put_f64(payload, point.speedup);
-    put_f64(payload, point.energy);
-    put_u8(payload, point.heuristic ? 1 : 0);
-  }
-  if (trace != nullptr) put_trace(payload, *trace);
-  return frame(FrameType::kResponse, payload);
+  std::string out;
+  format_prediction_frame_into(out, id, p, trace);
+  return out;
+}
+
+void format_error_frame_into(std::string& out, std::uint64_t id,
+                             const common::Error& error, const obs::Trace* trace) {
+  const std::size_t header = begin_frame(out, FrameType::kResponse);
+  put_u64(out, id);
+  put_u8(out, kBodyError);
+  put_u8(out, static_cast<std::uint8_t>(error.code));
+  put_str(out, error.message);
+  if (trace != nullptr) put_trace(out, *trace);
+  end_frame(out, header);
 }
 
 std::string format_error_frame(std::uint64_t id, const common::Error& error,
                                const obs::Trace* trace) {
-  std::string payload;
-  put_u64(payload, id);
-  put_u8(payload, kBodyError);
-  put_u8(payload, static_cast<std::uint8_t>(error.code));
-  put_str(payload, error.message);
-  if (trace != nullptr) put_trace(payload, *trace);
-  return frame(FrameType::kResponse, payload);
+  std::string out;
+  format_error_frame_into(out, id, error, trace);
+  return out;
+}
+
+void format_health_frame_into(std::string& out, std::uint64_t id,
+                              const WireStats& stats) {
+  const std::size_t header = begin_frame(out, FrameType::kResponse);
+  put_u64(out, id);
+  put_u8(out, kBodyHealth);
+  put_f64(out, stats.uptime_s);
+  put_u64(out, stats.queue_depth);
+  end_frame(out, header);
 }
 
 std::string format_health_frame(std::uint64_t id, const WireStats& stats) {
-  std::string payload;
-  put_u64(payload, id);
-  put_u8(payload, kBodyHealth);
-  put_f64(payload, stats.uptime_s);
-  put_u64(payload, stats.queue_depth);
-  return frame(FrameType::kResponse, payload);
+  std::string out;
+  format_health_frame_into(out, id, stats);
+  return out;
+}
+
+void format_stats_frame_into(std::string& out, std::uint64_t id,
+                             const WireStats& stats) {
+  const std::size_t header = begin_frame(out, FrameType::kResponse);
+  put_u64(out, id);
+  put_u8(out, kBodyStats);
+  put_f64(out, stats.uptime_s);
+  put_u64(out, stats.queue_depth);
+  put_u64(out, stats.requests);
+  put_u64(out, stats.source_requests);
+  put_u64(out, stats.batches);
+  put_u64(out, stats.connections);
+  put_u64(out, stats.protocol_errors);
+  put_u64(out, stats.cache_hits);
+  put_u64(out, stats.cache_misses);
+  put_u64(out, stats.shed);
+  put_u64(out, stats.deadline_exceeded);
+  put_u64(out, stats.streamed);
+  put_u64(out, stats.peak_message_bytes);
+  end_frame(out, header);
 }
 
 std::string format_stats_frame(std::uint64_t id, const WireStats& stats) {
-  std::string payload;
-  put_u64(payload, id);
-  put_u8(payload, kBodyStats);
-  put_f64(payload, stats.uptime_s);
-  put_u64(payload, stats.queue_depth);
-  put_u64(payload, stats.requests);
-  put_u64(payload, stats.source_requests);
-  put_u64(payload, stats.batches);
-  put_u64(payload, stats.connections);
-  put_u64(payload, stats.protocol_errors);
-  put_u64(payload, stats.cache_hits);
-  put_u64(payload, stats.cache_misses);
-  put_u64(payload, stats.shed);
-  put_u64(payload, stats.deadline_exceeded);
-  put_u64(payload, stats.streamed);
-  put_u64(payload, stats.peak_message_bytes);
-  return frame(FrameType::kResponse, payload);
+  std::string out;
+  format_stats_frame_into(out, id, stats);
+  return out;
+}
+
+void format_metrics_frame_into(std::string& out, std::uint64_t id,
+                               const WireMetrics& metrics) {
+  const std::size_t header = begin_frame(out, FrameType::kResponse);
+  put_u64(out, id);
+  put_u8(out, kBodyMetrics);
+  put_str(out, metrics.text);
+  put_u32(out, static_cast<std::uint32_t>(metrics.values.size()));
+  for (const auto& [name, value] : metrics.values) {
+    put_str(out, name);
+    put_f64(out, value);
+  }
+  end_frame(out, header);
 }
 
 std::string format_metrics_frame(std::uint64_t id, const WireMetrics& metrics) {
-  std::string payload;
-  put_u64(payload, id);
-  put_u8(payload, kBodyMetrics);
-  put_str(payload, metrics.text);
-  put_u32(payload, static_cast<std::uint32_t>(metrics.values.size()));
-  for (const auto& [name, value] : metrics.values) {
-    put_str(payload, name);
-    put_f64(payload, value);
-  }
-  return frame(FrameType::kResponse, payload);
+  std::string out;
+  format_metrics_frame_into(out, id, metrics);
+  return out;
+}
+
+void format_hello_frame_into(std::string& out, std::uint64_t id,
+                             std::uint32_t protocol) {
+  const std::size_t header = begin_frame(out, FrameType::kResponse);
+  put_u64(out, id);
+  put_u8(out, kBodyHello);
+  put_u32(out, protocol);
+  end_frame(out, header);
 }
 
 std::string format_hello_frame(std::uint64_t id, std::uint32_t protocol) {
-  std::string payload;
-  put_u64(payload, id);
-  put_u8(payload, kBodyHello);
-  put_u32(payload, protocol);
-  return frame(FrameType::kResponse, payload);
+  std::string out;
+  format_hello_frame_into(out, id, protocol);
+  return out;
 }
 
 common::Result<WireResponse> parse_response(std::string_view payload) {
@@ -1472,23 +1663,26 @@ std::uint64_t best_effort_id(std::string_view payload) {
 // --- incremental message splitting --------------------------------------------
 
 void MessageSplitter::feed(std::string_view bytes) {
+  // Compaction invalidates previously returned payload views — the
+  // documented WireMessage contract (parse before feeding more bytes).
   if (pos_ > 0) {
-    buffer_.erase(0, pos_);
+    buffer_->erase(0, pos_);
     pos_ = 0;
   }
-  buffer_.append(bytes);
-  peak_ = std::max(peak_, buffer_.size());
+  buffer_->append(bytes);
+  peak_ = std::max(peak_, buffer_->size());
 }
 
 common::Result<std::optional<WireMessage>> MessageSplitter::next() {
+  const std::string& buffer = *buffer_;
   for (;;) {
-    if (pos_ >= buffer_.size()) return std::optional<WireMessage>();
+    if (pos_ >= buffer.size()) return std::optional<WireMessage>();
     if (accept_binary_ &&
-        static_cast<unsigned char>(buffer_[pos_]) == binary::kMagic) {
-      if (buffer_.size() - pos_ < binary::kHeaderBytes) {
+        static_cast<unsigned char>(buffer[pos_]) == binary::kMagic) {
+      if (buffer.size() - pos_ < binary::kHeaderBytes) {
         return std::optional<WireMessage>();  // header still arriving
       }
-      const auto type = static_cast<std::uint8_t>(buffer_[pos_ + 1]);
+      const auto type = static_cast<std::uint8_t>(buffer[pos_ + 1]);
       if (type < static_cast<std::uint8_t>(binary::FrameType::kRequest) ||
           type > static_cast<std::uint8_t>(binary::FrameType::kSourceAbort)) {
         return common::parse_error("binary: unknown frame type " +
@@ -1497,7 +1691,7 @@ common::Result<std::optional<WireMessage>> MessageSplitter::next() {
       std::uint32_t length = 0;
       for (int i = 0; i < 4; ++i) {
         length |= static_cast<std::uint32_t>(
-                      static_cast<unsigned char>(buffer_[pos_ + 2 + i]))
+                      static_cast<unsigned char>(buffer[pos_ + 2 + i]))
                   << (8 * i);
       }
       if (length > max_bytes_) {
@@ -1507,31 +1701,32 @@ common::Result<std::optional<WireMessage>> MessageSplitter::next() {
             "protocol: frame payload exceeds " + std::to_string(max_bytes_) +
             " bytes");
       }
-      if (buffer_.size() - pos_ < binary::kHeaderBytes + length) {
+      if (buffer.size() - pos_ < binary::kHeaderBytes + length) {
         return std::optional<WireMessage>();  // payload still arriving
       }
       WireMessage message;
       message.binary = true;
       message.frame = static_cast<binary::FrameType>(type);
-      message.payload = buffer_.substr(pos_ + binary::kHeaderBytes, length);
+      message.payload =
+          std::string_view(buffer).substr(pos_ + binary::kHeaderBytes, length);
       pos_ += binary::kHeaderBytes + length;
-      return std::optional<WireMessage>(std::move(message));
+      return std::optional<WireMessage>(message);
     }
-    const auto nl = buffer_.find('\n', pos_);
+    const auto nl = buffer.find('\n', pos_);
     if (nl == std::string::npos) {
-      if (buffer_.size() - pos_ > max_bytes_) {
+      if (buffer.size() - pos_ > max_bytes_) {
         return common::invalid_argument("protocol: request line exceeds " +
                                         std::to_string(max_bytes_) + " bytes");
       }
       return std::optional<WireMessage>();
     }
-    std::string line = buffer_.substr(pos_, nl - pos_);
+    std::string_view line = std::string_view(buffer).substr(pos_, nl - pos_);
     pos_ = nl + 1;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty()) continue;  // blank keep-alive line
     WireMessage message;
-    message.payload = std::move(line);
-    return std::optional<WireMessage>(std::move(message));
+    message.payload = line;
+    return std::optional<WireMessage>(message);
   }
 }
 

@@ -91,6 +91,8 @@
 #include <vector>
 
 #include "clfront/features.hpp"
+#include "common/arena.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/status.hpp"
 #include "core/predictor.hpp"
 #include "obs/trace.hpp"
@@ -99,30 +101,45 @@ namespace repro::serve {
 
 // --- minimal JSON value -------------------------------------------------------
 
+/// A parsed JSON document. All internal storage — strings, arrays, object
+/// member vectors — is typed on common::ArenaAllocator, so a document built
+/// by parse_json(text, &arena) lives entirely in that arena and dies at its
+/// next reset() (the per-request parse on the serve hot path). With no
+/// arena the allocator falls back to the heap and the value behaves exactly
+/// as before. A JsonValue must never outlive the arena it was parsed into.
 class JsonValue {
  public:
-  using Array = std::vector<JsonValue>;
-  using Member = std::pair<std::string, JsonValue>;
-  using Object = std::vector<Member>;  // insertion order preserved
+  using String =
+      std::basic_string<char, std::char_traits<char>, common::ArenaAllocator<char>>;
+  using Array = std::vector<JsonValue, common::ArenaAllocator<JsonValue>>;
+  using Member = std::pair<String, JsonValue>;
+  using Object = std::vector<Member, common::ArenaAllocator<Member>>;  // insertion order
 
   JsonValue() : data_(nullptr) {}
   JsonValue(std::nullptr_t) : data_(nullptr) {}          // NOLINT
   JsonValue(bool b) : data_(b) {}                        // NOLINT
   JsonValue(double d) : data_(d) {}                      // NOLINT
-  JsonValue(std::string s) : data_(std::move(s)) {}      // NOLINT
+  JsonValue(std::string_view s) : data_(String(s)) {}    // NOLINT (heap-backed)
+  JsonValue(const char* s) : data_(String(std::string_view(s))) {}  // NOLINT
+  JsonValue(String s) : data_(std::move(s)) {}           // NOLINT
   JsonValue(Array a) : data_(std::move(a)) {}            // NOLINT
   JsonValue(Object o) : data_(std::move(o)) {}           // NOLINT
 
   [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
   [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(data_); }
   [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(data_); }
-  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<String>(data_); }
   [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(data_); }
   [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(data_); }
 
   [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
   [[nodiscard]] double as_number() const { return std::get<double>(data_); }
-  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(data_); }
+  /// A view into the document's storage — valid only while the document
+  /// (and its arena, if any) is alive. Copy out anything that escapes.
+  [[nodiscard]] std::string_view as_string() const {
+    const String& s = std::get<String>(data_);
+    return {s.data(), s.size()};
+  }
   [[nodiscard]] const Array& as_array() const { return std::get<Array>(data_); }
   [[nodiscard]] const Object& as_object() const { return std::get<Object>(data_); }
 
@@ -130,12 +147,16 @@ class JsonValue {
   [[nodiscard]] const JsonValue* find(std::string_view key) const;
 
  private:
-  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+  std::variant<std::nullptr_t, bool, double, String, Array, Object> data_;
 };
 
 /// Parse one JSON document (the whole input must be consumed, modulo
-/// whitespace). Depth-limited; parse errors carry a byte offset.
-[[nodiscard]] common::Result<JsonValue> parse_json(std::string_view text);
+/// whitespace). Depth-limited; parse errors carry a byte offset. A non-null
+/// `arena` backs every string/array/object in the returned document —
+/// zero heap allocations on well-formed input — and the document must be
+/// dropped before the arena resets.
+[[nodiscard]] common::Result<JsonValue> parse_json(std::string_view text,
+                                                   common::Arena* arena = nullptr);
 
 /// Serialize (doubles in shortest round-trip form — exact binary64).
 [[nodiscard]] std::string dump_json(const JsonValue& value);
@@ -242,30 +263,55 @@ struct WireResponse {
   std::optional<obs::Trace> trace;
 };
 
-[[nodiscard]] common::Result<WireRequest> parse_request(const std::string& line);
+/// Parse one request line. A non-null `arena` backs the intermediate JSON
+/// document (reset by the caller after the reply is written); the returned
+/// WireRequest always owns its strings on the heap — kernel and source may
+/// escape into the batching pipeline, so nothing arena-backed leaves this
+/// function (short kernel names land in SSO storage, so the steady-state
+/// predict path still allocates nothing).
+[[nodiscard]] common::Result<WireRequest> parse_request(std::string_view line,
+                                                        common::Arena* arena = nullptr);
 /// Prediction/error responses take an optional trace to append as the
 /// ,"trace":{"id":…,"stages":[{"stage":…,"us":…},…]} member.
+///
+/// Every formatter has an `_into` form that appends to a caller-owned
+/// buffer (the server's pooled reply buffer — no per-reply string on the
+/// hot path); the returning forms are thin wrappers and byte-identical.
+void format_response_into(std::string& out, std::uint64_t id,
+                          const core::Predictor::KernelPrediction& p,
+                          const obs::Trace* trace = nullptr);
 [[nodiscard]] std::string format_response(std::uint64_t id,
                                           const core::Predictor::KernelPrediction& p,
                                           const obs::Trace* trace = nullptr);
+void format_error_into(std::string& out, std::uint64_t id, const common::Error& error,
+                       const obs::Trace* trace = nullptr);
 [[nodiscard]] std::string format_error(std::uint64_t id, const common::Error& error,
                                        const obs::Trace* trace = nullptr);
 /// {"id":…,"health":{"status":"ok","uptime_s":…,"queue_depth":…}}
+void format_health_response_into(std::string& out, std::uint64_t id,
+                                 const WireStats& stats);
 [[nodiscard]] std::string format_health_response(std::uint64_t id, const WireStats& stats);
 /// {"id":…,"stats":{…all WireStats fields…}}
+void format_stats_response_into(std::string& out, std::uint64_t id,
+                                const WireStats& stats);
 [[nodiscard]] std::string format_stats_response(std::uint64_t id, const WireStats& stats);
 /// {"id":…,"metrics":{"text":…,"values":{…name:number…}}}
+void format_metrics_response_into(std::string& out, std::uint64_t id,
+                                  const WireMetrics& metrics);
 [[nodiscard]] std::string format_metrics_response(std::uint64_t id,
                                                   const WireMetrics& metrics);
 /// {"id":…,"hello":{"protocol":…}}
+void format_hello_response_into(std::string& out, std::uint64_t id,
+                                std::uint32_t protocol);
 [[nodiscard]] std::string format_hello_response(std::uint64_t id, std::uint32_t protocol);
-[[nodiscard]] common::Result<WireResponse> parse_response(const std::string& line);
-[[nodiscard]] std::string format_request(const WireRequest& request);  // client side
+[[nodiscard]] common::Result<WireResponse> parse_response(std::string_view line);
+void format_request_into(std::string& out, const WireRequest& request);  // client side
+[[nodiscard]] std::string format_request(const WireRequest& request);    // client side
 
 /// The numeric "id" of a line whose full parse failed, when one can still
 /// be recovered — error replies echo it so clients can correlate; 0 when
 /// even the id is unrecoverable.
-[[nodiscard]] std::uint64_t best_effort_id(const std::string& line);
+[[nodiscard]] std::uint64_t best_effort_id(std::string_view line);
 
 // --- binary framing -----------------------------------------------------------
 
@@ -304,22 +350,39 @@ struct SourceChunk {
 /// Wrap a payload in a frame header.
 [[nodiscard]] std::string frame(FrameType type, std::string_view payload);
 
+/// Like the JSON formatters, every frame builder has an `_into` form that
+/// appends one complete frame (header included, length patched in place)
+/// to a caller-owned buffer; the returning forms are byte-identical
+/// wrappers.
+void format_request_frame_into(std::string& out, const WireRequest& request);
 [[nodiscard]] std::string format_request_frame(const WireRequest& request);
 /// Like the JSON formatters, prediction/error frames take an optional
 /// trace, encoded as a trailing section after the body (u64 id, u32 stage
 /// count, then str+f64 per stage). Pre-trace parsers never see it: a
 /// server only emits a trace when the request carried the trace flag,
 /// which old clients never set.
+void format_prediction_frame_into(std::string& out, std::uint64_t id,
+                                  const core::Predictor::KernelPrediction& p,
+                                  const obs::Trace* trace = nullptr);
 [[nodiscard]] std::string format_prediction_frame(
     std::uint64_t id, const core::Predictor::KernelPrediction& p,
     const obs::Trace* trace = nullptr);
+void format_error_frame_into(std::string& out, std::uint64_t id,
+                             const common::Error& error,
+                             const obs::Trace* trace = nullptr);
 [[nodiscard]] std::string format_error_frame(std::uint64_t id,
                                              const common::Error& error,
                                              const obs::Trace* trace = nullptr);
+void format_health_frame_into(std::string& out, std::uint64_t id,
+                              const WireStats& stats);
 [[nodiscard]] std::string format_health_frame(std::uint64_t id, const WireStats& stats);
+void format_stats_frame_into(std::string& out, std::uint64_t id, const WireStats& stats);
 [[nodiscard]] std::string format_stats_frame(std::uint64_t id, const WireStats& stats);
+void format_metrics_frame_into(std::string& out, std::uint64_t id,
+                               const WireMetrics& metrics);
 [[nodiscard]] std::string format_metrics_frame(std::uint64_t id,
                                                const WireMetrics& metrics);
+void format_hello_frame_into(std::string& out, std::uint64_t id, std::uint32_t protocol);
 [[nodiscard]] std::string format_hello_frame(std::uint64_t id, std::uint32_t protocol);
 [[nodiscard]] std::string format_source_begin(const SourceBegin& begin);
 [[nodiscard]] std::string format_source_chunk(std::uint64_t id, std::string_view bytes);
@@ -347,10 +410,15 @@ struct SourceChunk {
 
 /// One decoded-but-unparsed wire message: a JSON line (terminator stripped)
 /// or a binary frame's type + payload.
+///
+/// `payload` is a view into the splitter's internal buffer — valid only
+/// until the next feed() on the same splitter (next() calls in between are
+/// fine: the consumed prefix is compacted lazily, on feed). Parse or copy
+/// before feeding more bytes.
 struct WireMessage {
   bool binary = false;
   binary::FrameType frame = binary::FrameType::kRequest;  // binary only
-  std::string payload;
+  std::string_view payload;
 };
 
 /// Incremental splitter over the shared byte stream, used by the server,
@@ -366,17 +434,25 @@ struct WireMessage {
 /// point in the stream.
 class MessageSplitter {
  public:
+  /// With a pool, the internal buffer is leased from it — a connection's
+  /// splitter recycles another connection's warmed-up buffer instead of
+  /// growing a fresh string from zero.
   explicit MessageSplitter(std::size_t max_message_bytes = 1 << 20,
-                           bool accept_binary = true)
-      : max_bytes_(max_message_bytes), accept_binary_(accept_binary) {}
+                           bool accept_binary = true,
+                           common::BufferPool* pool = nullptr)
+      : max_bytes_(max_message_bytes),
+        accept_binary_(accept_binary),
+        buffer_(pool != nullptr ? pool->acquire() : common::BufferPool::Lease()) {}
 
   void feed(std::string_view bytes);
   /// A complete message, nullopt when more input is needed, or an
   /// unrecoverable framing fault (overlong message, unknown frame type).
+  /// The returned payload views this splitter's buffer: valid until the
+  /// next feed().
   [[nodiscard]] common::Result<std::optional<WireMessage>> next();
 
   [[nodiscard]] std::size_t buffered_bytes() const noexcept {
-    return buffer_.size() - pos_;
+    return buffer_->size() - pos_;
   }
   /// High-water mark of unconsumed bytes — the observable "bounded request
   /// buffer" of the streaming contract (asserted in tests).
@@ -385,7 +461,7 @@ class MessageSplitter {
  private:
   std::size_t max_bytes_;
   bool accept_binary_;
-  std::string buffer_;
+  common::BufferPool::Lease buffer_;
   std::size_t pos_ = 0;  // consumed prefix, compacted on feed()
   std::size_t peak_ = 0;
 };

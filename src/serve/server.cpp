@@ -60,11 +60,16 @@ struct SocketServer::Impl {
 
   mutable std::mutex stats_mutex;
   Stats stats;
+  /// High-water mark of per-connection arena usage across finished
+  /// connections — the repro_arena_bytes gauge.
+  std::uint64_t peak_arena_bytes = 0;
 
   // obs instruments, resolved once in start() (after options are known).
   obs::Registry* registry = nullptr;
   obs::Counter* obs_connections = nullptr;
   obs::Counter* obs_protocol_errors = nullptr;
+  // Buffer pool behind splitter input and reply output buffers.
+  common::BufferPool* pool = nullptr;
 
   void accept_loop();
   void serve_connection(int fd);
@@ -86,6 +91,9 @@ common::Result<std::unique_ptr<SocketServer>> SocketServer::start(
       server->impl_->registry->counter("repro_connections_total");
   server->impl_->obs_protocol_errors =
       server->impl_->registry->counter("repro_protocol_errors_total");
+  server->impl_->pool = options.buffer_pool != nullptr
+                            ? options.buffer_pool
+                            : &common::BufferPool::global();
 
   int fd = -1;
   if (!options.unix_path.empty()) {
@@ -240,9 +248,14 @@ void SocketServer::Impl::serve_connection(int fd) {
   common::BoundedQueue<PendingReply> replies(std::max<std::size_t>(1, options.max_inflight));
   std::atomic<bool> write_failed{false};
   std::thread writer([&] {
+    // One pooled reply buffer for the whole connection: every prediction
+    // reply is serialized _into it in place — the steady state writes
+    // without touching the heap.
+    auto reply_lease = pool->acquire();
+    std::string& reply = *reply_lease;
     while (auto pending = replies.pop()) {
       if (write_failed.load(std::memory_order_relaxed)) continue;  // drain only
-      std::string reply;
+      reply.clear();
       if (pending->response.has_value()) {
         auto response = pending->response->get();
         // The last worker-side stage: the reply is being written. Snapshot
@@ -254,18 +267,22 @@ void SocketServer::Impl::serve_connection(int fd) {
         }
         const obs::Trace* trace_ptr = trace.has_value() ? &*trace : nullptr;
         if (pending->binary) {
-          reply = response.ok()
-                      ? binary::format_prediction_frame(pending->id, response.value(),
-                                                        trace_ptr)
-                      : binary::format_error_frame(pending->id, response.error(),
-                                                   trace_ptr);
+          if (response.ok()) {
+            binary::format_prediction_frame_into(reply, pending->id,
+                                                 response.value(), trace_ptr);
+          } else {
+            binary::format_error_frame_into(reply, pending->id, response.error(),
+                                            trace_ptr);
+          }
         } else {
-          reply = response.ok()
-                      ? format_response(pending->id, response.value(), trace_ptr)
-                      : format_error(pending->id, response.error(), trace_ptr);
+          if (response.ok()) {
+            format_response_into(reply, pending->id, response.value(), trace_ptr);
+          } else {
+            format_error_into(reply, pending->id, response.error(), trace_ptr);
+          }
         }
       } else {
-        reply = std::move(pending->immediate);
+        reply += pending->immediate;  // cold path: introspection and errors
       }
       if (!pending->binary) reply.push_back('\n');
       // A write timeout counts as failure too: a client that stopped
@@ -389,8 +406,14 @@ void SocketServer::Impl::serve_connection(int fd) {
   };
 
   // Per-message framing detection; binary frames are refused outright when
-  // negotiation is disabled (they parse as malformed JSON lines).
-  MessageSplitter splitter(options.max_line_bytes, options.enable_binary);
+  // negotiation is disabled (they parse as malformed JSON lines). The
+  // splitter's input buffer is leased from the pool.
+  MessageSplitter splitter(options.max_line_bytes, options.enable_binary, pool);
+  // Per-connection parse arena: each JSON request document is bump-
+  // allocated here and dies at the reset() after its message is handled.
+  // Once the arena has seen the connection's biggest request, the steady
+  // state parses without heap traffic.
+  common::Arena arena;
   // Open chunked predict_source streams by client request id. Each buffers
   // at most the feeder's bounded pending window, never the whole source.
   std::unordered_map<std::uint64_t, Service::SourceStream> streams;
@@ -422,7 +445,7 @@ void SocketServer::Impl::serve_connection(int fd) {
       WireMessage message = std::move(*next.value());
 
       if (!message.binary) {
-        auto request = parse_request(message.payload);
+        auto request = parse_request(message.payload, &arena);
         if (!request.ok()) {
           count_protocol_error();
           // Echo the id whenever one is recoverable from the malformed
@@ -434,6 +457,9 @@ void SocketServer::Impl::serve_connection(int fd) {
         } else {
           handle_request(std::move(request).take(), /*is_binary=*/false);
         }
+        // The WireRequest owns copies of everything it keeps; the JSON
+        // document it was parsed through is dead — rewind for the next one.
+        arena.reset();
         continue;
       }
 
@@ -568,6 +594,8 @@ void SocketServer::Impl::serve_connection(int fd) {
     if (framing_fault) ++stats.protocol_errors;
     stats.peak_message_bytes = std::max<std::uint64_t>(
         stats.peak_message_bytes, splitter.peak_buffered_bytes());
+    peak_arena_bytes =
+        std::max<std::uint64_t>(peak_arena_bytes, arena.peak_used_bytes());
   }
 }
 
@@ -614,6 +642,13 @@ WireMetrics SocketServer::Impl::wire_metrics() {
     registry->gauge("repro_cache_misses")
         ->set(static_cast<double>(cache_stats.misses));
   }
+  {
+    std::lock_guard lock(stats_mutex);
+    registry->gauge("repro_arena_bytes")
+        ->set(static_cast<double>(peak_arena_bytes));
+  }
+  registry->gauge("repro_pool_reuse_total")
+      ->set(static_cast<double>(pool->stats().reuses));
   WireMetrics metrics;
   metrics.values = registry->snapshot_values();
   metrics.text = registry->prometheus_text();

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "common/buffer_pool.hpp"
 #include "common/status.hpp"
 #include "serve/service.hpp"
 
@@ -65,6 +66,10 @@ struct ServerOptions {
   /// Null = obs::Registry::global(). Should match the Service's registry so
   /// one scrape shows the whole worker.
   obs::Registry* registry = nullptr;
+  /// Pool behind every connection's splitter input buffer and reply output
+  /// buffer. Null = common::BufferPool::global() — one process-wide pool the
+  /// server, balancer, and clients all ride. Must outlive the server.
+  common::BufferPool* buffer_pool = nullptr;
 };
 
 class SocketServer {

@@ -45,6 +45,11 @@ struct Service::Impl {
   }
 
   common::BoundedQueue<Request> admission;
+  /// Retired batch vectors (emptied, capacity intact) waiting for reuse —
+  /// shard loops give back, the scheduler takes. Bounded by
+  /// ServiceOptions::spare_batches; overflow is simply freed.
+  std::mutex spare_mutex;
+  std::vector<Batch> spare_batches;
   // One queue per shard; a small bound so a slow shard backpressures the
   // scheduler instead of buffering unboundedly.
   std::vector<std::unique_ptr<common::BoundedQueue<Batch>>> shard_queues;
@@ -59,6 +64,23 @@ struct Service::Impl {
   // EWMA of per-request service time (µs), fed by the shard workers.
   // 0 until the first batch completes — shedding never fires cold.
   double ewma_service_us = 0.0;
+
+  /// Pop a retired batch vector (empty, capacity intact) or a fresh one.
+  [[nodiscard]] Batch take_spare() {
+    std::lock_guard lock(spare_mutex);
+    if (spare_batches.empty()) return {};
+    Batch batch = std::move(spare_batches.back());
+    spare_batches.pop_back();
+    return batch;
+  }
+
+  /// Return a served batch's vector for reuse; freed when the list is full.
+  void give_spare(Batch&& batch, std::size_t cap) {
+    batch.clear();
+    if (batch.capacity() == 0) return;  // nothing worth keeping
+    std::lock_guard lock(spare_mutex);
+    if (spare_batches.size() < cap) spare_batches.push_back(std::move(batch));
+  }
 
   // obs instruments (registry-owned; see the constructor).
   obs::Counter* obs_requests = nullptr;
@@ -335,7 +357,7 @@ void Service::scheduler_loop() {
     auto first = impl_->admission.pop();
     if (!first.has_value()) break;  // closed and drained → shut down
 
-    Batch batch;
+    Batch batch = impl_->take_spare();  // reuses a served batch's capacity
     batch.reserve(options_.max_batch);
     batch.push_back(std::move(*first));
     if (options_.batch_window.count() > 0) {
@@ -387,6 +409,10 @@ void Service::scheduler_loop() {
 void Service::shard_loop(std::size_t shard_index) {
   core::Predictor& predictor = impl_->shard_predictors[shard_index];
   auto& queue = *impl_->shard_queues[shard_index];
+  // Per-shard scratch, cleared (capacity kept) every batch, so steady-state
+  // batch service performs no vector allocations. Shard-local — no locking.
+  std::vector<clfront::StaticFeatures> features;
+  std::vector<std::size_t> slots;  // batch index serving features[k]
   for (;;) {
     auto batch = queue.pop();
     if (!batch.has_value()) return;  // closed and drained
@@ -396,8 +422,8 @@ void Service::shard_loop(std::size_t shard_index) {
     // output. A featurization failure answers just that request; everything
     // that featurized joins the batch prediction. Only the promises are
     // needed after this — move, don't copy.
-    std::vector<clfront::StaticFeatures> features;
-    std::vector<std::size_t> slots;  // batch index serving features[k]
+    features.clear();
+    slots.clear();
     features.reserve(batch->size());
     slots.reserve(batch->size());
     const auto batch_start = std::chrono::steady_clock::now();
@@ -432,7 +458,10 @@ void Service::shard_loop(std::size_t shard_index) {
       std::lock_guard lock(impl_->stats_mutex);
       impl_->stats.deadline_exceeded += expired;
     }
-    if (features.empty()) continue;
+    if (features.empty()) {
+      impl_->give_spare(std::move(*batch), options_.spare_batches);
+      continue;
+    }
 
     auto predictions = predictor.predict_batch(features);
     const auto batch_end = std::chrono::steady_clock::now();
@@ -473,6 +502,7 @@ void Service::shard_loop(std::size_t shard_index) {
         (*batch)[slot].promise.set_value(predictions.error());
       }
     }
+    impl_->give_spare(std::move(*batch), options_.spare_batches);
   }
 }
 

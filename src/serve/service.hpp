@@ -68,6 +68,13 @@ struct ServiceOptions {
   /// Null = the process-global registry (obs::Registry::global()); tests
   /// that assert exact counter values pass their own.
   obs::Registry* registry = nullptr;
+  /// How many retired batch vectors the scheduler keeps for reuse. Served
+  /// batches return their (emptied, capacity-keeping) vector to a free list
+  /// instead of freeing it, so steady-state batch assembly allocates
+  /// nothing. 0 disables reuse. Invisible to outputs — a pooled vector is
+  /// cleared before refilling, so batch composition and reply bytes are
+  /// unchanged (the determinism tests still pass with any setting).
+  std::size_t spare_batches = 8;
 };
 
 /// What a Service trains (or fetches from a ModelCache) at startup.

@@ -179,6 +179,10 @@ TEST(RegistryTest, SnapshotRunsWhileWritersRun) {
   std::thread writer([&] {
     while (!stop.load(std::memory_order_relaxed)) c->inc();
   });
+  // On a single-CPU box the snapshot loop below can finish before the
+  // writer thread is ever scheduled — yield until it has visibly run so the
+  // snapshots genuinely race live increments.
+  while (c->value() == 0) std::this_thread::yield();
   for (int i = 0; i < 50; ++i) {
     const auto values = registry.snapshot_values();
     EXPECT_EQ(values.size(), 1u);

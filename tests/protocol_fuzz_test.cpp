@@ -626,16 +626,24 @@ TEST(ProtocolFuzz, SplitterIsChunkingInvariant) {
     const std::size_t messages = 1 + rng.uniform_index(4);
     for (std::size_t m = 0; m < messages; ++m) stream += random_valid_message(rng);
 
+    // WireMessage::payload is a view into the splitter's buffer, valid only
+    // until the next feed() — copy it out before feeding more.
+    struct OwnedMessage {
+      bool binary;
+      rb::FrameType frame;
+      std::string payload;
+    };
     auto split_at = [&stream](std::size_t chunk) {
       rs::MessageSplitter splitter(1 << 20);
-      std::vector<rs::WireMessage> out;
+      std::vector<OwnedMessage> out;
       for (std::size_t off = 0; off < stream.size(); off += chunk) {
         splitter.feed(std::string_view(stream).substr(off, chunk));
         for (;;) {
           auto next = splitter.next();
           EXPECT_TRUE(next.ok()) << next.error().message;
           if (!next.ok() || !next.value().has_value()) break;
-          out.push_back(*next.value());
+          out.push_back(OwnedMessage{next.value()->binary, next.value()->frame,
+                                     std::string(next.value()->payload)});
         }
       }
       return out;
